@@ -1,0 +1,89 @@
+//! Ablation benches on the emulator kernels (DESIGN.md §5).
+//!
+//! * `apply_h` scaling with qubit count — the state-vector backend's
+//!   exponential wall, motivating the MPS path for HPC-scale testing,
+//! * MPS two-site gate cost vs bond dimension — the χ³ knee,
+//! * sampling cost, which dominates high-shot emulator jobs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcqc_emulator::hamiltonian::RydbergHamiltonian;
+use hpcqc_emulator::mps::{drive_hamiltonian, interaction_gate, Mps, MpsConfig};
+use hpcqc_emulator::linalg::expm_2x2_hermitian;
+use hpcqc_emulator::statevector::{apply_h, StateVector};
+use hpcqc_program::units::C6_COEFF;
+use hpcqc_program::Register;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_apply_h(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/apply_h_qubits");
+    for &n in &[8usize, 12, 16] {
+        let reg = Register::linear(n, 6.0).expect("valid chain");
+        let h = RydbergHamiltonian::new(&reg, C6_COEFF);
+        let psi = StateVector::ground(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(apply_h(&h, black_box(&psi.amps), 4.0, -2.0, 0.0)))
+        });
+    }
+    group.finish();
+}
+
+fn entangled_mps(n: usize, chi: usize) -> Mps {
+    // build up entanglement with a few interaction layers
+    let mut mps = Mps::ground(n, MpsConfig { chi_max: chi, ..MpsConfig::default() });
+    let u = expm_2x2_hermitian(&drive_hamiltonian(4.0, 0.0, 0.0), 0.2);
+    let g = interaction_gate(50.0, 0.05);
+    for _ in 0..4 {
+        for i in 0..n {
+            mps.apply_one_site(i, &u);
+        }
+        for i in 0..n - 1 {
+            mps.apply_two_site(i, &g, true);
+        }
+    }
+    mps
+}
+
+fn bench_mps_gate_vs_chi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/mps_two_site_chi");
+    group.sample_size(20);
+    for &chi in &[4usize, 8, 16, 32] {
+        let mps = entangled_mps(12, chi);
+        let g = interaction_gate(50.0, 0.05);
+        group.bench_with_input(BenchmarkId::from_parameter(chi), &chi, |b, _| {
+            b.iter_batched(
+                || mps.clone(),
+                |mut m| {
+                    m.apply_two_site(5, &g, true);
+                    black_box(m.max_bond())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_mps_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/mps_sampling");
+    group.sample_size(20);
+    let mps = entangled_mps(16, 16);
+    group.bench_function("sample_16q_chi16", |b| {
+        b.iter_batched(
+            || (mps.clone(), ChaCha8Rng::seed_from_u64(5)),
+            |(mut m, mut rng)| {
+                let mut acc = 0u64;
+                for _ in 0..100 {
+                    acc ^= m.sample(&mut rng);
+                }
+                black_box(acc)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply_h, bench_mps_gate_vs_chi, bench_mps_sampling);
+criterion_main!(benches);

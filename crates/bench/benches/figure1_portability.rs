@@ -1,0 +1,65 @@
+//! Criterion bench for the Figure-1 backends: what each environment costs.
+//!
+//! The portability story has a compute side: the laptop state-vector
+//! emulator is exact but exponential; the tensor-network emulator trades
+//! accuracy (χ) for polynomial cost; the χ=1 mock is nearly free. These
+//! benches chart that trade-off for the same unchanged program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcqc_emulator::{Emulator, MpsBackend, MpsConfig, SvBackend};
+use hpcqc_program::{ProgramIr, Register};
+use hpcqc_workloads::{mis_program, MisSweep};
+use std::hint::black_box;
+
+fn program(n_atoms: usize, shots: u32) -> ProgramIr {
+    let reg = Register::linear(n_atoms, 6.0).expect("valid chain");
+    let sweep = MisSweep { duration: 1.0, ..MisSweep::default() };
+    mis_program(&reg, &sweep, shots)
+}
+
+fn bench_sv_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1/emu_sv_qubits");
+    group.sample_size(10);
+    for &n in &[4usize, 6, 8, 10] {
+        let ir = program(n, 50);
+        let backend = SvBackend::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(backend.run(black_box(&ir), 3).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mps_chi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1/emu_mps_chi");
+    group.sample_size(10);
+    let ir = program(8, 50);
+    for &chi in &[1usize, 4, 16] {
+        let backend = MpsBackend {
+            config: MpsConfig { chi_max: chi, max_dt: 2e-3, ..MpsConfig::default() },
+            ..MpsBackend::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(chi), &chi, |b, _| {
+            b.iter(|| black_box(backend.run(black_box(&ir), 3).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mock_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1/mock_vs_exact");
+    group.sample_size(10);
+    let ir = program(10, 50);
+    let mock = MpsBackend::product_state_mock();
+    let exact = SvBackend::default();
+    group.bench_function("mock_chi1", |b| {
+        b.iter(|| black_box(mock.run(black_box(&ir), 3).expect("runs")))
+    });
+    group.bench_function("exact_sv", |b| {
+        b.iter(|| black_box(exact.run(black_box(&ir), 3).expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sv_scaling, bench_mps_chi, bench_mock_vs_exact);
+criterion_main!(benches);

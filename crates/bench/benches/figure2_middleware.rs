@@ -1,0 +1,91 @@
+//! Criterion bench for the Figure-2 middleware path: daemon overhead.
+//!
+//! The paper argues the daemon indirection is affordable because device
+//! shots are O(seconds). These benches quantify it: in-process
+//! submit→dispatch→result cost, REST round-trip latency over localhost, and
+//! session-open cost — all orders of magnitude below the 1 s/shot budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcqc_core::DaemonClient;
+use hpcqc_emulator::SvBackend;
+use hpcqc_middleware::rest::serve;
+use hpcqc_middleware::{DaemonConfig, MiddlewareService, PriorityClass};
+use hpcqc_program::{ProgramIr, Pulse, Register, SequenceBuilder};
+use hpcqc_qrmi::LocalEmulatorResource;
+use hpcqc_scheduler::PatternHint;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn tiny_ir(shots: u32) -> ProgramIr {
+    let reg = Register::from_coords(&[(0.0, 0.0)]).expect("single site");
+    let mut b = SequenceBuilder::new(reg);
+    b.add_global_pulse(Pulse::constant(0.1, 4.0, 0.0, 0.0).expect("valid pulse"));
+    ProgramIr::new(b.build().expect("non-empty"), shots, "bench")
+}
+
+fn service() -> Arc<MiddlewareService> {
+    let res = Arc::new(LocalEmulatorResource::new(
+        "emu",
+        Arc::new(SvBackend::default()),
+        1,
+    ));
+    Arc::new(MiddlewareService::new(res, DaemonConfig::default()))
+}
+
+fn bench_inprocess_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2/inprocess");
+    group.sample_size(30);
+    let svc = service();
+    let token = svc.open_session("bench", PriorityClass::Production).expect("session");
+    let ir = tiny_ir(10);
+    group.bench_function("submit_dispatch_result", |b| {
+        b.iter(|| {
+            let id = svc.submit(&token, black_box(ir.clone()), PatternHint::None).expect("submits");
+            svc.pump();
+            black_box(svc.task_result(id).expect("completed"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_rest_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2/rest");
+    group.sample_size(30);
+    let server = serve(service()).expect("binds");
+    let client = DaemonClient::new(server.addr());
+    group.bench_function("target_spec_get", |b| {
+        b.iter(|| black_box(client.target().expect("target")))
+    });
+    group.bench_function("session_open_close", |b| {
+        b.iter(|| {
+            let s = client
+                .open_session("bench", PriorityClass::Test)
+                .expect("opens");
+            s.close().expect("closes")
+        })
+    });
+    let session = client
+        .open_session("bench", PriorityClass::Production)
+        .expect("session");
+    let ir = tiny_ir(10);
+    group.bench_function("full_task_over_rest", |b| {
+        b.iter(|| black_box(session.run(black_box(&ir), PatternHint::None).expect("runs")))
+    });
+    group.finish();
+}
+
+fn bench_validation_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2/validation");
+    let spec = hpcqc_program::DeviceSpec::analog_production();
+    let reg = Register::linear(50, 6.0).expect("valid chain");
+    let mut b = SequenceBuilder::new(reg);
+    b.add_global_pulse(Pulse::constant(1.0, 6.0, -4.0, 0.0).expect("valid pulse"));
+    let seq = b.build().expect("non-empty");
+    group.bench_function("validate_50q_program", |bch| {
+        bch.iter(|| black_box(hpcqc_program::validate(black_box(&seq), &spec)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inprocess_path, bench_rest_roundtrip, bench_validation_cost);
+criterion_main!(benches);

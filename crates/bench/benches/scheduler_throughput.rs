@@ -1,0 +1,106 @@
+//! Ablation benches on the batch scheduler simulator (DESIGN.md §5).
+//!
+//! * event throughput (simulated jobs per wall second), which sizes the
+//!   Table-1 sweeps,
+//! * the cost of conservative backfill and preemption relative to plain
+//!   FIFO — the scheduling features are cheap even in simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcqc_scheduler::{
+    standard_partitions, Cluster, JobSpec, MalleableJob, MalleableSim, MalleableSpec, SchedPolicy,
+    SlurmSim,
+};
+use hpcqc_workloads::{generate_population, to_batch_spec, PatternGenConfig};
+use std::hint::black_box;
+
+fn run_sim(n_jobs: usize, policy: SchedPolicy) -> usize {
+    let cluster = Cluster::new(64).with_gres("qpu", 10);
+    let mut sim = SlurmSim::new(cluster, standard_partitions(), policy);
+    let jobs = generate_population(n_jobs, (1.0, 1.0, 1.0), &PatternGenConfig::default(), 3);
+    for j in &jobs {
+        sim.submit_at(to_batch_spec(j, 10), j.arrival).expect("valid spec");
+    }
+    sim.run_to_completion();
+    sim.jobs().filter(|j| j.end_time.is_some()).count()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/jobs");
+    group.sample_size(15);
+    for &n in &[100usize, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(run_sim(n, SchedPolicy::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/policy_ablation");
+    group.sample_size(15);
+    let cases = [
+        ("fifo_only", SchedPolicy { backfill: false, preemption: false, ..SchedPolicy::default() }),
+        ("backfill", SchedPolicy { backfill: true, preemption: false, ..SchedPolicy::default() }),
+        ("backfill+preempt", SchedPolicy { backfill: true, preemption: true, ..SchedPolicy::default() }),
+    ];
+    for (name, policy) in cases {
+        group.bench_function(name, |b| b.iter(|| black_box(run_sim(200, policy))));
+    }
+    group.finish();
+}
+
+fn bench_burst_submission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/burst");
+    group.sample_size(15);
+    group.bench_function("500_jobs_at_t0", |b| {
+        b.iter(|| {
+            let mut sim = SlurmSim::new(
+                Cluster::new(64),
+                standard_partitions(),
+                SchedPolicy::default(),
+            );
+            for i in 0..500u32 {
+                sim.submit_at(
+                    JobSpec::classical(&format!("j{i}"), "u", "test", 1 + i % 4, 60.0),
+                    0.0,
+                )
+                .expect("valid");
+            }
+            sim.run_to_completion();
+            black_box(sim.now())
+        })
+    });
+    group.finish();
+}
+
+fn bench_malleable_vs_rigid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/malleable_ablation");
+    group.sample_size(15);
+    let build = |malleable: bool| {
+        let mut sim = MalleableSim::new(16, malleable);
+        for i in 0..40u64 {
+            sim.submit(MalleableJob {
+                name: format!("j{i}"),
+                spec: MalleableSpec::new(1 + (i % 3) as u32, 8, 400.0 + 40.0 * (i % 7) as f64),
+                arrival: 15.0 * i as f64,
+            });
+        }
+        sim
+    };
+    group.bench_function("rigid", |b| {
+        b.iter(|| black_box(build(false).run().makespan_secs))
+    });
+    group.bench_function("malleable", |b| {
+        b.iter(|| black_box(build(true).run().makespan_secs))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_throughput,
+    bench_policy_ablation,
+    bench_burst_submission,
+    bench_malleable_vs_rigid
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench for the Table-1 engine: co-simulation cost per policy.
+//!
+//! Measures how expensive one full co-simulated site run is under each
+//! second-level policy, so the T1 harness's parameter sweeps can be sized —
+//! and documents that pattern-aware admission adds no meaningful scheduler
+//! overhead over plain FIFO (the policy logic is not the bottleneck).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcqc_middleware::{AdmissionPolicy, Cosim, CosimConfig, QpuPolicy};
+use hpcqc_workloads::{generate_population, PatternGenConfig};
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/cosim_policies");
+    group.sample_size(20);
+    let jobs = generate_population(
+        100,
+        (1.0, 1.0, 1.0),
+        &PatternGenConfig::default(),
+        7,
+    );
+    let cases = [
+        ("sequential", AdmissionPolicy::Sequential, QpuPolicy::Fifo),
+        ("fifo-interleave", AdmissionPolicy::NodeLimited, QpuPolicy::Fifo),
+        (
+            "priority-interleave",
+            AdmissionPolicy::NodeLimited,
+            QpuPolicy::Priority { preemption: true },
+        ),
+        (
+            "pattern-aware",
+            AdmissionPolicy::PatternAware { target_duty: 1.2 },
+            QpuPolicy::Priority { preemption: true },
+        ),
+    ];
+    for (name, admission, qpu_policy) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let report = Cosim::new(
+                    CosimConfig { nodes: 32, admission, qpu_policy, chunk_secs: 10.0 },
+                    black_box(jobs.clone()),
+                )
+                .run();
+                black_box(report.qpu_utilization)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_population_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/population_scaling");
+    group.sample_size(15);
+    for &n in &[50usize, 200, 800] {
+        let jobs = generate_population(n, (1.0, 1.0, 1.0), &PatternGenConfig::default(), 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                Cosim::new(CosimConfig::default(), black_box(jobs.clone())).run().completed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_population_scaling);
+criterion_main!(benches);

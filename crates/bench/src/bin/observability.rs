@@ -1,0 +1,175 @@
+//! Experiment S2 — the §2.5/§3.6 observability claims, measured.
+//!
+//! 1. **Drift detection**: a laser-power degradation is injected into the
+//!    virtual QPU mid-run; the z-score and CUSUM detectors watch the
+//!    telemetry series and we report their detection latencies — plus the
+//!    fact that QA-probe *results* lag the telemetry (monitoring beats
+//!    waiting for bad science).
+//! 2. **Alerting lifecycle**: a Prometheus-style threshold rule walks
+//!    through inactive → pending → firing → resolved.
+//! 3. **Exposition**: the device's metrics render in genuine Prometheus
+//!    text format, ready for an existing site stack.
+//!
+//! Run: `cargo run -p hpcqc-bench --bin observability [--quick]`
+
+use hpcqc_bench::{render_table, HarnessArgs};
+use hpcqc_qpu::{run_qa, VirtualQpu};
+use hpcqc_telemetry::{
+    AlertManager, AlertRule, AlertState, Cmp, CusumDetector, Detection, ZScoreDetector,
+};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    println!("== Observability stack reproduction (paper §2.5 / §3.6) ==\n");
+    drift_detection_experiment(&args);
+    alert_lifecycle_experiment();
+    exposition_sample();
+}
+
+fn drift_detection_experiment(args: &HarnessArgs) {
+    println!("-- drift detection latency: injected 8% laser-power fade --");
+    let ticks = args.scaled(600, 200);
+    let fault_at = ticks / 2;
+    let tick_secs = 60.0;
+
+    let mut rows = Vec::new();
+    for &seed in &[11u64, 12, 13] {
+        let qpu = VirtualQpu::new("fresnel-1", seed);
+        // warm telemetry + detectors on the healthy baseline; thresholds
+        // sized to the servo's stationary wander (σ_stat ≈ 0.14%)
+        let mut z = ZScoreDetector::new(60, 5.0).with_min_std(1e-3);
+        let mut cusum = CusumDetector::new(60, 3e-3, 2e-2);
+        let mut z_detect: Option<usize> = None;
+        let mut cusum_detect: Option<usize> = None;
+        let mut qa_flag: Option<usize> = None;
+        for t in 0..ticks {
+            // slow fade: ~8% laser-power loss spread over 40 ticks
+            if t >= fault_at && t < fault_at + 40 {
+                qpu.inject_rabi_fault(0.002);
+            }
+            qpu.advance_time(tick_secs);
+            let v = qpu.tsdb().last("qpu_rabi_scale").expect("telemetry recorded").value;
+            if z_detect.is_none() {
+                if let Detection::Drift { .. } = z.update(v) {
+                    z_detect = Some(t);
+                }
+            }
+            if cusum_detect.is_none() {
+                if let Detection::Drift { .. } = cusum.update(v) {
+                    cusum_detect = Some(t);
+                }
+            }
+            // a QA probe every 50 ticks — the "wait for bad science" baseline
+            if qa_flag.is_none() && t % 50 == 49 {
+                let report = run_qa(&qpu, 300, 0.03, seed * 1000 + t as u64)
+                    .expect("device operational");
+                if report.health < 0.97 {
+                    qa_flag = Some(t);
+                }
+            }
+        }
+        // step fault on a fresh device: the z-score's home turf
+        let qpu2 = VirtualQpu::new("fresnel-2", seed + 100);
+        let mut z_step = ZScoreDetector::new(60, 5.0).with_min_std(1e-3);
+        let mut z_step_detect: Option<usize> = None;
+        for t in 0..ticks {
+            if t == fault_at {
+                qpu2.inject_rabi_fault(0.08); // abrupt 8% drop
+            }
+            qpu2.advance_time(tick_secs);
+            let v = qpu2.tsdb().last("qpu_rabi_scale").expect("telemetry").value;
+            if z_step_detect.is_none() {
+                if let Detection::Drift { .. } = z_step.update(v) {
+                    z_step_detect = Some(t);
+                }
+            }
+        }
+
+        let lat = |d: Option<usize>| -> String {
+            match d {
+                Some(t) if t >= fault_at => format!("{} min", (t - fault_at) as f64 * tick_secs / 60.0),
+                Some(t) => format!("FALSE ALARM at tick {t}"),
+                None => "missed".into(),
+            }
+        };
+        rows.push(vec![
+            format!("{seed}"),
+            lat(z_detect),
+            lat(cusum_detect),
+            lat(z_step_detect),
+            lat(qa_flag),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["seed", "z-score (fade)", "CUSUM (fade)", "z-score (step)", "QA-probe (fade)"],
+            &rows
+        )
+    );
+    println!("Expected shape: CUSUM catches the slow fade within minutes; the rolling");
+    println!("z-score misses it (its baseline absorbs sub-threshold drift) but nails the");
+    println!("abrupt step — the two detectors are complementary, which is why the stack");
+    println!("runs both. The π-pulse QA probe is only *quadratically* sensitive to");
+    println!("Rabi-scale error, so an 8% fade barely moves job results: results-level");
+    println!("checks miss what telemetry catches (§3.6 telemetry-first monitoring).\n");
+}
+
+fn alert_lifecycle_experiment() {
+    println!("-- alert rule lifecycle (Prometheus semantics) --");
+    let qpu = VirtualQpu::new("fresnel-1", 77);
+    let mut mgr = AlertManager::new(qpu.tsdb().clone());
+    mgr.add_rule(AlertRule {
+        name: "qpu_rabi_scale_low".into(),
+        series: "qpu_rabi_scale".into(),
+        window_secs: 600.0,
+        cmp: Cmp::LessThan,
+        threshold: 0.95,
+        for_secs: 1200.0,
+    });
+    let mut transitions = Vec::new();
+    for t in 0..120 {
+        if t == 40 {
+            qpu.inject_rabi_fault(0.10);
+        }
+        if t == 80 {
+            qpu.recalibrate(60.0);
+        }
+        qpu.advance_time(60.0);
+        for ev in mgr.evaluate(qpu.now()) {
+            transitions.push(format!("t={:>5.0}s  {}  -> {:?} (value {:.3})", ev.at, ev.rule, ev.state, ev.value));
+        }
+    }
+    for t in &transitions {
+        println!("  {t}");
+    }
+    let states: Vec<&str> = transitions
+        .iter()
+        .map(|s| {
+            if s.contains("Pending") {
+                "Pending"
+            } else if s.contains("Firing") {
+                "Firing"
+            } else {
+                "Inactive"
+            }
+        })
+        .collect();
+    assert_eq!(
+        states,
+        vec!["Pending", "Firing", "Inactive"],
+        "full pending→firing→resolved lifecycle observed"
+    );
+    assert_eq!(mgr.state("qpu_rabi_scale_low"), Some(AlertState::Inactive));
+    println!("  lifecycle verified: Pending -> Firing -> Inactive (resolved)\n");
+}
+
+fn exposition_sample() {
+    println!("-- /metrics exposition sample (scrapeable by a site Prometheus) --");
+    let qpu = VirtualQpu::new("fresnel-1", 5);
+    qpu.advance_time(60.0);
+    run_qa(&qpu, 100, 0.03, 9).expect("operational");
+    for line in qpu.registry().expose().lines().take(18) {
+        println!("  {line}");
+    }
+}

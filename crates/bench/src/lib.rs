@@ -1,0 +1,155 @@
+//! Shared utilities for the experiment harnesses.
+//!
+//! Each paper artifact (Table 1, Figure 1, Figure 2, the §2.5/§3.6
+//! observability claims) has a binary in `src/bin/` that regenerates it and
+//! prints the rows EXPERIMENTS.md records. These helpers keep the binaries
+//! small: seeded statistics, fixed-width table rendering and a `--quick`
+//! flag for smoke runs.
+
+/// Mean and sample standard deviation.
+pub fn mean_sd(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// `mean±sd` with fixed precision.
+pub fn fmt_pm(xs: &[f64], precision: usize) -> String {
+    let (m, s) = mean_sd(xs);
+    format!("{m:.precision$}±{s:.precision$}")
+}
+
+/// Render a fixed-width table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Harness CLI: `--quick` shrinks the experiment for smoke testing;
+/// `--seeds N` overrides the seed count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    pub quick: bool,
+    pub seeds: usize,
+    /// Extra flags (experiment-specific).
+    pub flags: Vec<String>,
+}
+
+impl HarnessArgs {
+    /// Parse from an iterator of arguments (without the binary name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> HarnessArgs {
+        let mut quick = false;
+        let mut seeds = None;
+        let mut flags = Vec::new();
+        let mut iter = args.into_iter();
+        while let Some(a) = iter.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--seeds" => {
+                    seeds = iter.next().and_then(|v| v.parse().ok());
+                }
+                other => flags.push(other.to_string()),
+            }
+        }
+        HarnessArgs {
+            quick,
+            seeds: seeds.unwrap_or(if quick { 2 } else { 5 }),
+            flags,
+        }
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> HarnessArgs {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Scale a count down in quick mode.
+    pub fn scaled(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_sd_basics() {
+        let (m, s) = mean_sd(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.138089935).abs() < 1e-6, "sample sd, got {s}");
+        assert_eq!(mean_sd(&[]), (0.0, 0.0));
+        assert_eq!(mean_sd(&[3.0]), (3.0, 0.0));
+    }
+
+    #[test]
+    fn fmt_pm_renders() {
+        assert_eq!(fmt_pm(&[1.0, 1.0], 2), "1.00±0.00");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["policy", "util"],
+            &[
+                vec!["fifo".into(), "0.42".into()],
+                vec!["pattern-aware".into(), "0.91".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("policy"));
+        assert!(lines[2].starts_with("fifo"));
+        assert!(lines[3].starts_with("pattern-aware"));
+        let col = lines[0].find("util").unwrap();
+        assert_eq!(&lines[2][col..col + 4], "0.42");
+    }
+
+    #[test]
+    fn args_parse() {
+        let a = HarnessArgs::parse(["--quick".to_string(), "--gres".to_string()]);
+        assert!(a.quick);
+        assert_eq!(a.seeds, 2);
+        assert_eq!(a.flags, vec!["--gres".to_string()]);
+        let b = HarnessArgs::parse(["--seeds".to_string(), "9".to_string()]);
+        assert!(!b.quick);
+        assert_eq!(b.seeds, 9);
+        assert_eq!(b.scaled(100, 5), 100);
+        assert_eq!(a.scaled(100, 5), 5);
+    }
+}

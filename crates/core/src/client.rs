@@ -1,0 +1,286 @@
+//! REST client for the middleware daemon.
+//!
+//! The runtime side of the session protocol (paper §3.3): connect, receive a
+//! session token, submit programs, poll, fetch results. In multi-user HPC
+//! deployments application code talks to the daemon through this client
+//! instead of holding the QPU resource directly — the daemon owns
+//! prioritization and preemption.
+
+use hpcqc_emulator::SampleResult;
+use hpcqc_middleware::http::{http_request, HttpError};
+use hpcqc_middleware::{DaemonTaskStatus, PriorityClass};
+use hpcqc_program::{DeviceSpec, ProgramIr};
+use hpcqc_scheduler::PatternHint;
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    Transport(String),
+    /// Non-2xx HTTP status with the server's error body.
+    Api { status: u16, message: String },
+    Protocol(String),
+    /// Task reached a terminal failure state.
+    TaskFailed(String),
+    /// Poll budget exhausted.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(m) => write!(f, "transport: {m}"),
+            ClientError::Api { status, message } => write!(f, "api error {status}: {message}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::TaskFailed(m) => write!(f, "task failed: {m}"),
+            ClientError::Timeout => write!(f, "poll budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<HttpError> for ClientError {
+    fn from(e: HttpError) -> Self {
+        ClientError::Transport(e.to_string())
+    }
+}
+
+fn expect_2xx(status: u16, body: String) -> Result<String, ClientError> {
+    if (200..300).contains(&status) {
+        Ok(body)
+    } else {
+        let message = serde_json::from_str::<serde_json::Value>(&body)
+            .ok()
+            .and_then(|v| v["error"].as_str().map(String::from))
+            .unwrap_or(body);
+        Err(ClientError::Api { status, message })
+    }
+}
+
+/// A connection to one middleware daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonClient {
+    /// `host:port` of the daemon.
+    pub addr: String,
+    /// Whether polling should ask the daemon to pump its queue (simulation
+    /// deployments; production daemons run their own dispatch thread).
+    pub pump_on_poll: bool,
+    /// Sleep between status polls when the daemon dispatches on its own
+    /// (`pump_on_poll = false`); ignored otherwise.
+    pub poll_interval: std::time::Duration,
+}
+
+/// An open session.
+#[derive(Debug, Clone)]
+pub struct DaemonSession {
+    client: DaemonClient,
+    /// The bearer token identifying this session.
+    pub token: String,
+}
+
+impl DaemonClient {
+    pub fn new(addr: impl Into<String>) -> Self {
+        DaemonClient {
+            addr: addr.into(),
+            pump_on_poll: true,
+            poll_interval: std::time::Duration::from_millis(20),
+        }
+    }
+
+    /// Open a session in `class` for `user`.
+    pub fn open_session(
+        &self,
+        user: &str,
+        class: PriorityClass,
+    ) -> Result<DaemonSession, ClientError> {
+        let body = serde_json::json!({ "user": user, "class": class.as_str() }).to_string();
+        let (st, body) = http_request(&self.addr, "POST", "/v1/sessions", Some(&body))?;
+        let body = expect_2xx(st, body)?;
+        let v: serde_json::Value =
+            serde_json::from_str(&body).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let token = v["token"]
+            .as_str()
+            .ok_or_else(|| ClientError::Protocol("missing token".into()))?
+            .to_string();
+        Ok(DaemonSession { client: self.clone(), token })
+    }
+
+    /// Fetch the daemon's current target device spec.
+    pub fn target(&self) -> Result<DeviceSpec, ClientError> {
+        let (st, body) = http_request(&self.addr, "GET", "/v1/target", None)?;
+        let body = expect_2xx(st, body)?;
+        serde_json::from_str(&body).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Fetch the Prometheus metrics exposition.
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        let (st, body) = http_request(&self.addr, "GET", "/metrics", None)?;
+        expect_2xx(st, body)
+    }
+}
+
+impl DaemonSession {
+    /// Submit a program; returns the daemon task id.
+    pub fn submit(&self, ir: &ProgramIr, hint: PatternHint) -> Result<u64, ClientError> {
+        let hint_str = match hint {
+            PatternHint::QcHeavy => Some("qc-heavy"),
+            PatternHint::CcHeavy => Some("cc-heavy"),
+            PatternHint::QcBalanced => Some("qc-balanced"),
+            PatternHint::None => None,
+        };
+        let body = serde_json::json!({ "token": self.token, "ir": ir, "hint": hint_str })
+            .to_string();
+        let (st, body) = http_request(&self.client.addr, "POST", "/v1/tasks", Some(&body))?;
+        let body = expect_2xx(st, body)?;
+        let v: serde_json::Value =
+            serde_json::from_str(&body).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        v["task_id"]
+            .as_u64()
+            .ok_or_else(|| ClientError::Protocol("missing task_id".into()))
+    }
+
+    /// Current status of a task.
+    pub fn status(&self, task: u64) -> Result<DaemonTaskStatus, ClientError> {
+        let (st, body) =
+            http_request(&self.client.addr, "GET", &format!("/v1/tasks/{task}"), None)?;
+        let body = expect_2xx(st, body)?;
+        serde_json::from_str(&body).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Fetch the result of a completed task.
+    pub fn result(&self, task: u64) -> Result<SampleResult, ClientError> {
+        let (st, body) = http_request(
+            &self.client.addr,
+            "GET",
+            &format!("/v1/tasks/{task}/result"),
+            None,
+        )?;
+        let body = expect_2xx(st, body)?;
+        serde_json::from_str(&body).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Cancel a queued task.
+    pub fn cancel(&self, task: u64) -> Result<(), ClientError> {
+        let (st, body) = http_request(
+            &self.client.addr,
+            "DELETE",
+            &format!("/v1/tasks/{task}?token={}", self.token),
+            None,
+        )?;
+        expect_2xx(st, body).map(|_| ())
+    }
+
+    /// Poll until the task completes (optionally pumping the daemon's queue
+    /// each round), then fetch the result.
+    pub fn wait(&self, task: u64, max_polls: usize) -> Result<SampleResult, ClientError> {
+        for _ in 0..max_polls {
+            if self.client.pump_on_poll {
+                let (st, body) =
+                    http_request(&self.client.addr, "POST", "/v1/pump", Some("{}"))?;
+                expect_2xx(st, body)?;
+            } else {
+                std::thread::sleep(self.client.poll_interval);
+            }
+            match self.status(task)? {
+                DaemonTaskStatus::Completed => return self.result(task),
+                DaemonTaskStatus::Failed(m) => return Err(ClientError::TaskFailed(m)),
+                DaemonTaskStatus::Cancelled => {
+                    return Err(ClientError::TaskFailed("cancelled".into()))
+                }
+                DaemonTaskStatus::Queued { .. } | DaemonTaskStatus::Running => {}
+            }
+        }
+        Err(ClientError::Timeout)
+    }
+
+    /// Submit and wait in one call.
+    pub fn run(&self, ir: &ProgramIr, hint: PatternHint) -> Result<SampleResult, ClientError> {
+        let id = self.submit(ir, hint)?;
+        self.wait(id, 10_000)
+    }
+
+    /// Close the session on the daemon.
+    pub fn close(self) -> Result<(), ClientError> {
+        let (st, body) = http_request(
+            &self.client.addr,
+            "DELETE",
+            &format!("/v1/sessions/{}", self.token),
+            None,
+        )?;
+        expect_2xx(st, body).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcqc_emulator::SvBackend;
+    use hpcqc_middleware::rest::serve;
+    use hpcqc_middleware::{DaemonConfig, MiddlewareService};
+    use hpcqc_program::{Pulse, Register, SequenceBuilder};
+    use hpcqc_qrmi::LocalEmulatorResource;
+    use std::sync::Arc;
+
+    fn daemon() -> hpcqc_middleware::HttpServer {
+        let res = Arc::new(LocalEmulatorResource::new(
+            "emu",
+            Arc::new(SvBackend::default()),
+            1,
+        ));
+        serve(Arc::new(MiddlewareService::new(res, DaemonConfig::default()))).unwrap()
+    }
+
+    fn ir(shots: u32) -> ProgramIr {
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
+        ProgramIr::new(b.build().unwrap(), shots, "client-test")
+    }
+
+    #[test]
+    fn end_to_end_session_over_sockets() {
+        let server = daemon();
+        let client = DaemonClient::new(server.addr());
+        let spec = client.target().unwrap();
+        assert!(spec.max_qubits >= 20);
+        let session = client.open_session("ada", PriorityClass::Test).unwrap();
+        let result = session.run(&ir(42), PatternHint::QcBalanced).unwrap();
+        assert_eq!(result.shots, 42);
+        assert!(client.metrics().unwrap().contains("daemon_tasks_completed_total"));
+        session.close().unwrap();
+    }
+
+    #[test]
+    fn cancel_through_client() {
+        let server = daemon();
+        let client = DaemonClient::new(server.addr());
+        let session = client.open_session("u", PriorityClass::Development).unwrap();
+        let id = session.submit(&ir(5), PatternHint::None).unwrap();
+        session.cancel(id).unwrap();
+        match session.wait(id, 3) {
+            Err(ClientError::TaskFailed(m)) => assert!(m.contains("cancelled")),
+            other => panic!("expected cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn api_errors_carry_status() {
+        let server = daemon();
+        let client = DaemonClient::new(server.addr());
+        let bogus = DaemonSession { client: client.clone(), token: "nope".into() };
+        match bogus.submit(&ir(5), PatternHint::None) {
+            Err(ClientError::Api { status: 401, .. }) => {}
+            other => panic!("expected 401, got {other:?}"),
+        }
+        match bogus.status(12345) {
+            Err(ClientError::Api { status: 404, .. }) => {}
+            other => panic!("expected 404, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transport_error_on_dead_daemon() {
+        let client = DaemonClient::new("127.0.0.1:1"); // nothing listens here
+        assert!(matches!(client.target(), Err(ClientError::Transport(_))));
+    }
+}

@@ -1,0 +1,27 @@
+//! # hpcqc-core — the portable hybrid HPC-QC runtime environment
+//!
+//! The paper's headline contribution (§3.1-§3.2): one runtime that executes
+//! hybrid quantum-classical programs identically on a laptop emulator, an
+//! HPC tensor-network emulator, a cloud resource, or the on-prem QPU.
+//!
+//! * [`Runtime`] — resolves a QRMI resource from configuration, re-validates
+//!   programs against the live device spec, executes, and records
+//!   reproducibility provenance. The backend is the `--qpu=<resource>` /
+//!   `HPCQC_QPU` switch, never source code.
+//! * [`RuntimeConfig`] — environment-variable configuration (§3.4) with a
+//!   zero-setup development default.
+//! * [`DaemonClient`] / [`DaemonSession`] — the REST session client for
+//!   multi-user deployments behind the middleware daemon (§3.3).
+//! * [`hybrid`] — parameter sweeps and the generic variational loop.
+
+pub mod client;
+pub mod config;
+pub mod hybrid;
+pub mod runtime;
+pub mod workflow;
+
+pub use client::{ClientError, DaemonClient, DaemonSession};
+pub use config::RuntimeConfig;
+pub use hybrid::{iterate, sweep, IterationRecord, LoopResult};
+pub use runtime::{RunReport, Runtime, RuntimeError};
+pub use workflow::{Outputs, TraceEntry, Value, Workflow, WorkflowError};

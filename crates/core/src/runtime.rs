@@ -1,0 +1,289 @@
+//! The portable hybrid runtime.
+//!
+//! [`Runtime`] is what application code links against: it resolves a QRMI
+//! resource from configuration (never from source code), re-validates the
+//! program against the *live* device spec at the point of execution, and
+//! runs it. Switching from a laptop emulator to the HPC tensor-network
+//! emulator to the QPU is the `--qpu=<resource>` flag / `HPCQC_QPU`
+//! environment variable — the program is untouched (paper §3.2, Figure 1).
+
+use hpcqc_emulator::SampleResult;
+use hpcqc_program::{DeviceSpec, ProgramIr, Violation};
+use hpcqc_qrmi::{ConfigError, QrmiError, QuantumResource, ResourceRegistry};
+use std::sync::Arc;
+
+/// Errors surfaced by the runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Resource selection/config problem.
+    Config(ConfigError),
+    /// The program does not fit the selected device's current spec.
+    Validation(Vec<Violation>),
+    /// QRMI-level failure.
+    Qrmi(QrmiError),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Config(e) => write!(f, "configuration: {e}"),
+            RuntimeError::Validation(v) => {
+                write!(f, "program invalid for target ({} violations): ", v.len())?;
+                for viol in v {
+                    write!(f, "[{viol}] ")?;
+                }
+                Ok(())
+            }
+            RuntimeError::Qrmi(e) => write!(f, "resource: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ConfigError> for RuntimeError {
+    fn from(e: ConfigError) -> Self {
+        RuntimeError::Config(e)
+    }
+}
+
+impl From<QrmiError> for RuntimeError {
+    fn from(e: QrmiError) -> Self {
+        RuntimeError::Qrmi(e)
+    }
+}
+
+/// Metadata attached to every execution for reproducibility records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The result itself.
+    pub result: SampleResult,
+    /// Resource id the program ran on.
+    pub resource_id: String,
+    /// Device-spec revision at execution time.
+    pub spec_revision: u64,
+    /// Program fingerprint (content hash).
+    pub program_fingerprint: u64,
+}
+
+/// The runtime environment.
+pub struct Runtime {
+    registry: ResourceRegistry,
+    /// `--qpu` selection; `None` = registry default.
+    selection: Option<String>,
+    /// Poll budget for queued (cloud) backends.
+    pub max_polls: usize,
+}
+
+impl Runtime {
+    /// Build over an existing registry (the common path: registry from
+    /// [`hpcqc_qrmi::QrmiConfig`] + [`hpcqc_qrmi::ResourceFactory`]).
+    pub fn new(registry: ResourceRegistry) -> Self {
+        Runtime { registry, selection: None, max_polls: 100_000 }
+    }
+
+    /// The `--qpu=<resource>` switch. The *only* thing that changes between
+    /// development and production runs.
+    pub fn with_qpu(mut self, selection: impl Into<String>) -> Self {
+        self.selection = Some(selection.into());
+        self
+    }
+
+    /// Clear the selection back to the configured default.
+    pub fn with_default_qpu(mut self) -> Self {
+        self.selection = None;
+        self
+    }
+
+    /// The resource the next run would use.
+    pub fn resource(&self) -> Result<Arc<dyn QuantumResource>, RuntimeError> {
+        Ok(self.registry.resolve(self.selection.as_deref())?)
+    }
+
+    /// Fetch the current target spec (for pre-validation and display).
+    pub fn target(&self) -> Result<DeviceSpec, RuntimeError> {
+        Ok(self.resource()?.target()?)
+    }
+
+    /// Validate a program against the live target spec without running it.
+    pub fn validate(&self, ir: &ProgramIr) -> Result<DeviceSpec, RuntimeError> {
+        let spec = self.target()?;
+        let violations = hpcqc_program::validate(&ir.sequence, &spec);
+        if violations.is_empty() {
+            Ok(spec)
+        } else {
+            Err(RuntimeError::Validation(violations))
+        }
+    }
+
+    /// Validate then execute, returning result + provenance.
+    pub fn run(&self, ir: &ProgramIr) -> Result<RunReport, RuntimeError> {
+        let res = self.resource()?;
+        let spec = res.target()?;
+        let violations = hpcqc_program::validate(&ir.sequence, &spec);
+        if !violations.is_empty() {
+            return Err(RuntimeError::Validation(violations));
+        }
+        let stamped = ir.clone().with_validation_revision(spec.revision);
+        let lease = res.acquire()?;
+        let out = hpcqc_qrmi::run_to_completion(res.as_ref(), &lease, &stamped, self.max_polls);
+        res.release(&lease)?;
+        let result = out?;
+        Ok(RunReport {
+            result,
+            resource_id: res.resource_id().to_string(),
+            spec_revision: spec.revision,
+            program_fingerprint: ir.fingerprint(),
+        })
+    }
+
+    /// Run the same program on several resources (the Figure-1 portability
+    /// sweep). Returns `(resource_id, report-or-error)` per target.
+    pub fn run_everywhere(
+        &self,
+        ir: &ProgramIr,
+        resources: &[&str],
+    ) -> Vec<(String, Result<RunReport, RuntimeError>)> {
+        resources
+            .iter()
+            .map(|&id| {
+                let report = (|| {
+                    let res = self.registry.get(id).ok_or(RuntimeError::Config(
+                        ConfigError::UnknownResource(id.to_string()),
+                    ))?;
+                    let spec = res.target()?;
+                    let violations = hpcqc_program::validate(&ir.sequence, &spec);
+                    if !violations.is_empty() {
+                        return Err(RuntimeError::Validation(violations));
+                    }
+                    let lease = res.acquire()?;
+                    let out =
+                        hpcqc_qrmi::run_to_completion(res.as_ref(), &lease, ir, self.max_polls);
+                    res.release(&lease)?;
+                    Ok(RunReport {
+                        result: out?,
+                        resource_id: id.to_string(),
+                        spec_revision: spec.revision,
+                        program_fingerprint: ir.fingerprint(),
+                    })
+                })();
+                (id.to_string(), report)
+            })
+            .collect()
+    }
+
+    /// Resource ids available to this runtime.
+    pub fn available_resources(&self) -> Vec<String> {
+        self.registry.ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcqc_program::{Pulse, Register, SequenceBuilder};
+    use hpcqc_qpu::VirtualQpu;
+    use hpcqc_qrmi::{QrmiConfig, ResourceFactory};
+
+    fn registry_with_qpu() -> ResourceRegistry {
+        let mut env: std::collections::BTreeMap<String, String> = Default::default();
+        for (k, v) in [
+            ("QRMI_RESOURCES", "emu-local,mock,fresnel-1"),
+            ("QRMI_DEFAULT_RESOURCE", "emu-local"),
+            ("QRMI_RESOURCE_EMU_LOCAL_TYPE", "emulator:local"),
+            ("QRMI_RESOURCE_MOCK_TYPE", "emulator:local"),
+            ("QRMI_RESOURCE_MOCK_BACKEND", "emu-mps-mock"),
+            ("QRMI_RESOURCE_FRESNEL_1_TYPE", "qpu:direct"),
+        ] {
+            env.insert(k.into(), v.into());
+        }
+        let cfg = QrmiConfig::from_map(&env).unwrap();
+        ResourceFactory::new(11)
+            .with_qpu("fresnel-1", VirtualQpu::new("fresnel-1", 5))
+            .build_registry(&cfg)
+            .unwrap()
+    }
+
+    fn ir(shots: u32) -> ProgramIr {
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
+        ProgramIr::new(b.build().unwrap(), shots, "test")
+    }
+
+    #[test]
+    fn default_resource_used_without_selection() {
+        let rt = Runtime::new(registry_with_qpu());
+        let report = rt.run(&ir(50)).unwrap();
+        assert_eq!(report.resource_id, "emu-local");
+        assert_eq!(report.result.shots, 50);
+        assert_eq!(report.program_fingerprint, ir(50).fingerprint());
+    }
+
+    #[test]
+    fn qpu_switch_changes_backend_not_program() {
+        let program = ir(20);
+        let rt = Runtime::new(registry_with_qpu());
+        let local = rt.run(&program).unwrap();
+        let rt = rt.with_qpu("fresnel-1");
+        let qpu = rt.run(&program).unwrap();
+        assert_eq!(local.resource_id, "emu-local");
+        assert_eq!(qpu.resource_id, "fresnel-1");
+        assert_eq!(local.program_fingerprint, qpu.program_fingerprint, "identical program");
+        // back to default
+        let rt = rt.with_default_qpu();
+        assert_eq!(rt.run(&program).unwrap().resource_id, "emu-local");
+    }
+
+    #[test]
+    fn unknown_selection_is_config_error() {
+        let rt = Runtime::new(registry_with_qpu()).with_qpu("ghost");
+        assert!(matches!(rt.run(&ir(5)), Err(RuntimeError::Config(_))));
+    }
+
+    #[test]
+    fn validation_against_live_spec() {
+        let rt = Runtime::new(registry_with_qpu()).with_qpu("mock");
+        // 2 µm spacing violates the production limits the mock enforces
+        let reg = Register::linear(2, 2.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
+        let bad = ProgramIr::new(b.build().unwrap(), 10, "test");
+        assert!(matches!(rt.validate(&bad), Err(RuntimeError::Validation(_))));
+        assert!(matches!(rt.run(&bad), Err(RuntimeError::Validation(_))));
+        // but the permissive local emulator takes it
+        let rt = rt.with_qpu("emu-local");
+        assert!(rt.run(&bad).is_ok());
+    }
+
+    #[test]
+    fn run_everywhere_portability_sweep() {
+        let rt = Runtime::new(registry_with_qpu());
+        let program = ir(200);
+        let results = rt.run_everywhere(&program, &["emu-local", "mock", "fresnel-1"]);
+        assert_eq!(results.len(), 3);
+        for (id, r) in &results {
+            let report = r.as_ref().unwrap_or_else(|e| panic!("{id} failed: {e}"));
+            assert_eq!(report.result.shots, 200);
+        }
+        // unknown resource reports an error, not a panic
+        let res = rt.run_everywhere(&program, &["nope"]);
+        assert!(matches!(res[0].1, Err(RuntimeError::Config(_))));
+    }
+
+    #[test]
+    fn spec_revision_recorded() {
+        let rt = Runtime::new(registry_with_qpu()).with_qpu("fresnel-1");
+        let report = rt.run(&ir(5)).unwrap();
+        assert_eq!(report.spec_revision, 1);
+    }
+
+    #[test]
+    fn available_resources_sorted() {
+        let rt = Runtime::new(registry_with_qpu());
+        assert_eq!(
+            rt.available_resources(),
+            vec!["emu-local".to_string(), "fresnel-1".to_string(), "mock".to_string()]
+        );
+    }
+}

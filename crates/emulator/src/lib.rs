@@ -1,0 +1,28 @@
+//! # hpcqc-emulator — classical emulators for analog neutral-atom programs
+//!
+//! Rust stand-in for the vendor's open-source emulator suite (paper ref [5]):
+//!
+//! * [`SvBackend`] — exact state-vector integration of the Rydberg
+//!   Hamiltonian (RK4, matrix-free, rayon-parallel kernel), up to ~20 qubits.
+//! * [`MpsBackend`] — matrix-product-state TEBD with a configurable bond
+//!   dimension `χ`; `χ = 1` is the product-state "mock QPU" mode the paper's
+//!   footnote 3 describes for end-to-end testing at arbitrary size.
+//!
+//! Both implement the [`Emulator`] trait and return the backend-independent
+//! [`SampleResult`], so the QRMI layer and the runtime treat them exactly
+//! like hardware.
+
+pub mod backend;
+pub mod hamiltonian;
+pub mod linalg;
+pub mod mps;
+pub mod noise;
+pub mod result;
+pub mod statevector;
+
+pub use backend::{Emulator, EmulatorError, MpsBackend, SvBackend};
+pub use hamiltonian::{DiscretizedDrive, RydbergHamiltonian};
+pub use mps::{Mps, MpsConfig};
+pub use noise::SpamNoise;
+pub use result::{Counts, SampleResult};
+pub use statevector::{StateVector, SvConfig};

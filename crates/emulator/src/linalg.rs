@@ -1,0 +1,418 @@
+//! Small dense complex linear algebra used by the MPS emulator.
+//!
+//! We only need operations on matrices whose dimensions are bounded by
+//! `2·χ_max` (a few hundred at most), so a straightforward, dependency-free
+//! implementation is appropriate: a cyclic Jacobi eigensolver for Hermitian
+//! matrices, and an SVD built on top of it via the Gram matrix.
+
+use num_complex::Complex64;
+
+/// Column-major dense complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    pub rows: usize,
+    pub cols: usize,
+    /// data[r + c*rows]
+    pub data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix { rows, cols, data: vec![Complex64::new(0.0, 0.0); rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::new(1.0, 0.0);
+        }
+        m
+    }
+
+    /// Build from a row-major slice of (re, im) pairs — test convenience.
+    pub fn from_rows(rows: usize, cols: usize, vals: &[Complex64]) -> Self {
+        assert_eq!(vals.len(), rows * cols);
+        let mut m = CMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = vals[r * cols + c];
+            }
+        }
+        m
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in matmul");
+        let mut out = CMatrix::zeros(self.rows, other.cols);
+        for c in 0..other.cols {
+            for k in 0..self.cols {
+                let b = other[(k, c)];
+                if b.norm_sqr() == 0.0 {
+                    continue;
+                }
+                for r in 0..self.rows {
+                    out[(r, c)] += self[(r, k)] * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)].conj();
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Max |off-diagonal| element (convergence check for Jacobi).
+    fn max_offdiag(&self) -> f64 {
+        let mut m = 0.0f64;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if r != c {
+                    m = m.max(self[(r, c)].norm());
+                }
+            }
+        }
+        m
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
+        &self.data[r + c * self.rows]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[r + c * self.rows]
+    }
+}
+
+/// Eigendecomposition of a Hermitian matrix by the cyclic complex Jacobi
+/// method. Returns `(eigenvalues, eigenvectors)` with eigenvectors in the
+/// columns of the returned matrix, sorted by descending eigenvalue.
+///
+/// Panics if the matrix is not square. Convergence tolerance is relative to
+/// the Frobenius norm; for our bounded sizes this converges in a handful of
+/// sweeps.
+pub fn hermitian_eig(a: &CMatrix) -> (Vec<f64>, CMatrix) {
+    assert_eq!(a.rows, a.cols, "hermitian_eig needs a square matrix");
+    let n = a.rows;
+    let mut m = a.clone();
+    let mut v = CMatrix::identity(n);
+    let scale = m.frobenius().max(1e-300);
+    let tol = 1e-14 * scale;
+
+    for _sweep in 0..100 {
+        if m.max_offdiag() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.norm() <= tol {
+                    continue;
+                }
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                // Unitary similarity J(p,q) eliminating m[p][q]:
+                // standard complex Jacobi rotation.
+                let phase = apq / apq.norm(); // e^{i arg(apq)}
+                let tau = (aqq - app) / (2.0 * apq.norm());
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // G = [[c, s*phase], [-s*phase.conj(), c]] on the (p,q) plane
+                let g11 = Complex64::new(c, 0.0);
+                let g12 = phase * s;
+                let g21 = -phase.conj() * s;
+                let g22 = Complex64::new(c, 0.0);
+                // M <- G^dagger M G
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = mkp * g11 + mkq * g21;
+                    m[(k, q)] = mkp * g12 + mkq * g22;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = g11.conj() * mpk + g21.conj() * mqk;
+                    m[(q, k)] = g12.conj() * mpk + g22.conj() * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = vkp * g11 + vkq * g21;
+                    v[(k, q)] = vkp * g12 + vkq * g22;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, usize)> =
+        (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
+    let eigvals: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let mut vecs = CMatrix::zeros(n, n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for r in 0..n {
+            vecs[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    (eigvals, vecs)
+}
+
+/// Thin singular value decomposition `A = U Σ V†`.
+///
+/// Returns `(u, s, vt)` where `u` is `rows × k`, `s` has length `k`,
+/// `vt` is `k × cols`, with `k = min(rows, cols)` and singular values sorted
+/// descending. Built from the Hermitian eigendecomposition of the smaller
+/// Gram matrix, which is numerically adequate for the well-conditioned,
+/// norm-bounded tensors arising in MPS truncation.
+pub fn svd(a: &CMatrix) -> (CMatrix, Vec<f64>, CMatrix) {
+    let (rows, cols) = (a.rows, a.cols);
+    let k = rows.min(cols);
+    if cols <= rows {
+        // eigendecompose A†A = V Σ² V†
+        let gram = a.dagger().matmul(a);
+        let (evals, v) = hermitian_eig(&gram);
+        let s: Vec<f64> = evals.iter().map(|&e| e.max(0.0).sqrt()).collect();
+        // U = A V Σ⁻¹ (columns with ~zero σ filled by normalized Gram-Schmidt
+        // is unnecessary here: truncation drops them anyway).
+        let av = a.matmul(&v);
+        let mut u = CMatrix::zeros(rows, k);
+        for c in 0..k {
+            let inv = if s[c] > 1e-150 { 1.0 / s[c] } else { 0.0 };
+            for r in 0..rows {
+                u[(r, c)] = av[(r, c)] * inv;
+            }
+        }
+        let vt = v.dagger();
+        // keep only first k rows of vt (square here, so all)
+        (u, s[..k].to_vec(), vt)
+    } else {
+        // eigendecompose A A† = U Σ² U†
+        let gram = a.matmul(&a.dagger());
+        let (evals, u) = hermitian_eig(&gram);
+        let s: Vec<f64> = evals.iter().map(|&e| e.max(0.0).sqrt()).collect();
+        // V† = Σ⁻¹ U† A
+        let uta = u.dagger().matmul(a);
+        let mut vt = CMatrix::zeros(k, cols);
+        for r in 0..k {
+            let inv = if s[r] > 1e-150 { 1.0 / s[r] } else { 0.0 };
+            for c in 0..cols {
+                vt[(r, c)] = uta[(r, c)] * inv;
+            }
+        }
+        (u, s[..k].to_vec(), vt)
+    }
+}
+
+/// Exponential `exp(-i H t)` of a 2×2 Hermitian matrix, exact via the
+/// Pauli decomposition `H = a·I + b·σ` ⇒
+/// `exp(-iHt) = e^{-iat} (cos(|b|t) I - i sin(|b|t) b̂·σ)`.
+pub fn expm_2x2_hermitian(h: &CMatrix, t: f64) -> CMatrix {
+    assert_eq!((h.rows, h.cols), (2, 2));
+    let a = (h[(0, 0)].re + h[(1, 1)].re) / 2.0;
+    let bz = (h[(0, 0)].re - h[(1, 1)].re) / 2.0;
+    let bx = h[(0, 1)].re;
+    let by = -h[(0, 1)].im; // h01 = bx - i by  for H = bx σx + by σy + bz σz
+    let bn = (bx * bx + by * by + bz * bz).sqrt();
+    let phase = Complex64::from_polar(1.0, -a * t);
+    let (cosv, sinv) = if bn > 0.0 {
+        ((bn * t).cos(), (bn * t).sin() / bn)
+    } else {
+        (1.0, t) // sin(x)/x -> t as bn -> 0; multiplied by b components = 0
+    };
+    let i = Complex64::new(0.0, 1.0);
+    let mut u = CMatrix::zeros(2, 2);
+    u[(0, 0)] = phase * (Complex64::new(cosv, 0.0) - i * sinv * bz);
+    u[(1, 1)] = phase * (Complex64::new(cosv, 0.0) + i * sinv * bz);
+    u[(0, 1)] = phase * (-i * sinv * Complex64::new(bx, -by));
+    u[(1, 0)] = phase * (-i * sinv * Complex64::new(bx, by));
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn identity_matmul() {
+        let i = CMatrix::identity(3);
+        let m = CMatrix::from_rows(
+            3,
+            3,
+            &[
+                c(1.0, 0.5), c(2.0, 0.0), c(0.0, 1.0),
+                c(0.0, 0.0), c(3.0, -1.0), c(1.0, 0.0),
+                c(2.0, 2.0), c(0.0, 0.0), c(1.0, 1.0),
+            ],
+        );
+        assert_eq!(i.matmul(&m), m);
+        assert_eq!(m.matmul(&i), m);
+    }
+
+    #[test]
+    fn dagger_involution() {
+        let m = CMatrix::from_rows(2, 3, &[
+            c(1.0, 2.0), c(0.0, -1.0), c(3.0, 0.0),
+            c(0.5, 0.5), c(2.0, 2.0), c(-1.0, 1.0),
+        ]);
+        assert_eq!(m.dagger().dagger(), m);
+        assert_eq!(m.dagger().rows, 3);
+    }
+
+    #[test]
+    fn hermitian_eig_diagonal() {
+        let mut m = CMatrix::zeros(3, 3);
+        m[(0, 0)] = c(1.0, 0.0);
+        m[(1, 1)] = c(5.0, 0.0);
+        m[(2, 2)] = c(-2.0, 0.0);
+        let (vals, _) = hermitian_eig(&m);
+        assert!((vals[0] - 5.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        assert!((vals[2] + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hermitian_eig_pauli_x() {
+        let m = CMatrix::from_rows(2, 2, &[c(0.0, 0.0), c(1.0, 0.0), c(1.0, 0.0), c(0.0, 0.0)]);
+        let (vals, vecs) = hermitian_eig(&m);
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] + 1.0).abs() < 1e-12);
+        // reconstruct: V diag(vals) V† = M
+        let mut d = CMatrix::zeros(2, 2);
+        d[(0, 0)] = c(vals[0], 0.0);
+        d[(1, 1)] = c(vals[1], 0.0);
+        let rec = vecs.matmul(&d).matmul(&vecs.dagger());
+        for r in 0..2 {
+            for cc in 0..2 {
+                assert!((rec[(r, cc)] - m[(r, cc)]).norm() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_eig_complex_matrix() {
+        // H = σ_y: eigenvalues ±1
+        let m = CMatrix::from_rows(2, 2, &[c(0.0, 0.0), c(0.0, -1.0), c(0.0, 1.0), c(0.0, 0.0)]);
+        let (vals, vecs) = hermitian_eig(&m);
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] + 1.0).abs() < 1e-12);
+        // eigenvectors are orthonormal
+        let g = vecs.dagger().matmul(&vecs);
+        assert!((g[(0, 0)].re - 1.0).abs() < 1e-10);
+        assert!(g[(0, 1)].norm() < 1e-10);
+    }
+
+    #[test]
+    fn svd_reconstructs_tall_matrix() {
+        let a = CMatrix::from_rows(3, 2, &[
+            c(1.0, 0.0), c(2.0, 1.0),
+            c(0.0, -1.0), c(1.0, 0.0),
+            c(2.0, 0.5), c(0.0, 0.0),
+        ]);
+        let (u, s, vt) = svd(&a);
+        let mut sig = CMatrix::zeros(s.len(), s.len());
+        for (i, &si) in s.iter().enumerate() {
+            sig[(i, i)] = c(si, 0.0);
+        }
+        let rec = u.matmul(&sig).matmul(&vt);
+        for r in 0..3 {
+            for cc in 0..2 {
+                assert!(
+                    (rec[(r, cc)] - a[(r, cc)]).norm() < 1e-9,
+                    "mismatch at ({r},{cc}): {:?} vs {:?}",
+                    rec[(r, cc)],
+                    a[(r, cc)]
+                );
+            }
+        }
+        assert!(s[0] >= s[1], "descending singular values");
+    }
+
+    #[test]
+    fn svd_reconstructs_wide_matrix() {
+        let a = CMatrix::from_rows(2, 4, &[
+            c(1.0, 0.0), c(0.0, 2.0), c(1.0, -1.0), c(0.5, 0.0),
+            c(0.0, 0.0), c(1.0, 0.0), c(2.0, 2.0), c(-1.0, 0.0),
+        ]);
+        let (u, s, vt) = svd(&a);
+        assert_eq!(u.cols, 2);
+        assert_eq!(vt.rows, 2);
+        let mut sig = CMatrix::zeros(2, 2);
+        sig[(0, 0)] = c(s[0], 0.0);
+        sig[(1, 1)] = c(s[1], 0.0);
+        let rec = u.matmul(&sig).matmul(&vt);
+        for r in 0..2 {
+            for cc in 0..4 {
+                assert!((rec[(r, cc)] - a[(r, cc)]).norm() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn svd_singular_values_match_frobenius() {
+        let a = CMatrix::from_rows(2, 2, &[c(3.0, 0.0), c(0.0, 0.0), c(0.0, 0.0), c(4.0, 0.0)]);
+        let (_, s, _) = svd(&a);
+        let fro2: f64 = s.iter().map(|x| x * x).sum();
+        assert!((fro2 - 25.0).abs() < 1e-9);
+        assert!((s[0] - 4.0).abs() < 1e-10);
+        assert!((s[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expm_identity_at_zero_time() {
+        let h = CMatrix::from_rows(2, 2, &[c(1.0, 0.0), c(0.5, 0.2), c(0.5, -0.2), c(-1.0, 0.0)]);
+        let u = expm_2x2_hermitian(&h, 0.0);
+        assert!((u[(0, 0)] - c(1.0, 0.0)).norm() < 1e-12);
+        assert!(u[(0, 1)].norm() < 1e-12);
+    }
+
+    #[test]
+    fn expm_is_unitary() {
+        let h = CMatrix::from_rows(2, 2, &[c(0.7, 0.0), c(1.2, -0.3), c(1.2, 0.3), c(-0.4, 0.0)]);
+        let u = expm_2x2_hermitian(&h, 0.37);
+        let g = u.dagger().matmul(&u);
+        assert!((g[(0, 0)].re - 1.0).abs() < 1e-12);
+        assert!((g[(1, 1)].re - 1.0).abs() < 1e-12);
+        assert!(g[(0, 1)].norm() < 1e-12);
+    }
+
+    #[test]
+    fn expm_pauli_x_rotation() {
+        // exp(-i (Ω/2) σx t) with Ω t = π flips |0> to -i|1>
+        let omega = 2.0;
+        let t = std::f64::consts::PI / omega;
+        let mut h = CMatrix::zeros(2, 2);
+        h[(0, 1)] = c(omega / 2.0, 0.0);
+        h[(1, 0)] = c(omega / 2.0, 0.0);
+        let u = expm_2x2_hermitian(&h, t);
+        assert!(u[(0, 0)].norm() < 1e-12, "full population transfer");
+        assert!((u[(1, 0)] - c(0.0, -1.0)).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Measurement (SPAM) noise applied to sampled bitstrings.
+//!
+//! Neutral-atom readout is destructive fluorescence imaging with two
+//! asymmetric error channels: a ground-state atom detected as Rydberg
+//! (`epsilon`, "false positive") and a Rydberg atom detected as ground
+//! (`epsilon_prime`, "false negative" — dominated by Rydberg decay during
+//! imaging). The virtual QPU applies this model to its samples; emulators
+//! can optionally enable it to rehearse noisy conditions during development.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// State-preparation-and-measurement error model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpamNoise {
+    /// P(measure 1 | state 0).
+    pub epsilon: f64,
+    /// P(measure 0 | state 1).
+    pub epsilon_prime: f64,
+}
+
+impl SpamNoise {
+    /// Typical production values for neutral-atom readout.
+    pub fn typical() -> Self {
+        SpamNoise { epsilon: 0.01, epsilon_prime: 0.03 }
+    }
+
+    /// No noise (identity channel).
+    pub fn none() -> Self {
+        SpamNoise { epsilon: 0.0, epsilon_prime: 0.0 }
+    }
+
+    /// Validate probabilities are in [0, 1].
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.epsilon) && (0.0..=1.0).contains(&self.epsilon_prime)
+    }
+
+    /// Apply the channel to one measured bitstring over `n` qubits.
+    pub fn apply<R: Rng>(&self, bitstring: u64, n: usize, rng: &mut R) -> u64 {
+        if self.epsilon == 0.0 && self.epsilon_prime == 0.0 {
+            return bitstring;
+        }
+        let mut out = bitstring;
+        for i in 0..n {
+            let bit = (bitstring >> i) & 1;
+            let flip_p = if bit == 0 { self.epsilon } else { self.epsilon_prime };
+            if flip_p > 0.0 && rng.gen::<f64>() < flip_p {
+                out ^= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// The expected *measured* occupation given a true occupation `p`:
+    /// `p_meas = p (1 − ε′) + (1 − p) ε`. Used by tests and by result
+    /// un-biasing utilities.
+    pub fn biased_occupation(&self, p_true: f64) -> f64 {
+        p_true * (1.0 - self.epsilon_prime) + (1.0 - p_true) * self.epsilon
+    }
+
+    /// Invert [`Self::biased_occupation`] to estimate the true occupation from
+    /// a measured one (clamped to [0, 1]). Returns `None` when the channel is
+    /// non-invertible (`ε + ε′ = 1`).
+    pub fn unbias_occupation(&self, p_meas: f64) -> Option<f64> {
+        let denom = 1.0 - self.epsilon - self.epsilon_prime;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        Some(((p_meas - self.epsilon) / denom).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let n = SpamNoise::none();
+        for b in [0u64, 0b1010, u64::MAX >> 1] {
+            assert_eq!(n.apply(b, 20, &mut rng), b);
+        }
+    }
+
+    #[test]
+    fn typical_is_valid() {
+        assert!(SpamNoise::typical().is_valid());
+        assert!(!SpamNoise { epsilon: -0.1, epsilon_prime: 0.0 }.is_valid());
+        assert!(!SpamNoise { epsilon: 0.0, epsilon_prime: 1.5 }.is_valid());
+    }
+
+    #[test]
+    fn flip_rates_match_parameters() {
+        let noise = SpamNoise { epsilon: 0.05, epsilon_prime: 0.2 };
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let trials = 100_000;
+        let mut zeros_flipped = 0u32;
+        let mut ones_flipped = 0u32;
+        for _ in 0..trials {
+            // one qubit in 0, one in 1 (bits 0 and 1 of 0b10)
+            let out = noise.apply(0b10, 2, &mut rng);
+            if out & 1 == 1 {
+                zeros_flipped += 1;
+            }
+            if (out >> 1) & 1 == 0 {
+                ones_flipped += 1;
+            }
+        }
+        let f0 = zeros_flipped as f64 / trials as f64;
+        let f1 = ones_flipped as f64 / trials as f64;
+        assert!((f0 - 0.05).abs() < 0.005, "false-positive rate {f0}");
+        assert!((f1 - 0.2).abs() < 0.01, "false-negative rate {f1}");
+    }
+
+    #[test]
+    fn bias_and_unbias_roundtrip() {
+        let n = SpamNoise::typical();
+        for p in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let biased = n.biased_occupation(p);
+            let rec = n.unbias_occupation(biased).unwrap();
+            assert!((rec - p).abs() < 1e-12, "p={p}: biased {biased}, recovered {rec}");
+        }
+    }
+
+    #[test]
+    fn degenerate_channel_not_invertible() {
+        let n = SpamNoise { epsilon: 0.5, epsilon_prime: 0.5 };
+        assert!(n.unbias_occupation(0.5).is_none());
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let noise = SpamNoise::typical();
+        let mut r1 = ChaCha8Rng::seed_from_u64(9);
+        let mut r2 = ChaCha8Rng::seed_from_u64(9);
+        for b in 0..64u64 {
+            assert_eq!(noise.apply(b, 6, &mut r1), noise.apply(b, 6, &mut r2));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Sampled measurement results and derived observables.
+//!
+//! Every backend in the stack — state vector, MPS, virtual QPU — returns the
+//! same [`SampleResult`]: bitstring counts plus execution metadata. Keeping
+//! the result type backend-independent is what makes emulator↔QPU swaps
+//! invisible to application code (Figure 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counts of measured bitstrings. Bit `i` of the key corresponds to atom `i`
+/// (1 = Rydberg). `BTreeMap` keeps serialization deterministic.
+pub type Counts = BTreeMap<u64, u32>;
+
+/// The outcome of running a program for some number of shots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleResult {
+    /// Number of qubits measured.
+    pub n_qubits: usize,
+    /// Total shots taken.
+    pub shots: u32,
+    /// Bitstring → count.
+    pub counts: Counts,
+    /// Name of the backend that produced the result.
+    pub backend: String,
+    /// Truncation error accumulated by approximate backends (0 for exact).
+    pub truncation_error: f64,
+    /// Wall-clock the execution took on the backend, seconds (simulated time
+    /// for the virtual QPU: shots / shot-rate).
+    pub execution_secs: f64,
+}
+
+impl SampleResult {
+    /// Assemble from a list of raw shot outcomes.
+    pub fn from_shots(n_qubits: usize, outcomes: &[u64], backend: impl Into<String>) -> Self {
+        let mut counts = Counts::new();
+        for &o in outcomes {
+            *counts.entry(o).or_insert(0) += 1;
+        }
+        SampleResult {
+            n_qubits,
+            shots: outcomes.len() as u32,
+            counts,
+            backend: backend.into(),
+            truncation_error: 0.0,
+            execution_secs: 0.0,
+        }
+    }
+
+    /// Empirical probability of a specific bitstring.
+    pub fn probability(&self, bitstring: u64) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        *self.counts.get(&bitstring).unwrap_or(&0) as f64 / self.shots as f64
+    }
+
+    /// Empirical Rydberg occupation of atom `i`: fraction of shots with
+    /// bit `i` set.
+    pub fn occupation(&self, i: usize) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .counts
+            .iter()
+            .filter(|(b, _)| (*b >> i) & 1 == 1)
+            .map(|(_, &c)| c as u64)
+            .sum();
+        hits as f64 / self.shots as f64
+    }
+
+    /// Mean total Rydberg excitation number per shot.
+    pub fn mean_excitations(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .counts
+            .iter()
+            .map(|(b, &c)| b.count_ones() as u64 * c as u64)
+            .sum();
+        total as f64 / self.shots as f64
+    }
+
+    /// Empirical two-point correlator ⟨n_i n_j⟩.
+    pub fn correlation(&self, i: usize, j: usize) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .counts
+            .iter()
+            .filter(|(b, _)| (*b >> i) & 1 == 1 && (*b >> j) & 1 == 1)
+            .map(|(_, &c)| c as u64)
+            .sum();
+        hits as f64 / self.shots as f64
+    }
+
+    /// Total variation distance between the empirical distributions of two
+    /// results: `TV = ½ Σ_b |p(b) − q(b)| ∈ [0, 1]`. The statistic used by
+    /// the Figure-1 portability experiment to compare backends.
+    pub fn total_variation_distance(&self, other: &SampleResult) -> f64 {
+        let mut keys: std::collections::BTreeSet<u64> = self.counts.keys().copied().collect();
+        keys.extend(other.counts.keys().copied());
+        0.5 * keys
+            .into_iter()
+            .map(|k| (self.probability(k) - other.probability(k)).abs())
+            .sum::<f64>()
+    }
+
+    /// Render a bitstring key as the conventional string with atom 0
+    /// leftmost, e.g. `0b011` over 3 qubits → `"110"`.
+    pub fn format_bitstring(&self, bitstring: u64) -> String {
+        (0..self.n_qubits)
+            .map(|i| if (bitstring >> i) & 1 == 1 { '1' } else { '0' })
+            .collect()
+    }
+
+    /// The most frequent outcomes, descending, up to `k`.
+    pub fn top_k(&self, k: usize) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = self.counts.iter().map(|(&b, &c)| (b, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res() -> SampleResult {
+        // shots: 00 x4, 01 x3, 11 x2, 10 x1  (bit0 = atom0)
+        let outcomes = [
+            0b00, 0b00, 0b00, 0b00, 0b01, 0b01, 0b01, 0b11, 0b11, 0b10,
+        ];
+        SampleResult::from_shots(2, &outcomes, "test")
+    }
+
+    #[test]
+    fn counts_aggregate_correctly() {
+        let r = res();
+        assert_eq!(r.shots, 10);
+        assert_eq!(r.counts[&0b00], 4);
+        assert_eq!(r.counts[&0b01], 3);
+        assert_eq!(r.counts[&0b11], 2);
+        assert_eq!(r.counts[&0b10], 1);
+    }
+
+    #[test]
+    fn probability_and_occupation() {
+        let r = res();
+        assert!((r.probability(0b00) - 0.4).abs() < 1e-12);
+        assert!((r.probability(0b111) - 0.0).abs() < 1e-12);
+        // atom 0 set in 01 (3) and 11 (2) → 0.5
+        assert!((r.occupation(0) - 0.5).abs() < 1e-12);
+        // atom 1 set in 11 (2) and 10 (1) → 0.3
+        assert!((r.occupation(1) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_excitations_and_correlation() {
+        let r = res();
+        // total excitations: 0*4 + 1*3 + 2*2 + 1*1 = 8 → 0.8
+        assert!((r.mean_excitations() - 0.8).abs() < 1e-12);
+        assert!((r.correlation(0, 1) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_distance_properties() {
+        let r = res();
+        assert_eq!(r.total_variation_distance(&r), 0.0);
+        let other = SampleResult::from_shots(2, &[0b10, 0b10], "x");
+        let d = r.total_variation_distance(&other);
+        assert!(d > 0.0 && d <= 1.0);
+        // symmetric
+        assert!((d - other.total_variation_distance(&r)).abs() < 1e-12);
+        // disjoint supports → 1
+        let a = SampleResult::from_shots(1, &[0], "a");
+        let b = SampleResult::from_shots(1, &[1], "b");
+        assert!((a.total_variation_distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn format_bitstring_atom0_leftmost() {
+        let r = res();
+        assert_eq!(r.format_bitstring(0b01), "10");
+        assert_eq!(r.format_bitstring(0b10), "01");
+    }
+
+    #[test]
+    fn top_k_sorted_descending_with_tiebreak() {
+        let r = res();
+        let top = r.top_k(2);
+        assert_eq!(top, vec![(0b00, 4), (0b01, 3)]);
+        assert_eq!(r.top_k(100).len(), 4);
+    }
+
+    #[test]
+    fn empty_result_is_safe() {
+        let r = SampleResult::from_shots(3, &[], "empty");
+        assert_eq!(r.shots, 0);
+        assert_eq!(r.probability(0), 0.0);
+        assert_eq!(r.occupation(1), 0.0);
+        assert_eq!(r.mean_excitations(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = res();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SampleResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

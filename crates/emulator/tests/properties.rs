@@ -1,0 +1,168 @@
+//! Property-based tests on the emulators: unitarity, backend agreement,
+//! noise-channel algebra and linear-algebra invariants.
+
+use hpcqc_emulator::linalg::{expm_2x2_hermitian, hermitian_eig, svd, CMatrix};
+use hpcqc_emulator::{
+    Emulator, MpsBackend, MpsConfig, SpamNoise, SvBackend,
+};
+use hpcqc_emulator::statevector::{evolve_sequence, SvConfig};
+use hpcqc_emulator::mps::evolve_sequence_mps;
+use hpcqc_program::units::C6_COEFF;
+use hpcqc_program::{ProgramIr, Pulse, Register, SequenceBuilder};
+use num_complex::Complex64;
+use proptest::prelude::*;
+
+fn arb_hermitian(n: usize) -> impl Strategy<Value = CMatrix> {
+    proptest::collection::vec((-3.0f64..3.0, -3.0f64..3.0), n * n).prop_map(move |vals| {
+        let mut m = CMatrix::zeros(n, n);
+        for r in 0..n {
+            for c in r..n {
+                let (re, im) = vals[r * n + c];
+                if r == c {
+                    m[(r, c)] = Complex64::new(re, 0.0);
+                } else {
+                    m[(r, c)] = Complex64::new(re, im);
+                    m[(c, r)] = Complex64::new(re, -im);
+                }
+            }
+        }
+        m
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = ProgramIr> {
+    (2usize..5, 5.0f64..9.0, 0.5f64..8.0, -10.0f64..10.0, 0.05f64..0.4).prop_map(
+        |(n, spacing, omega, delta, duration)| {
+            let reg = Register::linear(n, spacing).unwrap();
+            let mut b = SequenceBuilder::new(reg);
+            b.add_global_pulse(Pulse::constant(duration, omega, delta, 0.0).unwrap());
+            ProgramIr::new(b.build().unwrap(), 100, "proptest")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn statevector_evolution_preserves_norm(ir in arb_program()) {
+        let sv = evolve_sequence(&ir.sequence, C6_COEFF, &SvConfig::default());
+        prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-7, "norm {}", sv.norm_sqr());
+        // populations physical
+        for i in 0..ir.sequence.num_qubits() {
+            let p = sv.rydberg_population(i);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&p), "site {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn mps_agrees_with_statevector_on_populations(ir in arb_program()) {
+        let sv = evolve_sequence(&ir.sequence, C6_COEFF, &SvConfig::default());
+        let mut mps = evolve_sequence_mps(
+            &ir.sequence,
+            C6_COEFF,
+            &MpsConfig { chi_max: 32, max_dt: 5e-4, ..MpsConfig::default() },
+        );
+        prop_assert!((mps.norm_sqr() - 1.0).abs() < 1e-5);
+        for i in 0..ir.sequence.num_qubits() {
+            let a = sv.rydberg_population(i);
+            let b = mps.rydberg_population(i);
+            prop_assert!((a - b).abs() < 0.02, "site {i}: sv {a:.5} vs mps {b:.5}");
+        }
+    }
+
+    #[test]
+    fn backends_are_deterministic_per_seed(ir in arb_program(), seed in 0u64..1000) {
+        let b = SvBackend::default();
+        prop_assert_eq!(b.run(&ir, seed).unwrap(), b.run(&ir, seed).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn hermitian_eig_reconstructs(m in arb_hermitian(4)) {
+        let (vals, vecs) = hermitian_eig(&m);
+        // V diag V† == M
+        let mut d = CMatrix::zeros(4, 4);
+        for (i, &v) in vals.iter().enumerate() {
+            d[(i, i)] = Complex64::new(v, 0.0);
+        }
+        let rec = vecs.matmul(&d).matmul(&vecs.dagger());
+        for r in 0..4 {
+            for c in 0..4 {
+                prop_assert!((rec[(r, c)] - m[(r, c)]).norm() < 1e-8,
+                    "({r},{c}): {:?} vs {:?}", rec[(r, c)], m[(r, c)]);
+            }
+        }
+        // eigenvalues sorted descending
+        for w in vals.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_and_orders(rows in 1usize..5, cols in 1usize..5,
+        vals in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 16)) {
+        let mut m = CMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let (re, im) = vals[r * 4 + c];
+                m[(r, c)] = Complex64::new(re, im);
+            }
+        }
+        let (u, s, vt) = svd(&m);
+        let mut sig = CMatrix::zeros(s.len(), s.len());
+        for (i, &x) in s.iter().enumerate() {
+            sig[(i, i)] = Complex64::new(x, 0.0);
+            prop_assert!(x >= -1e-12, "negative singular value {x}");
+        }
+        for w in s.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9, "singular values not sorted: {s:?}");
+        }
+        let rec = u.matmul(&sig).matmul(&vt);
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert!((rec[(r, c)] - m[(r, c)]).norm() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn expm_is_always_unitary(h in arb_hermitian(2), t in -3.0f64..3.0) {
+        let u = expm_2x2_hermitian(&h, t);
+        let g = u.dagger().matmul(&u);
+        prop_assert!((g[(0, 0)].re - 1.0).abs() < 1e-10);
+        prop_assert!((g[(1, 1)].re - 1.0).abs() < 1e-10);
+        prop_assert!(g[(0, 1)].norm() < 1e-10);
+    }
+
+    #[test]
+    fn spam_bias_formula_is_exact(p in 0.0f64..1.0, eps in 0.0f64..0.4, epsp in 0.0f64..0.4) {
+        let noise = SpamNoise { epsilon: eps, epsilon_prime: epsp };
+        let biased = noise.biased_occupation(p);
+        prop_assert!((0.0..=1.0).contains(&biased));
+        let rec = noise.unbias_occupation(biased).unwrap();
+        prop_assert!((rec - p).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn chi_one_mock_runs_arbitrarily_large_registers() {
+    // footnote 3: χ=1 mocks "almost arbitrarily large" QPUs cheaply.
+    // A compact 8x8 lattice keeps the 64 atoms inside the production field
+    // of view, which the mock (deliberately) enforces.
+    let reg = Register::square_lattice(8, 8, 6.0).unwrap();
+    let mut b = SequenceBuilder::new(reg);
+    b.add_global_pulse(Pulse::constant(0.2, 4.0, 0.0, 0.0).unwrap());
+    let ir = ProgramIr::new(b.build().unwrap(), 20, "big");
+    let mock = MpsBackend {
+        max_qubits: 64,
+        config: MpsConfig { chi_max: 1, max_dt: 5e-3, ..MpsConfig::default() },
+        noise: SpamNoise::none(),
+    };
+    let res = mock.run(&ir, 1).unwrap();
+    assert_eq!(res.shots, 20);
+    assert_eq!(res.n_qubits, 64);
+}

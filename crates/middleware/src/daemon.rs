@@ -1,0 +1,907 @@
+//! The middleware daemon service (in-process core).
+//!
+//! This is the component Figure 2 places on the quantum access node: it owns
+//! the QPU-side QRMI resource, manages sessions, validates programs against
+//! the *current* device spec, queues tasks by priority class, runs them with
+//! shot-batch preemption, and exposes admin + observability surfaces. The
+//! REST layer in [`crate::http`] is a thin transport over this object, so
+//! unit tests drive it directly while integration tests go over real sockets.
+
+use crate::session::{PriorityClass, SessionError, SessionManager};
+use crate::taskqueue::{QuantumTask, QueueConfig, QueueError, TaskQueue};
+use hpcqc_emulator::SampleResult;
+use hpcqc_program::{DeviceSpec, ProgramIr};
+use hpcqc_qpu::{QpuStatus, VirtualQpu};
+use hpcqc_qrmi::QuantumResource;
+use hpcqc_scheduler::PatternHint;
+use hpcqc_telemetry::{labels, Registry};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Daemon configuration (the site-tunable `slurm.conf` analogue of §3.4).
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Queue behaviour.
+    pub queue: QueueConfig,
+    /// Concurrent session cap (0 = unlimited).
+    pub max_sessions: usize,
+    /// Shot cap applied to development tasks ("non-production jobs
+    /// configured with a low number of shots", §3.3).
+    pub dev_shot_cap: u32,
+    /// Chunk size for unbatched (preemptible) execution: test/development
+    /// tasks run in slices of this many shots, with preemption checks in
+    /// between.
+    pub preempt_chunk_shots: u32,
+    /// Validate programs against the live device spec at submission.
+    pub validate_on_submit: bool,
+    /// Fair-share usage half-life in seconds (0 disables fair-share).
+    pub fairshare_half_life_secs: f64,
+    /// Serve repeated *development* programs from a fingerprint-keyed result
+    /// cache instead of re-running them on the device (dev results are for
+    /// debugging, not statistics — a cache hit saves scarce QPU seconds).
+    pub cache_dev_results: bool,
+    /// Sessions idle longer than this are expired by the clock (0 = never).
+    pub session_ttl_secs: f64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            queue: QueueConfig::default(),
+            max_sessions: 0,
+            dev_shot_cap: 100,
+            preempt_chunk_shots: 10,
+            validate_on_submit: true,
+            fairshare_half_life_secs: 3600.0,
+            cache_dev_results: true,
+            session_ttl_secs: 0.0,
+        }
+    }
+}
+
+/// Daemon-side task state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DaemonTaskStatus {
+    /// Waiting; `position` is the current dispatch-order index.
+    Queued { position: usize },
+    /// On the device now.
+    Running,
+    /// Done; result available.
+    Completed,
+    /// Rejected or errored.
+    Failed(String),
+    /// Cancelled by the user.
+    Cancelled,
+}
+
+/// Errors surfaced by the daemon API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DaemonError {
+    Session(SessionError),
+    Queue(String),
+    /// Program failed validation; messages list the violations.
+    Validation(Vec<String>),
+    UnknownTask(u64),
+    /// Operation not allowed for this session/class.
+    Forbidden(String),
+    Internal(String),
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Session(e) => write!(f, "session error: {e}"),
+            DaemonError::Queue(m) => write!(f, "queue error: {m}"),
+            DaemonError::Validation(v) => write!(f, "validation failed: {}", v.join("; ")),
+            DaemonError::UnknownTask(id) => write!(f, "unknown task {id}"),
+            DaemonError::Forbidden(m) => write!(f, "forbidden: {m}"),
+            DaemonError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<SessionError> for DaemonError {
+    fn from(e: SessionError) -> Self {
+        DaemonError::Session(e)
+    }
+}
+
+impl From<QueueError> for DaemonError {
+    fn from(e: QueueError) -> Self {
+        DaemonError::Queue(e.to_string())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TaskRecord {
+    Queued,
+    Running,
+    Completed(SampleResult),
+    Failed(String),
+    Cancelled,
+}
+
+/// Partial progress of a preempted task: completed chunk results are kept
+/// and merged with the remainder when it resumes.
+#[derive(Debug, Clone, Default)]
+struct Progress {
+    shots_done: u32,
+    partial: Option<SampleResult>,
+}
+
+/// The middleware daemon.
+pub struct MiddlewareService {
+    sessions: SessionManager,
+    queue: Mutex<TaskQueue>,
+    resource: Arc<dyn QuantumResource>,
+    /// Direct handle to the device for the admin surface (None when the
+    /// daemon fronts a cloud resource it cannot administer).
+    qpu_admin: Option<VirtualQpu>,
+    records: Mutex<HashMap<u64, TaskRecord>>,
+    progress: Mutex<HashMap<u64, Progress>>,
+    task_meta: Mutex<HashMap<u64, (PriorityClass, f64)>>, // class, submitted_at
+    next_task: AtomicU64,
+    seed: AtomicU64,
+    clock: Mutex<f64>,
+    registry: Registry,
+    cfg: DaemonConfig,
+    /// Serializes dispatch: the QPU is a serial device, and concurrent REST
+    /// clients all pump the queue — only one dispatch may hold the resource
+    /// lease at a time.
+    dispatch_lock: Mutex<()>,
+    fairshare: Option<crate::fairshare::FairshareTracker>,
+    /// Development-result cache keyed by program fingerprint.
+    dev_cache: Mutex<HashMap<u64, SampleResult>>,
+}
+
+impl MiddlewareService {
+    pub fn new(resource: Arc<dyn QuantumResource>, cfg: DaemonConfig) -> Self {
+        let fairshare = if cfg.fairshare_half_life_secs > 0.0 {
+            Some(crate::fairshare::FairshareTracker::new(cfg.fairshare_half_life_secs))
+        } else {
+            None
+        };
+        let queue = match &fairshare {
+            Some(f) => TaskQueue::new(cfg.queue).with_fairshare(f.clone()),
+            None => TaskQueue::new(cfg.queue),
+        };
+        MiddlewareService {
+            sessions: SessionManager::new(cfg.max_sessions),
+            queue: Mutex::new(queue),
+            resource,
+            qpu_admin: None,
+            records: Mutex::new(HashMap::new()),
+            progress: Mutex::new(HashMap::new()),
+            task_meta: Mutex::new(HashMap::new()),
+            next_task: AtomicU64::new(1),
+            seed: AtomicU64::new(0x5eed),
+            clock: Mutex::new(0.0),
+            registry: Registry::new(),
+            cfg,
+            dispatch_lock: Mutex::new(()),
+            fairshare,
+            dev_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Attach the device for admin operations (on-prem deployment).
+    pub fn with_qpu_admin(mut self, qpu: VirtualQpu) -> Self {
+        self.qpu_admin = Some(qpu);
+        self
+    }
+
+    /// The daemon's metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Daemon clock (seconds).
+    pub fn now(&self) -> f64 {
+        *self.clock.lock()
+    }
+
+    /// Advance the daemon clock (simulated idle time). Expires idle
+    /// sessions past their TTL.
+    pub fn advance_time(&self, dt: f64) {
+        *self.clock.lock() += dt;
+        if let Some(q) = &self.qpu_admin {
+            q.advance_time(dt);
+        }
+        if self.cfg.session_ttl_secs > 0.0 {
+            let cutoff = self.now() - self.cfg.session_ttl_secs;
+            let expired = self.sessions.gc(cutoff);
+            if expired > 0 {
+                self.registry.counter_add(
+                    "daemon_sessions_expired_total",
+                    "Sessions expired by TTL",
+                    hpcqc_telemetry::Labels::new(),
+                    expired as f64,
+                );
+            }
+        }
+    }
+
+    // ---- session API -------------------------------------------------
+
+    /// Open a session for `user` in `class`; returns the token.
+    pub fn open_session(&self, user: &str, class: PriorityClass) -> Result<String, DaemonError> {
+        let s = self.sessions.open(user, class, self.now())?;
+        self.registry.counter_add(
+            "daemon_sessions_opened_total",
+            "Sessions opened",
+            labels(&[("class", class.as_str())]),
+            1.0,
+        );
+        Ok(s.token)
+    }
+
+    /// Close a session.
+    pub fn close_session(&self, token: &str) -> Result<(), DaemonError> {
+        self.sessions.close(token)?;
+        Ok(())
+    }
+
+    /// List sessions (admin).
+    pub fn list_sessions(&self) -> Vec<crate::session::Session> {
+        self.sessions.list()
+    }
+
+    // ---- task API ------------------------------------------------------
+
+    /// The current device spec, fetched through QRMI — what clients validate
+    /// against before submitting (§2.1 drift safety).
+    pub fn device_spec(&self) -> Result<DeviceSpec, DaemonError> {
+        self.resource.target().map_err(|e| DaemonError::Internal(e.to_string()))
+    }
+
+    /// Submit a program under a session. Applies class policies (dev shot
+    /// cap), validates against the live spec, and queues.
+    pub fn submit(
+        &self,
+        token: &str,
+        mut ir: ProgramIr,
+        hint: PatternHint,
+    ) -> Result<u64, DaemonError> {
+        let session = self.sessions.validate(token)?;
+        if session.class == PriorityClass::Development && ir.shots > self.cfg.dev_shot_cap {
+            ir.shots = self.cfg.dev_shot_cap;
+        }
+        if self.cfg.validate_on_submit {
+            let spec = self.device_spec()?;
+            let violations = hpcqc_program::validate(&ir.sequence, &spec);
+            if !violations.is_empty() {
+                self.registry.counter_add(
+                    "daemon_tasks_rejected_total",
+                    "Tasks rejected at validation",
+                    labels(&[("class", session.class.as_str())]),
+                    1.0,
+                );
+                return Err(DaemonError::Validation(
+                    violations.iter().map(|v| v.to_string()).collect(),
+                ));
+            }
+            ir = ir.with_validation_revision(spec.revision);
+        }
+        let id = self.next_task.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        if self.cfg.cache_dev_results && session.class == PriorityClass::Development {
+            if let Some(cached) = self.dev_cache.lock().get(&ir.fingerprint()).cloned() {
+                self.records.lock().insert(id, TaskRecord::Completed(cached));
+                self.task_meta.lock().insert(id, (session.class, now));
+                self.sessions.record_task(token)?;
+                self.registry.counter_add(
+                    "daemon_dev_cache_hits_total",
+                    "Development tasks served from the result cache",
+                    labels(&[("class", session.class.as_str())]),
+                    1.0,
+                );
+                return Ok(id);
+            }
+        }
+        let task = QuantumTask {
+            id,
+            session: token.to_string(),
+            user: session.user.clone(),
+            class: session.class,
+            ir,
+            hint,
+            submitted_at: now,
+        };
+        self.queue.lock().push(task)?;
+        self.sessions.record_task(token)?;
+        self.records.lock().insert(id, TaskRecord::Queued);
+        self.task_meta.lock().insert(id, (session.class, now));
+        self.registry.counter_add(
+            "daemon_tasks_submitted_total",
+            "Tasks accepted into the queue",
+            labels(&[("class", session.class.as_str())]),
+            1.0,
+        );
+        Ok(id)
+    }
+
+    /// Task status.
+    pub fn task_status(&self, id: u64) -> Result<DaemonTaskStatus, DaemonError> {
+        let records = self.records.lock();
+        match records.get(&id) {
+            None => Err(DaemonError::UnknownTask(id)),
+            Some(TaskRecord::Queued) => {
+                let q = self.queue.lock();
+                let pos = q
+                    .snapshot(self.now())
+                    .iter()
+                    .position(|t| t.id == id)
+                    .unwrap_or(0);
+                Ok(DaemonTaskStatus::Queued { position: pos })
+            }
+            Some(TaskRecord::Running) => Ok(DaemonTaskStatus::Running),
+            Some(TaskRecord::Completed(_)) => Ok(DaemonTaskStatus::Completed),
+            Some(TaskRecord::Failed(m)) => Ok(DaemonTaskStatus::Failed(m.clone())),
+            Some(TaskRecord::Cancelled) => Ok(DaemonTaskStatus::Cancelled),
+        }
+    }
+
+    /// Fetch the result of a completed task.
+    pub fn task_result(&self, id: u64) -> Result<SampleResult, DaemonError> {
+        match self.records.lock().get(&id) {
+            None => Err(DaemonError::UnknownTask(id)),
+            Some(TaskRecord::Completed(r)) => Ok(r.clone()),
+            Some(TaskRecord::Failed(m)) => Err(DaemonError::Internal(m.clone())),
+            Some(_) => Err(DaemonError::Queue("task not completed".into())),
+        }
+    }
+
+    /// Cancel a queued task (the owner's session token must match).
+    pub fn cancel(&self, token: &str, id: u64) -> Result<(), DaemonError> {
+        self.sessions.validate(token)?;
+        let mut q = self.queue.lock();
+        match q.remove(id) {
+            Some(t) if t.session == token => {
+                self.records.lock().insert(id, TaskRecord::Cancelled);
+                Ok(())
+            }
+            Some(t) => {
+                // not the owner: put it back untouched
+                q.push(t).expect("reinsert cannot exceed quota it just satisfied");
+                Err(DaemonError::Forbidden("task belongs to another session".into()))
+            }
+            None => match self.records.lock().get(&id) {
+                None => Err(DaemonError::UnknownTask(id)),
+                Some(_) => Err(DaemonError::Queue("task is not queued".into())),
+            },
+        }
+    }
+
+    // ---- execution loop ------------------------------------------------
+
+    /// Dispatch and run the next task, honoring preemption. Returns the id
+    /// of the task that made progress, or `None` when the queue is empty.
+    ///
+    /// Production tasks run as one batch. Lower classes run one
+    /// `preempt_chunk_shots` slice; if a production task is waiting
+    /// afterwards, the remainder is requeued (preemption at shot-batch
+    /// boundaries, §3.3).
+    pub fn pump_once(&self) -> Option<u64> {
+        let _dispatch = self.dispatch_lock.lock();
+        let now = self.now();
+        let task = self.queue.lock().pop(now)?;
+        let id = task.id;
+        self.records.lock().insert(id, TaskRecord::Running);
+
+        // first time this task runs: record wait
+        let first_run = self.progress.lock().get(&id).map_or(true, |p| p.shots_done == 0);
+        if first_run {
+            if let Some((class, submitted)) = self.task_meta.lock().get(&id).copied() {
+                self.registry.histogram_observe(
+                    "daemon_task_wait_seconds",
+                    "Queue wait before first execution",
+                    labels(&[("class", class.as_str())]),
+                    &[1.0, 10.0, 60.0, 600.0, 3600.0],
+                    now - submitted,
+                );
+            }
+        }
+
+        let outcome = if task.batched() {
+            self.run_shots(&task, task.ir.shots)
+        } else {
+            let done = self.progress.lock().get(&id).map_or(0, |p| p.shots_done);
+            let remaining = task.ir.shots - done;
+            let slice = remaining.min(self.cfg.preempt_chunk_shots);
+            self.run_shots(&task, slice)
+        };
+
+        match outcome {
+            Err(m) => {
+                self.records.lock().insert(id, TaskRecord::Failed(m));
+                self.progress.lock().remove(&id);
+            }
+            Ok(partial) => {
+                let mut progress = self.progress.lock();
+                let p = progress.entry(id).or_default();
+                p.shots_done += partial.shots;
+                p.partial = Some(match p.partial.take() {
+                    None => partial,
+                    Some(prev) => merge_results(prev, partial),
+                });
+                let finished = p.shots_done >= task.ir.shots;
+                if finished {
+                    let result = p.partial.take().expect("merged at least one slice");
+                    progress.remove(&id);
+                    drop(progress);
+                    if self.cfg.cache_dev_results && task.class == PriorityClass::Development {
+                        self.dev_cache.lock().insert(task.ir.fingerprint(), result.clone());
+                    }
+                    self.records.lock().insert(id, TaskRecord::Completed(result));
+                    self.registry.counter_add(
+                        "daemon_tasks_completed_total",
+                        "Tasks completed",
+                        labels(&[("class", task.class.as_str())]),
+                        1.0,
+                    );
+                } else {
+                    drop(progress);
+                    // preemption check: requeue the remainder
+                    let mut q = self.queue.lock();
+                    let preempted = q.should_preempt(task.class, self.now());
+                    if preempted {
+                        self.registry.counter_add(
+                            "daemon_preemptions_total",
+                            "Shot-boundary preemptions",
+                            labels(&[("class", task.class.as_str())]),
+                            1.0,
+                        );
+                    }
+                    // whether preempted or just sliced, the remainder queues
+                    // again; priority order decides who goes next.
+                    self.records.lock().insert(id, TaskRecord::Queued);
+                    q.push(task).expect("requeue of running task");
+                }
+            }
+        }
+        Some(id)
+    }
+
+    /// Run `shots` shots of `task` through the QRMI resource, advancing the
+    /// daemon clock by the execution time.
+    fn run_shots(&self, task: &QuantumTask, shots: u32) -> Result<SampleResult, String> {
+        let ir = ProgramIr { shots, ..task.ir.clone() };
+        let lease = self.resource.acquire().map_err(|e| e.to_string())?;
+        let seed = self.seed.fetch_add(1, Ordering::Relaxed);
+        let _ = seed; // resources seed internally; kept for interface stability
+        let out = hpcqc_qrmi::run_to_completion(self.resource.as_ref(), &lease, &ir, 10_000)
+            .map_err(|e| e.to_string());
+        self.resource.release(&lease).map_err(|e| e.to_string())?;
+        if let Ok(r) = &out {
+            *self.clock.lock() += r.execution_secs;
+            if let Some(f) = &self.fairshare {
+                f.charge(&task.user, r.execution_secs, self.now());
+            }
+            self.registry.counter_add(
+                "daemon_qpu_busy_seconds_total",
+                "Device seconds consumed through the daemon",
+                labels(&[("class", task.class.as_str())]),
+                r.execution_secs,
+            );
+        }
+        out
+    }
+
+    /// Drain the queue completely. Returns the number of dispatches.
+    pub fn pump(&self) -> usize {
+        let mut n = 0;
+        while self.pump_once().is_some() {
+            n += 1;
+            assert!(n < 1_000_000, "runaway pump loop");
+        }
+        n
+    }
+
+    /// Start a background dispatcher thread: the production deployment mode,
+    /// where the daemon drains its queue continuously and clients only poll
+    /// task status. Returns a handle that stops the thread when dropped.
+    pub fn spawn_dispatcher(
+        self: &Arc<Self>,
+        idle_poll: std::time::Duration,
+    ) -> DispatcherHandle {
+        let svc = Arc::clone(self);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::SeqCst) {
+                if svc.pump_once().is_none() {
+                    std::thread::sleep(idle_poll);
+                }
+            }
+        });
+        DispatcherHandle { stop, thread: Some(thread) }
+    }
+
+    // ---- admin / observability surface ---------------------------------
+
+    /// Combined Prometheus exposition: daemon metrics + device metrics.
+    pub fn metrics_text(&self) -> String {
+        let mut out = self.registry.expose();
+        if let Some(q) = &self.qpu_admin {
+            out.push_str(&q.registry().expose());
+        }
+        out
+    }
+
+    /// Device status (admin).
+    pub fn qpu_status(&self) -> Option<QpuStatus> {
+        self.qpu_admin.as_ref().map(|q| q.status())
+    }
+
+    /// Set device status (admin; e.g. maintenance window).
+    pub fn set_qpu_status(&self, s: QpuStatus) -> Result<(), DaemonError> {
+        match &self.qpu_admin {
+            Some(q) => {
+                q.set_status(s);
+                Ok(())
+            }
+            None => Err(DaemonError::Forbidden("no admin access to this resource".into())),
+        }
+    }
+
+    /// Trigger a recalibration (admin).
+    pub fn recalibrate(&self, duration_secs: f64) -> Result<(), DaemonError> {
+        match &self.qpu_admin {
+            Some(q) => {
+                q.recalibrate(duration_secs);
+                Ok(())
+            }
+            None => Err(DaemonError::Forbidden("no admin access to this resource".into())),
+        }
+    }
+
+    /// Query device telemetry history (admin/user observability).
+    pub fn telemetry_range(
+        &self,
+        series: &str,
+        from: f64,
+        to: f64,
+    ) -> Vec<hpcqc_telemetry::Point> {
+        match &self.qpu_admin {
+            Some(q) => q.tsdb().range(series, from, to),
+            None => Vec::new(),
+        }
+    }
+
+    /// Queue depth (monitoring).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+/// Stops the background dispatcher thread when dropped.
+pub struct DispatcherHandle {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for DispatcherHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Merge two sample results of the same program (chunked execution).
+fn merge_results(mut a: SampleResult, b: SampleResult) -> SampleResult {
+    assert_eq!(a.n_qubits, b.n_qubits, "merging results of different registers");
+    for (bits, count) in b.counts {
+        *a.counts.entry(bits).or_insert(0) += count;
+    }
+    a.shots += b.shots;
+    a.execution_secs += b.execution_secs;
+    a.truncation_error = a.truncation_error.max(b.truncation_error);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcqc_emulator::SvBackend;
+    use hpcqc_program::{Pulse, Register, SequenceBuilder};
+    use hpcqc_qrmi::{LocalEmulatorResource, QpuDirectResource};
+
+    fn ir(shots: u32) -> ProgramIr {
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
+        ProgramIr::new(b.build().unwrap(), shots, "test")
+    }
+
+    fn emu_daemon(cfg: DaemonConfig) -> MiddlewareService {
+        let res = Arc::new(LocalEmulatorResource::new(
+            "emu",
+            Arc::new(SvBackend::default()),
+            1,
+        ));
+        MiddlewareService::new(res, cfg)
+    }
+
+    fn qpu_daemon(cfg: DaemonConfig) -> (MiddlewareService, VirtualQpu) {
+        let qpu = VirtualQpu::new("fresnel-1", 7);
+        let res = Arc::new(QpuDirectResource::new("fresnel-1", qpu.clone(), 1));
+        (MiddlewareService::new(res, cfg).with_qpu_admin(qpu.clone()), qpu)
+    }
+
+    #[test]
+    fn submit_run_fetch_happy_path() {
+        let d = emu_daemon(DaemonConfig::default());
+        let tok = d.open_session("alice", PriorityClass::Production).unwrap();
+        let id = d.submit(&tok, ir(50), PatternHint::None).unwrap();
+        assert!(matches!(d.task_status(id).unwrap(), DaemonTaskStatus::Queued { .. }));
+        d.pump();
+        assert_eq!(d.task_status(id).unwrap(), DaemonTaskStatus::Completed);
+        let r = d.task_result(id).unwrap();
+        assert_eq!(r.shots, 50);
+    }
+
+    #[test]
+    fn submission_requires_valid_session() {
+        let d = emu_daemon(DaemonConfig::default());
+        assert!(matches!(
+            d.submit("bogus", ir(10), PatternHint::None),
+            Err(DaemonError::Session(SessionError::UnknownToken))
+        ));
+    }
+
+    #[test]
+    fn dev_shot_cap_applied() {
+        let d = emu_daemon(DaemonConfig { dev_shot_cap: 20, ..DaemonConfig::default() });
+        let tok = d.open_session("dev", PriorityClass::Development).unwrap();
+        let id = d.submit(&tok, ir(1000), PatternHint::None).unwrap();
+        d.pump();
+        assert_eq!(d.task_result(id).unwrap().shots, 20, "dev capped at 20 shots");
+        // production is not capped
+        let ptok = d.open_session("prod", PriorityClass::Production).unwrap();
+        let pid = d.submit(&ptok, ir(1000), PatternHint::None).unwrap();
+        d.pump();
+        assert_eq!(d.task_result(pid).unwrap().shots, 1000);
+    }
+
+    #[test]
+    fn server_side_validation_rejects_bad_program() {
+        let (d, _) = qpu_daemon(DaemonConfig::default());
+        let tok = d.open_session("u", PriorityClass::Test).unwrap();
+        let reg = Register::linear(2, 1.0).unwrap(); // violates 5 µm min distance
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
+        let bad = ProgramIr::new(b.build().unwrap(), 10, "test");
+        match d.submit(&tok, bad, PatternHint::None) {
+            Err(DaemonError::Validation(v)) => assert!(!v.is_empty()),
+            other => panic!("expected validation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn priority_order_respected_across_sessions() {
+        let d = emu_daemon(DaemonConfig::default());
+        let dev = d.open_session("dev", PriorityClass::Development).unwrap();
+        let prod = d.open_session("prod", PriorityClass::Production).unwrap();
+        let d1 = d.submit(&dev, ir(10), PatternHint::None).unwrap();
+        let p1 = d.submit(&prod, ir(10), PatternHint::None).unwrap();
+        // production dispatches first even though it queued second
+        let first = d.pump_once().unwrap();
+        assert_eq!(first, p1);
+        let _ = d1;
+    }
+
+    #[test]
+    fn production_preempts_development_at_shot_boundary() {
+        let (d, qpu) = qpu_daemon(DaemonConfig {
+            preempt_chunk_shots: 5,
+            dev_shot_cap: 50,
+            ..DaemonConfig::default()
+        });
+        let dev = d.open_session("dev", PriorityClass::Development).unwrap();
+        let prod = d.open_session("prod", PriorityClass::Production).unwrap();
+        let dev_id = d.submit(&dev, ir(50), PatternHint::None).unwrap();
+        // dev starts: one 5-shot slice runs
+        assert_eq!(d.pump_once().unwrap(), dev_id);
+        assert!(matches!(d.task_status(dev_id).unwrap(), DaemonTaskStatus::Queued { .. }));
+        // production arrives mid-flight
+        let prod_id = d.submit(&prod, ir(20), PatternHint::None).unwrap();
+        // next dispatch must be the production task, not dev's remainder
+        assert_eq!(d.pump_once().unwrap(), prod_id);
+        assert_eq!(d.task_status(prod_id).unwrap(), DaemonTaskStatus::Completed);
+        // dev remainder completes afterwards with all 50 shots accounted
+        d.pump();
+        assert_eq!(d.task_status(dev_id).unwrap(), DaemonTaskStatus::Completed);
+        assert_eq!(d.task_result(dev_id).unwrap().shots, 50);
+        let (jobs, shots) = qpu.stats();
+        assert!(jobs >= 11, "10 dev slices + 1 prod batch, got {jobs}");
+        assert_eq!(shots, 70);
+    }
+
+    #[test]
+    fn cancel_queued_task_requires_ownership() {
+        let d = emu_daemon(DaemonConfig::default());
+        let a = d.open_session("a", PriorityClass::Test).unwrap();
+        let b = d.open_session("b", PriorityClass::Test).unwrap();
+        let id = d.submit(&a, ir(10), PatternHint::None).unwrap();
+        assert!(matches!(d.cancel(&b, id), Err(DaemonError::Forbidden(_))));
+        d.cancel(&a, id).unwrap();
+        assert_eq!(d.task_status(id).unwrap(), DaemonTaskStatus::Cancelled);
+        // cancelled task no longer runs
+        assert_eq!(d.pump(), 0);
+    }
+
+    #[test]
+    fn queue_position_reported() {
+        let d = emu_daemon(DaemonConfig::default());
+        let tok = d.open_session("u", PriorityClass::Test).unwrap();
+        let a = d.submit(&tok, ir(10), PatternHint::None).unwrap();
+        let b = d.submit(&tok, ir(10), PatternHint::None).unwrap();
+        assert_eq!(d.task_status(a).unwrap(), DaemonTaskStatus::Queued { position: 0 });
+        assert_eq!(d.task_status(b).unwrap(), DaemonTaskStatus::Queued { position: 1 });
+        assert_eq!(d.queue_depth(), 2);
+    }
+
+    #[test]
+    fn admin_surface_requires_device() {
+        let d = emu_daemon(DaemonConfig::default());
+        assert!(d.qpu_status().is_none());
+        assert!(matches!(d.recalibrate(60.0), Err(DaemonError::Forbidden(_))));
+        let (d2, _) = qpu_daemon(DaemonConfig::default());
+        assert_eq!(d2.qpu_status(), Some(QpuStatus::Operational));
+        d2.set_qpu_status(QpuStatus::Maintenance).unwrap();
+        assert_eq!(d2.qpu_status(), Some(QpuStatus::Maintenance));
+        d2.recalibrate(60.0).unwrap();
+    }
+
+    #[test]
+    fn metrics_text_covers_daemon_and_device() {
+        let (d, _) = qpu_daemon(DaemonConfig::default());
+        let tok = d.open_session("u", PriorityClass::Production).unwrap();
+        let id = d.submit(&tok, ir(5), PatternHint::None).unwrap();
+        d.pump();
+        let _ = d.task_result(id).unwrap();
+        let text = d.metrics_text();
+        assert!(text.contains("daemon_tasks_submitted_total{class=\"production\"} 1"));
+        assert!(text.contains("daemon_tasks_completed_total"));
+        assert!(text.contains("qpu_jobs_total"), "device metrics merged in");
+    }
+
+    #[test]
+    fn telemetry_range_exposes_calibration_history() {
+        let (d, _) = qpu_daemon(DaemonConfig::default());
+        d.advance_time(100.0);
+        d.advance_time(100.0);
+        let pts = d.telemetry_range("qpu_rabi_scale", 0.0, 1e9);
+        assert!(pts.len() >= 2, "calibration history recorded");
+    }
+
+    #[test]
+    fn background_dispatcher_drains_queue_without_pumping() {
+        let d = Arc::new(emu_daemon(DaemonConfig::default()));
+        let _dispatcher = d.spawn_dispatcher(std::time::Duration::from_millis(5));
+        let tok = d.open_session("bg", PriorityClass::Test).unwrap();
+        let id = d.submit(&tok, ir(30), PatternHint::None).unwrap();
+        // no pump() calls: the dispatcher thread must complete the task
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match d.task_status(id).unwrap() {
+                DaemonTaskStatus::Completed => break,
+                DaemonTaskStatus::Failed(m) => panic!("task failed: {m}"),
+                _ => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "dispatcher did not finish the task in time"
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        }
+        assert_eq!(d.task_result(id).unwrap().shots, 30);
+    }
+
+    #[test]
+    fn dispatcher_handle_drop_stops_thread() {
+        let d = Arc::new(emu_daemon(DaemonConfig::default()));
+        let dispatcher = d.spawn_dispatcher(std::time::Duration::from_millis(5));
+        drop(dispatcher); // joins the thread; must not hang or panic
+        // after the dispatcher is gone, tasks stay queued until pumped
+        let tok = d.open_session("x", PriorityClass::Test).unwrap();
+        let id = d.submit(&tok, ir(5), PatternHint::None).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(matches!(
+            d.task_status(id).unwrap(),
+            DaemonTaskStatus::Queued { .. }
+        ));
+    }
+
+    #[test]
+    fn fairshare_demotes_heavy_user_within_class() {
+        let (d, _) = qpu_daemon(DaemonConfig {
+            queue: QueueConfig {
+                aging_secs: 0.0,
+                fairshare_weight: 0.9,
+                fairshare_scale_secs: 10.0,
+                ..QueueConfig::default()
+            },
+            ..DaemonConfig::default()
+        });
+        let hog = d.open_session("hog", PriorityClass::Test).unwrap();
+        let light = d.open_session("light", PriorityClass::Test).unwrap();
+        // the hog burns device time first (1 Hz QPU: 60 shots ≈ 63 s usage)
+        let warm = d.submit(&hog, ir(60), PatternHint::None).unwrap();
+        d.pump();
+        assert_eq!(d.task_status(warm).unwrap(), DaemonTaskStatus::Completed);
+        // now both queue a task; the hog submitted FIRST but the light user
+        // dispatches first thanks to fair-share
+        let hog_task = d.submit(&hog, ir(5), PatternHint::None).unwrap();
+        let light_task = d.submit(&light, ir(5), PatternHint::None).unwrap();
+        assert_eq!(d.pump_once().unwrap(), light_task, "light user overtakes the hog");
+        assert_eq!(d.pump_once().unwrap(), hog_task);
+    }
+
+    #[test]
+    fn dev_cache_serves_repeated_programs_without_device_time() {
+        let (d, qpu) = qpu_daemon(DaemonConfig::default());
+        let tok = d.open_session("dev", PriorityClass::Development).unwrap();
+        let a = d.submit(&tok, ir(20), PatternHint::None).unwrap();
+        d.pump();
+        let first = d.task_result(a).unwrap();
+        let (jobs_before, shots_before) = qpu.stats();
+        // identical program again: served from cache, no new device job
+        let b = d.submit(&tok, ir(20), PatternHint::None).unwrap();
+        assert_eq!(d.task_status(b).unwrap(), DaemonTaskStatus::Completed);
+        assert_eq!(d.task_result(b).unwrap(), first);
+        assert_eq!(qpu.stats(), (jobs_before, shots_before), "no extra QPU work");
+        assert!(d
+            .metrics_text()
+            .contains("daemon_dev_cache_hits_total{class=\"development\"} 1"));
+        // a different program misses the cache
+        let c = d.submit(&tok, ir(21), PatternHint::None).unwrap();
+        assert!(matches!(d.task_status(c).unwrap(), DaemonTaskStatus::Queued { .. }));
+    }
+
+    #[test]
+    fn production_results_are_never_cached() {
+        let (d, qpu) = qpu_daemon(DaemonConfig::default());
+        let tok = d.open_session("prod", PriorityClass::Production).unwrap();
+        d.submit(&tok, ir(10), PatternHint::None).unwrap();
+        d.pump();
+        let (jobs1, _) = qpu.stats();
+        d.submit(&tok, ir(10), PatternHint::None).unwrap();
+        d.pump();
+        let (jobs2, _) = qpu.stats();
+        assert_eq!(jobs2, jobs1 + 1, "production always re-executes");
+    }
+
+    #[test]
+    fn sessions_expire_after_ttl() {
+        let d = emu_daemon(DaemonConfig { session_ttl_secs: 100.0, ..DaemonConfig::default() });
+        let tok = d.open_session("idle", PriorityClass::Test).unwrap();
+        d.advance_time(50.0);
+        assert!(d.submit(&tok, ir(5), PatternHint::None).is_ok(), "still fresh");
+        d.advance_time(100.0);
+        assert!(matches!(
+            d.submit(&tok, ir(5), PatternHint::None),
+            Err(DaemonError::Session(SessionError::UnknownToken))
+        ));
+        assert!(d.metrics_text().contains("daemon_sessions_expired_total 1"));
+    }
+
+    #[test]
+    fn merge_results_accumulates_counts() {
+        let a = SampleResult::from_shots(2, &[0b00, 0b01], "x");
+        let b = SampleResult::from_shots(2, &[0b01, 0b11], "x");
+        let m = merge_results(a, b);
+        assert_eq!(m.shots, 4);
+        assert_eq!(m.counts[&0b01], 2);
+        assert_eq!(m.counts[&0b00], 1);
+        assert_eq!(m.counts[&0b11], 1);
+    }
+}

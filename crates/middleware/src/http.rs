@@ -1,0 +1,441 @@
+//! Minimal HTTP/1.1 transport over `std::net`.
+//!
+//! The daemon's REST API (paper §3.3) runs on a hand-rolled HTTP server:
+//! thread-per-connection, `Connection: close` semantics, bounded request
+//! sizes. No external web framework — the protocol slice needed by the
+//! middleware is small and auditable, which matters for a service installed
+//! with elevated access on a quantum access node (§3.4).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on accepted request bodies (1 MiB: programs are small).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+/// Upper bound on the request head (start line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded query parameters (no percent-decoding: the API uses plain
+    /// tokens and numbers).
+    pub query: BTreeMap<String, String>,
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Body as UTF-8.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::Malformed("body is not UTF-8".into()))
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response { status, content_type: "application/json", body: body.into().into_bytes() }
+    }
+
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    pub fn not_found() -> Self {
+        Response::json(404, r#"{"error":"not found"}"#)
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            self.status_text(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Parser/transport errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HttpError {
+    Malformed(String),
+    TooLarge,
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge => write!(f, "request too large"),
+            HttpError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Parse one request from a buffered reader.
+///
+/// Total over `read`: malformed inputs produce `Err`, never panics —
+/// property-tested against arbitrary byte soup.
+pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    // ---- head ----
+    let mut head = Vec::new();
+    let mut line = String::new();
+    // request line
+    let n = reader.read_line(&mut line).map_err(|e| HttpError::Io(e.to_string()))?;
+    if n == 0 {
+        return Err(HttpError::Malformed("empty request".into()));
+    }
+    head.extend_from_slice(line.as_bytes());
+    let start = line.trim_end().to_string();
+    let mut parts = start.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts.next().ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version {version:?}")));
+    }
+    if method.is_empty() || !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed(format!("bad method {method:?}")));
+    }
+    // headers
+    let mut headers = BTreeMap::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-headers".into()));
+        }
+        head.extend_from_slice(line.as_bytes());
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((k, v)) = trimmed.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line {trimmed:?}")));
+        };
+        headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+    }
+    // ---- body ----
+    let len: usize = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; len];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    // ---- target ----
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let mut query = BTreeMap::new();
+    for pair in query_str.split('&').filter(|s| !s.is_empty()) {
+        match pair.split_once('=') {
+            Some((k, v)) => query.insert(k.to_string(), v.to_string()),
+            None => query.insert(pair.to_string(), String::new()),
+        };
+    }
+    Ok(Request { method, path, query, headers, body })
+}
+
+/// The request handler type.
+pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
+
+/// A running HTTP server bound to 127.0.0.1.
+pub struct HttpServer {
+    port: u16,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind an ephemeral localhost port and serve `handler` until dropped.
+    pub fn spawn(handler: Handler) -> std::io::Result<Self> {
+        Self::spawn_on(0, handler)
+    }
+
+    /// Bind a specific localhost port (0 = ephemeral) and serve `handler`
+    /// until dropped.
+    pub fn spawn_on(port: u16, handler: Handler) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let port = listener.local_addr()?.port();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let handler = handler.clone();
+                std::thread::spawn(move || handle_connection(stream, handler));
+            }
+        });
+        Ok(HttpServer { port, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Base URL, e.g. `127.0.0.1:45123`.
+    pub fn addr(&self) -> String {
+        format!("127.0.0.1:{}", self.port)
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // wake the accept loop
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, handler: Handler) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match parse_request(&mut reader) {
+        Ok(req) => handler(req),
+        Err(HttpError::TooLarge) => Response::json(413, r#"{"error":"request too large"}"#),
+        Err(e) => Response::json(400, format!(r#"{{"error":"{e}"}}"#)),
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Tiny blocking HTTP client for the runtime's session client and tests.
+pub fn http_request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), HttpError> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| HttpError::Io(e.to_string()))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(req.as_bytes())
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
+    let mut content_length = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 || line.trim_end().is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.trim_end().split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    String::from_utf8(body)
+        .map(|b| (status, b))
+        .map_err(|_| HttpError::Malformed("response body not UTF-8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(s: &str) -> Result<Request, HttpError> {
+        parse_request(&mut Cursor::new(s.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse("GET /v1/tasks/7?token=abc&verbose HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/tasks/7");
+        assert_eq!(r.query["token"], "abc");
+        assert_eq!(r.query["verbose"], "");
+        assert_eq!(r.headers["host"], "x");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse(
+            "POST /v1/sessions HTTP/1.1\r\nContent-Length: 15\r\n\r\n{\"user\":\"ada\"}x",
+        )
+        .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body.len(), 15);
+        assert_eq!(r.body_str().unwrap(), "{\"user\":\"ada\"}x");
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse("").is_err());
+        assert!(parse("GET\r\n\r\n").is_err());
+        assert!(parse("GET /x\r\n\r\n").is_err(), "missing version");
+        assert!(parse("GET /x SPDY/3\r\n\r\n").is_err());
+        assert!(parse("get /x HTTP/1.1\r\n\r\n").is_err(), "lowercase method");
+        assert!(parse("GET /x HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
+        assert!(parse("POST /x HTTP/1.1\r\nContent-Length: peanut\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let r = parse(&format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        ));
+        assert_eq!(r, Err(HttpError::TooLarge));
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn server_round_trip_over_real_socket() {
+        let server = HttpServer::spawn(Arc::new(|req: Request| {
+            if req.path == "/ping" {
+                Response::json(200, r#"{"pong":true}"#)
+            } else {
+                Response::not_found()
+            }
+        }))
+        .unwrap();
+        let (status, body) = http_request(server.addr(), "GET", "/ping", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"pong":true}"#);
+        let (status, _) = http_request(server.addr(), "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn server_echoes_posted_body() {
+        let server = HttpServer::spawn(Arc::new(|req: Request| {
+            Response::json(200, req.body_str().unwrap_or("").to_string())
+        }))
+        .unwrap();
+        let (status, body) =
+            http_request(server.addr(), "POST", "/echo", Some(r#"{"k":42}"#)).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"k":42}"#);
+    }
+
+    #[test]
+    fn server_handles_concurrent_clients() {
+        let server = HttpServer::spawn(Arc::new(|_req: Request| {
+            Response::json(200, r#"{"ok":true}"#)
+        }))
+        .unwrap();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..5 {
+                        let (status, _) = http_request(&addr, "GET", "/", None).unwrap();
+                        assert_eq!(status, 200);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn malformed_request_gets_400_over_socket() {
+        let server =
+            HttpServer::spawn(Arc::new(|_req: Request| Response::json(200, "{}"))).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        BufReader::new(stream).read_line(&mut buf).unwrap();
+        assert!(buf.contains("400"), "got: {buf}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # hpcqc-middleware — the daemon between the batch scheduler and the QPU
+//!
+//! The paper's main architectural contribution (§3.3, Figure 2): a
+//! lightweight service on the quantum access node adding a second level of
+//! scheduling below Slurm.
+//!
+//! * [`SessionManager`] — multi-user sessions with bearer tokens and the
+//!   three priority classes (production / test / development),
+//! * [`TaskQueue`] — priority queue with aging and shot-boundary preemption
+//!   semantics,
+//! * [`MiddlewareService`] — the daemon core: validation against the live
+//!   device spec, chunked execution through QRMI, admin + telemetry surface,
+//! * [`http`] / [`rest`] — a real HTTP/1.1 REST API over `std::net`,
+//! * [`cosim`] — discrete-event co-simulation of the two-level architecture
+//!   powering the Table-1 / Figure-2 experiments.
+
+pub mod cosim;
+pub mod daemon;
+pub mod fairshare;
+pub mod http;
+pub mod rest;
+pub mod session;
+pub mod taskqueue;
+
+pub use cosim::{
+    hint_duty, AdmissionPolicy, Cosim, CosimConfig, CosimReport, HybridJob, Phase, QpuPolicy,
+};
+pub use daemon::{DaemonConfig, DaemonError, DaemonTaskStatus, DispatcherHandle, MiddlewareService};
+pub use fairshare::FairshareTracker;
+pub use http::{http_request, HttpServer, Request, Response};
+pub use session::{PriorityClass, Session, SessionError, SessionManager};
+pub use taskqueue::{QuantumTask, QueueConfig, QueueError, TaskQueue};

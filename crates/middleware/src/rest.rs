@@ -1,0 +1,389 @@
+//! REST API: routes over the daemon service.
+//!
+//! The JSON protocol spoken between the runtime's session client and the
+//! daemon. Routes (all JSON unless noted):
+//!
+//! ```text
+//! POST   /v1/sessions                {user, class}        → {token}
+//! DELETE /v1/sessions/{token}                             → {}
+//! GET    /v1/sessions                                     → [Session]   (admin)
+//! GET    /v1/target                                       → DeviceSpec
+//! POST   /v1/tasks                   {token, ir, hint}    → {task_id}
+//! GET    /v1/tasks/{id}                                   → DaemonTaskStatus
+//! GET    /v1/tasks/{id}/result                            → SampleResult
+//! DELETE /v1/tasks/{id}?token=T                           → {}
+//! POST   /v1/pump                    {}                   → {dispatched} (drives the queue)
+//! GET    /metrics                                         → Prometheus text
+//! GET    /v1/admin/qpu/status                             → {status}
+//! POST   /v1/admin/qpu/status        {status}             → {}
+//! POST   /v1/admin/qpu/recalibrate   {duration_secs}      → {}
+//! GET    /v1/telemetry/{series}?from=&to=                 → [Point]
+//! ```
+
+use crate::daemon::{DaemonError, MiddlewareService};
+use crate::http::{Handler, HttpServer, Request, Response};
+use crate::session::PriorityClass;
+use hpcqc_program::ProgramIr;
+use hpcqc_qpu::QpuStatus;
+use hpcqc_scheduler::PatternHint;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct OpenSessionReq {
+    user: String,
+    class: String,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SubmitReq {
+    token: String,
+    ir: ProgramIr,
+    #[serde(default)]
+    hint: Option<String>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct StatusReq {
+    status: String,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct RecalibrateReq {
+    duration_secs: f64,
+}
+
+fn err_response(e: &DaemonError) -> Response {
+    let status = match e {
+        DaemonError::Session(_) => 401,
+        DaemonError::Forbidden(_) => 403,
+        DaemonError::UnknownTask(_) => 404,
+        DaemonError::Validation(_) => 422,
+        DaemonError::Queue(_) => 409,
+        DaemonError::Internal(_) => 500,
+    };
+    Response::json(
+        status,
+        serde_json::json!({ "error": e.to_string() }).to_string(),
+    )
+}
+
+fn bad_request(msg: &str) -> Response {
+    Response::json(400, serde_json::json!({ "error": msg }).to_string())
+}
+
+/// Route one request against the service.
+pub fn route(svc: &MiddlewareService, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["v1", "sessions"]) => {
+            let Ok(body) = req.body_str() else { return bad_request("body not UTF-8") };
+            let Ok(open): Result<OpenSessionReq, _> = serde_json::from_str(body) else {
+                return bad_request("expected {user, class}");
+            };
+            let Some(class) = PriorityClass::parse(&open.class) else {
+                return bad_request("class must be production|test|development");
+            };
+            match svc.open_session(&open.user, class) {
+                Ok(token) => Response::json(201, serde_json::json!({ "token": token }).to_string()),
+                Err(e) => err_response(&e),
+            }
+        }
+        ("DELETE", ["v1", "sessions", token]) => match svc.close_session(token) {
+            Ok(()) => Response::json(200, "{}"),
+            Err(e) => err_response(&e),
+        },
+        ("GET", ["v1", "sessions"]) => {
+            let sessions = svc.list_sessions();
+            Response::json(200, serde_json::to_string(&sessions).expect("sessions serialize"))
+        }
+        ("GET", ["v1", "target"]) => match svc.device_spec() {
+            Ok(spec) => Response::json(200, serde_json::to_string(&spec).expect("spec serializes")),
+            Err(e) => err_response(&e),
+        },
+        ("POST", ["v1", "tasks"]) => {
+            let Ok(body) = req.body_str() else { return bad_request("body not UTF-8") };
+            let submit: SubmitReq = match serde_json::from_str(body) {
+                Ok(s) => s,
+                Err(e) => return bad_request(&format!("bad submit body: {e}")),
+            };
+            let hint = match submit.hint.as_deref() {
+                None => PatternHint::None,
+                Some(h) => match PatternHint::parse(h) {
+                    Some(h) => h,
+                    None => return bad_request("hint must be qc-heavy|cc-heavy|qc-balanced|none"),
+                },
+            };
+            match svc.submit(&submit.token, submit.ir, hint) {
+                Ok(id) => Response::json(201, serde_json::json!({ "task_id": id }).to_string()),
+                Err(e) => err_response(&e),
+            }
+        }
+        ("GET", ["v1", "tasks", id]) => {
+            let Ok(id) = id.parse::<u64>() else { return bad_request("task id must be a number") };
+            match svc.task_status(id) {
+                Ok(s) => Response::json(200, serde_json::to_string(&s).expect("status serializes")),
+                Err(e) => err_response(&e),
+            }
+        }
+        ("GET", ["v1", "tasks", id, "result"]) => {
+            let Ok(id) = id.parse::<u64>() else { return bad_request("task id must be a number") };
+            match svc.task_result(id) {
+                Ok(r) => Response::json(200, serde_json::to_string(&r).expect("result serializes")),
+                Err(e) => err_response(&e),
+            }
+        }
+        ("DELETE", ["v1", "tasks", id]) => {
+            let Ok(id) = id.parse::<u64>() else { return bad_request("task id must be a number") };
+            let Some(token) = req.query.get("token") else {
+                return bad_request("missing token query parameter");
+            };
+            match svc.cancel(token, id) {
+                Ok(()) => Response::json(200, "{}"),
+                Err(e) => err_response(&e),
+            }
+        }
+        ("POST", ["v1", "pump"]) => {
+            let n = svc.pump();
+            Response::json(200, serde_json::json!({ "dispatched": n }).to_string())
+        }
+        ("GET", ["metrics"]) => Response::text(200, svc.metrics_text()),
+        ("GET", ["v1", "admin", "qpu", "status"]) => match svc.qpu_status() {
+            Some(s) => Response::json(
+                200,
+                serde_json::json!({ "status": format!("{s:?}") }).to_string(),
+            ),
+            None => Response::json(404, r#"{"error":"no admin access to a device"}"#),
+        },
+        ("POST", ["v1", "admin", "qpu", "status"]) => {
+            let Ok(body) = req.body_str() else { return bad_request("body not UTF-8") };
+            let Ok(sr): Result<StatusReq, _> = serde_json::from_str(body) else {
+                return bad_request("expected {status}");
+            };
+            let status = match sr.status.as_str() {
+                "operational" => QpuStatus::Operational,
+                "calibrating" => QpuStatus::Calibrating,
+                "maintenance" => QpuStatus::Maintenance,
+                "down" => QpuStatus::Down,
+                _ => return bad_request("status must be operational|calibrating|maintenance|down"),
+            };
+            match svc.set_qpu_status(status) {
+                Ok(()) => Response::json(200, "{}"),
+                Err(e) => err_response(&e),
+            }
+        }
+        ("POST", ["v1", "admin", "qpu", "recalibrate"]) => {
+            let Ok(body) = req.body_str() else { return bad_request("body not UTF-8") };
+            let Ok(rr): Result<RecalibrateReq, _> = serde_json::from_str(body) else {
+                return bad_request("expected {duration_secs}");
+            };
+            match svc.recalibrate(rr.duration_secs) {
+                Ok(()) => Response::json(200, "{}"),
+                Err(e) => err_response(&e),
+            }
+        }
+        ("GET", ["v1", "telemetry", series]) => {
+            let from: f64 = req.query.get("from").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+            let to: f64 = req
+                .query
+                .get("to")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(f64::MAX);
+            let pts = svc.telemetry_range(series, from, to);
+            Response::json(200, serde_json::to_string(&pts).expect("points serialize"))
+        }
+        _ => Response::not_found(),
+    }
+}
+
+/// Serve the daemon over HTTP on an ephemeral localhost port.
+pub fn serve(svc: Arc<MiddlewareService>) -> std::io::Result<HttpServer> {
+    serve_on(svc, 0)
+}
+
+/// Serve the daemon over HTTP on a specific localhost port (0 = ephemeral).
+pub fn serve_on(svc: Arc<MiddlewareService>, port: u16) -> std::io::Result<HttpServer> {
+    let handler: Handler = Arc::new(move |req: Request| route(&svc, &req));
+    HttpServer::spawn_on(port, handler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::DaemonConfig;
+    use crate::http::http_request;
+    use hpcqc_emulator::SvBackend;
+    use hpcqc_program::{Pulse, Register, SequenceBuilder};
+    use hpcqc_qrmi::LocalEmulatorResource;
+
+    fn service() -> Arc<MiddlewareService> {
+        let res = Arc::new(LocalEmulatorResource::new(
+            "emu",
+            Arc::new(SvBackend::default()),
+            1,
+        ));
+        Arc::new(MiddlewareService::new(res, DaemonConfig::default()))
+    }
+
+    fn ir_json(shots: u32) -> String {
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
+        let ir = ProgramIr::new(b.build().unwrap(), shots, "rest-test");
+        serde_json::to_string(&ir).unwrap()
+    }
+
+    #[test]
+    fn full_rest_workflow_over_sockets() {
+        let server = serve(service()).unwrap();
+        let addr = server.addr();
+
+        // open session
+        let (st, body) = http_request(
+            &addr,
+            "POST",
+            "/v1/sessions",
+            Some(r#"{"user":"ada","class":"production"}"#),
+        )
+        .unwrap();
+        assert_eq!(st, 201, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let token = v["token"].as_str().unwrap().to_string();
+
+        // fetch target spec
+        let (st, body) = http_request(&addr, "GET", "/v1/target", None).unwrap();
+        assert_eq!(st, 200);
+        assert!(body.contains("max_qubits"));
+
+        // submit task
+        let submit = format!(r#"{{"token":"{token}","ir":{},"hint":"qc-heavy"}}"#, ir_json(25));
+        let (st, body) = http_request(&addr, "POST", "/v1/tasks", Some(&submit)).unwrap();
+        assert_eq!(st, 201, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let task_id = v["task_id"].as_u64().unwrap();
+
+        // queued
+        let (st, body) =
+            http_request(&addr, "GET", &format!("/v1/tasks/{task_id}"), None).unwrap();
+        assert_eq!(st, 200);
+        assert!(body.contains("Queued"), "{body}");
+
+        // pump (simulation hook)
+        let (st, _) = http_request(&addr, "POST", "/v1/pump", Some("{}")).unwrap();
+        assert_eq!(st, 200);
+
+        // completed + result
+        let (_, body) = http_request(&addr, "GET", &format!("/v1/tasks/{task_id}"), None).unwrap();
+        assert!(body.contains("Completed"), "{body}");
+        let (st, body) =
+            http_request(&addr, "GET", &format!("/v1/tasks/{task_id}/result"), None).unwrap();
+        assert_eq!(st, 200);
+        let res: hpcqc_emulator::SampleResult = serde_json::from_str(&body).unwrap();
+        assert_eq!(res.shots, 25);
+
+        // metrics
+        let (st, body) = http_request(&addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(st, 200);
+        assert!(body.contains("daemon_tasks_submitted_total"));
+
+        // close session
+        let (st, _) =
+            http_request(&addr, "DELETE", &format!("/v1/sessions/{token}"), None).unwrap();
+        assert_eq!(st, 200);
+    }
+
+    #[test]
+    fn auth_errors_map_to_http_codes() {
+        let server = serve(service()).unwrap();
+        let addr = server.addr();
+        // submit with a bogus token → 401
+        let submit = format!(r#"{{"token":"bogus","ir":{}}}"#, ir_json(5));
+        let (st, _) = http_request(&addr, "POST", "/v1/tasks", Some(&submit)).unwrap();
+        assert_eq!(st, 401);
+        // unknown task → 404
+        let (st, _) = http_request(&addr, "GET", "/v1/tasks/999", None).unwrap();
+        assert_eq!(st, 404);
+        // bad class → 400
+        let (st, _) = http_request(
+            &addr,
+            "POST",
+            "/v1/sessions",
+            Some(r#"{"user":"x","class":"vip"}"#),
+        )
+        .unwrap();
+        assert_eq!(st, 400);
+        // unknown route → 404
+        let (st, _) = http_request(&addr, "GET", "/v2/everything", None).unwrap();
+        assert_eq!(st, 404);
+    }
+
+    #[test]
+    fn validation_errors_are_422() {
+        let svc = service();
+        let server = serve(svc).unwrap();
+        let addr = server.addr();
+        let (_, body) = http_request(
+            &addr,
+            "POST",
+            "/v1/sessions",
+            Some(r#"{"user":"x","class":"test"}"#),
+        )
+        .unwrap();
+        let token = serde_json::from_str::<serde_json::Value>(&body).unwrap()["token"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        // an over-amplitude program: violates even the permissive emulator spec
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.5, 1e6, 0.0, 0.0).unwrap());
+        let bad = ProgramIr::new(b.build().unwrap(), 10, "t");
+        let submit = format!(
+            r#"{{"token":"{token}","ir":{}}}"#,
+            serde_json::to_string(&bad).unwrap()
+        );
+        let (st, body) = http_request(&addr, "POST", "/v1/tasks", Some(&submit)).unwrap();
+        assert_eq!(st, 422, "{body}");
+    }
+
+    #[test]
+    fn cancel_via_rest_requires_token() {
+        let server = serve(service()).unwrap();
+        let addr = server.addr();
+        let (_, body) = http_request(
+            &addr,
+            "POST",
+            "/v1/sessions",
+            Some(r#"{"user":"x","class":"test"}"#),
+        )
+        .unwrap();
+        let token = serde_json::from_str::<serde_json::Value>(&body).unwrap()["token"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        let submit = format!(r#"{{"token":"{token}","ir":{}}}"#, ir_json(5));
+        let (_, body) = http_request(&addr, "POST", "/v1/tasks", Some(&submit)).unwrap();
+        let id = serde_json::from_str::<serde_json::Value>(&body).unwrap()["task_id"]
+            .as_u64()
+            .unwrap();
+        let (st, _) =
+            http_request(&addr, "DELETE", &format!("/v1/tasks/{id}"), None).unwrap();
+        assert_eq!(st, 400, "token required");
+        let (st, _) = http_request(
+            &addr,
+            "DELETE",
+            &format!("/v1/tasks/{id}?token={token}"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(st, 200);
+    }
+
+    #[test]
+    fn admin_routes_404_without_device() {
+        let server = serve(service()).unwrap();
+        let (st, _) =
+            http_request(server.addr(), "GET", "/v1/admin/qpu/status", None).unwrap();
+        assert_eq!(st, 404);
+    }
+}

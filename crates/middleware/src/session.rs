@@ -1,0 +1,247 @@
+//! User sessions and priority classes.
+//!
+//! As the runtime connects to the middleware daemon, a unique session is
+//! created and a session token returned (paper §3.3). Every subsequent job
+//! submission carries the token; the session pins the user's priority class
+//! (production / test / development), which the daemon maps to queue
+//! priorities — mirroring how the classes map to Slurm partitions one level
+//! below.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The three job classes of §3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PriorityClass {
+    /// Top priority; may preempt lower classes.
+    Production,
+    /// Test runs / scalability tests.
+    Test,
+    /// Development runs; lowest priority, shot-limited.
+    Development,
+}
+
+impl PriorityClass {
+    /// Numeric rank: lower = more important.
+    pub fn rank(&self) -> u8 {
+        match self {
+            PriorityClass::Production => 0,
+            PriorityClass::Test => 1,
+            PriorityClass::Development => 2,
+        }
+    }
+
+    /// Parse the REST string form.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "production" => Some(PriorityClass::Production),
+            "test" => Some(PriorityClass::Test),
+            "development" => Some(PriorityClass::Development),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PriorityClass::Production => "production",
+            PriorityClass::Test => "test",
+            PriorityClass::Development => "development",
+        }
+    }
+
+    /// The matching Slurm partition name (§3.3: classes correspond to
+    /// partitions).
+    pub fn partition(&self) -> &'static str {
+        self.as_str()
+    }
+}
+
+/// A live session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    pub token: String,
+    pub user: String,
+    pub class: PriorityClass,
+    /// Creation time (seconds, daemon clock).
+    pub created_at: f64,
+    /// Tasks submitted under this session.
+    pub task_count: u64,
+}
+
+/// Errors from session operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    UnknownToken,
+    /// Maximum concurrent sessions reached (site policy).
+    TooManySessions(usize),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::UnknownToken => write!(f, "unknown or expired session token"),
+            SessionError::TooManySessions(max) => {
+                write!(f, "session limit reached ({max} concurrent sessions)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Thread-safe session registry.
+#[derive(Clone)]
+pub struct SessionManager {
+    inner: Arc<Mutex<HashMap<String, Session>>>,
+    counter: Arc<AtomicU64>,
+    /// Site policy: maximum concurrent sessions (0 = unlimited).
+    pub max_sessions: usize,
+}
+
+impl SessionManager {
+    pub fn new(max_sessions: usize) -> Self {
+        SessionManager {
+            inner: Arc::new(Mutex::new(HashMap::new())),
+            counter: Arc::new(AtomicU64::new(1)),
+            max_sessions,
+        }
+    }
+
+    /// Open a session; returns its token.
+    ///
+    /// Tokens embed a non-guessable component derived from a counter and the
+    /// user (this is a simulator: real deployments would use a CSPRNG, but
+    /// the *interface* — opaque bearer token — is identical).
+    pub fn open(&self, user: &str, class: PriorityClass, now: f64) -> Result<Session, SessionError> {
+        let mut map = self.inner.lock();
+        if self.max_sessions > 0 && map.len() >= self.max_sessions {
+            return Err(SessionError::TooManySessions(self.max_sessions));
+        }
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        // FNV-style mix so tokens aren't trivially sequential
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ n.wrapping_mul(0x100_0000_01b3);
+        for b in user.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let token = format!("sess-{n}-{h:016x}");
+        let s = Session { token: token.clone(), user: user.into(), class, created_at: now, task_count: 0 };
+        map.insert(token, s.clone());
+        Ok(s)
+    }
+
+    /// Validate a token, returning the session.
+    pub fn validate(&self, token: &str) -> Result<Session, SessionError> {
+        self.inner.lock().get(token).cloned().ok_or(SessionError::UnknownToken)
+    }
+
+    /// Record a task submission against the session.
+    pub fn record_task(&self, token: &str) -> Result<(), SessionError> {
+        let mut map = self.inner.lock();
+        let s = map.get_mut(token).ok_or(SessionError::UnknownToken)?;
+        s.task_count += 1;
+        Ok(())
+    }
+
+    /// Close a session.
+    pub fn close(&self, token: &str) -> Result<Session, SessionError> {
+        self.inner.lock().remove(token).ok_or(SessionError::UnknownToken)
+    }
+
+    /// Currently open sessions, sorted by creation time.
+    pub fn list(&self) -> Vec<Session> {
+        let mut v: Vec<Session> = self.inner.lock().values().cloned().collect();
+        v.sort_by(|a, b| a.created_at.partial_cmp(&b.created_at).expect("finite").then(a.token.cmp(&b.token)));
+        v
+    }
+
+    /// Number of open sessions.
+    pub fn count(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Expire sessions created before `cutoff`; returns how many were
+    /// removed.
+    pub fn gc(&self, cutoff: f64) -> usize {
+        let mut map = self.inner.lock();
+        let before = map.len();
+        map.retain(|_, s| s.created_at >= cutoff);
+        before - map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_validate_close_lifecycle() {
+        let m = SessionManager::new(0);
+        let s = m.open("alice", PriorityClass::Production, 10.0).unwrap();
+        assert!(s.token.starts_with("sess-"));
+        let v = m.validate(&s.token).unwrap();
+        assert_eq!(v.user, "alice");
+        assert_eq!(v.class, PriorityClass::Production);
+        m.close(&s.token).unwrap();
+        assert_eq!(m.validate(&s.token), Err(SessionError::UnknownToken));
+        assert_eq!(m.close(&s.token), Err(SessionError::UnknownToken));
+    }
+
+    #[test]
+    fn tokens_are_unique() {
+        let m = SessionManager::new(0);
+        let a = m.open("u", PriorityClass::Development, 0.0).unwrap();
+        let b = m.open("u", PriorityClass::Development, 0.0).unwrap();
+        assert_ne!(a.token, b.token);
+    }
+
+    #[test]
+    fn session_limit_enforced() {
+        let m = SessionManager::new(2);
+        m.open("a", PriorityClass::Test, 0.0).unwrap();
+        m.open("b", PriorityClass::Test, 0.0).unwrap();
+        assert_eq!(
+            m.open("c", PriorityClass::Test, 0.0),
+            Err(SessionError::TooManySessions(2))
+        );
+        // closing one frees a slot
+        let s = m.list()[0].clone();
+        m.close(&s.token).unwrap();
+        assert!(m.open("c", PriorityClass::Test, 0.0).is_ok());
+    }
+
+    #[test]
+    fn task_counting() {
+        let m = SessionManager::new(0);
+        let s = m.open("u", PriorityClass::Test, 0.0).unwrap();
+        m.record_task(&s.token).unwrap();
+        m.record_task(&s.token).unwrap();
+        assert_eq!(m.validate(&s.token).unwrap().task_count, 2);
+        assert_eq!(m.record_task("bogus"), Err(SessionError::UnknownToken));
+    }
+
+    #[test]
+    fn priority_class_ordering_and_parse() {
+        assert!(PriorityClass::Production.rank() < PriorityClass::Test.rank());
+        assert!(PriorityClass::Test.rank() < PriorityClass::Development.rank());
+        for c in [PriorityClass::Production, PriorityClass::Test, PriorityClass::Development] {
+            assert_eq!(PriorityClass::parse(c.as_str()), Some(c));
+            assert_eq!(c.partition(), c.as_str());
+        }
+        assert_eq!(PriorityClass::parse("vip"), None);
+    }
+
+    #[test]
+    fn list_sorted_by_creation() {
+        let m = SessionManager::new(0);
+        m.open("a", PriorityClass::Test, 5.0).unwrap();
+        m.open("b", PriorityClass::Test, 1.0).unwrap();
+        let l = m.list();
+        assert_eq!(l[0].user, "b");
+        assert_eq!(l[1].user, "a");
+        assert_eq!(m.count(), 2);
+    }
+}

@@ -1,0 +1,329 @@
+//! The daemon's priority queue of quantum tasks.
+//!
+//! The second level of scheduling (paper §3.3): tasks from many sessions
+//! queue here for the single QPU behind the daemon. Ordering is by priority
+//! class with **aging** (long-waiting low-class tasks eventually overtake)
+//! so development jobs are never starved, and the paper's preemption model
+//! is encoded per task: production tasks are batched (non-divisible);
+//! test/development tasks run shot-by-shot and can be preempted at any shot
+//! boundary ("non-production jobs configured with a low number of shots and
+//! without batched submission").
+
+use crate::fairshare::FairshareTracker;
+use crate::session::PriorityClass;
+use hpcqc_program::ProgramIr;
+use hpcqc_scheduler::PatternHint;
+use serde::{Deserialize, Serialize};
+
+/// A quantum task queued at the daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantumTask {
+    /// Daemon-assigned id.
+    pub id: u64,
+    /// Owning session token.
+    pub session: String,
+    /// Submitting user (denormalized for accounting).
+    pub user: String,
+    /// Priority class inherited from the session.
+    pub class: PriorityClass,
+    /// The program.
+    pub ir: ProgramIr,
+    /// Table-1 pattern hint forwarded from the batch layer (§3.5).
+    pub hint: PatternHint,
+    /// Submission time on the daemon clock (s).
+    pub submitted_at: f64,
+}
+
+impl QuantumTask {
+    /// Whether this task runs as one indivisible batch on the QPU.
+    /// Production batches; lower classes submit shot-by-shot and are
+    /// preemptible at shot boundaries.
+    pub fn batched(&self) -> bool {
+        self.class == PriorityClass::Production
+    }
+}
+
+/// Queue configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// A waiting task's effective rank improves by one class per
+    /// `aging_secs` of waiting (0 disables aging).
+    pub aging_secs: f64,
+    /// Cap on queued tasks per session (0 = unlimited).
+    pub max_tasks_per_session: usize,
+    /// Fair-share penalty weight: a user at saturated recent usage is
+    /// demoted by up to this many class steps within their class
+    /// (0 disables; keep < 1 so fair-share never overrides class priority).
+    pub fairshare_weight: f64,
+    /// Usage scale (device seconds) at which the fair-share penalty reaches
+    /// half its weight.
+    pub fairshare_scale_secs: f64,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            aging_secs: 3600.0,
+            max_tasks_per_session: 0,
+            fairshare_weight: 0.9,
+            fairshare_scale_secs: 600.0,
+        }
+    }
+}
+
+/// Reasons a push can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueError {
+    SessionQuotaExceeded { session: String, limit: usize },
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::SessionQuotaExceeded { session, limit } => {
+                write!(f, "session {session} exceeds its queue quota of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// Priority queue with aging and optional fair-share.
+#[derive(Default)]
+pub struct TaskQueue {
+    tasks: Vec<QuantumTask>,
+    cfg: QueueConfig,
+    fairshare: Option<FairshareTracker>,
+}
+
+impl TaskQueue {
+    pub fn new(cfg: QueueConfig) -> Self {
+        TaskQueue { tasks: Vec::new(), cfg, fairshare: None }
+    }
+
+    /// Attach a fair-share tracker (shared with the component that charges
+    /// usage — the daemon's execution path).
+    pub fn with_fairshare(mut self, tracker: FairshareTracker) -> Self {
+        self.fairshare = Some(tracker);
+        self
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Queue a task.
+    pub fn push(&mut self, task: QuantumTask) -> Result<(), QueueError> {
+        if self.cfg.max_tasks_per_session > 0 {
+            let held = self.tasks.iter().filter(|t| t.session == task.session).count();
+            if held >= self.cfg.max_tasks_per_session {
+                return Err(QueueError::SessionQuotaExceeded {
+                    session: task.session.clone(),
+                    limit: self.cfg.max_tasks_per_session,
+                });
+            }
+        }
+        self.tasks.push(task);
+        Ok(())
+    }
+
+    /// Effective rank at time `now`: class rank, minus one unit per
+    /// `aging_secs` waited (floored at the production rank), plus the
+    /// fair-share penalty of the submitting user. Lower is better.
+    fn effective_rank(&self, t: &QuantumTask, now: f64) -> f64 {
+        let mut rank = t.class.rank() as f64;
+        if self.cfg.aging_secs > 0.0 {
+            let aged = (now - t.submitted_at) / self.cfg.aging_secs;
+            rank = (rank - aged).max(0.0);
+        }
+        if let Some(f) = &self.fairshare {
+            if self.cfg.fairshare_weight > 0.0 {
+                rank += self.cfg.fairshare_weight
+                    * f.normalized_usage(&t.user, self.cfg.fairshare_scale_secs, now);
+            }
+        }
+        rank
+    }
+
+    /// Peek the task that would run next at time `now`.
+    pub fn peek(&self, now: f64) -> Option<&QuantumTask> {
+        self.tasks.iter().min_by(|a, b| {
+            self.effective_rank(a, now)
+                .partial_cmp(&self.effective_rank(b, now))
+                .expect("finite ranks")
+                .then(a.submitted_at.partial_cmp(&b.submitted_at).expect("finite"))
+                .then(a.id.cmp(&b.id))
+        })
+    }
+
+    /// Pop the next task at time `now`.
+    pub fn pop(&mut self, now: f64) -> Option<QuantumTask> {
+        let id = self.peek(now)?.id;
+        let idx = self.tasks.iter().position(|t| t.id == id).expect("peeked task exists");
+        Some(self.tasks.remove(idx))
+    }
+
+    /// Remove a specific queued task (cancellation).
+    pub fn remove(&mut self, id: u64) -> Option<QuantumTask> {
+        let idx = self.tasks.iter().position(|t| t.id == id)?;
+        Some(self.tasks.remove(idx))
+    }
+
+    /// Does the queue hold a production task that should preempt a running
+    /// task of class `running`? True only when the queued class strictly
+    /// outranks the running class and the queued task is production (the
+    /// paper's initial implementation: only production preempts).
+    pub fn should_preempt(&self, running: PriorityClass, now: f64) -> bool {
+        match self.peek(now) {
+            Some(t) => {
+                t.class == PriorityClass::Production && running != PriorityClass::Production
+            }
+            None => false,
+        }
+    }
+
+    /// Snapshot of queued tasks in dispatch order at `now`.
+    pub fn snapshot(&self, now: f64) -> Vec<&QuantumTask> {
+        let mut v: Vec<&QuantumTask> = self.tasks.iter().collect();
+        v.sort_by(|a, b| {
+            self.effective_rank(a, now)
+                .partial_cmp(&self.effective_rank(b, now))
+                .expect("finite")
+                .then(a.submitted_at.partial_cmp(&b.submitted_at).expect("finite"))
+                .then(a.id.cmp(&b.id))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcqc_program::{Pulse, Register, SequenceBuilder};
+
+    fn ir() -> ProgramIr {
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
+        ProgramIr::new(b.build().unwrap(), 100, "test")
+    }
+
+    fn task(id: u64, class: PriorityClass, at: f64) -> QuantumTask {
+        QuantumTask {
+            id,
+            session: format!("sess-{id}"),
+            user: "u".into(),
+            class,
+            ir: ir(),
+            hint: PatternHint::None,
+            submitted_at: at,
+        }
+    }
+
+    #[test]
+    fn class_order_dominates_fresh_queue() {
+        let mut q = TaskQueue::new(QueueConfig::default());
+        q.push(task(1, PriorityClass::Development, 0.0)).unwrap();
+        q.push(task(2, PriorityClass::Test, 1.0)).unwrap();
+        q.push(task(3, PriorityClass::Production, 2.0)).unwrap();
+        assert_eq!(q.pop(3.0).unwrap().id, 3);
+        assert_eq!(q.pop(3.0).unwrap().id, 2);
+        assert_eq!(q.pop(3.0).unwrap().id, 1);
+        assert!(q.pop(3.0).is_none());
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        let mut q = TaskQueue::new(QueueConfig::default());
+        q.push(task(1, PriorityClass::Test, 5.0)).unwrap();
+        q.push(task(2, PriorityClass::Test, 1.0)).unwrap();
+        assert_eq!(q.pop(6.0).unwrap().id, 2, "earlier submission first");
+    }
+
+    #[test]
+    fn aging_promotes_starved_dev_task() {
+        let cfg = QueueConfig { aging_secs: 100.0, max_tasks_per_session: 0, ..QueueConfig::default() };
+        let mut q = TaskQueue::new(cfg);
+        q.push(task(1, PriorityClass::Development, 0.0)).unwrap();
+        q.push(task(2, PriorityClass::Production, 199.0)).unwrap();
+        // at t=199: dev rank = 2 - 1.99 = 0.01, prod = 0 → prod first
+        assert_eq!(q.peek(199.0).unwrap().id, 2);
+        // at t=250: dev rank = max(0, 2-2.5)=0 ties prod, earlier submit wins
+        assert_eq!(q.peek(250.0).unwrap().id, 1, "aged dev task overtakes");
+    }
+
+    #[test]
+    fn aging_disabled_keeps_strict_classes() {
+        let cfg = QueueConfig { aging_secs: 0.0, max_tasks_per_session: 0, ..QueueConfig::default() };
+        let mut q = TaskQueue::new(cfg);
+        q.push(task(1, PriorityClass::Development, 0.0)).unwrap();
+        q.push(task(2, PriorityClass::Production, 1e9)).unwrap();
+        assert_eq!(q.peek(1e9).unwrap().id, 2);
+    }
+
+    #[test]
+    fn session_quota_enforced() {
+        let cfg = QueueConfig { aging_secs: 0.0, max_tasks_per_session: 2, ..QueueConfig::default() };
+        let mut q = TaskQueue::new(cfg);
+        let mut t1 = task(1, PriorityClass::Test, 0.0);
+        let mut t2 = task(2, PriorityClass::Test, 0.0);
+        let mut t3 = task(3, PriorityClass::Test, 0.0);
+        t1.session = "s".into();
+        t2.session = "s".into();
+        t3.session = "s".into();
+        q.push(t1).unwrap();
+        q.push(t2).unwrap();
+        assert!(matches!(
+            q.push(t3),
+            Err(QueueError::SessionQuotaExceeded { limit: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn remove_cancels_queued_task() {
+        let mut q = TaskQueue::new(QueueConfig::default());
+        q.push(task(1, PriorityClass::Test, 0.0)).unwrap();
+        q.push(task(2, PriorityClass::Test, 0.0)).unwrap();
+        assert_eq!(q.remove(1).unwrap().id, 1);
+        assert!(q.remove(1).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn preemption_only_for_production_over_lower() {
+        let mut q = TaskQueue::new(QueueConfig::default());
+        q.push(task(1, PriorityClass::Production, 0.0)).unwrap();
+        assert!(q.should_preempt(PriorityClass::Development, 1.0));
+        assert!(q.should_preempt(PriorityClass::Test, 1.0));
+        assert!(!q.should_preempt(PriorityClass::Production, 1.0));
+        let mut q2 = TaskQueue::new(QueueConfig::default());
+        q2.push(task(1, PriorityClass::Test, 0.0)).unwrap();
+        assert!(!q2.should_preempt(PriorityClass::Development, 1.0), "test does not preempt");
+        let q3 = TaskQueue::new(QueueConfig::default());
+        assert!(!q3.should_preempt(PriorityClass::Development, 1.0), "empty queue");
+    }
+
+    #[test]
+    fn batching_follows_class() {
+        assert!(task(1, PriorityClass::Production, 0.0).batched());
+        assert!(!task(1, PriorityClass::Test, 0.0).batched());
+        assert!(!task(1, PriorityClass::Development, 0.0).batched());
+    }
+
+    #[test]
+    fn snapshot_is_dispatch_order() {
+        let mut q = TaskQueue::new(QueueConfig::default());
+        q.push(task(1, PriorityClass::Development, 0.0)).unwrap();
+        q.push(task(2, PriorityClass::Production, 0.0)).unwrap();
+        q.push(task(3, PriorityClass::Test, 0.0)).unwrap();
+        let snap: Vec<u64> = q.snapshot(1.0).iter().map(|t| t.id).collect();
+        assert_eq!(snap, vec![2, 3, 1]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests on the middleware: HTTP-parser totality, queue
+//! ordering invariants, and exact conservation laws in the co-simulation.
+
+use hpcqc_middleware::http::parse_request;
+use hpcqc_middleware::{
+    AdmissionPolicy, Cosim, CosimConfig, HybridJob, Phase, PriorityClass, QpuPolicy, QuantumTask,
+    QueueConfig, TaskQueue,
+};
+use hpcqc_program::{ProgramIr, Pulse, Register, SequenceBuilder};
+use hpcqc_scheduler::PatternHint;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn dummy_ir() -> ProgramIr {
+    let reg = Register::linear(2, 6.0).unwrap();
+    let mut b = SequenceBuilder::new(reg);
+    b.add_global_pulse(Pulse::constant(0.1, 1.0, 0.0, 0.0).unwrap());
+    ProgramIr::new(b.build().unwrap(), 1, "prop")
+}
+
+fn arb_class() -> impl Strategy<Value = PriorityClass> {
+    prop_oneof![
+        Just(PriorityClass::Production),
+        Just(PriorityClass::Test),
+        Just(PriorityClass::Development),
+    ]
+}
+
+fn arb_hybrid_job(id: u64) -> impl Strategy<Value = HybridJob> {
+    (
+        arb_class(),
+        proptest::collection::vec((any::<bool>(), 1.0f64..200.0), 1..6),
+        0.0f64..500.0,
+        1u32..4,
+    )
+        .prop_map(move |(class, phases, arrival, nodes)| HybridJob {
+            id,
+            class,
+            hint: PatternHint::None,
+            nodes,
+            phases: phases
+                .into_iter()
+                .map(|(q, secs)| if q { Phase::Quantum(secs) } else { Phase::Classical(secs) })
+                .collect(),
+            arrival,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn http_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // totality: arbitrary byte soup must produce Ok or Err, never panic
+        let _ = parse_request(&mut Cursor::new(bytes));
+    }
+
+    #[test]
+    fn http_parser_accepts_what_it_should(
+        path in "[a-z0-9/]{1,30}",
+        body in "[ -~]{0,100}",
+    ) {
+        let raw = format!(
+            "POST /{path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let req = parse_request(&mut Cursor::new(raw.into_bytes())).unwrap();
+        prop_assert_eq!(req.method, "POST");
+        prop_assert_eq!(req.body, body.into_bytes());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn queue_pop_respects_class_order_without_aging(
+        classes in proptest::collection::vec(arb_class(), 1..20),
+    ) {
+        let mut q = TaskQueue::new(QueueConfig { aging_secs: 0.0, max_tasks_per_session: 0, ..QueueConfig::default() });
+        for (i, &class) in classes.iter().enumerate() {
+            q.push(QuantumTask {
+                id: i as u64,
+                session: format!("s{i}"),
+                user: "u".into(),
+                class,
+                ir: dummy_ir(),
+                hint: PatternHint::None,
+                submitted_at: i as f64,
+            })
+            .unwrap();
+        }
+        let mut last_rank = 0u8;
+        let mut last_submit_within_rank = f64::NEG_INFINITY;
+        while let Some(t) = q.pop(1e9) {
+            let rank = t.class.rank();
+            prop_assert!(rank >= last_rank, "rank regressed: {rank} after {last_rank}");
+            if rank > last_rank {
+                last_rank = rank;
+                last_submit_within_rank = f64::NEG_INFINITY;
+            }
+            prop_assert!(
+                t.submitted_at >= last_submit_within_rank,
+                "FIFO violated within class"
+            );
+            last_submit_within_rank = t.submitted_at;
+        }
+    }
+
+    #[test]
+    fn cosim_conservation_laws(
+        raw_jobs in proptest::collection::vec((any::<bool>(), 1.0f64..200.0), 1..6)
+            .prop_flat_map(|_| proptest::collection::vec(arb_hybrid_job(0), 1..15)),
+        seq in any::<bool>(),
+    ) {
+        // re-id jobs uniquely
+        let jobs: Vec<HybridJob> = raw_jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut j)| {
+                j.id = i as u64;
+                j.nodes = j.nodes.min(4);
+                j
+            })
+            .collect();
+        let total_q: f64 = jobs.iter().map(|j| j.qpu_secs()).sum();
+        let n = jobs.len();
+        let admission = if seq { AdmissionPolicy::Sequential } else { AdmissionPolicy::NodeLimited };
+        let report = Cosim::new(
+            CosimConfig {
+                nodes: 8,
+                admission,
+                qpu_policy: QpuPolicy::Priority { preemption: true },
+                chunk_secs: 25.0,
+            },
+            jobs,
+        )
+        .run();
+        // conservation: the QPU executed exactly the submitted quantum work
+        prop_assert!(
+            (report.qpu_busy_secs - total_q).abs() < 1e-6,
+            "busy {} vs submitted {total_q}",
+            report.qpu_busy_secs
+        );
+        prop_assert_eq!(report.completed, n, "no job lost or stuck");
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&report.qpu_utilization));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&report.node_waste_frac));
+        // turnaround = end − arrival ≤ end ≤ makespan for every class
+        let longest: f64 = report
+            .turnaround_by_class
+            .values()
+            .fold(0.0f64, |a, &b| a.max(b));
+        prop_assert!(
+            report.makespan_secs + 1e-6 >= longest,
+            "makespan {} < mean turnaround {longest}",
+            report.makespan_secs
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Device specifications.
+//!
+//! A [`DeviceSpec`] describes the physical envelope a program must fit inside:
+//! channel limits (max Ω, detuning bounds), geometry limits (min trap
+//! distance, field-of-view radius, max qubits) and timing limits. Backends
+//! expose their *current* spec at run time; because calibration drifts, the
+//! spec is a function of time on the virtual QPU (`hpcqc-qpu` regenerates it
+//! from the live calibration), which is exactly the program-validity concern
+//! the paper raises in §2.1.
+
+use serde::{Deserialize, Serialize};
+
+/// Capabilities of one drive channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSpec {
+    /// Channel name programs must use (e.g. `"rydberg_global"`).
+    pub name: String,
+    /// Maximum Rabi frequency in rad/µs.
+    pub max_amplitude: f64,
+    /// Minimum (most negative) detuning in rad/µs.
+    pub min_detuning: f64,
+    /// Maximum detuning in rad/µs.
+    pub max_detuning: f64,
+    /// Whether the channel addresses all atoms globally (analog devices) or
+    /// can target individual sites.
+    pub global: bool,
+}
+
+/// Shot rates at or above this are treated as "classical sampling, no
+/// per-shot wall-clock cost" (kept finite so specs round-trip through JSON).
+pub const EFFECTIVELY_UNLIMITED_SHOT_RATE: f64 = 1e9;
+
+/// The full device specification fetched by clients before validation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Device name, e.g. `"analog-fresnel"`, `"emu-sv"`, `"emu-mps"`.
+    pub name: String,
+    /// Spec revision; bumped whenever a recalibration changes any limit, so
+    /// clients can detect drift between validation and execution.
+    pub revision: u64,
+    /// Maximum number of atoms.
+    pub max_qubits: usize,
+    /// Minimum distance between any two traps, µm.
+    pub min_atom_distance: f64,
+    /// Maximum distance of any atom from the register centroid, µm.
+    pub max_radius_from_center: f64,
+    /// Maximum total sequence duration, µs.
+    pub max_duration: f64,
+    /// Minimum number of shots per job the device will accept.
+    pub min_shots: u32,
+    /// Maximum number of shots per job.
+    pub max_shots: u32,
+    /// Available channels.
+    pub channels: Vec<ChannelSpec>,
+    /// Van der Waals C6 coefficient currently calibrated, rad·µs⁻¹·µm⁶.
+    pub c6_coefficient: f64,
+    /// Nominal shot rate in Hz (1 Hz today, ~100 Hz on the roadmap — §2.2.1).
+    pub shot_rate_hz: f64,
+}
+
+impl DeviceSpec {
+    /// The production analog neutral-atom device profile (Fresnel-class):
+    /// 100 atoms, 5 µm minimum spacing, Ω up to ~2π·2 MHz, |δ| up to
+    /// 2π·~6 MHz, 6 µs max sequence, 1 Hz shot rate.
+    pub fn analog_production() -> Self {
+        DeviceSpec {
+            name: "analog-fresnel".to_string(),
+            revision: 1,
+            max_qubits: 100,
+            min_atom_distance: 5.0,
+            max_radius_from_center: 35.0,
+            max_duration: 6.0,
+            min_shots: 1,
+            max_shots: 2000,
+            channels: vec![ChannelSpec {
+                name: crate::sequence::GLOBAL_CHANNEL.to_string(),
+                max_amplitude: 12.57,  // ~2π·2 MHz
+                min_detuning: -38.0,   // ~-2π·6 MHz
+                max_detuning: 38.0,
+                global: true,
+            }],
+            c6_coefficient: crate::units::C6_COEFF,
+            shot_rate_hz: 1.0,
+        }
+    }
+
+    /// A permissive spec for emulators: more qubits on MPS, relaxed limits,
+    /// effectively unlimited shot rate (classical sampling).
+    pub fn emulator(name: &str, max_qubits: usize) -> Self {
+        DeviceSpec {
+            name: name.to_string(),
+            revision: 1,
+            max_qubits,
+            min_atom_distance: 1.0,
+            max_radius_from_center: 500.0,
+            max_duration: 100.0,
+            min_shots: 1,
+            max_shots: 1_000_000,
+            channels: vec![ChannelSpec {
+                name: crate::sequence::GLOBAL_CHANNEL.to_string(),
+                max_amplitude: 125.7, // 10x hardware: emulators allow exploration
+                min_detuning: -380.0,
+                max_detuning: 380.0,
+                global: true,
+            }],
+            c6_coefficient: crate::units::C6_COEFF,
+            shot_rate_hz: EFFECTIVELY_UNLIMITED_SHOT_RATE,
+        }
+    }
+
+    /// A "mock" spec mirroring the *production* limits but served by an
+    /// emulator — this is what end-to-end tests validate against so that a
+    /// program passing locally also fits the hardware (paper §3.2,
+    /// footnote 3).
+    pub fn mock_of_production() -> Self {
+        let mut spec = Self::analog_production();
+        spec.name = "mock-analog-fresnel".to_string();
+        spec
+    }
+
+    /// Look up a channel spec by name.
+    pub fn channel(&self, name: &str) -> Option<&ChannelSpec> {
+        self.channels.iter().find(|c| c.name == name)
+    }
+
+    /// Expected wall-clock seconds to run `shots` shots at the calibrated
+    /// shot rate. Returns 0 for effectively-unlimited (emulator) rates.
+    pub fn shots_wallclock_secs(&self, shots: u32) -> f64 {
+        if !self.shot_rate_hz.is_finite() || self.shot_rate_hz >= EFFECTIVELY_UNLIMITED_SHOT_RATE {
+            0.0
+        } else {
+            shots as f64 / self.shot_rate_hz
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_spec_is_self_consistent() {
+        let s = DeviceSpec::analog_production();
+        assert!(s.max_qubits >= 100);
+        assert!(s.min_atom_distance > 0.0);
+        assert!(s.max_duration > 0.0);
+        assert!(s.min_shots <= s.max_shots);
+        let ch = s.channel(crate::sequence::GLOBAL_CHANNEL).unwrap();
+        assert!(ch.max_amplitude > 0.0);
+        assert!(ch.min_detuning < 0.0 && ch.max_detuning > 0.0);
+        assert!(ch.global);
+    }
+
+    #[test]
+    fn mock_mirrors_production_limits() {
+        let p = DeviceSpec::analog_production();
+        let m = DeviceSpec::mock_of_production();
+        assert_ne!(p.name, m.name);
+        assert_eq!(p.max_qubits, m.max_qubits);
+        assert_eq!(p.min_atom_distance, m.min_atom_distance);
+        assert_eq!(p.max_duration, m.max_duration);
+        assert_eq!(p.channels, m.channels);
+    }
+
+    #[test]
+    fn emulator_spec_is_permissive() {
+        let e = DeviceSpec::emulator("emu-sv", 20);
+        let p = DeviceSpec::analog_production();
+        assert!(e.max_duration > p.max_duration);
+        assert!(e.channel("rydberg_global").unwrap().max_amplitude
+            > p.channel("rydberg_global").unwrap().max_amplitude);
+        assert_eq!(e.shots_wallclock_secs(100), 0.0);
+    }
+
+    #[test]
+    fn shot_wallclock_uses_rate() {
+        let p = DeviceSpec::analog_production();
+        assert!((p.shots_wallclock_secs(100) - 100.0).abs() < 1e-9, "1 Hz device");
+        let mut fast = p.clone();
+        fast.shot_rate_hz = 100.0;
+        assert!((fast.shots_wallclock_secs(100) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_channel_lookup() {
+        let s = DeviceSpec::analog_production();
+        assert!(s.channel("raman_local").is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = DeviceSpec::analog_production();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

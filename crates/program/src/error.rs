@@ -1,0 +1,62 @@
+//! Error type shared by the IR constructors.
+
+use std::fmt;
+
+/// Errors produced when constructing or manipulating program IR objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramError {
+    /// A register was given invalid geometry (empty, duplicate site ids,
+    /// non-finite coordinates, ...).
+    InvalidRegister(String),
+    /// A waveform was constructed with invalid parameters (negative duration,
+    /// non-finite samples, too few interpolation points, ...).
+    InvalidWaveform(String),
+    /// A pulse combines waveforms of mismatched durations or refers to an
+    /// unknown channel.
+    InvalidPulse(String),
+    /// A sequence-level constraint was violated (e.g. empty sequence where one
+    /// is required).
+    InvalidSequence(String),
+    /// Serialization or deserialization of the abstract representation failed.
+    Serialization(String),
+    /// The IR version of a serialized program is not supported by this build.
+    VersionMismatch { found: u32, supported: u32 },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::InvalidRegister(m) => write!(f, "invalid register: {m}"),
+            ProgramError::InvalidWaveform(m) => write!(f, "invalid waveform: {m}"),
+            ProgramError::InvalidPulse(m) => write!(f, "invalid pulse: {m}"),
+            ProgramError::InvalidSequence(m) => write!(f, "invalid sequence: {m}"),
+            ProgramError::Serialization(m) => write!(f, "serialization error: {m}"),
+            ProgramError::VersionMismatch { found, supported } => write!(
+                f,
+                "IR version mismatch: found v{found}, this build supports v{supported}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProgramError::InvalidWaveform("negative duration".into());
+        assert!(e.to_string().contains("negative duration"));
+        let e = ProgramError::VersionMismatch { found: 9, supported: 1 };
+        assert!(e.to_string().contains("v9"));
+        assert!(e.to_string().contains("v1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ProgramError::InvalidRegister("x".into()));
+    }
+}

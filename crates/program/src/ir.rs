@@ -1,0 +1,150 @@
+//! The serialized abstract representation of a program.
+//!
+//! [`ProgramIr`] is the versioned, self-describing JSON envelope that crosses
+//! every process boundary in the stack: SDK → runtime → REST middleware →
+//! backend. It bundles the [`Sequence`] with submission metadata (shots,
+//! requested device, SDK provenance) so the daemon can validate, schedule and
+//! account for jobs without knowing which SDK produced them — the multi-SDK
+//! first-class-citizen property of the paper (§2.3.1).
+
+use crate::error::ProgramError;
+use crate::sequence::Sequence;
+use serde::{Deserialize, Serialize};
+
+/// Version of the abstract representation this build reads and writes.
+pub const IR_VERSION: u32 = 1;
+
+/// The wire format for a quantum job payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramIr {
+    /// Format version; readers reject unknown versions.
+    pub version: u32,
+    /// The analog program.
+    pub sequence: Sequence,
+    /// Number of measurement shots requested.
+    pub shots: u32,
+    /// Which SDK produced this program (provenance, surfaced in job metadata
+    /// and telemetry; never changes execution semantics).
+    pub sdk: String,
+    /// SDK version string for reproducibility records.
+    pub sdk_version: String,
+    /// Device-spec revision this program was last validated against, if any.
+    /// Lets the middleware detect stale validation after calibration drift.
+    pub validated_against_revision: Option<u64>,
+}
+
+impl ProgramIr {
+    /// Wrap a sequence into the current IR version.
+    pub fn new(sequence: Sequence, shots: u32, sdk: impl Into<String>) -> Self {
+        ProgramIr {
+            version: IR_VERSION,
+            sequence,
+            shots,
+            sdk: sdk.into(),
+            sdk_version: env!("CARGO_PKG_VERSION").to_string(),
+            validated_against_revision: None,
+        }
+    }
+
+    /// Record the device-spec revision the program was validated against.
+    pub fn with_validation_revision(mut self, revision: u64) -> Self {
+        self.validated_against_revision = Some(revision);
+        self
+    }
+
+    /// Serialize to canonical JSON.
+    pub fn to_json(&self) -> Result<String, ProgramError> {
+        serde_json::to_string(self).map_err(|e| ProgramError::Serialization(e.to_string()))
+    }
+
+    /// Deserialize, rejecting unsupported versions.
+    pub fn from_json(s: &str) -> Result<Self, ProgramError> {
+        let ir: ProgramIr =
+            serde_json::from_str(s).map_err(|e| ProgramError::Serialization(e.to_string()))?;
+        if ir.version != IR_VERSION {
+            return Err(ProgramError::VersionMismatch {
+                found: ir.version,
+                supported: IR_VERSION,
+            });
+        }
+        Ok(ir)
+    }
+
+    /// Content fingerprint combining program and shot count; stable across
+    /// serialization round-trips.
+    pub fn fingerprint(&self) -> u64 {
+        self.sequence.fingerprint() ^ (self.shots as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::register::Register;
+    use crate::sequence::{Pulse, SequenceBuilder};
+
+    fn ir() -> ProgramIr {
+        let reg = Register::linear(3, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(1.0, 5.0, -2.0, 0.0).unwrap());
+        ProgramIr::new(b.build().unwrap(), 500, "analog-sdk")
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let p = ir();
+        let json = p.to_json().unwrap();
+        let back = ProgramIr::from_json(&json).unwrap();
+        assert_eq!(p, back);
+        assert_eq!(p.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut p = ir();
+        p.version = 42;
+        let json = serde_json::to_string(&p).unwrap();
+        match ProgramIr::from_json(&json) {
+            Err(ProgramError::VersionMismatch { found, supported }) => {
+                assert_eq!(found, 42);
+                assert_eq!(supported, IR_VERSION);
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            ProgramIr::from_json("{not json"),
+            Err(ProgramError::Serialization(_))
+        ));
+        assert!(matches!(
+            ProgramIr::from_json("{}"),
+            Err(ProgramError::Serialization(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_depends_on_shots() {
+        let a = ir();
+        let mut b = ir();
+        b.shots = 501;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn validation_revision_recorded() {
+        let p = ir().with_validation_revision(7);
+        assert_eq!(p.validated_against_revision, Some(7));
+        let back = ProgramIr::from_json(&p.to_json().unwrap()).unwrap();
+        assert_eq!(back.validated_against_revision, Some(7));
+    }
+
+    #[test]
+    fn sdk_provenance_preserved() {
+        let p = ir();
+        assert_eq!(p.sdk, "analog-sdk");
+        assert!(!p.sdk_version.is_empty());
+    }
+}

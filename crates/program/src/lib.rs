@@ -1,0 +1,43 @@
+//! # hpcqc-program — analog neutral-atom quantum program IR
+//!
+//! This crate defines the vendor-neutral intermediate representation shared by
+//! every SDK front-end and every execution backend in the `hpcqc` stack:
+//!
+//! * [`Register`] — the geometry of the atom array (qubit positions in µm),
+//! * [`Waveform`] — time-dependent control shapes (amplitude, detuning, phase),
+//! * [`Pulse`] and [`Sequence`] — the program itself: an ordered set of pulses
+//!   on named channels,
+//! * [`DeviceSpec`] — the physical capabilities of a target device, fetched at
+//!   run time so programs can be validated against the *current* device state
+//!   (the paper's calibration-drift concern, §2.1),
+//! * [`validate`] — static validation of a program against a device spec.
+//!
+//! The IR is plain data: `serde`-serializable, deterministic and backend
+//! agnostic. A program built once runs unchanged on the local state-vector
+//! emulator, on the HPC tensor-network emulator, and on the (virtual) QPU —
+//! the portability claim of Figure 1 of the paper.
+//!
+//! ## Units
+//!
+//! Following the neutral-atom convention used by Pulser:
+//! * time is in **microseconds** (µs),
+//! * angular frequencies (Rabi frequency Ω, detuning δ) are in **rad/µs**,
+//! * distances are in **micrometres** (µm),
+//! * the van der Waals coefficient `C6` is in rad·µs⁻¹·µm⁶.
+
+pub mod device;
+pub mod error;
+pub mod ir;
+pub mod register;
+pub mod sequence;
+pub mod units;
+pub mod validate;
+pub mod waveform;
+
+pub use device::{ChannelSpec, DeviceSpec};
+pub use error::ProgramError;
+pub use ir::{ProgramIr, IR_VERSION};
+pub use register::{Register, SiteId};
+pub use sequence::{Pulse, Sequence, SequenceBuilder};
+pub use validate::{validate, Violation, ViolationKind};
+pub use waveform::Waveform;

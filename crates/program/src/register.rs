@@ -1,0 +1,339 @@
+//! Atom registers: the spatial layout of qubits in the neutral-atom array.
+//!
+//! A [`Register`] is an ordered list of named sites with 2-D coordinates in
+//! micrometres. The ordering defines the qubit indexing used by every backend
+//! (bit `i` of a sampled bitstring corresponds to site `i`).
+
+use crate::error::ProgramError;
+use serde::{Deserialize, Serialize};
+
+/// Index of a site (qubit) within a [`Register`].
+pub type SiteId = usize;
+
+/// A single trap site holding one atom.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Human-readable label, e.g. `"q3"`. Unique within the register.
+    pub label: String,
+    /// x coordinate in µm.
+    pub x: f64,
+    /// y coordinate in µm.
+    pub y: f64,
+}
+
+/// The geometry of the atom array.
+///
+/// Constructors validate that coordinates are finite and labels unique; layout
+/// helpers ([`Register::linear`], [`Register::ring`], [`Register::square_lattice`],
+/// [`Register::triangular_lattice`]) build the standard arrangements used in
+/// neutral-atom experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Register {
+    sites: Vec<Site>,
+}
+
+impl Register {
+    /// Build a register from explicit sites.
+    pub fn new(sites: Vec<Site>) -> Result<Self, ProgramError> {
+        if sites.is_empty() {
+            return Err(ProgramError::InvalidRegister("register has no sites".into()));
+        }
+        let mut labels = std::collections::HashSet::with_capacity(sites.len());
+        for s in &sites {
+            if !s.x.is_finite() || !s.y.is_finite() {
+                return Err(ProgramError::InvalidRegister(format!(
+                    "site {:?} has non-finite coordinates ({}, {})",
+                    s.label, s.x, s.y
+                )));
+            }
+            if !labels.insert(s.label.as_str()) {
+                return Err(ProgramError::InvalidRegister(format!(
+                    "duplicate site label {:?}",
+                    s.label
+                )));
+            }
+        }
+        Ok(Register { sites })
+    }
+
+    /// Build a register from bare coordinates, auto-labelling sites `q0..qN`.
+    pub fn from_coords(coords: &[(f64, f64)]) -> Result<Self, ProgramError> {
+        Register::new(
+            coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| Site { label: format!("q{i}"), x, y })
+                .collect(),
+        )
+    }
+
+    /// A linear chain of `n` atoms with uniform `spacing` µm along x.
+    pub fn linear(n: usize, spacing: f64) -> Result<Self, ProgramError> {
+        if spacing <= 0.0 || !spacing.is_finite() {
+            return Err(ProgramError::InvalidRegister(format!(
+                "spacing must be positive and finite, got {spacing}"
+            )));
+        }
+        Register::from_coords(
+            &(0..n).map(|i| (i as f64 * spacing, 0.0)).collect::<Vec<_>>(),
+        )
+    }
+
+    /// A ring of `n` atoms where nearest neighbours are `spacing` µm apart.
+    pub fn ring(n: usize, spacing: f64) -> Result<Self, ProgramError> {
+        if n < 3 {
+            return Err(ProgramError::InvalidRegister(format!(
+                "a ring needs at least 3 atoms, got {n}"
+            )));
+        }
+        if spacing <= 0.0 || !spacing.is_finite() {
+            return Err(ProgramError::InvalidRegister(format!(
+                "spacing must be positive and finite, got {spacing}"
+            )));
+        }
+        // Chord length c between adjacent points on a circle of radius R with
+        // n points: c = 2 R sin(pi/n)  =>  R = c / (2 sin(pi/n)).
+        let radius = spacing / (2.0 * (std::f64::consts::PI / n as f64).sin());
+        Register::from_coords(
+            &(0..n)
+                .map(|i| {
+                    let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                    (radius * theta.cos(), radius * theta.sin())
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// A `rows x cols` square lattice with uniform `spacing` µm.
+    pub fn square_lattice(rows: usize, cols: usize, spacing: f64) -> Result<Self, ProgramError> {
+        if spacing <= 0.0 || !spacing.is_finite() {
+            return Err(ProgramError::InvalidRegister(format!(
+                "spacing must be positive and finite, got {spacing}"
+            )));
+        }
+        let mut coords = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                coords.push((c as f64 * spacing, r as f64 * spacing));
+            }
+        }
+        Register::from_coords(&coords)
+    }
+
+    /// A `rows x cols` triangular lattice: odd rows are shifted by half a
+    /// spacing, row pitch is `spacing * sqrt(3)/2`, so all nearest-neighbour
+    /// distances equal `spacing`.
+    pub fn triangular_lattice(
+        rows: usize,
+        cols: usize,
+        spacing: f64,
+    ) -> Result<Self, ProgramError> {
+        if spacing <= 0.0 || !spacing.is_finite() {
+            return Err(ProgramError::InvalidRegister(format!(
+                "spacing must be positive and finite, got {spacing}"
+            )));
+        }
+        let row_pitch = spacing * 3f64.sqrt() / 2.0;
+        let mut coords = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let shift = if r % 2 == 1 { spacing / 2.0 } else { 0.0 };
+            for c in 0..cols {
+                coords.push((c as f64 * spacing + shift, r as f64 * row_pitch));
+            }
+        }
+        Register::from_coords(&coords)
+    }
+
+    /// Number of atoms (qubits).
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True when the register has no sites (unreachable through constructors,
+    /// but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The sites in qubit order.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// Coordinates of site `i` in µm.
+    pub fn position(&self, i: SiteId) -> Option<(f64, f64)> {
+        self.sites.get(i).map(|s| (s.x, s.y))
+    }
+
+    /// Euclidean distance between two sites in µm.
+    pub fn distance(&self, i: SiteId, j: SiteId) -> Option<f64> {
+        let (xi, yi) = self.position(i)?;
+        let (xj, yj) = self.position(j)?;
+        Some(((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt())
+    }
+
+    /// The smallest pairwise distance in the register, or `None` for a single
+    /// atom. Used by device validation (minimum trap separation).
+    pub fn min_distance(&self) -> Option<f64> {
+        let n = self.sites.len();
+        if n < 2 {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = self.distance(i, j).expect("indices in range");
+                if d < min {
+                    min = d;
+                }
+            }
+        }
+        Some(min)
+    }
+
+    /// The maximum distance of any site from the register centroid, in µm.
+    /// Devices constrain this (the optical field of view / trap radius).
+    pub fn max_radius_from_center(&self) -> f64 {
+        let n = self.sites.len() as f64;
+        let cx = self.sites.iter().map(|s| s.x).sum::<f64>() / n;
+        let cy = self.sites.iter().map(|s| s.y).sum::<f64>() / n;
+        self.sites
+            .iter()
+            .map(|s| ((s.x - cx).powi(2) + (s.y - cy).powi(2)).sqrt())
+            .fold(0.0, f64::max)
+    }
+
+    /// All pairwise interaction terms `(i, j, r_ij)` with `i < j`.
+    pub fn pairs(&self) -> Vec<(SiteId, SiteId, f64)> {
+        let n = self.sites.len();
+        let mut out = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                out.push((i, j, self.distance(i, j).expect("indices in range")));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_register_rejected() {
+        assert!(matches!(
+            Register::new(vec![]),
+            Err(ProgramError::InvalidRegister(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let sites = vec![
+            Site { label: "a".into(), x: 0.0, y: 0.0 },
+            Site { label: "a".into(), x: 5.0, y: 0.0 },
+        ];
+        assert!(Register::new(sites).is_err());
+    }
+
+    #[test]
+    fn non_finite_coordinates_rejected() {
+        let sites = vec![Site { label: "a".into(), x: f64::NAN, y: 0.0 }];
+        assert!(Register::new(sites).is_err());
+        let sites = vec![Site { label: "a".into(), x: 0.0, y: f64::INFINITY }];
+        assert!(Register::new(sites).is_err());
+    }
+
+    #[test]
+    fn linear_chain_geometry() {
+        let r = Register::linear(4, 6.0).unwrap();
+        assert_eq!(r.len(), 4);
+        assert!((r.distance(0, 1).unwrap() - 6.0).abs() < 1e-12);
+        assert!((r.distance(0, 3).unwrap() - 18.0).abs() < 1e-12);
+        assert_eq!(r.min_distance(), Some(6.0));
+    }
+
+    #[test]
+    fn linear_rejects_bad_spacing() {
+        assert!(Register::linear(4, 0.0).is_err());
+        assert!(Register::linear(4, -3.0).is_err());
+        assert!(Register::linear(4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn ring_has_uniform_nearest_neighbour_spacing() {
+        let n = 8;
+        let r = Register::ring(n, 5.0).unwrap();
+        for i in 0..n {
+            let d = r.distance(i, (i + 1) % n).unwrap();
+            assert!((d - 5.0).abs() < 1e-9, "edge {i}: {d}");
+        }
+        // opposite atoms are farther apart than neighbours
+        assert!(r.distance(0, n / 2).unwrap() > 5.0);
+    }
+
+    #[test]
+    fn ring_requires_three_atoms() {
+        assert!(Register::ring(2, 5.0).is_err());
+    }
+
+    #[test]
+    fn square_lattice_geometry() {
+        let r = Register::square_lattice(2, 3, 4.0).unwrap();
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.min_distance(), Some(4.0));
+        // diagonal of the unit cell
+        let d = r.distance(0, 4).unwrap(); // (0,0) -> (1,1)
+        assert!((d - 4.0 * 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangular_lattice_is_equilateral() {
+        let r = Register::triangular_lattice(2, 2, 6.0).unwrap();
+        // sites: (0,0), (6,0), (3, 3sqrt3), (9, 3sqrt3)
+        assert!((r.distance(0, 1).unwrap() - 6.0).abs() < 1e-9);
+        assert!((r.distance(0, 2).unwrap() - 6.0).abs() < 1e-9);
+        assert!((r.distance(1, 2).unwrap() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_distance_none_for_single_atom() {
+        let r = Register::from_coords(&[(0.0, 0.0)]).unwrap();
+        assert_eq!(r.min_distance(), None);
+    }
+
+    #[test]
+    fn pairs_enumerates_upper_triangle() {
+        let r = Register::linear(3, 5.0).unwrap();
+        let p = r.pairs();
+        assert_eq!(p.len(), 3);
+        assert_eq!((p[0].0, p[0].1), (0, 1));
+        assert_eq!((p[2].0, p[2].1), (1, 2));
+        assert!((p[2].2 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_radius_of_ring_equals_circumradius() {
+        let n = 6;
+        let spacing = 5.0;
+        let r = Register::ring(n, spacing).unwrap();
+        let expected = spacing / (2.0 * (std::f64::consts::PI / n as f64).sin());
+        assert!((r.max_radius_from_center() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = Register::triangular_lattice(3, 3, 5.0).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Register = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn position_and_distance_out_of_range() {
+        let r = Register::linear(2, 5.0).unwrap();
+        assert!(r.position(5).is_none());
+        assert!(r.distance(0, 5).is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! Physical units and constants used throughout the IR.
+//!
+//! All quantities are stored as `f64` in the canonical unit system
+//! (µs, rad/µs, µm); these helpers exist to make call sites self-documenting
+//! and to centralise the physical constants of the neutral-atom platform.
+
+/// Van der Waals interaction coefficient `C6` for the Rydberg level used by
+/// Pasqal devices, in rad·µs⁻¹·µm⁶.
+///
+/// The interaction between two atoms in the Rydberg state at distance `r` µm
+/// is `C6 / r^6` rad/µs. The value corresponds to the `n = 70` Rydberg level.
+pub const C6_COEFF: f64 = 5_420_158.53;
+
+/// Convert a frequency in MHz to an angular frequency in rad/µs.
+#[inline]
+pub fn mhz_to_rad_per_us(f_mhz: f64) -> f64 {
+    2.0 * std::f64::consts::PI * f_mhz
+}
+
+/// Convert an angular frequency in rad/µs to a plain frequency in MHz.
+#[inline]
+pub fn rad_per_us_to_mhz(w: f64) -> f64 {
+    w / (2.0 * std::f64::consts::PI)
+}
+
+/// Convert nanoseconds to microseconds.
+#[inline]
+pub fn ns_to_us(t_ns: f64) -> f64 {
+    t_ns * 1e-3
+}
+
+/// Convert microseconds to nanoseconds.
+#[inline]
+pub fn us_to_ns(t_us: f64) -> f64 {
+    t_us * 1e3
+}
+
+/// The Rydberg blockade radius for a given Rabi frequency `omega` (rad/µs):
+/// the distance below which the interaction shift exceeds the drive strength,
+/// `r_b = (C6 / Ω)^(1/6)` µm.
+///
+/// Returns `None` when `omega <= 0`, where the blockade radius is undefined.
+pub fn blockade_radius(omega: f64) -> Option<f64> {
+    if omega <= 0.0 {
+        None
+    } else {
+        Some((C6_COEFF / omega).powf(1.0 / 6.0))
+    }
+}
+
+/// Interaction strength `C6 / r^6` between two atoms separated by `r` µm.
+///
+/// Returns `f64::INFINITY` when the distance is zero (overlapping atoms are a
+/// register-validation error upstream; this keeps the numerics total).
+#[inline]
+pub fn vdw_interaction(r_um: f64) -> f64 {
+    if r_um == 0.0 {
+        f64::INFINITY
+    } else {
+        C6_COEFF / r_um.powi(6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mhz_roundtrip() {
+        let w = mhz_to_rad_per_us(1.0);
+        assert!((w - 2.0 * std::f64::consts::PI).abs() < 1e-12);
+        assert!((rad_per_us_to_mhz(w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ns_us_roundtrip() {
+        assert!((ns_to_us(us_to_ns(3.25)) - 3.25).abs() < 1e-12);
+        assert_eq!(ns_to_us(1000.0), 1.0);
+    }
+
+    #[test]
+    fn blockade_radius_monotonically_decreases_with_drive() {
+        let r1 = blockade_radius(1.0).unwrap();
+        let r2 = blockade_radius(10.0).unwrap();
+        assert!(r1 > r2, "stronger drive shrinks the blockade: {r1} vs {r2}");
+    }
+
+    #[test]
+    fn blockade_radius_undefined_for_zero_drive() {
+        assert!(blockade_radius(0.0).is_none());
+        assert!(blockade_radius(-1.0).is_none());
+    }
+
+    #[test]
+    fn vdw_interaction_follows_inverse_sixth_power() {
+        let near = vdw_interaction(5.0);
+        let far = vdw_interaction(10.0);
+        assert!((near / far - 64.0).abs() < 1e-9, "doubling r divides by 2^6");
+    }
+
+    #[test]
+    fn vdw_interaction_at_zero_distance_is_infinite() {
+        assert!(vdw_interaction(0.0).is_infinite());
+    }
+
+    #[test]
+    fn typical_blockade_radius_is_physical() {
+        // At Ω = 2π MHz the blockade radius should be in the ~8-12 µm range
+        // for the C6 of the n=70 level.
+        let r = blockade_radius(mhz_to_rad_per_us(1.0)).unwrap();
+        assert!(r > 6.0 && r < 15.0, "unexpected blockade radius {r}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Validation of a program against a device specification.
+//!
+//! Validation is how the stack keeps a program *valid at the point of
+//! execution* despite calibration drift (paper §2.1): clients fetch the
+//! current [`DeviceSpec`](crate::DeviceSpec) through QRMI and re-validate
+//! before submission; the middleware daemon validates again server-side.
+
+use crate::device::DeviceSpec;
+use crate::sequence::Sequence;
+use serde::{Deserialize, Serialize};
+
+/// Category of spec violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// Register holds more atoms than the device supports.
+    TooManyQubits,
+    /// Two atoms closer than the minimum trap distance.
+    AtomsTooClose,
+    /// An atom sits outside the optical field of view.
+    RegisterTooLarge,
+    /// Sequence exceeds the maximum duration.
+    SequenceTooLong,
+    /// A pulse references a channel the device doesn't expose.
+    UnknownChannel,
+    /// Rabi frequency exceeds the channel maximum (or is negative).
+    AmplitudeOutOfRange,
+    /// Detuning exits the channel's calibrated range.
+    DetuningOutOfRange,
+    /// Requested shot count outside [min_shots, max_shots].
+    ShotsOutOfRange,
+}
+
+/// One violation with a human-readable message, suitable for surfacing in
+/// job-rejection responses from the middleware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+/// Validate `sequence` (and optionally a shot request) against `spec`.
+/// Returns every violation found — empty means the program fits the device.
+pub fn validate(sequence: &Sequence, spec: &DeviceSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // --- geometry ---
+    let n = sequence.register.len();
+    if n > spec.max_qubits {
+        out.push(Violation {
+            kind: ViolationKind::TooManyQubits,
+            message: format!("register has {n} atoms, device supports {}", spec.max_qubits),
+        });
+    }
+    if let Some(dmin) = sequence.register.min_distance() {
+        if dmin < spec.min_atom_distance - 1e-9 {
+            out.push(Violation {
+                kind: ViolationKind::AtomsTooClose,
+                message: format!(
+                    "minimum atom distance {dmin:.3} µm < device minimum {} µm",
+                    spec.min_atom_distance
+                ),
+            });
+        }
+    }
+    let radius = sequence.register.max_radius_from_center();
+    if radius > spec.max_radius_from_center + 1e-9 {
+        out.push(Violation {
+            kind: ViolationKind::RegisterTooLarge,
+            message: format!(
+                "register radius {radius:.3} µm exceeds field of view {} µm",
+                spec.max_radius_from_center
+            ),
+        });
+    }
+
+    // --- timing ---
+    let dur = sequence.duration();
+    if dur > spec.max_duration + 1e-9 {
+        out.push(Violation {
+            kind: ViolationKind::SequenceTooLong,
+            message: format!("sequence lasts {dur:.3} µs, device maximum {} µs", spec.max_duration),
+        });
+    }
+
+    // --- channels & drive limits ---
+    for tp in &sequence.pulses {
+        let Some(ch) = spec.channel(&tp.channel) else {
+            out.push(Violation {
+                kind: ViolationKind::UnknownChannel,
+                message: format!("channel {:?} not available on {}", tp.channel, spec.name),
+            });
+            continue;
+        };
+        let omax = tp.pulse.amplitude.max_value();
+        let omin = tp.pulse.amplitude.min_value();
+        if omax > ch.max_amplitude + 1e-9 {
+            out.push(Violation {
+                kind: ViolationKind::AmplitudeOutOfRange,
+                message: format!(
+                    "pulse at t={:.3} µs peaks at Ω={omax:.3} rad/µs > channel max {:.3}",
+                    tp.start, ch.max_amplitude
+                ),
+            });
+        }
+        if omin < -1e-9 {
+            out.push(Violation {
+                kind: ViolationKind::AmplitudeOutOfRange,
+                message: format!(
+                    "pulse at t={:.3} µs has negative Rabi frequency Ω={omin:.3} rad/µs",
+                    tp.start
+                ),
+            });
+        }
+        let dmax = tp.pulse.detuning.max_value();
+        let dmin = tp.pulse.detuning.min_value();
+        if dmax > ch.max_detuning + 1e-9 || dmin < ch.min_detuning - 1e-9 {
+            out.push(Violation {
+                kind: ViolationKind::DetuningOutOfRange,
+                message: format!(
+                    "pulse at t={:.3} µs detuning spans [{dmin:.3}, {dmax:.3}] rad/µs, \
+                     channel allows [{:.3}, {:.3}]",
+                    tp.start, ch.min_detuning, ch.max_detuning
+                ),
+            });
+        }
+    }
+
+    out
+}
+
+/// Validate a shot-count request against the device spec.
+pub fn validate_shots(shots: u32, spec: &DeviceSpec) -> Option<Violation> {
+    if shots < spec.min_shots || shots > spec.max_shots {
+        Some(Violation {
+            kind: ViolationKind::ShotsOutOfRange,
+            message: format!(
+                "requested {shots} shots, device accepts [{}, {}]",
+                spec.min_shots, spec.max_shots
+            ),
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::register::Register;
+    use crate::sequence::{Pulse, SequenceBuilder};
+    use crate::waveform::Waveform;
+
+    fn good_sequence() -> Sequence {
+        let reg = Register::linear(4, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(1.0, 6.0, -10.0, 0.0).unwrap());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_program_has_no_violations() {
+        let v = validate(&good_sequence(), &DeviceSpec::analog_production());
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn detects_too_many_qubits() {
+        let reg = Register::linear(101, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(1.0, 1.0, 0.0, 0.0).unwrap());
+        let s = b.build().unwrap();
+        let mut spec = DeviceSpec::analog_production();
+        spec.max_radius_from_center = 1e6; // isolate the qubit-count check
+        let v = validate(&s, &spec);
+        assert!(v.iter().any(|x| x.kind == ViolationKind::TooManyQubits));
+    }
+
+    #[test]
+    fn detects_atoms_too_close() {
+        let reg = Register::linear(3, 2.0).unwrap(); // < 5 µm min distance
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(1.0, 1.0, 0.0, 0.0).unwrap());
+        let s = b.build().unwrap();
+        let v = validate(&s, &DeviceSpec::analog_production());
+        assert!(v.iter().any(|x| x.kind == ViolationKind::AtomsTooClose));
+    }
+
+    #[test]
+    fn detects_register_too_large() {
+        let reg = Register::linear(20, 6.0).unwrap(); // 114 µm long chain
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(1.0, 1.0, 0.0, 0.0).unwrap());
+        let s = b.build().unwrap();
+        let v = validate(&s, &DeviceSpec::analog_production());
+        assert!(v.iter().any(|x| x.kind == ViolationKind::RegisterTooLarge));
+    }
+
+    #[test]
+    fn detects_sequence_too_long() {
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(7.0, 1.0, 0.0, 0.0).unwrap());
+        let s = b.build().unwrap();
+        let v = validate(&s, &DeviceSpec::analog_production());
+        assert!(v.iter().any(|x| x.kind == ViolationKind::SequenceTooLong));
+    }
+
+    #[test]
+    fn detects_unknown_channel() {
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_pulse("raman_local", Pulse::constant(1.0, 1.0, 0.0, 0.0).unwrap());
+        let s = b.build().unwrap();
+        let v = validate(&s, &DeviceSpec::analog_production());
+        assert!(v.iter().any(|x| x.kind == ViolationKind::UnknownChannel));
+    }
+
+    #[test]
+    fn detects_amplitude_over_max_and_negative() {
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(1.0, 99.0, 0.0, 0.0).unwrap());
+        b.add_global_pulse(
+            Pulse::new(
+                Waveform::ramp(1.0, -1.0, 1.0).unwrap(),
+                Waveform::constant(1.0, 0.0).unwrap(),
+                0.0,
+            )
+            .unwrap(),
+        );
+        let s = b.build().unwrap();
+        let v = validate(&s, &DeviceSpec::analog_production());
+        let amp: Vec<_> = v
+            .iter()
+            .filter(|x| x.kind == ViolationKind::AmplitudeOutOfRange)
+            .collect();
+        assert_eq!(amp.len(), 2, "both over-max and negative flagged: {v:?}");
+    }
+
+    #[test]
+    fn detects_detuning_out_of_range() {
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(1.0, 1.0, -500.0, 0.0).unwrap());
+        let s = b.build().unwrap();
+        let v = validate(&s, &DeviceSpec::analog_production());
+        assert!(v.iter().any(|x| x.kind == ViolationKind::DetuningOutOfRange));
+    }
+
+    #[test]
+    fn emulator_accepts_what_hardware_rejects() {
+        // A 20-qubit long chain with strong drive fails production but passes
+        // the emulator — the Figure-1 "develop big, validate against device"
+        // situation where mock validation is the safety net.
+        let reg = Register::linear(20, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(8.0, 50.0, 0.0, 0.0).unwrap());
+        let s = b.build().unwrap();
+        assert!(!validate(&s, &DeviceSpec::analog_production()).is_empty());
+        assert!(validate(&s, &DeviceSpec::emulator("emu-mps", 64)).is_empty());
+    }
+
+    #[test]
+    fn shots_validation() {
+        let spec = DeviceSpec::analog_production();
+        assert!(validate_shots(100, &spec).is_none());
+        assert!(validate_shots(0, &spec).is_some());
+        assert!(validate_shots(1_000_000, &spec).is_some());
+    }
+
+    #[test]
+    fn tighter_revision_catches_previously_valid_program() {
+        // Simulates calibration drift: the program validated against rev 1,
+        // then the device tightened max_amplitude in rev 2.
+        let s = good_sequence();
+        let spec1 = DeviceSpec::analog_production();
+        assert!(validate(&s, &spec1).is_empty());
+        let mut spec2 = spec1.clone();
+        spec2.revision = 2;
+        spec2.channels[0].max_amplitude = 4.0; // drifted below the pulse's 6.0
+        let v = validate(&s, &spec2);
+        assert!(v.iter().any(|x| x.kind == ViolationKind::AmplitudeOutOfRange));
+    }
+}

@@ -1,0 +1,374 @@
+//! Time-dependent control waveforms.
+//!
+//! A [`Waveform`] maps time `t ∈ [0, duration]` (µs) to a value (rad/µs for
+//! amplitude/detuning channels, radians for phase). Waveforms are closed under
+//! concatenation and scaling, and can report their extrema and integral —
+//! which device validation and the emulators both need.
+
+use crate::error::ProgramError;
+use serde::{Deserialize, Serialize};
+
+/// A piecewise control shape.
+///
+/// All variants store their duration in µs. `sample(t)` is defined on
+/// `[0, duration]`; outside that interval it clamps to the endpoint values,
+/// which makes sequence stitching robust to floating-point edge effects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Waveform {
+    /// Constant value for `duration` µs.
+    Constant { duration: f64, value: f64 },
+    /// Linear ramp from `start` to `stop` over `duration` µs.
+    Ramp { duration: f64, start: f64, stop: f64 },
+    /// A Blackman window scaled so its maximum equals `area / integral` —
+    /// i.e. the waveform has total integral `area` (rad). The standard smooth
+    /// pulse used on neutral-atom hardware to limit spectral leakage.
+    Blackman { duration: f64, area: f64 },
+    /// Piecewise-linear interpolation through uniformly spaced `values`
+    /// (first value at t=0, last at t=duration). Needs >= 2 points.
+    Interpolated { duration: f64, values: Vec<f64> },
+    /// Concatenation of sub-waveforms, played back to back.
+    Composite { parts: Vec<Waveform> },
+}
+
+impl Waveform {
+    /// A constant waveform. `duration` must be positive and finite.
+    pub fn constant(duration: f64, value: f64) -> Result<Self, ProgramError> {
+        check_duration(duration)?;
+        check_finite(value, "value")?;
+        Ok(Waveform::Constant { duration, value })
+    }
+
+    /// A linear ramp.
+    pub fn ramp(duration: f64, start: f64, stop: f64) -> Result<Self, ProgramError> {
+        check_duration(duration)?;
+        check_finite(start, "start")?;
+        check_finite(stop, "stop")?;
+        Ok(Waveform::Ramp { duration, start, stop })
+    }
+
+    /// A Blackman pulse with the given integrated area (rad).
+    pub fn blackman(duration: f64, area: f64) -> Result<Self, ProgramError> {
+        check_duration(duration)?;
+        check_finite(area, "area")?;
+        Ok(Waveform::Blackman { duration, area })
+    }
+
+    /// A piecewise-linear waveform through `values` uniformly spanning
+    /// `[0, duration]`.
+    pub fn interpolated(duration: f64, values: Vec<f64>) -> Result<Self, ProgramError> {
+        check_duration(duration)?;
+        if values.len() < 2 {
+            return Err(ProgramError::InvalidWaveform(format!(
+                "interpolated waveform needs >= 2 points, got {}",
+                values.len()
+            )));
+        }
+        for (i, v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(ProgramError::InvalidWaveform(format!(
+                    "interpolation point {i} is not finite ({v})"
+                )));
+            }
+        }
+        Ok(Waveform::Interpolated { duration, values })
+    }
+
+    /// Concatenate waveforms. Rejects an empty list.
+    pub fn composite(parts: Vec<Waveform>) -> Result<Self, ProgramError> {
+        if parts.is_empty() {
+            return Err(ProgramError::InvalidWaveform(
+                "composite waveform needs at least one part".into(),
+            ));
+        }
+        Ok(Waveform::Composite { parts })
+    }
+
+    /// Total duration in µs.
+    pub fn duration(&self) -> f64 {
+        match self {
+            Waveform::Constant { duration, .. }
+            | Waveform::Ramp { duration, .. }
+            | Waveform::Blackman { duration, .. }
+            | Waveform::Interpolated { duration, .. } => *duration,
+            Waveform::Composite { parts } => parts.iter().map(Waveform::duration).sum(),
+        }
+    }
+
+    /// Value at time `t` µs. Clamps outside `[0, duration]`.
+    pub fn sample(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Constant { value, .. } => *value,
+            Waveform::Ramp { duration, start, stop } => {
+                let x = (t / duration).clamp(0.0, 1.0);
+                start + (stop - start) * x
+            }
+            Waveform::Blackman { duration, area } => {
+                let x = (t / duration).clamp(0.0, 1.0);
+                // Blackman window: w(x) = 0.42 - 0.5 cos(2πx) + 0.08 cos(4πx).
+                // Its integral over [0,1] is 0.42, so scale by area/(0.42*duration)
+                // to achieve the requested pulse area.
+                let w = 0.42 - 0.5 * (2.0 * std::f64::consts::PI * x).cos()
+                    + 0.08 * (4.0 * std::f64::consts::PI * x).cos();
+                w * area / (0.42 * duration)
+            }
+            Waveform::Interpolated { duration, values } => {
+                let n = values.len();
+                let x = (t / duration).clamp(0.0, 1.0) * (n - 1) as f64;
+                let i = (x.floor() as usize).min(n - 2);
+                let frac = x - i as f64;
+                values[i] * (1.0 - frac) + values[i + 1] * frac
+            }
+            Waveform::Composite { parts } => {
+                let mut offset = 0.0;
+                for (k, p) in parts.iter().enumerate() {
+                    let d = p.duration();
+                    let last = k == parts.len() - 1;
+                    if t < offset + d || last {
+                        return p.sample(t - offset);
+                    }
+                    offset += d;
+                }
+                0.0 // unreachable: constructors reject empty composites
+            }
+        }
+    }
+
+    /// Uniformly sample the waveform at `dt` µs resolution (including both
+    /// endpoints). Used by the emulators and the device-validation sweep.
+    pub fn discretize(&self, dt: f64) -> Vec<f64> {
+        let d = self.duration();
+        let steps = (d / dt).ceil().max(1.0) as usize;
+        (0..=steps)
+            .map(|k| self.sample(d * k as f64 / steps as f64))
+            .collect()
+    }
+
+    /// Maximum value over the waveform (exact for every variant: the
+    /// Blackman window `0.42 − 0.5cos(2πx) + 0.08cos(4πx)` spans exactly
+    /// `[0, 1]` — substituting `c = cos(2πx)` gives `0.16c² − 0.5c + 0.34`,
+    /// monotone on `c ∈ [−1, 1]` — and piecewise-linear waveforms attain
+    /// their extrema at the nodes).
+    pub fn max_value(&self) -> f64 {
+        match self {
+            Waveform::Constant { value, .. } => *value,
+            Waveform::Ramp { start, stop, .. } => start.max(*stop),
+            Waveform::Blackman { duration, area } => {
+                let peak = area / (0.42 * duration);
+                peak.max(0.0)
+            }
+            Waveform::Interpolated { values, .. } => {
+                values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            }
+            Waveform::Composite { parts } => {
+                parts.iter().map(Waveform::max_value).fold(f64::NEG_INFINITY, f64::max)
+            }
+        }
+    }
+
+    /// Minimum value over the waveform (exact; see [`Waveform::max_value`]).
+    pub fn min_value(&self) -> f64 {
+        match self {
+            Waveform::Constant { value, .. } => *value,
+            Waveform::Ramp { start, stop, .. } => start.min(*stop),
+            Waveform::Blackman { duration, area } => {
+                let peak = area / (0.42 * duration);
+                peak.min(0.0)
+            }
+            Waveform::Interpolated { values, .. } => {
+                values.iter().cloned().fold(f64::INFINITY, f64::min)
+            }
+            Waveform::Composite { parts } => {
+                parts.iter().map(Waveform::min_value).fold(f64::INFINITY, f64::min)
+            }
+        }
+    }
+
+    /// The integral `∫ w(t) dt` over the full duration (rad for rad/µs
+    /// waveforms) — the "pulse area". Analytic where possible, trapezoidal at
+    /// 1 ns otherwise.
+    pub fn integral(&self) -> f64 {
+        match self {
+            Waveform::Constant { duration, value } => duration * value,
+            Waveform::Ramp { duration, start, stop } => duration * (start + stop) / 2.0,
+            Waveform::Blackman { area, .. } => *area,
+            Waveform::Composite { parts } => parts.iter().map(Waveform::integral).sum(),
+            Waveform::Interpolated { duration, values } => {
+                // exact trapezoid over the interpolation nodes
+                let n = values.len();
+                let h = duration / (n - 1) as f64;
+                values.windows(2).map(|w| (w[0] + w[1]) / 2.0 * h).sum()
+            }
+        }
+    }
+
+    /// A new waveform scaled pointwise by `factor` (durations unchanged).
+    pub fn scaled(&self, factor: f64) -> Waveform {
+        match self {
+            Waveform::Constant { duration, value } => Waveform::Constant {
+                duration: *duration,
+                value: value * factor,
+            },
+            Waveform::Ramp { duration, start, stop } => Waveform::Ramp {
+                duration: *duration,
+                start: start * factor,
+                stop: stop * factor,
+            },
+            Waveform::Blackman { duration, area } => Waveform::Blackman {
+                duration: *duration,
+                area: area * factor,
+            },
+            Waveform::Interpolated { duration, values } => Waveform::Interpolated {
+                duration: *duration,
+                values: values.iter().map(|v| v * factor).collect(),
+            },
+            Waveform::Composite { parts } => Waveform::Composite {
+                parts: parts.iter().map(|p| p.scaled(factor)).collect(),
+            },
+        }
+    }
+}
+
+fn check_duration(d: f64) -> Result<(), ProgramError> {
+    if d <= 0.0 || !d.is_finite() {
+        Err(ProgramError::InvalidWaveform(format!(
+            "duration must be positive and finite, got {d}"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn check_finite(v: f64, what: &str) -> Result<(), ProgramError> {
+    if v.is_finite() {
+        Ok(())
+    } else {
+        Err(ProgramError::InvalidWaveform(format!("{what} must be finite, got {v}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_samples_and_integral() {
+        let w = Waveform::constant(2.0, 3.0).unwrap();
+        assert_eq!(w.sample(0.0), 3.0);
+        assert_eq!(w.sample(1.7), 3.0);
+        assert_eq!(w.duration(), 2.0);
+        assert!((w.integral() - 6.0).abs() < 1e-12);
+        assert_eq!(w.max_value(), 3.0);
+        assert_eq!(w.min_value(), 3.0);
+    }
+
+    #[test]
+    fn invalid_durations_rejected() {
+        assert!(Waveform::constant(0.0, 1.0).is_err());
+        assert!(Waveform::constant(-1.0, 1.0).is_err());
+        assert!(Waveform::constant(f64::NAN, 1.0).is_err());
+        assert!(Waveform::ramp(1.0, f64::INFINITY, 0.0).is_err());
+    }
+
+    #[test]
+    fn ramp_is_linear_and_clamps() {
+        let w = Waveform::ramp(4.0, 0.0, 8.0).unwrap();
+        assert_eq!(w.sample(0.0), 0.0);
+        assert_eq!(w.sample(2.0), 4.0);
+        assert_eq!(w.sample(4.0), 8.0);
+        assert_eq!(w.sample(-1.0), 0.0, "clamps below");
+        assert_eq!(w.sample(99.0), 8.0, "clamps above");
+        assert!((w.integral() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_area_matches_request() {
+        let w = Waveform::blackman(1.0, std::f64::consts::PI).unwrap();
+        // numerically integrate at fine resolution
+        let dt = 1e-4;
+        let samples = w.discretize(dt);
+        let h = w.duration() / (samples.len() - 1) as f64;
+        let num: f64 = samples.windows(2).map(|p| (p[0] + p[1]) / 2.0 * h).sum();
+        assert!(
+            (num - std::f64::consts::PI).abs() < 1e-3,
+            "numeric area {num} vs requested pi"
+        );
+        assert!((w.integral() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_starts_and_ends_near_zero() {
+        let w = Waveform::blackman(1.0, 1.0).unwrap();
+        assert!(w.sample(0.0).abs() < 1e-12);
+        assert!(w.sample(1.0).abs() < 1e-12);
+        assert!(w.sample(0.5) > 0.0);
+    }
+
+    #[test]
+    fn interpolated_hits_nodes() {
+        let w = Waveform::interpolated(3.0, vec![0.0, 2.0, 1.0, 4.0]).unwrap();
+        assert_eq!(w.sample(0.0), 0.0);
+        assert!((w.sample(1.0) - 2.0).abs() < 1e-12);
+        assert!((w.sample(2.0) - 1.0).abs() < 1e-12);
+        assert!((w.sample(3.0) - 4.0).abs() < 1e-12);
+        // midpoint of first segment
+        assert!((w.sample(0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolated_needs_two_points() {
+        assert!(Waveform::interpolated(1.0, vec![1.0]).is_err());
+        assert!(Waveform::interpolated(1.0, vec![]).is_err());
+        assert!(Waveform::interpolated(1.0, vec![1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn composite_stitches_parts() {
+        let w = Waveform::composite(vec![
+            Waveform::constant(1.0, 2.0).unwrap(),
+            Waveform::ramp(1.0, 2.0, 0.0).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(w.duration(), 2.0);
+        assert_eq!(w.sample(0.5), 2.0);
+        assert!((w.sample(1.5) - 1.0).abs() < 1e-12);
+        assert!((w.integral() - 3.0).abs() < 1e-12);
+        assert_eq!(w.max_value(), 2.0);
+        assert_eq!(w.min_value(), 0.0);
+    }
+
+    #[test]
+    fn composite_rejects_empty() {
+        assert!(Waveform::composite(vec![]).is_err());
+    }
+
+    #[test]
+    fn scaled_multiplies_values_not_duration() {
+        let w = Waveform::ramp(2.0, 1.0, 3.0).unwrap().scaled(2.0);
+        assert_eq!(w.duration(), 2.0);
+        assert_eq!(w.sample(0.0), 2.0);
+        assert_eq!(w.sample(2.0), 6.0);
+    }
+
+    #[test]
+    fn discretize_includes_endpoints() {
+        let w = Waveform::ramp(1.0, 0.0, 1.0).unwrap();
+        let s = w.discretize(0.25);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(*s.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip_all_variants() {
+        let w = Waveform::composite(vec![
+            Waveform::constant(1.0, 1.5).unwrap(),
+            Waveform::ramp(0.5, 1.5, 0.0).unwrap(),
+            Waveform::blackman(1.0, 3.14).unwrap(),
+            Waveform::interpolated(1.0, vec![0.0, 1.0, 0.0]).unwrap(),
+        ])
+        .unwrap();
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Waveform = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests on the IR: waveform algebra, register geometry,
+//! serialization round-trips and validation consistency.
+
+use hpcqc_program::{
+    DeviceSpec, ProgramIr, Pulse, Register, SequenceBuilder, Waveform,
+};
+use proptest::prelude::*;
+
+fn arb_waveform() -> impl Strategy<Value = Waveform> {
+    let duration = 0.01f64..5.0;
+    let value = -40.0f64..40.0;
+    prop_oneof![
+        (duration.clone(), value.clone())
+            .prop_map(|(d, v)| Waveform::constant(d, v).unwrap()),
+        (duration.clone(), value.clone(), value.clone())
+            .prop_map(|(d, a, b)| Waveform::ramp(d, a, b).unwrap()),
+        (duration.clone(), -20.0f64..20.0).prop_map(|(d, a)| Waveform::blackman(d, a).unwrap()),
+        (duration, proptest::collection::vec(value, 2..8))
+            .prop_map(|(d, vs)| Waveform::interpolated(d, vs).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn waveform_samples_within_extrema(w in arb_waveform(), frac in 0.0f64..1.0) {
+        let t = w.duration() * frac;
+        let v = w.sample(t);
+        prop_assert!(v >= w.min_value() - 1e-9, "sample {v} below min {}", w.min_value());
+        prop_assert!(v <= w.max_value() + 1e-9, "sample {v} above max {}", w.max_value());
+    }
+
+    #[test]
+    fn waveform_integral_matches_numeric(w in arb_waveform()) {
+        let samples = w.discretize(w.duration() / 2000.0);
+        let h = w.duration() / (samples.len() - 1) as f64;
+        let numeric: f64 = samples.windows(2).map(|p| (p[0] + p[1]) / 2.0 * h).sum();
+        // Blackman is smooth; ramps/constants exact; interpolated exact at nodes
+        prop_assert!(
+            (numeric - w.integral()).abs() < 1e-2 * (1.0 + w.integral().abs()),
+            "numeric {numeric} vs analytic {}",
+            w.integral()
+        );
+    }
+
+    #[test]
+    fn waveform_scaling_is_linear(w in arb_waveform(), k in -3.0f64..3.0, frac in 0.0f64..1.0) {
+        let t = w.duration() * frac;
+        let scaled = w.scaled(k);
+        prop_assert!((scaled.sample(t) - k * w.sample(t)).abs() < 1e-9);
+        prop_assert!((scaled.duration() - w.duration()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waveform_serde_roundtrip(w in arb_waveform()) {
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Waveform = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(w, back);
+    }
+
+    #[test]
+    fn ring_layout_uniform_spacing(n in 3usize..20, spacing in 1.0f64..20.0) {
+        let r = Register::ring(n, spacing).unwrap();
+        for i in 0..n {
+            let d = r.distance(i, (i + 1) % n).unwrap();
+            prop_assert!((d - spacing).abs() < 1e-9, "edge {i}: {d}");
+        }
+        prop_assert!((r.min_distance().unwrap() - spacing).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lattice_min_distance_is_spacing(rows in 1usize..5, cols in 1usize..5, spacing in 1.0f64..20.0) {
+        prop_assume!(rows * cols >= 2);
+        let sq = Register::square_lattice(rows, cols, spacing).unwrap();
+        prop_assert!((sq.min_distance().unwrap() - spacing).abs() < 1e-9);
+        let tri = Register::triangular_lattice(rows, cols, spacing).unwrap();
+        prop_assert!(tri.min_distance().unwrap() >= spacing - 1e-9);
+    }
+
+    #[test]
+    fn program_ir_roundtrip(
+        n in 1usize..8,
+        spacing in 4.0f64..10.0,
+        shots in 1u32..5000,
+        omega in 0.0f64..12.0,
+        delta in -30.0f64..30.0,
+        duration in 0.05f64..4.0,
+    ) {
+        let reg = Register::linear(n, spacing).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(duration, omega, delta, 0.0).unwrap());
+        let ir = ProgramIr::new(b.build().unwrap(), shots, "proptest");
+        let back = ProgramIr::from_json(&ir.to_json().unwrap()).unwrap();
+        prop_assert_eq!(&ir, &back);
+        prop_assert_eq!(ir.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn validation_is_monotone_in_spec_limits(
+        n in 1usize..12,
+        omega in 0.0f64..12.0,
+        duration in 0.05f64..5.0,
+    ) {
+        // any program valid on the production spec is valid on the (looser)
+        // emulator spec — the precondition for "mock validates for hardware"
+        let reg = Register::linear(n, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(duration, omega, 0.0, 0.0).unwrap());
+        let seq = b.build().unwrap();
+        let prod = hpcqc_program::validate(&seq, &DeviceSpec::analog_production());
+        let emu = hpcqc_program::validate(&seq, &DeviceSpec::emulator("emu", 100));
+        if prod.is_empty() {
+            prop_assert!(emu.is_empty(), "emulator stricter than production: {emu:?}");
+        }
+    }
+
+    #[test]
+    fn drive_at_zero_outside_schedule(duration in 0.1f64..2.0, t_after in 0.1f64..5.0) {
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(duration, 3.0, 1.0, 0.0).unwrap());
+        let seq = b.build().unwrap();
+        let (o, d, p) = seq.drive_at("rydberg_global", duration + t_after);
+        prop_assert_eq!((o, d, p), (0.0, 0.0, 0.0));
+    }
+}

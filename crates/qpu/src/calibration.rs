@@ -1,0 +1,265 @@
+//! Calibration state and drift model of the virtual QPU.
+//!
+//! Neutral-atom devices drift: laser power (Rabi-frequency scale), detuning
+//! offsets and readout error rates wander over time and are periodically
+//! re-calibrated (paper §2.1, §2.5). Each parameter follows an
+//! Ornstein–Uhlenbeck process around its nominal value,
+//!
+//! ```text
+//! x ← x + θ (μ − x) dt + σ √dt · N(0,1)
+//! ```
+//!
+//! plus optional injected step faults for the observability experiments.
+//! The calibration determines the *effective* device spec revision: whenever
+//! a recalibration lands, the advertised [`DeviceSpec`] revision is bumped so
+//! clients can detect stale validation.
+
+use hpcqc_program::DeviceSpec;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// One drifting scalar parameter.
+///
+/// `current` fluctuates around `nominal` (the servo setpoint the control
+/// system currently achieves); `pristine` is the as-commissioned value a
+/// full recalibration restores. Degradations (laser power loss, alignment
+/// creep) lower `nominal` itself and therefore persist through the OU
+/// mean-reversion until an operator recalibrates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OuParameter {
+    /// As-commissioned value restored by recalibration.
+    pub pristine: f64,
+    /// Current servo setpoint μ (degrades under faults).
+    pub nominal: f64,
+    /// Current value.
+    pub current: f64,
+    /// Mean-reversion rate θ (1/s).
+    pub theta: f64,
+    /// Diffusion σ (units/√s).
+    pub sigma: f64,
+}
+
+impl OuParameter {
+    pub fn new(nominal: f64, theta: f64, sigma: f64) -> Self {
+        OuParameter { pristine: nominal, nominal, current: nominal, theta, sigma }
+    }
+
+    /// Advance the process by `dt` seconds.
+    ///
+    /// Long steps are exact for the mean reversion (exponential decay
+    /// toward nominal) with matched stationary noise, so calling this with
+    /// hours-long `dt` is as valid as many small steps.
+    pub fn step<R: Rng>(&mut self, dt: f64, rng: &mut R) {
+        let noise = Normal::new(0.0, 1.0).expect("unit normal");
+        if self.theta * dt < 1e-3 {
+            // Euler–Maruyama for short steps
+            self.current += self.theta * (self.nominal - self.current) * dt
+                + self.sigma * dt.sqrt() * noise.sample(rng);
+        } else {
+            // exact OU transition: x' = μ + (x-μ)e^{-θdt} + σ_dt N(0,1)
+            let decay = (-self.theta * dt).exp();
+            let std_dt =
+                self.sigma * ((1.0 - decay * decay) / (2.0 * self.theta)).sqrt();
+            self.current =
+                self.nominal + (self.current - self.nominal) * decay + std_dt * noise.sample(rng);
+        }
+    }
+
+    /// Degrade the servo setpoint multiplicatively (persistent fault).
+    pub fn degrade(&mut self, factor: f64) {
+        self.nominal *= factor;
+        self.current *= factor;
+    }
+
+    /// Restore the as-commissioned value (a recalibration).
+    pub fn recalibrate(&mut self) {
+        self.nominal = self.pristine;
+        self.current = self.pristine;
+    }
+
+    /// Relative deviation of the current value from the pristine value.
+    pub fn deviation(&self) -> f64 {
+        if self.pristine.abs() > 1e-300 {
+            (self.current - self.pristine) / self.pristine
+        } else {
+            self.current - self.pristine
+        }
+    }
+}
+
+/// The full drifting calibration of the device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Multiplicative error on the applied Rabi frequency (nominal 1.0).
+    pub rabi_scale: OuParameter,
+    /// Additive detuning offset in rad/µs (nominal 0.0).
+    pub detuning_offset: OuParameter,
+    /// Readout false-positive probability ε.
+    pub detection_epsilon: OuParameter,
+    /// Readout false-negative probability ε′.
+    pub detection_epsilon_prime: OuParameter,
+    /// Spec revision; bumped on recalibration.
+    pub revision: u64,
+    /// Simulated time (s) of the last recalibration.
+    pub last_recalibration: f64,
+}
+
+impl Calibration {
+    /// Production-like drift magnitudes. The control servos actively hold
+    /// each parameter near nominal (mean-reversion time constant ~100 s), so
+    /// the stationary wander is sub-percent (σ_stat = σ/√(2θ)); genuine
+    /// degradations enter as injected faults or slow nominal shifts, which
+    /// is what the observability stack must distinguish from wander.
+    pub fn nominal() -> Self {
+        Calibration {
+            rabi_scale: OuParameter::new(1.0, 0.01, 2e-4),
+            detuning_offset: OuParameter::new(0.0, 0.01, 2e-3),
+            detection_epsilon: OuParameter::new(0.01, 0.01, 2e-5),
+            detection_epsilon_prime: OuParameter::new(0.03, 0.01, 5e-5),
+            revision: 1,
+            last_recalibration: 0.0,
+        }
+    }
+
+    /// Advance all parameters by `dt` seconds of drift.
+    pub fn step<R: Rng>(&mut self, dt: f64, rng: &mut R) {
+        self.rabi_scale.step(dt, rng);
+        self.detuning_offset.step(dt, rng);
+        self.detection_epsilon.step(dt, rng);
+        self.detection_epsilon_prime.step(dt, rng);
+        // error probabilities stay physical
+        self.detection_epsilon.current = self.detection_epsilon.current.clamp(0.0, 1.0);
+        self.detection_epsilon_prime.current = self.detection_epsilon_prime.current.clamp(0.0, 1.0);
+    }
+
+    /// Inject a persistent fault into the Rabi scale (observability
+    /// experiment S2: e.g. a laser-power drop of `fraction`). Degrades the
+    /// servo setpoint, so it survives OU mean-reversion until recalibration.
+    pub fn inject_rabi_fault(&mut self, fraction: f64) {
+        self.rabi_scale.degrade(1.0 - fraction);
+    }
+
+    /// Recalibrate everything to nominal, bumping the spec revision.
+    pub fn recalibrate(&mut self, now: f64) {
+        self.rabi_scale.recalibrate();
+        self.detuning_offset.recalibrate();
+        self.detection_epsilon.recalibrate();
+        self.detection_epsilon_prime.recalibrate();
+        self.revision += 1;
+        self.last_recalibration = now;
+    }
+
+    /// The worst relative deviation across drive parameters — the scalar
+    /// health indicator exported to telemetry.
+    pub fn max_drive_deviation(&self) -> f64 {
+        self.rabi_scale
+            .deviation()
+            .abs()
+            .max(self.detuning_offset.current.abs() / 10.0) // normalized to ~10 rad/µs scale
+    }
+
+    /// Render the current calibration into the advertised device spec:
+    /// the usable Ω ceiling shrinks when the laser under-delivers
+    /// (`rabi_scale < 1`), so a program validated against an old revision can
+    /// genuinely become invalid — the drift scenario of paper §2.1.
+    pub fn effective_spec(&self, base: &DeviceSpec) -> DeviceSpec {
+        let mut spec = base.clone();
+        spec.revision = self.revision;
+        for ch in &mut spec.channels {
+            // Under-delivering laser lowers the achievable Ω; over-delivery
+            // doesn't raise the safety envelope.
+            ch.max_amplitude *= self.rabi_scale.current.min(1.0);
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ou_parameter_stays_near_nominal() {
+        let mut p = OuParameter::new(1.0, 0.5, 0.01);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            p.step(0.1, &mut rng);
+        }
+        assert!((p.current - 1.0).abs() < 0.2, "OU wandered to {}", p.current);
+    }
+
+    #[test]
+    fn ou_recalibrate_resets() {
+        let mut p = OuParameter::new(2.0, 0.0, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..100 {
+            p.step(1.0, &mut rng);
+        }
+        assert!(p.deviation().abs() > 0.0);
+        p.recalibrate();
+        assert_eq!(p.current, 2.0);
+        assert_eq!(p.deviation(), 0.0);
+    }
+
+    #[test]
+    fn drift_is_seed_deterministic() {
+        let mut a = Calibration::nominal();
+        let mut b = Calibration::nominal();
+        let mut ra = ChaCha8Rng::seed_from_u64(5);
+        let mut rb = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            a.step(10.0, &mut ra);
+            b.step(10.0, &mut rb);
+        }
+        assert_eq!(a.rabi_scale.current, b.rabi_scale.current);
+        assert_eq!(a.detuning_offset.current, b.detuning_offset.current);
+    }
+
+    #[test]
+    fn error_probabilities_stay_physical() {
+        let mut c = Calibration::nominal();
+        c.detection_epsilon.sigma = 10.0; // absurd diffusion
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            c.step(1.0, &mut rng);
+            assert!((0.0..=1.0).contains(&c.detection_epsilon.current));
+        }
+    }
+
+    #[test]
+    fn fault_injection_drops_rabi_scale() {
+        let mut c = Calibration::nominal();
+        c.inject_rabi_fault(0.1);
+        assert!((c.rabi_scale.current - 0.9).abs() < 1e-12);
+        assert!(c.max_drive_deviation() > 0.05);
+    }
+
+    #[test]
+    fn recalibration_bumps_revision() {
+        let mut c = Calibration::nominal();
+        assert_eq!(c.revision, 1);
+        c.inject_rabi_fault(0.2);
+        c.recalibrate(100.0);
+        assert_eq!(c.revision, 2);
+        assert_eq!(c.rabi_scale.current, 1.0);
+        assert_eq!(c.last_recalibration, 100.0);
+    }
+
+    #[test]
+    fn effective_spec_tracks_rabi_scale() {
+        let base = DeviceSpec::analog_production();
+        let mut c = Calibration::nominal();
+        c.inject_rabi_fault(0.2);
+        let spec = c.effective_spec(&base);
+        let base_max = base.channels[0].max_amplitude;
+        assert!((spec.channels[0].max_amplitude - 0.8 * base_max).abs() < 1e-9);
+        assert_eq!(spec.revision, c.revision);
+        // over-delivery does not raise the ceiling
+        c.rabi_scale.current = 1.3;
+        let spec = c.effective_spec(&base);
+        assert_eq!(spec.channels[0].max_amplitude, base_max);
+    }
+}

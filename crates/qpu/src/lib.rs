@@ -1,0 +1,17 @@
+//! # hpcqc-qpu — the virtual neutral-atom QPU
+//!
+//! Substitute for the physical device the paper integrates (Pasqal
+//! Fresnel-class analog QPU): programs execute through an internal emulation
+//! distorted by a drifting [`Calibration`], take realistic wall-clock time
+//! (1 Hz shot rate by default, §2.2.1), and the device exposes the
+//! operational surface the middleware daemon needs — status, current spec
+//! revision, admin fault-injection/recalibration, QA probes, and telemetry
+//! published to a Prometheus-format registry and a time-series database.
+
+pub mod calibration;
+pub mod device;
+pub mod qa;
+
+pub use calibration::{Calibration, OuParameter};
+pub use device::{QpuError, QpuExecution, QpuStatus, VirtualQpu};
+pub use qa::{qa_program, run_qa, QaReport};

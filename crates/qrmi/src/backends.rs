@@ -1,0 +1,589 @@
+//! QRMI resource implementations for every backend flavor.
+//!
+//! * [`LocalEmulatorResource`] — wraps an in-process [`Emulator`]; unlimited
+//!   concurrent leases, tasks complete synchronously.
+//! * [`QpuDirectResource`] — wraps the on-prem [`VirtualQpu`]; the lease is
+//!   **exclusive** (a physical device runs one program at a time), execution
+//!   consumes simulated device seconds.
+//! * [`CloudResource`] — wraps either backend behind a simulated WAN/cloud
+//!   queue: tasks stay `Queued` for a configurable number of polls before
+//!   running, modelling the loose-coupling latency of cloud access (§2.2.1).
+
+use crate::resource::{
+    AcquisitionToken, QrmiError, QuantumResource, ResourceType, TaskId, TaskStatus,
+};
+use hpcqc_emulator::{Emulator, SampleResult};
+use hpcqc_program::{DeviceSpec, ProgramIr};
+use hpcqc_qpu::VirtualQpu;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn new_id(prefix: &str, counter: &AtomicU64) -> String {
+    format!("{prefix}-{}", counter.fetch_add(1, Ordering::Relaxed))
+}
+
+#[derive(Debug, Clone)]
+enum TaskState {
+    Pending { ir: ProgramIr, polls_left: u32 },
+    Done(SampleResult),
+    Failed(String),
+    Cancelled,
+}
+
+struct TaskTable {
+    tasks: HashMap<String, TaskState>,
+}
+
+impl TaskTable {
+    fn new() -> Self {
+        TaskTable { tasks: HashMap::new() }
+    }
+}
+
+/// In-process emulator resource (`emulator:local`).
+pub struct LocalEmulatorResource {
+    id: String,
+    emulator: Arc<dyn Emulator>,
+    tasks: Mutex<TaskTable>,
+    tokens: Mutex<HashSet<String>>,
+    counter: AtomicU64,
+    seed_counter: AtomicU64,
+}
+
+impl LocalEmulatorResource {
+    pub fn new(id: impl Into<String>, emulator: Arc<dyn Emulator>, seed: u64) -> Self {
+        LocalEmulatorResource {
+            id: id.into(),
+            emulator,
+            tasks: Mutex::new(TaskTable::new()),
+            tokens: Mutex::new(HashSet::new()),
+            counter: AtomicU64::new(0),
+            seed_counter: AtomicU64::new(seed),
+        }
+    }
+}
+
+impl QuantumResource for LocalEmulatorResource {
+    fn resource_id(&self) -> &str {
+        &self.id
+    }
+
+    fn resource_type(&self) -> ResourceType {
+        ResourceType::EmulatorLocal
+    }
+
+    fn acquire(&self) -> Result<AcquisitionToken, QrmiError> {
+        let tok = new_id("lease", &self.counter);
+        self.tokens.lock().insert(tok.clone());
+        Ok(AcquisitionToken(tok))
+    }
+
+    fn release(&self, token: &AcquisitionToken) -> Result<(), QrmiError> {
+        if self.tokens.lock().remove(&token.0) {
+            Ok(())
+        } else {
+            Err(QrmiError::InvalidToken)
+        }
+    }
+
+    fn target(&self) -> Result<DeviceSpec, QrmiError> {
+        Ok(self.emulator.spec())
+    }
+
+    fn task_start(&self, token: &AcquisitionToken, ir: &ProgramIr) -> Result<TaskId, QrmiError> {
+        if !self.tokens.lock().contains(&token.0) {
+            return Err(QrmiError::InvalidToken);
+        }
+        let seed = self.seed_counter.fetch_add(1, Ordering::Relaxed);
+        let id = new_id("task", &self.counter);
+        let state = match self.emulator.run(ir, seed) {
+            Ok(res) => TaskState::Done(res),
+            Err(e) => TaskState::Failed(e.to_string()),
+        };
+        self.tasks.lock().tasks.insert(id.clone(), state);
+        Ok(TaskId(id))
+    }
+
+    fn task_status(&self, task: &TaskId) -> Result<TaskStatus, QrmiError> {
+        let t = self.tasks.lock();
+        match t.tasks.get(&task.0) {
+            None => Err(QrmiError::UnknownTask),
+            Some(TaskState::Done(_)) => Ok(TaskStatus::Completed),
+            Some(TaskState::Failed(m)) => Ok(TaskStatus::Failed(m.clone())),
+            Some(TaskState::Cancelled) => Ok(TaskStatus::Cancelled),
+            Some(TaskState::Pending { .. }) => Ok(TaskStatus::Queued),
+        }
+    }
+
+    fn task_stop(&self, task: &TaskId) -> Result<(), QrmiError> {
+        let mut t = self.tasks.lock();
+        match t.tasks.get_mut(&task.0) {
+            None => Err(QrmiError::UnknownTask),
+            Some(s @ TaskState::Pending { .. }) => {
+                *s = TaskState::Cancelled;
+                Ok(())
+            }
+            Some(_) => Err(QrmiError::InvalidState("task already terminal".into())),
+        }
+    }
+
+    fn task_result(&self, task: &TaskId) -> Result<SampleResult, QrmiError> {
+        let t = self.tasks.lock();
+        match t.tasks.get(&task.0) {
+            None => Err(QrmiError::UnknownTask),
+            Some(TaskState::Done(r)) => Ok(r.clone()),
+            Some(TaskState::Failed(m)) => Err(QrmiError::Backend(m.clone())),
+            Some(_) => Err(QrmiError::InvalidState("task not completed".into())),
+        }
+    }
+
+    fn metadata(&self) -> BTreeMap<String, String> {
+        let mut m = BTreeMap::new();
+        m.insert("vendor".into(), "hpcqc".into());
+        m.insert("backend".into(), self.emulator.name().to_string());
+        m.insert("coupling".into(), "local".into());
+        m
+    }
+}
+
+/// On-prem QPU resource (`qpu:direct`). The lease is exclusive.
+pub struct QpuDirectResource {
+    id: String,
+    qpu: VirtualQpu,
+    tasks: Mutex<TaskTable>,
+    lease: Mutex<Option<String>>,
+    counter: AtomicU64,
+    seed_counter: AtomicU64,
+}
+
+impl QpuDirectResource {
+    pub fn new(id: impl Into<String>, qpu: VirtualQpu, seed: u64) -> Self {
+        QpuDirectResource {
+            id: id.into(),
+            qpu,
+            tasks: Mutex::new(TaskTable::new()),
+            lease: Mutex::new(None),
+            counter: AtomicU64::new(0),
+            seed_counter: AtomicU64::new(seed),
+        }
+    }
+
+    /// The wrapped device (the middleware daemon needs admin access to it).
+    pub fn qpu(&self) -> &VirtualQpu {
+        &self.qpu
+    }
+}
+
+impl QuantumResource for QpuDirectResource {
+    fn resource_id(&self) -> &str {
+        &self.id
+    }
+
+    fn resource_type(&self) -> ResourceType {
+        ResourceType::QpuDirect
+    }
+
+    fn acquire(&self) -> Result<AcquisitionToken, QrmiError> {
+        let mut lease = self.lease.lock();
+        if lease.is_some() {
+            return Err(QrmiError::AcquisitionDenied(
+                "QPU already leased; direct access is exclusive".into(),
+            ));
+        }
+        let tok = new_id("lease", &self.counter);
+        *lease = Some(tok.clone());
+        Ok(AcquisitionToken(tok))
+    }
+
+    fn release(&self, token: &AcquisitionToken) -> Result<(), QrmiError> {
+        let mut lease = self.lease.lock();
+        if lease.as_deref() == Some(token.0.as_str()) {
+            *lease = None;
+            Ok(())
+        } else {
+            Err(QrmiError::InvalidToken)
+        }
+    }
+
+    fn target(&self) -> Result<DeviceSpec, QrmiError> {
+        Ok(self.qpu.current_spec())
+    }
+
+    fn task_start(&self, token: &AcquisitionToken, ir: &ProgramIr) -> Result<TaskId, QrmiError> {
+        if self.lease.lock().as_deref() != Some(token.0.as_str()) {
+            return Err(QrmiError::InvalidToken);
+        }
+        let seed = self.seed_counter.fetch_add(1, Ordering::Relaxed);
+        let id = new_id("task", &self.counter);
+        let state = match self.qpu.execute(ir, seed) {
+            Ok(ex) => TaskState::Done(ex.result),
+            Err(e) => TaskState::Failed(e.to_string()),
+        };
+        self.tasks.lock().tasks.insert(id.clone(), state);
+        Ok(TaskId(id))
+    }
+
+    fn task_status(&self, task: &TaskId) -> Result<TaskStatus, QrmiError> {
+        match self.tasks.lock().tasks.get(&task.0) {
+            None => Err(QrmiError::UnknownTask),
+            Some(TaskState::Done(_)) => Ok(TaskStatus::Completed),
+            Some(TaskState::Failed(m)) => Ok(TaskStatus::Failed(m.clone())),
+            Some(TaskState::Cancelled) => Ok(TaskStatus::Cancelled),
+            Some(TaskState::Pending { .. }) => Ok(TaskStatus::Running),
+        }
+    }
+
+    fn task_stop(&self, task: &TaskId) -> Result<(), QrmiError> {
+        match self.tasks.lock().tasks.get(&task.0) {
+            None => Err(QrmiError::UnknownTask),
+            Some(_) => Err(QrmiError::InvalidState(
+                "direct QPU tasks run synchronously and cannot be stopped".into(),
+            )),
+        }
+    }
+
+    fn task_result(&self, task: &TaskId) -> Result<SampleResult, QrmiError> {
+        match self.tasks.lock().tasks.get(&task.0) {
+            None => Err(QrmiError::UnknownTask),
+            Some(TaskState::Done(r)) => Ok(r.clone()),
+            Some(TaskState::Failed(m)) => Err(QrmiError::Backend(m.clone())),
+            Some(_) => Err(QrmiError::InvalidState("task not completed".into())),
+        }
+    }
+
+    fn metadata(&self) -> BTreeMap<String, String> {
+        let mut m = BTreeMap::new();
+        m.insert("vendor".into(), "hpcqc".into());
+        m.insert("backend".into(), self.qpu.name().to_string());
+        m.insert("coupling".into(), "loose-onprem".into());
+        m
+    }
+}
+
+/// Which engine backs a cloud resource.
+pub enum CloudEngine {
+    Emulator(Arc<dyn Emulator>),
+    Qpu(VirtualQpu),
+}
+
+/// Cloud-hosted resource (`qpu:cloud` / `emulator:cloud`): the same engines
+/// behind a simulated submission queue. Tasks stay `Queued` for
+/// `queue_polls` status polls (modelling WAN latency + shared cloud queues),
+/// then execute on the first poll that finds them due.
+pub struct CloudResource {
+    id: String,
+    engine: CloudEngine,
+    rtype: ResourceType,
+    /// Polls a task waits in the simulated cloud queue before running.
+    pub queue_polls: u32,
+    tasks: Mutex<TaskTable>,
+    tokens: Mutex<HashSet<String>>,
+    counter: AtomicU64,
+    seed_counter: AtomicU64,
+}
+
+impl CloudResource {
+    pub fn new(id: impl Into<String>, engine: CloudEngine, queue_polls: u32, seed: u64) -> Self {
+        let rtype = match &engine {
+            CloudEngine::Emulator(_) => ResourceType::EmulatorCloud,
+            CloudEngine::Qpu(_) => ResourceType::QpuCloud,
+        };
+        CloudResource {
+            id: id.into(),
+            engine,
+            rtype,
+            queue_polls,
+            tasks: Mutex::new(TaskTable::new()),
+            tokens: Mutex::new(HashSet::new()),
+            counter: AtomicU64::new(0),
+            seed_counter: AtomicU64::new(seed),
+        }
+    }
+
+    fn execute(&self, ir: &ProgramIr, seed: u64) -> TaskState {
+        match &self.engine {
+            CloudEngine::Emulator(e) => match e.run(ir, seed) {
+                Ok(r) => TaskState::Done(r),
+                Err(e) => TaskState::Failed(e.to_string()),
+            },
+            CloudEngine::Qpu(q) => match q.execute(ir, seed) {
+                Ok(ex) => TaskState::Done(ex.result),
+                Err(e) => TaskState::Failed(e.to_string()),
+            },
+        }
+    }
+}
+
+impl QuantumResource for CloudResource {
+    fn resource_id(&self) -> &str {
+        &self.id
+    }
+
+    fn resource_type(&self) -> ResourceType {
+        self.rtype
+    }
+
+    fn acquire(&self) -> Result<AcquisitionToken, QrmiError> {
+        let tok = new_id("lease", &self.counter);
+        self.tokens.lock().insert(tok.clone());
+        Ok(AcquisitionToken(tok))
+    }
+
+    fn release(&self, token: &AcquisitionToken) -> Result<(), QrmiError> {
+        if self.tokens.lock().remove(&token.0) {
+            Ok(())
+        } else {
+            Err(QrmiError::InvalidToken)
+        }
+    }
+
+    fn target(&self) -> Result<DeviceSpec, QrmiError> {
+        match &self.engine {
+            CloudEngine::Emulator(e) => Ok(e.spec()),
+            CloudEngine::Qpu(q) => Ok(q.current_spec()),
+        }
+    }
+
+    fn task_start(&self, token: &AcquisitionToken, ir: &ProgramIr) -> Result<TaskId, QrmiError> {
+        if !self.tokens.lock().contains(&token.0) {
+            return Err(QrmiError::InvalidToken);
+        }
+        let id = new_id("task", &self.counter);
+        self.tasks.lock().tasks.insert(
+            id.clone(),
+            TaskState::Pending { ir: ir.clone(), polls_left: self.queue_polls },
+        );
+        Ok(TaskId(id))
+    }
+
+    fn task_status(&self, task: &TaskId) -> Result<TaskStatus, QrmiError> {
+        // fast path under the lock; execution happens outside it
+        let due = {
+            let mut t = self.tasks.lock();
+            match t.tasks.get_mut(&task.0) {
+                None => return Err(QrmiError::UnknownTask),
+                Some(TaskState::Done(_)) => return Ok(TaskStatus::Completed),
+                Some(TaskState::Failed(m)) => return Ok(TaskStatus::Failed(m.clone())),
+                Some(TaskState::Cancelled) => return Ok(TaskStatus::Cancelled),
+                Some(TaskState::Pending { ir, polls_left }) => {
+                    if *polls_left > 0 {
+                        *polls_left -= 1;
+                        return Ok(TaskStatus::Queued);
+                    }
+                    ir.clone()
+                }
+            }
+        };
+        let seed = self.seed_counter.fetch_add(1, Ordering::Relaxed);
+        let state = self.execute(&due, seed);
+        let status = match &state {
+            TaskState::Done(_) => TaskStatus::Completed,
+            TaskState::Failed(m) => TaskStatus::Failed(m.clone()),
+            _ => unreachable!("execute returns terminal states"),
+        };
+        // another poller may have raced us; terminal states are idempotent
+        self.tasks.lock().tasks.insert(task.0.clone(), state);
+        Ok(status)
+    }
+
+    fn task_stop(&self, task: &TaskId) -> Result<(), QrmiError> {
+        let mut t = self.tasks.lock();
+        match t.tasks.get_mut(&task.0) {
+            None => Err(QrmiError::UnknownTask),
+            Some(s @ TaskState::Pending { .. }) => {
+                *s = TaskState::Cancelled;
+                Ok(())
+            }
+            Some(_) => Err(QrmiError::InvalidState("task already terminal".into())),
+        }
+    }
+
+    fn task_result(&self, task: &TaskId) -> Result<SampleResult, QrmiError> {
+        match self.tasks.lock().tasks.get(&task.0) {
+            None => Err(QrmiError::UnknownTask),
+            Some(TaskState::Done(r)) => Ok(r.clone()),
+            Some(TaskState::Failed(m)) => Err(QrmiError::Backend(m.clone())),
+            Some(_) => Err(QrmiError::InvalidState("task not completed".into())),
+        }
+    }
+
+    fn metadata(&self) -> BTreeMap<String, String> {
+        let mut m = BTreeMap::new();
+        m.insert("vendor".into(), "hpcqc".into());
+        m.insert("coupling".into(), "loose-cloud".into());
+        m.insert(
+            "backend".into(),
+            match &self.engine {
+                CloudEngine::Emulator(e) => e.name().to_string(),
+                CloudEngine::Qpu(q) => q.name().to_string(),
+            },
+        );
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::run_to_completion;
+    use hpcqc_emulator::SvBackend;
+    use hpcqc_program::{Pulse, Register, SequenceBuilder};
+
+    fn ir(shots: u32) -> ProgramIr {
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
+        ProgramIr::new(b.build().unwrap(), shots, "test")
+    }
+
+    fn local() -> LocalEmulatorResource {
+        LocalEmulatorResource::new("emu-local", Arc::new(SvBackend::default()), 1)
+    }
+
+    #[test]
+    fn local_emulator_full_lifecycle() {
+        let r = local();
+        let tok = r.acquire().unwrap();
+        let task = r.task_start(&tok, &ir(50)).unwrap();
+        assert_eq!(r.task_status(&task).unwrap(), TaskStatus::Completed);
+        let res = r.task_result(&task).unwrap();
+        assert_eq!(res.shots, 50);
+        r.release(&tok).unwrap();
+        assert_eq!(r.release(&tok), Err(QrmiError::InvalidToken), "double release");
+    }
+
+    #[test]
+    fn local_allows_concurrent_leases() {
+        let r = local();
+        let t1 = r.acquire().unwrap();
+        let t2 = r.acquire().unwrap();
+        assert_ne!(t1, t2);
+        assert!(r.task_start(&t1, &ir(5)).is_ok());
+        assert!(r.task_start(&t2, &ir(5)).is_ok());
+    }
+
+    #[test]
+    fn start_without_lease_rejected() {
+        let r = local();
+        let fake = AcquisitionToken("nope".into());
+        assert_eq!(r.task_start(&fake, &ir(5)), Err(QrmiError::InvalidToken));
+    }
+
+    #[test]
+    fn unknown_task_errors() {
+        let r = local();
+        let t = TaskId("ghost".into());
+        assert_eq!(r.task_status(&t), Err(QrmiError::UnknownTask));
+        assert_eq!(r.task_result(&t), Err(QrmiError::UnknownTask));
+    }
+
+    #[test]
+    fn qpu_direct_lease_is_exclusive() {
+        let qpu = VirtualQpu::new("fresnel-1", 3);
+        let r = QpuDirectResource::new("fresnel-1", qpu, 1);
+        let t1 = r.acquire().unwrap();
+        assert!(matches!(r.acquire(), Err(QrmiError::AcquisitionDenied(_))));
+        r.release(&t1).unwrap();
+        assert!(r.acquire().is_ok(), "lease reusable after release");
+    }
+
+    #[test]
+    fn qpu_direct_executes_and_consumes_device_time() {
+        let qpu = VirtualQpu::new("fresnel-1", 3);
+        let r = QpuDirectResource::new("fresnel-1", qpu.clone(), 1);
+        let tok = r.acquire().unwrap();
+        let task = r.task_start(&tok, &ir(10)).unwrap();
+        assert_eq!(r.task_status(&task).unwrap(), TaskStatus::Completed);
+        assert!(qpu.now() >= 13.0, "10 shots at 1 Hz + overhead");
+        let res = r.task_result(&task).unwrap();
+        assert_eq!(res.backend, "fresnel-1");
+    }
+
+    #[test]
+    fn qpu_direct_target_reflects_calibration_revision() {
+        let qpu = VirtualQpu::new("fresnel-1", 3);
+        let r = QpuDirectResource::new("fresnel-1", qpu.clone(), 1);
+        assert_eq!(r.target().unwrap().revision, 1);
+        qpu.recalibrate(60.0);
+        assert_eq!(r.target().unwrap().revision, 2);
+    }
+
+    #[test]
+    fn cloud_resource_queues_then_completes() {
+        let r = CloudResource::new(
+            "emu-cloud",
+            CloudEngine::Emulator(Arc::new(SvBackend::default())),
+            3,
+            1,
+        );
+        let tok = r.acquire().unwrap();
+        let task = r.task_start(&tok, &ir(20)).unwrap();
+        assert_eq!(r.task_status(&task).unwrap(), TaskStatus::Queued);
+        assert_eq!(r.task_status(&task).unwrap(), TaskStatus::Queued);
+        assert_eq!(r.task_status(&task).unwrap(), TaskStatus::Queued);
+        assert_eq!(r.task_status(&task).unwrap(), TaskStatus::Completed);
+        assert_eq!(r.task_result(&task).unwrap().shots, 20);
+    }
+
+    #[test]
+    fn cloud_task_cancellable_while_queued() {
+        let r = CloudResource::new(
+            "emu-cloud",
+            CloudEngine::Emulator(Arc::new(SvBackend::default())),
+            10,
+            1,
+        );
+        let tok = r.acquire().unwrap();
+        let task = r.task_start(&tok, &ir(20)).unwrap();
+        r.task_stop(&task).unwrap();
+        assert_eq!(r.task_status(&task).unwrap(), TaskStatus::Cancelled);
+        assert!(matches!(r.task_result(&task), Err(QrmiError::InvalidState(_))));
+    }
+
+    #[test]
+    fn cloud_qpu_flavor_reports_type() {
+        let qpu = VirtualQpu::new("cloud-qpu", 3);
+        let r = CloudResource::new("cloud-qpu", CloudEngine::Qpu(qpu), 1, 1);
+        assert_eq!(r.resource_type(), ResourceType::QpuCloud);
+        assert_eq!(r.metadata()["coupling"], "loose-cloud");
+    }
+
+    #[test]
+    fn run_to_completion_helper_spans_queueing() {
+        let r = CloudResource::new(
+            "emu-cloud",
+            CloudEngine::Emulator(Arc::new(SvBackend::default())),
+            5,
+            1,
+        );
+        let tok = r.acquire().unwrap();
+        let res = run_to_completion(&r, &tok, &ir(10), 20).unwrap();
+        assert_eq!(res.shots, 10);
+        // and a poll budget that's too small errors out
+        let task_ir = ir(10);
+        let r2 = CloudResource::new(
+            "emu-cloud-2",
+            CloudEngine::Emulator(Arc::new(SvBackend::default())),
+            50,
+            1,
+        );
+        let tok2 = r2.acquire().unwrap();
+        assert!(run_to_completion(&r2, &tok2, &task_ir, 3).is_err());
+    }
+
+    #[test]
+    fn failed_backend_surfaces_as_failed_status() {
+        let r = local();
+        let tok = r.acquire().unwrap();
+        // 25-qubit register exceeds emu-sv's limit → backend failure
+        let reg = Register::linear(25, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.1, 1.0, 0.0, 0.0).unwrap());
+        let bad = ProgramIr::new(b.build().unwrap(), 5, "test");
+        let task = r.task_start(&tok, &bad).unwrap();
+        assert!(matches!(r.task_status(&task).unwrap(), TaskStatus::Failed(_)));
+        assert!(matches!(r.task_result(&task), Err(QrmiError::Backend(_))));
+    }
+}

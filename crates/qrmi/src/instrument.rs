@@ -1,0 +1,328 @@
+//! Instrumented resource decorator: simulated timing, fault injection and
+//! profiling for emulator-backed development.
+//!
+//! The paper's discussion (§4, *Emulation and testability*) notes that plain
+//! emulator modes are "best suited to functional validation, not performance
+//! evaluation" and calls for "profiling, fault injection, or simulated QPU
+//! timing to enable more realistic development". [`InstrumentedResource`]
+//! wraps any [`QuantumResource`] and adds exactly that:
+//!
+//! * **simulated QPU timing** — results report the wall-clock the program
+//!   *would* take on hardware (`shots / shot_rate + overhead`), so hybrid
+//!   workflows can be performance-profiled on a laptop,
+//! * **fault injection** — seeded, probabilistic task failures and
+//!   acquisition rejections, so retry/fallback logic in runtimes and
+//!   workflow engines can be exercised deterministically,
+//! * **profiling** — a per-operation trace (counts + simulated durations)
+//!   retrievable by the test harness.
+
+use crate::resource::{
+    AcquisitionToken, QrmiError, QuantumResource, ResourceType, TaskId, TaskStatus,
+};
+use hpcqc_emulator::SampleResult;
+use hpcqc_program::{DeviceSpec, ProgramIr};
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Fault-injection configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability a `task_start` fails with a backend error.
+    pub task_failure_prob: f64,
+    /// Probability an `acquire` is rejected (device busy).
+    pub acquire_denial_prob: f64,
+}
+
+impl FaultConfig {
+    /// No injected faults.
+    pub fn none() -> Self {
+        FaultConfig { task_failure_prob: 0.0, acquire_denial_prob: 0.0 }
+    }
+
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.task_failure_prob)
+            && (0.0..=1.0).contains(&self.acquire_denial_prob)
+    }
+}
+
+/// Simulated-hardware timing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Simulated shot rate (Hz) stamped onto results.
+    pub shot_rate_hz: f64,
+    /// Fixed per-task overhead (register load, rearrangement), seconds.
+    pub overhead_secs: f64,
+}
+
+impl TimingModel {
+    /// Today's production profile: 1 Hz, 3 s overhead (§2.2.1).
+    pub fn production_1hz() -> Self {
+        TimingModel { shot_rate_hz: 1.0, overhead_secs: 3.0 }
+    }
+
+    /// Roadmap profile: 100 Hz.
+    pub fn roadmap_100hz() -> Self {
+        TimingModel { shot_rate_hz: 100.0, overhead_secs: 3.0 }
+    }
+
+    /// Simulated device seconds for a task.
+    pub fn task_secs(&self, shots: u32) -> f64 {
+        self.overhead_secs + shots as f64 / self.shot_rate_hz
+    }
+}
+
+/// One profiled operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileEntry {
+    pub op: String,
+    pub count: u64,
+    /// Accumulated *simulated* seconds (task executions only).
+    pub simulated_secs: f64,
+}
+
+/// The decorator.
+pub struct InstrumentedResource {
+    inner: Arc<dyn QuantumResource>,
+    timing: TimingModel,
+    faults: FaultConfig,
+    rng: Mutex<ChaCha8Rng>,
+    profile: Mutex<BTreeMap<String, ProfileEntry>>,
+    /// Remember per-task shot counts so `task_result` can stamp timing.
+    task_shots: Mutex<BTreeMap<String, u32>>,
+}
+
+impl InstrumentedResource {
+    pub fn new(
+        inner: Arc<dyn QuantumResource>,
+        timing: TimingModel,
+        faults: FaultConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(faults.is_valid(), "fault probabilities must be in [0,1]");
+        InstrumentedResource {
+            inner,
+            timing,
+            faults,
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+            profile: Mutex::new(BTreeMap::new()),
+            task_shots: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn record(&self, op: &str, simulated_secs: f64) {
+        let mut p = self.profile.lock();
+        let e = p.entry(op.to_string()).or_insert_with(|| ProfileEntry {
+            op: op.to_string(),
+            count: 0,
+            simulated_secs: 0.0,
+        });
+        e.count += 1;
+        e.simulated_secs += simulated_secs;
+    }
+
+    /// The profiling trace, sorted by operation name.
+    pub fn profile(&self) -> Vec<ProfileEntry> {
+        self.profile.lock().values().cloned().collect()
+    }
+
+    /// Total simulated device seconds across completed tasks.
+    pub fn simulated_device_secs(&self) -> f64 {
+        self.profile.lock().values().map(|e| e.simulated_secs).sum()
+    }
+}
+
+impl QuantumResource for InstrumentedResource {
+    fn resource_id(&self) -> &str {
+        self.inner.resource_id()
+    }
+
+    fn resource_type(&self) -> ResourceType {
+        self.inner.resource_type()
+    }
+
+    fn acquire(&self) -> Result<AcquisitionToken, QrmiError> {
+        self.record("acquire", 0.0);
+        if self.faults.acquire_denial_prob > 0.0
+            && self.rng.lock().gen::<f64>() < self.faults.acquire_denial_prob
+        {
+            return Err(QrmiError::AcquisitionDenied(
+                "injected fault: device busy".into(),
+            ));
+        }
+        self.inner.acquire()
+    }
+
+    fn release(&self, token: &AcquisitionToken) -> Result<(), QrmiError> {
+        self.record("release", 0.0);
+        self.inner.release(token)
+    }
+
+    fn target(&self) -> Result<DeviceSpec, QrmiError> {
+        self.record("target", 0.0);
+        // advertise the simulated shot rate so runtimes plan with it
+        let mut spec = self.inner.target()?;
+        spec.shot_rate_hz = self.timing.shot_rate_hz;
+        Ok(spec)
+    }
+
+    fn task_start(&self, token: &AcquisitionToken, ir: &ProgramIr) -> Result<TaskId, QrmiError> {
+        if self.faults.task_failure_prob > 0.0
+            && self.rng.lock().gen::<f64>() < self.faults.task_failure_prob
+        {
+            self.record("task_start_injected_failure", 0.0);
+            return Err(QrmiError::Backend("injected fault: task lost".into()));
+        }
+        let id = self.inner.task_start(token, ir)?;
+        self.task_shots.lock().insert(id.0.clone(), ir.shots);
+        self.record("task_start", 0.0);
+        Ok(id)
+    }
+
+    fn task_status(&self, task: &TaskId) -> Result<TaskStatus, QrmiError> {
+        self.inner.task_status(task)
+    }
+
+    fn task_stop(&self, task: &TaskId) -> Result<(), QrmiError> {
+        self.record("task_stop", 0.0);
+        self.inner.task_stop(task)
+    }
+
+    fn task_result(&self, task: &TaskId) -> Result<SampleResult, QrmiError> {
+        let mut result = self.inner.task_result(task)?;
+        let shots = self
+            .task_shots
+            .lock()
+            .get(&task.0)
+            .copied()
+            .unwrap_or(result.shots);
+        let secs = self.timing.task_secs(shots);
+        result.execution_secs = secs;
+        self.record("task_result", secs);
+        Ok(result)
+    }
+
+    fn metadata(&self) -> BTreeMap<String, String> {
+        let mut m = self.inner.metadata();
+        m.insert("instrumented".into(), "true".into());
+        m.insert("simulated_shot_rate_hz".into(), self.timing.shot_rate_hz.to_string());
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::LocalEmulatorResource;
+    use crate::resource::run_to_completion;
+    use hpcqc_emulator::SvBackend;
+    use hpcqc_program::{Pulse, Register, SequenceBuilder};
+
+    fn ir(shots: u32) -> ProgramIr {
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.2, 4.0, 0.0, 0.0).unwrap());
+        ProgramIr::new(b.build().unwrap(), shots, "instr-test")
+    }
+
+    fn instrumented(faults: FaultConfig, timing: TimingModel) -> InstrumentedResource {
+        let inner = Arc::new(LocalEmulatorResource::new(
+            "emu",
+            Arc::new(SvBackend::default()),
+            1,
+        ));
+        InstrumentedResource::new(inner, timing, faults, 7)
+    }
+
+    #[test]
+    fn simulated_timing_stamped_on_results() {
+        let r = instrumented(FaultConfig::none(), TimingModel::production_1hz());
+        let tok = r.acquire().unwrap();
+        let res = run_to_completion(&r, &tok, &ir(120), 10).unwrap();
+        assert!((res.execution_secs - 123.0).abs() < 1e-9, "3s overhead + 120s shots");
+        // the advertised spec carries the simulated rate
+        assert_eq!(r.target().unwrap().shot_rate_hz, 1.0);
+        // roadmap profile is 100x faster
+        let fast = instrumented(FaultConfig::none(), TimingModel::roadmap_100hz());
+        let tok = fast.acquire().unwrap();
+        let res = run_to_completion(&fast, &tok, &ir(120), 10).unwrap();
+        assert!((res.execution_secs - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_records_operations() {
+        let r = instrumented(FaultConfig::none(), TimingModel::production_1hz());
+        let tok = r.acquire().unwrap();
+        for _ in 0..3 {
+            run_to_completion(&r, &tok, &ir(10), 10).unwrap();
+        }
+        r.release(&tok).unwrap();
+        let profile = r.profile();
+        let find = |op: &str| profile.iter().find(|e| e.op == op).map(|e| e.count);
+        assert_eq!(find("acquire"), Some(1));
+        assert_eq!(find("release"), Some(1));
+        assert_eq!(find("task_start"), Some(3));
+        assert_eq!(find("task_result"), Some(3));
+        assert!((r.simulated_device_secs() - 3.0 * 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_task_failures_are_seeded_and_bounded() {
+        let r = instrumented(
+            FaultConfig { task_failure_prob: 0.5, acquire_denial_prob: 0.0 },
+            TimingModel::production_1hz(),
+        );
+        let tok = r.acquire().unwrap();
+        let mut failures = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            if r.task_start(&tok, &ir(1)).is_err() {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.12, "failure rate {rate}");
+        // deterministic: same seed, same sequence
+        let r2 = instrumented(
+            FaultConfig { task_failure_prob: 0.5, acquire_denial_prob: 0.0 },
+            TimingModel::production_1hz(),
+        );
+        let tok2 = r2.acquire().unwrap();
+        let mut failures2 = 0;
+        for _ in 0..trials {
+            if r2.task_start(&tok2, &ir(1)).is_err() {
+                failures2 += 1;
+            }
+        }
+        assert_eq!(failures, failures2);
+    }
+
+    #[test]
+    fn injected_acquire_denials() {
+        let r = instrumented(
+            FaultConfig { task_failure_prob: 0.0, acquire_denial_prob: 1.0 },
+            TimingModel::production_1hz(),
+        );
+        assert!(matches!(r.acquire(), Err(QrmiError::AcquisitionDenied(_))));
+    }
+
+    #[test]
+    fn metadata_marks_instrumentation() {
+        let r = instrumented(FaultConfig::none(), TimingModel::roadmap_100hz());
+        let m = r.metadata();
+        assert_eq!(m["instrumented"], "true");
+        assert_eq!(m["simulated_shot_rate_hz"], "100");
+    }
+
+    #[test]
+    #[should_panic(expected = "fault probabilities")]
+    fn invalid_fault_config_rejected() {
+        instrumented(
+            FaultConfig { task_failure_prob: 1.5, acquire_denial_prob: 0.0 },
+            TimingModel::production_1hz(),
+        );
+    }
+}

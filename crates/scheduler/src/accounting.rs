@@ -1,0 +1,174 @@
+//! Accounting summaries over completed simulations (the `sacct` role).
+
+use crate::job::{Job, JobState};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Wait/turnaround statistics for one group of jobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct WaitStats {
+    pub count: usize,
+    pub mean_wait_secs: f64,
+    pub p95_wait_secs: f64,
+    pub max_wait_secs: f64,
+    pub mean_turnaround_secs: f64,
+}
+
+/// Percentile by the nearest-rank method on a sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+impl WaitStats {
+    /// Compute over jobs that actually started.
+    pub fn from_jobs<'a>(jobs: impl Iterator<Item = &'a Job>) -> Self {
+        let mut waits = Vec::new();
+        let mut turnarounds = Vec::new();
+        for j in jobs {
+            if let (Some(w), Some(end)) = (j.wait_secs(), j.end_time) {
+                waits.push(w);
+                turnarounds.push(end - j.submit_time);
+            }
+        }
+        if waits.is_empty() {
+            return WaitStats::default();
+        }
+        waits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = waits.len() as f64;
+        WaitStats {
+            count: waits.len(),
+            mean_wait_secs: waits.iter().sum::<f64>() / n,
+            p95_wait_secs: percentile(&waits, 95.0),
+            max_wait_secs: *waits.last().expect("non-empty"),
+            mean_turnaround_secs: turnarounds.iter().sum::<f64>() / n,
+        }
+    }
+}
+
+/// Full accounting summary of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AccountingSummary {
+    /// Per-partition wait statistics.
+    pub by_partition: BTreeMap<String, WaitStats>,
+    /// Overall wait statistics.
+    pub overall: WaitStats,
+    /// Completed / timed-out / cancelled counts.
+    pub completed: usize,
+    pub timed_out: usize,
+    pub cancelled: usize,
+    /// Total preemption events.
+    pub preemptions: u32,
+    /// End of the last job (makespan).
+    pub makespan_secs: f64,
+}
+
+impl AccountingSummary {
+    /// Summarize a finished set of job records.
+    pub fn from_jobs<'a>(jobs: impl Iterator<Item = &'a Job> + Clone) -> Self {
+        let mut by_partition: BTreeMap<String, Vec<&Job>> = BTreeMap::new();
+        let mut completed = 0;
+        let mut timed_out = 0;
+        let mut cancelled = 0;
+        let mut preemptions = 0;
+        let mut makespan: f64 = 0.0;
+        for j in jobs.clone() {
+            by_partition.entry(j.spec.partition.clone()).or_default().push(j);
+            match j.state {
+                JobState::Completed => completed += 1,
+                JobState::Timeout => timed_out += 1,
+                JobState::Cancelled => cancelled += 1,
+                _ => {}
+            }
+            preemptions += j.preemptions;
+            if let Some(e) = j.end_time {
+                makespan = makespan.max(e);
+            }
+        }
+        AccountingSummary {
+            by_partition: by_partition
+                .into_iter()
+                .map(|(k, v)| (k, WaitStats::from_jobs(v.into_iter())))
+                .collect(),
+            overall: WaitStats::from_jobs(jobs),
+            completed,
+            timed_out,
+            cancelled,
+            preemptions,
+            makespan_secs: makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+
+    fn job(id: u64, part: &str, submit: f64, start: f64, end: f64, state: JobState) -> Job {
+        let mut j = Job::new(id, JobSpec::classical("j", "u", part, 1, end - start), submit);
+        j.start_time = Some(start);
+        j.end_time = Some(end);
+        j.state = state;
+        j
+    }
+
+    #[test]
+    fn wait_stats_basic() {
+        let jobs = vec![
+            job(1, "p", 0.0, 10.0, 20.0, JobState::Completed),
+            job(2, "p", 0.0, 30.0, 40.0, JobState::Completed),
+        ];
+        let s = WaitStats::from_jobs(jobs.iter());
+        assert_eq!(s.count, 2);
+        assert!((s.mean_wait_secs - 20.0).abs() < 1e-12);
+        assert!((s.max_wait_secs - 30.0).abs() < 1e-12);
+        assert!((s.mean_turnaround_secs - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 1.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn summary_groups_by_partition_and_counts_states() {
+        let jobs = vec![
+            job(1, "production", 0.0, 0.0, 10.0, JobState::Completed),
+            job(2, "development", 0.0, 50.0, 60.0, JobState::Completed),
+            job(3, "development", 0.0, 70.0, 80.0, JobState::Timeout),
+            {
+                let mut j = job(4, "development", 0.0, 5.0, 6.0, JobState::Cancelled);
+                j.preemptions = 2;
+                j
+            },
+        ];
+        let s = AccountingSummary::from_jobs(jobs.iter());
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.preemptions, 2);
+        assert_eq!(s.makespan_secs, 80.0);
+        assert_eq!(s.by_partition["production"].count, 1);
+        assert_eq!(s.by_partition["development"].count, 3);
+        assert!(s.by_partition["production"].mean_wait_secs < s.by_partition["development"].mean_wait_secs);
+    }
+
+    #[test]
+    fn jobs_that_never_started_excluded_from_waits() {
+        let mut never = Job::new(9, JobSpec::classical("x", "u", "p", 1, 5.0), 0.0);
+        never.state = JobState::Cancelled;
+        never.end_time = Some(3.0);
+        let jobs = vec![never];
+        let s = AccountingSummary::from_jobs(jobs.iter());
+        assert_eq!(s.overall.count, 0);
+        assert_eq!(s.cancelled, 1);
+    }
+}

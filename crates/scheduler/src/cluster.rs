@@ -1,0 +1,268 @@
+//! Cluster resources: nodes and global GRES/license pools.
+
+use crate::job::{JobId, JobSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The physical cluster the scheduler allocates from.
+///
+/// Nodes are homogeneous and allocated whole (the common HPC configuration
+/// and the one the paper's Figure 2 depicts: classical nodes + one quantum
+/// access node whose QPU is reached through GRES/licenses).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Total node count.
+    pub total_nodes: u32,
+    /// Global GRES pools: name → capacity (e.g. `"qpu" → 10` for the ten
+    /// 10 %-timeshare units of §3.5).
+    pub gres_capacity: BTreeMap<String, u32>,
+    /// License pools, identical semantics.
+    pub license_capacity: BTreeMap<String, u32>,
+    /// Nodes currently allocated, per job.
+    allocations: BTreeMap<JobId, Allocation>,
+}
+
+/// What one running job holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    pub nodes: u32,
+    pub gres: BTreeMap<String, u32>,
+    pub licenses: BTreeMap<String, u32>,
+}
+
+/// Why an allocation attempt failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocError {
+    NotEnoughNodes { requested: u32, free: u32 },
+    NotEnoughGres { name: String, requested: u32, free: u32 },
+    NotEnoughLicenses { name: String, requested: u32, free: u32 },
+    UnknownPool { kind: &'static str, name: String },
+    AlreadyAllocated(JobId),
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::NotEnoughNodes { requested, free } => {
+                write!(f, "requested {requested} nodes, {free} free")
+            }
+            AllocError::NotEnoughGres { name, requested, free } => {
+                write!(f, "requested {requested} gres/{name}, {free} free")
+            }
+            AllocError::NotEnoughLicenses { name, requested, free } => {
+                write!(f, "requested {requested} licenses/{name}, {free} free")
+            }
+            AllocError::UnknownPool { kind, name } => write!(f, "no {kind} pool named {name:?}"),
+            AllocError::AlreadyAllocated(id) => write!(f, "job {id} already holds an allocation"),
+        }
+    }
+}
+
+impl Cluster {
+    /// A cluster with `nodes` homogeneous nodes and no pools.
+    pub fn new(nodes: u32) -> Self {
+        Cluster {
+            total_nodes: nodes,
+            gres_capacity: BTreeMap::new(),
+            license_capacity: BTreeMap::new(),
+            allocations: BTreeMap::new(),
+        }
+    }
+
+    /// Add a global GRES pool.
+    pub fn with_gres(mut self, name: &str, capacity: u32) -> Self {
+        self.gres_capacity.insert(name.into(), capacity);
+        self
+    }
+
+    /// Add a license pool.
+    pub fn with_licenses(mut self, name: &str, capacity: u32) -> Self {
+        self.license_capacity.insert(name.into(), capacity);
+        self
+    }
+
+    /// Free node count.
+    pub fn free_nodes(&self) -> u32 {
+        let used: u32 = self.allocations.values().map(|a| a.nodes).sum();
+        self.total_nodes - used
+    }
+
+    /// Free units in a GRES pool.
+    pub fn free_gres(&self, name: &str) -> Option<u32> {
+        let cap = *self.gres_capacity.get(name)?;
+        let used: u32 = self
+            .allocations
+            .values()
+            .map(|a| a.gres.get(name).copied().unwrap_or(0))
+            .sum();
+        Some(cap - used)
+    }
+
+    /// Free units in a license pool.
+    pub fn free_licenses(&self, name: &str) -> Option<u32> {
+        let cap = *self.license_capacity.get(name)?;
+        let used: u32 = self
+            .allocations
+            .values()
+            .map(|a| a.licenses.get(name).copied().unwrap_or(0))
+            .sum();
+        Some(cap - used)
+    }
+
+    /// Check whether `spec` could run right now (without allocating).
+    pub fn fits(&self, spec: &JobSpec) -> Result<(), AllocError> {
+        let free = self.free_nodes();
+        if spec.nodes > free {
+            return Err(AllocError::NotEnoughNodes { requested: spec.nodes, free });
+        }
+        for (name, &req) in &spec.gres {
+            match self.free_gres(name) {
+                None => return Err(AllocError::UnknownPool { kind: "gres", name: name.clone() }),
+                Some(f) if req > f => {
+                    return Err(AllocError::NotEnoughGres { name: name.clone(), requested: req, free: f })
+                }
+                _ => {}
+            }
+        }
+        for (name, &req) in &spec.licenses {
+            match self.free_licenses(name) {
+                None => {
+                    return Err(AllocError::UnknownPool { kind: "license", name: name.clone() })
+                }
+                Some(f) if req > f => {
+                    return Err(AllocError::NotEnoughLicenses {
+                        name: name.clone(),
+                        requested: req,
+                        free: f,
+                    })
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocate resources for `job_id`.
+    pub fn allocate(&mut self, job_id: JobId, spec: &JobSpec) -> Result<(), AllocError> {
+        if self.allocations.contains_key(&job_id) {
+            return Err(AllocError::AlreadyAllocated(job_id));
+        }
+        self.fits(spec)?;
+        self.allocations.insert(
+            job_id,
+            Allocation { nodes: spec.nodes, gres: spec.gres.clone(), licenses: spec.licenses.clone() },
+        );
+        Ok(())
+    }
+
+    /// Release a job's allocation (no-op if it holds none).
+    pub fn release(&mut self, job_id: JobId) {
+        self.allocations.remove(&job_id);
+    }
+
+    /// The allocation a job holds, if any.
+    pub fn allocation(&self, job_id: JobId) -> Option<&Allocation> {
+        self.allocations.get(&job_id)
+    }
+
+    /// Node-utilization fraction right now.
+    pub fn node_utilization(&self) -> f64 {
+        if self.total_nodes == 0 {
+            return 0.0;
+        }
+        (self.total_nodes - self.free_nodes()) as f64 / self.total_nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(8).with_gres("qpu", 10).with_licenses("qpu_share", 4)
+    }
+
+    fn spec(nodes: u32) -> JobSpec {
+        JobSpec::classical("j", "u", "p", nodes, 10.0)
+    }
+
+    #[test]
+    fn allocate_and_release_nodes() {
+        let mut c = cluster();
+        c.allocate(1, &spec(5)).unwrap();
+        assert_eq!(c.free_nodes(), 3);
+        assert!((c.node_utilization() - 5.0 / 8.0).abs() < 1e-12);
+        c.release(1);
+        assert_eq!(c.free_nodes(), 8);
+    }
+
+    #[test]
+    fn oversubscription_rejected() {
+        let mut c = cluster();
+        c.allocate(1, &spec(6)).unwrap();
+        match c.allocate(2, &spec(3)) {
+            Err(AllocError::NotEnoughNodes { requested: 3, free: 2 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_allocation_rejected() {
+        let mut c = cluster();
+        c.allocate(1, &spec(1)).unwrap();
+        assert_eq!(c.allocate(1, &spec(1)), Err(AllocError::AlreadyAllocated(1)));
+    }
+
+    #[test]
+    fn gres_pool_accounting() {
+        let mut c = cluster();
+        let s = spec(1).with_gres("qpu", 6);
+        c.allocate(1, &s).unwrap();
+        assert_eq!(c.free_gres("qpu"), Some(4));
+        let s2 = spec(1).with_gres("qpu", 5);
+        assert!(matches!(
+            c.allocate(2, &s2),
+            Err(AllocError::NotEnoughGres { requested: 5, free: 4, .. })
+        ));
+        c.release(1);
+        assert_eq!(c.free_gres("qpu"), Some(10));
+    }
+
+    #[test]
+    fn license_pool_accounting() {
+        let mut c = cluster();
+        c.allocate(1, &spec(1).with_license("qpu_share", 3)).unwrap();
+        assert_eq!(c.free_licenses("qpu_share"), Some(1));
+        assert!(matches!(
+            c.allocate(2, &spec(1).with_license("qpu_share", 2)),
+            Err(AllocError::NotEnoughLicenses { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_pool_rejected() {
+        let mut c = cluster();
+        assert!(matches!(
+            c.allocate(1, &spec(1).with_gres("gpu", 1)),
+            Err(AllocError::UnknownPool { kind: "gres", .. })
+        ));
+        assert!(matches!(
+            c.allocate(2, &spec(1).with_license("matlab", 1)),
+            Err(AllocError::UnknownPool { kind: "license", .. })
+        ));
+    }
+
+    #[test]
+    fn fits_does_not_allocate() {
+        let c = cluster();
+        assert!(c.fits(&spec(8)).is_ok());
+        assert_eq!(c.free_nodes(), 8);
+    }
+
+    #[test]
+    fn release_unknown_job_is_noop() {
+        let mut c = cluster();
+        c.release(99);
+        assert_eq!(c.free_nodes(), 8);
+    }
+}

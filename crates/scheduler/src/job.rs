@@ -1,0 +1,226 @@
+//! Batch jobs and their resource requests.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Unique job identifier assigned by the scheduler.
+pub type JobId = u64;
+
+/// Table-1 workload-pattern hint a job may carry (paper §3.5: `--hint=`).
+/// Consumed by the middleware's pattern-aware interleaver, transparently
+/// forwarded by the batch layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternHint {
+    /// Pattern A: QPU-dominant, minor classical pre/post processing.
+    QcHeavy,
+    /// Pattern B: sparse quantum, heavy classical load.
+    CcHeavy,
+    /// Pattern C: comparable quantum and classical load.
+    QcBalanced,
+    /// No hint supplied.
+    None,
+}
+
+impl PatternHint {
+    /// Parse the `--hint=` string form.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "qc-heavy" => Some(PatternHint::QcHeavy),
+            "cc-heavy" => Some(PatternHint::CcHeavy),
+            "qc-balanced" => Some(PatternHint::QcBalanced),
+            "none" => Some(PatternHint::None),
+            _ => None,
+        }
+    }
+}
+
+/// What a job asks the batch scheduler for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Submitting user.
+    pub user: String,
+    /// Target partition (must exist).
+    pub partition: String,
+    /// Whole nodes requested.
+    pub nodes: u32,
+    /// Generic resources from global pools, e.g. `{"qpu": 2}` for 2 of the
+    /// 10 QPU timeshare units of §3.5.
+    pub gres: BTreeMap<String, u32>,
+    /// License counts, same pool semantics as GRES.
+    pub licenses: BTreeMap<String, u32>,
+    /// Wall-time limit (s); the job is killed at `start + time_limit`.
+    pub time_limit_secs: f64,
+    /// The job's *actual* runtime (s) — known to the simulator, not to the
+    /// scheduler (which only sees the limit, as in real Slurm).
+    pub actual_runtime_secs: f64,
+    /// Workload-pattern scheduler hint.
+    pub hint: PatternHint,
+    /// Expected QPU busy seconds (optional richer hint from §3.5).
+    pub expected_qpu_secs: Option<f64>,
+    /// Predicted total runtime from the runtime layer (§4: two-way
+    /// scheduler-runtime communication). When present and the policy enables
+    /// predictive backfill, reservations use this instead of the (padded)
+    /// time limit, allowing more aggressive backfilling.
+    pub predicted_runtime_secs: Option<f64>,
+}
+
+impl JobSpec {
+    /// A minimal classical job.
+    pub fn classical(name: &str, user: &str, partition: &str, nodes: u32, runtime: f64) -> Self {
+        JobSpec {
+            name: name.into(),
+            user: user.into(),
+            partition: partition.into(),
+            nodes,
+            gres: BTreeMap::new(),
+            licenses: BTreeMap::new(),
+            time_limit_secs: runtime * 2.0,
+            actual_runtime_secs: runtime,
+            hint: PatternHint::None,
+            expected_qpu_secs: None,
+            predicted_runtime_secs: None,
+        }
+    }
+
+    /// Add a GRES request.
+    pub fn with_gres(mut self, name: &str, count: u32) -> Self {
+        self.gres.insert(name.into(), count);
+        self
+    }
+
+    /// Add a license request.
+    pub fn with_license(mut self, name: &str, count: u32) -> Self {
+        self.licenses.insert(name.into(), count);
+        self
+    }
+
+    /// Set the pattern hint.
+    pub fn with_hint(mut self, hint: PatternHint) -> Self {
+        self.hint = hint;
+        self
+    }
+
+    /// Set an explicit time limit.
+    pub fn with_time_limit(mut self, secs: f64) -> Self {
+        self.time_limit_secs = secs;
+        self
+    }
+
+    /// Attach a runtime-provided runtime prediction (§4).
+    pub fn with_prediction(mut self, secs: f64) -> Self {
+        self.predicted_runtime_secs = Some(secs);
+        self
+    }
+}
+
+/// Lifecycle state of a job in the batch system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Pending,
+    /// Allocated and executing.
+    Running,
+    /// Finished within its limit.
+    Completed,
+    /// Killed at its time limit.
+    Timeout,
+    /// Removed by the user or an operator while pending or running.
+    Cancelled,
+    /// Preempted by a higher-priority partition; returned to the queue.
+    Preempted,
+}
+
+impl JobState {
+    /// Terminal states never transition again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Completed | JobState::Timeout | JobState::Cancelled)
+    }
+}
+
+/// A job record inside the scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    pub id: JobId,
+    pub spec: JobSpec,
+    pub state: JobState,
+    pub submit_time: f64,
+    /// Set when the job (last) started.
+    pub start_time: Option<f64>,
+    /// Set when the job reached a terminal state.
+    pub end_time: Option<f64>,
+    /// How many times the job was preempted and requeued.
+    pub preemptions: u32,
+}
+
+impl Job {
+    pub fn new(id: JobId, spec: JobSpec, submit_time: f64) -> Self {
+        Job {
+            id,
+            spec,
+            state: JobState::Pending,
+            submit_time,
+            start_time: None,
+            end_time: None,
+            preemptions: 0,
+        }
+    }
+
+    /// Queue wait: from submission to (last) start.
+    pub fn wait_secs(&self) -> Option<f64> {
+        self.start_time.map(|s| s - self.submit_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let s = JobSpec::classical("vqe", "alice", "prod", 4, 100.0)
+            .with_gres("qpu", 2)
+            .with_license("qpu_share", 1)
+            .with_hint(PatternHint::QcBalanced)
+            .with_time_limit(500.0);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.gres["qpu"], 2);
+        assert_eq!(s.licenses["qpu_share"], 1);
+        assert_eq!(s.hint, PatternHint::QcBalanced);
+        assert_eq!(s.time_limit_secs, 500.0);
+    }
+
+    #[test]
+    fn hint_parse_roundtrip() {
+        assert_eq!(PatternHint::parse("qc-heavy"), Some(PatternHint::QcHeavy));
+        assert_eq!(PatternHint::parse("cc-heavy"), Some(PatternHint::CcHeavy));
+        assert_eq!(PatternHint::parse("qc-balanced"), Some(PatternHint::QcBalanced));
+        assert_eq!(PatternHint::parse("none"), Some(PatternHint::None));
+        assert_eq!(PatternHint::parse("gpu-heavy"), None);
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(JobState::Completed.is_terminal());
+        assert!(JobState::Timeout.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert!(!JobState::Pending.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(!JobState::Preempted.is_terminal());
+    }
+
+    #[test]
+    fn wait_time_computed_from_start() {
+        let mut j = Job::new(1, JobSpec::classical("x", "u", "p", 1, 10.0), 100.0);
+        assert_eq!(j.wait_secs(), None);
+        j.start_time = Some(130.0);
+        assert_eq!(j.wait_secs(), Some(30.0));
+    }
+
+    #[test]
+    fn default_time_limit_covers_runtime() {
+        let s = JobSpec::classical("x", "u", "p", 1, 50.0);
+        assert!(s.time_limit_secs >= s.actual_runtime_secs);
+    }
+}

@@ -1,0 +1,467 @@
+//! Malleable jobs: grow/shrink node allocations at run time.
+//!
+//! The paper (§2.4, ref [25]) identifies malleability as the key unexplored
+//! lever for hybrid-cluster utilization: a classical post-processing job
+//! that can *shrink* when the cluster is contended and *grow* into idle
+//! nodes wastes neither. This module adds the mechanism to the batch
+//! simulator:
+//!
+//! * a [`MalleableSpec`] on a job declares `min_nodes..=max_nodes` and the
+//!   job's total work in **node-seconds** (perfect-scaling model: running on
+//!   `k` nodes proceeds `k` node-seconds per second — the optimistic bound
+//!   malleability papers use as the reference),
+//! * [`MalleableSim`] wraps the rigid cluster with resize passes: on every
+//!   event it first grows malleable jobs into free nodes, and shrinks them
+//!   (down to `min_nodes`) when a queued job needs the space.
+//!
+//! The simulator tracks remaining work explicitly and reschedules each
+//! job's completion event whenever its width changes.
+
+use crate::job::JobId;
+use crate::sim::EventQueue;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Malleability declaration for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MalleableSpec {
+    /// Smallest allocation the job can run on.
+    pub min_nodes: u32,
+    /// Largest allocation it can exploit.
+    pub max_nodes: u32,
+    /// Total work, node-seconds.
+    pub work_node_secs: f64,
+}
+
+impl MalleableSpec {
+    pub fn new(min_nodes: u32, max_nodes: u32, work_node_secs: f64) -> Self {
+        assert!(min_nodes >= 1 && max_nodes >= min_nodes, "bad node range");
+        assert!(work_node_secs > 0.0, "work must be positive");
+        MalleableSpec { min_nodes, max_nodes, work_node_secs }
+    }
+}
+
+/// A malleable job submission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MalleableJob {
+    pub name: String,
+    pub spec: MalleableSpec,
+    pub arrival: f64,
+}
+
+/// Lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MalleableState {
+    Pending,
+    Running,
+    Completed,
+}
+
+/// Record of one job in the malleable simulator.
+#[derive(Debug, Clone)]
+pub struct MalleableRecord {
+    pub job: MalleableJob,
+    pub state: MalleableState,
+    /// Current width (0 while pending).
+    pub nodes: u32,
+    /// Remaining work, node-seconds (valid as of `last_update`).
+    pub remaining: f64,
+    pub start_time: Option<f64>,
+    pub end_time: Option<f64>,
+    /// Number of grow/shrink events applied.
+    pub resizes: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Arrival(JobId),
+    /// Completion; stale if the generation doesn't match.
+    Done(JobId, u32),
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MalleableReport {
+    pub makespan_secs: f64,
+    /// Time-weighted node utilization.
+    pub node_utilization: f64,
+    pub mean_turnaround_secs: f64,
+    pub total_resizes: u32,
+    pub completed: usize,
+}
+
+/// Discrete-event simulator for a pool of (possibly) malleable jobs.
+///
+/// When `enable_malleability` is false, jobs run rigidly at `min_nodes` —
+/// the ablation baseline.
+pub struct MalleableSim {
+    total_nodes: u32,
+    records: BTreeMap<JobId, MalleableRecord>,
+    gen: BTreeMap<JobId, u32>,
+    events: EventQueue<Ev>,
+    pending: Vec<JobId>,
+    next_id: JobId,
+    enable_malleability: bool,
+    node_secs_used: f64,
+    last_t: f64,
+}
+
+impl MalleableSim {
+    pub fn new(total_nodes: u32, enable_malleability: bool) -> Self {
+        MalleableSim {
+            total_nodes,
+            records: BTreeMap::new(),
+            gen: BTreeMap::new(),
+            events: EventQueue::new(),
+            pending: Vec::new(),
+            next_id: 1,
+            enable_malleability,
+            node_secs_used: 0.0,
+            last_t: 0.0,
+        }
+    }
+
+    /// Submit a job (arrival at its declared time).
+    pub fn submit(&mut self, job: MalleableJob) -> JobId {
+        assert!(
+            job.spec.min_nodes <= self.total_nodes,
+            "job cannot fit the cluster even at minimum width"
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.events.schedule_at(job.arrival, Ev::Arrival(id));
+        self.records.insert(
+            id,
+            MalleableRecord {
+                remaining: job.spec.work_node_secs,
+                job,
+                state: MalleableState::Pending,
+                nodes: 0,
+                start_time: None,
+                end_time: None,
+                resizes: 0,
+            },
+        );
+        self.gen.insert(id, 0);
+        id
+    }
+
+    /// Read a record.
+    pub fn record(&self, id: JobId) -> Option<&MalleableRecord> {
+        self.records.get(&id)
+    }
+
+    fn free_nodes(&self) -> u32 {
+        let used: u32 = self
+            .records
+            .values()
+            .filter(|r| r.state == MalleableState::Running)
+            .map(|r| r.nodes)
+            .sum();
+        self.total_nodes - used
+    }
+
+    /// Progress all running jobs to `now` and charge utilization.
+    fn advance_work(&mut self, now: f64) {
+        let dt = now - self.last_t;
+        if dt > 0.0 {
+            for r in self.records.values_mut() {
+                if r.state == MalleableState::Running {
+                    r.remaining -= r.nodes as f64 * dt;
+                    if r.remaining < 0.0 {
+                        r.remaining = 0.0; // completion event is imminent
+                    }
+                    self.node_secs_used += r.nodes as f64 * dt;
+                }
+            }
+        }
+        self.last_t = now;
+    }
+
+    /// Reschedule a running job's completion from its current width.
+    fn reschedule_done(&mut self, id: JobId, now: f64) {
+        let gen = self.gen.get_mut(&id).expect("gen exists");
+        *gen += 1;
+        let g = *gen;
+        let r = &self.records[&id];
+        debug_assert!(r.nodes >= 1);
+        let finish_in = r.remaining / r.nodes as f64;
+        self.events.schedule_at(now + finish_in, Ev::Done(id, g));
+    }
+
+    /// Set a running job's width, rescheduling completion.
+    fn resize(&mut self, id: JobId, nodes: u32, now: f64) {
+        let r = self.records.get_mut(&id).expect("job exists");
+        if r.nodes == nodes {
+            return;
+        }
+        r.nodes = nodes;
+        r.resizes += 1;
+        self.reschedule_done(id, now);
+    }
+
+    /// The scheduling pass: shrink to admit, start pending, grow into slack.
+    fn schedule_pass(&mut self, now: f64) {
+        // 1. try to admit pending jobs (FIFO by arrival), shrinking running
+        //    malleable jobs toward min_nodes when needed.
+        self.pending.sort_by(|&a, &b| {
+            self.records[&a]
+                .job
+                .arrival
+                .partial_cmp(&self.records[&b].job.arrival)
+                .expect("finite")
+                .then(a.cmp(&b))
+        });
+        let pending = self.pending.clone();
+        for id in pending {
+            let need = self.records[&id].job.spec.min_nodes;
+            let mut free = self.free_nodes();
+            if free < need && self.enable_malleability {
+                // only shrink if reclamation can actually satisfy the
+                // request — otherwise a failed admission would churn
+                // resize events on every pass
+                let reclaimable: u32 = self
+                    .records
+                    .values()
+                    .filter(|r| r.state == MalleableState::Running)
+                    .map(|r| r.nodes - r.job.spec.min_nodes)
+                    .sum();
+                if free + reclaimable >= need {
+                    // shrink the widest running jobs first
+                    let mut running: Vec<(u32, JobId)> = self
+                        .records
+                        .iter()
+                        .filter(|(_, r)| r.state == MalleableState::Running)
+                        .map(|(&jid, r)| (r.nodes, jid))
+                        .collect();
+                    running.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                    for (width, jid) in running {
+                        if free >= need {
+                            break;
+                        }
+                        let min = self.records[&jid].job.spec.min_nodes;
+                        let give = (width - min).min(need - free);
+                        if give > 0 {
+                            self.resize(jid, width - give, now);
+                            free += give;
+                        }
+                    }
+                }
+            }
+            if free >= need {
+                self.pending.retain(|&p| p != id);
+                let r = self.records.get_mut(&id).expect("job exists");
+                r.state = MalleableState::Running;
+                r.nodes = need;
+                r.start_time = Some(now);
+                self.reschedule_done(id, now);
+            } else {
+                break; // FIFO head blocking
+            }
+        }
+        // 2. grow running malleable jobs into remaining slack, fair-share:
+        //    one node at a time round-robin until no slack or all capped.
+        if self.enable_malleability {
+            loop {
+                let free = self.free_nodes();
+                if free == 0 {
+                    break;
+                }
+                let mut grew = false;
+                let ids: Vec<JobId> = self
+                    .records
+                    .iter()
+                    .filter(|(_, r)| r.state == MalleableState::Running)
+                    .map(|(&jid, _)| jid)
+                    .collect();
+                for jid in ids {
+                    if self.free_nodes() == 0 {
+                        break;
+                    }
+                    let (cur, max) = {
+                        let r = &self.records[&jid];
+                        (r.nodes, r.job.spec.max_nodes)
+                    };
+                    if cur < max {
+                        self.resize(jid, cur + 1, now);
+                        grew = true;
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Run to completion and report.
+    pub fn run(mut self) -> MalleableReport {
+        while let Some((t, ev)) = self.events.pop() {
+            self.advance_work(t);
+            match ev {
+                Ev::Arrival(id) => {
+                    self.pending.push(id);
+                }
+                Ev::Done(id, g) => {
+                    if self.gen.get(&id) == Some(&g)
+                        && self.records[&id].state == MalleableState::Running
+                    {
+                        let r = self.records.get_mut(&id).expect("job exists");
+                        debug_assert!(r.remaining < 1e-6, "work left: {}", r.remaining);
+                        r.state = MalleableState::Completed;
+                        r.nodes = 0;
+                        r.end_time = Some(t);
+                    }
+                }
+            }
+            self.schedule_pass(t);
+        }
+        let makespan = self
+            .records
+            .values()
+            .filter_map(|r| r.end_time)
+            .fold(0.0f64, f64::max);
+        let completed = self
+            .records
+            .values()
+            .filter(|r| r.state == MalleableState::Completed)
+            .count();
+        let turnarounds: Vec<f64> = self
+            .records
+            .values()
+            .filter_map(|r| r.end_time.map(|e| e - r.job.arrival))
+            .collect();
+        MalleableReport {
+            makespan_secs: makespan,
+            node_utilization: if makespan > 0.0 {
+                self.node_secs_used / (self.total_nodes as f64 * makespan)
+            } else {
+                0.0
+            },
+            mean_turnaround_secs: if turnarounds.is_empty() {
+                0.0
+            } else {
+                turnarounds.iter().sum::<f64>() / turnarounds.len() as f64
+            },
+            total_resizes: self.records.values().map(|r| r.resizes).sum(),
+            completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(name: &str, min: u32, max: u32, work: f64, arrival: f64) -> MalleableJob {
+        MalleableJob { name: name.into(), spec: MalleableSpec::new(min, max, work), arrival }
+    }
+
+    #[test]
+    fn single_malleable_job_uses_whole_cluster() {
+        let mut sim = MalleableSim::new(8, true);
+        let id = sim.submit(job("a", 1, 8, 800.0, 0.0));
+        let report = sim.run();
+        // 800 node-seconds on 8 nodes = 100 s
+        assert!((report.makespan_secs - 100.0).abs() < 1e-6);
+        assert!((report.node_utilization - 1.0).abs() < 1e-9);
+        assert_eq!(report.completed, 1);
+        let _ = id;
+    }
+
+    #[test]
+    fn rigid_job_sticks_to_min_nodes() {
+        let mut sim = MalleableSim::new(8, false);
+        sim.submit(job("a", 2, 8, 800.0, 0.0));
+        let report = sim.run();
+        // rigid at 2 nodes: 400 s
+        assert!((report.makespan_secs - 400.0).abs() < 1e-6);
+        assert_eq!(report.total_resizes, 0);
+    }
+
+    #[test]
+    fn growth_is_fair_shared_between_jobs() {
+        let mut sim = MalleableSim::new(8, true);
+        let a = sim.submit(job("a", 1, 8, 400.0, 0.0));
+        let b = sim.submit(job("b", 1, 8, 400.0, 0.0));
+        // both should run at width 4 and finish at t=100 together
+        let _ = (a, b);
+        let report = sim.run();
+        assert!((report.makespan_secs - 100.0).abs() < 1e-6, "{}", report.makespan_secs);
+        assert!((report.node_utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_jobs_shrink_to_admit_newcomer() {
+        let mut sim = MalleableSim::new(8, true);
+        // first job grows to 8; second (min 4) arrives at t=10
+        sim.submit(job("wide", 1, 8, 1600.0, 0.0));
+        let late = sim.submit(job("late", 4, 4, 400.0, 10.0));
+        let report = sim.run();
+        assert_eq!(report.completed, 2);
+        // the late job started at its arrival, not after `wide` finished
+        // (which would be t=200 rigidly)
+        let _ = late;
+        assert!(report.makespan_secs < 300.0, "makespan {}", report.makespan_secs);
+        assert!(report.total_resizes >= 2, "grow + shrink happened");
+        assert!(report.node_utilization > 0.95);
+    }
+
+    #[test]
+    fn without_malleability_newcomer_waits() {
+        let run = |mall: bool| {
+            let mut sim = MalleableSim::new(8, mall);
+            sim.submit(job("wide", 6, 8, 1200.0, 0.0));
+            sim.submit(job("late", 4, 4, 400.0, 10.0));
+            sim.run()
+        };
+        let rigid = run(false);
+        let malleable = run(true);
+        assert!(
+            malleable.mean_turnaround_secs < rigid.mean_turnaround_secs,
+            "malleable {} vs rigid {}",
+            malleable.mean_turnaround_secs,
+            rigid.mean_turnaround_secs
+        );
+        assert!(malleable.node_utilization > rigid.node_utilization);
+    }
+
+    #[test]
+    fn work_is_conserved_under_resizes() {
+        let mut sim = MalleableSim::new(4, true);
+        let ids: Vec<_> = (0..5)
+            .map(|i| sim.submit(job(&format!("j{i}"), 1, 4, 100.0 + 50.0 * i as f64, 5.0 * i as f64)))
+            .collect();
+        let report = sim.run();
+        assert_eq!(report.completed, ids.len());
+        // total node-seconds delivered == total work submitted
+        let total_work: f64 = (0..5).map(|i| 100.0 + 50.0 * i as f64).sum();
+        let delivered = report.node_utilization * 4.0 * report.makespan_secs;
+        assert!(
+            (delivered - total_work).abs() < 1e-6,
+            "delivered {delivered} vs submitted {total_work}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn oversized_min_rejected() {
+        let mut sim = MalleableSim::new(4, true);
+        sim.submit(job("big", 5, 8, 100.0, 0.0));
+    }
+
+    #[test]
+    fn completion_times_scale_inverse_to_width() {
+        // one rigid narrow job + cluster slack: a malleable job finishes
+        // earlier than the same job rigid
+        let run = |mall: bool| {
+            let mut sim = MalleableSim::new(8, mall);
+            let id = sim.submit(job("j", 2, 8, 1600.0, 0.0));
+            let report = sim.run();
+            let _ = (id, &report);
+            report.makespan_secs
+        };
+        assert!((run(false) - 800.0).abs() < 1e-6);
+        assert!((run(true) - 200.0).abs() < 1e-6);
+    }
+}

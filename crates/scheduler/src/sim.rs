@@ -1,0 +1,186 @@
+//! Discrete-event simulation core.
+//!
+//! A minimal, deterministic event queue shared by the batch-scheduler
+//! simulator and the co-simulation harnesses: events carry an `f64` timestamp
+//! (seconds) and fire in time order, with a monotonically increasing sequence
+//! number breaking ties so runs are reproducible regardless of insertion
+//! pattern.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic future-event list with a simulation clock.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: f64,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), now: 0.0, seq: 0 }
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `t`. Panics if `t` is in the past
+    /// or not finite — scheduling into the past is always a logic error.
+    pub fn schedule_at(&mut self, t: f64, event: E) {
+        assert!(t.is_finite(), "event time must be finite, got {t}");
+        assert!(
+            t >= self.now,
+            "cannot schedule into the past: {t} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { time: t, seq, event });
+    }
+
+    /// Schedule `event` `dt` seconds from now.
+    pub fn schedule_in(&mut self, dt: f64, event: E) {
+        assert!(dt >= 0.0, "negative delay {dt}");
+        let t = self.now + dt;
+        self.schedule_at(t, event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Timestamp of the next event without popping.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Advance the clock to `t` without processing events. Panics if an
+    /// event earlier than `t` is still pending (it must be popped first) or
+    /// if `t` would move the clock backwards.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(t.is_finite() && t >= self.now, "cannot rewind clock to {t}");
+        if let Some(next) = self.peek_time() {
+            assert!(next >= t, "event at {next} pending before advance target {t}");
+        }
+        self.now = t;
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5.0, "c");
+        q.schedule_at(1.0, "a");
+        q.schedule_at(3.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.now(), 1.0);
+        assert_eq!(q.pop(), Some((3.0, "b")));
+        assert_eq!(q.pop(), Some((5.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(2.0, "first");
+        q.schedule_at(2.0, "second");
+        q.schedule_at(2.0, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10.0, "x");
+        q.pop();
+        q.schedule_in(5.0, "y");
+        assert_eq!(q.pop(), Some((15.0, "y")));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10.0, "x");
+        q.pop();
+        q.schedule_at(5.0, "y");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_panics() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.schedule_at(f64::NAN, "x");
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule_at(4.0, 1u32);
+        q.schedule_at(2.0, 2u32);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.now(), 0.0, "peek does not advance the clock");
+    }
+}

@@ -1,0 +1,251 @@
+//! The analog SDK: a Pulser-style fluent builder.
+//!
+//! One of the multiple front-ends the environment supports as first-class
+//! citizens (paper §2.3.1). It is deliberately a *different API flavor* from
+//! the raw IR — chained builder methods, physics-level helpers like
+//! adiabatic sweeps — but compiles to the same [`ProgramIr`], which is what
+//! lets the daemon treat all SDKs uniformly.
+
+use hpcqc_program::{ProgramIr, Pulse, Register, Sequence, SequenceBuilder, Waveform};
+
+/// SDK name recorded in program provenance.
+pub const SDK_NAME: &str = "analog-sdk";
+
+/// Errors from the analog builder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalogError {
+    Program(hpcqc_program::ProgramError),
+    /// A helper was called with unphysical arguments.
+    BadArgument(String),
+}
+
+impl std::fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalogError::Program(e) => write!(f, "{e}"),
+            AnalogError::BadArgument(m) => write!(f, "bad argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalogError {}
+
+impl From<hpcqc_program::ProgramError> for AnalogError {
+    fn from(e: hpcqc_program::ProgramError) -> Self {
+        AnalogError::Program(e)
+    }
+}
+
+/// Fluent builder over a register.
+pub struct AnalogProgram {
+    builder: SequenceBuilder,
+    error: Option<AnalogError>,
+}
+
+impl AnalogProgram {
+    /// Start a program on `register`.
+    pub fn on(register: Register) -> Self {
+        AnalogProgram { builder: SequenceBuilder::new(register), error: None }
+    }
+
+    fn try_push(mut self, r: Result<Pulse, AnalogError>) -> Self {
+        if self.error.is_none() {
+            match r {
+                Ok(p) => {
+                    self.builder.add_global_pulse(p);
+                }
+                Err(e) => self.error = Some(e),
+            }
+        }
+        self
+    }
+
+    /// A resonant constant pulse: Ω=`omega`, δ=0 for `duration` µs.
+    pub fn resonant_pulse(self, duration: f64, omega: f64) -> Self {
+        let r = Pulse::constant(duration, omega, 0.0, 0.0).map_err(Into::into);
+        self.try_push(r)
+    }
+
+    /// A constant pulse with explicit detuning and phase.
+    pub fn pulse(self, duration: f64, omega: f64, delta: f64, phase: f64) -> Self {
+        let r = Pulse::constant(duration, omega, delta, phase).map_err(Into::into);
+        self.try_push(r)
+    }
+
+    /// A π-pulse at drive `omega` (duration chosen as π/Ω).
+    pub fn pi_pulse(self, omega: f64) -> Self {
+        if omega <= 0.0 {
+            return self.fail(format!("pi_pulse needs positive omega, got {omega}"));
+        }
+        self.resonant_pulse(std::f64::consts::PI / omega, omega)
+    }
+
+    /// A smooth Blackman pulse with total area `area` rad at zero detuning.
+    pub fn blackman_pulse(self, duration: f64, area: f64) -> Self {
+        let r = (|| {
+            Ok(Pulse::new(
+                Waveform::blackman(duration, area)?,
+                Waveform::constant(duration, 0.0)?,
+                0.0,
+            )?)
+        })();
+        self.try_push(r)
+    }
+
+    /// The standard adiabatic sweep of quantum-simulation workloads: ramp Ω
+    /// up while sweeping δ from `delta_start` (< 0) to `delta_end` (> 0),
+    /// then ramp Ω down. Produces three pulses of `duration/4`, `duration/2`
+    /// and `duration/4`.
+    pub fn adiabatic_sweep(
+        self,
+        duration: f64,
+        omega_max: f64,
+        delta_start: f64,
+        delta_end: f64,
+    ) -> Self {
+        if duration <= 0.0 || omega_max <= 0.0 {
+            return self.fail(format!(
+                "adiabatic_sweep needs positive duration/omega, got {duration}/{omega_max}"
+            ));
+        }
+        if delta_start >= delta_end {
+            return self.fail(format!(
+                "sweep must increase detuning: {delta_start} -> {delta_end}"
+            ));
+        }
+        let quarter = duration / 4.0;
+        let half = duration / 2.0;
+        let r1 = (|| {
+            Ok(Pulse::new(
+                Waveform::ramp(quarter, 0.0, omega_max)?,
+                Waveform::constant(quarter, delta_start)?,
+                0.0,
+            )?)
+        })();
+        let r2 = (|| {
+            Ok(Pulse::new(
+                Waveform::constant(half, omega_max)?,
+                Waveform::ramp(half, delta_start, delta_end)?,
+                0.0,
+            )?)
+        })();
+        let r3 = (|| {
+            Ok(Pulse::new(
+                Waveform::ramp(quarter, omega_max, 0.0)?,
+                Waveform::constant(quarter, delta_end)?,
+                0.0,
+            )?)
+        })();
+        self.try_push(r1).try_push(r2).try_push(r3)
+    }
+
+    /// Idle for `duration` µs.
+    pub fn wait(mut self, duration: f64) -> Self {
+        if self.error.is_none() {
+            if duration <= 0.0 {
+                return self.fail(format!("wait needs positive duration, got {duration}"));
+            }
+            self.builder.add_delay(hpcqc_program::sequence::GLOBAL_CHANNEL, duration);
+        }
+        self
+    }
+
+    fn fail(mut self, msg: String) -> Self {
+        if self.error.is_none() {
+            self.error = Some(AnalogError::BadArgument(msg));
+        }
+        self
+    }
+
+    /// Finalize into a raw [`Sequence`].
+    pub fn build(self) -> Result<Sequence, AnalogError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(self.builder.build()?)
+    }
+
+    /// Finalize into submission-ready IR with SDK provenance.
+    pub fn to_ir(self, shots: u32) -> Result<ProgramIr, AnalogError> {
+        Ok(ProgramIr::new(self.build()?, shots, SDK_NAME))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> Register {
+        Register::linear(3, 6.0).unwrap()
+    }
+
+    #[test]
+    fn fluent_chain_builds_ir_with_provenance() {
+        let ir = AnalogProgram::on(reg())
+            .resonant_pulse(0.5, 4.0)
+            .wait(0.2)
+            .pulse(0.3, 2.0, -1.0, 0.1)
+            .to_ir(200)
+            .unwrap();
+        assert_eq!(ir.sdk, SDK_NAME);
+        assert_eq!(ir.shots, 200);
+        assert_eq!(ir.sequence.pulses.len(), 3);
+        assert!((ir.sequence.duration() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pi_pulse_has_area_pi() {
+        let seq = AnalogProgram::on(reg()).pi_pulse(4.0).build().unwrap();
+        let area = seq.pulses[0].pulse.amplitude.integral();
+        assert!((area - std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blackman_pulse_area() {
+        let seq = AnalogProgram::on(reg()).blackman_pulse(1.0, 2.5).build().unwrap();
+        assert!((seq.pulses[0].pulse.amplitude.integral() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adiabatic_sweep_shape() {
+        let seq = AnalogProgram::on(reg())
+            .adiabatic_sweep(4.0, 6.0, -10.0, 10.0)
+            .build()
+            .unwrap();
+        assert_eq!(seq.pulses.len(), 3);
+        assert!((seq.duration() - 4.0).abs() < 1e-9);
+        // starts and ends with zero drive
+        let (o0, d0, _) = seq.drive_at(hpcqc_program::sequence::GLOBAL_CHANNEL, 0.0);
+        assert_eq!(o0, 0.0);
+        assert_eq!(d0, -10.0);
+        let (o1, d1, _) = seq.drive_at(hpcqc_program::sequence::GLOBAL_CHANNEL, 4.0);
+        assert!(o1.abs() < 1e-9);
+        assert_eq!(d1, 10.0);
+        // plateau in the middle
+        let (om, _, _) = seq.drive_at(hpcqc_program::sequence::GLOBAL_CHANNEL, 2.0);
+        assert_eq!(om, 6.0);
+    }
+
+    #[test]
+    fn first_error_is_sticky() {
+        let r = AnalogProgram::on(reg())
+            .pi_pulse(-1.0) // bad
+            .resonant_pulse(0.5, 4.0) // would be fine
+            .to_ir(10);
+        match r {
+            Err(AnalogError::BadArgument(m)) => assert!(m.contains("omega")),
+            other => panic!("expected sticky BadArgument, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_argument_validation() {
+        assert!(AnalogProgram::on(reg()).adiabatic_sweep(-1.0, 6.0, -1.0, 1.0).build().is_err());
+        assert!(AnalogProgram::on(reg()).adiabatic_sweep(1.0, 6.0, 2.0, 1.0).build().is_err());
+    }
+
+    #[test]
+    fn empty_program_rejected_at_build() {
+        assert!(AnalogProgram::on(reg()).build().is_err());
+    }
+}

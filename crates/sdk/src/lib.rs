@@ -1,0 +1,19 @@
+//! # hpcqc-sdk — multiple SDK front-ends over one IR
+//!
+//! The paper's multi-SDK requirement (§2.3.1): a QPU is programmable through
+//! several SDKs with distinct abstractions, all first-class citizens of the
+//! runtime. Three front-ends ship here, each compiling to the shared
+//! [`hpcqc_program::ProgramIr`]:
+//!
+//! * [`analog`] — Pulser-style fluent pulse builder (physics-level helpers),
+//! * [`circuit`] — gate-model circuits with lowering of globally-expressible
+//!   gates to analog pulses plus a native dense simulator for the rest,
+//! * [`text`] — a line-oriented interchange format with parser and renderer.
+
+pub mod analog;
+pub mod circuit;
+pub mod text;
+
+pub use analog::{AnalogError, AnalogProgram};
+pub use circuit::{Circuit, CircuitError, Gate};
+pub use text::{parse_program, render_program, ParseError};

@@ -1,0 +1,276 @@
+//! Alert rules evaluated against the time-series database.
+//!
+//! The hosting-site operations team expresses QPU health conditions as
+//! threshold rules over telemetry series ("alert when detection error mean
+//! over the last 5 minutes exceeds 3 %"); the [`AlertManager`] evaluates them
+//! on each collection tick and keeps the firing state with proper
+//! pending→firing→resolved transitions, mirroring how Prometheus alerting
+//! behaves so site runbooks transfer directly.
+
+use crate::tsdb::TimeSeriesDb;
+use serde::{Deserialize, Serialize};
+
+/// Comparison operator of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cmp {
+    GreaterThan,
+    LessThan,
+}
+
+/// A threshold rule over the trailing mean of one series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertRule {
+    /// Unique rule name (e.g. `"qpu_detection_error_high"`).
+    pub name: String,
+    /// Series the rule watches.
+    pub series: String,
+    /// Trailing window (seconds) whose mean is compared.
+    pub window_secs: f64,
+    /// Comparison direction.
+    pub cmp: Cmp,
+    /// Threshold the windowed mean is compared against.
+    pub threshold: f64,
+    /// The condition must hold for this long before the alert fires
+    /// (Prometheus `for:`).
+    pub for_secs: f64,
+}
+
+/// Lifecycle state of one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlertState {
+    /// Condition false.
+    Inactive,
+    /// Condition true but not yet for `for_secs`.
+    Pending,
+    /// Condition held long enough; alert is active.
+    Firing,
+}
+
+/// A state transition worth notifying about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertEvent {
+    pub rule: String,
+    pub at: f64,
+    pub state: AlertState,
+    /// Windowed mean that triggered the evaluation.
+    pub value: f64,
+}
+
+struct RuleState {
+    rule: AlertRule,
+    state: AlertState,
+    pending_since: Option<f64>,
+}
+
+/// Evaluates rules against a [`TimeSeriesDb`] and tracks firing state.
+pub struct AlertManager {
+    db: TimeSeriesDb,
+    rules: Vec<RuleState>,
+}
+
+impl AlertManager {
+    pub fn new(db: TimeSeriesDb) -> Self {
+        AlertManager { db, rules: Vec::new() }
+    }
+
+    /// Register a rule. Panics on duplicate names.
+    pub fn add_rule(&mut self, rule: AlertRule) {
+        assert!(
+            !self.rules.iter().any(|r| r.rule.name == rule.name),
+            "duplicate alert rule {:?}",
+            rule.name
+        );
+        self.rules.push(RuleState { rule, state: AlertState::Inactive, pending_since: None });
+    }
+
+    /// Current state of a rule by name.
+    pub fn state(&self, name: &str) -> Option<AlertState> {
+        self.rules.iter().find(|r| r.rule.name == name).map(|r| r.state)
+    }
+
+    /// Evaluate every rule at time `now`; returns the transitions that
+    /// occurred (new pending, fired, resolved).
+    pub fn evaluate(&mut self, now: f64) -> Vec<AlertEvent> {
+        let mut events = Vec::new();
+        for rs in &mut self.rules {
+            let rule = &rs.rule;
+            let stats = self.db.stats(&rule.series, now - rule.window_secs, now);
+            let Some((mean, _)) = stats else {
+                continue; // no data: hold current state
+            };
+            let breached = match rule.cmp {
+                Cmp::GreaterThan => mean > rule.threshold,
+                Cmp::LessThan => mean < rule.threshold,
+            };
+            let new_state = if breached {
+                let since = *rs.pending_since.get_or_insert(now);
+                if now - since >= rule.for_secs {
+                    AlertState::Firing
+                } else {
+                    AlertState::Pending
+                }
+            } else {
+                rs.pending_since = None;
+                AlertState::Inactive
+            };
+            if new_state != rs.state {
+                rs.state = new_state;
+                events.push(AlertEvent {
+                    rule: rule.name.clone(),
+                    at: now,
+                    state: new_state,
+                    value: mean,
+                });
+            }
+        }
+        events
+    }
+
+    /// Names of currently firing alerts.
+    pub fn firing(&self) -> Vec<String> {
+        self.rules
+            .iter()
+            .filter(|r| r.state == AlertState::Firing)
+            .map(|r| r.rule.name.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr_with_rule(for_secs: f64) -> (TimeSeriesDb, AlertManager) {
+        let db = TimeSeriesDb::new();
+        let mut m = AlertManager::new(db.clone());
+        m.add_rule(AlertRule {
+            name: "err_high".into(),
+            series: "detection_error".into(),
+            window_secs: 10.0,
+            cmp: Cmp::GreaterThan,
+            threshold: 0.05,
+            for_secs,
+        });
+        (db, m)
+    }
+
+    #[test]
+    fn inactive_while_healthy() {
+        let (db, mut m) = mgr_with_rule(0.0);
+        for t in 0..20 {
+            db.append("detection_error", t as f64, 0.01);
+        }
+        assert!(m.evaluate(20.0).is_empty());
+        assert_eq!(m.state("err_high"), Some(AlertState::Inactive));
+        assert!(m.firing().is_empty());
+    }
+
+    #[test]
+    fn fires_immediately_with_zero_for() {
+        let (db, mut m) = mgr_with_rule(0.0);
+        for t in 0..20 {
+            db.append("detection_error", t as f64, 0.2);
+        }
+        let ev = m.evaluate(20.0);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].state, AlertState::Firing);
+        assert!(ev[0].value > 0.05);
+        assert_eq!(m.firing(), vec!["err_high".to_string()]);
+    }
+
+    #[test]
+    fn pending_then_firing_with_for_duration() {
+        let (db, mut m) = mgr_with_rule(5.0);
+        for t in 0..40 {
+            db.append("detection_error", t as f64, 0.2);
+        }
+        let ev = m.evaluate(20.0);
+        assert_eq!(ev[0].state, AlertState::Pending);
+        // still pending before for_secs elapses
+        assert!(m.evaluate(23.0).is_empty());
+        assert_eq!(m.state("err_high"), Some(AlertState::Pending));
+        let ev = m.evaluate(25.5);
+        assert_eq!(ev[0].state, AlertState::Firing);
+    }
+
+    #[test]
+    fn resolves_when_condition_clears() {
+        let (db, mut m) = mgr_with_rule(0.0);
+        for t in 0..10 {
+            db.append("detection_error", t as f64, 0.2);
+        }
+        m.evaluate(10.0);
+        assert_eq!(m.state("err_high"), Some(AlertState::Firing));
+        // healthy data fills the window
+        for t in 10..30 {
+            db.append("detection_error", t as f64, 0.01);
+        }
+        let ev = m.evaluate(30.0);
+        assert_eq!(ev[0].state, AlertState::Inactive);
+        assert!(m.firing().is_empty());
+    }
+
+    #[test]
+    fn pending_resets_if_condition_flaps() {
+        let (db, mut m) = mgr_with_rule(10.0);
+        for t in 0..10 {
+            db.append("detection_error", t as f64, 0.2);
+        }
+        m.evaluate(10.0); // pending since 10
+        for t in 10..25 {
+            db.append("detection_error", t as f64, 0.01);
+        }
+        m.evaluate(25.0); // back to inactive
+        assert_eq!(m.state("err_high"), Some(AlertState::Inactive));
+        for t in 25..40 {
+            db.append("detection_error", t as f64, 0.2);
+        }
+        let ev = m.evaluate(40.0);
+        assert_eq!(ev[0].state, AlertState::Pending, "for-timer restarted");
+    }
+
+    #[test]
+    fn less_than_rules_catch_degrading_fidelity() {
+        let db = TimeSeriesDb::new();
+        let mut m = AlertManager::new(db.clone());
+        m.add_rule(AlertRule {
+            name: "fidelity_low".into(),
+            series: "fidelity".into(),
+            window_secs: 5.0,
+            cmp: Cmp::LessThan,
+            threshold: 0.95,
+            for_secs: 0.0,
+        });
+        for t in 0..10 {
+            db.append("fidelity", t as f64, 0.90);
+        }
+        let ev = m.evaluate(10.0);
+        assert_eq!(ev[0].state, AlertState::Firing);
+    }
+
+    #[test]
+    fn no_data_holds_state() {
+        let (db, mut m) = mgr_with_rule(0.0);
+        for t in 0..10 {
+            db.append("detection_error", t as f64, 0.2);
+        }
+        m.evaluate(10.0);
+        // evaluating far in the future where the window is empty: unchanged
+        assert!(m.evaluate(1000.0).is_empty());
+        assert_eq!(m.state("err_high"), Some(AlertState::Firing));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate alert rule")]
+    fn duplicate_rule_panics() {
+        let (_, mut m) = mgr_with_rule(0.0);
+        m.add_rule(AlertRule {
+            name: "err_high".into(),
+            series: "x".into(),
+            window_secs: 1.0,
+            cmp: Cmp::GreaterThan,
+            threshold: 0.0,
+            for_secs: 0.0,
+        });
+    }
+}

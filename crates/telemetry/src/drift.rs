@@ -1,0 +1,278 @@
+//! Calibration-drift detection.
+//!
+//! QPU calibration parameters (Rabi frequency, detuning offset, detection
+//! error) fluctuate and drift over time (paper §2.5). Two standard online
+//! detectors are provided:
+//!
+//! * [`ZScoreDetector`] — flags a sample whose z-score against a trailing
+//!   baseline window exceeds a threshold (good for step changes / outliers),
+//! * [`CusumDetector`] — cumulative-sum detector accumulating small
+//!   persistent deviations (good for slow drifts the z-score misses).
+//!
+//! Both are deterministic, allocation-light state machines fed one sample at
+//! a time, so they run inside the observability daemon's collection loop.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Outcome of feeding one sample into a detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Detection {
+    /// Not enough history yet to judge.
+    Warmup,
+    /// Sample consistent with baseline.
+    Normal,
+    /// Drift/step detected at this sample.
+    Drift { score: f64 },
+}
+
+/// Rolling z-score detector with a trailing baseline window.
+#[derive(Debug, Clone)]
+pub struct ZScoreDetector {
+    window: VecDeque<f64>,
+    /// Baseline length (samples).
+    capacity: usize,
+    /// |z| above this flags drift.
+    threshold: f64,
+    /// Floor on the baseline σ to avoid division blow-ups on quiet series.
+    min_std: f64,
+}
+
+impl ZScoreDetector {
+    /// A detector with a `capacity`-sample baseline and a z threshold.
+    pub fn new(capacity: usize, threshold: f64) -> Self {
+        assert!(capacity >= 2, "baseline needs at least 2 samples");
+        assert!(threshold > 0.0);
+        ZScoreDetector { window: VecDeque::with_capacity(capacity), capacity, threshold, min_std: 1e-9 }
+    }
+
+    /// Override the σ floor (useful when the metric's natural scale is tiny).
+    pub fn with_min_std(mut self, min_std: f64) -> Self {
+        self.min_std = min_std;
+        self
+    }
+
+    /// Feed a sample; drifting samples are NOT absorbed into the baseline
+    /// (so a step change keeps firing until the operator recalibrates or the
+    /// detector is reset).
+    pub fn update(&mut self, value: f64) -> Detection {
+        if self.window.len() < self.capacity {
+            self.window.push_back(value);
+            return Detection::Warmup;
+        }
+        let n = self.window.len() as f64;
+        let mean = self.window.iter().sum::<f64>() / n;
+        let var = self.window.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt().max(self.min_std);
+        let z = (value - mean) / std;
+        if z.abs() > self.threshold {
+            Detection::Drift { score: z }
+        } else {
+            self.window.pop_front();
+            self.window.push_back(value);
+            Detection::Normal
+        }
+    }
+
+    /// Drop all history (e.g. after a recalibration event).
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+/// Two-sided CUSUM detector for slow persistent drifts.
+///
+/// Tracks `S⁺ = max(0, S⁺ + (x − μ₀ − k))` and `S⁻ = max(0, S⁻ − (x − μ₀ + k))`
+/// and fires when either exceeds `h`. `μ₀` is learned from the first
+/// `warmup` samples.
+#[derive(Debug, Clone)]
+pub struct CusumDetector {
+    /// Reference mean; `None` until warmup completes.
+    mu0: Option<f64>,
+    warmup_buf: Vec<f64>,
+    warmup: usize,
+    /// Slack parameter (insensitivity band) in metric units.
+    k: f64,
+    /// Decision threshold in metric units.
+    h: f64,
+    s_pos: f64,
+    s_neg: f64,
+}
+
+impl CusumDetector {
+    /// `warmup` samples establish the reference mean; `k` is the slack and
+    /// `h` the decision threshold, both in the metric's units.
+    pub fn new(warmup: usize, k: f64, h: f64) -> Self {
+        assert!(warmup >= 1);
+        assert!(k >= 0.0 && h > 0.0);
+        CusumDetector { mu0: None, warmup_buf: Vec::with_capacity(warmup), warmup, k, h, s_pos: 0.0, s_neg: 0.0 }
+    }
+
+    /// Feed one sample.
+    pub fn update(&mut self, value: f64) -> Detection {
+        let mu0 = match self.mu0 {
+            Some(m) => m,
+            None => {
+                self.warmup_buf.push(value);
+                if self.warmup_buf.len() < self.warmup {
+                    return Detection::Warmup;
+                }
+                let m = self.warmup_buf.iter().sum::<f64>() / self.warmup_buf.len() as f64;
+                self.mu0 = Some(m);
+                self.warmup_buf.clear();
+                return Detection::Warmup;
+            }
+        };
+        let dev = value - mu0;
+        self.s_pos = (self.s_pos + dev - self.k).max(0.0);
+        self.s_neg = (self.s_neg - dev - self.k).max(0.0);
+        let score = self.s_pos.max(self.s_neg);
+        if score > self.h {
+            Detection::Drift { score }
+        } else {
+            Detection::Normal
+        }
+    }
+
+    /// Reset accumulators and re-learn the reference mean.
+    pub fn reset(&mut self) {
+        self.mu0 = None;
+        self.warmup_buf.clear();
+        self.s_pos = 0.0;
+        self.s_neg = 0.0;
+    }
+
+    /// Current reference mean once learned.
+    pub fn reference(&self) -> Option<f64> {
+        self.mu0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_warms_up_then_accepts_baseline() {
+        let mut d = ZScoreDetector::new(5, 4.0);
+        for i in 0..5 {
+            assert_eq!(d.update(1.0 + 0.01 * i as f64), Detection::Warmup);
+        }
+        assert_eq!(d.update(1.02), Detection::Normal);
+    }
+
+    #[test]
+    fn zscore_detects_step_change() {
+        let mut d = ZScoreDetector::new(10, 4.0).with_min_std(0.01);
+        for i in 0..10 {
+            d.update(1.0 + 0.001 * (i % 3) as f64);
+        }
+        match d.update(2.0) {
+            Detection::Drift { score } => assert!(score > 4.0),
+            other => panic!("expected drift, got {other:?}"),
+        }
+        // keeps firing: baseline not polluted by the outlier
+        assert!(matches!(d.update(2.0), Detection::Drift { .. }));
+    }
+
+    #[test]
+    fn zscore_reset_clears_history() {
+        let mut d = ZScoreDetector::new(3, 3.0);
+        d.update(1.0);
+        d.update(1.0);
+        d.update(1.0);
+        d.reset();
+        assert_eq!(d.update(100.0), Detection::Warmup);
+    }
+
+    #[test]
+    fn zscore_ignores_noise_within_threshold() {
+        let mut d = ZScoreDetector::new(20, 5.0);
+        // noisy but stationary series
+        let vals: Vec<f64> = (0..200)
+            .map(|i| 1.0 + 0.05 * ((i * 37 % 11) as f64 - 5.0) / 5.0)
+            .collect();
+        let mut drifts = 0;
+        for v in vals {
+            if matches!(d.update(v), Detection::Drift { .. }) {
+                drifts += 1;
+            }
+        }
+        assert_eq!(drifts, 0, "stationary noise must not alarm");
+    }
+
+    #[test]
+    fn cusum_detects_slow_drift_zscore_would_miss() {
+        // drift of +0.2% per sample: each step is < 1σ of the noise, but the
+        // cumulative deviation grows without bound.
+        let mut cusum = CusumDetector::new(20, 0.005, 0.05);
+        let mut z = ZScoreDetector::new(20, 6.0).with_min_std(0.002);
+        let mut cusum_fired_at = None;
+        let mut z_fired_at = None;
+        for i in 0..400 {
+            let noise = 0.002 * ((i * 31 % 7) as f64 - 3.0) / 3.0;
+            let v = if i < 100 { 1.0 + noise } else { 1.0 + noise + 0.0002 * (i - 100) as f64 };
+            if cusum_fired_at.is_none() {
+                if let Detection::Drift { .. } = cusum.update(v) {
+                    cusum_fired_at = Some(i);
+                }
+            }
+            if z_fired_at.is_none() {
+                if let Detection::Drift { .. } = z.update(v) {
+                    z_fired_at = Some(i);
+                }
+            }
+        }
+        let c = cusum_fired_at.expect("CUSUM must catch the slow drift");
+        assert!(c > 100, "fires only after the drift starts, fired at {c}");
+        if let Some(zf) = z_fired_at {
+            assert!(c <= zf, "CUSUM ({c}) should beat z-score ({zf}) on slow drift");
+        }
+    }
+
+    #[test]
+    fn cusum_two_sided() {
+        let mut d = CusumDetector::new(5, 0.0, 1.0);
+        for _ in 0..5 {
+            d.update(10.0);
+        }
+        assert_eq!(d.reference(), Some(10.0));
+        // downward shift
+        let mut fired = false;
+        for _ in 0..5 {
+            if matches!(d.update(9.5), Detection::Drift { .. }) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "downward drift detected");
+    }
+
+    #[test]
+    fn cusum_stable_series_never_fires() {
+        let mut d = CusumDetector::new(10, 0.05, 1.0);
+        for i in 0..500 {
+            let v = 5.0 + 0.01 * ((i % 5) as f64 - 2.0);
+            assert!(
+                !matches!(d.update(v), Detection::Drift { .. }),
+                "false alarm at sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn cusum_reset_relearns_reference() {
+        let mut d = CusumDetector::new(3, 0.0, 0.5);
+        for _ in 0..3 {
+            d.update(1.0);
+        }
+        d.reset();
+        assert_eq!(d.reference(), None);
+        for _ in 0..3 {
+            d.update(2.0);
+        }
+        assert_eq!(d.reference(), Some(2.0));
+        // new baseline accepted
+        assert_eq!(d.update(2.0), Detection::Normal);
+    }
+}

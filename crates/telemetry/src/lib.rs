@@ -1,0 +1,23 @@
+//! # hpcqc-telemetry — the observability stack
+//!
+//! Stand-in for the Prometheus / InfluxDB / Grafana triplet the paper builds
+//! its monitoring on (§3.6):
+//!
+//! * [`Registry`] — counters, gauges and histograms with label sets, rendered
+//!   in the genuine Prometheus text exposition format by [`Registry::expose`],
+//! * [`TimeSeriesDb`] — append-only time series with retention, range queries
+//!   and downsampling (the InfluxDB role),
+//! * [`ZScoreDetector`] / [`CusumDetector`] — online calibration-drift
+//!   detection (§2.5's "detect degradation trends"),
+//! * [`AlertManager`] — Prometheus-style threshold alert rules with
+//!   pending → firing → resolved lifecycle.
+
+pub mod alerts;
+pub mod drift;
+pub mod metrics;
+pub mod tsdb;
+
+pub use alerts::{AlertEvent, AlertManager, AlertRule, AlertState, Cmp};
+pub use drift::{CusumDetector, Detection, ZScoreDetector};
+pub use metrics::{labels, Labels, Registry};
+pub use tsdb::{Agg, Point, TimeSeriesDb};

@@ -1,0 +1,335 @@
+//! Metrics registry with Prometheus text exposition.
+//!
+//! The middleware daemon and the virtual QPU publish their state through
+//! this registry; the `/metrics` REST endpoint renders it in the Prometheus
+//! exposition format so the QPU plugs into a hosting site's existing
+//! observability stack unchanged (paper §3.6).
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Sorted label set; BTreeMap gives deterministic exposition output.
+pub type Labels = BTreeMap<String, String>;
+
+/// Build a label set from `&[(&str, &str)]`.
+pub fn labels(pairs: &[(&str, &str)]) -> Labels {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum MetricValue {
+    Counter(f64),
+    Gauge(f64),
+    Histogram { buckets: Vec<(f64, u64)>, sum: f64, count: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct MetricFamily {
+    help: String,
+    kind: &'static str,
+    /// label-set → value
+    series: BTreeMap<Labels, MetricValue>,
+}
+
+/// Thread-safe metrics registry.
+///
+/// Cloning shares the underlying storage, so components hold cheap handles.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    families: Arc<Mutex<BTreeMap<String, MetricFamily>>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_family<R>(
+        &self,
+        name: &str,
+        help: &str,
+        kind: &'static str,
+        f: impl FnOnce(&mut MetricFamily) -> R,
+    ) -> R {
+        let mut fams = self.families.lock();
+        let fam = fams.entry(name.to_string()).or_insert_with(|| MetricFamily {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            fam.kind, kind,
+            "metric {name:?} registered as {} but used as {kind}",
+            fam.kind
+        );
+        f(fam)
+    }
+
+    /// Increment a counter by `v` (must be ≥ 0).
+    pub fn counter_add(&self, name: &str, help: &str, lbls: Labels, v: f64) {
+        assert!(v >= 0.0, "counters are monotonic; got increment {v}");
+        self.with_family(name, help, "counter", |fam| {
+            match fam.series.entry(lbls).or_insert(MetricValue::Counter(0.0)) {
+                MetricValue::Counter(c) => *c += v,
+                _ => unreachable!("kind checked by with_family"),
+            }
+        });
+    }
+
+    /// Set a gauge to `v`.
+    pub fn gauge_set(&self, name: &str, help: &str, lbls: Labels, v: f64) {
+        self.with_family(name, help, "gauge", |fam| {
+            fam.series.insert(lbls, MetricValue::Gauge(v));
+        });
+    }
+
+    /// Add `delta` to a gauge (creating it at 0).
+    pub fn gauge_add(&self, name: &str, help: &str, lbls: Labels, delta: f64) {
+        self.with_family(name, help, "gauge", |fam| {
+            match fam.series.entry(lbls).or_insert(MetricValue::Gauge(0.0)) {
+                MetricValue::Gauge(g) => *g += delta,
+                _ => unreachable!(),
+            }
+        });
+    }
+
+    /// Observe a value into a histogram with the given bucket upper bounds
+    /// (+Inf is implicit). Bounds must be sorted ascending.
+    pub fn histogram_observe(&self, name: &str, help: &str, lbls: Labels, bounds: &[f64], v: f64) {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bucket bounds must ascend");
+        self.with_family(name, help, "histogram", |fam| {
+            let entry = fam.series.entry(lbls).or_insert_with(|| MetricValue::Histogram {
+                buckets: bounds.iter().map(|&b| (b, 0)).collect(),
+                sum: 0.0,
+                count: 0,
+            });
+            match entry {
+                MetricValue::Histogram { buckets, sum, count } => {
+                    for (bound, c) in buckets.iter_mut() {
+                        if v <= *bound {
+                            *c += 1;
+                        }
+                    }
+                    *sum += v;
+                    *count += 1;
+                }
+                _ => unreachable!(),
+            }
+        });
+    }
+
+    /// Read a counter/gauge value back (tests and internal consumers).
+    pub fn get_value(&self, name: &str, lbls: &Labels) -> Option<f64> {
+        let fams = self.families.lock();
+        match fams.get(name)?.series.get(lbls)? {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => Some(*v),
+            MetricValue::Histogram { sum, .. } => Some(*sum),
+        }
+    }
+
+    /// Histogram quantile estimate by linear interpolation within buckets.
+    pub fn histogram_quantile(&self, name: &str, lbls: &Labels, q: f64) -> Option<f64> {
+        let fams = self.families.lock();
+        match fams.get(name)?.series.get(lbls)? {
+            MetricValue::Histogram { buckets, count, .. } => {
+                if *count == 0 {
+                    return None;
+                }
+                let target = q.clamp(0.0, 1.0) * *count as f64;
+                let mut prev_bound = 0.0;
+                let mut prev_cum = 0u64;
+                for &(bound, cum) in buckets {
+                    if cum as f64 >= target {
+                        let in_bucket = (cum - prev_cum) as f64;
+                        let frac = if in_bucket > 0.0 {
+                            (target - prev_cum as f64) / in_bucket
+                        } else {
+                            0.0
+                        };
+                        return Some(prev_bound + frac * (bound - prev_bound));
+                    }
+                    prev_bound = bound;
+                    prev_cum = cum;
+                }
+                Some(prev_bound) // everything above the last finite bucket
+            }
+            _ => None,
+        }
+    }
+
+    /// Render every family in the Prometheus text exposition format v0.0.4.
+    pub fn expose(&self) -> String {
+        let fams = self.families.lock();
+        let mut out = String::new();
+        for (name, fam) in fams.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", fam.help));
+            out.push_str(&format!("# TYPE {name} {}\n", fam.kind));
+            for (lbls, value) in &fam.series {
+                match value {
+                    MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                        out.push_str(&format!("{name}{} {v}\n", render_labels(lbls)));
+                    }
+                    MetricValue::Histogram { buckets, sum, count } => {
+                        for (bound, c) in buckets {
+                            let mut le = lbls.clone();
+                            le.insert("le".to_string(), fmt_float(*bound));
+                            out.push_str(&format!("{name}_bucket{} {c}\n", render_labels(&le)));
+                        }
+                        let mut le = lbls.clone();
+                        le.insert("le".to_string(), "+Inf".to_string());
+                        out.push_str(&format!("{name}_bucket{} {count}\n", render_labels(&le)));
+                        out.push_str(&format!("{name}_sum{} {sum}\n", render_labels(lbls)));
+                        out.push_str(&format!("{name}_count{} {count}\n", render_labels(lbls)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn fmt_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_labels(lbls: &Labels) -> String {
+    if lbls.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = lbls
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let r = Registry::new();
+        let l = labels(&[("device", "qpu0")]);
+        r.counter_add("jobs_total", "jobs", l.clone(), 1.0);
+        r.counter_add("jobs_total", "jobs", l.clone(), 2.0);
+        assert_eq!(r.get_value("jobs_total", &l), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn counter_rejects_negative() {
+        let r = Registry::new();
+        r.counter_add("x", "", Labels::new(), -1.0);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let r = Registry::new();
+        let l = Labels::new();
+        r.gauge_set("queue_depth", "depth", l.clone(), 5.0);
+        r.gauge_add("queue_depth", "depth", l.clone(), -2.0);
+        assert_eq!(r.get_value("queue_depth", &l), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        r.counter_add("m", "", Labels::new(), 1.0);
+        r.gauge_set("m", "", Labels::new(), 1.0);
+    }
+
+    #[test]
+    fn separate_label_sets_are_separate_series() {
+        let r = Registry::new();
+        r.counter_add("jobs", "", labels(&[("user", "a")]), 1.0);
+        r.counter_add("jobs", "", labels(&[("user", "b")]), 5.0);
+        assert_eq!(r.get_value("jobs", &labels(&[("user", "a")])), Some(1.0));
+        assert_eq!(r.get_value("jobs", &labels(&[("user", "b")])), Some(5.0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantile() {
+        let r = Registry::new();
+        let l = Labels::new();
+        let bounds = [1.0, 5.0, 10.0];
+        for v in [0.5, 0.7, 3.0, 4.0, 7.0, 20.0] {
+            r.histogram_observe("latency", "s", l.clone(), &bounds, v);
+        }
+        // median is in the (1,5] bucket
+        let q50 = r.histogram_quantile("latency", &l, 0.5).unwrap();
+        assert!(q50 > 1.0 && q50 <= 5.0, "q50={q50}");
+        let q100 = r.histogram_quantile("latency", &l, 1.0).unwrap();
+        assert!(q100 >= 10.0);
+        assert!(r.histogram_quantile("latency", &l, 0.0).unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn exposition_format_counter_gauge() {
+        let r = Registry::new();
+        r.counter_add("qpu_jobs_total", "Total jobs", labels(&[("device", "qpu0")]), 7.0);
+        r.gauge_set("qpu_up", "Device availability", Labels::new(), 1.0);
+        let text = r.expose();
+        assert!(text.contains("# HELP qpu_jobs_total Total jobs"));
+        assert!(text.contains("# TYPE qpu_jobs_total counter"));
+        assert!(text.contains("qpu_jobs_total{device=\"qpu0\"} 7"));
+        assert!(text.contains("# TYPE qpu_up gauge"));
+        assert!(text.contains("qpu_up 1"));
+    }
+
+    #[test]
+    fn exposition_format_histogram() {
+        let r = Registry::new();
+        r.histogram_observe("wait", "wait s", Labels::new(), &[1.0, 2.0], 1.5);
+        let text = r.expose();
+        assert!(text.contains("wait_bucket{le=\"1.0\"} 0"));
+        assert!(text.contains("wait_bucket{le=\"2.0\"} 1"));
+        assert!(text.contains("wait_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("wait_sum 1.5"));
+        assert!(text.contains("wait_count 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.gauge_set("g", "", labels(&[("k", "a\"b")]), 1.0);
+        assert!(r.expose().contains("k=\"a\\\"b\""));
+    }
+
+    #[test]
+    fn registry_clone_shares_state() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.counter_add("c", "", Labels::new(), 1.0);
+        r2.counter_add("c", "", Labels::new(), 1.0);
+        assert_eq!(r.get_value("c", &Labels::new()), Some(2.0));
+    }
+
+    #[test]
+    fn concurrent_updates_are_consistent() {
+        let r = Registry::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.counter_add("n", "", Labels::new(), 1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.get_value("n", &Labels::new()), Some(8000.0));
+    }
+}

@@ -1,0 +1,274 @@
+//! A small in-memory time-series database (the InfluxDB stand-in).
+//!
+//! Stores append-only `(timestamp, value)` points per series, with retention
+//! trimming, range queries and downsampling. The observability harness uses
+//! it to record QPU calibration telemetry and feed the drift detectors; the
+//! middleware daemon exposes range queries through its admin API.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One data point. Timestamps are seconds (simulated or wall clock — the
+/// database is agnostic) and must be appended in non-decreasing order per
+/// series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    pub ts: f64,
+    pub value: f64,
+}
+
+/// Aggregation used by [`TimeSeriesDb::downsample`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Agg {
+    Mean,
+    Min,
+    Max,
+    Last,
+    Count,
+}
+
+#[derive(Debug, Default)]
+struct Series {
+    points: Vec<Point>,
+}
+
+/// Thread-safe, clonable handle to the database.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeriesDb {
+    inner: Arc<Mutex<BTreeMap<String, Series>>>,
+    /// Points older than `now − retention` are trimmed on insert when set.
+    retention_secs: Option<f64>,
+}
+
+impl TimeSeriesDb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Database that keeps only the trailing `secs` of data per series.
+    pub fn with_retention(secs: f64) -> Self {
+        TimeSeriesDb { inner: Arc::default(), retention_secs: Some(secs) }
+    }
+
+    /// Append a point. Panics if `ts` is older than the series tail
+    /// (out-of-order writes indicate a bug in the producer).
+    pub fn append(&self, series: &str, ts: f64, value: f64) {
+        let mut map = self.inner.lock();
+        let s = map.entry(series.to_string()).or_default();
+        if let Some(last) = s.points.last() {
+            assert!(
+                ts >= last.ts,
+                "out-of-order append to {series:?}: {ts} < {}",
+                last.ts
+            );
+        }
+        s.points.push(Point { ts, value });
+        if let Some(ret) = self.retention_secs {
+            let cutoff = ts - ret;
+            let keep_from = s.points.partition_point(|p| p.ts < cutoff);
+            if keep_from > 0 {
+                s.points.drain(..keep_from);
+            }
+        }
+    }
+
+    /// Names of all series, sorted.
+    pub fn series_names(&self) -> Vec<String> {
+        self.inner.lock().keys().cloned().collect()
+    }
+
+    /// All points of `series` in `[from, to]`.
+    pub fn range(&self, series: &str, from: f64, to: f64) -> Vec<Point> {
+        let map = self.inner.lock();
+        match map.get(series) {
+            None => Vec::new(),
+            Some(s) => {
+                let lo = s.points.partition_point(|p| p.ts < from);
+                let hi = s.points.partition_point(|p| p.ts <= to);
+                s.points[lo..hi].to_vec()
+            }
+        }
+    }
+
+    /// The most recent point of a series.
+    pub fn last(&self, series: &str) -> Option<Point> {
+        self.inner.lock().get(series).and_then(|s| s.points.last().copied())
+    }
+
+    /// Number of stored points in a series.
+    pub fn len(&self, series: &str) -> usize {
+        self.inner.lock().get(series).map_or(0, |s| s.points.len())
+    }
+
+    /// True when the series is missing or empty.
+    pub fn is_empty(&self, series: &str) -> bool {
+        self.len(series) == 0
+    }
+
+    /// Downsample `[from, to)` into windows of `step` seconds aggregated by
+    /// `agg`. Windows with no data are omitted. Each returned point carries
+    /// the window start as its timestamp.
+    pub fn downsample(&self, series: &str, from: f64, to: f64, step: f64, agg: Agg) -> Vec<Point> {
+        assert!(step > 0.0, "step must be positive");
+        let pts = self.range(series, from, to);
+        let mut out = Vec::new();
+        let mut idx = 0usize;
+        let mut win_start = from;
+        while win_start < to {
+            let win_end = (win_start + step).min(to);
+            let begin = idx;
+            while idx < pts.len() && pts[idx].ts < win_end {
+                idx += 1;
+            }
+            let window = &pts[begin..idx];
+            if !window.is_empty() {
+                let value = match agg {
+                    Agg::Mean => window.iter().map(|p| p.value).sum::<f64>() / window.len() as f64,
+                    Agg::Min => window.iter().map(|p| p.value).fold(f64::INFINITY, f64::min),
+                    Agg::Max => window.iter().map(|p| p.value).fold(f64::NEG_INFINITY, f64::max),
+                    Agg::Last => window.last().expect("non-empty").value,
+                    Agg::Count => window.len() as f64,
+                };
+                out.push(Point { ts: win_start, value });
+            }
+            win_start = win_end;
+        }
+        out
+    }
+
+    /// Mean and (population) standard deviation over a range — the inputs to
+    /// the z-score drift detector.
+    pub fn stats(&self, series: &str, from: f64, to: f64) -> Option<(f64, f64)> {
+        let pts = self.range(series, from, to);
+        if pts.is_empty() {
+            return None;
+        }
+        let n = pts.len() as f64;
+        let mean = pts.iter().map(|p| p.value).sum::<f64>() / n;
+        let var = pts.iter().map(|p| (p.value - mean).powi(2)).sum::<f64>() / n;
+        Some((mean, var.sqrt()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_range() {
+        let db = TimeSeriesDb::new();
+        for t in 0..10 {
+            db.append("omega", t as f64, t as f64 * 2.0);
+        }
+        let r = db.range("omega", 2.0, 5.0);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], Point { ts: 2.0, value: 4.0 });
+        assert_eq!(r[3], Point { ts: 5.0, value: 10.0 });
+        assert!(db.range("missing", 0.0, 10.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn out_of_order_append_panics() {
+        let db = TimeSeriesDb::new();
+        db.append("s", 5.0, 1.0);
+        db.append("s", 4.0, 1.0);
+    }
+
+    #[test]
+    fn last_and_len() {
+        let db = TimeSeriesDb::new();
+        assert!(db.last("s").is_none());
+        assert!(db.is_empty("s"));
+        db.append("s", 1.0, 10.0);
+        db.append("s", 2.0, 20.0);
+        assert_eq!(db.last("s"), Some(Point { ts: 2.0, value: 20.0 }));
+        assert_eq!(db.len("s"), 2);
+    }
+
+    #[test]
+    fn retention_trims_old_points() {
+        let db = TimeSeriesDb::with_retention(10.0);
+        for t in 0..30 {
+            db.append("s", t as f64, 0.0);
+        }
+        // cutoff at 29 - 10 = 19: points 19..=29 remain
+        assert_eq!(db.len("s"), 11);
+        assert_eq!(db.range("s", 0.0, 100.0)[0].ts, 19.0);
+    }
+
+    #[test]
+    fn downsample_mean_min_max() {
+        let db = TimeSeriesDb::new();
+        for t in 0..10 {
+            db.append("s", t as f64, t as f64);
+        }
+        let mean = db.downsample("s", 0.0, 10.0, 5.0, Agg::Mean);
+        assert_eq!(mean.len(), 2);
+        assert!((mean[0].value - 2.0).abs() < 1e-12); // mean of 0..=4
+        assert!((mean[1].value - 7.0).abs() < 1e-12); // mean of 5..=9
+        let mx = db.downsample("s", 0.0, 10.0, 5.0, Agg::Max);
+        assert_eq!(mx[0].value, 4.0);
+        assert_eq!(mx[1].value, 9.0);
+        let mn = db.downsample("s", 0.0, 10.0, 5.0, Agg::Min);
+        assert_eq!(mn[0].value, 0.0);
+        let cnt = db.downsample("s", 0.0, 10.0, 5.0, Agg::Count);
+        assert_eq!(cnt[0].value, 5.0);
+        let last = db.downsample("s", 0.0, 10.0, 5.0, Agg::Last);
+        assert_eq!(last[1].value, 9.0);
+    }
+
+    #[test]
+    fn downsample_skips_empty_windows() {
+        let db = TimeSeriesDb::new();
+        db.append("s", 0.0, 1.0);
+        db.append("s", 9.0, 2.0);
+        let out = db.downsample("s", 0.0, 12.0, 3.0, Agg::Mean);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].ts, 0.0);
+        assert_eq!(out[1].ts, 9.0);
+    }
+
+    #[test]
+    fn stats_mean_std() {
+        let db = TimeSeriesDb::new();
+        for (t, v) in [(0.0, 2.0), (1.0, 4.0), (2.0, 4.0), (3.0, 4.0), (4.0, 5.0), (5.0, 5.0), (6.0, 7.0), (7.0, 9.0)] {
+            db.append("s", t, v);
+        }
+        let (mean, std) = db.stats("s", 0.0, 10.0).unwrap();
+        assert!((mean - 5.0).abs() < 1e-12);
+        assert!((std - 2.0).abs() < 1e-12);
+        assert!(db.stats("s", 100.0, 200.0).is_none());
+    }
+
+    #[test]
+    fn series_names_sorted() {
+        let db = TimeSeriesDb::new();
+        db.append("b", 0.0, 0.0);
+        db.append("a", 0.0, 0.0);
+        assert_eq!(db.series_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_appends_to_distinct_series() {
+        let db = TimeSeriesDb::new();
+        let hs: Vec<_> = (0..4)
+            .map(|k| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for t in 0..500 {
+                        db.append(&format!("s{k}"), t as f64, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        for k in 0..4 {
+            assert_eq!(db.len(&format!("s{k}")), 500);
+        }
+    }
+}

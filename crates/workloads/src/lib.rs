@@ -1,0 +1,22 @@
+//! # hpcqc-workloads — hybrid workloads and workload generators
+//!
+//! The applications and populations the experiments run:
+//!
+//! * [`optimizers`] — Nelder–Mead and SPSA, the classical halves of
+//!   variational loops,
+//! * [`mis`] — Maximum Independent Set via adiabatic sweeps, the canonical
+//!   neutral-atom hybrid algorithm (pattern C),
+//! * [`sqd`] — SQD-style sample post-processing with rayon-parallel subspace
+//!   diagonalization, the classical-heavy pattern B of the paper's §2.4,
+//! * [`patterns`] — seeded Table-1 job-population generators feeding the
+//!   scheduling experiments.
+
+pub mod mis;
+pub mod optimizers;
+pub mod patterns;
+pub mod sqd;
+
+pub use mis::{cost as mis_cost, mis_program, score as mis_score, Graph, MisScore, MisSweep};
+pub use optimizers::{NelderMead, OptimResult, Spsa};
+pub use patterns::{generate_job, generate_population, to_batch_spec, Pattern, PatternGenConfig};
+pub use sqd::{recover_configurations, sqd_pipeline, subspace_diagonalize, IsingProblem, SqdResult};

@@ -1,0 +1,290 @@
+//! Derivative-free classical optimizers for hybrid loops.
+//!
+//! Variational quantum workflows wrap noisy, expensive cost evaluations, so
+//! the two standard choices are implemented from scratch:
+//!
+//! * [`NelderMead`] — simplex descent; robust on smooth low-dimensional
+//!   landscapes (pulse-parameter tuning),
+//! * [`Spsa`] — simultaneous-perturbation stochastic approximation; two
+//!   evaluations per step regardless of dimension and tolerant of shot
+//!   noise, the de-facto standard for QPU-in-the-loop optimization.
+//!
+//! Both are plain iterators over an objective closure, so they compose with
+//! [`hpcqc_core::iterate`] or drive the runtime directly.
+
+use rand::Rng;
+
+/// Result of an optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimResult {
+    pub best_params: Vec<f64>,
+    pub best_cost: f64,
+    pub evaluations: usize,
+    pub iterations: usize,
+}
+
+/// Nelder–Mead simplex optimizer.
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    /// Reflection coefficient (standard 1.0).
+    pub alpha: f64,
+    /// Expansion coefficient (standard 2.0).
+    pub gamma: f64,
+    /// Contraction coefficient (standard 0.5).
+    pub rho: f64,
+    /// Shrink coefficient (standard 0.5).
+    pub sigma: f64,
+    /// Stop when the simplex cost spread falls below this.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead {
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+            tolerance: 1e-8,
+            max_iterations: 500,
+        }
+    }
+}
+
+impl NelderMead {
+    /// Minimize `f` starting from `x0`; the initial simplex is `x0` plus one
+    /// vertex per dimension offset by `initial_step`.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(
+        &self,
+        mut f: F,
+        x0: &[f64],
+        initial_step: f64,
+    ) -> OptimResult {
+        let n = x0.len();
+        assert!(n >= 1, "need at least one parameter");
+        let mut evals = 0usize;
+        let mut eval = |x: &[f64], evals: &mut usize| {
+            *evals += 1;
+            f(x)
+        };
+        // initial simplex
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+        let c0 = eval(x0, &mut evals);
+        simplex.push((x0.to_vec(), c0));
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            v[i] += initial_step;
+            let c = eval(&v, &mut evals);
+            simplex.push((v, c));
+        }
+
+        let mut iterations = 0;
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+            let spread = simplex[n].1 - simplex[0].1;
+            if spread.abs() < self.tolerance {
+                break;
+            }
+            // centroid of all but worst
+            let mut centroid = vec![0.0; n];
+            for (v, _) in &simplex[..n] {
+                for (ci, vi) in centroid.iter_mut().zip(v) {
+                    *ci += vi / n as f64;
+                }
+            }
+            let worst = simplex[n].clone();
+            let lerp = |t: f64| -> Vec<f64> {
+                centroid
+                    .iter()
+                    .zip(&worst.0)
+                    .map(|(c, w)| c + t * (c - w))
+                    .collect()
+            };
+            // reflection
+            let xr = lerp(self.alpha);
+            let cr = eval(&xr, &mut evals);
+            if cr < simplex[0].1 {
+                // expansion
+                let xe = lerp(self.gamma);
+                let ce = eval(&xe, &mut evals);
+                simplex[n] = if ce < cr { (xe, ce) } else { (xr, cr) };
+            } else if cr < simplex[n - 1].1 {
+                simplex[n] = (xr, cr);
+            } else {
+                // contraction (inside)
+                let xc = lerp(-self.rho);
+                let cc = eval(&xc, &mut evals);
+                if cc < simplex[n].1 {
+                    simplex[n] = (xc, cc);
+                } else {
+                    // shrink toward best
+                    let best = simplex[0].0.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        let v: Vec<f64> = best
+                            .iter()
+                            .zip(&entry.0)
+                            .map(|(b, x)| b + self.sigma * (x - b))
+                            .collect();
+                        let c = eval(&v, &mut evals);
+                        *entry = (v, c);
+                    }
+                }
+            }
+        }
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+        OptimResult {
+            best_params: simplex[0].0.clone(),
+            best_cost: simplex[0].1,
+            evaluations: evals,
+            iterations,
+        }
+    }
+}
+
+/// SPSA optimizer.
+#[derive(Debug, Clone)]
+pub struct Spsa {
+    /// Initial step size `a`.
+    pub a: f64,
+    /// Initial perturbation size `c`.
+    pub c: f64,
+    /// Step decay exponent (standard 0.602).
+    pub alpha: f64,
+    /// Perturbation decay exponent (standard 0.101).
+    pub gamma: f64,
+    /// Stability offset in the step schedule.
+    pub big_a: f64,
+    /// Number of iterations (2 evaluations each).
+    pub iterations: usize,
+}
+
+impl Default for Spsa {
+    fn default() -> Self {
+        Spsa { a: 0.2, c: 0.1, alpha: 0.602, gamma: 0.101, big_a: 10.0, iterations: 100 }
+    }
+}
+
+impl Spsa {
+    /// Minimize `f` from `x0` with Rademacher perturbations drawn from `rng`.
+    pub fn minimize<F: FnMut(&[f64]) -> f64, R: Rng>(
+        &self,
+        mut f: F,
+        x0: &[f64],
+        rng: &mut R,
+    ) -> OptimResult {
+        let n = x0.len();
+        assert!(n >= 1, "need at least one parameter");
+        let mut x = x0.to_vec();
+        let mut best = x.clone();
+        let mut best_cost = f(&x);
+        let mut evals = 1usize;
+        for k in 0..self.iterations {
+            let ak = self.a / (k as f64 + 1.0 + self.big_a).powf(self.alpha);
+            let ck = self.c / (k as f64 + 1.0).powf(self.gamma);
+            let delta: Vec<f64> =
+                (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let xp: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
+            let xm: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
+            let fp = f(&xp);
+            let fm = f(&xm);
+            evals += 2;
+            for i in 0..n {
+                let g = (fp - fm) / (2.0 * ck * delta[i]);
+                x[i] -= ak * g;
+            }
+            let fx = f(&x);
+            evals += 1;
+            if fx < best_cost {
+                best_cost = fx;
+                best = x.clone();
+            }
+        }
+        OptimResult {
+            best_params: best,
+            best_cost,
+            evaluations: evals,
+            iterations: self.iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    fn shifted_quartic(x: &[f64]) -> f64 {
+        (x[0] - 1.5).powi(4) + (x[1] + 0.5).powi(2)
+    }
+
+    #[test]
+    fn nelder_mead_minimizes_sphere() {
+        let nm = NelderMead::default();
+        let r = nm.minimize(sphere, &[2.0, -3.0, 1.0], 0.5);
+        assert!(r.best_cost < 1e-6, "cost {}", r.best_cost);
+        for p in &r.best_params {
+            assert!(p.abs() < 1e-2);
+        }
+        assert!(r.evaluations > 10);
+    }
+
+    #[test]
+    fn nelder_mead_finds_shifted_minimum() {
+        let nm = NelderMead { max_iterations: 1000, ..NelderMead::default() };
+        let r = nm.minimize(shifted_quartic, &[0.0, 0.0], 0.5);
+        assert!((r.best_params[0] - 1.5).abs() < 0.05, "x0 = {}", r.best_params[0]);
+        assert!((r.best_params[1] + 0.5).abs() < 0.01, "x1 = {}", r.best_params[1]);
+    }
+
+    #[test]
+    fn nelder_mead_converges_fast_on_1d() {
+        let nm = NelderMead::default();
+        let r = nm.minimize(|x| (x[0] - 3.0).powi(2), &[0.0], 1.0);
+        assert!((r.best_params[0] - 3.0).abs() < 1e-3);
+        assert!(r.iterations < 200);
+    }
+
+    #[test]
+    fn spsa_minimizes_sphere_under_noise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut noise_rng = ChaCha8Rng::seed_from_u64(7);
+        let spsa = Spsa { iterations: 300, a: 0.5, ..Spsa::default() };
+        let r = spsa.minimize(
+            |x| sphere(x) + 0.01 * (noise_rng.gen::<f64>() - 0.5),
+            &[1.5, -1.0],
+            &mut rng,
+        );
+        assert!(sphere(&r.best_params) < 0.05, "params {:?}", r.best_params);
+    }
+
+    #[test]
+    fn spsa_evaluation_budget_is_linear_in_iterations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let spsa = Spsa { iterations: 50, ..Spsa::default() };
+        let r = spsa.minimize(sphere, &[1.0; 10], &mut rng);
+        // 1 initial + 3 per iteration, independent of the 10 dimensions
+        assert_eq!(r.evaluations, 1 + 3 * 50);
+    }
+
+    #[test]
+    fn spsa_deterministic_given_seed() {
+        let spsa = Spsa::default();
+        let r1 = spsa.minimize(sphere, &[1.0, 2.0], &mut ChaCha8Rng::seed_from_u64(5));
+        let r2 = spsa.minimize(sphere, &[1.0, 2.0], &mut ChaCha8Rng::seed_from_u64(5));
+        assert_eq!(r1.best_params, r2.best_params);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one parameter")]
+    fn empty_parameter_vector_panics() {
+        NelderMead::default().minimize(sphere, &[], 0.1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # hpcqc — a user-centric HPC-QC environment
+//!
+//! Meta-crate re-exporting the whole stack. See the individual crates:
+//!
+//! * [`program`] — analog neutral-atom program IR
+//! * [`emulator`] — state-vector and MPS emulators
+//! * [`qpu`] — virtual QPU with calibration drift
+//! * [`qrmi`] — Quantum Resource Management Interface
+//! * [`scheduler`] — Slurm-like batch scheduler simulator
+//! * [`middleware`] — session/priority middleware daemon with REST API
+//! * [`telemetry`] — Prometheus-style observability stack
+//! * [`sdk`] — multi-SDK front-ends
+//! * [`core`] — the portable hybrid runtime environment
+//! * [`workloads`] — hybrid workload generators and algorithms
+
+pub use hpcqc_core as core;
+pub use hpcqc_emulator as emulator;
+pub use hpcqc_middleware as middleware;
+pub use hpcqc_program as program;
+pub use hpcqc_qpu as qpu;
+pub use hpcqc_qrmi as qrmi;
+pub use hpcqc_scheduler as scheduler;
+pub use hpcqc_sdk as sdk;
+pub use hpcqc_telemetry as telemetry;
+pub use hpcqc_workloads as workloads;
