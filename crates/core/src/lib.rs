@@ -10,6 +10,9 @@
 //!   `HPCQC_QPU` switch, never source code.
 //! * [`RuntimeConfig`] — environment-variable configuration (§3.4) with a
 //!   zero-setup development default.
+//! * [`RetryPolicy`] — per-priority-class retry budgets with decorrelated
+//!   jitter backoff and graceful degradation to a local emulator, so
+//!   transient QRMI failures don't kill a workflow.
 //! * [`DaemonClient`] / [`DaemonSession`] — the REST session client for
 //!   multi-user deployments behind the middleware daemon (§3.3).
 //! * [`hybrid`] — parameter sweeps and the generic variational loop.
@@ -17,11 +20,13 @@
 pub mod client;
 pub mod config;
 pub mod hybrid;
+pub mod retry;
 pub mod runtime;
 pub mod workflow;
 
 pub use client::{ClientError, DaemonClient, DaemonSession};
 pub use config::RuntimeConfig;
 pub use hybrid::{iterate, sweep, IterationRecord, LoopResult};
-pub use runtime::{RunReport, Runtime, RuntimeError};
+pub use retry::{AttemptBudget, Backoff, RetryPolicy};
+pub use runtime::{RecoveredRun, RunReport, Runtime, RuntimeError};
 pub use workflow::{Outputs, TraceEntry, Value, Workflow, WorkflowError};

@@ -7,9 +7,12 @@
 //! emulator to the QPU is the `--qpu=<resource>` flag / `HPCQC_QPU`
 //! environment variable — the program is untouched (paper §3.2, Figure 1).
 
+use crate::retry::RetryPolicy;
 use hpcqc_emulator::SampleResult;
+use hpcqc_middleware::PriorityClass;
 use hpcqc_program::{DeviceSpec, ProgramIr, Violation};
-use hpcqc_qrmi::{ConfigError, QrmiError, QuantumResource, ResourceRegistry};
+use hpcqc_qrmi::{ConfigError, QrmiError, QuantumResource, ResourceRegistry, ResourceType};
+use hpcqc_telemetry::FaultMetrics;
 use std::sync::Arc;
 
 /// Errors surfaced by the runtime.
@@ -66,6 +69,19 @@ pub struct RunReport {
     pub program_fingerprint: u64,
 }
 
+/// Outcome of a recovery-aware run: the report plus what the recovery cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredRun {
+    /// The successful run's report.
+    pub report: RunReport,
+    /// Attempts spent on the resource that finally produced the result.
+    pub attempts: u32,
+    /// Simulated backoff seconds paid on that resource.
+    pub backoff_secs: f64,
+    /// `Some(id)` when graceful degradation moved the run off the primary.
+    pub fallback_resource: Option<String>,
+}
+
 /// The runtime environment.
 pub struct Runtime {
     registry: ResourceRegistry,
@@ -73,13 +89,54 @@ pub struct Runtime {
     selection: Option<String>,
     /// Poll budget for queued (cloud) backends.
     pub max_polls: usize,
+    /// Retry posture; [`RetryPolicy::none`] by default (opt in explicitly).
+    retry: RetryPolicy,
+    /// Priority class selecting the attempt/backoff budget.
+    class: PriorityClass,
+    /// Allow falling back to a local emulator when the primary's budget runs out.
+    fallback: bool,
+    /// Recovery telemetry sink.
+    metrics: Option<FaultMetrics>,
 }
 
 impl Runtime {
     /// Build over an existing registry (the common path: registry from
     /// [`hpcqc_qrmi::QrmiConfig`] + [`hpcqc_qrmi::ResourceFactory`]).
     pub fn new(registry: ResourceRegistry) -> Self {
-        Runtime { registry, selection: None, max_polls: 100_000 }
+        Runtime {
+            registry,
+            selection: None,
+            max_polls: 100_000,
+            retry: RetryPolicy::none(),
+            class: PriorityClass::Development,
+            fallback: false,
+            metrics: None,
+        }
+    }
+
+    /// Enable retries under `policy` (budgets chosen by the priority class).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Select the priority class whose attempt/backoff budget applies.
+    pub fn with_priority_class(mut self, class: PriorityClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Permit graceful degradation to a local emulator after the primary
+    /// resource's retry budget is exhausted on a transient failure.
+    pub fn with_fallback(mut self, enabled: bool) -> Self {
+        self.fallback = enabled;
+        self
+    }
+
+    /// Report retries, backoff and fallbacks through `metrics`.
+    pub fn with_fault_metrics(mut self, metrics: FaultMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The `--qpu=<resource>` switch. The *only* thing that changes between
@@ -116,9 +173,107 @@ impl Runtime {
         }
     }
 
-    /// Validate then execute, returning result + provenance.
+    /// Validate then execute, returning result + provenance. Honors the
+    /// configured [`RetryPolicy`] (none by default) — see [`Runtime::run_recovered`]
+    /// for the recovery accounting.
     pub fn run(&self, ir: &ProgramIr) -> Result<RunReport, RuntimeError> {
-        let res = self.resource()?;
+        Ok(self.run_recovered(ir)?.report)
+    }
+
+    /// Like [`Runtime::run`], but reports what recovery cost: attempts,
+    /// backoff paid, and whether graceful degradation moved the run to a
+    /// local emulator.
+    pub fn run_recovered(&self, ir: &ProgramIr) -> Result<RecoveredRun, RuntimeError> {
+        let primary = self.resource()?;
+        let primary_err = match self.run_with_retries(&primary, ir) {
+            Ok((report, attempts, backoff_secs)) => {
+                return Ok(RecoveredRun { report, attempts, backoff_secs, fallback_resource: None })
+            }
+            Err(e) => e,
+        };
+        // Graceful degradation: a transient failure survived the whole
+        // budget. If allowed, re-run on a local emulator with a fresh budget
+        // (development continues while the device recovers).
+        if self.fallback
+            && Self::retryable(&primary_err)
+            && primary.resource_type() != ResourceType::EmulatorLocal
+        {
+            let alt = self
+                .registry
+                .ids()
+                .into_iter()
+                .filter_map(|id| self.registry.get(&id))
+                .find(|r| r.resource_type() == ResourceType::EmulatorLocal);
+            if let Some(alt) = alt {
+                if let Some(m) = &self.metrics {
+                    m.fallback(primary.resource_id(), alt.resource_id());
+                }
+                let (report, attempts, backoff_secs) = self.run_with_retries(&alt, ir)?;
+                return Ok(RecoveredRun {
+                    report,
+                    attempts,
+                    backoff_secs,
+                    fallback_resource: Some(alt.resource_id().to_string()),
+                });
+            }
+        }
+        Err(primary_err)
+    }
+
+    /// Transient failures worth retrying: a busy device, a backend hiccup,
+    /// or a task that never left `Running`/`Queued` within the poll budget.
+    /// Token/task identity errors and validation failures are deterministic
+    /// and retrying them would only burn budget.
+    fn retryable(e: &RuntimeError) -> bool {
+        matches!(
+            e,
+            RuntimeError::Qrmi(
+                QrmiError::AcquisitionDenied(_)
+                    | QrmiError::Backend(_)
+                    | QrmiError::InvalidState(_)
+            )
+        )
+    }
+
+    /// Run on one resource under the retry budget for the configured class.
+    fn run_with_retries(
+        &self,
+        res: &Arc<dyn QuantumResource>,
+        ir: &ProgramIr,
+    ) -> Result<(RunReport, u32, f64), RuntimeError> {
+        let mut backoff = self.retry.backoff(self.class);
+        loop {
+            match self.attempt_once(res, ir) {
+                Ok(report) => return Ok((report, backoff.attempts(), backoff.total_backoff())),
+                Err(e) if Self::retryable(&e) => match backoff.next_delay() {
+                    Some(delay) => {
+                        if let Some(m) = &self.metrics {
+                            let op = match &e {
+                                RuntimeError::Qrmi(QrmiError::AcquisitionDenied(_)) => "acquire",
+                                _ => "execute",
+                            };
+                            m.retry(res.resource_id(), op);
+                            m.backoff(res.resource_id(), delay);
+                        }
+                    }
+                    None => {
+                        if let Some(m) = &self.metrics {
+                            m.budget_exhausted(res.resource_id());
+                        }
+                        return Err(e);
+                    }
+                },
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One validate-acquire-execute-release attempt on `res`.
+    fn attempt_once(
+        &self,
+        res: &Arc<dyn QuantumResource>,
+        ir: &ProgramIr,
+    ) -> Result<RunReport, RuntimeError> {
         let spec = res.target()?;
         let violations = hpcqc_program::validate(&ir.sequence, &spec);
         if !violations.is_empty() {
@@ -285,5 +440,106 @@ mod tests {
             rt.available_resources(),
             vec!["emu-local".to_string(), "fresnel-1".to_string(), "mock".to_string()]
         );
+    }
+
+    mod recovery {
+        use super::*;
+        use crate::retry::AttemptBudget;
+        use hpcqc_emulator::SvBackend;
+        use hpcqc_qrmi::{FaultInjector, FaultProfile, LocalEmulatorResource};
+
+        /// Registry with a fault-injected primary (flaky) plus a clean local
+        /// emulator fallback.
+        fn flaky_registry(profile: FaultProfile) -> ResourceRegistry {
+            let mut registry = ResourceRegistry::new();
+            let backend = Arc::new(SvBackend::default());
+            registry.register(Arc::new(FaultInjector::new(
+                Arc::new(hpcqc_qrmi::CloudResource::new(
+                    "flaky-cloud",
+                    hpcqc_qrmi::CloudEngine::Emulator(backend.clone()),
+                    2,
+                    7,
+                )),
+                profile,
+                17,
+            )));
+            registry.register(Arc::new(LocalEmulatorResource::new("emu-local", backend, 1)));
+            registry.default_resource = Some("flaky-cloud".into());
+            registry
+        }
+
+        #[test]
+        fn retries_ride_through_transient_faults() {
+            let metrics = FaultMetrics::default();
+            let rt = Runtime::new(flaky_registry(FaultProfile::flaky()))
+                .with_retry_policy(RetryPolicy::default())
+                .with_priority_class(PriorityClass::Production)
+                .with_fault_metrics(metrics.clone());
+            let mut recovered_any = false;
+            for _ in 0..10 {
+                let run = rt.run_recovered(&ir(10)).unwrap();
+                assert_eq!(run.report.resource_id, "flaky-cloud");
+                assert_eq!(run.report.result.shots, 10);
+                recovered_any |= run.attempts > 1;
+            }
+            assert!(recovered_any, "a 25%-failure resource must cost retries");
+            let text = metrics.registry().expose();
+            assert!(text.contains("runtime_retries_total"));
+            assert!(text.contains("runtime_backoff_seconds_total"));
+        }
+
+        #[test]
+        fn fallback_to_local_emulator_after_budget_exhaustion() {
+            // the primary always denies acquisition: budget cannot succeed
+            let profile = FaultProfile { acquire_denial_rate: 1.0, ..FaultProfile::none() };
+            let metrics = FaultMetrics::default();
+            let rt = Runtime::new(flaky_registry(profile))
+                .with_retry_policy(
+                    RetryPolicy::default().with_budget(
+                        PriorityClass::Development,
+                        AttemptBudget { max_attempts: 3, max_backoff_secs: 60.0 },
+                    ),
+                )
+                .with_fallback(true)
+                .with_fault_metrics(metrics.clone());
+            let run = rt.run_recovered(&ir(10)).unwrap();
+            assert_eq!(run.fallback_resource.as_deref(), Some("emu-local"));
+            assert_eq!(run.report.resource_id, "emu-local");
+            assert!(metrics.registry().expose().contains(
+                "runtime_fallbacks_total{from=\"flaky-cloud\",to=\"emu-local\"} 1"
+            ));
+            assert!(metrics
+                .registry()
+                .expose()
+                .contains("runtime_retry_budget_exhausted_total{resource=\"flaky-cloud\"} 1"));
+        }
+
+        #[test]
+        fn budget_exhaustion_without_fallback_surfaces_the_error() {
+            let profile = FaultProfile { acquire_denial_rate: 1.0, ..FaultProfile::none() };
+            let rt = Runtime::new(flaky_registry(profile))
+                .with_retry_policy(RetryPolicy::default());
+            match rt.run_recovered(&ir(5)) {
+                Err(RuntimeError::Qrmi(QrmiError::AcquisitionDenied(_))) => {}
+                other => panic!("expected denial, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn fatal_errors_do_not_retry() {
+            // validation failure is deterministic — must fail on attempt 1
+            // even under a deep retry budget (more qubits than the sv
+            // emulator spec admits)
+            let registry = flaky_registry(FaultProfile::none());
+            let rt = Runtime::new(registry)
+                .with_retry_policy(RetryPolicy::default())
+                .with_priority_class(PriorityClass::Production)
+                .with_qpu("flaky-cloud");
+            let reg = hpcqc_program::Register::linear(30, 6.0).unwrap();
+            let mut b = hpcqc_program::SequenceBuilder::new(reg);
+            b.add_global_pulse(hpcqc_program::Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
+            let bad = ProgramIr::new(b.build().unwrap(), 10, "bad");
+            assert!(matches!(rt.run_recovered(&bad), Err(RuntimeError::Validation(_))));
+        }
     }
 }

@@ -250,8 +250,10 @@ mod tests {
 
     #[test]
     fn noisy_backend_biases_occupation() {
-        let mut b = SvBackend::default();
-        b.noise = SpamNoise { epsilon: 0.0, epsilon_prime: 0.2 };
+        let b = SvBackend {
+            noise: SpamNoise { epsilon: 0.0, epsilon_prime: 0.2 },
+            ..Default::default()
+        };
         let ir = pi_pulse_ir(1, 6.0, 5000);
         let res = b.run(&ir, 5).unwrap();
         // true occupation 1.0, measured ~0.8

@@ -415,13 +415,13 @@ impl Mps {
             let t = &self.tensors[i];
             debug_assert_eq!(lvec.len(), t.dl);
             let mut w = [vec![Complex64::new(0.0, 0.0); t.dr], vec![Complex64::new(0.0, 0.0); t.dr]];
-            for p in 0..2 {
-                for r in 0..t.dr {
-                    let mut acc = Complex64::new(0.0, 0.0);
-                    for l in 0..t.dl {
-                        acc += lvec[l] * t.at(l, p, r);
-                    }
-                    w[p][r] = acc;
+            for (p, wp) in w.iter_mut().enumerate() {
+                for (r, slot) in wp.iter_mut().enumerate() {
+                    *slot = lvec
+                        .iter()
+                        .enumerate()
+                        .map(|(l, lv)| lv * t.at(l, p, r))
+                        .sum();
                 }
             }
             let p0: f64 = w[0].iter().map(|z| z.norm_sqr()).sum();
@@ -451,12 +451,12 @@ impl Mps {
             for p in 0..2 {
                 for v in &partial {
                     let mut w = vec![Complex64::new(0.0, 0.0); t.dr];
-                    for r in 0..t.dr {
-                        let mut acc = Complex64::new(0.0, 0.0);
-                        for l in 0..t.dl {
-                            acc += v[l] * t.at(l, p, r);
-                        }
-                        w[r] = acc;
+                    for (r, slot) in w.iter_mut().enumerate() {
+                        *slot = v
+                            .iter()
+                            .enumerate()
+                            .map(|(l, lv)| lv * t.at(l, p, r))
+                            .sum();
                     }
                     next.push(w);
                 }

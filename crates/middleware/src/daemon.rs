@@ -14,10 +14,10 @@ use hpcqc_program::{DeviceSpec, ProgramIr};
 use hpcqc_qpu::{QpuStatus, VirtualQpu};
 use hpcqc_qrmi::QuantumResource;
 use hpcqc_scheduler::PatternHint;
-use hpcqc_telemetry::{labels, Registry};
+use hpcqc_telemetry::{labels, FaultMetrics, Registry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -45,6 +45,9 @@ pub struct DaemonConfig {
     pub cache_dev_results: bool,
     /// Sessions idle longer than this are expired by the clock (0 = never).
     pub session_ttl_secs: f64,
+    /// Requeues allowed after an execution failure before a task is declared
+    /// poisoned and failed permanently.
+    pub max_task_retries: u32,
 }
 
 impl Default for DaemonConfig {
@@ -58,6 +61,7 @@ impl Default for DaemonConfig {
             fairshare_half_life_secs: 3600.0,
             cache_dev_results: true,
             session_ttl_secs: 0.0,
+            max_task_retries: 2,
         }
     }
 }
@@ -134,6 +138,17 @@ struct Progress {
     partial: Option<SampleResult>,
 }
 
+/// Failure history of a task across requeues.
+#[derive(Debug, Clone, Default)]
+struct FailureState {
+    /// Execution failures so far.
+    attempts: u32,
+    /// Resources this task has failed on. Advisory: dispatch avoids them
+    /// while an untried resource exists, but falls back to the primary
+    /// rather than starving the task when every resource has failed once.
+    excluded: HashSet<String>,
+}
+
 /// The middleware daemon.
 pub struct MiddlewareService {
     sessions: SessionManager,
@@ -142,8 +157,12 @@ pub struct MiddlewareService {
     /// Direct handle to the device for the admin surface (None when the
     /// daemon fronts a cloud resource it cannot administer).
     qpu_admin: Option<VirtualQpu>,
+    /// Alternate resources a requeued task may be dispatched to after
+    /// failing on the primary (e.g. a local emulator for degraded service).
+    alternates: Vec<Arc<dyn QuantumResource>>,
     records: Mutex<HashMap<u64, TaskRecord>>,
     progress: Mutex<HashMap<u64, Progress>>,
+    failures: Mutex<HashMap<u64, FailureState>>,
     task_meta: Mutex<HashMap<u64, (PriorityClass, f64)>>, // class, submitted_at
     next_task: AtomicU64,
     seed: AtomicU64,
@@ -175,8 +194,10 @@ impl MiddlewareService {
             queue: Mutex::new(queue),
             resource,
             qpu_admin: None,
+            alternates: Vec::new(),
             records: Mutex::new(HashMap::new()),
             progress: Mutex::new(HashMap::new()),
+            failures: Mutex::new(HashMap::new()),
             task_meta: Mutex::new(HashMap::new()),
             next_task: AtomicU64::new(1),
             seed: AtomicU64::new(0x5eed),
@@ -193,6 +214,18 @@ impl MiddlewareService {
     pub fn with_qpu_admin(mut self, qpu: VirtualQpu) -> Self {
         self.qpu_admin = Some(qpu);
         self
+    }
+
+    /// Register an alternate resource that requeued tasks may run on after
+    /// failing on the primary.
+    pub fn with_alternate_resource(mut self, res: Arc<dyn QuantumResource>) -> Self {
+        self.alternates.push(res);
+        self
+    }
+
+    /// Typed facade over this daemon's registry for recovery counters.
+    fn fault_metrics(&self) -> FaultMetrics {
+        FaultMetrics::new(self.registry.clone())
     }
 
     /// The daemon's metrics registry.
@@ -394,7 +427,7 @@ impl MiddlewareService {
         self.records.lock().insert(id, TaskRecord::Running);
 
         // first time this task runs: record wait
-        let first_run = self.progress.lock().get(&id).map_or(true, |p| p.shots_done == 0);
+        let first_run = self.progress.lock().get(&id).is_none_or(|p| p.shots_done == 0);
         if first_run {
             if let Some((class, submitted)) = self.task_meta.lock().get(&id).copied() {
                 self.registry.histogram_observe(
@@ -407,21 +440,41 @@ impl MiddlewareService {
             }
         }
 
+        let res = self.pick_resource(id);
         let outcome = if task.batched() {
-            self.run_shots(&task, task.ir.shots)
+            self.run_shots(&task, task.ir.shots, &res)
         } else {
             let done = self.progress.lock().get(&id).map_or(0, |p| p.shots_done);
             let remaining = task.ir.shots - done;
             let slice = remaining.min(self.cfg.preempt_chunk_shots);
-            self.run_shots(&task, slice)
+            self.run_shots(&task, slice, &res)
         };
 
         match outcome {
             Err(m) => {
-                self.records.lock().insert(id, TaskRecord::Failed(m));
-                self.progress.lock().remove(&id);
+                let attempts = {
+                    let mut failures = self.failures.lock();
+                    let f = failures.entry(id).or_default();
+                    f.attempts += 1;
+                    f.excluded.insert(res.resource_id().to_string());
+                    f.attempts
+                };
+                if attempts > self.cfg.max_task_retries {
+                    // poison cap: stop burning device time on this task
+                    self.failures.lock().remove(&id);
+                    self.records.lock().insert(id, TaskRecord::Failed(m));
+                    self.progress.lock().remove(&id);
+                    self.fault_metrics().poisoned(task.class.as_str());
+                } else {
+                    // requeue for another attempt; partial progress is kept,
+                    // and dispatch will avoid the resource that just failed
+                    self.records.lock().insert(id, TaskRecord::Queued);
+                    self.fault_metrics().requeue(task.class.as_str());
+                    self.queue.lock().push(task).expect("requeue of failed task");
+                }
             }
             Ok(partial) => {
+                self.failures.lock().remove(&id);
                 let mut progress = self.progress.lock();
                 let p = progress.entry(id).or_default();
                 p.shots_done += partial.shots;
@@ -467,16 +520,41 @@ impl MiddlewareService {
         Some(id)
     }
 
-    /// Run `shots` shots of `task` through the QRMI resource, advancing the
-    /// daemon clock by the execution time.
-    fn run_shots(&self, task: &QuantumTask, shots: u32) -> Result<SampleResult, String> {
+    /// The resource a dispatch of task `id` should use: the primary unless
+    /// the task has already failed on it and an untried alternate exists.
+    /// Exclusion is advisory — when every resource has failed once, the
+    /// primary is used anyway rather than starving the task.
+    fn pick_resource(&self, id: u64) -> Arc<dyn QuantumResource> {
+        let failures = self.failures.lock();
+        if let Some(f) = failures.get(&id) {
+            if f.excluded.contains(self.resource.resource_id()) {
+                if let Some(alt) = self
+                    .alternates
+                    .iter()
+                    .find(|a| !f.excluded.contains(a.resource_id()))
+                {
+                    return Arc::clone(alt);
+                }
+            }
+        }
+        Arc::clone(&self.resource)
+    }
+
+    /// Run `shots` shots of `task` through the QRMI resource `res`,
+    /// advancing the daemon clock by the execution time.
+    fn run_shots(
+        &self,
+        task: &QuantumTask,
+        shots: u32,
+        res: &Arc<dyn QuantumResource>,
+    ) -> Result<SampleResult, String> {
         let ir = ProgramIr { shots, ..task.ir.clone() };
-        let lease = self.resource.acquire().map_err(|e| e.to_string())?;
+        let lease = res.acquire().map_err(|e| e.to_string())?;
         let seed = self.seed.fetch_add(1, Ordering::Relaxed);
         let _ = seed; // resources seed internally; kept for interface stability
-        let out = hpcqc_qrmi::run_to_completion(self.resource.as_ref(), &lease, &ir, 10_000)
+        let out = hpcqc_qrmi::run_to_completion(res.as_ref(), &lease, &ir, 10_000)
             .map_err(|e| e.to_string());
-        self.resource.release(&lease).map_err(|e| e.to_string())?;
+        res.release(&lease).map_err(|e| e.to_string())?;
         if let Ok(r) = &out {
             *self.clock.lock() += r.execution_secs;
             if let Some(f) = &self.fairshare {
@@ -892,6 +970,89 @@ mod tests {
             Err(DaemonError::Session(SessionError::UnknownToken))
         ));
         assert!(d.metrics_text().contains("daemon_sessions_expired_total 1"));
+    }
+
+    mod requeue {
+        use super::*;
+        use hpcqc_qrmi::{FaultInjector, FaultProfile};
+
+        fn flaky_daemon(profile: FaultProfile, cfg: DaemonConfig) -> MiddlewareService {
+            let inner = Arc::new(LocalEmulatorResource::new(
+                "emu",
+                Arc::new(SvBackend::default()),
+                1,
+            ));
+            MiddlewareService::new(Arc::new(FaultInjector::new(inner, profile, 23)), cfg)
+        }
+
+        #[test]
+        fn transient_failures_requeue_until_completion() {
+            let d = flaky_daemon(
+                FaultProfile { task_failure_rate: 0.3, ..FaultProfile::none() },
+                DaemonConfig { max_task_retries: 20, ..DaemonConfig::default() },
+            );
+            let tok = d.open_session("alice", PriorityClass::Production).unwrap();
+            let ids: Vec<u64> =
+                (0..10).map(|_| d.submit(&tok, ir(20), PatternHint::None).unwrap()).collect();
+            d.pump();
+            for id in &ids {
+                assert_eq!(d.task_status(*id).unwrap(), DaemonTaskStatus::Completed);
+                assert_eq!(d.task_result(*id).unwrap().shots, 20);
+            }
+            assert!(
+                d.metrics_text().contains("daemon_task_requeues_total{class=\"production\"}"),
+                "a 30%-failure resource must cost requeues"
+            );
+        }
+
+        #[test]
+        fn poison_cap_fails_task_permanently() {
+            let d = flaky_daemon(
+                FaultProfile { task_failure_rate: 1.0, ..FaultProfile::none() },
+                DaemonConfig { max_task_retries: 2, ..DaemonConfig::default() },
+            );
+            let tok = d.open_session("bob", PriorityClass::Production).unwrap();
+            let id = d.submit(&tok, ir(5), PatternHint::None).unwrap();
+            assert_eq!(d.pump(), 3, "initial attempt + 2 requeues");
+            assert!(matches!(d.task_status(id).unwrap(), DaemonTaskStatus::Failed(_)));
+            let text = d.metrics_text();
+            assert!(text.contains("daemon_task_requeues_total{class=\"production\"} 2"));
+            assert!(text.contains("daemon_tasks_poisoned_total{class=\"production\"} 1"));
+        }
+
+        #[test]
+        fn requeued_task_moves_to_alternate_resource() {
+            let dead = FaultProfile { task_failure_rate: 1.0, ..FaultProfile::none() };
+            let d = flaky_daemon(dead, DaemonConfig::default()).with_alternate_resource(
+                Arc::new(LocalEmulatorResource::new(
+                    "emu-backup",
+                    Arc::new(SvBackend::default()),
+                    2,
+                )),
+            );
+            let tok = d.open_session("carol", PriorityClass::Production).unwrap();
+            let id = d.submit(&tok, ir(15), PatternHint::None).unwrap();
+            d.pump();
+            // the primary always fails, so completion proves the second
+            // dispatch excluded it and ran on the backup emulator
+            assert_eq!(d.task_status(id).unwrap(), DaemonTaskStatus::Completed);
+            assert_eq!(d.task_result(id).unwrap().shots, 15);
+            assert!(d.metrics_text().contains("daemon_task_requeues_total"));
+        }
+
+        #[test]
+        fn exclusion_is_advisory_without_alternates() {
+            // every resource (there is only one) has failed once: dispatch
+            // must still try the primary instead of starving the task
+            let d = flaky_daemon(
+                FaultProfile { task_failure_rate: 0.6, ..FaultProfile::none() },
+                DaemonConfig { max_task_retries: 50, ..DaemonConfig::default() },
+            );
+            let tok = d.open_session("dave", PriorityClass::Test).unwrap();
+            let id = d.submit(&tok, ir(10), PatternHint::None).unwrap();
+            d.pump();
+            assert_eq!(d.task_status(id).unwrap(), DaemonTaskStatus::Completed);
+        }
     }
 
     #[test]

@@ -154,7 +154,7 @@ impl SessionManager {
     /// Currently open sessions, sorted by creation time.
     pub fn list(&self) -> Vec<Session> {
         let mut v: Vec<Session> = self.inner.lock().values().cloned().collect();
-        v.sort_by(|a, b| a.created_at.partial_cmp(&b.created_at).expect("finite").then(a.token.cmp(&b.token)));
+        v.sort_by(|a, b| a.created_at.total_cmp(&b.created_at).then(a.token.cmp(&b.token)));
         v
     }
 

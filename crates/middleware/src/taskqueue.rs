@@ -75,6 +75,9 @@ impl Default for QueueConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueueError {
     SessionQuotaExceeded { session: String, limit: usize },
+    /// `submitted_at` is NaN or infinite; admitting it would corrupt the
+    /// dispatch order for every other queued task.
+    NonFiniteTimestamp { id: u64 },
 }
 
 impl std::fmt::Display for QueueError {
@@ -82,6 +85,9 @@ impl std::fmt::Display for QueueError {
         match self {
             QueueError::SessionQuotaExceeded { session, limit } => {
                 write!(f, "session {session} exceeds its queue quota of {limit}")
+            }
+            QueueError::NonFiniteTimestamp { id } => {
+                write!(f, "task {id} has a non-finite submission timestamp")
             }
         }
     }
@@ -121,6 +127,9 @@ impl TaskQueue {
 
     /// Queue a task.
     pub fn push(&mut self, task: QuantumTask) -> Result<(), QueueError> {
+        if !task.submitted_at.is_finite() {
+            return Err(QueueError::NonFiniteTimestamp { id: task.id });
+        }
         if self.cfg.max_tasks_per_session > 0 {
             let held = self.tasks.iter().filter(|t| t.session == task.session).count();
             if held >= self.cfg.max_tasks_per_session {
@@ -153,12 +162,15 @@ impl TaskQueue {
     }
 
     /// Peek the task that would run next at time `now`.
+    ///
+    /// Ordering uses `total_cmp`: even if a non-finite rank slips through
+    /// (a corrupted clock, an overflowing fair-share penalty), ordering is
+    /// merely wrong for that task — it can never panic the daemon.
     pub fn peek(&self, now: f64) -> Option<&QuantumTask> {
         self.tasks.iter().min_by(|a, b| {
             self.effective_rank(a, now)
-                .partial_cmp(&self.effective_rank(b, now))
-                .expect("finite ranks")
-                .then(a.submitted_at.partial_cmp(&b.submitted_at).expect("finite"))
+                .total_cmp(&self.effective_rank(b, now))
+                .then(a.submitted_at.total_cmp(&b.submitted_at))
                 .then(a.id.cmp(&b.id))
         })
     }
@@ -177,16 +189,16 @@ impl TaskQueue {
     }
 
     /// Does the queue hold a production task that should preempt a running
-    /// task of class `running`? True only when the queued class strictly
-    /// outranks the running class and the queued task is production (the
-    /// paper's initial implementation: only production preempts).
-    pub fn should_preempt(&self, running: PriorityClass, now: f64) -> bool {
-        match self.peek(now) {
-            Some(t) => {
-                t.class == PriorityClass::Production && running != PriorityClass::Production
-            }
-            None => false,
-        }
+    /// task of class `running`? True only when a production task is queued
+    /// and the running class is lower (the paper's initial implementation:
+    /// only production preempts).
+    ///
+    /// The whole queue is scanned, not just the dispatch head: aging can
+    /// float an old development task to the head while a production task
+    /// waits behind it, and that production task must still preempt.
+    pub fn should_preempt(&self, running: PriorityClass, _now: f64) -> bool {
+        running != PriorityClass::Production
+            && self.tasks.iter().any(|t| t.class == PriorityClass::Production)
     }
 
     /// Snapshot of queued tasks in dispatch order at `now`.
@@ -194,9 +206,8 @@ impl TaskQueue {
         let mut v: Vec<&QuantumTask> = self.tasks.iter().collect();
         v.sort_by(|a, b| {
             self.effective_rank(a, now)
-                .partial_cmp(&self.effective_rank(b, now))
-                .expect("finite")
-                .then(a.submitted_at.partial_cmp(&b.submitted_at).expect("finite"))
+                .total_cmp(&self.effective_rank(b, now))
+                .then(a.submitted_at.total_cmp(&b.submitted_at))
                 .then(a.id.cmp(&b.id))
         });
         v
@@ -308,6 +319,49 @@ mod tests {
         assert!(!q2.should_preempt(PriorityClass::Development, 1.0), "test does not preempt");
         let q3 = TaskQueue::new(QueueConfig::default());
         assert!(!q3.should_preempt(PriorityClass::Development, 1.0), "empty queue");
+    }
+
+    #[test]
+    fn preemption_seen_past_aged_dev_task_at_head() {
+        // Regression: aging floats an old development task to the dispatch
+        // head (rank floored at 0 ties production, earlier submission wins).
+        // A head-only check then reports "nothing to preempt for" even
+        // though a production task is waiting right behind it.
+        let cfg = QueueConfig { aging_secs: 100.0, ..QueueConfig::default() };
+        let mut q = TaskQueue::new(cfg);
+        q.push(task(1, PriorityClass::Development, 0.0)).unwrap();
+        q.push(task(2, PriorityClass::Production, 250.0)).unwrap();
+        assert_eq!(q.peek(250.0).unwrap().id, 1, "aged dev task holds the head");
+        assert!(
+            q.should_preempt(PriorityClass::Test, 250.0),
+            "queued production task must preempt even when masked by an aged dev head"
+        );
+        assert!(!q.should_preempt(PriorityClass::Production, 250.0));
+    }
+
+    #[test]
+    fn non_finite_timestamps_rejected_at_push() {
+        let mut q = TaskQueue::new(QueueConfig::default());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                q.push(task(1, PriorityClass::Test, bad)),
+                Err(QueueError::NonFiniteTimestamp { id: 1 })
+            );
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_ops_survive_non_finite_now() {
+        // even with a corrupted clock, ordering queries must not panic
+        let mut q = TaskQueue::new(QueueConfig::default());
+        q.push(task(1, PriorityClass::Development, 0.0)).unwrap();
+        q.push(task(2, PriorityClass::Production, 1.0)).unwrap();
+        for now in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(q.peek(now).is_some());
+            assert_eq!(q.snapshot(now).len(), 2);
+        }
+        assert!(q.pop(f64::NAN).is_some());
     }
 
     #[test]

@@ -108,6 +108,48 @@ proptest! {
     }
 
     #[test]
+    fn queue_never_panics_for_arbitrary_timestamps(
+        stamps in proptest::collection::vec(
+            prop_oneof![
+                any::<f64>(),                       // includes NaN and ±inf
+                -1e12f64..1e12,                     // plausible clock values
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+            ],
+            1..20,
+        ),
+        classes in proptest::collection::vec(arb_class(), 20),
+        now in prop_oneof![any::<f64>(), Just(f64::NAN)],
+    ) {
+        let mut q = TaskQueue::new(QueueConfig::default());
+        let mut admitted = 0usize;
+        for (i, &at) in stamps.iter().enumerate() {
+            let r = q.push(QuantumTask {
+                id: i as u64,
+                session: format!("s{i}"),
+                user: "u".into(),
+                class: classes[i],
+                ir: dummy_ir(),
+                hint: PatternHint::None,
+                submitted_at: at,
+            });
+            // push admits exactly the finite timestamps
+            prop_assert_eq!(r.is_ok(), at.is_finite());
+            admitted += usize::from(at.is_finite());
+        }
+        prop_assert_eq!(q.len(), admitted);
+        // ordering queries never panic, whatever "now" is
+        prop_assert_eq!(q.snapshot(now).len(), admitted);
+        let _ = q.should_preempt(PriorityClass::Development, now);
+        let mut popped = 0usize;
+        while q.pop(now).is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, admitted, "every admitted task pops exactly once");
+    }
+
+    #[test]
     fn cosim_conservation_laws(
         raw_jobs in proptest::collection::vec((any::<bool>(), 1.0f64..200.0), 1..6)
             .prop_flat_map(|_| proptest::collection::vec(arb_hybrid_job(0), 1..15)),

@@ -341,7 +341,7 @@ mod tests {
         let mut b = SequenceBuilder::new(reg(3));
         b.add_global_pulse(
             Pulse::new(
-                Waveform::blackman(1.0, 3.14).unwrap(),
+                Waveform::blackman(1.0, std::f64::consts::PI).unwrap(),
                 Waveform::ramp(1.0, -5.0, 5.0).unwrap(),
                 0.1,
             )

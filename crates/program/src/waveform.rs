@@ -363,7 +363,7 @@ mod tests {
         let w = Waveform::composite(vec![
             Waveform::constant(1.0, 1.5).unwrap(),
             Waveform::ramp(0.5, 1.5, 0.0).unwrap(),
-            Waveform::blackman(1.0, 3.14).unwrap(),
+            Waveform::blackman(1.0, std::f64::consts::PI).unwrap(),
             Waveform::interpolated(1.0, vec![0.0, 1.0, 0.0]).unwrap(),
         ])
         .unwrap();

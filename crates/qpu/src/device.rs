@@ -451,21 +451,31 @@ mod tests {
         let qpu = VirtualQpu::new("qpu0", 42);
         let ir = pi_pulse_ir(1, 2000);
         let fresh = qpu.execute(&ir, 5).unwrap();
-        // a week of drift
-        qpu.advance_time(600_000.0);
-        let drifted_cal_dev = {
-            let spec = qpu.current_spec();
-            (spec.channels[0].max_amplitude
-                - DeviceSpec::analog_production().channels[0].max_amplitude)
-                .abs()
-        };
-        let drifted = qpu.execute(&ir, 5).unwrap();
-        // With percent-level Rabi error the π-pulse is slightly off; the two
-        // occupations should differ beyond pure shot noise *or* the effective
-        // spec visibly moved — either evidences the drift path works.
-        let moved = (fresh.result.occupation(0) - drifted.result.occupation(0)).abs() > 1e-3
-            || drifted_cal_dev > 1e-6;
-        assert!(moved, "no observable drift effect after 600ks");
+        let base_max = DeviceSpec::analog_production().channels[0].max_amplitude;
+        // Drift one week at a time. The OU processes are stationary at this
+        // horizon so each week is an essentially independent draw; the effect
+        // must become observable within a few draws no matter which side of
+        // nominal the first sample lands on (the spec clamp hides rabi_scale
+        // excursions above 1.0, so a single draw is a coin flip).
+        let mut moved = false;
+        for _ in 0..20 {
+            qpu.advance_time(600_000.0);
+            let drifted_cal_dev = {
+                let spec = qpu.current_spec();
+                (spec.channels[0].max_amplitude - base_max).abs()
+            };
+            let drifted = qpu.execute(&ir, 5).unwrap();
+            // With percent-level Rabi error the π-pulse is slightly off; the
+            // two occupations should differ beyond pure shot noise *or* the
+            // effective spec visibly moved — either evidences the drift path.
+            if (fresh.result.occupation(0) - drifted.result.occupation(0)).abs() > 1e-3
+                || drifted_cal_dev > 1e-6
+            {
+                moved = true;
+                break;
+            }
+        }
+        assert!(moved, "no observable drift effect after 20 weeks");
     }
 
     #[test]

@@ -9,11 +9,13 @@
 
 pub mod backends;
 pub mod config;
+pub mod fault;
 pub mod instrument;
 pub mod resource;
 
 pub use backends::{CloudEngine, CloudResource, LocalEmulatorResource, QpuDirectResource};
 pub use config::{ConfigError, QrmiConfig, ResourceConfig, ResourceFactory, ResourceRegistry};
+pub use fault::{FaultInjector, FaultProfile};
 pub use instrument::{FaultConfig, InstrumentedResource, ProfileEntry, TimingModel};
 pub use resource::{
     run_to_completion, AcquisitionToken, QrmiError, QuantumResource, ResourceType, TaskId,

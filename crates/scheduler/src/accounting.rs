@@ -118,7 +118,7 @@ mod tests {
 
     #[test]
     fn wait_stats_basic() {
-        let jobs = vec![
+        let jobs = [
             job(1, "p", 0.0, 10.0, 20.0, JobState::Completed),
             job(2, "p", 0.0, 30.0, 40.0, JobState::Completed),
         ];
@@ -140,7 +140,7 @@ mod tests {
 
     #[test]
     fn summary_groups_by_partition_and_counts_states() {
-        let jobs = vec![
+        let jobs = [
             job(1, "production", 0.0, 0.0, 10.0, JobState::Completed),
             job(2, "development", 0.0, 50.0, 60.0, JobState::Completed),
             job(3, "development", 0.0, 70.0, 80.0, JobState::Timeout),
@@ -166,7 +166,7 @@ mod tests {
         let mut never = Job::new(9, JobSpec::classical("x", "u", "p", 1, 5.0), 0.0);
         never.state = JobState::Cancelled;
         never.end_time = Some(3.0);
-        let jobs = vec![never];
+        let jobs = [never];
         let s = AccountingSummary::from_jobs(jobs.iter());
         assert_eq!(s.overall.count, 0);
         assert_eq!(s.cancelled, 1);

@@ -341,27 +341,29 @@ impl SlurmSim {
             let order = self.ordered_pending();
             let mut advanced = false;
             let mut blocker: Option<JobId> = None;
-            for id in order {
+            // FIFO within priority: only the head of the pending order may
+            // start or preempt; anything else waits behind it (or backfills).
+            if let Some(id) = order.into_iter().next() {
                 let spec = self.jobs[&id].spec.clone();
                 if self.cluster.fits(&spec).is_ok() {
                     self.start_job(id);
-                    advanced = true;
-                    break; // re-derive ordering after each start
-                }
-                // try preemption for entitled partitions
-                let part = &self.partitions[&spec.partition];
-                if self.policy.preemption && part.preempts_lower {
-                    if let Some(victims) = self.preemption_plan(&spec, part.priority) {
+                    advanced = true; // re-derive ordering after each start
+                } else {
+                    // try preemption for entitled partitions
+                    let part = &self.partitions[&spec.partition];
+                    let plan = (self.policy.preemption && part.preempts_lower)
+                        .then(|| self.preemption_plan(&spec, part.priority))
+                        .flatten();
+                    if let Some(victims) = plan {
                         for v in victims {
                             self.preempt_job(v);
                         }
                         self.start_job(id);
                         advanced = true;
-                        break;
+                    } else {
+                        blocker = Some(id);
                     }
                 }
-                blocker = Some(id);
-                break; // FIFO within priority: stop at the first blocker
             }
             if advanced {
                 continue;

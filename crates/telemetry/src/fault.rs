@@ -1,0 +1,140 @@
+//! Typed metrics for the fault-injection and recovery path.
+//!
+//! The fault injector (qrmi), the runtime's retry/fallback machinery (core)
+//! and the daemon's requeue logic (middleware) all report through this one
+//! facade so every layer's recovery activity lands in a single registry with
+//! consistent metric names. The underlying [`Registry`] is shared by handle,
+//! so a test (or the `/metrics` endpoint) sees the whole story: how many
+//! faults were injected, how many retries they cost, how much backoff was
+//! paid, and whether graceful degradation kicked in.
+
+use crate::metrics::{labels, Registry};
+
+/// Shared-handle facade over a [`Registry`] for fault/recovery counters.
+#[derive(Debug, Clone, Default)]
+pub struct FaultMetrics {
+    registry: Registry,
+}
+
+impl FaultMetrics {
+    /// Wrap an existing registry (shared by handle).
+    pub fn new(registry: Registry) -> Self {
+        FaultMetrics { registry }
+    }
+
+    /// The underlying registry (for exposition or further instrumentation).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// An injected fault fired on `resource`. `kind` is one of
+    /// `acquire_denied`, `task_failed`, `task_stuck`, `result_fetch`.
+    pub fn fault_injected(&self, resource: &str, kind: &str) {
+        self.registry.counter_add(
+            "qrmi_faults_injected_total",
+            "Faults injected at the QRMI boundary",
+            labels(&[("resource", resource), ("kind", kind)]),
+            1.0,
+        );
+    }
+
+    /// A retryable failure of operation `op` on `resource` triggered a retry.
+    pub fn retry(&self, resource: &str, op: &str) {
+        self.registry.counter_add(
+            "runtime_retries_total",
+            "Retries after transient QRMI failures",
+            labels(&[("resource", resource), ("op", op)]),
+            1.0,
+        );
+    }
+
+    /// Backoff delay (seconds, simulated) paid before a retry on `resource`.
+    pub fn backoff(&self, resource: &str, secs: f64) {
+        self.registry.counter_add(
+            "runtime_backoff_seconds_total",
+            "Cumulative backoff delay before retries",
+            labels(&[("resource", resource)]),
+            secs,
+        );
+    }
+
+    /// The retry budget for `resource` ran out without success.
+    pub fn budget_exhausted(&self, resource: &str) {
+        self.registry.counter_add(
+            "runtime_retry_budget_exhausted_total",
+            "Attempt/backoff budgets exhausted without success",
+            labels(&[("resource", resource)]),
+            1.0,
+        );
+    }
+
+    /// Graceful degradation: execution moved from `from` to `to`.
+    pub fn fallback(&self, from: &str, to: &str) {
+        self.registry.counter_add(
+            "runtime_fallbacks_total",
+            "Graceful-degradation fallbacks to an alternate resource",
+            labels(&[("from", from), ("to", to)]),
+            1.0,
+        );
+    }
+
+    /// The daemon requeued a failed task for another attempt.
+    pub fn requeue(&self, class: &str) {
+        self.registry.counter_add(
+            "daemon_task_requeues_total",
+            "Tasks requeued after an execution failure",
+            labels(&[("class", class)]),
+            1.0,
+        );
+    }
+
+    /// A task hit the poison cap and was failed permanently.
+    pub fn poisoned(&self, class: &str) {
+        self.registry.counter_add(
+            "daemon_tasks_poisoned_total",
+            "Tasks failed permanently after exhausting requeue attempts",
+            labels(&[("class", class)]),
+            1.0,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_one_registry() {
+        let m = FaultMetrics::new(Registry::new());
+        m.fault_injected("emu", "acquire_denied");
+        m.fault_injected("emu", "acquire_denied");
+        m.retry("emu", "acquire");
+        m.backoff("emu", 1.5);
+        m.backoff("emu", 0.5);
+        m.fallback("qpu-cloud", "emu-local");
+        m.requeue("test");
+        m.poisoned("development");
+        m.budget_exhausted("qpu-cloud");
+        let text = m.registry().expose();
+        assert!(text.contains(
+            "qrmi_faults_injected_total{kind=\"acquire_denied\",resource=\"emu\"} 2"
+        ));
+        assert!(text.contains("runtime_backoff_seconds_total{resource=\"emu\"} 2"));
+        assert!(text.contains("runtime_fallbacks_total{from=\"qpu-cloud\",to=\"emu-local\"} 1"));
+        assert!(text.contains("daemon_task_requeues_total{class=\"test\"} 1"));
+        assert!(text.contains("daemon_tasks_poisoned_total{class=\"development\"} 1"));
+        assert!(text.contains("runtime_retry_budget_exhausted_total{resource=\"qpu-cloud\"} 1"));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let m = FaultMetrics::default();
+        let m2 = m.clone();
+        m.retry("r", "poll");
+        m2.retry("r", "poll");
+        assert!(m
+            .registry()
+            .expose()
+            .contains("runtime_retries_total{op=\"poll\",resource=\"r\"} 2"));
+    }
+}

@@ -14,10 +14,12 @@
 
 pub mod alerts;
 pub mod drift;
+pub mod fault;
 pub mod metrics;
 pub mod tsdb;
 
 pub use alerts::{AlertEvent, AlertManager, AlertRule, AlertState, Cmp};
 pub use drift::{CusumDetector, Detection, ZScoreDetector};
+pub use fault::FaultMetrics;
 pub use metrics::{labels, Labels, Registry};
 pub use tsdb::{Agg, Point, TimeSeriesDb};

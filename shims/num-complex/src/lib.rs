@@ -1,0 +1,270 @@
+//! Minimal offline stand-in for the `num-complex` crate.
+//!
+//! Implements exactly the `Complex<f64>` surface the emulator and SDK use:
+//! construction, polar form, conjugation, norms, and mixed complex/real
+//! arithmetic. Semantics match the real crate for these operations.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex<T> {
+    pub re: T,
+    pub im: T,
+}
+
+pub type Complex64 = Complex<f64>;
+
+impl<T> Complex<T> {
+    pub const fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+}
+
+impl Complex<f64> {
+    /// The imaginary unit.
+    pub fn i() -> Self {
+        Complex::new(0.0, 1.0)
+    }
+
+    /// `r·e^{iθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    pub fn conj(&self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// `|z|`.
+    pub fn norm(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// `|z|²`.
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle).
+    pub fn arg(&self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(&self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(&self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    pub fn is_finite(&self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex<f64> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex<f64> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex<f64> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex<f64> {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Mul<f64> for Complex<f64> {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    fn mul(self, rhs: Complex<f64>) -> Complex<f64> {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex<f64> {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Mul<&Complex<f64>> for Complex<f64> {
+    type Output = Complex<f64>;
+    fn mul(self, rhs: &Complex<f64>) -> Complex<f64> {
+        self * *rhs
+    }
+}
+
+impl Mul<Complex<f64>> for &Complex<f64> {
+    type Output = Complex<f64>;
+    fn mul(self, rhs: Complex<f64>) -> Complex<f64> {
+        *self * rhs
+    }
+}
+
+impl Mul<&Complex<f64>> for &Complex<f64> {
+    type Output = Complex<f64>;
+    fn mul(self, rhs: &Complex<f64>) -> Complex<f64> {
+        *self * *rhs
+    }
+}
+
+impl Mul<f64> for &Complex<f64> {
+    type Output = Complex<f64>;
+    fn mul(self, rhs: f64) -> Complex<f64> {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<&Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    fn mul(self, rhs: &Complex<f64>) -> Complex<f64> {
+        rhs.scale(self)
+    }
+}
+
+impl Sub<Complex<f64>> for &Complex<f64> {
+    type Output = Complex<f64>;
+    fn sub(self, rhs: Complex<f64>) -> Complex<f64> {
+        *self - rhs
+    }
+}
+
+impl Add<Complex<f64>> for &Complex<f64> {
+    type Output = Complex<f64>;
+    fn add(self, rhs: Complex<f64>) -> Complex<f64> {
+        *self + rhs
+    }
+}
+
+impl Add<&Complex<f64>> for Complex<f64> {
+    type Output = Complex<f64>;
+    fn add(self, rhs: &Complex<f64>) -> Complex<f64> {
+        self + *rhs
+    }
+}
+
+impl Sub<&Complex<f64>> for Complex<f64> {
+    type Output = Complex<f64>;
+    fn sub(self, rhs: &Complex<f64>) -> Complex<f64> {
+        self - *rhs
+    }
+}
+
+impl Neg for Complex<f64> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex<f64> {
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex<f64> {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex<f64> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex<f64> {
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl Sum for Complex<f64> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::new(0.0, 0.0), |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex<f64>> for Complex<f64> {
+    fn sum<I: Iterator<Item = &'a Complex<f64>>>(iter: I) -> Self {
+        iter.fold(Complex::new(0.0, 0.0), |a, b| a + *b)
+    }
+}
+
+impl From<f64> for Complex<f64> {
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z * z.conj(), Complex64::new(25.0, 0.0));
+        assert_eq!((z / z).re, 1.0);
+        let i = Complex64::i();
+        assert_eq!(i * i, Complex64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+        assert!((z.re).abs() < 1e-15);
+        assert!((z.im - 2.0).abs() < 1e-15);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = [Complex64::new(1.0, 1.0), Complex64::new(2.0, -1.0)];
+        let s: Complex64 = v.iter().sum();
+        assert_eq!(s, Complex64::new(3.0, 0.0));
+    }
+}

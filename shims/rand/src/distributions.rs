@@ -1,0 +1,172 @@
+//! Distributions: `Standard`, uniform range sampling, and `WeightedIndex`.
+
+use crate::Rng;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: uniform over the domain (floats over
+/// `[0, 1)`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types that can be sampled uniformly from a closed range.
+pub trait UniformSample: Copy + PartialOrd {
+    fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self;
+}
+
+impl UniformSample for f64 {
+    fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let u: f64 = Standard.sample(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_in<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range forms accepted by `Rng::gen_range` — half-open and inclusive.
+pub trait IntoUniformRange<T: UniformSample> {
+    /// Returns `(lo, hi_inclusive)`.
+    fn bounds(self) -> (T, T);
+}
+
+impl IntoUniformRange<f64> for std::ops::Range<f64> {
+    fn bounds(self) -> (f64, f64) {
+        (self.start, self.end) // float upper bound treated as open measure-zero
+    }
+}
+
+impl IntoUniformRange<f64> for std::ops::RangeInclusive<f64> {
+    fn bounds(self) -> (f64, f64) {
+        (*self.start(), *self.end())
+    }
+}
+
+macro_rules! into_uniform_int {
+    ($($t:ty),*) => {$(
+        impl IntoUniformRange<$t> for std::ops::Range<$t> {
+            fn bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "gen_range: empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl IntoUniformRange<$t> for std::ops::RangeInclusive<$t> {
+            fn bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+into_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Error from `WeightedIndex::new`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    NoItem,
+    InvalidWeight,
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no items in weighted index"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Sample indices proportionally to a weight vector (f64 weights).
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<f64>,
+    {
+        use std::borrow::Borrow;
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = Standard.sample(rng);
+        let target = u * self.total;
+        // first index whose cumulative weight exceeds the target
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).unwrap_or(std::cmp::Ordering::Less))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}

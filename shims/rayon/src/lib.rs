@@ -1,0 +1,63 @@
+//! Minimal offline stand-in for the `rayon` crate.
+//!
+//! `par_iter`/`into_par_iter` degrade to ordinary sequential iterators. The
+//! emulator kernels that call them stay correct (and deterministic); they
+//! simply don't get data parallelism until the real crate is restored. The
+//! adapter traits mirror rayon's so call sites compile unchanged.
+
+pub mod prelude {
+    /// `into_par_iter()` on any owned collection — sequential here.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<T: IntoIterator> IntoParallelIterator for T {}
+
+    /// `par_iter()` on any collection with a by-ref iterator — sequential.
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+    impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` on any collection with a by-mut-ref iterator.
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Iter;
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+    impl<'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
+    where
+        &'a mut C: IntoIterator,
+    {
+        type Iter = <&'a mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_adapters_behave_like_iterators() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let squares: Vec<usize> = (0..4usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9]);
+        let mut m = vec![1, 2];
+        m.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(m, vec![2, 3]);
+    }
+}

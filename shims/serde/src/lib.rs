@@ -1,0 +1,109 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The real serde is a zero-copy visitor framework; this shim replaces it
+//! with a simple value-tree model: `Serialize` renders to a [`value::Value`]
+//! tree and `Deserialize` rebuilds from one. `serde_json` (also shimmed)
+//! parses/prints that tree. Semantics intentionally mirror real
+//! serde+serde_json for the constructs the workspace uses:
+//!
+//! * structs → JSON objects, field order preserved;
+//! * `Option` fields → `null` when `None`, implicitly `None` when missing;
+//! * `#[serde(default)]` fields → `Default::default()` when missing;
+//! * enums → externally tagged (`"Unit"`, `{"Newtype": v}`,
+//!   `{"Tuple": [..]}`, `{"Struct": {..}}`);
+//! * newtype structs serialize transparently;
+//! * unknown object keys are ignored on deserialize.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Error produced while rebuilding a typed value from a [`Value`] tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Hook for struct fields absent from the input object. `Option<T>`
+    /// overrides this to yield `None`, mirroring serde's implicit-optional
+    /// behavior; everything else errors.
+    fn from_missing_field(field: &str) -> Result<Self, DeError> {
+        Err(DeError(format!("missing field `{field}`")))
+    }
+}
+
+mod impls;
+
+/// Support items referenced by `serde_derive`-generated code. Not a stable
+/// API — only the derive macro should use this.
+pub mod __private {
+    pub use crate::value::{Map, Number, Value};
+    use crate::{DeError, Deserialize};
+
+    pub fn expect_object<'v>(v: &'v Value, ty: &str) -> Result<&'v Map, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError(format!("expected object for `{ty}`")))
+    }
+
+    pub fn expect_array<'v>(v: &'v Value, ty: &str, len: usize) -> Result<&'v [Value], DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError(format!("expected array for `{ty}`")))?;
+        if arr.len() != len {
+            return Err(DeError(format!(
+                "expected {len} elements for `{ty}`, got {}",
+                arr.len()
+            )));
+        }
+        Ok(arr)
+    }
+
+    /// Fetch and decode a named struct field, honoring the missing-field hook.
+    pub fn field<T: Deserialize>(obj: &Map, name: &str) -> Result<T, DeError> {
+        match obj.get(name) {
+            Some(v) => T::from_value(v)
+                .map_err(|e| DeError(format!("field `{name}`: {e}"))),
+            None => T::from_missing_field(name),
+        }
+    }
+
+    /// Fetch and decode a field that falls back to `Default` when absent
+    /// (`#[serde(default)]`).
+    pub fn field_or_default<T: Deserialize + Default>(
+        obj: &Map,
+        name: &str,
+    ) -> Result<T, DeError> {
+        match obj.get(name) {
+            Some(v) => T::from_value(v)
+                .map_err(|e| DeError(format!("field `{name}`: {e}"))),
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Decode a positional element of a tuple struct/variant.
+    pub fn element<T: Deserialize>(arr: &[Value], idx: usize) -> Result<T, DeError> {
+        T::from_value(&arr[idx]).map_err(|e| DeError(format!("element {idx}: {e}")))
+    }
+}

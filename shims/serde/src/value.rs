@@ -1,0 +1,359 @@
+//! The JSON-shaped value tree shared by the `serde` and `serde_json` shims.
+//!
+//! Lives here (not in `serde_json`) so derived trait impls can reference it
+//! without inverting the crate dependency; `serde_json` re-exports it.
+
+use std::fmt;
+
+/// Object representation. Insertion-ordered so struct field order survives a
+/// serialize → print cycle like real serde_json's default behavior.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A JSON number. Integers keep full 64-bit precision (histogram counts are
+/// u64 fingerprints); anything with a fraction or exponent is an f64.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+}
+
+impl Number {
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(n) => Some(n),
+            Number::I64(n) => u64::try_from(n).ok(),
+            Number::F64(x) => {
+                if x.is_finite() && x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 {
+                    Some(x as u64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(n) => i64::try_from(n).ok(),
+            Number::I64(n) => Some(n),
+            Number::F64(x) => {
+                if x.is_finite() && x.fract() == 0.0 && x.abs() <= i64::MAX as f64 {
+                    Some(x as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(n) => n as f64,
+            Number::I64(n) => n as f64,
+            Number::F64(x) => x,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_u64(), other.as_u64()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => {
+                // one side is negative or fractional; fall through to f64
+            }
+        }
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => {}
+        }
+        self.as_f64() == other.as_f64()
+    }
+}
+
+/// A parsed/serializable JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Compact JSON text; non-finite floats render as `null` like serde_json.
+    pub fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(*n, out),
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Pretty JSON text with two-space indentation (serde_json's default).
+    pub fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_spaces(out, indent + STEP);
+                    item.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                push_spaces(out, indent);
+                out.push(']');
+            }
+            Value::Object(map) if !map.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_spaces(out, indent + STEP);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                push_spaces(out, indent);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn push_spaces(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push(' ');
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    use std::fmt::Write;
+    match n {
+        Number::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::F64(x) => {
+            if x.is_finite() {
+                // Rust's Display prints the shortest round-trip decimal and
+                // never uses exponent notation — valid JSON, exact round-trip.
+                let _ = write!(out, "{x}");
+            } else {
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact JSON, so `json!({...}).to_string()` works like serde_json.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_compact(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// `v["key"]` — returns `Null` for missing keys/non-objects like serde_json.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// `v[i]` — returns `Null` out of bounds like serde_json.
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}

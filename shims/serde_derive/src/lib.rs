@@ -1,0 +1,443 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the type
+//! definition is parsed directly from the proc-macro token stream and the
+//! trait impls are emitted as source text. Supports the shapes this
+//! workspace uses — non-generic named/tuple/unit structs and enums with
+//! unit/tuple/struct variants, plus the `#[serde(default)]` field attribute.
+//! Anything outside that surface fails loudly at compile time rather than
+//! silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- parsed model ---------------------------------------------------------
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with the given arity (1 = newtype, serialized
+    /// transparently like real serde).
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present.
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---- token-stream parsing -------------------------------------------------
+
+fn ident_text(t: &TokenTree) -> String {
+    match t {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected identifier, found `{other}`"),
+    }
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+/// Returns true if the bracket group is a `serde(...)` helper attribute and
+/// records whether it contains `default`.
+fn inspect_attr(group: &TokenTree, default: &mut bool) {
+    let TokenTree::Group(g) = group else {
+        panic!("serde shim derive: malformed attribute");
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    if inner.first().map(|t| t.to_string()) != Some("serde".into()) {
+        return; // doc comment or unrelated attribute — ignore
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        panic!("serde shim derive: malformed serde attribute");
+    };
+    for arg in args.stream() {
+        match arg {
+            TokenTree::Ident(id) if id.to_string() == "default" => *default = true,
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!(
+                "serde shim derive: unsupported serde attribute `{other}` — \
+                 only #[serde(default)] is implemented"
+            ),
+        }
+    }
+}
+
+/// Skip attributes (recording `#[serde(default)]`) and visibility modifiers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize, default: &mut bool) -> usize {
+    loop {
+        if is_punct(tokens.get(i), '#') {
+            inspect_attr(&tokens[i + 1], default);
+            i += 2;
+        } else if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+/// Parse `name: Type, ...` sequences; types are skipped (the generated code
+/// relies on inference from constructor position), tracking `<>` depth so
+/// commas inside generics don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        i = skip_attrs_and_vis(&tokens, i, &mut default);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_text(&tokens[i]);
+        i += 1;
+        if !is_punct(tokens.get(i), ':') {
+            panic!("serde shim derive: expected `:` after field `{name}`");
+        }
+        i += 1;
+        let mut angle = 0i64;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i64;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 && idx + 1 < tokens.len() => {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut unused = false;
+        i = skip_attrs_and_vis(&tokens, i, &mut unused);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_text(&tokens[i]);
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if is_punct(tokens.get(i), '=') {
+            panic!("serde shim derive: explicit discriminants not supported (variant `{name}`)");
+        }
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut unused = false;
+    let mut i = skip_attrs_and_vis(&tokens, 0, &mut unused);
+    let kw = ident_text(&tokens[i]);
+    i += 1;
+    let name = ident_text(&tokens[i]);
+    i += 1;
+    if is_punct(tokens.get(i), '<') {
+        panic!("serde shim derive: generic type `{name}` not supported");
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+                name,
+                kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            _ => Input {
+                name,
+                kind: Kind::UnitStruct,
+            },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())),
+            },
+            _ => panic!("serde shim derive: malformed enum `{name}`"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---- code generation ------------------------------------------------------
+
+const V: &str = "::serde::__private::Value";
+const MAP: &str = "::serde::__private::Map";
+const P: &str = "::serde::__private";
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = format!("let mut __m = {MAP}::new();\n");
+            for f in fields {
+                let fname = &f.name;
+                s.push_str(&format!(
+                    "__m.insert(\"{fname}\", ::serde::Serialize::to_value(&self.{fname}));\n"
+                ));
+            }
+            s.push_str(&format!("{V}::Object(__m)"));
+            s
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("{V}::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => format!("{V}::Null"),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => {V}::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{\n\
+                         let mut __m = {MAP}::new();\n\
+                         __m.insert(\"{vname}\", ::serde::Serialize::to_value(__f0));\n\
+                         {V}::Object(__m)\n}}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut __m = {MAP}::new();\n\
+                             __m.insert(\"{vname}\", {V}::Array(vec![{items}]));\n\
+                             {V}::Object(__m)\n}}\n",
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = format!("let mut __inner = {MAP}::new();\n");
+                        for f in fields {
+                            let fname = &f.name;
+                            inner.push_str(&format!(
+                                "__inner.insert(\"{fname}\", ::serde::Serialize::to_value({fname}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut __m = {MAP}::new();\n\
+                             __m.insert(\"{vname}\", {V}::Object(__inner));\n\
+                             {V}::Object(__m)\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> {V} {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_ctor(path: &str, fields: &[Field], obj: &str) -> String {
+    let mut s = format!("{path} {{\n");
+    for f in fields {
+        let fname = &f.name;
+        let helper = if f.default { "field_or_default" } else { "field" };
+        s.push_str(&format!("{fname}: {P}::{helper}({obj}, \"{fname}\")?,\n"));
+    }
+    s.push('}');
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            format!(
+                "let __obj = {P}::expect_object(__v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({})",
+                gen_named_ctor(name, fields, "__obj")
+            )
+        }
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("{P}::element(__arr, {i})?"))
+                .collect();
+            format!(
+                "let __arr = {P}::expect_array(__v, \"{name}\", {n})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            // unit variants arrive as bare strings
+            let mut unit_arms = String::new();
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vname = &v.name;
+                    unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+            }
+            // data variants arrive as single-key objects
+            let mut tag_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => tag_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => tag_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("{P}::element(__arr, {i})?"))
+                            .collect();
+                        tag_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __arr = {P}::expect_array(__inner, \"{name}::{vname}\", {n})?;\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let ctor =
+                            gen_named_ctor(&format!("{name}::{vname}"), fields, "__o");
+                        tag_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __o = {P}::expect_object(__inner, \"{name}::{vname}\")?;\n\
+                             ::std::result::Result::Ok({ctor})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let {V}::String(__s) = __v {{\n\
+                 return match __s.as_str() {{\n\
+                 {unit_arms}\
+                 _ => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"unknown variant `{{__s}}` for `{name}`\"))),\n\
+                 }};\n\
+                 }}\n\
+                 let __obj = {P}::expect_object(__v, \"{name}\")?;\n\
+                 let (__tag, __inner) = __obj.iter().next().ok_or_else(|| \
+                 ::serde::DeError(\"empty object for enum `{name}`\".to_string()))?;\n\
+                 match __tag.as_str() {{\n\
+                 {tag_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &{V}) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+// ---- entry points ---------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}

@@ -1,0 +1,174 @@
+//! Minimal offline stand-in for the `serde_json` crate.
+//!
+//! Full JSON parser/printer over the `serde` shim's [`Value`] tree. Numbers
+//! keep u64/i64 precision when integral; floats print via Rust's shortest
+//! round-trip `Display`, so value → text → value is lossless (the
+//! `float_roundtrip` behavior the workspace manifest asks for).
+
+mod parse;
+
+pub use parse::parse_value;
+pub use serde::value::{Map, Number, Value};
+use serde::{Deserialize, Serialize};
+
+/// Parse or data-mapping failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.0)
+    }
+}
+
+/// Deserialize `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Deserialize `T` from JSON bytes (must be UTF-8).
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_compact(&mut out);
+    Ok(out)
+}
+
+/// Serialize to human-readable JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Serialize to a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Deserialize from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_value(&value)?)
+}
+
+/// Support function for the `json!` macro: convert any `Serialize` value.
+#[doc(hidden)]
+pub fn __to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] literal. Supports the flat object/array/scalar forms
+/// used in this workspace; values may be arbitrary `Serialize` expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $(__m.insert($key, $crate::__to_value(&$val));)*
+        $crate::Value::Object(__m)
+    }};
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::__to_value(&$val)),*])
+    };
+    ($other:expr) => { $crate::__to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["0", "42", "-7", "3.25", "1e3", "true", "false", "null", "\"hi\""] {
+            let v: Value = from_str(text).unwrap();
+            let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+            assert_eq!(v, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for x in [0.1, 1.0 / 3.0, f64::MAX, 5e-324, -2.5, 1e21] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} → {text}");
+        }
+    }
+
+    #[test]
+    fn u64_precision_preserved() {
+        let n = u64::MAX - 3;
+        let text = to_string(&n).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn object_indexing_and_missing_keys() {
+        let v: Value = from_str(r#"{"token":"abc","task_id":17,"nested":{"x":[1,2]}}"#).unwrap();
+        assert_eq!(v["token"].as_str(), Some("abc"));
+        assert_eq!(v["task_id"].as_u64(), Some(17));
+        assert_eq!(v["nested"]["x"][1].as_u64(), Some(2));
+        assert!(v["absent"].is_null());
+        assert!(v["nested"]["x"][9].is_null());
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let id: u64 = 9;
+        let v = json!({ "task_id": id, "ok": true, "name": "x" });
+        assert_eq!(v.to_string(), r#"{"task_id":9,"ok":true,"name":"x"}"#);
+        assert_eq!(json!([1, 2]).to_string(), "[1,2]");
+        assert_eq!(json!(null), Value::Null);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "line\n\"quoted\"\tand \\ unicode \u{1F600} nul:\u{1}";
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(s, back);
+        // escaped input forms parse too
+        let v: String = from_str(r#""aA\né😀""#).unwrap();
+        assert_eq!(v, "aA\né😀");
+    }
+
+    #[test]
+    fn parse_errors_are_errors_not_panics() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "tru", "\"unterminated", "01", "1.2.3", "{]", "nul",
+            "[1 2]", "{\"a\":1,}",
+        ] {
+            assert!(from_str::<Value>(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let v = json!({ "a": 1 });
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+}
