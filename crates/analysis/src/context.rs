@@ -1,0 +1,235 @@
+//! Shared state the passes read and write.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use hpcqc_program::{DeviceSpec, ProgramIr, Violation};
+use hpcqc_scheduler::PatternHint;
+use serde::{Deserialize, Serialize};
+
+/// Tunable thresholds for the advisory passes. Hard-constraint checks take
+/// their limits from the [`DeviceSpec`], never from here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzerConfig {
+    /// Fraction of a spec limit treated as "too close for comfort" under
+    /// calibration drift: warn when a value lands in the top
+    /// `drift_margin_frac` of the allowed range.
+    pub drift_margin_frac: f64,
+    /// Maximum amplitude slew rate in rad/µs per µs before HQ0201 fires.
+    pub max_slew_rate: f64,
+    /// Instantaneous amplitude step (rad/µs) at a pulse boundary before
+    /// HQ0202 fires. Defaults to 2π so ordinary square turn-ons stay quiet.
+    pub discontinuity_threshold: f64,
+    /// Estimated wall-clock budget (s) before HQ0502 fires.
+    pub max_wallclock_secs: f64,
+    /// QPU duty at or above which a program is inferred QC-heavy.
+    pub qc_heavy_duty: f64,
+    /// QPU duty at or below which a program is inferred CC-heavy.
+    pub cc_heavy_duty: f64,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            drift_margin_frac: 0.1,
+            max_slew_rate: 500.0,
+            discontinuity_threshold: 2.0 * std::f64::consts::PI,
+            max_wallclock_secs: 3600.0,
+            qc_heavy_duty: 0.7,
+            cc_heavy_duty: 0.3,
+        }
+    }
+}
+
+/// Facts accumulated by the passes; later passes may read what earlier passes
+/// derived (budget → pattern inference), and the final report exposes them to
+/// callers (the daemon uses `inferred_hint` to cross-check the user hint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Facts {
+    /// Estimated seconds of actual QPU drive time (shots × duration).
+    pub est_qpu_secs: f64,
+    /// Estimated wall-clock seconds including the device shot rate.
+    pub est_wallclock_secs: f64,
+    /// QPU duty = quantum / (quantum + classical), when inferable.
+    pub qpu_duty: Option<f64>,
+    /// Declared classical-phase estimate from the IR, if any.
+    pub classical_secs: Option<f64>,
+    /// The Table-1 pattern inferred from the duty, if inferable.
+    pub inferred_hint: Option<PatternHint>,
+}
+
+impl Default for Facts {
+    fn default() -> Self {
+        Facts {
+            est_qpu_secs: 0.0,
+            est_wallclock_secs: 0.0,
+            qpu_duty: None,
+            classical_secs: None,
+            inferred_hint: None,
+        }
+    }
+}
+
+/// Everything a pass sees: the program, the (optional) device spec it targets,
+/// the analyzer configuration, and the facts/diagnostics accumulated so far.
+pub struct AnalysisContext<'a> {
+    /// The program under analysis.
+    pub ir: &'a ProgramIr,
+    /// Current device spec, when the caller has one. Spec-dependent passes
+    /// (hard constraints, drift margins, staleness) no-op without it.
+    pub spec: Option<&'a DeviceSpec>,
+    /// Thresholds for the advisory passes.
+    pub cfg: &'a AnalyzerConfig,
+    /// Facts derived so far.
+    pub facts: Facts,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    pub fn new(ir: &'a ProgramIr, spec: Option<&'a DeviceSpec>, cfg: &'a AnalyzerConfig) -> Self {
+        AnalysisContext {
+            ir,
+            spec,
+            cfg,
+            facts: Facts::default(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Record a finding.
+    pub fn emit(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Close the context into a report.
+    pub fn finish(self) -> AnalysisReport {
+        AnalysisReport {
+            diagnostics: self.diagnostics,
+            facts: self.facts,
+        }
+    }
+}
+
+/// The analyzer's output: every diagnostic plus the derived facts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// All findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Derived program facts (budget estimates, inferred pattern, ...).
+    pub facts: Facts,
+}
+
+impl AnalysisReport {
+    /// True when at least one Error-level diagnostic is present.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// All Error-level diagnostics.
+    pub fn errors(&self) -> Vec<&Diagnostic> {
+        self.by_severity(Severity::Error)
+    }
+
+    /// All Warning-level diagnostics.
+    pub fn warnings(&self) -> Vec<&Diagnostic> {
+        self.by_severity(Severity::Warning)
+    }
+
+    fn by_severity(&self, s: Severity) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == s)
+            .collect()
+    }
+
+    /// Rebuild the `program::validate`-shaped violations behind the Error
+    /// diagnostics, so pre-flight callers can fail with the same
+    /// `Validation(Vec<Violation>)` error they produce today.
+    pub fn error_violations(&self) -> Vec<Violation> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .filter_map(|d| {
+                d.violation.clone().map(|kind| Violation {
+                    kind,
+                    message: d.message.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Serialize the report to JSON for tooling.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serializes")
+    }
+
+    /// Multi-line human rendering, one diagnostic per line, errors first.
+    pub fn render(&self) -> String {
+        let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        sorted.sort_by_key(|d| d.severity);
+        sorted
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::LintCode;
+    use hpcqc_program::ViolationKind;
+
+    fn report(diags: Vec<Diagnostic>) -> AnalysisReport {
+        AnalysisReport {
+            diagnostics: diags,
+            facts: Facts::default(),
+        }
+    }
+
+    #[test]
+    fn error_queries() {
+        let r = report(vec![
+            Diagnostic::hint(LintCode::BudgetEstimate, "b"),
+            Diagnostic::error(LintCode::ShotsOutOfRange, "s")
+                .with_violation(ViolationKind::ShotsOutOfRange),
+            Diagnostic::warning(LintCode::DeadDrive, "d"),
+        ]);
+        assert!(r.has_errors());
+        assert_eq!(r.errors().len(), 1);
+        assert_eq!(r.warnings().len(), 1);
+        let v = r.error_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::ShotsOutOfRange);
+        assert_eq!(v[0].message, "s");
+    }
+
+    #[test]
+    fn render_sorts_errors_first() {
+        let r = report(vec![
+            Diagnostic::hint(LintCode::BudgetEstimate, "b"),
+            Diagnostic::error(LintCode::ShotsOutOfRange, "s"),
+        ]);
+        let rendered = r.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].contains("error"), "{lines:?}");
+        assert!(lines[1].contains("hint"), "{lines:?}");
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let r = report(vec![
+            Diagnostic::warning(LintCode::StaleValidation, "old").with_span("c", 0)
+        ]);
+        let back: AnalysisReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = AnalyzerConfig::default();
+        assert!(c.drift_margin_frac > 0.0 && c.drift_margin_frac < 1.0);
+        assert!(c.cc_heavy_duty < c.qc_heavy_duty);
+    }
+}

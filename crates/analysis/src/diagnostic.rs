@@ -1,0 +1,394 @@
+//! Structured diagnostics with stable lint codes.
+//!
+//! Every finding of the analyzer is a [`Diagnostic`]: a stable [`LintCode`]
+//! (never renumbered once shipped — tooling keys on them), a [`Severity`], a
+//! human-readable message and an optional [`Span`] pointing at the offending
+//! channel/pulse. Diagnostics serialize to JSON for IDEs, CI gates and the
+//! middleware's rejection responses alike.
+
+use hpcqc_program::ViolationKind;
+use serde::value::Value;
+use serde::{DeError, Deserialize, Serialize};
+
+/// How bad a finding is.
+///
+/// Only `Error` diagnostics block execution (runtime pre-flight and daemon
+/// submission both reject on them); `Warning`s are surfaced in job records,
+/// `Hint`s are informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// The program cannot run as written (hard device-constraint violation).
+    Error,
+    /// The program runs but is likely wrong, fragile or wasteful.
+    Warning,
+    /// Informational: estimates, inferred facts, style.
+    Hint,
+}
+
+impl Severity {
+    /// Stable lowercase string form (used as a metric label).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Hint => "hint",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for Severity {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Severity {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_str() {
+            Some("error") => Ok(Severity::Error),
+            Some("warning") => Ok(Severity::Warning),
+            Some("hint") => Ok(Severity::Hint),
+            _ => Err(DeError::custom(format!("unknown severity {v:?}"))),
+        }
+    }
+}
+
+/// Where in the program a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Channel the offending pulse plays on.
+    pub channel: String,
+    /// Index into `sequence.pulses`.
+    pub pulse: usize,
+}
+
+/// The stable lint-code registry. Codes are grouped by pass in blocks of 100:
+/// `HQ01xx` hard constraints, `HQ02xx` waveform quality, `HQ03xx` drift
+/// margins, `HQ04xx` dead code, `HQ05xx` budget, `HQ06xx` pattern inference,
+/// `HQ07xx` validation freshness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintCode {
+    /// HQ0101: register exceeds the device qubit count.
+    TooManyQubits,
+    /// HQ0102: two atoms closer than the minimum trap distance.
+    AtomsTooClose,
+    /// HQ0103: an atom outside the optical field of view.
+    RegisterTooLarge,
+    /// HQ0104: sequence exceeds the maximum duration.
+    SequenceTooLong,
+    /// HQ0105: pulse on a channel the device does not expose.
+    UnknownChannel,
+    /// HQ0106: Rabi frequency above the channel maximum (or negative).
+    AmplitudeOutOfRange,
+    /// HQ0107: detuning exits the calibrated range.
+    DetuningOutOfRange,
+    /// HQ0108: shot count outside `[min_shots, max_shots]`.
+    ShotsOutOfRange,
+    /// HQ0201: amplitude changes faster than the configured slew limit.
+    ExcessiveSlewRate,
+    /// HQ0202: instantaneous amplitude jump at a pulse boundary.
+    AmplitudeDiscontinuity,
+    /// HQ0203: detuning/phase programmed under identically-zero amplitude.
+    DeadDrive,
+    /// HQ0301: peak amplitude within the drift margin of the spec limit.
+    AmplitudeNearLimit,
+    /// HQ0302: detuning within the drift margin of the spec limit.
+    DetuningNearLimit,
+    /// HQ0303: duration within the drift margin of the spec limit.
+    DurationNearLimit,
+    /// HQ0401: no pulse ever drives the atoms.
+    NoAtomsAddressed,
+    /// HQ0402: a channel carries only zero pulses.
+    UnusedChannel,
+    /// HQ0403: zero-drive pulses after the last real drive.
+    TrailingDeadTime,
+    /// HQ0501: estimated device-time budget for the submission.
+    BudgetEstimate,
+    /// HQ0502: estimated wall-clock exceeds the configured budget.
+    ExcessiveWallclock,
+    /// HQ0601: statically inferred Table-1 workload pattern.
+    InferredPattern,
+    /// HQ0602: pattern not inferable (no declared classical estimate).
+    UnknownPattern,
+    /// HQ0701: validated against a stale device-spec revision.
+    StaleValidation,
+    /// HQ0702: never validated against any device spec.
+    NeverValidated,
+}
+
+impl LintCode {
+    /// The stable wire form, e.g. `"HQ0101"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LintCode::TooManyQubits => "HQ0101",
+            LintCode::AtomsTooClose => "HQ0102",
+            LintCode::RegisterTooLarge => "HQ0103",
+            LintCode::SequenceTooLong => "HQ0104",
+            LintCode::UnknownChannel => "HQ0105",
+            LintCode::AmplitudeOutOfRange => "HQ0106",
+            LintCode::DetuningOutOfRange => "HQ0107",
+            LintCode::ShotsOutOfRange => "HQ0108",
+            LintCode::ExcessiveSlewRate => "HQ0201",
+            LintCode::AmplitudeDiscontinuity => "HQ0202",
+            LintCode::DeadDrive => "HQ0203",
+            LintCode::AmplitudeNearLimit => "HQ0301",
+            LintCode::DetuningNearLimit => "HQ0302",
+            LintCode::DurationNearLimit => "HQ0303",
+            LintCode::NoAtomsAddressed => "HQ0401",
+            LintCode::UnusedChannel => "HQ0402",
+            LintCode::TrailingDeadTime => "HQ0403",
+            LintCode::BudgetEstimate => "HQ0501",
+            LintCode::ExcessiveWallclock => "HQ0502",
+            LintCode::InferredPattern => "HQ0601",
+            LintCode::UnknownPattern => "HQ0602",
+            LintCode::StaleValidation => "HQ0701",
+            LintCode::NeverValidated => "HQ0702",
+        }
+    }
+
+    /// One-line description for the registry table.
+    pub fn description(&self) -> &'static str {
+        match self {
+            LintCode::TooManyQubits => "register exceeds device qubit count",
+            LintCode::AtomsTooClose => "atoms closer than the minimum trap distance",
+            LintCode::RegisterTooLarge => "atom outside the optical field of view",
+            LintCode::SequenceTooLong => "sequence exceeds the maximum duration",
+            LintCode::UnknownChannel => "pulse on a channel the device does not expose",
+            LintCode::AmplitudeOutOfRange => "Rabi frequency out of channel range",
+            LintCode::DetuningOutOfRange => "detuning out of calibrated range",
+            LintCode::ShotsOutOfRange => "shot count outside the accepted range",
+            LintCode::ExcessiveSlewRate => "amplitude slew rate above the configured limit",
+            LintCode::AmplitudeDiscontinuity => "instantaneous amplitude jump at a pulse boundary",
+            LintCode::DeadDrive => "detuning/phase programmed under zero amplitude",
+            LintCode::AmplitudeNearLimit => "peak amplitude within drift margin of the spec limit",
+            LintCode::DetuningNearLimit => "detuning within drift margin of the spec limit",
+            LintCode::DurationNearLimit => "duration within drift margin of the spec limit",
+            LintCode::NoAtomsAddressed => "no pulse ever drives the atoms",
+            LintCode::UnusedChannel => "channel carries only zero pulses",
+            LintCode::TrailingDeadTime => "zero-drive pulses after the last real drive",
+            LintCode::BudgetEstimate => "estimated device-time budget",
+            LintCode::ExcessiveWallclock => "estimated wall-clock exceeds the budget",
+            LintCode::InferredPattern => "statically inferred workload pattern",
+            LintCode::UnknownPattern => "pattern not inferable without a classical estimate",
+            LintCode::StaleValidation => "validated against a stale device-spec revision",
+            LintCode::NeverValidated => "never validated against any device spec",
+        }
+    }
+
+    /// The Error-level lint covering a hard [`ViolationKind`]. Exhaustive on
+    /// purpose: adding a `ViolationKind` without a lint breaks the build,
+    /// which is the compile-time half of the parity invariant (the runtime
+    /// half is the property test in `tests/properties.rs`).
+    pub fn for_violation(kind: &ViolationKind) -> LintCode {
+        match kind {
+            ViolationKind::TooManyQubits => LintCode::TooManyQubits,
+            ViolationKind::AtomsTooClose => LintCode::AtomsTooClose,
+            ViolationKind::RegisterTooLarge => LintCode::RegisterTooLarge,
+            ViolationKind::SequenceTooLong => LintCode::SequenceTooLong,
+            ViolationKind::UnknownChannel => LintCode::UnknownChannel,
+            ViolationKind::AmplitudeOutOfRange => LintCode::AmplitudeOutOfRange,
+            ViolationKind::DetuningOutOfRange => LintCode::DetuningOutOfRange,
+            ViolationKind::ShotsOutOfRange => LintCode::ShotsOutOfRange,
+        }
+    }
+
+    /// Parse the wire form back into a code.
+    pub fn parse(s: &str) -> Option<LintCode> {
+        ALL_LINTS.iter().find(|c| c.as_str() == s).copied()
+    }
+}
+
+impl std::fmt::Display for LintCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for LintCode {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for LintCode {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .and_then(LintCode::parse)
+            .ok_or_else(|| DeError::custom(format!("unknown lint code {v:?}")))
+    }
+}
+
+/// Every lint code the analyzer can emit, in registry order.
+pub const ALL_LINTS: &[LintCode] = &[
+    LintCode::TooManyQubits,
+    LintCode::AtomsTooClose,
+    LintCode::RegisterTooLarge,
+    LintCode::SequenceTooLong,
+    LintCode::UnknownChannel,
+    LintCode::AmplitudeOutOfRange,
+    LintCode::DetuningOutOfRange,
+    LintCode::ShotsOutOfRange,
+    LintCode::ExcessiveSlewRate,
+    LintCode::AmplitudeDiscontinuity,
+    LintCode::DeadDrive,
+    LintCode::AmplitudeNearLimit,
+    LintCode::DetuningNearLimit,
+    LintCode::DurationNearLimit,
+    LintCode::NoAtomsAddressed,
+    LintCode::UnusedChannel,
+    LintCode::TrailingDeadTime,
+    LintCode::BudgetEstimate,
+    LintCode::ExcessiveWallclock,
+    LintCode::InferredPattern,
+    LintCode::UnknownPattern,
+    LintCode::StaleValidation,
+    LintCode::NeverValidated,
+];
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable lint code.
+    pub code: LintCode,
+    /// Severity assigned by the emitting pass.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending channel/pulse, when one can be pinpointed.
+    pub span: Option<Span>,
+    /// For hard-constraint lints: the `program::validate` violation this
+    /// diagnostic mirrors (lets callers rebuild a `Violation` losslessly).
+    pub violation: Option<ViolationKind>,
+}
+
+impl Diagnostic {
+    /// An Error-level diagnostic.
+    pub fn error(code: LintCode, message: impl Into<String>) -> Self {
+        Diagnostic::new(code, Severity::Error, message)
+    }
+
+    /// A Warning-level diagnostic.
+    pub fn warning(code: LintCode, message: impl Into<String>) -> Self {
+        Diagnostic::new(code, Severity::Warning, message)
+    }
+
+    /// A Hint-level diagnostic.
+    pub fn hint(code: LintCode, message: impl Into<String>) -> Self {
+        Diagnostic::new(code, Severity::Hint, message)
+    }
+
+    fn new(code: LintCode, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span: None,
+            violation: None,
+        }
+    }
+
+    /// Attach a channel/pulse span.
+    pub fn with_span(mut self, channel: impl Into<String>, pulse: usize) -> Self {
+        self.span = Some(Span {
+            channel: channel.into(),
+            pulse,
+        });
+        self
+    }
+
+    /// Attach the source hard-constraint violation kind.
+    pub fn with_violation(mut self, kind: ViolationKind) -> Self {
+        self.violation = Some(kind);
+        self
+    }
+
+    /// One-line human rendering: `HQ0106 error: ... (rydberg_global #2)`.
+    pub fn render(&self) -> String {
+        match &self.span {
+            Some(s) => format!(
+                "{} {}: {} ({} #{})",
+                self.code, self.severity, self.message, s.channel, s.pulse
+            ),
+            None => format!("{} {}: {}", self.code, self.severity, self.message),
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for code in ALL_LINTS {
+            assert!(seen.insert(code.as_str()), "duplicate code {code}");
+            assert!(code.as_str().starts_with("HQ"));
+            assert_eq!(code.as_str().len(), 6);
+            assert_eq!(
+                LintCode::parse(code.as_str()),
+                Some(*code),
+                "parse roundtrip"
+            );
+        }
+        assert_eq!(LintCode::parse("HQ9999"), None);
+    }
+
+    #[test]
+    fn every_violation_kind_has_an_error_lint() {
+        use ViolationKind::*;
+        for kind in [
+            TooManyQubits,
+            AtomsTooClose,
+            RegisterTooLarge,
+            SequenceTooLong,
+            UnknownChannel,
+            AmplitudeOutOfRange,
+            DetuningOutOfRange,
+            ShotsOutOfRange,
+        ] {
+            let code = LintCode::for_violation(&kind);
+            assert!(
+                code.as_str().starts_with("HQ01"),
+                "{kind:?} maps into the HQ01xx block"
+            );
+        }
+    }
+
+    #[test]
+    fn diagnostic_serde_roundtrip() {
+        let d = Diagnostic::error(LintCode::AmplitudeOutOfRange, "too strong")
+            .with_span("rydberg_global", 2)
+            .with_violation(ViolationKind::AmplitudeOutOfRange);
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains("\"HQ0106\""), "{json}");
+        assert!(json.contains("\"error\""), "{json}");
+        let back: Diagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn render_includes_span() {
+        let d = Diagnostic::warning(LintCode::DeadDrive, "zero drive").with_span("ch", 1);
+        assert_eq!(d.render(), "HQ0203 warning: zero drive (ch #1)");
+        assert_eq!(format!("{d}"), d.render());
+    }
+
+    #[test]
+    fn severity_orders_errors_first() {
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Hint);
+    }
+}

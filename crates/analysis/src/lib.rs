@@ -1,0 +1,39 @@
+//! # hpcqc-analysis — static analysis over the program IR
+//!
+//! A multi-pass analyzer turning a [`ProgramIr`](hpcqc_program::ProgramIr)
+//! (plus, optionally, the live [`DeviceSpec`](hpcqc_program::DeviceSpec))
+//! into structured [`Diagnostic`]s with stable `HQxxxx` lint codes. It is the
+//! "reject or annotate cheaply, before the QPU" layer the ROADMAP calls for:
+//! both submission paths run it — `core::Runtime` as a client-side pre-flight
+//! and the middleware daemon server-side.
+//!
+//! The standard pipeline ([`Analyzer::standard`]) runs seven passes:
+//!
+//! | Pass | Codes | Findings |
+//! |------|-------|----------|
+//! | hard-constraints | HQ0101–HQ0108 | Error-level parity with `program::validate` |
+//! | waveform-quality | HQ0201–HQ0203 | slew rate, discontinuities, dead drive |
+//! | drift-margins | HQ0301–HQ0303 | valid today, no headroom for recalibration |
+//! | dead-code | HQ0401–HQ0403 | undriven atoms, zero channels, trailing dead time |
+//! | budget | HQ0501–HQ0502 | shot/duration cost estimation |
+//! | pattern-inference | HQ0601–HQ0602 | Table-1 `PatternHint` from QPU duty |
+//! | validation-freshness | HQ0701–HQ0702 | stale / missing client validation |
+//!
+//! Two invariants the test suite enforces:
+//!
+//! 1. **Parity** — the analyzer emits an Error-level diagnostic *iff*
+//!    `program::validate`/`validate_shots` emits a violation, with the same
+//!    kind and message. Error diagnostics are therefore safe to convert back
+//!    into `Violation`s ([`AnalysisReport::error_violations`]).
+//! 2. **Clean programs are clean** — programs generated inside the spec
+//!    envelope produce zero Errors.
+
+pub mod context;
+pub mod diagnostic;
+pub mod pass;
+pub mod passes;
+
+pub use context::{AnalysisContext, AnalysisReport, AnalyzerConfig, Facts};
+pub use diagnostic::{Diagnostic, LintCode, Severity, Span, ALL_LINTS};
+pub use pass::{analyze, AnalysisPass, Analyzer};
+pub use passes::infer_from_durations;

@@ -1,0 +1,137 @@
+//! The pass registry.
+//!
+//! An [`Analyzer`] owns an ordered list of boxed [`AnalysisPass`]es and runs
+//! them over a fresh [`AnalysisContext`] per program. Passes communicate
+//! through `ctx.facts` (e.g. the budget pass computes duty-cycle inputs the
+//! pattern-inference pass consumes), so registration order matters; the
+//! [`Analyzer::standard`] order is the supported one.
+
+use crate::context::{AnalysisContext, AnalysisReport, AnalyzerConfig};
+use crate::passes;
+use hpcqc_program::{DeviceSpec, ProgramIr};
+
+/// One analysis pass. Passes must be pure over the context: no I/O, no
+/// global state — the same program and spec always produce the same
+/// diagnostics (CI relies on this).
+pub trait AnalysisPass {
+    /// Stable pass name (used in docs and debug output).
+    fn name(&self) -> &'static str;
+    /// Inspect the context and emit diagnostics / record facts.
+    fn run(&self, ctx: &mut AnalysisContext);
+}
+
+/// A configured pipeline of passes.
+pub struct Analyzer {
+    cfg: AnalyzerConfig,
+    passes: Vec<Box<dyn AnalysisPass + Send + Sync>>,
+}
+
+impl Analyzer {
+    /// An empty analyzer with custom thresholds; add passes with
+    /// [`Analyzer::register`].
+    pub fn new(cfg: AnalyzerConfig) -> Self {
+        Analyzer {
+            cfg,
+            passes: Vec::new(),
+        }
+    }
+
+    /// The standard seven-pass pipeline with default thresholds.
+    pub fn standard() -> Self {
+        Analyzer::standard_with(AnalyzerConfig::default())
+    }
+
+    /// The standard pipeline with custom thresholds.
+    pub fn standard_with(cfg: AnalyzerConfig) -> Self {
+        let mut a = Analyzer::new(cfg);
+        a.register(Box::new(passes::HardConstraintPass));
+        a.register(Box::new(passes::WaveformQualityPass));
+        a.register(Box::new(passes::DriftMarginPass));
+        a.register(Box::new(passes::DeadCodePass));
+        a.register(Box::new(passes::BudgetPass));
+        a.register(Box::new(passes::PatternInferencePass));
+        a.register(Box::new(passes::ValidationFreshnessPass));
+        a
+    }
+
+    /// Append a pass to the pipeline.
+    pub fn register(&mut self, pass: Box<dyn AnalysisPass + Send + Sync>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Names of the registered passes, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// The analyzer's threshold configuration.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.cfg
+    }
+
+    /// Run every pass over `ir` (against `spec` when provided; spec-dependent
+    /// passes no-op without one) and collect the report.
+    pub fn analyze(&self, ir: &ProgramIr, spec: Option<&DeviceSpec>) -> AnalysisReport {
+        let mut ctx = AnalysisContext::new(ir, spec, &self.cfg);
+        for pass in &self.passes {
+            pass.run(&mut ctx);
+        }
+        ctx.finish()
+    }
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer::standard()
+    }
+}
+
+/// Run the standard pipeline once — the common entry point.
+pub fn analyze(ir: &ProgramIr, spec: Option<&DeviceSpec>) -> AnalysisReport {
+    Analyzer::standard().analyze(ir, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcqc_program::{Pulse, Register, SequenceBuilder};
+
+    fn clean_ir() -> ProgramIr {
+        let reg = Register::linear(4, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(1.0, 5.0, -2.0, 0.0).unwrap());
+        ProgramIr::new(b.build().unwrap(), 500, "analog-sdk")
+    }
+
+    #[test]
+    fn standard_pipeline_has_seven_passes() {
+        let a = Analyzer::standard();
+        assert_eq!(a.pass_names().len(), 7);
+        assert_eq!(a.pass_names()[0], "hard-constraints");
+    }
+
+    #[test]
+    fn clean_program_no_errors_with_production_spec() {
+        let spec = hpcqc_program::DeviceSpec::analog_production();
+        let report = analyze(&clean_ir(), Some(&spec));
+        assert!(!report.has_errors(), "unexpected: {}", report.render());
+    }
+
+    #[test]
+    fn analysis_without_spec_still_runs_spec_free_passes() {
+        let report = analyze(&clean_ir(), None);
+        // budget facts are always derived
+        assert!(report.facts.est_qpu_secs > 0.0);
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let spec = hpcqc_program::DeviceSpec::analog_production();
+        let ir = clean_ir();
+        let a = analyze(&ir, Some(&spec));
+        let b = analyze(&ir, Some(&spec));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! Pass 5: shot/duration budget estimation.
+//!
+//! Computes the expected QPU cost of the submission — drive seconds
+//! (shots × sequence duration) and wall-clock seconds at the device's
+//! calibrated shot rate — and records both in the facts for the scheduler
+//! and the pattern-inference pass. Emits the estimate as a Hint (HQ0501)
+//! and a Warning when the wall-clock exceeds the configured budget (HQ0502).
+
+use crate::context::AnalysisContext;
+use crate::diagnostic::{Diagnostic, LintCode};
+use crate::pass::AnalysisPass;
+
+pub struct BudgetPass;
+
+impl AnalysisPass for BudgetPass {
+    fn name(&self) -> &'static str {
+        "budget"
+    }
+
+    fn run(&self, ctx: &mut AnalysisContext) {
+        let shots = ctx.ir.shots as f64;
+        let duration_secs = ctx.ir.sequence.duration() * 1e-6;
+        let drive_secs = shots * duration_secs;
+        // Shot overhead (register loading, imaging) dominates on hardware:
+        // the spec's shot rate captures it. Without a spec, only the drive
+        // time is knowable.
+        let wallclock = match ctx.spec {
+            Some(spec) => spec.shots_wallclock_secs(ctx.ir.shots).max(drive_secs),
+            None => drive_secs,
+        };
+        ctx.facts.est_qpu_secs = drive_secs;
+        ctx.facts.est_wallclock_secs = wallclock;
+
+        ctx.emit(Diagnostic::hint(
+            LintCode::BudgetEstimate,
+            format!(
+                "{} shots × {:.3} µs ≈ {:.3} s of drive time, ≈ {:.0} s wall-clock",
+                ctx.ir.shots,
+                ctx.ir.sequence.duration(),
+                drive_secs,
+                wallclock
+            ),
+        ));
+
+        if wallclock > ctx.cfg.max_wallclock_secs {
+            ctx.emit(Diagnostic::warning(
+                LintCode::ExcessiveWallclock,
+                format!(
+                    "estimated wall-clock {:.0} s exceeds the {:.0} s budget; \
+                     consider splitting the submission",
+                    wallclock, ctx.cfg.max_wallclock_secs
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::analyze;
+    use hpcqc_program::{DeviceSpec, ProgramIr, Pulse, Register, SequenceBuilder};
+
+    fn ir(shots: u32) -> ProgramIr {
+        let reg = Register::linear(3, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(2.0, 5.0, 0.0, 0.0).unwrap());
+        ProgramIr::new(b.build().unwrap(), shots, "test")
+    }
+
+    #[test]
+    fn facts_computed_with_spec_shot_rate() {
+        let spec = DeviceSpec::analog_production(); // 1 Hz
+        let report = analyze(&ir(500), Some(&spec));
+        assert!((report.facts.est_qpu_secs - 500.0 * 2.0e-6).abs() < 1e-12);
+        assert!(
+            (report.facts.est_wallclock_secs - 500.0).abs() < 1e-9,
+            "1 Hz → 500 s"
+        );
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::BudgetEstimate));
+    }
+
+    #[test]
+    fn emulator_wallclock_is_drive_time() {
+        let spec = DeviceSpec::emulator("emu-sv", 20);
+        let report = analyze(&ir(500), Some(&spec));
+        assert!((report.facts.est_wallclock_secs - report.facts.est_qpu_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excessive_wallclock_warns() {
+        let mut spec = DeviceSpec::analog_production();
+        spec.max_shots = 1_000_000; // isolate the budget warning from HQ0108
+        let report = analyze(&ir(5000), Some(&spec)); // 5000 s > 3600 s budget
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::ExcessiveWallclock));
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn modest_budget_stays_quiet() {
+        let spec = DeviceSpec::analog_production();
+        let report = analyze(&ir(500), Some(&spec));
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::ExcessiveWallclock));
+    }
+}

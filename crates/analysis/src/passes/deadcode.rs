@@ -1,0 +1,187 @@
+//! Pass 4: dead code.
+//!
+//! Finds program mass that costs queue time and QPU budget without affecting
+//! the measurement: registers that are never driven (HQ0401), channels whose
+//! every pulse is a zero-drive placeholder (HQ0402), and zero-drive tail time
+//! after the last real pulse — the atoms just decohere while the clock runs
+//! (HQ0403).
+
+use crate::context::AnalysisContext;
+use crate::diagnostic::{Diagnostic, LintCode};
+use crate::pass::AnalysisPass;
+use hpcqc_program::sequence::TimedPulse;
+
+/// A pulse that drives nothing: amplitude and detuning identically zero.
+fn is_zero_drive(tp: &TimedPulse) -> bool {
+    tp.pulse.amplitude.max_value().abs() < 1e-12
+        && tp.pulse.amplitude.min_value().abs() < 1e-12
+        && tp.pulse.detuning.max_value().abs() < 1e-12
+        && tp.pulse.detuning.min_value().abs() < 1e-12
+}
+
+pub struct DeadCodePass;
+
+impl AnalysisPass for DeadCodePass {
+    fn name(&self) -> &'static str {
+        "dead-code"
+    }
+
+    fn run(&self, ctx: &mut AnalysisContext) {
+        let seq = &ctx.ir.sequence;
+        let mut out = Vec::new();
+
+        // --- atoms never addressed ---
+        if seq.pulses.iter().all(is_zero_drive) {
+            out.push(Diagnostic::warning(
+                LintCode::NoAtomsAddressed,
+                format!(
+                    "{} atoms are trapped but no pulse ever drives them; \
+                     every shot measures the initial state",
+                    seq.num_qubits()
+                ),
+            ));
+        } else {
+            // --- channels that only carry zero pulses ---
+            let mut channels: Vec<&str> = seq.pulses.iter().map(|tp| tp.channel.as_str()).collect();
+            channels.sort_unstable();
+            channels.dedup();
+            for ch in channels {
+                let (mut first_idx, mut any_real) = (None, false);
+                for (i, tp) in seq.pulses.iter().enumerate() {
+                    if tp.channel != ch {
+                        continue;
+                    }
+                    first_idx.get_or_insert(i);
+                    if !is_zero_drive(tp) {
+                        any_real = true;
+                        break;
+                    }
+                }
+                if !any_real {
+                    out.push(
+                        Diagnostic::warning(
+                            LintCode::UnusedChannel,
+                            format!("channel {ch:?} carries only zero-drive pulses"),
+                        )
+                        .with_span(ch.to_string(), first_idx.unwrap_or(0)),
+                    );
+                }
+            }
+
+            // --- trailing dead time after the last real drive ---
+            let last_drive_end = seq
+                .pulses
+                .iter()
+                .filter(|tp| !is_zero_drive(tp))
+                .map(|tp| tp.start + tp.pulse.duration())
+                .fold(0.0f64, f64::max);
+            let tail = seq.duration() - last_drive_end;
+            if tail > 1e-9 {
+                let first_trailing = seq
+                    .pulses
+                    .iter()
+                    .enumerate()
+                    .find(|(_, tp)| is_zero_drive(tp) && tp.start >= last_drive_end - 1e-9);
+                let mut d = Diagnostic::hint(
+                    LintCode::TrailingDeadTime,
+                    format!(
+                        "{tail:.3} µs of zero drive after the last real pulse; \
+                         the atoms only decohere until measurement"
+                    ),
+                );
+                if let Some((i, tp)) = first_trailing {
+                    d = d.with_span(tp.channel.clone(), i);
+                }
+                out.push(d);
+            }
+        }
+
+        for d in out {
+            ctx.emit(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::analyze;
+    use hpcqc_program::{ProgramIr, Pulse, Register, SequenceBuilder};
+
+    fn ir_from(build: impl FnOnce(&mut SequenceBuilder)) -> ProgramIr {
+        let reg = Register::linear(3, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        build(&mut b);
+        ProgramIr::new(b.build().unwrap(), 100, "test")
+    }
+
+    fn codes(ir: &ProgramIr) -> Vec<LintCode> {
+        analyze(ir, None)
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn driven_program_is_quiet() {
+        let ir = ir_from(|b| {
+            b.add_global_pulse(Pulse::constant(1.0, 5.0, -2.0, 0.0).unwrap());
+        });
+        let c = codes(&ir);
+        assert!(!c.contains(&LintCode::NoAtomsAddressed), "{c:?}");
+        assert!(!c.contains(&LintCode::UnusedChannel), "{c:?}");
+        assert!(!c.contains(&LintCode::TrailingDeadTime), "{c:?}");
+    }
+
+    #[test]
+    fn all_zero_schedule_flags_no_atoms() {
+        let ir = ir_from(|b| {
+            b.add_delay("rydberg_global", 2.0);
+        });
+        let c = codes(&ir);
+        assert!(c.contains(&LintCode::NoAtomsAddressed), "{c:?}");
+        // subsumed: no per-channel or trailing findings on a fully dead program
+        assert!(!c.contains(&LintCode::UnusedChannel), "{c:?}");
+    }
+
+    #[test]
+    fn zero_only_channel_flagged() {
+        let ir = ir_from(|b| {
+            b.add_global_pulse(Pulse::constant(1.0, 5.0, 0.0, 0.0).unwrap());
+            b.add_delay("aux_channel", 1.0);
+        });
+        let report = analyze(&ir, None);
+        let unused: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::UnusedChannel)
+            .collect();
+        assert_eq!(unused.len(), 1, "{}", report.render());
+        assert_eq!(unused[0].span.as_ref().unwrap().channel, "aux_channel");
+    }
+
+    #[test]
+    fn trailing_delay_flagged_mid_delay_not() {
+        let ir = ir_from(|b| {
+            b.add_global_pulse(Pulse::constant(1.0, 5.0, 0.0, 0.0).unwrap());
+            b.add_delay("rydberg_global", 0.5);
+            b.add_global_pulse(Pulse::constant(1.0, 5.0, 0.0, 0.0).unwrap());
+        });
+        assert!(!codes(&ir).contains(&LintCode::TrailingDeadTime));
+
+        let ir = ir_from(|b| {
+            b.add_global_pulse(Pulse::constant(1.0, 5.0, 0.0, 0.0).unwrap());
+            b.add_delay("rydberg_global", 1.5);
+        });
+        let report = analyze(&ir, None);
+        let tails: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::TrailingDeadTime)
+            .collect();
+        assert_eq!(tails.len(), 1, "{}", report.render());
+        assert!(tails[0].message.contains("1.500"));
+        assert_eq!(tails[0].span.as_ref().unwrap().pulse, 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Pass 3: drift-margin warnings.
+//!
+//! A program that validates *today* can fail *tomorrow*: calibration drift
+//! moves the spec limits between validation and execution (paper §2.1, and
+//! the OU drift model in `telemetry::drift`). This pass warns when a program
+//! parks within `drift_margin_frac` of a limit — valid now, but with no
+//! headroom for the next recalibration.
+
+use crate::context::AnalysisContext;
+use crate::diagnostic::{Diagnostic, LintCode};
+use crate::pass::AnalysisPass;
+
+pub struct DriftMarginPass;
+
+impl AnalysisPass for DriftMarginPass {
+    fn name(&self) -> &'static str {
+        "drift-margins"
+    }
+
+    fn run(&self, ctx: &mut AnalysisContext) {
+        let Some(spec) = ctx.spec else { return };
+        let margin = ctx.cfg.drift_margin_frac;
+        let seq = &ctx.ir.sequence;
+        let mut out = Vec::new();
+
+        let near = |value: f64, limit: f64| -> bool {
+            limit > 0.0 && value <= limit + 1e-9 && value >= limit * (1.0 - margin)
+        };
+
+        for (i, tp) in seq.pulses.iter().enumerate() {
+            let Some(ch) = spec.channel(&tp.channel) else {
+                continue;
+            };
+            let omax = tp.pulse.amplitude.max_value();
+            if near(omax, ch.max_amplitude) {
+                out.push(
+                    Diagnostic::warning(
+                        LintCode::AmplitudeNearLimit,
+                        format!(
+                            "peak Ω={omax:.3} rad/µs is within {:.0}% of the channel limit \
+                             {:.3}; a recalibration could invalidate this program",
+                            margin * 100.0,
+                            ch.max_amplitude
+                        ),
+                    )
+                    .with_span(tp.channel.clone(), i),
+                );
+            }
+            let dmax = tp.pulse.detuning.max_value();
+            let dmin = tp.pulse.detuning.min_value();
+            if near(dmax, ch.max_detuning) || near(-dmin, -ch.min_detuning) {
+                out.push(
+                    Diagnostic::warning(
+                        LintCode::DetuningNearLimit,
+                        format!(
+                            "detuning spans [{dmin:.3}, {dmax:.3}] rad/µs, within {:.0}% of \
+                             the calibrated range [{:.3}, {:.3}]",
+                            margin * 100.0,
+                            ch.min_detuning,
+                            ch.max_detuning
+                        ),
+                    )
+                    .with_span(tp.channel.clone(), i),
+                );
+            }
+        }
+
+        let dur = seq.duration();
+        if near(dur, spec.max_duration) {
+            out.push(Diagnostic::warning(
+                LintCode::DurationNearLimit,
+                format!(
+                    "sequence lasts {dur:.3} µs, within {:.0}% of the device maximum {:.3} µs",
+                    margin * 100.0,
+                    spec.max_duration
+                ),
+            ));
+        }
+
+        for d in out {
+            ctx.emit(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::analyze;
+    use hpcqc_program::{DeviceSpec, ProgramIr, Pulse, Register, SequenceBuilder};
+
+    fn ir_with(amp: f64, delta: f64, duration: f64) -> ProgramIr {
+        let reg = Register::linear(3, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(duration, amp, delta, 0.0).unwrap());
+        ProgramIr::new(b.build().unwrap(), 100, "test")
+    }
+
+    fn codes(ir: &ProgramIr) -> Vec<LintCode> {
+        let spec = DeviceSpec::analog_production();
+        analyze(ir, Some(&spec))
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn amplitude_near_limit_warns() {
+        // production limit 12.57, 90% = 11.31
+        let c = codes(&ir_with(12.0, 0.0, 1.0));
+        assert!(c.contains(&LintCode::AmplitudeNearLimit), "{c:?}");
+        assert!(
+            !c.contains(&LintCode::AmplitudeOutOfRange),
+            "still valid: {c:?}"
+        );
+    }
+
+    #[test]
+    fn comfortable_margins_stay_quiet() {
+        let c = codes(&ir_with(5.0, -10.0, 1.0));
+        assert!(!c.contains(&LintCode::AmplitudeNearLimit), "{c:?}");
+        assert!(!c.contains(&LintCode::DetuningNearLimit), "{c:?}");
+        assert!(!c.contains(&LintCode::DurationNearLimit), "{c:?}");
+    }
+
+    #[test]
+    fn negative_detuning_near_floor_warns() {
+        // production floor -38.0, margin edge -34.2
+        let c = codes(&ir_with(5.0, -36.0, 1.0));
+        assert!(c.contains(&LintCode::DetuningNearLimit), "{c:?}");
+    }
+
+    #[test]
+    fn duration_near_limit_warns() {
+        // production max 6.0 µs, margin edge 5.4
+        let c = codes(&ir_with(5.0, 0.0, 5.7));
+        assert!(c.contains(&LintCode::DurationNearLimit), "{c:?}");
+    }
+
+    #[test]
+    fn over_limit_is_error_not_margin_warning() {
+        let spec = DeviceSpec::analog_production();
+        let report = analyze(&ir_with(99.0, 0.0, 1.0), Some(&spec));
+        assert!(report.has_errors());
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::AmplitudeNearLimit));
+    }
+}

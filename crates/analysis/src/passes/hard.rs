@@ -1,0 +1,139 @@
+//! Pass 1: hard-constraint parity with `program::validate`.
+//!
+//! The analyzer must never disagree with the validator about what the device
+//! will reject, so this pass *delegates* to `validate`/`validate_shots`
+//! rather than reimplementing the checks, then lifts every [`Violation`]
+//! into an Error-level diagnostic carrying the original kind and message.
+//! The parity invariant (every `ViolationKind` ↔ an `HQ01xx` Error lint) is
+//! enforced at compile time by `LintCode::for_violation` and at run time by
+//! the property tests.
+
+use crate::context::AnalysisContext;
+use crate::diagnostic::{Diagnostic, LintCode};
+use crate::pass::AnalysisPass;
+use hpcqc_program::validate::validate_shots;
+use hpcqc_program::{validate, DeviceSpec, Sequence, ViolationKind};
+
+pub struct HardConstraintPass;
+
+impl AnalysisPass for HardConstraintPass {
+    fn name(&self) -> &'static str {
+        "hard-constraints"
+    }
+
+    fn run(&self, ctx: &mut AnalysisContext) {
+        let Some(spec) = ctx.spec else { return };
+        let mut out = Vec::new();
+        for v in validate(&ctx.ir.sequence, spec) {
+            let mut d = Diagnostic::error(LintCode::for_violation(&v.kind), v.message)
+                .with_violation(v.kind.clone());
+            if let Some((ch, idx)) = span_for(&v.kind, &ctx.ir.sequence, spec) {
+                d = d.with_span(ch, idx);
+            }
+            out.push(d);
+        }
+        if let Some(v) = validate_shots(ctx.ir.shots, spec) {
+            out.push(
+                Diagnostic::error(LintCode::ShotsOutOfRange, v.message)
+                    .with_violation(ViolationKind::ShotsOutOfRange),
+            );
+        }
+        for d in out {
+            ctx.emit(d);
+        }
+    }
+}
+
+/// Best-effort span: the first pulse exhibiting the violated condition.
+/// Advisory only — the authoritative finding is the violation message.
+fn span_for(kind: &ViolationKind, seq: &Sequence, spec: &DeviceSpec) -> Option<(String, usize)> {
+    let first = |pred: &dyn Fn(usize) -> bool| {
+        seq.pulses
+            .iter()
+            .enumerate()
+            .find(|(i, _)| pred(*i))
+            .map(|(i, tp)| (tp.channel.clone(), i))
+    };
+    match kind {
+        ViolationKind::UnknownChannel => first(&|i| spec.channel(&seq.pulses[i].channel).is_none()),
+        ViolationKind::AmplitudeOutOfRange => first(&|i| {
+            let tp = &seq.pulses[i];
+            spec.channel(&tp.channel).is_some_and(|ch| {
+                tp.pulse.amplitude.max_value() > ch.max_amplitude + 1e-9
+                    || tp.pulse.amplitude.min_value() < -1e-9
+            })
+        }),
+        ViolationKind::DetuningOutOfRange => first(&|i| {
+            let tp = &seq.pulses[i];
+            spec.channel(&tp.channel).is_some_and(|ch| {
+                tp.pulse.detuning.max_value() > ch.max_detuning + 1e-9
+                    || tp.pulse.detuning.min_value() < ch.min_detuning - 1e-9
+            })
+        }),
+        ViolationKind::SequenceTooLong => {
+            // the pulse whose end pushes past the limit
+            first(&|i| {
+                let tp = &seq.pulses[i];
+                tp.start + tp.pulse.duration() > spec.max_duration + 1e-9
+            })
+        }
+        // register- and shot-level violations have no pulse to point at
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::analyze;
+    use hpcqc_program::{ProgramIr, Pulse, Register, SequenceBuilder};
+
+    fn ir_with(amp: f64, shots: u32) -> ProgramIr {
+        let reg = Register::linear(3, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(1.0, amp, 0.0, 0.0).unwrap());
+        ProgramIr::new(b.build().unwrap(), shots, "test")
+    }
+
+    #[test]
+    fn amplitude_violation_becomes_error_with_span() {
+        let spec = DeviceSpec::analog_production();
+        let report = analyze(&ir_with(99.0, 100), Some(&spec));
+        let errs = report.errors();
+        assert_eq!(errs.len(), 1, "{}", report.render());
+        assert_eq!(errs[0].code, LintCode::AmplitudeOutOfRange);
+        assert_eq!(errs[0].violation, Some(ViolationKind::AmplitudeOutOfRange));
+        let span = errs[0].span.as_ref().expect("span attached");
+        assert_eq!(span.pulse, 0);
+    }
+
+    #[test]
+    fn shots_violation_becomes_error() {
+        let spec = DeviceSpec::analog_production();
+        let report = analyze(&ir_with(5.0, 1_000_000), Some(&spec));
+        assert!(report
+            .errors()
+            .iter()
+            .any(|d| d.code == LintCode::ShotsOutOfRange));
+    }
+
+    #[test]
+    fn no_spec_means_no_hard_errors() {
+        let report = analyze(&ir_with(99.0, 1_000_000), None);
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn error_count_matches_validator() {
+        let spec = DeviceSpec::analog_production();
+        // 2 µm spacing (too close) + amp 99 (out of range) + shots 0
+        let reg = Register::linear(3, 2.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(1.0, 99.0, 0.0, 0.0).unwrap());
+        let ir = ProgramIr::new(b.build().unwrap(), 0, "test");
+        let expected =
+            validate(&ir.sequence, &spec).len() + validate_shots(ir.shots, &spec).iter().count();
+        let report = analyze(&ir, Some(&spec));
+        assert_eq!(report.errors().len(), expected, "{}", report.render());
+    }
+}

@@ -1,0 +1,17 @@
+//! The standard pass suite.
+
+mod budget;
+mod deadcode;
+mod drift;
+mod hard;
+mod pattern;
+mod stale;
+mod waveform;
+
+pub use budget::BudgetPass;
+pub use deadcode::DeadCodePass;
+pub use drift::DriftMarginPass;
+pub use hard::HardConstraintPass;
+pub use pattern::{infer_from_durations, PatternInferencePass};
+pub use stale::ValidationFreshnessPass;
+pub use waveform::WaveformQualityPass;

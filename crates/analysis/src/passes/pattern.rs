@@ -1,0 +1,146 @@
+//! Pass 6: static pattern inference.
+//!
+//! The Table-1 taxonomy hint steering the pattern-aware interleaver is
+//! user-asserted today. This pass derives it instead: the budget pass
+//! estimated the QPU wall-clock, the IR's `classical_secs_estimate` declares
+//! the classical phases, and the duty ratio between them picks the pattern
+//! (A ≥ `qc_heavy_duty`, B ≤ `cc_heavy_duty`, C otherwise — matching the
+//! nominal duties of `workloads::patterns`). The daemon cross-checks the
+//! user hint against the inference and counts mismatches.
+
+use crate::context::{AnalysisContext, AnalyzerConfig};
+use crate::diagnostic::{Diagnostic, LintCode};
+use crate::pass::AnalysisPass;
+use hpcqc_scheduler::PatternHint;
+
+/// Classify a workload by its QPU duty ratio. Exposed so callers holding
+/// measured durations (e.g. `workloads::HybridJob`) can reuse the heuristic
+/// without building an IR.
+pub fn infer_from_durations(
+    qpu_secs: f64,
+    classical_secs: f64,
+    cfg: &AnalyzerConfig,
+) -> PatternHint {
+    let total = qpu_secs + classical_secs;
+    if total <= 0.0 {
+        return PatternHint::QcBalanced;
+    }
+    let duty = qpu_secs / total;
+    if duty >= cfg.qc_heavy_duty {
+        PatternHint::QcHeavy
+    } else if duty <= cfg.cc_heavy_duty {
+        PatternHint::CcHeavy
+    } else {
+        PatternHint::QcBalanced
+    }
+}
+
+pub struct PatternInferencePass;
+
+impl AnalysisPass for PatternInferencePass {
+    fn name(&self) -> &'static str {
+        "pattern-inference"
+    }
+
+    fn run(&self, ctx: &mut AnalysisContext) {
+        let qpu = ctx.facts.est_wallclock_secs;
+        match ctx.ir.classical_secs_estimate {
+            None => {
+                ctx.emit(Diagnostic::hint(
+                    LintCode::UnknownPattern,
+                    "no classical-phase estimate declared; workload pattern cannot be \
+                     inferred — the scheduler falls back to the user hint"
+                        .to_string(),
+                ));
+            }
+            Some(classical) => {
+                let hint = infer_from_durations(qpu, classical, ctx.cfg);
+                let duty = qpu / (qpu + classical).max(1e-12);
+                ctx.facts.classical_secs = Some(classical);
+                ctx.facts.qpu_duty = Some(duty);
+                ctx.facts.inferred_hint = Some(hint);
+                ctx.emit(Diagnostic::hint(
+                    LintCode::InferredPattern,
+                    format!(
+                        "inferred pattern {} (QPU ≈ {qpu:.1} s, classical ≈ {classical:.1} s, \
+                         duty {duty:.2})",
+                        hint.as_str()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::analyze;
+    use hpcqc_program::{DeviceSpec, ProgramIr, Pulse, Register, SequenceBuilder};
+
+    fn ir(shots: u32, classical: Option<f64>) -> ProgramIr {
+        let reg = Register::linear(3, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(2.0, 5.0, 0.0, 0.0).unwrap());
+        let ir = ProgramIr::new(b.build().unwrap(), shots, "test");
+        match classical {
+            Some(c) => ir.with_classical_estimate(c),
+            None => ir,
+        }
+    }
+
+    #[test]
+    fn duty_thresholds() {
+        let cfg = AnalyzerConfig::default();
+        assert_eq!(infer_from_durations(90.0, 10.0, &cfg), PatternHint::QcHeavy);
+        assert_eq!(infer_from_durations(10.0, 90.0, &cfg), PatternHint::CcHeavy);
+        assert_eq!(
+            infer_from_durations(50.0, 50.0, &cfg),
+            PatternHint::QcBalanced
+        );
+        assert_eq!(
+            infer_from_durations(0.0, 0.0, &cfg),
+            PatternHint::QcBalanced
+        );
+    }
+
+    #[test]
+    fn qc_heavy_inferred_from_ir() {
+        // 500 shots at 1 Hz ≈ 500 s QPU vs 10 s classical → duty ≈ 0.98
+        let spec = DeviceSpec::analog_production();
+        let report = analyze(&ir(500, Some(10.0)), Some(&spec));
+        assert_eq!(report.facts.inferred_hint, Some(PatternHint::QcHeavy));
+        assert!(report.facts.qpu_duty.unwrap() > 0.9);
+    }
+
+    #[test]
+    fn cc_heavy_inferred_from_ir() {
+        // 500 s QPU vs 10000 s classical → duty ≈ 0.05
+        let spec = DeviceSpec::analog_production();
+        let report = analyze(&ir(500, Some(10_000.0)), Some(&spec));
+        assert_eq!(report.facts.inferred_hint, Some(PatternHint::CcHeavy));
+    }
+
+    #[test]
+    fn no_estimate_yields_unknown_pattern_hint() {
+        let spec = DeviceSpec::analog_production();
+        let report = analyze(&ir(500, None), Some(&spec));
+        assert_eq!(report.facts.inferred_hint, None);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::UnknownPattern));
+    }
+
+    #[test]
+    fn inference_message_names_the_pattern() {
+        let spec = DeviceSpec::analog_production();
+        let report = analyze(&ir(500, Some(500.0)), Some(&spec));
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::InferredPattern)
+            .unwrap();
+        assert!(d.message.contains("qc-balanced"), "{}", d.message);
+    }
+}

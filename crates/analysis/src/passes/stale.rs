@@ -1,0 +1,90 @@
+//! Pass 7: validation freshness.
+//!
+//! `ProgramIr::validated_against_revision` records which device-spec revision
+//! the client validated against; until this pass it was written but never
+//! read. Comparing it to the current spec's revision detects the paper's
+//! §2.1 hazard: a program validated before a recalibration may no longer fit
+//! the device. HQ0701 (stale) asks for re-validation; HQ0702 (never
+//! validated) nudges clients to pre-validate at all.
+
+use crate::context::AnalysisContext;
+use crate::diagnostic::{Diagnostic, LintCode};
+use crate::pass::AnalysisPass;
+
+pub struct ValidationFreshnessPass;
+
+impl AnalysisPass for ValidationFreshnessPass {
+    fn name(&self) -> &'static str {
+        "validation-freshness"
+    }
+
+    fn run(&self, ctx: &mut AnalysisContext) {
+        let Some(spec) = ctx.spec else { return };
+        match ctx.ir.validated_against_revision {
+            Some(rev) if rev != spec.revision => {
+                ctx.emit(Diagnostic::warning(
+                    LintCode::StaleValidation,
+                    format!(
+                        "program was validated against spec revision {rev}, but {} is now at \
+                         revision {}; calibration may have drifted — re-validate",
+                        spec.name, spec.revision
+                    ),
+                ));
+            }
+            Some(_) => {}
+            None => {
+                ctx.emit(Diagnostic::hint(
+                    LintCode::NeverValidated,
+                    "program carries no validation revision; client-side pre-validation \
+                     against the live spec is recommended"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::analyze;
+    use hpcqc_program::{DeviceSpec, ProgramIr, Pulse, Register, SequenceBuilder};
+
+    fn ir() -> ProgramIr {
+        let reg = Register::linear(3, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(1.0, 5.0, 0.0, 0.0).unwrap());
+        ProgramIr::new(b.build().unwrap(), 100, "test")
+    }
+
+    fn codes(ir: &ProgramIr, spec: &DeviceSpec) -> Vec<LintCode> {
+        analyze(ir, Some(spec))
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn matching_revision_is_quiet() {
+        let spec = DeviceSpec::analog_production();
+        let c = codes(&ir().with_validation_revision(spec.revision), &spec);
+        assert!(!c.contains(&LintCode::StaleValidation), "{c:?}");
+        assert!(!c.contains(&LintCode::NeverValidated), "{c:?}");
+    }
+
+    #[test]
+    fn stale_revision_warns() {
+        let mut spec = DeviceSpec::analog_production();
+        spec.revision = 5;
+        let c = codes(&ir().with_validation_revision(3), &spec);
+        assert!(c.contains(&LintCode::StaleValidation), "{c:?}");
+    }
+
+    #[test]
+    fn never_validated_hints() {
+        let spec = DeviceSpec::analog_production();
+        let c = codes(&ir(), &spec);
+        assert!(c.contains(&LintCode::NeverValidated), "{c:?}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Pass 2: waveform quality.
+//!
+//! Three checks on the drive shapes themselves, independent of any device
+//! spec: amplitude slew rate (HQ0201), instantaneous amplitude jumps at
+//! pulse boundaries including turn-on/turn-off (HQ0202), and "dead drive" —
+//! detuning or phase programmed under an identically-zero Rabi frequency,
+//! which does nothing physical on hardware (HQ0203).
+
+use crate::context::AnalysisContext;
+use crate::diagnostic::{Diagnostic, LintCode};
+use crate::pass::AnalysisPass;
+use hpcqc_program::Waveform;
+
+/// Resolution of the slew-rate sweep, in samples per pulse.
+const SLEW_SAMPLES: usize = 256;
+
+pub struct WaveformQualityPass;
+
+impl AnalysisPass for WaveformQualityPass {
+    fn name(&self) -> &'static str {
+        "waveform-quality"
+    }
+
+    fn run(&self, ctx: &mut AnalysisContext) {
+        let seq = &ctx.ir.sequence;
+        let mut out = Vec::new();
+
+        for (i, tp) in seq.pulses.iter().enumerate() {
+            // --- slew rate ---
+            let slew = max_slew(&tp.pulse.amplitude);
+            if slew > ctx.cfg.max_slew_rate {
+                out.push(
+                    Diagnostic::warning(
+                        LintCode::ExcessiveSlewRate,
+                        format!(
+                            "amplitude slews at {slew:.1} rad/µs² (limit {:.1}); \
+                             hardware low-pass filtering will distort the shape",
+                            ctx.cfg.max_slew_rate
+                        ),
+                    )
+                    .with_span(tp.channel.clone(), i),
+                );
+            }
+
+            // --- dead drive ---
+            let amp_zero = tp.pulse.amplitude.max_value().abs() < 1e-12
+                && tp.pulse.amplitude.min_value().abs() < 1e-12;
+            let det_active = tp.pulse.detuning.max_value().abs() > 1e-9
+                || tp.pulse.detuning.min_value().abs() > 1e-9;
+            if amp_zero && det_active {
+                out.push(
+                    Diagnostic::warning(
+                        LintCode::DeadDrive,
+                        format!(
+                            "pulse at t={:.3} µs programs detuning with zero Rabi frequency; \
+                             the drive has no physical effect",
+                            tp.start
+                        ),
+                    )
+                    .with_span(tp.channel.clone(), i),
+                );
+            }
+        }
+
+        // --- boundary discontinuities, per channel ---
+        let threshold = ctx.cfg.discontinuity_threshold;
+        let mut channels: Vec<&str> = seq.pulses.iter().map(|tp| tp.channel.as_str()).collect();
+        channels.sort_unstable();
+        channels.dedup();
+        for ch in channels {
+            let mut prev: Option<(usize, f64, f64)> = None; // (index, end_time, end_value)
+            for (i, tp) in seq.pulses.iter().enumerate() {
+                if tp.channel != ch {
+                    continue;
+                }
+                let start_v = tp.pulse.amplitude.sample(0.0);
+                let incoming = match prev {
+                    // back-to-back with the previous pulse on this channel
+                    Some((_, end_t, end_v)) if (tp.start - end_t).abs() < 1e-9 => end_v,
+                    // a gap (or sequence start): the drive sits at zero
+                    _ => 0.0,
+                };
+                if (start_v - incoming).abs() > threshold {
+                    out.push(
+                        Diagnostic::warning(
+                            LintCode::AmplitudeDiscontinuity,
+                            format!(
+                                "amplitude jumps {:.2} → {:.2} rad/µs at t={:.3} µs \
+                                 (threshold {threshold:.2})",
+                                incoming, start_v, tp.start
+                            ),
+                        )
+                        .with_span(ch.to_string(), i),
+                    );
+                }
+                let end_t = tp.start + tp.pulse.duration();
+                prev = Some((i, end_t, tp.pulse.amplitude.sample(tp.pulse.duration())));
+            }
+            // turn-off: the drive falls to zero after the last pulse
+            if let Some((i, end_t, end_v)) = prev {
+                if end_v.abs() > threshold {
+                    out.push(
+                        Diagnostic::warning(
+                            LintCode::AmplitudeDiscontinuity,
+                            format!(
+                                "amplitude cuts from {end_v:.2} rad/µs to 0 at t={end_t:.3} µs \
+                                 (threshold {threshold:.2})"
+                            ),
+                        )
+                        .with_span(ch.to_string(), i),
+                    );
+                }
+            }
+        }
+
+        for d in out {
+            ctx.emit(d);
+        }
+    }
+}
+
+/// Maximum |dΩ/dt| over a uniform sweep of the waveform.
+fn max_slew(w: &Waveform) -> f64 {
+    match w {
+        Waveform::Constant { .. } => 0.0,
+        Waveform::Ramp {
+            duration,
+            start,
+            stop,
+        } => (stop - start).abs() / duration,
+        _ => {
+            let d = w.duration();
+            let dt = d / SLEW_SAMPLES as f64;
+            let mut max = 0.0f64;
+            let mut last = w.sample(0.0);
+            for k in 1..=SLEW_SAMPLES {
+                let v = w.sample(dt * k as f64);
+                max = max.max((v - last).abs() / dt);
+                last = v;
+            }
+            max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::analyze;
+    use hpcqc_program::{ProgramIr, Pulse, Register, SequenceBuilder};
+
+    fn ir_from(build: impl FnOnce(&mut SequenceBuilder)) -> ProgramIr {
+        let reg = Register::linear(3, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        build(&mut b);
+        ProgramIr::new(b.build().unwrap(), 100, "test")
+    }
+
+    fn codes(ir: &ProgramIr) -> Vec<LintCode> {
+        analyze(ir, None)
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn gentle_pulse_is_quiet() {
+        let ir = ir_from(|b| {
+            b.add_global_pulse(
+                Pulse::new(
+                    Waveform::composite(vec![
+                        Waveform::ramp(0.5, 0.0, 5.0).unwrap(),
+                        Waveform::constant(2.0, 5.0).unwrap(),
+                        Waveform::ramp(0.5, 5.0, 0.0).unwrap(),
+                    ])
+                    .unwrap(),
+                    Waveform::constant(3.0, -2.0).unwrap(),
+                    0.0,
+                )
+                .unwrap(),
+            );
+        });
+        let c = codes(&ir);
+        assert!(!c.contains(&LintCode::ExcessiveSlewRate), "{c:?}");
+        assert!(!c.contains(&LintCode::AmplitudeDiscontinuity), "{c:?}");
+        assert!(!c.contains(&LintCode::DeadDrive), "{c:?}");
+    }
+
+    #[test]
+    fn steep_ramp_flags_slew() {
+        let ir = ir_from(|b| {
+            b.add_global_pulse(
+                Pulse::new(
+                    Waveform::ramp(0.001, 0.0, 5.0).unwrap(), // 5000 rad/µs²
+                    Waveform::constant(0.001, 0.0).unwrap(),
+                    0.0,
+                )
+                .unwrap(),
+            );
+        });
+        assert!(codes(&ir).contains(&LintCode::ExcessiveSlewRate));
+    }
+
+    #[test]
+    fn hard_turn_on_flags_discontinuity() {
+        let ir = ir_from(|b| {
+            b.add_global_pulse(Pulse::constant(1.0, 10.0, 0.0, 0.0).unwrap());
+        });
+        let c = codes(&ir);
+        // both the 0→10 turn-on and the 10→0 turn-off jump past the 2π threshold
+        let n = c
+            .iter()
+            .filter(|x| **x == LintCode::AmplitudeDiscontinuity)
+            .count();
+        assert_eq!(n, 2, "{c:?}");
+    }
+
+    #[test]
+    fn moderate_turn_on_stays_quiet() {
+        let ir = ir_from(|b| {
+            b.add_global_pulse(Pulse::constant(1.0, 5.0, 0.0, 0.0).unwrap());
+        });
+        assert!(!codes(&ir).contains(&LintCode::AmplitudeDiscontinuity));
+    }
+
+    #[test]
+    fn dead_drive_detected() {
+        let ir = ir_from(|b| {
+            b.add_global_pulse(Pulse::constant(1.0, 5.0, 0.0, 0.0).unwrap());
+            b.add_global_pulse(Pulse::constant(1.0, 0.0, -8.0, 0.0).unwrap());
+        });
+        let report = analyze(&ir, None);
+        let dead: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::DeadDrive)
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].span.as_ref().unwrap().pulse, 1);
+    }
+
+    #[test]
+    fn delay_is_not_dead_drive() {
+        let ir = ir_from(|b| {
+            b.add_global_pulse(Pulse::constant(1.0, 5.0, 0.0, 0.0).unwrap());
+            b.add_delay("rydberg_global", 1.0);
+            b.add_global_pulse(Pulse::constant(1.0, 5.0, 0.0, 0.0).unwrap());
+        });
+        assert!(!codes(&ir).contains(&LintCode::DeadDrive));
+    }
+
+    #[test]
+    fn mid_sequence_jump_detected_once() {
+        let ir = ir_from(|b| {
+            // 5 → 5 boundary is continuous; 5 → 12 would jump by 7 > 2π
+            b.add_global_pulse(Pulse::constant(1.0, 5.0, 0.0, 0.0).unwrap());
+            b.add_global_pulse(Pulse::constant(1.0, 12.0, 0.0, 0.0).unwrap());
+        });
+        let report = analyze(&ir, None);
+        let jumps: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::AmplitudeDiscontinuity)
+            .collect();
+        // 5→12 at the boundary and 12→0 at turn-off
+        assert_eq!(jumps.len(), 2, "{}", report.render());
+        assert_eq!(jumps[0].span.as_ref().unwrap().pulse, 1);
+    }
+}

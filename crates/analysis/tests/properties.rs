@@ -1,0 +1,116 @@
+//! Property tests for the analyzer's two core invariants: clean programs
+//! produce zero Errors, and Error diagnostics are in exact (multiset) parity
+//! with `program::validate` + `validate_shots`.
+
+use hpcqc_analysis::{analyze, Severity};
+use hpcqc_program::validate::validate_shots;
+use hpcqc_program::{validate, DeviceSpec, ProgramIr, Pulse, Register, SequenceBuilder};
+use proptest::prelude::*;
+
+/// A program guaranteed to fit the production envelope: ≤ 9 atoms at
+/// 5.5–7 µm spacing (well inside the 35 µm field of view), Ω ≤ 12 rad/µs,
+/// |δ| ≤ 30, total duration ≤ 6 µs, 1–2000 shots.
+fn clean_program() -> impl Strategy<Value = ProgramIr> {
+    (
+        1usize..10,
+        5.5f64..7.0,
+        0.0f64..12.0,
+        -30.0f64..30.0,
+        0.05f64..2.9,
+        1u32..2001,
+        1usize..3,
+    )
+        .prop_map(|(n, spacing, omega, delta, duration, shots, pulses)| {
+            let reg = Register::linear(n, spacing).unwrap();
+            let mut b = SequenceBuilder::new(reg);
+            for _ in 0..pulses {
+                b.add_global_pulse(Pulse::constant(duration, omega, delta, 0.0).unwrap());
+            }
+            ProgramIr::new(b.build().unwrap(), shots, "proptest")
+        })
+}
+
+/// A program that may or may not violate the production spec in any
+/// combination of ways (geometry, drive limits, duration, channel, shots).
+fn wild_program() -> impl Strategy<Value = ProgramIr> {
+    (
+        1usize..30,
+        2.0f64..10.0,
+        -2.0f64..20.0,
+        -60.0f64..60.0,
+        0.05f64..8.0,
+        0u32..6000,
+        prop_oneof![Just("rydberg_global"), Just("raman_local")],
+    )
+        .prop_map(|(n, spacing, omega, delta, duration, shots, channel)| {
+            let reg = Register::linear(n, spacing).unwrap();
+            let mut b = SequenceBuilder::new(reg);
+            b.add_pulse(
+                channel,
+                Pulse::constant(duration, omega, delta, 0.0).unwrap(),
+            );
+            ProgramIr::new(b.build().unwrap(), shots, "proptest")
+        })
+}
+
+/// Sorted multiset of `(kind, message)` from the validator.
+fn validator_findings(ir: &ProgramIr, spec: &DeviceSpec) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = validate(&ir.sequence, spec)
+        .into_iter()
+        .chain(validate_shots(ir.shots, spec))
+        .map(|x| (format!("{:?}", x.kind), x.message))
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn clean_programs_have_zero_errors(ir in clean_program()) {
+        let spec = DeviceSpec::analog_production();
+        let report = analyze(&ir, Some(&spec));
+        prop_assert!(!report.has_errors(), "clean program produced errors:\n{}", report.render());
+    }
+
+    #[test]
+    fn error_diagnostics_match_validator_exactly(ir in wild_program()) {
+        let spec = DeviceSpec::analog_production();
+        let expected = validator_findings(&ir, &spec);
+        let report = analyze(&ir, Some(&spec));
+        let mut got: Vec<(String, String)> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| {
+                let kind = d.violation.clone().expect("every Error carries its violation kind");
+                (format!("{kind:?}"), d.message.clone())
+            })
+            .collect();
+        got.sort();
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn error_violations_reconstruct_the_validator_output(ir in wild_program()) {
+        let spec = DeviceSpec::analog_production();
+        let report = analyze(&ir, Some(&spec));
+        let mut rebuilt: Vec<(String, String)> = report
+            .error_violations()
+            .into_iter()
+            .map(|v| (format!("{:?}", v.kind), v.message))
+            .collect();
+        rebuilt.sort();
+        prop_assert_eq!(validator_findings(&ir, &spec), rebuilt);
+    }
+
+    #[test]
+    fn reports_serialize_for_tooling(ir in wild_program()) {
+        let spec = DeviceSpec::analog_production();
+        let report = analyze(&ir, Some(&spec));
+        let back: hpcqc_analysis::AnalysisReport =
+            serde_json::from_str(&report.to_json()).unwrap();
+        prop_assert_eq!(report, back);
+    }
+}

@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpcqc_emulator::hamiltonian::RydbergHamiltonian;
-use hpcqc_emulator::mps::{drive_hamiltonian, interaction_gate, Mps, MpsConfig};
 use hpcqc_emulator::linalg::expm_2x2_hermitian;
+use hpcqc_emulator::mps::{drive_hamiltonian, interaction_gate, Mps, MpsConfig};
 use hpcqc_emulator::statevector::{apply_h, StateVector};
 use hpcqc_program::units::C6_COEFF;
 use hpcqc_program::Register;
@@ -31,7 +31,13 @@ fn bench_apply_h(c: &mut Criterion) {
 
 fn entangled_mps(n: usize, chi: usize) -> Mps {
     // build up entanglement with a few interaction layers
-    let mut mps = Mps::ground(n, MpsConfig { chi_max: chi, ..MpsConfig::default() });
+    let mut mps = Mps::ground(
+        n,
+        MpsConfig {
+            chi_max: chi,
+            ..MpsConfig::default()
+        },
+    );
     let u = expm_2x2_hermitian(&drive_hamiltonian(4.0, 0.0, 0.0), 0.2);
     let g = interaction_gate(50.0, 0.05);
     for _ in 0..4 {
@@ -85,5 +91,10 @@ fn bench_mps_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_apply_h, bench_mps_gate_vs_chi, bench_mps_sampling);
+criterion_group!(
+    benches,
+    bench_apply_h,
+    bench_mps_gate_vs_chi,
+    bench_mps_sampling
+);
 criterion_main!(benches);

@@ -13,7 +13,10 @@ use std::hint::black_box;
 
 fn program(n_atoms: usize, shots: u32) -> ProgramIr {
     let reg = Register::linear(n_atoms, 6.0).expect("valid chain");
-    let sweep = MisSweep { duration: 1.0, ..MisSweep::default() };
+    let sweep = MisSweep {
+        duration: 1.0,
+        ..MisSweep::default()
+    };
     mis_program(&reg, &sweep, shots)
 }
 
@@ -36,7 +39,11 @@ fn bench_mps_chi(c: &mut Criterion) {
     let ir = program(8, 50);
     for &chi in &[1usize, 4, 16] {
         let backend = MpsBackend {
-            config: MpsConfig { chi_max: chi, max_dt: 2e-3, ..MpsConfig::default() },
+            config: MpsConfig {
+                chi_max: chi,
+                max_dt: 2e-3,
+                ..MpsConfig::default()
+            },
             ..MpsBackend::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(chi), &chi, |b, _| {
@@ -61,5 +68,10 @@ fn bench_mock_vs_exact(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sv_scaling, bench_mps_chi, bench_mock_vs_exact);
+criterion_group!(
+    benches,
+    bench_sv_scaling,
+    bench_mps_chi,
+    bench_mock_vs_exact
+);
 criterion_main!(benches);

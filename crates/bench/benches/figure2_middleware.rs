@@ -36,11 +36,15 @@ fn bench_inprocess_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure2/inprocess");
     group.sample_size(30);
     let svc = service();
-    let token = svc.open_session("bench", PriorityClass::Production).expect("session");
+    let token = svc
+        .open_session("bench", PriorityClass::Production)
+        .expect("session");
     let ir = tiny_ir(10);
     group.bench_function("submit_dispatch_result", |b| {
         b.iter(|| {
-            let id = svc.submit(&token, black_box(ir.clone()), PatternHint::None).expect("submits");
+            let id = svc
+                .submit(&token, black_box(ir.clone()), PatternHint::None)
+                .expect("submits");
             svc.pump();
             black_box(svc.task_result(id).expect("completed"))
         })
@@ -69,7 +73,13 @@ fn bench_rest_roundtrip(c: &mut Criterion) {
         .expect("session");
     let ir = tiny_ir(10);
     group.bench_function("full_task_over_rest", |b| {
-        b.iter(|| black_box(session.run(black_box(&ir), PatternHint::None).expect("runs")))
+        b.iter(|| {
+            black_box(
+                session
+                    .run(black_box(&ir), PatternHint::None)
+                    .expect("runs"),
+            )
+        })
     });
     group.finish();
 }
@@ -87,5 +97,10 @@ fn bench_validation_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inprocess_path, bench_rest_roundtrip, bench_validation_cost);
+criterion_group!(
+    benches,
+    bench_inprocess_path,
+    bench_rest_roundtrip,
+    bench_validation_cost
+);
 criterion_main!(benches);

@@ -18,7 +18,8 @@ fn run_sim(n_jobs: usize, policy: SchedPolicy) -> usize {
     let mut sim = SlurmSim::new(cluster, standard_partitions(), policy);
     let jobs = generate_population(n_jobs, (1.0, 1.0, 1.0), &PatternGenConfig::default(), 3);
     for j in &jobs {
-        sim.submit_at(to_batch_spec(j, 10), j.arrival).expect("valid spec");
+        sim.submit_at(to_batch_spec(j, 10), j.arrival)
+            .expect("valid spec");
     }
     sim.run_to_completion();
     sim.jobs().filter(|j| j.end_time.is_some()).count()
@@ -39,9 +40,30 @@ fn bench_policy_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler/policy_ablation");
     group.sample_size(15);
     let cases = [
-        ("fifo_only", SchedPolicy { backfill: false, preemption: false, ..SchedPolicy::default() }),
-        ("backfill", SchedPolicy { backfill: true, preemption: false, ..SchedPolicy::default() }),
-        ("backfill+preempt", SchedPolicy { backfill: true, preemption: true, ..SchedPolicy::default() }),
+        (
+            "fifo_only",
+            SchedPolicy {
+                backfill: false,
+                preemption: false,
+                ..SchedPolicy::default()
+            },
+        ),
+        (
+            "backfill",
+            SchedPolicy {
+                backfill: true,
+                preemption: false,
+                ..SchedPolicy::default()
+            },
+        ),
+        (
+            "backfill+preempt",
+            SchedPolicy {
+                backfill: true,
+                preemption: true,
+                ..SchedPolicy::default()
+            },
+        ),
     ];
     for (name, policy) in cases {
         group.bench_function(name, |b| b.iter(|| black_box(run_sim(200, policy))));

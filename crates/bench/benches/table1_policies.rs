@@ -13,15 +13,14 @@ use std::hint::black_box;
 fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/cosim_policies");
     group.sample_size(20);
-    let jobs = generate_population(
-        100,
-        (1.0, 1.0, 1.0),
-        &PatternGenConfig::default(),
-        7,
-    );
+    let jobs = generate_population(100, (1.0, 1.0, 1.0), &PatternGenConfig::default(), 7);
     let cases = [
         ("sequential", AdmissionPolicy::Sequential, QpuPolicy::Fifo),
-        ("fifo-interleave", AdmissionPolicy::NodeLimited, QpuPolicy::Fifo),
+        (
+            "fifo-interleave",
+            AdmissionPolicy::NodeLimited,
+            QpuPolicy::Fifo,
+        ),
         (
             "priority-interleave",
             AdmissionPolicy::NodeLimited,
@@ -37,7 +36,12 @@ fn bench_policies(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
             b.iter(|| {
                 let report = Cosim::new(
-                    CosimConfig { nodes: 32, admission, qpu_policy, chunk_secs: 10.0 },
+                    CosimConfig {
+                        nodes: 32,
+                        admission,
+                        qpu_policy,
+                        chunk_secs: 10.0,
+                    },
                     black_box(jobs.clone()),
                 )
                 .run();
@@ -55,7 +59,9 @@ fn bench_population_scaling(c: &mut Criterion) {
         let jobs = generate_population(n, (1.0, 1.0, 1.0), &PatternGenConfig::default(), 7);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                Cosim::new(CosimConfig::default(), black_box(jobs.clone())).run().completed
+                Cosim::new(CosimConfig::default(), black_box(jobs.clone()))
+                    .run()
+                    .completed
             })
         });
     }

@@ -61,7 +61,10 @@ fn portability_registry(chis: &[usize], qpu_seed: u64) -> (Runtime, VirtualQpu) 
             .into(),
         });
     }
-    let cfg = QrmiConfig { resources, default_resource: Some("laptop:emu-sv".into()) };
+    let cfg = QrmiConfig {
+        resources,
+        default_resource: Some("laptop:emu-sv".into()),
+    };
     let qpu = VirtualQpu::new("fresnel-1", qpu_seed);
     let registry = ResourceFactory::new(17)
         .with_qpu("fresnel-1", qpu.clone())
@@ -74,7 +77,11 @@ fn main() {
     let args = HarnessArgs::from_env();
     let shots = args.scaled(2000, 400) as u32;
     let n_atoms = args.scaled(8, 5);
-    let chis: Vec<usize> = if args.quick { vec![1, 4, 16] } else { vec![1, 2, 4, 8, 16, 32] };
+    let chis: Vec<usize> = if args.quick {
+        vec![1, 4, 16]
+    } else {
+        vec![1, 2, 4, 8, 16, 32]
+    };
 
     println!("== Figure 1 reproduction: one program, every environment ==");
     println!("program: MIS adiabatic sweep on a {n_atoms}-atom chain, {shots} shots\n");
@@ -113,17 +120,32 @@ fn main() {
                     format!("rev{}", report.spec_revision),
                 ]);
             }
-            Err(e) => rows.push(vec![id.clone(), "-".into(), "-".into(), "-".into(), format!("{e}")]),
+            Err(e) => rows.push(vec![
+                id.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                format!("{e}"),
+            ]),
         }
     }
     println!(
         "{}",
         render_table(
-            &["resource", "TV-vs-exact", "trunc-err", "n0-occupation", "spec"],
+            &[
+                "resource",
+                "TV-vs-exact",
+                "trunc-err",
+                "n0-occupation",
+                "spec"
+            ],
             &rows
         )
     );
-    println!("Expected shape: TV falls with χ toward shot-noise level (~{:.3});", tv_shot_noise(shots));
+    println!(
+        "Expected shape: TV falls with χ toward shot-noise level (~{:.3});",
+        tv_shot_noise(shots)
+    );
     println!("the QPU row sits slightly above it (SPAM noise + calibration error);");
     println!("χ=1 runs but is inaccurate — it exists for end-to-end mocking, not physics.\n");
 
@@ -161,7 +183,10 @@ fn main() {
         v2.len()
     );
     println!("\nFigure-1 property demonstrated: identical ProgramIr ran on every");
-    println!("environment (fingerprint {:#018x}); only --qpu changed, and validation", program.fingerprint());
+    println!(
+        "environment (fingerprint {:#018x}); only --qpu changed, and validation",
+        program.fingerprint()
+    );
     println!("against the live spec catches drift between development and execution.");
 }
 

@@ -48,7 +48,11 @@ fn rest_stack_experiment(args: &HarnessArgs) {
     let svc = Arc::new(
         MiddlewareService::new(
             resource,
-            DaemonConfig { preempt_chunk_shots: 5, dev_shot_cap: 40, ..DaemonConfig::default() },
+            DaemonConfig {
+                preempt_chunk_shots: 5,
+                dev_shot_cap: 40,
+                ..DaemonConfig::default()
+            },
         )
         .with_qpu_admin(qpu.clone()),
     );
@@ -96,7 +100,10 @@ fn rest_stack_experiment(args: &HarnessArgs) {
             format!("{shots:?}"),
         ]);
     }
-    println!("{}", render_table(&["user", "class", "completed shot counts"], &rows));
+    println!(
+        "{}",
+        render_table(&["user", "class", "completed shot counts"], &rows)
+    );
     let (jobs, shots) = qpu.stats();
     println!(
         "device: {jobs} executions, {shots} shots, utilization {:.2}\n",
@@ -158,7 +165,12 @@ fn middleware_value_experiment(args: &HarnessArgs) {
                     }
                 }
                 let report = Cosim::new(
-                    CosimConfig { nodes: 32, admission, qpu_policy, chunk_secs: 10.0 * q_scale },
+                    CosimConfig {
+                        nodes: 32,
+                        admission,
+                        qpu_policy,
+                        chunk_secs: 10.0 * q_scale,
+                    },
                     jobs,
                 )
                 .run();
@@ -172,7 +184,11 @@ fn middleware_value_experiment(args: &HarnessArgs) {
                 rate_label.to_string(),
                 layer.to_string(),
                 fmt_pm(&utils, 3),
-                if prod_waits.is_empty() { "-".into() } else { fmt_pm(&prod_waits, 0) },
+                if prod_waits.is_empty() {
+                    "-".into()
+                } else {
+                    fmt_pm(&prod_waits, 0)
+                },
                 fmt_pm(&makespans, 0),
             ]);
         }
@@ -180,7 +196,13 @@ fn middleware_value_experiment(args: &HarnessArgs) {
     println!(
         "{}",
         render_table(
-            &["shot-rate", "layer", "qpu-util", "prod-p95-wait(s)", "makespan(s)"],
+            &[
+                "shot-rate",
+                "layer",
+                "qpu-util",
+                "prod-p95-wait(s)",
+                "makespan(s)"
+            ],
             &rows
         )
     );

@@ -48,7 +48,11 @@ fn drift_detection_experiment(args: &HarnessArgs) {
                 qpu.inject_rabi_fault(0.002);
             }
             qpu.advance_time(tick_secs);
-            let v = qpu.tsdb().last("qpu_rabi_scale").expect("telemetry recorded").value;
+            let v = qpu
+                .tsdb()
+                .last("qpu_rabi_scale")
+                .expect("telemetry recorded")
+                .value;
             if z_detect.is_none() {
                 if let Detection::Drift { .. } = z.update(v) {
                     z_detect = Some(t);
@@ -61,8 +65,8 @@ fn drift_detection_experiment(args: &HarnessArgs) {
             }
             // a QA probe every 50 ticks — the "wait for bad science" baseline
             if qa_flag.is_none() && t % 50 == 49 {
-                let report = run_qa(&qpu, 300, 0.03, seed * 1000 + t as u64)
-                    .expect("device operational");
+                let report =
+                    run_qa(&qpu, 300, 0.03, seed * 1000 + t as u64).expect("device operational");
                 if report.health < 0.97 {
                     qa_flag = Some(t);
                 }
@@ -87,7 +91,9 @@ fn drift_detection_experiment(args: &HarnessArgs) {
 
         let lat = |d: Option<usize>| -> String {
             match d {
-                Some(t) if t >= fault_at => format!("{} min", (t - fault_at) as f64 * tick_secs / 60.0),
+                Some(t) if t >= fault_at => {
+                    format!("{} min", (t - fault_at) as f64 * tick_secs / 60.0)
+                }
                 Some(t) => format!("FALSE ALARM at tick {t}"),
                 None => "missed".into(),
             }
@@ -103,7 +109,13 @@ fn drift_detection_experiment(args: &HarnessArgs) {
     println!(
         "{}",
         render_table(
-            &["seed", "z-score (fade)", "CUSUM (fade)", "z-score (step)", "QA-probe (fade)"],
+            &[
+                "seed",
+                "z-score (fade)",
+                "CUSUM (fade)",
+                "z-score (step)",
+                "QA-probe (fade)"
+            ],
             &rows
         )
     );
@@ -137,7 +149,10 @@ fn alert_lifecycle_experiment() {
         }
         qpu.advance_time(60.0);
         for ev in mgr.evaluate(qpu.now()) {
-            transitions.push(format!("t={:>5.0}s  {}  -> {:?} (value {:.3})", ev.at, ev.rule, ev.state, ev.value));
+            transitions.push(format!(
+                "t={:>5.0}s  {}  -> {:?} (value {:.3})",
+                ev.at, ev.rule, ev.state, ev.value
+            ));
         }
     }
     for t in &transitions {

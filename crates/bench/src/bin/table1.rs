@@ -68,7 +68,10 @@ fn main() {
     let n_jobs = args.scaled(200, 30);
     let seeds: Vec<u64> = (0..args.seeds as u64).map(|s| 1000 + s).collect();
     println!("== Table 1 reproduction: workload patterns x second-level policies ==");
-    println!("jobs per run: {n_jobs}, seeds: {}, cluster: 32 nodes, 1 QPU\n", seeds.len());
+    println!(
+        "jobs per run: {n_jobs}, seeds: {}, cluster: 32 nodes, 1 QPU\n",
+        seeds.len()
+    );
 
     let gen_cfg = PatternGenConfig {
         mean_total_secs: 600.0,
@@ -115,7 +118,11 @@ fn main() {
                 fmt_pm(&utils, 3),
                 fmt_pm(&wastes, 3),
                 fmt_pm(&turnarounds, 0),
-                if prod_p95.is_empty() { "-".into() } else { fmt_pm(&prod_p95, 0) },
+                if prod_p95.is_empty() {
+                    "-".into()
+                } else {
+                    fmt_pm(&prod_p95, 0)
+                },
                 fmt_pm(&preemptions, 0),
             ]);
         }
@@ -175,7 +182,14 @@ fn gres_timeshare_experiment(args: &HarnessArgs) {
     println!(
         "{}",
         render_table(
-            &["seed", "gres-util", "node-util", "completed", "preempt", "mean-wait(s)"],
+            &[
+                "seed",
+                "gres-util",
+                "node-util",
+                "completed",
+                "preempt",
+                "mean-wait(s)"
+            ],
             &rows,
         )
     );

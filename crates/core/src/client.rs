@@ -17,7 +17,10 @@ use hpcqc_scheduler::PatternHint;
 pub enum ClientError {
     Transport(String),
     /// Non-2xx HTTP status with the server's error body.
-    Api { status: u16, message: String },
+    Api {
+        status: u16,
+        message: String,
+    },
     Protocol(String),
     /// Task reached a terminal failure state.
     TaskFailed(String),
@@ -102,7 +105,10 @@ impl DaemonClient {
             .as_str()
             .ok_or_else(|| ClientError::Protocol("missing token".into()))?
             .to_string();
-        Ok(DaemonSession { client: self.clone(), token })
+        Ok(DaemonSession {
+            client: self.clone(),
+            token,
+        })
     }
 
     /// Fetch the daemon's current target device spec.
@@ -128,8 +134,8 @@ impl DaemonSession {
             PatternHint::QcBalanced => Some("qc-balanced"),
             PatternHint::None => None,
         };
-        let body = serde_json::json!({ "token": self.token, "ir": ir, "hint": hint_str })
-            .to_string();
+        let body =
+            serde_json::json!({ "token": self.token, "ir": ir, "hint": hint_str }).to_string();
         let (st, body) = http_request(&self.client.addr, "POST", "/v1/tasks", Some(&body))?;
         let body = expect_2xx(st, body)?;
         let v: serde_json::Value =
@@ -175,8 +181,7 @@ impl DaemonSession {
     pub fn wait(&self, task: u64, max_polls: usize) -> Result<SampleResult, ClientError> {
         for _ in 0..max_polls {
             if self.client.pump_on_poll {
-                let (st, body) =
-                    http_request(&self.client.addr, "POST", "/v1/pump", Some("{}"))?;
+                let (st, body) = http_request(&self.client.addr, "POST", "/v1/pump", Some("{}"))?;
                 expect_2xx(st, body)?;
             } else {
                 std::thread::sleep(self.client.poll_interval);
@@ -227,7 +232,11 @@ mod tests {
             Arc::new(SvBackend::default()),
             1,
         ));
-        serve(Arc::new(MiddlewareService::new(res, DaemonConfig::default()))).unwrap()
+        serve(Arc::new(MiddlewareService::new(
+            res,
+            DaemonConfig::default(),
+        )))
+        .unwrap()
     }
 
     fn ir(shots: u32) -> ProgramIr {
@@ -246,7 +255,10 @@ mod tests {
         let session = client.open_session("ada", PriorityClass::Test).unwrap();
         let result = session.run(&ir(42), PatternHint::QcBalanced).unwrap();
         assert_eq!(result.shots, 42);
-        assert!(client.metrics().unwrap().contains("daemon_tasks_completed_total"));
+        assert!(client
+            .metrics()
+            .unwrap()
+            .contains("daemon_tasks_completed_total"));
         session.close().unwrap();
     }
 
@@ -254,7 +266,9 @@ mod tests {
     fn cancel_through_client() {
         let server = daemon();
         let client = DaemonClient::new(server.addr());
-        let session = client.open_session("u", PriorityClass::Development).unwrap();
+        let session = client
+            .open_session("u", PriorityClass::Development)
+            .unwrap();
         let id = session.submit(&ir(5), PatternHint::None).unwrap();
         session.cancel(id).unwrap();
         match session.wait(id, 3) {
@@ -267,7 +281,10 @@ mod tests {
     fn api_errors_carry_status() {
         let server = daemon();
         let client = DaemonClient::new(server.addr());
-        let bogus = DaemonSession { client: client.clone(), token: "nope".into() };
+        let bogus = DaemonSession {
+            client: client.clone(),
+            token: "nope".into(),
+        };
         match bogus.submit(&ir(5), PatternHint::None) {
             Err(ClientError::Api { status: 401, .. }) => {}
             other => panic!("expected 401, got {other:?}"),

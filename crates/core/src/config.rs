@@ -117,7 +117,10 @@ mod tests {
         }
         let cfg = RuntimeConfig::from_map(&env).unwrap();
         let rt = cfg
-            .build_runtime(1, vec![("fresnel-1".into(), VirtualQpu::new("fresnel-1", 3))])
+            .build_runtime(
+                1,
+                vec![("fresnel-1".into(), VirtualQpu::new("fresnel-1", 3))],
+            )
             .unwrap();
         let report = rt.run(&ir()).unwrap();
         assert_eq!(report.resource_id, "fresnel-1");

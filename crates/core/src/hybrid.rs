@@ -62,7 +62,11 @@ where
         let program = build(&params);
         let report = rt.run(&program)?;
         let c = cost(&report.result);
-        history.push(IterationRecord { iteration, params: params.clone(), cost: c });
+        history.push(IterationRecord {
+            iteration,
+            params: params.clone(),
+            cost: c,
+        });
         match update(&history) {
             Some(next) => params = next,
             None => break,
@@ -73,7 +77,11 @@ where
         .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
         .cloned()
         .expect("at least one iteration ran");
-    Ok(LoopResult { best_params: best.params, best_cost: best.cost, history })
+    Ok(LoopResult {
+        best_params: best.params,
+        best_cost: best.cost,
+        history,
+    })
 }
 
 #[cfg(test)]
@@ -142,15 +150,7 @@ mod tests {
     #[test]
     fn iterate_stops_when_update_returns_none() {
         let rt = runtime();
-        let result = iterate(
-            &rt,
-            vec![0.5],
-            100,
-            |p| program(p[0]),
-            |_| 0.0,
-            |_| None,
-        )
-        .unwrap();
+        let result = iterate(&rt, vec![0.5], 100, |p| program(p[0]), |_| 0.0, |_| None).unwrap();
         assert_eq!(result.history.len(), 1);
     }
 

@@ -33,7 +33,10 @@ pub struct AttemptBudget {
 impl AttemptBudget {
     /// A single attempt, no retries.
     pub fn single() -> Self {
-        AttemptBudget { max_attempts: 1, max_backoff_secs: 0.0 }
+        AttemptBudget {
+            max_attempts: 1,
+            max_backoff_secs: 0.0,
+        }
     }
 }
 
@@ -61,9 +64,18 @@ impl Default for RetryPolicy {
         RetryPolicy {
             base_delay_secs: 1.0,
             max_delay_secs: 30.0,
-            production: AttemptBudget { max_attempts: 8, max_backoff_secs: 180.0 },
-            test: AttemptBudget { max_attempts: 5, max_backoff_secs: 60.0 },
-            development: AttemptBudget { max_attempts: 3, max_backoff_secs: 15.0 },
+            production: AttemptBudget {
+                max_attempts: 8,
+                max_backoff_secs: 180.0,
+            },
+            test: AttemptBudget {
+                max_attempts: 5,
+                max_backoff_secs: 60.0,
+            },
+            development: AttemptBudget {
+                max_attempts: 3,
+                max_backoff_secs: 15.0,
+            },
             seed: 0,
         }
     }
@@ -186,7 +198,10 @@ mod tests {
     #[test]
     fn delays_grow_jittered_and_capped() {
         let policy = RetryPolicy {
-            production: AttemptBudget { max_attempts: 100, max_backoff_secs: 1e9 },
+            production: AttemptBudget {
+                max_attempts: 100,
+                max_backoff_secs: 1e9,
+            },
             ..RetryPolicy::default()
         };
         let mut b = policy.backoff(PriorityClass::Production);
@@ -209,7 +224,11 @@ mod tests {
     #[test]
     fn attempt_budget_enforced_per_class() {
         let policy = RetryPolicy::default();
-        for class in [PriorityClass::Production, PriorityClass::Test, PriorityClass::Development] {
+        for class in [
+            PriorityClass::Production,
+            PriorityClass::Test,
+            PriorityClass::Development,
+        ] {
             let budget = policy.budget(class);
             let mut b = policy.backoff(class);
             let mut grants = 0;
@@ -231,7 +250,10 @@ mod tests {
         let policy = RetryPolicy {
             base_delay_secs: 10.0,
             max_delay_secs: 10.0,
-            production: AttemptBudget { max_attempts: 1000, max_backoff_secs: 25.0 },
+            production: AttemptBudget {
+                max_attempts: 1000,
+                max_backoff_secs: 25.0,
+            },
             ..RetryPolicy::default()
         };
         let mut b = policy.backoff(PriorityClass::Production);
@@ -254,8 +276,8 @@ mod tests {
 
     #[test]
     fn with_budget_overrides_one_class() {
-        let policy = RetryPolicy::default()
-            .with_budget(PriorityClass::Development, AttemptBudget::single());
+        let policy =
+            RetryPolicy::default().with_budget(PriorityClass::Development, AttemptBudget::single());
         assert_eq!(policy.budget(PriorityClass::Development).max_attempts, 1);
         assert_eq!(
             policy.budget(PriorityClass::Production),

@@ -8,6 +8,7 @@
 //! environment variable — the program is untouched (paper §3.2, Figure 1).
 
 use crate::retry::RetryPolicy;
+use hpcqc_analysis::{AnalysisReport, Analyzer, Diagnostic};
 use hpcqc_emulator::SampleResult;
 use hpcqc_middleware::PriorityClass;
 use hpcqc_program::{DeviceSpec, ProgramIr, Violation};
@@ -80,6 +81,9 @@ pub struct RecoveredRun {
     pub backoff_secs: f64,
     /// `Some(id)` when graceful degradation moved the run off the primary.
     pub fallback_resource: Option<String>,
+    /// Warning-level pre-flight diagnostics (empty when pre-flight is off or
+    /// the program is clean).
+    pub preflight_warnings: Vec<Diagnostic>,
 }
 
 /// The runtime environment.
@@ -97,6 +101,10 @@ pub struct Runtime {
     fallback: bool,
     /// Recovery telemetry sink.
     metrics: Option<FaultMetrics>,
+    /// Client-side static-analysis pipeline run before execution.
+    analyzer: Analyzer,
+    /// Pre-flight switch: analyze before attempting, fail fast on Errors.
+    preflight: bool,
 }
 
 impl Runtime {
@@ -111,7 +119,15 @@ impl Runtime {
             class: PriorityClass::Development,
             fallback: false,
             metrics: None,
+            analyzer: Analyzer::standard(),
+            preflight: true,
         }
+    }
+
+    /// Enable/disable the client-side pre-flight analysis (on by default).
+    pub fn with_preflight(mut self, enabled: bool) -> Self {
+        self.preflight = enabled;
+        self
     }
 
     /// Enable retries under `policy` (budgets chosen by the priority class).
@@ -173,6 +189,13 @@ impl Runtime {
         }
     }
 
+    /// Run the full static-analysis pipeline against the live target spec
+    /// without executing — every diagnostic, not just hard violations.
+    pub fn analyze(&self, ir: &ProgramIr) -> Result<AnalysisReport, RuntimeError> {
+        let spec = self.target()?;
+        Ok(self.analyzer.analyze(ir, Some(&spec)))
+    }
+
     /// Validate then execute, returning result + provenance. Honors the
     /// configured [`RetryPolicy`] (none by default) — see [`Runtime::run_recovered`]
     /// for the recovery accounting.
@@ -185,9 +208,27 @@ impl Runtime {
     /// local emulator.
     pub fn run_recovered(&self, ir: &ProgramIr) -> Result<RecoveredRun, RuntimeError> {
         let primary = self.resource()?;
+        // Client-side pre-flight: fail fast on Error diagnostics before any
+        // acquisition attempt; carry Warnings through to the caller.
+        let mut preflight_warnings: Vec<Diagnostic> = Vec::new();
+        if self.preflight {
+            if let Ok(spec) = primary.target() {
+                let report = self.analyzer.analyze(ir, Some(&spec));
+                if report.has_errors() {
+                    return Err(RuntimeError::Validation(report.error_violations()));
+                }
+                preflight_warnings = report.warnings().into_iter().cloned().collect();
+            }
+        }
         let primary_err = match self.run_with_retries(&primary, ir) {
             Ok((report, attempts, backoff_secs)) => {
-                return Ok(RecoveredRun { report, attempts, backoff_secs, fallback_resource: None })
+                return Ok(RecoveredRun {
+                    report,
+                    attempts,
+                    backoff_secs,
+                    fallback_resource: None,
+                    preflight_warnings,
+                })
             }
             Err(e) => e,
         };
@@ -214,6 +255,7 @@ impl Runtime {
                     attempts,
                     backoff_secs,
                     fallback_resource: Some(alt.resource_id().to_string()),
+                    preflight_warnings,
                 });
             }
         }
@@ -384,7 +426,10 @@ mod tests {
         let qpu = rt.run(&program).unwrap();
         assert_eq!(local.resource_id, "emu-local");
         assert_eq!(qpu.resource_id, "fresnel-1");
-        assert_eq!(local.program_fingerprint, qpu.program_fingerprint, "identical program");
+        assert_eq!(
+            local.program_fingerprint, qpu.program_fingerprint,
+            "identical program"
+        );
         // back to default
         let rt = rt.with_default_qpu();
         assert_eq!(rt.run(&program).unwrap().resource_id, "emu-local");
@@ -404,7 +449,10 @@ mod tests {
         let mut b = SequenceBuilder::new(reg);
         b.add_global_pulse(Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
         let bad = ProgramIr::new(b.build().unwrap(), 10, "test");
-        assert!(matches!(rt.validate(&bad), Err(RuntimeError::Validation(_))));
+        assert!(matches!(
+            rt.validate(&bad),
+            Err(RuntimeError::Validation(_))
+        ));
         assert!(matches!(rt.run(&bad), Err(RuntimeError::Validation(_))));
         // but the permissive local emulator takes it
         let rt = rt.with_qpu("emu-local");
@@ -434,11 +482,62 @@ mod tests {
     }
 
     #[test]
+    fn preflight_blocks_out_of_range_shots() {
+        // `validate()` only checks the sequence; the shot range is a
+        // pre-flight (HQ0108) catch. Without it this run would grind through
+        // ten million shots before the backend noticed anything.
+        let rt = Runtime::new(registry_with_qpu());
+        match rt.run(&ir(10_000_000)) {
+            Err(RuntimeError::Validation(v)) => {
+                assert!(v
+                    .iter()
+                    .any(|viol| { viol.kind == hpcqc_program::ViolationKind::ShotsOutOfRange }));
+            }
+            other => panic!("expected validation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preflight_warnings_carried_on_the_run() {
+        let rt = Runtime::new(registry_with_qpu()).with_qpu("fresnel-1");
+        let stale = ir(5).with_validation_revision(42);
+        let run = rt.run_recovered(&stale).unwrap();
+        assert!(
+            run.preflight_warnings
+                .iter()
+                .any(|d| d.code.as_str() == "HQ0701"),
+            "{:?}",
+            run.preflight_warnings
+        );
+        // switching pre-flight off silences the record (and the gate)
+        let rt = rt.with_preflight(false);
+        let run = rt.run_recovered(&stale).unwrap();
+        assert!(run.preflight_warnings.is_empty());
+    }
+
+    #[test]
+    fn analyze_reports_against_live_spec() {
+        let rt = Runtime::new(registry_with_qpu()).with_qpu("fresnel-1");
+        let report = rt.analyze(&ir(5000)).unwrap();
+        assert!(
+            report.has_errors(),
+            "5000 shots exceed the production range"
+        );
+        let clean = rt.analyze(&ir(100)).unwrap();
+        assert!(!clean.has_errors());
+        assert!(clean.facts.est_qpu_secs > 0.0);
+    }
+
+    #[test]
     fn available_resources_sorted() {
         let rt = Runtime::new(registry_with_qpu());
         assert_eq!(
             rt.available_resources(),
-            vec!["emu-local".to_string(), "fresnel-1".to_string(), "mock".to_string()]
+            vec![
+                "emu-local".to_string(),
+                "fresnel-1".to_string(),
+                "mock".to_string()
+            ]
         );
     }
 
@@ -463,7 +562,11 @@ mod tests {
                 profile,
                 17,
             )));
-            registry.register(Arc::new(LocalEmulatorResource::new("emu-local", backend, 1)));
+            registry.register(Arc::new(LocalEmulatorResource::new(
+                "emu-local",
+                backend,
+                1,
+            )));
             registry.default_resource = Some("flaky-cloud".into());
             registry
         }
@@ -491,23 +594,28 @@ mod tests {
         #[test]
         fn fallback_to_local_emulator_after_budget_exhaustion() {
             // the primary always denies acquisition: budget cannot succeed
-            let profile = FaultProfile { acquire_denial_rate: 1.0, ..FaultProfile::none() };
+            let profile = FaultProfile {
+                acquire_denial_rate: 1.0,
+                ..FaultProfile::none()
+            };
             let metrics = FaultMetrics::default();
             let rt = Runtime::new(flaky_registry(profile))
-                .with_retry_policy(
-                    RetryPolicy::default().with_budget(
-                        PriorityClass::Development,
-                        AttemptBudget { max_attempts: 3, max_backoff_secs: 60.0 },
-                    ),
-                )
+                .with_retry_policy(RetryPolicy::default().with_budget(
+                    PriorityClass::Development,
+                    AttemptBudget {
+                        max_attempts: 3,
+                        max_backoff_secs: 60.0,
+                    },
+                ))
                 .with_fallback(true)
                 .with_fault_metrics(metrics.clone());
             let run = rt.run_recovered(&ir(10)).unwrap();
             assert_eq!(run.fallback_resource.as_deref(), Some("emu-local"));
             assert_eq!(run.report.resource_id, "emu-local");
-            assert!(metrics.registry().expose().contains(
-                "runtime_fallbacks_total{from=\"flaky-cloud\",to=\"emu-local\"} 1"
-            ));
+            assert!(metrics
+                .registry()
+                .expose()
+                .contains("runtime_fallbacks_total{from=\"flaky-cloud\",to=\"emu-local\"} 1"));
             assert!(metrics
                 .registry()
                 .expose()
@@ -516,9 +624,12 @@ mod tests {
 
         #[test]
         fn budget_exhaustion_without_fallback_surfaces_the_error() {
-            let profile = FaultProfile { acquire_denial_rate: 1.0, ..FaultProfile::none() };
-            let rt = Runtime::new(flaky_registry(profile))
-                .with_retry_policy(RetryPolicy::default());
+            let profile = FaultProfile {
+                acquire_denial_rate: 1.0,
+                ..FaultProfile::none()
+            };
+            let rt =
+                Runtime::new(flaky_registry(profile)).with_retry_policy(RetryPolicy::default());
             match rt.run_recovered(&ir(5)) {
                 Err(RuntimeError::Qrmi(QrmiError::AcquisitionDenied(_))) => {}
                 other => panic!("expected denial, got {other:?}"),
@@ -539,7 +650,10 @@ mod tests {
             let mut b = hpcqc_program::SequenceBuilder::new(reg);
             b.add_global_pulse(hpcqc_program::Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
             let bad = ProgramIr::new(b.build().unwrap(), 10, "bad");
-            assert!(matches!(rt.run_recovered(&bad), Err(RuntimeError::Validation(_))));
+            assert!(matches!(
+                rt.run_recovered(&bad),
+                Err(RuntimeError::Validation(_))
+            ));
         }
     }
 }

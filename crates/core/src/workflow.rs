@@ -55,9 +55,9 @@ impl Outputs {
     /// validated before execution, so inside a step closure every declared
     /// dependency is present).
     pub fn get(&self, step: &str) -> &Value {
-        self.0
-            .get(step)
-            .unwrap_or_else(|| panic!("step {step:?} not executed — is it declared as a dependency?"))
+        self.0.get(step).unwrap_or_else(|| {
+            panic!("step {step:?} not executed — is it declared as a dependency?")
+        })
     }
 
     /// Samples of a quantum dependency.
@@ -90,7 +90,11 @@ pub enum WorkflowError {
     /// The dependency graph has a cycle through this step.
     Cycle(String),
     /// A quantum step kept failing after its retry budget.
-    StepFailed { step: String, attempts: u32, source: RuntimeError },
+    StepFailed {
+        step: String,
+        attempts: u32,
+        source: RuntimeError,
+    },
     /// A classical step reported an error.
     Classical { step: String, message: String },
 }
@@ -103,8 +107,15 @@ impl std::fmt::Display for WorkflowError {
                 write!(f, "step {step:?} depends on unknown step {dependency:?}")
             }
             WorkflowError::Cycle(s) => write!(f, "dependency cycle through {s:?}"),
-            WorkflowError::StepFailed { step, attempts, source } => {
-                write!(f, "step {step:?} failed after {attempts} attempt(s): {source}")
+            WorkflowError::StepFailed {
+                step,
+                attempts,
+                source,
+            } => {
+                write!(
+                    f,
+                    "step {step:?} failed after {attempts} attempt(s): {source}"
+                )
             }
             WorkflowError::Classical { step, message } => {
                 write!(f, "classical step {step:?} failed: {message}")
@@ -150,13 +161,21 @@ impl Workflow {
         Self::default()
     }
 
-    fn add(&mut self, name: &str, deps: &[&str], kind: StepKind) -> Result<&mut Self, WorkflowError> {
+    fn add(
+        &mut self,
+        name: &str,
+        deps: &[&str],
+        kind: StepKind,
+    ) -> Result<&mut Self, WorkflowError> {
         if self.steps.contains_key(name) {
             return Err(WorkflowError::DuplicateStep(name.into()));
         }
         self.steps.insert(
             name.to_string(),
-            StepDef { deps: deps.iter().map(|s| s.to_string()).collect(), kind },
+            StepDef {
+                deps: deps.iter().map(|s| s.to_string()).collect(),
+                kind,
+            },
         );
         self.order_hint.push(name.to_string());
         Ok(self)
@@ -172,7 +191,14 @@ impl Workflow {
         max_retries: u32,
         build: impl Fn(&Outputs) -> ProgramIr + Send + 'static,
     ) -> Result<&mut Self, WorkflowError> {
-        self.add(name, deps, StepKind::Quantum { build: Box::new(build), max_retries })
+        self.add(
+            name,
+            deps,
+            StepKind::Quantum {
+                build: Box::new(build),
+                max_retries,
+            },
+        )
     }
 
     /// Add a classical step computing a [`Value`] from upstream outputs.
@@ -240,7 +266,8 @@ impl Workflow {
                         attempts += 1;
                         match runtime.run(&ir) {
                             Ok(r) => break r,
-                            Err(e @ RuntimeError::Validation(_)) | Err(e @ RuntimeError::Config(_)) => {
+                            Err(e @ RuntimeError::Validation(_))
+                            | Err(e @ RuntimeError::Config(_)) => {
                                 // not transient: retrying cannot help
                                 return Err(WorkflowError::StepFailed {
                                     step: name.clone(),
@@ -271,7 +298,11 @@ impl Workflow {
                         step: name.clone(),
                         message,
                     })?;
-                    trace.push(TraceEntry { step: name.clone(), attempts: 1, device_secs: 0.0 });
+                    trace.push(TraceEntry {
+                        step: name.clone(),
+                        attempts: 1,
+                        device_secs: 0.0,
+                    });
                     outputs.0.insert(name, value);
                 }
             }
@@ -332,7 +363,10 @@ mod tests {
     fn diamond_dependencies_resolve() {
         let mut wf = Workflow::new();
         wf.quantum("a", &[], 0, |_| pulse_ir(0.2, 100)).unwrap();
-        wf.classical("left", &["a"], |o| Ok(Value::Number(o.samples("a").occupation(0)))).unwrap();
+        wf.classical("left", &["a"], |o| {
+            Ok(Value::Number(o.samples("a").occupation(0)))
+        })
+        .unwrap();
         wf.classical("right", &["a"], |o| {
             Ok(Value::Number(o.samples("a").mean_excitations()))
         })
@@ -354,7 +388,8 @@ mod tests {
             wf.classical("x", &[], |_| Ok(Value::Number(2.0))),
             Err(WorkflowError::DuplicateStep(_))
         ));
-        wf.classical("y", &["ghost"], |_| Ok(Value::Number(0.0))).unwrap();
+        wf.classical("y", &["ghost"], |_| Ok(Value::Number(0.0)))
+            .unwrap();
         assert!(matches!(
             wf.run(&runtime()),
             Err(WorkflowError::UnknownDependency { .. })
@@ -364,8 +399,10 @@ mod tests {
     #[test]
     fn cycles_detected() {
         let mut wf = Workflow::new();
-        wf.classical("a", &["b"], |_| Ok(Value::Number(0.0))).unwrap();
-        wf.classical("b", &["a"], |_| Ok(Value::Number(0.0))).unwrap();
+        wf.classical("a", &["b"], |_| Ok(Value::Number(0.0)))
+            .unwrap();
+        wf.classical("b", &["a"], |_| Ok(Value::Number(0.0)))
+            .unwrap();
         assert!(matches!(wf.run(&runtime()), Err(WorkflowError::Cycle(_))));
     }
 
@@ -395,7 +432,10 @@ mod tests {
             let instrumented = Arc::new(InstrumentedResource::new(
                 inner,
                 TimingModel::production_1hz(),
-                FaultConfig { task_failure_prob: 0.5, acquire_denial_prob: 0.0 },
+                FaultConfig {
+                    task_failure_prob: 0.5,
+                    acquire_denial_prob: 0.0,
+                },
                 42,
             ));
             let mut reg = ResourceRegistry::new();

@@ -26,9 +26,14 @@ pub enum EmulatorError {
 impl std::fmt::Display for EmulatorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EmulatorError::Validation(v) => write!(f, "program invalid for device: {} violation(s)", v.len()),
+            EmulatorError::Validation(v) => {
+                write!(f, "program invalid for device: {} violation(s)", v.len())
+            }
             EmulatorError::TooLarge { qubits, limit } => {
-                write!(f, "register of {qubits} qubits exceeds backend limit {limit}")
+                write!(
+                    f,
+                    "register of {qubits} qubits exceeds backend limit {limit}"
+                )
             }
         }
     }
@@ -61,7 +66,11 @@ pub struct SvBackend {
 
 impl Default for SvBackend {
     fn default() -> Self {
-        SvBackend { max_qubits: 20, config: SvConfig::default(), noise: SpamNoise::none() }
+        SvBackend {
+            max_qubits: 20,
+            config: SvConfig::default(),
+            noise: SpamNoise::none(),
+        }
     }
 }
 
@@ -77,7 +86,10 @@ impl Emulator for SvBackend {
     fn run(&self, ir: &ProgramIr, seed: u64) -> Result<SampleResult, EmulatorError> {
         let n = ir.sequence.num_qubits();
         if n > self.max_qubits {
-            return Err(EmulatorError::TooLarge { qubits: n, limit: self.max_qubits });
+            return Err(EmulatorError::TooLarge {
+                qubits: n,
+                limit: self.max_qubits,
+            });
         }
         let spec = self.spec();
         let violations = hpcqc_program::validate(&ir.sequence, &spec);
@@ -112,7 +124,11 @@ pub struct MpsBackend {
 
 impl Default for MpsBackend {
     fn default() -> Self {
-        MpsBackend { max_qubits: 64, config: MpsConfig::default(), noise: SpamNoise::none() }
+        MpsBackend {
+            max_qubits: 64,
+            config: MpsConfig::default(),
+            noise: SpamNoise::none(),
+        }
     }
 }
 
@@ -123,7 +139,11 @@ impl MpsBackend {
     pub fn product_state_mock() -> Self {
         MpsBackend {
             max_qubits: 100,
-            config: MpsConfig { chi_max: 1, max_dt: 5e-3, ..MpsConfig::default() },
+            config: MpsConfig {
+                chi_max: 1,
+                max_dt: 5e-3,
+                ..MpsConfig::default()
+            },
             noise: SpamNoise::none(),
         }
     }
@@ -150,7 +170,10 @@ impl Emulator for MpsBackend {
     fn run(&self, ir: &ProgramIr, seed: u64) -> Result<SampleResult, EmulatorError> {
         let n = ir.sequence.num_qubits();
         if n > self.max_qubits {
-            return Err(EmulatorError::TooLarge { qubits: n, limit: self.max_qubits });
+            return Err(EmulatorError::TooLarge {
+                qubits: n,
+                limit: self.max_qubits,
+            });
         }
         let spec = self.spec();
         let violations = hpcqc_program::validate(&ir.sequence, &spec);
@@ -181,9 +204,7 @@ mod tests {
         let reg = Register::linear(n, spacing).unwrap();
         let omega = 4.0;
         let mut b = SequenceBuilder::new(reg);
-        b.add_global_pulse(
-            Pulse::constant(std::f64::consts::PI / omega, omega, 0.0, 0.0).unwrap(),
-        );
+        b.add_global_pulse(Pulse::constant(std::f64::consts::PI / omega, omega, 0.0, 0.0).unwrap());
         ProgramIr::new(b.build().unwrap(), shots, "test")
     }
 
@@ -200,7 +221,10 @@ mod tests {
     fn sv_backend_rejects_oversized_register() {
         let ir = pi_pulse_ir(21, 6.0, 10);
         match SvBackend::default().run(&ir, 1) {
-            Err(EmulatorError::TooLarge { qubits: 21, limit: 20 }) => {}
+            Err(EmulatorError::TooLarge {
+                qubits: 21,
+                limit: 20,
+            }) => {}
             other => panic!("expected TooLarge, got {other:?}"),
         }
     }
@@ -210,7 +234,11 @@ mod tests {
         let ir = pi_pulse_ir(3, 9.0, 4000);
         let sv = SvBackend::default().run(&ir, 11).unwrap();
         let mps = MpsBackend {
-            config: MpsConfig { chi_max: 16, max_dt: 5e-4, ..MpsConfig::default() },
+            config: MpsConfig {
+                chi_max: 16,
+                max_dt: 5e-4,
+                ..MpsConfig::default()
+            },
             ..MpsBackend::default()
         }
         .run(&ir, 12)
@@ -251,24 +279,38 @@ mod tests {
     #[test]
     fn noisy_backend_biases_occupation() {
         let b = SvBackend {
-            noise: SpamNoise { epsilon: 0.0, epsilon_prime: 0.2 },
+            noise: SpamNoise {
+                epsilon: 0.0,
+                epsilon_prime: 0.2,
+            },
             ..Default::default()
         };
         let ir = pi_pulse_ir(1, 6.0, 5000);
         let res = b.run(&ir, 5).unwrap();
         // true occupation 1.0, measured ~0.8
-        assert!((res.occupation(0) - 0.8).abs() < 0.03, "got {}", res.occupation(0));
+        assert!(
+            (res.occupation(0) - 0.8).abs() < 0.03,
+            "got {}",
+            res.occupation(0)
+        );
     }
 
     #[test]
     fn mps_reports_truncation_error() {
         let ir = pi_pulse_ir(6, 5.5, 50);
         let tight = MpsBackend {
-            config: MpsConfig { chi_max: 1, max_dt: 1e-3, ..MpsConfig::default() },
+            config: MpsConfig {
+                chi_max: 1,
+                max_dt: 1e-3,
+                ..MpsConfig::default()
+            },
             max_qubits: 64,
             noise: SpamNoise::none(),
         };
         let res = tight.run(&ir, 3).unwrap();
-        assert!(res.truncation_error > 0.0, "χ=1 on an entangling program truncates");
+        assert!(
+            res.truncation_error > 0.0,
+            "χ=1 on an entangling program truncates"
+        );
     }
 }

@@ -11,8 +11,8 @@
 //! where `n_i = |r⟩⟨r|_i` is the Rydberg-number operator. Bit `i` of a basis
 //! index set to 1 denotes atom `i` in the Rydberg state.
 
-use hpcqc_program::{Register, Sequence};
 use hpcqc_program::sequence::GLOBAL_CHANNEL;
+use hpcqc_program::{Register, Sequence};
 
 /// Precomputed time-independent structure of the Rydberg Hamiltonian.
 ///
@@ -37,7 +37,10 @@ impl RydbergHamiltonian {
     /// Memory is `O(2^n)`; callers (the state-vector backend) bound `n`.
     pub fn new(register: &Register, c6: f64) -> Self {
         let n = register.len();
-        assert!(n <= 26, "state-vector Hamiltonian limited to 26 qubits, got {n}");
+        assert!(
+            n <= 26,
+            "state-vector Hamiltonian limited to 26 qubits, got {n}"
+        );
         let dim = 1usize << n;
         let pair_u: Vec<(usize, usize, f64)> = register
             .pairs()
@@ -57,7 +60,12 @@ impl RydbergHamiltonian {
             }
             interaction_diag[b] = e;
         }
-        RydbergHamiltonian { n, interaction_diag, occupation, pair_u }
+        RydbergHamiltonian {
+            n,
+            interaction_diag,
+            occupation,
+            pair_u,
+        }
     }
 
     /// Hilbert-space dimension `2^n`.
@@ -77,11 +85,7 @@ impl RydbergHamiltonian {
     /// A conservative bound on the spectral norm at drive `(omega, delta)`:
     /// used to pick stable integrator steps.
     pub fn energy_scale(&self, omega: f64, delta: f64) -> f64 {
-        let max_int = self
-            .interaction_diag
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let max_int = self.interaction_diag.iter().cloned().fold(0.0f64, f64::max);
         max_int + delta.abs() * self.n as f64 + omega.abs() * self.n as f64 / 2.0
     }
 }
@@ -127,8 +131,8 @@ impl DiscretizedDrive {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpcqc_program::{Pulse, SequenceBuilder};
     use hpcqc_program::units::C6_COEFF;
+    use hpcqc_program::{Pulse, SequenceBuilder};
 
     fn chain(n: usize, spacing: f64) -> Register {
         Register::linear(n, spacing).unwrap()

@@ -19,7 +19,11 @@ pub struct CMatrix {
 impl CMatrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CMatrix { rows, cols, data: vec![Complex64::new(0.0, 0.0); rows * cols] }
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex64::new(0.0, 0.0); rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -168,8 +172,7 @@ pub fn hermitian_eig(a: &CMatrix) -> (Vec<f64>, CMatrix) {
         }
     }
 
-    let mut pairs: Vec<(f64, usize)> =
-        (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
     pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite eigenvalues"));
     let eigvals: Vec<f64> = pairs.iter().map(|p| p.0).collect();
     let mut vecs = CMatrix::zeros(n, n);
@@ -267,9 +270,15 @@ mod tests {
             3,
             3,
             &[
-                c(1.0, 0.5), c(2.0, 0.0), c(0.0, 1.0),
-                c(0.0, 0.0), c(3.0, -1.0), c(1.0, 0.0),
-                c(2.0, 2.0), c(0.0, 0.0), c(1.0, 1.0),
+                c(1.0, 0.5),
+                c(2.0, 0.0),
+                c(0.0, 1.0),
+                c(0.0, 0.0),
+                c(3.0, -1.0),
+                c(1.0, 0.0),
+                c(2.0, 2.0),
+                c(0.0, 0.0),
+                c(1.0, 1.0),
             ],
         );
         assert_eq!(i.matmul(&m), m);
@@ -278,10 +287,18 @@ mod tests {
 
     #[test]
     fn dagger_involution() {
-        let m = CMatrix::from_rows(2, 3, &[
-            c(1.0, 2.0), c(0.0, -1.0), c(3.0, 0.0),
-            c(0.5, 0.5), c(2.0, 2.0), c(-1.0, 1.0),
-        ]);
+        let m = CMatrix::from_rows(
+            2,
+            3,
+            &[
+                c(1.0, 2.0),
+                c(0.0, -1.0),
+                c(3.0, 0.0),
+                c(0.5, 0.5),
+                c(2.0, 2.0),
+                c(-1.0, 1.0),
+            ],
+        );
         assert_eq!(m.dagger().dagger(), m);
         assert_eq!(m.dagger().rows, 3);
     }
@@ -331,11 +348,18 @@ mod tests {
 
     #[test]
     fn svd_reconstructs_tall_matrix() {
-        let a = CMatrix::from_rows(3, 2, &[
-            c(1.0, 0.0), c(2.0, 1.0),
-            c(0.0, -1.0), c(1.0, 0.0),
-            c(2.0, 0.5), c(0.0, 0.0),
-        ]);
+        let a = CMatrix::from_rows(
+            3,
+            2,
+            &[
+                c(1.0, 0.0),
+                c(2.0, 1.0),
+                c(0.0, -1.0),
+                c(1.0, 0.0),
+                c(2.0, 0.5),
+                c(0.0, 0.0),
+            ],
+        );
         let (u, s, vt) = svd(&a);
         let mut sig = CMatrix::zeros(s.len(), s.len());
         for (i, &si) in s.iter().enumerate() {
@@ -357,10 +381,20 @@ mod tests {
 
     #[test]
     fn svd_reconstructs_wide_matrix() {
-        let a = CMatrix::from_rows(2, 4, &[
-            c(1.0, 0.0), c(0.0, 2.0), c(1.0, -1.0), c(0.5, 0.0),
-            c(0.0, 0.0), c(1.0, 0.0), c(2.0, 2.0), c(-1.0, 0.0),
-        ]);
+        let a = CMatrix::from_rows(
+            2,
+            4,
+            &[
+                c(1.0, 0.0),
+                c(0.0, 2.0),
+                c(1.0, -1.0),
+                c(0.5, 0.0),
+                c(0.0, 0.0),
+                c(1.0, 0.0),
+                c(2.0, 2.0),
+                c(-1.0, 0.0),
+            ],
+        );
         let (u, s, vt) = svd(&a);
         assert_eq!(u.cols, 2);
         assert_eq!(vt.rows, 2);
@@ -387,7 +421,11 @@ mod tests {
 
     #[test]
     fn expm_identity_at_zero_time() {
-        let h = CMatrix::from_rows(2, 2, &[c(1.0, 0.0), c(0.5, 0.2), c(0.5, -0.2), c(-1.0, 0.0)]);
+        let h = CMatrix::from_rows(
+            2,
+            2,
+            &[c(1.0, 0.0), c(0.5, 0.2), c(0.5, -0.2), c(-1.0, 0.0)],
+        );
         let u = expm_2x2_hermitian(&h, 0.0);
         assert!((u[(0, 0)] - c(1.0, 0.0)).norm() < 1e-12);
         assert!(u[(0, 1)].norm() < 1e-12);
@@ -395,7 +433,11 @@ mod tests {
 
     #[test]
     fn expm_is_unitary() {
-        let h = CMatrix::from_rows(2, 2, &[c(0.7, 0.0), c(1.2, -0.3), c(1.2, 0.3), c(-0.4, 0.0)]);
+        let h = CMatrix::from_rows(
+            2,
+            2,
+            &[c(0.7, 0.0), c(1.2, -0.3), c(1.2, 0.3), c(-0.4, 0.0)],
+        );
         let u = expm_2x2_hermitian(&h, 0.37);
         let g = u.dagger().matmul(&u);
         assert!((g[(0, 0)].re - 1.0).abs() < 1e-12);

@@ -30,7 +30,11 @@ struct Tensor3 {
 
 impl Tensor3 {
     fn zeros(dl: usize, dr: usize) -> Self {
-        Tensor3 { dl, dr, data: vec![Complex64::new(0.0, 0.0); dl * 2 * dr] }
+        Tensor3 {
+            dl,
+            dr,
+            data: vec![Complex64::new(0.0, 0.0); dl * 2 * dr],
+        }
     }
 
     #[inline]
@@ -61,7 +65,12 @@ pub struct MpsConfig {
 
 impl Default for MpsConfig {
     fn default() -> Self {
-        MpsConfig { chi_max: 16, svd_cutoff: 1e-10, max_dt: 1e-3, max_interaction_range: 3 }
+        MpsConfig {
+            chi_max: 16,
+            svd_cutoff: 1e-10,
+            max_dt: 1e-3,
+            max_interaction_range: 3,
+        }
     }
 }
 
@@ -91,7 +100,13 @@ impl Mps {
                 t
             })
             .collect();
-        Mps { n, tensors, center: 0, truncation_error: 0.0, cfg }
+        Mps {
+            n,
+            tensors,
+            center: 0,
+            truncation_error: 0.0,
+            cfg,
+        }
     }
 
     /// Largest bond dimension currently in use.
@@ -280,8 +295,7 @@ impl Mps {
                         let mut acc = Complex64::new(0.0, 0.0);
                         for p1 in 0..2 {
                             for p2 in 0..2 {
-                                acc += gate[(idx(q1, q2), idx(p1, p2))]
-                                    * theta[th(l, p1, p2, r)];
+                                acc += gate[(idx(q1, q2), idx(p1, p2))] * theta[th(l, p1, p2, r)];
                             }
                         }
                         theta2[th(l, q1, q2, r)] = acc;
@@ -314,7 +328,11 @@ impl Mps {
             self.truncation_error += (total - kept) / total;
         }
         // renormalize the kept Schmidt spectrum to preserve the state norm
-        let rescale = if kept > 0.0 { (total / kept).sqrt() } else { 1.0 };
+        let rescale = if kept > 0.0 {
+            (total / kept).sqrt()
+        } else {
+            1.0
+        };
 
         let mut at = Tensor3::zeros(dl, keep);
         let mut bt = Tensor3::zeros(keep, dr);
@@ -414,7 +432,10 @@ impl Mps {
         for i in 0..self.n {
             let t = &self.tensors[i];
             debug_assert_eq!(lvec.len(), t.dl);
-            let mut w = [vec![Complex64::new(0.0, 0.0); t.dr], vec![Complex64::new(0.0, 0.0); t.dr]];
+            let mut w = [
+                vec![Complex64::new(0.0, 0.0); t.dr],
+                vec![Complex64::new(0.0, 0.0); t.dr],
+            ];
             for (p, wp) in w.iter_mut().enumerate() {
                 for (r, slot) in wp.iter_mut().enumerate() {
                     *slot = lvec
@@ -427,7 +448,11 @@ impl Mps {
             let p0: f64 = w[0].iter().map(|z| z.norm_sqr()).sum();
             let p1: f64 = w[1].iter().map(|z| z.norm_sqr()).sum();
             let tot = p0 + p1;
-            let pick1 = if tot > 0.0 { rng.gen::<f64>() < p1 / tot } else { false };
+            let pick1 = if tot > 0.0 {
+                rng.gen::<f64>() < p1 / tot
+            } else {
+                false
+            };
             let (chosen, pp) = if pick1 { (&w[1], p1) } else { (&w[0], p0) };
             if pick1 {
                 out |= 1 << i;
@@ -452,11 +477,7 @@ impl Mps {
                 for v in &partial {
                     let mut w = vec![Complex64::new(0.0, 0.0); t.dr];
                     for (r, slot) in w.iter_mut().enumerate() {
-                        *slot = v
-                            .iter()
-                            .enumerate()
-                            .map(|(l, lv)| lv * t.at(l, p, r))
-                            .sum();
+                        *slot = v.iter().enumerate().map(|(l, lv)| lv * t.at(l, p, r)).sum();
                     }
                     next.push(w);
                 }
@@ -581,7 +602,10 @@ mod tests {
     fn ranged_gate_equals_dense_result() {
         // Apply interaction between sites 0 and 2 of a 3-site chain prepared
         // in |+ + +⟩ and compare against dense linear algebra.
-        let cfg = MpsConfig { chi_max: 8, ..MpsConfig::default() };
+        let cfg = MpsConfig {
+            chi_max: 8,
+            ..MpsConfig::default()
+        };
         let mut mps = Mps::ground(3, cfg);
         let had = {
             // R_y-like: (|0> + |1>)/sqrt2 from |0>
@@ -623,7 +647,11 @@ mod tests {
         let mut mps = evolve_sequence_mps(
             &seq,
             C6_COEFF,
-            &MpsConfig { chi_max: 16, max_dt: 2e-4, ..MpsConfig::default() },
+            &MpsConfig {
+                chi_max: 16,
+                max_dt: 2e-4,
+                ..MpsConfig::default()
+            },
         );
         for i in 0..4 {
             let p_sv = sv.rydberg_population(i);
@@ -642,7 +670,10 @@ mod tests {
         let mut mps = evolve_sequence_mps(
             &seq,
             C6_COEFF,
-            &MpsConfig { chi_max: 1, ..MpsConfig::default() },
+            &MpsConfig {
+                chi_max: 1,
+                ..MpsConfig::default()
+            },
         );
         assert_eq!(mps.max_bond(), 1, "χ=1 keeps the state a product state");
         // It still runs end to end and produces probabilities in [0,1].
@@ -658,12 +689,20 @@ mod tests {
         let lo = evolve_sequence_mps(
             &seq,
             C6_COEFF,
-            &MpsConfig { chi_max: 2, max_dt: 1e-3, ..MpsConfig::default() },
+            &MpsConfig {
+                chi_max: 2,
+                max_dt: 1e-3,
+                ..MpsConfig::default()
+            },
         );
         let hi = evolve_sequence_mps(
             &seq,
             C6_COEFF,
-            &MpsConfig { chi_max: 32, max_dt: 1e-3, ..MpsConfig::default() },
+            &MpsConfig {
+                chi_max: 32,
+                max_dt: 1e-3,
+                ..MpsConfig::default()
+            },
         );
         assert!(
             lo.truncation_error >= hi.truncation_error,

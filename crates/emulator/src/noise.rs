@@ -22,12 +22,18 @@ pub struct SpamNoise {
 impl SpamNoise {
     /// Typical production values for neutral-atom readout.
     pub fn typical() -> Self {
-        SpamNoise { epsilon: 0.01, epsilon_prime: 0.03 }
+        SpamNoise {
+            epsilon: 0.01,
+            epsilon_prime: 0.03,
+        }
     }
 
     /// No noise (identity channel).
     pub fn none() -> Self {
-        SpamNoise { epsilon: 0.0, epsilon_prime: 0.0 }
+        SpamNoise {
+            epsilon: 0.0,
+            epsilon_prime: 0.0,
+        }
     }
 
     /// Validate probabilities are in [0, 1].
@@ -43,7 +49,11 @@ impl SpamNoise {
         let mut out = bitstring;
         for i in 0..n {
             let bit = (bitstring >> i) & 1;
-            let flip_p = if bit == 0 { self.epsilon } else { self.epsilon_prime };
+            let flip_p = if bit == 0 {
+                self.epsilon
+            } else {
+                self.epsilon_prime
+            };
             if flip_p > 0.0 && rng.gen::<f64>() < flip_p {
                 out ^= 1 << i;
             }
@@ -88,13 +98,24 @@ mod tests {
     #[test]
     fn typical_is_valid() {
         assert!(SpamNoise::typical().is_valid());
-        assert!(!SpamNoise { epsilon: -0.1, epsilon_prime: 0.0 }.is_valid());
-        assert!(!SpamNoise { epsilon: 0.0, epsilon_prime: 1.5 }.is_valid());
+        assert!(!SpamNoise {
+            epsilon: -0.1,
+            epsilon_prime: 0.0
+        }
+        .is_valid());
+        assert!(!SpamNoise {
+            epsilon: 0.0,
+            epsilon_prime: 1.5
+        }
+        .is_valid());
     }
 
     #[test]
     fn flip_rates_match_parameters() {
-        let noise = SpamNoise { epsilon: 0.05, epsilon_prime: 0.2 };
+        let noise = SpamNoise {
+            epsilon: 0.05,
+            epsilon_prime: 0.2,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let trials = 100_000;
         let mut zeros_flipped = 0u32;
@@ -121,13 +142,19 @@ mod tests {
         for p in [0.0, 0.25, 0.5, 0.9, 1.0] {
             let biased = n.biased_occupation(p);
             let rec = n.unbias_occupation(biased).unwrap();
-            assert!((rec - p).abs() < 1e-12, "p={p}: biased {biased}, recovered {rec}");
+            assert!(
+                (rec - p).abs() < 1e-12,
+                "p={p}: biased {biased}, recovered {rec}"
+            );
         }
     }
 
     #[test]
     fn degenerate_channel_not_invertible() {
-        let n = SpamNoise { epsilon: 0.5, epsilon_prime: 0.5 };
+        let n = SpamNoise {
+            epsilon: 0.5,
+            epsilon_prime: 0.5,
+        };
         assert!(n.unbias_occupation(0.5).is_none());
     }
 

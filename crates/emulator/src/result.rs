@@ -132,9 +132,7 @@ mod tests {
 
     fn res() -> SampleResult {
         // shots: 00 x4, 01 x3, 11 x2, 10 x1  (bit0 = atom0)
-        let outcomes = [
-            0b00, 0b00, 0b00, 0b00, 0b01, 0b01, 0b01, 0b11, 0b11, 0b10,
-        ];
+        let outcomes = [0b00, 0b00, 0b00, 0b00, 0b01, 0b01, 0b01, 0b11, 0b11, 0b10];
         SampleResult::from_shots(2, &outcomes, "test")
     }
 

@@ -116,8 +116,8 @@ pub fn apply_h(
     let down = Complex64::from_polar(half, phase);
 
     let kernel = |b: usize| {
-        let mut out = psi[b]
-            * Complex64::new(h.interaction_diag[b] - delta * h.occupation[b] as f64, 0.0);
+        let mut out =
+            psi[b] * Complex64::new(h.interaction_diag[b] - delta * h.occupation[b] as f64, 0.0);
         if omega != 0.0 {
             for i in 0..h.n {
                 let flipped = b ^ (1 << i);
@@ -188,7 +188,10 @@ pub struct SvConfig {
 
 impl Default for SvConfig {
     fn default() -> Self {
-        SvConfig { max_dt: 1e-3, stability_factor: 0.1 }
+        SvConfig {
+            max_dt: 1e-3,
+            stability_factor: 0.1,
+        }
     }
 }
 
@@ -289,7 +292,11 @@ mod tests {
         for &(o, d, p) in &drive.steps {
             rk4_step(&h, &mut state, o, d, p, drive.dt);
         }
-        assert!((state.norm_sqr() - 1.0).abs() < 1e-8, "norm drift: {}", state.norm_sqr());
+        assert!(
+            (state.norm_sqr() - 1.0).abs() < 1e-8,
+            "norm drift: {}",
+            state.norm_sqr()
+        );
     }
 
     #[test]
@@ -321,7 +328,10 @@ mod tests {
         b.add_global_pulse(Pulse::constant(t, omega, 0.0, 0.0).unwrap());
         let seq = b.build().unwrap();
         let s = evolve_sequence(&seq, C6_COEFF, &SvConfig::default());
-        assert!(s.rydberg_correlation(0, 1) > 0.95, "independent atoms both excite");
+        assert!(
+            s.rydberg_correlation(0, 1) > 0.95,
+            "independent atoms both excite"
+        );
     }
 
     #[test]

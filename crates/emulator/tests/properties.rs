@@ -2,11 +2,9 @@
 //! noise-channel algebra and linear-algebra invariants.
 
 use hpcqc_emulator::linalg::{expm_2x2_hermitian, hermitian_eig, svd, CMatrix};
-use hpcqc_emulator::{
-    Emulator, MpsBackend, MpsConfig, SpamNoise, SvBackend,
-};
-use hpcqc_emulator::statevector::{evolve_sequence, SvConfig};
 use hpcqc_emulator::mps::evolve_sequence_mps;
+use hpcqc_emulator::statevector::{evolve_sequence, SvConfig};
+use hpcqc_emulator::{Emulator, MpsBackend, MpsConfig, SpamNoise, SvBackend};
 use hpcqc_program::units::C6_COEFF;
 use hpcqc_program::{ProgramIr, Pulse, Register, SequenceBuilder};
 use num_complex::Complex64;
@@ -31,14 +29,19 @@ fn arb_hermitian(n: usize) -> impl Strategy<Value = CMatrix> {
 }
 
 fn arb_program() -> impl Strategy<Value = ProgramIr> {
-    (2usize..5, 5.0f64..9.0, 0.5f64..8.0, -10.0f64..10.0, 0.05f64..0.4).prop_map(
-        |(n, spacing, omega, delta, duration)| {
+    (
+        2usize..5,
+        5.0f64..9.0,
+        0.5f64..8.0,
+        -10.0f64..10.0,
+        0.05f64..0.4,
+    )
+        .prop_map(|(n, spacing, omega, delta, duration)| {
             let reg = Register::linear(n, spacing).unwrap();
             let mut b = SequenceBuilder::new(reg);
             b.add_global_pulse(Pulse::constant(duration, omega, delta, 0.0).unwrap());
             ProgramIr::new(b.build().unwrap(), 100, "proptest")
-        },
-    )
+        })
 }
 
 proptest! {
@@ -159,7 +162,11 @@ fn chi_one_mock_runs_arbitrarily_large_registers() {
     let ir = ProgramIr::new(b.build().unwrap(), 20, "big");
     let mock = MpsBackend {
         max_qubits: 64,
-        config: MpsConfig { chi_max: 1, max_dt: 5e-3, ..MpsConfig::default() },
+        config: MpsConfig {
+            chi_max: 1,
+            max_dt: 5e-3,
+            ..MpsConfig::default()
+        },
         noise: SpamNoise::none(),
     };
     let res = mock.run(&ir, 1).unwrap();

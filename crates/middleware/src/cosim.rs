@@ -171,7 +171,10 @@ enum Ev {
     /// A classical phase of job `id` finished.
     ClassicalDone(u64),
     /// The QPU finished a slice of job `id` (`secs` of quantum work done).
-    QpuSliceDone { id: u64, secs: f64 },
+    QpuSliceDone {
+        id: u64,
+        secs: f64,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -282,7 +285,9 @@ impl Cosim {
             .filter(|rt| {
                 matches!(
                     rt.state,
-                    JobState::RunningClassical | JobState::WaitingQpu { .. } | JobState::OnQpu { .. }
+                    JobState::RunningClassical
+                        | JobState::WaitingQpu { .. }
+                        | JobState::OnQpu { .. }
                 )
             })
             .map(|rt| hint_duty(rt.job.hint))
@@ -295,7 +300,9 @@ impl Cosim {
             .filter(|rt| {
                 matches!(
                     rt.state,
-                    JobState::RunningClassical | JobState::WaitingQpu { .. } | JobState::OnQpu { .. }
+                    JobState::RunningClassical
+                        | JobState::WaitingQpu { .. }
+                        | JobState::OnQpu { .. }
                 )
             })
             .count()
@@ -360,7 +367,10 @@ impl Cosim {
                 self.events.schedule_at(now + secs, Ev::ClassicalDone(id));
             }
             Some(Phase::Quantum(secs)) => {
-                rt.state = JobState::WaitingQpu { since: now, remaining: secs };
+                rt.state = JobState::WaitingQpu {
+                    since: now,
+                    remaining: secs,
+                };
                 self.qpu_queue.push(id);
             }
         }
@@ -420,15 +430,19 @@ impl Cosim {
         let JobState::WaitingQpu { remaining, .. } = rt.state else {
             return; // stale entry
         };
-        let slice = if preemptible && matches!(self.cfg.qpu_policy, QpuPolicy::Priority { preemption: true })
-        {
+        let slice = if preemptible
+            && matches!(
+                self.cfg.qpu_policy,
+                QpuPolicy::Priority { preemption: true }
+            ) {
             remaining.min(self.cfg.chunk_secs)
         } else {
             remaining
         };
         rt.state = JobState::OnQpu { remaining };
         self.qpu_busy_with = Some(id);
-        self.events.schedule_at(now + slice, Ev::QpuSliceDone { id, secs: slice });
+        self.events
+            .schedule_at(now + slice, Ev::QpuSliceDone { id, secs: slice });
     }
 
     /// Run the whole simulation and report.
@@ -456,7 +470,10 @@ impl Cosim {
                     let left = remaining - secs;
                     if left > 1e-9 {
                         // unfinished: preemption check — anyone more urgent?
-                        rt.state = JobState::WaitingQpu { since: t, remaining: left };
+                        rt.state = JobState::WaitingQpu {
+                            since: t,
+                            remaining: left,
+                        };
                         self.qpu_queue.push(id);
                         let class = self.jobs[&id].job.class;
                         if let QpuPolicy::Priority { preemption: true } = self.cfg.qpu_policy {
@@ -497,7 +514,10 @@ impl Cosim {
                     .entry(class.clone())
                     .or_default()
                     .push((rt.job.arrival, start));
-                turnaround.entry(class).or_default().push(end - rt.job.arrival);
+                turnaround
+                    .entry(class)
+                    .or_default()
+                    .push(end - rt.job.arrival);
             }
         }
         // reuse WaitStats via synthetic jobs is clumsy; compute directly
@@ -518,7 +538,11 @@ impl Cosim {
             }
         };
         CosimReport {
-            qpu_utilization: if makespan > 0.0 { self.qpu_busy_secs / makespan } else { 0.0 },
+            qpu_utilization: if makespan > 0.0 {
+                self.qpu_busy_secs / makespan
+            } else {
+                0.0
+            },
             qpu_busy_secs: self.qpu_busy_secs,
             makespan_secs: makespan,
             node_waste_frac: if self.node_held_secs > 0.0 {
@@ -561,8 +585,21 @@ fn remaining_quantum(rt: &JobRt) -> f64 {
 mod tests {
     use super::*;
 
-    fn job(id: u64, class: PriorityClass, hint: PatternHint, phases: Vec<Phase>, arrival: f64) -> HybridJob {
-        HybridJob { id, class, hint, nodes: 1, phases, arrival }
+    fn job(
+        id: u64,
+        class: PriorityClass,
+        hint: PatternHint,
+        phases: Vec<Phase>,
+        arrival: f64,
+    ) -> HybridJob {
+        HybridJob {
+            id,
+            class,
+            hint,
+            nodes: 1,
+            phases,
+            arrival,
+        }
     }
 
     fn balanced(id: u64, arrival: f64) -> HybridJob {
@@ -570,7 +607,12 @@ mod tests {
             id,
             PriorityClass::Test,
             PatternHint::QcBalanced,
-            vec![Phase::Classical(50.0), Phase::Quantum(50.0), Phase::Classical(50.0), Phase::Quantum(50.0)],
+            vec![
+                Phase::Classical(50.0),
+                Phase::Quantum(50.0),
+                Phase::Classical(50.0),
+                Phase::Quantum(50.0),
+            ],
             arrival,
         )
     }
@@ -578,7 +620,10 @@ mod tests {
     #[test]
     fn single_job_timing_exact() {
         let r = Cosim::new(
-            CosimConfig { admission: AdmissionPolicy::Sequential, ..CosimConfig::default() },
+            CosimConfig {
+                admission: AdmissionPolicy::Sequential,
+                ..CosimConfig::default()
+            },
             vec![balanced(1, 0.0)],
         )
         .run();
@@ -601,12 +646,18 @@ mod tests {
     fn interleaving_beats_sequential_on_balanced_mix() {
         let jobs: Vec<HybridJob> = (0..10).map(|i| balanced(i, 0.0)).collect();
         let seq = Cosim::new(
-            CosimConfig { admission: AdmissionPolicy::Sequential, ..CosimConfig::default() },
+            CosimConfig {
+                admission: AdmissionPolicy::Sequential,
+                ..CosimConfig::default()
+            },
             jobs.clone(),
         )
         .run();
         let inter = Cosim::new(
-            CosimConfig { admission: AdmissionPolicy::NodeLimited, ..CosimConfig::default() },
+            CosimConfig {
+                admission: AdmissionPolicy::NodeLimited,
+                ..CosimConfig::default()
+            },
             jobs,
         )
         .run();
@@ -634,7 +685,10 @@ mod tests {
         };
         let jobs: Vec<HybridJob> = (0..8).map(mk).collect();
         let seq = Cosim::new(
-            CosimConfig { admission: AdmissionPolicy::Sequential, ..CosimConfig::default() },
+            CosimConfig {
+                admission: AdmissionPolicy::Sequential,
+                ..CosimConfig::default()
+            },
             jobs.clone(),
         )
         .run();
@@ -658,7 +712,10 @@ mod tests {
         };
         let jobs: Vec<HybridJob> = (0..8).map(mk).collect();
         let greedy = Cosim::new(
-            CosimConfig { admission: AdmissionPolicy::NodeLimited, ..CosimConfig::default() },
+            CosimConfig {
+                admission: AdmissionPolicy::NodeLimited,
+                ..CosimConfig::default()
+            },
             jobs.clone(),
         )
         .run();
@@ -710,7 +767,10 @@ mod tests {
         )
         .run();
         let fifo = Cosim::new(
-            CosimConfig { qpu_policy: QpuPolicy::Fifo, ..CosimConfig::default() },
+            CosimConfig {
+                qpu_policy: QpuPolicy::Fifo,
+                ..CosimConfig::default()
+            },
             jobs,
         )
         .run();
@@ -736,7 +796,10 @@ mod tests {
             )
         };
         let r = Cosim::new(
-            CosimConfig { admission: AdmissionPolicy::NodeLimited, ..CosimConfig::default() },
+            CosimConfig {
+                admission: AdmissionPolicy::NodeLimited,
+                ..CosimConfig::default()
+            },
             vec![mk(1), mk(2)],
         )
         .run();
@@ -750,8 +813,20 @@ mod tests {
         // jobs queue behind it: SJF then runs the short ones first, cutting
         // aggregate turnaround vs FIFO.
         let mut jobs = vec![
-            job(99, PriorityClass::Test, PatternHint::QcHeavy, vec![Phase::Quantum(5.0)], 0.0),
-            job(0, PriorityClass::Test, PatternHint::QcHeavy, vec![Phase::Quantum(500.0)], 0.05),
+            job(
+                99,
+                PriorityClass::Test,
+                PatternHint::QcHeavy,
+                vec![Phase::Quantum(5.0)],
+                0.0,
+            ),
+            job(
+                0,
+                PriorityClass::Test,
+                PatternHint::QcHeavy,
+                vec![Phase::Quantum(500.0)],
+                0.05,
+            ),
         ];
         for i in 1..6 {
             jobs.push(job(
@@ -763,12 +838,18 @@ mod tests {
             ));
         }
         let fifo = Cosim::new(
-            CosimConfig { qpu_policy: QpuPolicy::Fifo, ..CosimConfig::default() },
+            CosimConfig {
+                qpu_policy: QpuPolicy::Fifo,
+                ..CosimConfig::default()
+            },
             jobs.clone(),
         )
         .run();
         let sjf = Cosim::new(
-            CosimConfig { qpu_policy: QpuPolicy::ShortestFirst, ..CosimConfig::default() },
+            CosimConfig {
+                qpu_policy: QpuPolicy::ShortestFirst,
+                ..CosimConfig::default()
+            },
             jobs,
         )
         .run();
@@ -785,8 +866,20 @@ mod tests {
     #[test]
     fn report_contains_all_classes() {
         let jobs = vec![
-            job(1, PriorityClass::Production, PatternHint::None, vec![Phase::Quantum(10.0)], 0.0),
-            job(2, PriorityClass::Development, PatternHint::None, vec![Phase::Quantum(10.0)], 0.0),
+            job(
+                1,
+                PriorityClass::Production,
+                PatternHint::None,
+                vec![Phase::Quantum(10.0)],
+                0.0,
+            ),
+            job(
+                2,
+                PriorityClass::Development,
+                PatternHint::None,
+                vec![Phase::Quantum(10.0)],
+                0.0,
+            ),
         ];
         let r = Cosim::new(CosimConfig::default(), jobs).run();
         assert_eq!(r.completed, 2);

@@ -9,12 +9,13 @@
 
 use crate::session::{PriorityClass, SessionError, SessionManager};
 use crate::taskqueue::{QuantumTask, QueueConfig, QueueError, TaskQueue};
+use hpcqc_analysis::Analyzer;
 use hpcqc_emulator::SampleResult;
 use hpcqc_program::{DeviceSpec, ProgramIr};
 use hpcqc_qpu::{QpuStatus, VirtualQpu};
 use hpcqc_qrmi::QuantumResource;
 use hpcqc_scheduler::PatternHint;
-use hpcqc_telemetry::{labels, FaultMetrics, Registry};
+use hpcqc_telemetry::{labels, FaultMetrics, LintMetrics, Registry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -37,6 +38,10 @@ pub struct DaemonConfig {
     pub preempt_chunk_shots: u32,
     /// Validate programs against the live device spec at submission.
     pub validate_on_submit: bool,
+    /// Run the full static-analysis pipeline at submission: reject on
+    /// Error-level diagnostics, record Warning-level ones in the job record,
+    /// and cross-check the user's pattern hint against the inferred one.
+    pub analyze_on_submit: bool,
     /// Fair-share usage half-life in seconds (0 disables fair-share).
     pub fairshare_half_life_secs: f64,
     /// Serve repeated *development* programs from a fingerprint-keyed result
@@ -58,6 +63,7 @@ impl Default for DaemonConfig {
             dev_shot_cap: 100,
             preempt_chunk_shots: 10,
             validate_on_submit: true,
+            analyze_on_submit: true,
             fairshare_half_life_secs: 3600.0,
             cache_dev_results: true,
             session_ttl_secs: 0.0,
@@ -176,12 +182,18 @@ pub struct MiddlewareService {
     fairshare: Option<crate::fairshare::FairshareTracker>,
     /// Development-result cache keyed by program fingerprint.
     dev_cache: Mutex<HashMap<u64, SampleResult>>,
+    /// The static-analysis pipeline run at submission.
+    analyzer: Analyzer,
+    /// Warning-level findings recorded per accepted task (job record).
+    warnings: Mutex<HashMap<u64, Vec<String>>>,
 }
 
 impl MiddlewareService {
     pub fn new(resource: Arc<dyn QuantumResource>, cfg: DaemonConfig) -> Self {
         let fairshare = if cfg.fairshare_half_life_secs > 0.0 {
-            Some(crate::fairshare::FairshareTracker::new(cfg.fairshare_half_life_secs))
+            Some(crate::fairshare::FairshareTracker::new(
+                cfg.fairshare_half_life_secs,
+            ))
         } else {
             None
         };
@@ -207,6 +219,8 @@ impl MiddlewareService {
             dispatch_lock: Mutex::new(()),
             fairshare,
             dev_cache: Mutex::new(HashMap::new()),
+            analyzer: Analyzer::standard(),
+            warnings: Mutex::new(HashMap::new()),
         }
     }
 
@@ -226,6 +240,11 @@ impl MiddlewareService {
     /// Typed facade over this daemon's registry for recovery counters.
     fn fault_metrics(&self) -> FaultMetrics {
         FaultMetrics::new(self.registry.clone())
+    }
+
+    /// Typed facade over this daemon's registry for analyzer counters.
+    fn lint_metrics(&self) -> LintMetrics {
+        LintMetrics::new(self.registry.clone())
     }
 
     /// The daemon's metrics registry.
@@ -289,42 +308,106 @@ impl MiddlewareService {
     /// The current device spec, fetched through QRMI — what clients validate
     /// against before submitting (§2.1 drift safety).
     pub fn device_spec(&self) -> Result<DeviceSpec, DaemonError> {
-        self.resource.target().map_err(|e| DaemonError::Internal(e.to_string()))
+        self.resource
+            .target()
+            .map_err(|e| DaemonError::Internal(e.to_string()))
     }
 
     /// Submit a program under a session. Applies class policies (dev shot
-    /// cap), validates against the live spec, and queues.
+    /// cap), validates against the live spec, runs the static-analysis
+    /// pipeline, and queues. Error-level diagnostics reject; Warning-level
+    /// ones are kept in the job record (see [`Self::task_warnings`]).
     pub fn submit(
         &self,
         token: &str,
         mut ir: ProgramIr,
-        hint: PatternHint,
+        mut hint: PatternHint,
     ) -> Result<u64, DaemonError> {
         let session = self.sessions.validate(token)?;
         if session.class == PriorityClass::Development && ir.shots > self.cfg.dev_shot_cap {
             ir.shots = self.cfg.dev_shot_cap;
         }
-        if self.cfg.validate_on_submit {
+        let mut pending_warnings: Vec<String> = Vec::new();
+        if self.cfg.validate_on_submit || self.cfg.analyze_on_submit {
             let spec = self.device_spec()?;
-            let violations = hpcqc_program::validate(&ir.sequence, &spec);
-            if !violations.is_empty() {
-                self.registry.counter_add(
-                    "daemon_tasks_rejected_total",
-                    "Tasks rejected at validation",
-                    labels(&[("class", session.class.as_str())]),
-                    1.0,
-                );
-                return Err(DaemonError::Validation(
-                    violations.iter().map(|v| v.to_string()).collect(),
-                ));
+            // Stale-validation detection: the client validated against an
+            // older spec revision (or never validated). Either way the spec
+            // checks below re-establish safety server-side.
+            match ir.validated_against_revision {
+                Some(rev) if rev != spec.revision => {
+                    self.lint_metrics().stale_validation();
+                    if !self.cfg.analyze_on_submit {
+                        pending_warnings.push(format!(
+                            "client validated against stale spec revision {rev} (current {})",
+                            spec.revision
+                        ));
+                    }
+                }
+                _ => {}
             }
+            if self.cfg.validate_on_submit {
+                let violations = hpcqc_program::validate(&ir.sequence, &spec);
+                if !violations.is_empty() {
+                    self.registry.counter_add(
+                        "daemon_tasks_rejected_total",
+                        "Tasks rejected at validation",
+                        labels(&[("class", session.class.as_str())]),
+                        1.0,
+                    );
+                    return Err(DaemonError::Validation(
+                        violations.iter().map(|v| v.to_string()).collect(),
+                    ));
+                }
+            }
+            if self.cfg.analyze_on_submit {
+                let report = self.analyzer.analyze(&ir, Some(&spec));
+                let lm = self.lint_metrics();
+                for d in &report.diagnostics {
+                    lm.diagnostic(d.code.as_str(), d.severity.as_str());
+                }
+                if report.has_errors() {
+                    self.registry.counter_add(
+                        "daemon_tasks_rejected_total",
+                        "Tasks rejected at validation",
+                        labels(&[("class", session.class.as_str())]),
+                        1.0,
+                    );
+                    lm.rejection(session.class.as_str());
+                    return Err(DaemonError::Validation(
+                        report.errors().iter().map(|d| d.render()).collect(),
+                    ));
+                }
+                // Cross-check the user's pattern hint against the inferred
+                // one; adopt the inference when the user declared nothing.
+                if let Some(inferred) = report.facts.inferred_hint {
+                    if hint == PatternHint::None {
+                        lm.hint_adopted(inferred.as_str());
+                        hint = inferred;
+                    } else if hint != inferred {
+                        lm.hint_mismatch(hint.as_str(), inferred.as_str());
+                        pending_warnings.push(format!(
+                            "declared pattern hint '{}' contradicts inferred '{}' \
+                             (keeping the declared hint)",
+                            hint.as_str(),
+                            inferred.as_str()
+                        ));
+                    }
+                }
+                pending_warnings.extend(report.warnings().iter().map(|d| d.render()));
+            }
+            // Accepted: server-side checks just ran against this revision.
             ir = ir.with_validation_revision(spec.revision);
         }
         let id = self.next_task.fetch_add(1, Ordering::Relaxed);
+        if !pending_warnings.is_empty() {
+            self.warnings.lock().insert(id, pending_warnings);
+        }
         let now = self.now();
         if self.cfg.cache_dev_results && session.class == PriorityClass::Development {
             if let Some(cached) = self.dev_cache.lock().get(&ir.fingerprint()).cloned() {
-                self.records.lock().insert(id, TaskRecord::Completed(cached));
+                self.records
+                    .lock()
+                    .insert(id, TaskRecord::Completed(cached));
                 self.task_meta.lock().insert(id, (session.class, now));
                 self.sessions.record_task(token)?;
                 self.registry.counter_add(
@@ -379,6 +462,12 @@ impl MiddlewareService {
         }
     }
 
+    /// Warning-level analyzer findings recorded for a task at submission
+    /// (empty when the analyzer found nothing or is disabled).
+    pub fn task_warnings(&self, id: u64) -> Vec<String> {
+        self.warnings.lock().get(&id).cloned().unwrap_or_default()
+    }
+
     /// Fetch the result of a completed task.
     pub fn task_result(&self, id: u64) -> Result<SampleResult, DaemonError> {
         match self.records.lock().get(&id) {
@@ -400,8 +489,11 @@ impl MiddlewareService {
             }
             Some(t) => {
                 // not the owner: put it back untouched
-                q.push(t).expect("reinsert cannot exceed quota it just satisfied");
-                Err(DaemonError::Forbidden("task belongs to another session".into()))
+                q.push(t)
+                    .expect("reinsert cannot exceed quota it just satisfied");
+                Err(DaemonError::Forbidden(
+                    "task belongs to another session".into(),
+                ))
             }
             None => match self.records.lock().get(&id) {
                 None => Err(DaemonError::UnknownTask(id)),
@@ -427,7 +519,11 @@ impl MiddlewareService {
         self.records.lock().insert(id, TaskRecord::Running);
 
         // first time this task runs: record wait
-        let first_run = self.progress.lock().get(&id).is_none_or(|p| p.shots_done == 0);
+        let first_run = self
+            .progress
+            .lock()
+            .get(&id)
+            .is_none_or(|p| p.shots_done == 0);
         if first_run {
             if let Some((class, submitted)) = self.task_meta.lock().get(&id).copied() {
                 self.registry.histogram_observe(
@@ -470,7 +566,10 @@ impl MiddlewareService {
                     // and dispatch will avoid the resource that just failed
                     self.records.lock().insert(id, TaskRecord::Queued);
                     self.fault_metrics().requeue(task.class.as_str());
-                    self.queue.lock().push(task).expect("requeue of failed task");
+                    self.queue
+                        .lock()
+                        .push(task)
+                        .expect("requeue of failed task");
                 }
             }
             Ok(partial) => {
@@ -488,9 +587,13 @@ impl MiddlewareService {
                     progress.remove(&id);
                     drop(progress);
                     if self.cfg.cache_dev_results && task.class == PriorityClass::Development {
-                        self.dev_cache.lock().insert(task.ir.fingerprint(), result.clone());
+                        self.dev_cache
+                            .lock()
+                            .insert(task.ir.fingerprint(), result.clone());
                     }
-                    self.records.lock().insert(id, TaskRecord::Completed(result));
+                    self.records
+                        .lock()
+                        .insert(id, TaskRecord::Completed(result));
                     self.registry.counter_add(
                         "daemon_tasks_completed_total",
                         "Tasks completed",
@@ -548,7 +651,10 @@ impl MiddlewareService {
         shots: u32,
         res: &Arc<dyn QuantumResource>,
     ) -> Result<SampleResult, String> {
-        let ir = ProgramIr { shots, ..task.ir.clone() };
+        let ir = ProgramIr {
+            shots,
+            ..task.ir.clone()
+        };
         let lease = res.acquire().map_err(|e| e.to_string())?;
         let seed = self.seed.fetch_add(1, Ordering::Relaxed);
         let _ = seed; // resources seed internally; kept for interface stability
@@ -583,10 +689,7 @@ impl MiddlewareService {
     /// Start a background dispatcher thread: the production deployment mode,
     /// where the daemon drains its queue continuously and clients only poll
     /// task status. Returns a handle that stops the thread when dropped.
-    pub fn spawn_dispatcher(
-        self: &Arc<Self>,
-        idle_poll: std::time::Duration,
-    ) -> DispatcherHandle {
+    pub fn spawn_dispatcher(self: &Arc<Self>, idle_poll: std::time::Duration) -> DispatcherHandle {
         let svc = Arc::clone(self);
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
@@ -597,7 +700,10 @@ impl MiddlewareService {
                 }
             }
         });
-        DispatcherHandle { stop, thread: Some(thread) }
+        DispatcherHandle {
+            stop,
+            thread: Some(thread),
+        }
     }
 
     // ---- admin / observability surface ---------------------------------
@@ -623,7 +729,9 @@ impl MiddlewareService {
                 q.set_status(s);
                 Ok(())
             }
-            None => Err(DaemonError::Forbidden("no admin access to this resource".into())),
+            None => Err(DaemonError::Forbidden(
+                "no admin access to this resource".into(),
+            )),
         }
     }
 
@@ -634,17 +742,14 @@ impl MiddlewareService {
                 q.recalibrate(duration_secs);
                 Ok(())
             }
-            None => Err(DaemonError::Forbidden("no admin access to this resource".into())),
+            None => Err(DaemonError::Forbidden(
+                "no admin access to this resource".into(),
+            )),
         }
     }
 
     /// Query device telemetry history (admin/user observability).
-    pub fn telemetry_range(
-        &self,
-        series: &str,
-        from: f64,
-        to: f64,
-    ) -> Vec<hpcqc_telemetry::Point> {
+    pub fn telemetry_range(&self, series: &str, from: f64, to: f64) -> Vec<hpcqc_telemetry::Point> {
         match &self.qpu_admin {
             Some(q) => q.tsdb().range(series, from, to),
             None => Vec::new(),
@@ -674,7 +779,10 @@ impl Drop for DispatcherHandle {
 
 /// Merge two sample results of the same program (chunked execution).
 fn merge_results(mut a: SampleResult, b: SampleResult) -> SampleResult {
-    assert_eq!(a.n_qubits, b.n_qubits, "merging results of different registers");
+    assert_eq!(
+        a.n_qubits, b.n_qubits,
+        "merging results of different registers"
+    );
     for (bits, count) in b.counts {
         *a.counts.entry(bits).or_insert(0) += count;
     }
@@ -710,7 +818,10 @@ mod tests {
     fn qpu_daemon(cfg: DaemonConfig) -> (MiddlewareService, VirtualQpu) {
         let qpu = VirtualQpu::new("fresnel-1", 7);
         let res = Arc::new(QpuDirectResource::new("fresnel-1", qpu.clone(), 1));
-        (MiddlewareService::new(res, cfg).with_qpu_admin(qpu.clone()), qpu)
+        (
+            MiddlewareService::new(res, cfg).with_qpu_admin(qpu.clone()),
+            qpu,
+        )
     }
 
     #[test]
@@ -718,7 +829,10 @@ mod tests {
         let d = emu_daemon(DaemonConfig::default());
         let tok = d.open_session("alice", PriorityClass::Production).unwrap();
         let id = d.submit(&tok, ir(50), PatternHint::None).unwrap();
-        assert!(matches!(d.task_status(id).unwrap(), DaemonTaskStatus::Queued { .. }));
+        assert!(matches!(
+            d.task_status(id).unwrap(),
+            DaemonTaskStatus::Queued { .. }
+        ));
         d.pump();
         assert_eq!(d.task_status(id).unwrap(), DaemonTaskStatus::Completed);
         let r = d.task_result(id).unwrap();
@@ -736,11 +850,18 @@ mod tests {
 
     #[test]
     fn dev_shot_cap_applied() {
-        let d = emu_daemon(DaemonConfig { dev_shot_cap: 20, ..DaemonConfig::default() });
+        let d = emu_daemon(DaemonConfig {
+            dev_shot_cap: 20,
+            ..DaemonConfig::default()
+        });
         let tok = d.open_session("dev", PriorityClass::Development).unwrap();
         let id = d.submit(&tok, ir(1000), PatternHint::None).unwrap();
         d.pump();
-        assert_eq!(d.task_result(id).unwrap().shots, 20, "dev capped at 20 shots");
+        assert_eq!(
+            d.task_result(id).unwrap().shots,
+            20,
+            "dev capped at 20 shots"
+        );
         // production is not capped
         let ptok = d.open_session("prod", PriorityClass::Production).unwrap();
         let pid = d.submit(&ptok, ir(1000), PatternHint::None).unwrap();
@@ -760,6 +881,98 @@ mod tests {
             Err(DaemonError::Validation(v)) => assert!(!v.is_empty()),
             other => panic!("expected validation error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn analyzer_rejects_error_diagnostics() {
+        // shots exceed the production envelope: `validate()` alone would let
+        // this through (it only checks the sequence), but the analyzer's
+        // HQ0108 shot-range lint is Error-level and must reject.
+        let (d, _) = qpu_daemon(DaemonConfig::default());
+        let tok = d.open_session("u", PriorityClass::Production).unwrap();
+        match d.submit(&tok, ir(5000), PatternHint::None) {
+            Err(DaemonError::Validation(v)) => {
+                assert!(v.iter().any(|m| m.contains("HQ0108")), "{v:?}");
+            }
+            other => panic!("expected validation error, got {other:?}"),
+        }
+        let text = d.metrics_text();
+        assert!(text.contains("daemon_lint_rejections_total{class=\"production\"} 1"));
+        assert!(text.contains("analysis_diagnostics_total{code=\"HQ0108\",severity=\"error\"} 1"));
+    }
+
+    #[test]
+    fn hint_mismatch_recorded_for_mislabeled_pattern() {
+        // ~50 s of QPU time vs 1 ms classical: clearly QC-heavy, yet the
+        // user declared CC-heavy. The daemon keeps the declared hint but
+        // flags the contradiction in metrics and the job record.
+        let (d, _) = qpu_daemon(DaemonConfig::default());
+        let tok = d.open_session("u", PriorityClass::Production).unwrap();
+        let id = d
+            .submit(
+                &tok,
+                ir(50).with_classical_estimate(0.001),
+                PatternHint::CcHeavy,
+            )
+            .unwrap();
+        assert!(d
+            .metrics_text()
+            .contains("daemon_hint_mismatch_total{declared=\"cc-heavy\",inferred=\"qc-heavy\"} 1"));
+        let warnings = d.task_warnings(id);
+        assert!(
+            warnings
+                .iter()
+                .any(|w| w.contains("contradicts inferred 'qc-heavy'")),
+            "{warnings:?}"
+        );
+    }
+
+    #[test]
+    fn inferred_hint_adopted_when_undeclared() {
+        let (d, _) = qpu_daemon(DaemonConfig::default());
+        let tok = d.open_session("u", PriorityClass::Production).unwrap();
+        let id = d
+            .submit(
+                &tok,
+                ir(50).with_classical_estimate(1.0e6),
+                PatternHint::None,
+            )
+            .unwrap();
+        assert!(d
+            .metrics_text()
+            .contains("daemon_hint_adopted_total{hint=\"cc-heavy\"} 1"));
+        // adoption is silent: no warning recorded for it
+        assert!(d.task_warnings(id).is_empty(), "{:?}", d.task_warnings(id));
+    }
+
+    #[test]
+    fn stale_validation_surfaces_warning_and_counter() {
+        let (d, _) = qpu_daemon(DaemonConfig::default());
+        let tok = d.open_session("u", PriorityClass::Production).unwrap();
+        let current = d.device_spec().unwrap().revision;
+        let id = d
+            .submit(
+                &tok,
+                ir(50).with_validation_revision(current + 7),
+                PatternHint::None,
+            )
+            .unwrap();
+        assert!(d.metrics_text().contains("daemon_stale_validation_total 1"));
+        let warnings = d.task_warnings(id);
+        assert!(
+            warnings.iter().any(|w| w.contains("HQ0701")),
+            "{warnings:?}"
+        );
+        // a fresh revision stays quiet
+        let id2 = d
+            .submit(
+                &tok,
+                ir(50).with_validation_revision(current),
+                PatternHint::None,
+            )
+            .unwrap();
+        assert!(d.task_warnings(id2).is_empty());
+        assert!(d.metrics_text().contains("daemon_stale_validation_total 1"));
     }
 
     #[test]
@@ -787,7 +1000,10 @@ mod tests {
         let dev_id = d.submit(&dev, ir(50), PatternHint::None).unwrap();
         // dev starts: one 5-shot slice runs
         assert_eq!(d.pump_once().unwrap(), dev_id);
-        assert!(matches!(d.task_status(dev_id).unwrap(), DaemonTaskStatus::Queued { .. }));
+        assert!(matches!(
+            d.task_status(dev_id).unwrap(),
+            DaemonTaskStatus::Queued { .. }
+        ));
         // production arrives mid-flight
         let prod_id = d.submit(&prod, ir(20), PatternHint::None).unwrap();
         // next dispatch must be the production task, not dev's remainder
@@ -821,8 +1037,14 @@ mod tests {
         let tok = d.open_session("u", PriorityClass::Test).unwrap();
         let a = d.submit(&tok, ir(10), PatternHint::None).unwrap();
         let b = d.submit(&tok, ir(10), PatternHint::None).unwrap();
-        assert_eq!(d.task_status(a).unwrap(), DaemonTaskStatus::Queued { position: 0 });
-        assert_eq!(d.task_status(b).unwrap(), DaemonTaskStatus::Queued { position: 1 });
+        assert_eq!(
+            d.task_status(a).unwrap(),
+            DaemonTaskStatus::Queued { position: 0 }
+        );
+        assert_eq!(
+            d.task_status(b).unwrap(),
+            DaemonTaskStatus::Queued { position: 1 }
+        );
         assert_eq!(d.queue_depth(), 2);
     }
 
@@ -830,7 +1052,10 @@ mod tests {
     fn admin_surface_requires_device() {
         let d = emu_daemon(DaemonConfig::default());
         assert!(d.qpu_status().is_none());
-        assert!(matches!(d.recalibrate(60.0), Err(DaemonError::Forbidden(_))));
+        assert!(matches!(
+            d.recalibrate(60.0),
+            Err(DaemonError::Forbidden(_))
+        ));
         let (d2, _) = qpu_daemon(DaemonConfig::default());
         assert_eq!(d2.qpu_status(), Some(QpuStatus::Operational));
         d2.set_qpu_status(QpuStatus::Maintenance).unwrap();
@@ -889,7 +1114,7 @@ mod tests {
         let d = Arc::new(emu_daemon(DaemonConfig::default()));
         let dispatcher = d.spawn_dispatcher(std::time::Duration::from_millis(5));
         drop(dispatcher); // joins the thread; must not hang or panic
-        // after the dispatcher is gone, tasks stay queued until pumped
+                          // after the dispatcher is gone, tasks stay queued until pumped
         let tok = d.open_session("x", PriorityClass::Test).unwrap();
         let id = d.submit(&tok, ir(5), PatternHint::None).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(50));
@@ -920,7 +1145,11 @@ mod tests {
         // dispatches first thanks to fair-share
         let hog_task = d.submit(&hog, ir(5), PatternHint::None).unwrap();
         let light_task = d.submit(&light, ir(5), PatternHint::None).unwrap();
-        assert_eq!(d.pump_once().unwrap(), light_task, "light user overtakes the hog");
+        assert_eq!(
+            d.pump_once().unwrap(),
+            light_task,
+            "light user overtakes the hog"
+        );
         assert_eq!(d.pump_once().unwrap(), hog_task);
     }
 
@@ -936,13 +1165,20 @@ mod tests {
         let b = d.submit(&tok, ir(20), PatternHint::None).unwrap();
         assert_eq!(d.task_status(b).unwrap(), DaemonTaskStatus::Completed);
         assert_eq!(d.task_result(b).unwrap(), first);
-        assert_eq!(qpu.stats(), (jobs_before, shots_before), "no extra QPU work");
+        assert_eq!(
+            qpu.stats(),
+            (jobs_before, shots_before),
+            "no extra QPU work"
+        );
         assert!(d
             .metrics_text()
             .contains("daemon_dev_cache_hits_total{class=\"development\"} 1"));
         // a different program misses the cache
         let c = d.submit(&tok, ir(21), PatternHint::None).unwrap();
-        assert!(matches!(d.task_status(c).unwrap(), DaemonTaskStatus::Queued { .. }));
+        assert!(matches!(
+            d.task_status(c).unwrap(),
+            DaemonTaskStatus::Queued { .. }
+        ));
     }
 
     #[test]
@@ -960,10 +1196,16 @@ mod tests {
 
     #[test]
     fn sessions_expire_after_ttl() {
-        let d = emu_daemon(DaemonConfig { session_ttl_secs: 100.0, ..DaemonConfig::default() });
+        let d = emu_daemon(DaemonConfig {
+            session_ttl_secs: 100.0,
+            ..DaemonConfig::default()
+        });
         let tok = d.open_session("idle", PriorityClass::Test).unwrap();
         d.advance_time(50.0);
-        assert!(d.submit(&tok, ir(5), PatternHint::None).is_ok(), "still fresh");
+        assert!(
+            d.submit(&tok, ir(5), PatternHint::None).is_ok(),
+            "still fresh"
+        );
         d.advance_time(100.0);
         assert!(matches!(
             d.submit(&tok, ir(5), PatternHint::None),
@@ -988,19 +1230,27 @@ mod tests {
         #[test]
         fn transient_failures_requeue_until_completion() {
             let d = flaky_daemon(
-                FaultProfile { task_failure_rate: 0.3, ..FaultProfile::none() },
-                DaemonConfig { max_task_retries: 20, ..DaemonConfig::default() },
+                FaultProfile {
+                    task_failure_rate: 0.3,
+                    ..FaultProfile::none()
+                },
+                DaemonConfig {
+                    max_task_retries: 20,
+                    ..DaemonConfig::default()
+                },
             );
             let tok = d.open_session("alice", PriorityClass::Production).unwrap();
-            let ids: Vec<u64> =
-                (0..10).map(|_| d.submit(&tok, ir(20), PatternHint::None).unwrap()).collect();
+            let ids: Vec<u64> = (0..10)
+                .map(|_| d.submit(&tok, ir(20), PatternHint::None).unwrap())
+                .collect();
             d.pump();
             for id in &ids {
                 assert_eq!(d.task_status(*id).unwrap(), DaemonTaskStatus::Completed);
                 assert_eq!(d.task_result(*id).unwrap().shots, 20);
             }
             assert!(
-                d.metrics_text().contains("daemon_task_requeues_total{class=\"production\"}"),
+                d.metrics_text()
+                    .contains("daemon_task_requeues_total{class=\"production\"}"),
                 "a 30%-failure resource must cost requeues"
             );
         }
@@ -1008,13 +1258,22 @@ mod tests {
         #[test]
         fn poison_cap_fails_task_permanently() {
             let d = flaky_daemon(
-                FaultProfile { task_failure_rate: 1.0, ..FaultProfile::none() },
-                DaemonConfig { max_task_retries: 2, ..DaemonConfig::default() },
+                FaultProfile {
+                    task_failure_rate: 1.0,
+                    ..FaultProfile::none()
+                },
+                DaemonConfig {
+                    max_task_retries: 2,
+                    ..DaemonConfig::default()
+                },
             );
             let tok = d.open_session("bob", PriorityClass::Production).unwrap();
             let id = d.submit(&tok, ir(5), PatternHint::None).unwrap();
             assert_eq!(d.pump(), 3, "initial attempt + 2 requeues");
-            assert!(matches!(d.task_status(id).unwrap(), DaemonTaskStatus::Failed(_)));
+            assert!(matches!(
+                d.task_status(id).unwrap(),
+                DaemonTaskStatus::Failed(_)
+            ));
             let text = d.metrics_text();
             assert!(text.contains("daemon_task_requeues_total{class=\"production\"} 2"));
             assert!(text.contains("daemon_tasks_poisoned_total{class=\"production\"} 1"));
@@ -1022,14 +1281,13 @@ mod tests {
 
         #[test]
         fn requeued_task_moves_to_alternate_resource() {
-            let dead = FaultProfile { task_failure_rate: 1.0, ..FaultProfile::none() };
-            let d = flaky_daemon(dead, DaemonConfig::default()).with_alternate_resource(
-                Arc::new(LocalEmulatorResource::new(
-                    "emu-backup",
-                    Arc::new(SvBackend::default()),
-                    2,
-                )),
-            );
+            let dead = FaultProfile {
+                task_failure_rate: 1.0,
+                ..FaultProfile::none()
+            };
+            let d = flaky_daemon(dead, DaemonConfig::default()).with_alternate_resource(Arc::new(
+                LocalEmulatorResource::new("emu-backup", Arc::new(SvBackend::default()), 2),
+            ));
             let tok = d.open_session("carol", PriorityClass::Production).unwrap();
             let id = d.submit(&tok, ir(15), PatternHint::None).unwrap();
             d.pump();
@@ -1045,8 +1303,14 @@ mod tests {
             // every resource (there is only one) has failed once: dispatch
             // must still try the primary instead of starving the task
             let d = flaky_daemon(
-                FaultProfile { task_failure_rate: 0.6, ..FaultProfile::none() },
-                DaemonConfig { max_task_retries: 50, ..DaemonConfig::default() },
+                FaultProfile {
+                    task_failure_rate: 0.6,
+                    ..FaultProfile::none()
+                },
+                DaemonConfig {
+                    max_task_retries: 50,
+                    ..DaemonConfig::default()
+                },
             );
             let tok = d.open_session("dave", PriorityClass::Test).unwrap();
             let id = d.submit(&tok, ir(10), PatternHint::None).unwrap();

@@ -25,7 +25,10 @@ pub struct FairshareTracker {
 impl FairshareTracker {
     pub fn new(half_life_secs: f64) -> Self {
         assert!(half_life_secs > 0.0, "half-life must be positive");
-        FairshareTracker { inner: Arc::new(Mutex::new(HashMap::new())), half_life_secs }
+        FairshareTracker {
+            inner: Arc::new(Mutex::new(HashMap::new())),
+            half_life_secs,
+        }
     }
 
     fn decayed(&self, value: f64, as_of: f64, now: f64) -> f64 {

@@ -34,7 +34,8 @@ pub struct Request {
 impl Request {
     /// Body as UTF-8.
     pub fn body_str(&self) -> Result<&str, HttpError> {
-        std::str::from_utf8(&self.body).map_err(|_| HttpError::Malformed("body is not UTF-8".into()))
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::Malformed("body is not UTF-8".into()))
     }
 }
 
@@ -48,7 +49,11 @@ pub struct Response {
 
 impl Response {
     pub fn json(status: u16, body: impl Into<String>) -> Self {
-        Response { status, content_type: "application/json", body: body.into().into_bytes() }
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
     }
 
     pub fn text(status: u16, body: impl Into<String>) -> Self {
@@ -123,7 +128,9 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
     let mut head = Vec::new();
     let mut line = String::new();
     // request line
-    let n = reader.read_line(&mut line).map_err(|e| HttpError::Io(e.to_string()))?;
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
     if n == 0 {
         return Err(HttpError::Malformed("empty request".into()));
     }
@@ -131,10 +138,16 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
     let start = line.trim_end().to_string();
     let mut parts = start.split(' ');
     let method = parts.next().unwrap_or("").to_string();
-    let target = parts.next().ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
-    let version = parts.next().ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed(format!("unsupported version {version:?}")));
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
     }
     if method.is_empty() || !method.chars().all(|c| c.is_ascii_uppercase()) {
         return Err(HttpError::Malformed(format!("bad method {method:?}")));
@@ -143,7 +156,9 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
     let mut headers = BTreeMap::new();
     loop {
         line.clear();
-        let n = reader.read_line(&mut line).map_err(|e| HttpError::Io(e.to_string()))?;
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
         if n == 0 {
             return Err(HttpError::Malformed("connection closed mid-headers".into()));
         }
@@ -186,7 +201,13 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
             None => query.insert(pair.to_string(), String::new()),
         };
     }
-    Ok(Request { method, path, query, headers, body })
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
 }
 
 /// The request handler type.
@@ -222,7 +243,11 @@ impl HttpServer {
                 std::thread::spawn(move || handle_connection(stream, handler));
             }
         });
-        Ok(HttpServer { port, stop, accept_thread: Some(accept_thread) })
+        Ok(HttpServer {
+            port,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound port.
@@ -295,7 +320,9 @@ pub fn http_request(
     let mut line = String::new();
     loop {
         line.clear();
-        let n = reader.read_line(&mut line).map_err(|e| HttpError::Io(e.to_string()))?;
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
         if n == 0 || line.trim_end().is_empty() {
             break;
         }
@@ -339,10 +366,9 @@ mod tests {
 
     #[test]
     fn parses_post_with_body() {
-        let r = parse(
-            "POST /v1/sessions HTTP/1.1\r\nContent-Length: 15\r\n\r\n{\"user\":\"ada\"}x",
-        )
-        .unwrap();
+        let r =
+            parse("POST /v1/sessions HTTP/1.1\r\nContent-Length: 15\r\n\r\n{\"user\":\"ada\"}x")
+                .unwrap();
         assert_eq!(r.method, "POST");
         assert_eq!(r.body.len(), 15);
         assert_eq!(r.body_str().unwrap(), "{\"user\":\"ada\"}x");
@@ -354,7 +380,10 @@ mod tests {
         assert!(parse("GET\r\n\r\n").is_err());
         assert!(parse("GET /x\r\n\r\n").is_err(), "missing version");
         assert!(parse("GET /x SPDY/3\r\n\r\n").is_err());
-        assert!(parse("get /x HTTP/1.1\r\n\r\n").is_err(), "lowercase method");
+        assert!(
+            parse("get /x HTTP/1.1\r\n\r\n").is_err(),
+            "lowercase method"
+        );
         assert!(parse("GET /x HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
         assert!(parse("POST /x HTTP/1.1\r\nContent-Length: peanut\r\n\r\n").is_err());
     }

@@ -25,7 +25,9 @@ pub mod taskqueue;
 pub use cosim::{
     hint_duty, AdmissionPolicy, Cosim, CosimConfig, CosimReport, HybridJob, Phase, QpuPolicy,
 };
-pub use daemon::{DaemonConfig, DaemonError, DaemonTaskStatus, DispatcherHandle, MiddlewareService};
+pub use daemon::{
+    DaemonConfig, DaemonError, DaemonTaskStatus, DispatcherHandle, MiddlewareService,
+};
 pub use fairshare::FairshareTracker;
 pub use http::{http_request, HttpServer, Request, Response};
 pub use session::{PriorityClass, Session, SessionError, SessionManager};

@@ -10,6 +10,7 @@
 //! GET    /v1/target                                       → DeviceSpec
 //! POST   /v1/tasks                   {token, ir, hint}    → {task_id}
 //! GET    /v1/tasks/{id}                                   → DaemonTaskStatus
+//! GET    /v1/tasks/{id}/warnings                          → {warnings: [str]}
 //! GET    /v1/tasks/{id}/result                            → SampleResult
 //! DELETE /v1/tasks/{id}?token=T                           → {}
 //! POST   /v1/pump                    {}                   → {dispatched} (drives the queue)
@@ -77,7 +78,9 @@ pub fn route(svc: &MiddlewareService, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("POST", ["v1", "sessions"]) => {
-            let Ok(body) = req.body_str() else { return bad_request("body not UTF-8") };
+            let Ok(body) = req.body_str() else {
+                return bad_request("body not UTF-8");
+            };
             let Ok(open): Result<OpenSessionReq, _> = serde_json::from_str(body) else {
                 return bad_request("expected {user, class}");
             };
@@ -95,14 +98,19 @@ pub fn route(svc: &MiddlewareService, req: &Request) -> Response {
         },
         ("GET", ["v1", "sessions"]) => {
             let sessions = svc.list_sessions();
-            Response::json(200, serde_json::to_string(&sessions).expect("sessions serialize"))
+            Response::json(
+                200,
+                serde_json::to_string(&sessions).expect("sessions serialize"),
+            )
         }
         ("GET", ["v1", "target"]) => match svc.device_spec() {
             Ok(spec) => Response::json(200, serde_json::to_string(&spec).expect("spec serializes")),
             Err(e) => err_response(&e),
         },
         ("POST", ["v1", "tasks"]) => {
-            let Ok(body) = req.body_str() else { return bad_request("body not UTF-8") };
+            let Ok(body) = req.body_str() else {
+                return bad_request("body not UTF-8");
+            };
             let submit: SubmitReq = match serde_json::from_str(body) {
                 Ok(s) => s,
                 Err(e) => return bad_request(&format!("bad submit body: {e}")),
@@ -120,21 +128,34 @@ pub fn route(svc: &MiddlewareService, req: &Request) -> Response {
             }
         }
         ("GET", ["v1", "tasks", id]) => {
-            let Ok(id) = id.parse::<u64>() else { return bad_request("task id must be a number") };
+            let Ok(id) = id.parse::<u64>() else {
+                return bad_request("task id must be a number");
+            };
             match svc.task_status(id) {
                 Ok(s) => Response::json(200, serde_json::to_string(&s).expect("status serializes")),
                 Err(e) => err_response(&e),
             }
         }
+        ("GET", ["v1", "tasks", id, "warnings"]) => {
+            let Ok(id) = id.parse::<u64>() else {
+                return bad_request("task id must be a number");
+            };
+            let warnings = svc.task_warnings(id);
+            Response::json(200, serde_json::json!({ "warnings": warnings }).to_string())
+        }
         ("GET", ["v1", "tasks", id, "result"]) => {
-            let Ok(id) = id.parse::<u64>() else { return bad_request("task id must be a number") };
+            let Ok(id) = id.parse::<u64>() else {
+                return bad_request("task id must be a number");
+            };
             match svc.task_result(id) {
                 Ok(r) => Response::json(200, serde_json::to_string(&r).expect("result serializes")),
                 Err(e) => err_response(&e),
             }
         }
         ("DELETE", ["v1", "tasks", id]) => {
-            let Ok(id) = id.parse::<u64>() else { return bad_request("task id must be a number") };
+            let Ok(id) = id.parse::<u64>() else {
+                return bad_request("task id must be a number");
+            };
             let Some(token) = req.query.get("token") else {
                 return bad_request("missing token query parameter");
             };
@@ -156,7 +177,9 @@ pub fn route(svc: &MiddlewareService, req: &Request) -> Response {
             None => Response::json(404, r#"{"error":"no admin access to a device"}"#),
         },
         ("POST", ["v1", "admin", "qpu", "status"]) => {
-            let Ok(body) = req.body_str() else { return bad_request("body not UTF-8") };
+            let Ok(body) = req.body_str() else {
+                return bad_request("body not UTF-8");
+            };
             let Ok(sr): Result<StatusReq, _> = serde_json::from_str(body) else {
                 return bad_request("expected {status}");
             };
@@ -173,7 +196,9 @@ pub fn route(svc: &MiddlewareService, req: &Request) -> Response {
             }
         }
         ("POST", ["v1", "admin", "qpu", "recalibrate"]) => {
-            let Ok(body) = req.body_str() else { return bad_request("body not UTF-8") };
+            let Ok(body) = req.body_str() else {
+                return bad_request("body not UTF-8");
+            };
             let Ok(rr): Result<RecalibrateReq, _> = serde_json::from_str(body) else {
                 return bad_request("expected {duration_secs}");
             };
@@ -183,7 +208,11 @@ pub fn route(svc: &MiddlewareService, req: &Request) -> Response {
             }
         }
         ("GET", ["v1", "telemetry", series]) => {
-            let from: f64 = req.query.get("from").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+            let from: f64 = req
+                .query
+                .get("from")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.0);
             let to: f64 = req
                 .query
                 .get("to")
@@ -256,15 +285,17 @@ mod tests {
         assert!(body.contains("max_qubits"));
 
         // submit task
-        let submit = format!(r#"{{"token":"{token}","ir":{},"hint":"qc-heavy"}}"#, ir_json(25));
+        let submit = format!(
+            r#"{{"token":"{token}","ir":{},"hint":"qc-heavy"}}"#,
+            ir_json(25)
+        );
         let (st, body) = http_request(&addr, "POST", "/v1/tasks", Some(&submit)).unwrap();
         assert_eq!(st, 201, "{body}");
         let v: serde_json::Value = serde_json::from_str(&body).unwrap();
         let task_id = v["task_id"].as_u64().unwrap();
 
         // queued
-        let (st, body) =
-            http_request(&addr, "GET", &format!("/v1/tasks/{task_id}"), None).unwrap();
+        let (st, body) = http_request(&addr, "GET", &format!("/v1/tasks/{task_id}"), None).unwrap();
         assert_eq!(st, 200);
         assert!(body.contains("Queued"), "{body}");
 
@@ -290,6 +321,55 @@ mod tests {
         let (st, _) =
             http_request(&addr, "DELETE", &format!("/v1/sessions/{token}"), None).unwrap();
         assert_eq!(st, 200);
+    }
+
+    #[test]
+    fn warnings_route_exposes_analyzer_findings() {
+        let server = serve(service()).unwrap();
+        let addr = server.addr();
+        let (_, body) = http_request(
+            &addr,
+            "POST",
+            "/v1/sessions",
+            Some(r#"{"user":"ada","class":"production"}"#),
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let token = v["token"].as_str().unwrap().to_string();
+
+        // stale client-side validation → accepted, but with a HQ0701 warning
+        let reg = Register::linear(2, 6.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
+        let ir = ProgramIr::new(b.build().unwrap(), 25, "rest-test").with_validation_revision(999);
+        let submit = format!(
+            r#"{{"token":"{token}","ir":{}}}"#,
+            serde_json::to_string(&ir).unwrap()
+        );
+        let (st, body) = http_request(&addr, "POST", "/v1/tasks", Some(&submit)).unwrap();
+        assert_eq!(st, 201, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let task_id = v["task_id"].as_u64().unwrap();
+
+        let (st, body) =
+            http_request(&addr, "GET", &format!("/v1/tasks/{task_id}/warnings"), None).unwrap();
+        assert_eq!(st, 200);
+        assert!(body.contains("HQ0701"), "{body}");
+
+        // a task with no findings returns an empty list, not an error
+        let submit = format!(r#"{{"token":"{token}","ir":{}}}"#, ir_json(25));
+        let (_, body) = http_request(&addr, "POST", "/v1/tasks", Some(&submit)).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let clean_id = v["task_id"].as_u64().unwrap();
+        let (st, body) = http_request(
+            &addr,
+            "GET",
+            &format!("/v1/tasks/{clean_id}/warnings"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(st, 200);
+        assert_eq!(body, r#"{"warnings":[]}"#);
     }
 
     #[test]
@@ -366,8 +446,7 @@ mod tests {
         let id = serde_json::from_str::<serde_json::Value>(&body).unwrap()["task_id"]
             .as_u64()
             .unwrap();
-        let (st, _) =
-            http_request(&addr, "DELETE", &format!("/v1/tasks/{id}"), None).unwrap();
+        let (st, _) = http_request(&addr, "DELETE", &format!("/v1/tasks/{id}"), None).unwrap();
         assert_eq!(st, 400, "token required");
         let (st, _) = http_request(
             &addr,
@@ -382,8 +461,7 @@ mod tests {
     #[test]
     fn admin_routes_404_without_device() {
         let server = serve(service()).unwrap();
-        let (st, _) =
-            http_request(server.addr(), "GET", "/v1/admin/qpu/status", None).unwrap();
+        let (st, _) = http_request(server.addr(), "GET", "/v1/admin/qpu/status", None).unwrap();
         assert_eq!(st, 404);
     }
 }

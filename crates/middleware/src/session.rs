@@ -115,7 +115,12 @@ impl SessionManager {
     /// Tokens embed a non-guessable component derived from a counter and the
     /// user (this is a simulator: real deployments would use a CSPRNG, but
     /// the *interface* — opaque bearer token — is identical).
-    pub fn open(&self, user: &str, class: PriorityClass, now: f64) -> Result<Session, SessionError> {
+    pub fn open(
+        &self,
+        user: &str,
+        class: PriorityClass,
+        now: f64,
+    ) -> Result<Session, SessionError> {
         let mut map = self.inner.lock();
         if self.max_sessions > 0 && map.len() >= self.max_sessions {
             return Err(SessionError::TooManySessions(self.max_sessions));
@@ -128,14 +133,24 @@ impl SessionManager {
             h = h.wrapping_mul(0x100_0000_01b3);
         }
         let token = format!("sess-{n}-{h:016x}");
-        let s = Session { token: token.clone(), user: user.into(), class, created_at: now, task_count: 0 };
+        let s = Session {
+            token: token.clone(),
+            user: user.into(),
+            class,
+            created_at: now,
+            task_count: 0,
+        };
         map.insert(token, s.clone());
         Ok(s)
     }
 
     /// Validate a token, returning the session.
     pub fn validate(&self, token: &str) -> Result<Session, SessionError> {
-        self.inner.lock().get(token).cloned().ok_or(SessionError::UnknownToken)
+        self.inner
+            .lock()
+            .get(token)
+            .cloned()
+            .ok_or(SessionError::UnknownToken)
     }
 
     /// Record a task submission against the session.
@@ -148,13 +163,20 @@ impl SessionManager {
 
     /// Close a session.
     pub fn close(&self, token: &str) -> Result<Session, SessionError> {
-        self.inner.lock().remove(token).ok_or(SessionError::UnknownToken)
+        self.inner
+            .lock()
+            .remove(token)
+            .ok_or(SessionError::UnknownToken)
     }
 
     /// Currently open sessions, sorted by creation time.
     pub fn list(&self) -> Vec<Session> {
         let mut v: Vec<Session> = self.inner.lock().values().cloned().collect();
-        v.sort_by(|a, b| a.created_at.total_cmp(&b.created_at).then(a.token.cmp(&b.token)));
+        v.sort_by(|a, b| {
+            a.created_at
+                .total_cmp(&b.created_at)
+                .then(a.token.cmp(&b.token))
+        });
         v
     }
 
@@ -227,7 +249,11 @@ mod tests {
     fn priority_class_ordering_and_parse() {
         assert!(PriorityClass::Production.rank() < PriorityClass::Test.rank());
         assert!(PriorityClass::Test.rank() < PriorityClass::Development.rank());
-        for c in [PriorityClass::Production, PriorityClass::Test, PriorityClass::Development] {
+        for c in [
+            PriorityClass::Production,
+            PriorityClass::Test,
+            PriorityClass::Development,
+        ] {
             assert_eq!(PriorityClass::parse(c.as_str()), Some(c));
             assert_eq!(c.partition(), c.as_str());
         }

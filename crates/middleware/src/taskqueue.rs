@@ -74,10 +74,15 @@ impl Default for QueueConfig {
 /// Reasons a push can fail.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueueError {
-    SessionQuotaExceeded { session: String, limit: usize },
+    SessionQuotaExceeded {
+        session: String,
+        limit: usize,
+    },
     /// `submitted_at` is NaN or infinite; admitting it would corrupt the
     /// dispatch order for every other queued task.
-    NonFiniteTimestamp { id: u64 },
+    NonFiniteTimestamp {
+        id: u64,
+    },
 }
 
 impl std::fmt::Display for QueueError {
@@ -105,7 +110,11 @@ pub struct TaskQueue {
 
 impl TaskQueue {
     pub fn new(cfg: QueueConfig) -> Self {
-        TaskQueue { tasks: Vec::new(), cfg, fairshare: None }
+        TaskQueue {
+            tasks: Vec::new(),
+            cfg,
+            fairshare: None,
+        }
     }
 
     /// Attach a fair-share tracker (shared with the component that charges
@@ -131,7 +140,11 @@ impl TaskQueue {
             return Err(QueueError::NonFiniteTimestamp { id: task.id });
         }
         if self.cfg.max_tasks_per_session > 0 {
-            let held = self.tasks.iter().filter(|t| t.session == task.session).count();
+            let held = self
+                .tasks
+                .iter()
+                .filter(|t| t.session == task.session)
+                .count();
             if held >= self.cfg.max_tasks_per_session {
                 return Err(QueueError::SessionQuotaExceeded {
                     session: task.session.clone(),
@@ -178,7 +191,11 @@ impl TaskQueue {
     /// Pop the next task at time `now`.
     pub fn pop(&mut self, now: f64) -> Option<QuantumTask> {
         let id = self.peek(now)?.id;
-        let idx = self.tasks.iter().position(|t| t.id == id).expect("peeked task exists");
+        let idx = self
+            .tasks
+            .iter()
+            .position(|t| t.id == id)
+            .expect("peeked task exists");
         Some(self.tasks.remove(idx))
     }
 
@@ -198,7 +215,10 @@ impl TaskQueue {
     /// waits behind it, and that production task must still preempt.
     pub fn should_preempt(&self, running: PriorityClass, _now: f64) -> bool {
         running != PriorityClass::Production
-            && self.tasks.iter().any(|t| t.class == PriorityClass::Production)
+            && self
+                .tasks
+                .iter()
+                .any(|t| t.class == PriorityClass::Production)
     }
 
     /// Snapshot of queued tasks in dispatch order at `now`.
@@ -260,7 +280,11 @@ mod tests {
 
     #[test]
     fn aging_promotes_starved_dev_task() {
-        let cfg = QueueConfig { aging_secs: 100.0, max_tasks_per_session: 0, ..QueueConfig::default() };
+        let cfg = QueueConfig {
+            aging_secs: 100.0,
+            max_tasks_per_session: 0,
+            ..QueueConfig::default()
+        };
         let mut q = TaskQueue::new(cfg);
         q.push(task(1, PriorityClass::Development, 0.0)).unwrap();
         q.push(task(2, PriorityClass::Production, 199.0)).unwrap();
@@ -272,7 +296,11 @@ mod tests {
 
     #[test]
     fn aging_disabled_keeps_strict_classes() {
-        let cfg = QueueConfig { aging_secs: 0.0, max_tasks_per_session: 0, ..QueueConfig::default() };
+        let cfg = QueueConfig {
+            aging_secs: 0.0,
+            max_tasks_per_session: 0,
+            ..QueueConfig::default()
+        };
         let mut q = TaskQueue::new(cfg);
         q.push(task(1, PriorityClass::Development, 0.0)).unwrap();
         q.push(task(2, PriorityClass::Production, 1e9)).unwrap();
@@ -281,7 +309,11 @@ mod tests {
 
     #[test]
     fn session_quota_enforced() {
-        let cfg = QueueConfig { aging_secs: 0.0, max_tasks_per_session: 2, ..QueueConfig::default() };
+        let cfg = QueueConfig {
+            aging_secs: 0.0,
+            max_tasks_per_session: 2,
+            ..QueueConfig::default()
+        };
         let mut q = TaskQueue::new(cfg);
         let mut t1 = task(1, PriorityClass::Test, 0.0);
         let mut t2 = task(2, PriorityClass::Test, 0.0);
@@ -316,9 +348,15 @@ mod tests {
         assert!(!q.should_preempt(PriorityClass::Production, 1.0));
         let mut q2 = TaskQueue::new(QueueConfig::default());
         q2.push(task(1, PriorityClass::Test, 0.0)).unwrap();
-        assert!(!q2.should_preempt(PriorityClass::Development, 1.0), "test does not preempt");
+        assert!(
+            !q2.should_preempt(PriorityClass::Development, 1.0),
+            "test does not preempt"
+        );
         let q3 = TaskQueue::new(QueueConfig::default());
-        assert!(!q3.should_preempt(PriorityClass::Development, 1.0), "empty queue");
+        assert!(
+            !q3.should_preempt(PriorityClass::Development, 1.0),
+            "empty queue"
+        );
     }
 
     #[test]
@@ -327,7 +365,10 @@ mod tests {
         // head (rank floored at 0 ties production, earlier submission wins).
         // A head-only check then reports "nothing to preempt for" even
         // though a production task is waiting right behind it.
-        let cfg = QueueConfig { aging_secs: 100.0, ..QueueConfig::default() };
+        let cfg = QueueConfig {
+            aging_secs: 100.0,
+            ..QueueConfig::default()
+        };
         let mut q = TaskQueue::new(cfg);
         q.push(task(1, PriorityClass::Development, 0.0)).unwrap();
         q.push(task(2, PriorityClass::Production, 250.0)).unwrap();

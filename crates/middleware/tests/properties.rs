@@ -40,7 +40,13 @@ fn arb_hybrid_job(id: u64) -> impl Strategy<Value = HybridJob> {
             nodes,
             phases: phases
                 .into_iter()
-                .map(|(q, secs)| if q { Phase::Quantum(secs) } else { Phase::Classical(secs) })
+                .map(|(q, secs)| {
+                    if q {
+                        Phase::Quantum(secs)
+                    } else {
+                        Phase::Classical(secs)
+                    }
+                })
                 .collect(),
             arrival,
         })

@@ -74,8 +74,8 @@ impl DeviceSpec {
             max_shots: 2000,
             channels: vec![ChannelSpec {
                 name: crate::sequence::GLOBAL_CHANNEL.to_string(),
-                max_amplitude: 12.57,  // ~2π·2 MHz
-                min_detuning: -38.0,   // ~-2π·6 MHz
+                max_amplitude: 12.57, // ~2π·2 MHz
+                min_detuning: -38.0,  // ~-2π·6 MHz
                 max_detuning: 38.0,
                 global: true,
             }],
@@ -167,15 +167,20 @@ mod tests {
         let e = DeviceSpec::emulator("emu-sv", 20);
         let p = DeviceSpec::analog_production();
         assert!(e.max_duration > p.max_duration);
-        assert!(e.channel("rydberg_global").unwrap().max_amplitude
-            > p.channel("rydberg_global").unwrap().max_amplitude);
+        assert!(
+            e.channel("rydberg_global").unwrap().max_amplitude
+                > p.channel("rydberg_global").unwrap().max_amplitude
+        );
         assert_eq!(e.shots_wallclock_secs(100), 0.0);
     }
 
     #[test]
     fn shot_wallclock_uses_rate() {
         let p = DeviceSpec::analog_production();
-        assert!((p.shots_wallclock_secs(100) - 100.0).abs() < 1e-9, "1 Hz device");
+        assert!(
+            (p.shots_wallclock_secs(100) - 100.0).abs() < 1e-9,
+            "1 Hz device"
+        );
         let mut fast = p.clone();
         fast.shot_rate_hz = 100.0;
         assert!((fast.shots_wallclock_secs(100) - 1.0).abs() < 1e-9);

@@ -49,7 +49,10 @@ mod tests {
     fn display_is_informative() {
         let e = ProgramError::InvalidWaveform("negative duration".into());
         assert!(e.to_string().contains("negative duration"));
-        let e = ProgramError::VersionMismatch { found: 9, supported: 1 };
+        let e = ProgramError::VersionMismatch {
+            found: 9,
+            supported: 1,
+        };
         assert!(e.to_string().contains("v9"));
         assert!(e.to_string().contains("v1"));
     }

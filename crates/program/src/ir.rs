@@ -31,6 +31,10 @@ pub struct ProgramIr {
     /// Device-spec revision this program was last validated against, if any.
     /// Lets the middleware detect stale validation after calibration drift.
     pub validated_against_revision: Option<u64>,
+    /// Declared estimate of the classical phases surrounding this quantum
+    /// payload, in seconds. Feeds the static pattern inference (Table-1
+    /// taxonomy) in `hpcqc-analysis`; absent means "pattern not inferable".
+    pub classical_secs_estimate: Option<f64>,
 }
 
 impl ProgramIr {
@@ -43,12 +47,20 @@ impl ProgramIr {
             sdk: sdk.into(),
             sdk_version: env!("CARGO_PKG_VERSION").to_string(),
             validated_against_revision: None,
+            classical_secs_estimate: None,
         }
     }
 
     /// Record the device-spec revision the program was validated against.
     pub fn with_validation_revision(mut self, revision: u64) -> Self {
         self.validated_against_revision = Some(revision);
+        self
+    }
+
+    /// Declare the expected classical-phase duration accompanying this
+    /// program (enables static workload-pattern inference).
+    pub fn with_classical_estimate(mut self, secs: f64) -> Self {
+        self.classical_secs_estimate = Some(secs);
         self
     }
 
@@ -139,6 +151,20 @@ mod tests {
         assert_eq!(p.validated_against_revision, Some(7));
         let back = ProgramIr::from_json(&p.to_json().unwrap()).unwrap();
         assert_eq!(back.validated_against_revision, Some(7));
+    }
+
+    #[test]
+    fn classical_estimate_recorded_and_optional_on_the_wire() {
+        let p = ir().with_classical_estimate(12.5);
+        assert_eq!(p.classical_secs_estimate, Some(12.5));
+        let back = ProgramIr::from_json(&p.to_json().unwrap()).unwrap();
+        assert_eq!(back.classical_secs_estimate, Some(12.5));
+        // payloads from older clients omit the field entirely
+        let mut json = ir().to_json().unwrap();
+        json = json.replace(",\"classical_secs_estimate\":null", "");
+        assert!(!json.contains("classical_secs_estimate"));
+        let old = ProgramIr::from_json(&json).unwrap();
+        assert_eq!(old.classical_secs_estimate, None);
     }
 
     #[test]

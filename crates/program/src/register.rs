@@ -36,7 +36,9 @@ impl Register {
     /// Build a register from explicit sites.
     pub fn new(sites: Vec<Site>) -> Result<Self, ProgramError> {
         if sites.is_empty() {
-            return Err(ProgramError::InvalidRegister("register has no sites".into()));
+            return Err(ProgramError::InvalidRegister(
+                "register has no sites".into(),
+            ));
         }
         let mut labels = std::collections::HashSet::with_capacity(sites.len());
         for s in &sites {
@@ -62,7 +64,11 @@ impl Register {
             coords
                 .iter()
                 .enumerate()
-                .map(|(i, &(x, y))| Site { label: format!("q{i}"), x, y })
+                .map(|(i, &(x, y))| Site {
+                    label: format!("q{i}"),
+                    x,
+                    y,
+                })
                 .collect(),
         )
     }
@@ -75,7 +81,9 @@ impl Register {
             )));
         }
         Register::from_coords(
-            &(0..n).map(|i| (i as f64 * spacing, 0.0)).collect::<Vec<_>>(),
+            &(0..n)
+                .map(|i| (i as f64 * spacing, 0.0))
+                .collect::<Vec<_>>(),
         )
     }
 
@@ -231,17 +239,33 @@ mod tests {
     #[test]
     fn duplicate_labels_rejected() {
         let sites = vec![
-            Site { label: "a".into(), x: 0.0, y: 0.0 },
-            Site { label: "a".into(), x: 5.0, y: 0.0 },
+            Site {
+                label: "a".into(),
+                x: 0.0,
+                y: 0.0,
+            },
+            Site {
+                label: "a".into(),
+                x: 5.0,
+                y: 0.0,
+            },
         ];
         assert!(Register::new(sites).is_err());
     }
 
     #[test]
     fn non_finite_coordinates_rejected() {
-        let sites = vec![Site { label: "a".into(), x: f64::NAN, y: 0.0 }];
+        let sites = vec![Site {
+            label: "a".into(),
+            x: f64::NAN,
+            y: 0.0,
+        }];
         assert!(Register::new(sites).is_err());
-        let sites = vec![Site { label: "a".into(), x: 0.0, y: f64::INFINITY }];
+        let sites = vec![Site {
+            label: "a".into(),
+            x: 0.0,
+            y: f64::INFINITY,
+        }];
         assert!(Register::new(sites).is_err());
     }
 

@@ -38,14 +38,25 @@ impl Pulse {
             )));
         }
         if !phase.is_finite() {
-            return Err(ProgramError::InvalidPulse(format!("phase must be finite, got {phase}")));
+            return Err(ProgramError::InvalidPulse(format!(
+                "phase must be finite, got {phase}"
+            )));
         }
-        Ok(Pulse { amplitude, detuning, phase })
+        Ok(Pulse {
+            amplitude,
+            detuning,
+            phase,
+        })
     }
 
     /// A pulse with constant amplitude and detuning — the workhorse of
     /// adiabatic-sweep style programs.
-    pub fn constant(duration: f64, omega: f64, delta: f64, phase: f64) -> Result<Self, ProgramError> {
+    pub fn constant(
+        duration: f64,
+        omega: f64,
+        delta: f64,
+        phase: f64,
+    ) -> Result<Self, ProgramError> {
         Pulse::new(
             Waveform::constant(duration, omega)?,
             Waveform::constant(duration, delta)?,
@@ -190,7 +201,11 @@ impl SequenceBuilder {
     pub fn add_pulse(&mut self, channel: impl Into<String>, pulse: Pulse) -> &mut Self {
         let channel = channel.into();
         let start = self.channel_end(&channel);
-        self.pulses.push(TimedPulse { channel, start, pulse });
+        self.pulses.push(TimedPulse {
+            channel,
+            start,
+            pulse,
+        });
         self
     }
 
@@ -207,7 +222,11 @@ impl SequenceBuilder {
         // Represent the delay as a zero pulse so the schedule stays explicit.
         let zero = Pulse::constant(duration.max(1e-9), 0.0, 0.0, 0.0)
             .expect("zero pulse with positive duration is valid");
-        self.pulses.push(TimedPulse { channel, start, pulse: zero });
+        self.pulses.push(TimedPulse {
+            channel,
+            start,
+            pulse: zero,
+        });
         self
     }
 

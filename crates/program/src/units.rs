@@ -95,7 +95,10 @@ mod tests {
     fn vdw_interaction_follows_inverse_sixth_power() {
         let near = vdw_interaction(5.0);
         let far = vdw_interaction(10.0);
-        assert!((near / far - 64.0).abs() < 1e-9, "doubling r divides by 2^6");
+        assert!(
+            (near / far - 64.0).abs() < 1e-9,
+            "doubling r divides by 2^6"
+        );
     }
 
     #[test]

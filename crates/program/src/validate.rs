@@ -54,7 +54,10 @@ pub fn validate(sequence: &Sequence, spec: &DeviceSpec) -> Vec<Violation> {
     if n > spec.max_qubits {
         out.push(Violation {
             kind: ViolationKind::TooManyQubits,
-            message: format!("register has {n} atoms, device supports {}", spec.max_qubits),
+            message: format!(
+                "register has {n} atoms, device supports {}",
+                spec.max_qubits
+            ),
         });
     }
     if let Some(dmin) = sequence.register.min_distance() {
@@ -84,7 +87,10 @@ pub fn validate(sequence: &Sequence, spec: &DeviceSpec) -> Vec<Violation> {
     if dur > spec.max_duration + 1e-9 {
         out.push(Violation {
             kind: ViolationKind::SequenceTooLong,
-            message: format!("sequence lasts {dur:.3} µs, device maximum {} µs", spec.max_duration),
+            message: format!(
+                "sequence lasts {dur:.3} µs, device maximum {} µs",
+                spec.max_duration
+            ),
         });
     }
 
@@ -250,7 +256,9 @@ mod tests {
         b.add_global_pulse(Pulse::constant(1.0, 1.0, -500.0, 0.0).unwrap());
         let s = b.build().unwrap();
         let v = validate(&s, &DeviceSpec::analog_production());
-        assert!(v.iter().any(|x| x.kind == ViolationKind::DetuningOutOfRange));
+        assert!(v
+            .iter()
+            .any(|x| x.kind == ViolationKind::DetuningOutOfRange));
     }
 
     #[test]
@@ -285,6 +293,8 @@ mod tests {
         spec2.revision = 2;
         spec2.channels[0].max_amplitude = 4.0; // drifted below the pulse's 6.0
         let v = validate(&s, &spec2);
-        assert!(v.iter().any(|x| x.kind == ViolationKind::AmplitudeOutOfRange));
+        assert!(v
+            .iter()
+            .any(|x| x.kind == ViolationKind::AmplitudeOutOfRange));
     }
 }

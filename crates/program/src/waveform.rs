@@ -18,7 +18,11 @@ pub enum Waveform {
     /// Constant value for `duration` µs.
     Constant { duration: f64, value: f64 },
     /// Linear ramp from `start` to `stop` over `duration` µs.
-    Ramp { duration: f64, start: f64, stop: f64 },
+    Ramp {
+        duration: f64,
+        start: f64,
+        stop: f64,
+    },
     /// A Blackman window scaled so its maximum equals `area / integral` —
     /// i.e. the waveform has total integral `area` (rad). The standard smooth
     /// pulse used on neutral-atom hardware to limit spectral leakage.
@@ -43,7 +47,11 @@ impl Waveform {
         check_duration(duration)?;
         check_finite(start, "start")?;
         check_finite(stop, "stop")?;
-        Ok(Waveform::Ramp { duration, start, stop })
+        Ok(Waveform::Ramp {
+            duration,
+            start,
+            stop,
+        })
     }
 
     /// A Blackman pulse with the given integrated area (rad).
@@ -98,7 +106,11 @@ impl Waveform {
     pub fn sample(&self, t: f64) -> f64 {
         match self {
             Waveform::Constant { value, .. } => *value,
-            Waveform::Ramp { duration, start, stop } => {
+            Waveform::Ramp {
+                duration,
+                start,
+                stop,
+            } => {
                 let x = (t / duration).clamp(0.0, 1.0);
                 start + (stop - start) * x
             }
@@ -159,9 +171,10 @@ impl Waveform {
             Waveform::Interpolated { values, .. } => {
                 values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             }
-            Waveform::Composite { parts } => {
-                parts.iter().map(Waveform::max_value).fold(f64::NEG_INFINITY, f64::max)
-            }
+            Waveform::Composite { parts } => parts
+                .iter()
+                .map(Waveform::max_value)
+                .fold(f64::NEG_INFINITY, f64::max),
         }
     }
 
@@ -177,9 +190,10 @@ impl Waveform {
             Waveform::Interpolated { values, .. } => {
                 values.iter().cloned().fold(f64::INFINITY, f64::min)
             }
-            Waveform::Composite { parts } => {
-                parts.iter().map(Waveform::min_value).fold(f64::INFINITY, f64::min)
-            }
+            Waveform::Composite { parts } => parts
+                .iter()
+                .map(Waveform::min_value)
+                .fold(f64::INFINITY, f64::min),
         }
     }
 
@@ -189,7 +203,11 @@ impl Waveform {
     pub fn integral(&self) -> f64 {
         match self {
             Waveform::Constant { duration, value } => duration * value,
-            Waveform::Ramp { duration, start, stop } => duration * (start + stop) / 2.0,
+            Waveform::Ramp {
+                duration,
+                start,
+                stop,
+            } => duration * (start + stop) / 2.0,
             Waveform::Blackman { area, .. } => *area,
             Waveform::Composite { parts } => parts.iter().map(Waveform::integral).sum(),
             Waveform::Interpolated { duration, values } => {
@@ -208,7 +226,11 @@ impl Waveform {
                 duration: *duration,
                 value: value * factor,
             },
-            Waveform::Ramp { duration, start, stop } => Waveform::Ramp {
+            Waveform::Ramp {
+                duration,
+                start,
+                stop,
+            } => Waveform::Ramp {
                 duration: *duration,
                 start: start * factor,
                 stop: stop * factor,
@@ -242,7 +264,9 @@ fn check_finite(v: f64, what: &str) -> Result<(), ProgramError> {
     if v.is_finite() {
         Ok(())
     } else {
-        Err(ProgramError::InvalidWaveform(format!("{what} must be finite, got {v}")))
+        Err(ProgramError::InvalidWaveform(format!(
+            "{what} must be finite, got {v}"
+        )))
     }
 }
 

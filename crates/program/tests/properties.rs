@@ -1,17 +1,14 @@
 //! Property-based tests on the IR: waveform algebra, register geometry,
 //! serialization round-trips and validation consistency.
 
-use hpcqc_program::{
-    DeviceSpec, ProgramIr, Pulse, Register, SequenceBuilder, Waveform,
-};
+use hpcqc_program::{DeviceSpec, ProgramIr, Pulse, Register, SequenceBuilder, Waveform};
 use proptest::prelude::*;
 
 fn arb_waveform() -> impl Strategy<Value = Waveform> {
     let duration = 0.01f64..5.0;
     let value = -40.0f64..40.0;
     prop_oneof![
-        (duration.clone(), value.clone())
-            .prop_map(|(d, v)| Waveform::constant(d, v).unwrap()),
+        (duration.clone(), value.clone()).prop_map(|(d, v)| Waveform::constant(d, v).unwrap()),
         (duration.clone(), value.clone(), value.clone())
             .prop_map(|(d, a, b)| Waveform::ramp(d, a, b).unwrap()),
         (duration.clone(), -20.0f64..20.0).prop_map(|(d, a)| Waveform::blackman(d, a).unwrap()),

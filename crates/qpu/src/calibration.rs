@@ -42,7 +42,13 @@ pub struct OuParameter {
 
 impl OuParameter {
     pub fn new(nominal: f64, theta: f64, sigma: f64) -> Self {
-        OuParameter { pristine: nominal, nominal, current: nominal, theta, sigma }
+        OuParameter {
+            pristine: nominal,
+            nominal,
+            current: nominal,
+            theta,
+            sigma,
+        }
     }
 
     /// Advance the process by `dt` seconds.
@@ -59,8 +65,7 @@ impl OuParameter {
         } else {
             // exact OU transition: x' = μ + (x-μ)e^{-θdt} + σ_dt N(0,1)
             let decay = (-self.theta * dt).exp();
-            let std_dt =
-                self.sigma * ((1.0 - decay * decay) / (2.0 * self.theta)).sqrt();
+            let std_dt = self.sigma * ((1.0 - decay * decay) / (2.0 * self.theta)).sqrt();
             self.current =
                 self.nominal + (self.current - self.nominal) * decay + std_dt * noise.sample(rng);
         }
@@ -188,7 +193,11 @@ mod tests {
         for _ in 0..10_000 {
             p.step(0.1, &mut rng);
         }
-        assert!((p.current - 1.0).abs() < 0.2, "OU wandered to {}", p.current);
+        assert!(
+            (p.current - 1.0).abs() < 0.2,
+            "OU wandered to {}",
+            p.current
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl std::fmt::Display for QpuError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QpuError::Unavailable(s) => write!(f, "QPU unavailable: {s:?}"),
-            QpuError::Invalid(v) => write!(f, "program invalid on current calibration: {} violation(s)", v.len()),
+            QpuError::Invalid(v) => write!(
+                f,
+                "program invalid on current calibration: {} violation(s)",
+                v.len()
+            ),
             QpuError::BadShots(m) => write!(f, "bad shot request: {m}"),
         }
     }
@@ -145,7 +149,11 @@ impl VirtualQpu {
             "qpu_up",
             "1 when the QPU is operational",
             labels(&[("device", &self.name)]),
-            if s == QpuStatus::Operational { 1.0 } else { 0.0 },
+            if s == QpuStatus::Operational {
+                1.0
+            } else {
+                0.0
+            },
         );
     }
 
@@ -228,10 +236,17 @@ impl VirtualQpu {
             l,
             cal.revision as f64,
         );
-        self.tsdb.append("qpu_rabi_scale", now, cal.rabi_scale.current);
-        self.tsdb.append("qpu_detuning_offset", now, cal.detuning_offset.current);
-        self.tsdb.append("qpu_detection_error", now, cal.detection_epsilon.current);
-        self.tsdb.append("qpu_detection_error_prime", now, cal.detection_epsilon_prime.current);
+        self.tsdb
+            .append("qpu_rabi_scale", now, cal.rabi_scale.current);
+        self.tsdb
+            .append("qpu_detuning_offset", now, cal.detuning_offset.current);
+        self.tsdb
+            .append("qpu_detection_error", now, cal.detection_epsilon.current);
+        self.tsdb.append(
+            "qpu_detection_error_prime",
+            now,
+            cal.detection_epsilon_prime.current,
+        );
     }
 
     /// Apply the calibration distortion to a program: what the hardware
@@ -251,11 +266,14 @@ impl VirtualQpu {
                 let off = offset.discretize(0.001);
                 let vals: Vec<f64> = base
                     .iter()
-                    .zip(off.iter().chain(std::iter::repeat(&cal.detuning_offset.current)))
+                    .zip(
+                        off.iter()
+                            .chain(std::iter::repeat(&cal.detuning_offset.current)),
+                    )
                     .map(|(a, b)| a + b)
                     .collect();
-                tp.pulse.detuning = hpcqc_program::Waveform::interpolated(d, vals)
-                    .expect("valid interpolation");
+                tp.pulse.detuning =
+                    hpcqc_program::Waveform::interpolated(d, vals).expect("valid interpolation");
             }
         }
         out
@@ -293,15 +311,25 @@ impl VirtualQpu {
             epsilon: cal.detection_epsilon.current,
             epsilon_prime: cal.detection_epsilon_prime.current,
         };
-        let distorted_ir = ProgramIr { sequence: played, ..ir.clone() };
+        let distorted_ir = ProgramIr {
+            sequence: played,
+            ..ir.clone()
+        };
         let n = distorted_ir.sequence.num_qubits();
         let mut result = if n <= 12 {
-            let backend = SvBackend { max_qubits: 12, noise, ..SvBackend::default() };
+            let backend = SvBackend {
+                max_qubits: 12,
+                noise,
+                ..SvBackend::default()
+            };
             run_unvalidated_sv(&backend, &distorted_ir, seed)
         } else {
             let backend = MpsBackend {
                 max_qubits: 100,
-                config: MpsConfig { chi_max: 24, ..MpsConfig::default() },
+                config: MpsConfig {
+                    chi_max: 24,
+                    ..MpsConfig::default()
+                },
                 noise,
             };
             run_unvalidated_mps(&backend, &distorted_ir, seed)
@@ -323,7 +351,8 @@ impl VirtualQpu {
             inner.rng = rng;
         }
         let l = labels(&[("device", &self.name)]);
-        self.registry.counter_add("qpu_jobs_total", "Completed jobs", l.clone(), 1.0);
+        self.registry
+            .counter_add("qpu_jobs_total", "Completed jobs", l.clone(), 1.0);
         self.registry.counter_add(
             "qpu_shots_total",
             "Total shots executed",
@@ -337,7 +366,11 @@ impl VirtualQpu {
             device_secs,
         );
 
-        Ok(QpuExecution { result, device_secs, calibration_revision: cal.revision })
+        Ok(QpuExecution {
+            result,
+            device_secs,
+            calibration_revision: cal.revision,
+        })
     }
 
     /// Lifetime utilization: busy seconds / device clock.
@@ -363,11 +396,15 @@ impl VirtualQpu {
 fn run_unvalidated_sv(backend: &SvBackend, ir: &ProgramIr, seed: u64) -> SampleResult {
     // The SV backend's own spec is permissive (emulator limits), so plain
     // run() only rejects size. Distortion never changes qubit count.
-    backend.run(ir, seed).expect("device-validated program runs on SV")
+    backend
+        .run(ir, seed)
+        .expect("device-validated program runs on SV")
 }
 
 fn run_unvalidated_mps(backend: &MpsBackend, ir: &ProgramIr, seed: u64) -> SampleResult {
-    backend.run(ir, seed).expect("device-validated program runs on MPS")
+    backend
+        .run(ir, seed)
+        .expect("device-validated program runs on MPS")
 }
 
 #[cfg(test)]
@@ -379,9 +416,7 @@ mod tests {
         let reg = Register::linear(n, 6.0).unwrap();
         let omega = 4.0;
         let mut b = SequenceBuilder::new(reg);
-        b.add_global_pulse(
-            Pulse::constant(std::f64::consts::PI / omega, omega, 0.0, 0.0).unwrap(),
-        );
+        b.add_global_pulse(Pulse::constant(std::f64::consts::PI / omega, omega, 0.0, 0.0).unwrap());
         ProgramIr::new(b.build().unwrap(), shots, "test")
     }
 
@@ -395,7 +430,10 @@ mod tests {
         assert!((ex.device_secs - 103.0).abs() < 1e-9);
         assert_eq!(qpu.stats(), (1, 100));
         assert!(qpu.now() >= 103.0);
-        assert!((qpu.utilization() - 1.0).abs() < 1e-9, "only busy time so far");
+        assert!(
+            (qpu.utilization() - 1.0).abs() < 1e-9,
+            "only busy time so far"
+        );
     }
 
     #[test]
@@ -523,6 +561,9 @@ mod tests {
         spec.shot_rate_hz = 100.0;
         let qpu = VirtualQpu::new("roadmap", 1).with_base_spec(spec);
         let ex = qpu.execute(&pi_pulse_ir(1, 100), 1).unwrap();
-        assert!((ex.device_secs - 4.0).abs() < 1e-9, "3s overhead + 1s shots");
+        assert!(
+            (ex.device_secs - 4.0).abs() < 1e-9,
+            "3s overhead + 1s shots"
+        );
     }
 }

@@ -33,8 +33,7 @@ pub fn qa_program(shots: u32) -> ProgramIr {
     let omega = 4.0; // well within any calibrated envelope
     let mut b = SequenceBuilder::new(reg);
     b.add_global_pulse(
-        Pulse::constant(std::f64::consts::PI / omega, omega, 0.0, 0.0)
-            .expect("valid probe pulse"),
+        Pulse::constant(std::f64::consts::PI / omega, omega, 0.0, 0.0).expect("valid probe pulse"),
     );
     ProgramIr::new(b.build().expect("non-empty"), shots, "qa")
 }
@@ -43,7 +42,12 @@ pub fn qa_program(shots: u32) -> ProgramIr {
 ///
 /// `nominal_epsilon_prime` is the readout false-negative rate the site
 /// accepts as baseline; the expected transfer is `1 − ε′`.
-pub fn run_qa(qpu: &VirtualQpu, shots: u32, nominal_epsilon_prime: f64, seed: u64) -> Result<QaReport, QpuError> {
+pub fn run_qa(
+    qpu: &VirtualQpu,
+    shots: u32,
+    nominal_epsilon_prime: f64,
+    seed: u64,
+) -> Result<QaReport, QpuError> {
     let ir = qa_program(shots);
     let ex = qpu.execute(&ir, seed)?;
     let measured = ex.result.occupation(0);
@@ -97,7 +101,11 @@ mod tests {
         let qpu = VirtualQpu::new("qpu0", 1);
         qpu.inject_rabi_fault(0.3);
         let report = run_qa(&qpu, 1000, 0.03, 5).unwrap();
-        assert!(report.health < 0.9, "fault must degrade health: {}", report.health);
+        assert!(
+            report.health < 0.9,
+            "fault must degrade health: {}",
+            report.health
+        );
         assert!(report.deficit < -0.05);
     }
 

@@ -38,7 +38,9 @@ struct TaskTable {
 
 impl TaskTable {
     fn new() -> Self {
-        TaskTable { tasks: HashMap::new() }
+        TaskTable {
+            tasks: HashMap::new(),
+        }
     }
 }
 
@@ -353,7 +355,10 @@ impl QuantumResource for CloudResource {
         let id = new_id("task", &self.counter);
         self.tasks.lock().tasks.insert(
             id.clone(),
-            TaskState::Pending { ir: ir.clone(), polls_left: self.queue_polls },
+            TaskState::Pending {
+                ir: ir.clone(),
+                polls_left: self.queue_polls,
+            },
         );
         Ok(TaskId(id))
     }
@@ -451,7 +456,11 @@ mod tests {
         let res = r.task_result(&task).unwrap();
         assert_eq!(res.shots, 50);
         r.release(&tok).unwrap();
-        assert_eq!(r.release(&tok), Err(QrmiError::InvalidToken), "double release");
+        assert_eq!(
+            r.release(&tok),
+            Err(QrmiError::InvalidToken),
+            "double release"
+        );
     }
 
     #[test]
@@ -539,7 +548,10 @@ mod tests {
         let task = r.task_start(&tok, &ir(20)).unwrap();
         r.task_stop(&task).unwrap();
         assert_eq!(r.task_status(&task).unwrap(), TaskStatus::Cancelled);
-        assert!(matches!(r.task_result(&task), Err(QrmiError::InvalidState(_))));
+        assert!(matches!(
+            r.task_result(&task),
+            Err(QrmiError::InvalidState(_))
+        ));
     }
 
     #[test]
@@ -583,7 +595,10 @@ mod tests {
         b.add_global_pulse(Pulse::constant(0.1, 1.0, 0.0, 0.0).unwrap());
         let bad = ProgramIr::new(b.build().unwrap(), 5, "test");
         let task = r.task_start(&tok, &bad).unwrap();
-        assert!(matches!(r.task_status(&task).unwrap(), TaskStatus::Failed(_)));
+        assert!(matches!(
+            r.task_status(&task).unwrap(),
+            TaskStatus::Failed(_)
+        ));
         assert!(matches!(r.task_result(&task), Err(QrmiError::Backend(_))));
     }
 }

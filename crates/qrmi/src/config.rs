@@ -44,7 +44,11 @@ pub struct QrmiConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
     MissingKey(String),
-    BadValue { key: String, value: String, expected: &'static str },
+    BadValue {
+        key: String,
+        value: String,
+        expected: &'static str,
+    },
     UnknownResource(String),
 }
 
@@ -52,7 +56,11 @@ impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConfigError::MissingKey(k) => write!(f, "missing configuration key {k}"),
-            ConfigError::BadValue { key, value, expected } => {
+            ConfigError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "bad value {value:?} for {key}: expected {expected}")
             }
             ConfigError::UnknownResource(r) => write!(f, "unknown resource {r:?}"),
@@ -77,7 +85,9 @@ impl QrmiConfig {
         for id in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
             let frag = env_fragment(id);
             let tkey = format!("QRMI_RESOURCE_{frag}_TYPE");
-            let tval = env.get(&tkey).ok_or_else(|| ConfigError::MissingKey(tkey.clone()))?;
+            let tval = env
+                .get(&tkey)
+                .ok_or_else(|| ConfigError::MissingKey(tkey.clone()))?;
             let rtype = ResourceType::parse(tval).ok_or_else(|| ConfigError::BadValue {
                 key: tkey,
                 value: tval.clone(),
@@ -89,7 +99,11 @@ impl QrmiConfig {
                 .filter(|(k, _)| k.starts_with(&prefix) && !k.ends_with("_TYPE"))
                 .map(|(k, v)| (k[prefix.len()..].to_lowercase(), v.clone()))
                 .collect();
-            resources.push(ResourceConfig { id: id.to_string(), rtype, params });
+            resources.push(ResourceConfig {
+                id: id.to_string(),
+                rtype,
+                params,
+            });
         }
         let default_resource = env.get("QRMI_DEFAULT_RESOURCE").cloned();
         if let Some(d) = &default_resource {
@@ -97,7 +111,10 @@ impl QrmiConfig {
                 return Err(ConfigError::UnknownResource(d.clone()));
             }
         }
-        Ok(QrmiConfig { resources, default_resource })
+        Ok(QrmiConfig {
+            resources,
+            default_resource,
+        })
     }
 
     /// Parse from the process environment.
@@ -139,7 +156,10 @@ pub struct ResourceFactory {
 
 impl ResourceFactory {
     pub fn new(seed: u64) -> Self {
-        ResourceFactory { qpus: HashMap::new(), seed }
+        ResourceFactory {
+            qpus: HashMap::new(),
+            seed,
+        }
     }
 
     /// Provide a device for `qpu:*` resources referencing it by name.
@@ -149,7 +169,11 @@ impl ResourceFactory {
     }
 
     fn build_emulator(&self, cfg: &ResourceConfig) -> Result<Arc<dyn Emulator>, ConfigError> {
-        let backend = cfg.params.get("backend").map(String::as_str).unwrap_or("emu-sv");
+        let backend = cfg
+            .params
+            .get("backend")
+            .map(String::as_str)
+            .unwrap_or("emu-sv");
         match backend {
             "emu-sv" => Ok(Arc::new(SvBackend::default())),
             "emu-mps" => {
@@ -162,7 +186,10 @@ impl ResourceFactory {
                     })?,
                 };
                 Ok(Arc::new(MpsBackend {
-                    config: MpsConfig { chi_max: chi.max(1), ..MpsConfig::default() },
+                    config: MpsConfig {
+                        chi_max: chi.max(1),
+                        ..MpsConfig::default()
+                    },
                     ..MpsBackend::default()
                 }))
             }
@@ -180,7 +207,9 @@ impl ResourceFactory {
         match cfg.rtype {
             ResourceType::EmulatorLocal => {
                 let emu = self.build_emulator(cfg)?;
-                Ok(Arc::new(LocalEmulatorResource::new(&cfg.id, emu, self.seed)))
+                Ok(Arc::new(LocalEmulatorResource::new(
+                    &cfg.id, emu, self.seed,
+                )))
             }
             ResourceType::EmulatorCloud => {
                 let emu = self.build_emulator(cfg)?;
@@ -210,7 +239,11 @@ impl ResourceFactory {
     }
 
     fn lookup_qpu(&self, cfg: &ResourceConfig) -> Result<VirtualQpu, ConfigError> {
-        let device = cfg.params.get("device").map(String::as_str).unwrap_or(cfg.id.as_str());
+        let device = cfg
+            .params
+            .get("device")
+            .map(String::as_str)
+            .unwrap_or(cfg.id.as_str());
         self.qpus
             .get(device)
             .cloned()
@@ -232,7 +265,11 @@ fn parse_u32(cfg: &ResourceConfig, key: &str, default: u32) -> Result<u32, Confi
     match cfg.params.get(key) {
         None => Ok(default),
         Some(v) => v.parse::<u32>().map_err(|_| ConfigError::BadValue {
-            key: format!("QRMI_RESOURCE_{}_{}", env_fragment(&cfg.id), key.to_uppercase()),
+            key: format!(
+                "QRMI_RESOURCE_{}_{}",
+                env_fragment(&cfg.id),
+                key.to_uppercase()
+            ),
             value: v.clone(),
             expected: "non-negative integer",
         }),
@@ -263,7 +300,10 @@ impl ResourceRegistry {
     }
 
     /// Resolve an optional `--qpu` selection against the default.
-    pub fn resolve(&self, selection: Option<&str>) -> Result<Arc<dyn QuantumResource>, ConfigError> {
+    pub fn resolve(
+        &self,
+        selection: Option<&str>,
+    ) -> Result<Arc<dyn QuantumResource>, ConfigError> {
         let id = selection
             .map(str::to_string)
             .or_else(|| self.default_resource.clone())
@@ -344,7 +384,10 @@ mod tests {
     fn bad_type_fails() {
         let mut e = env();
         e.insert("QRMI_RESOURCE_EMU_LOCAL_TYPE".into(), "abacus".into());
-        assert!(matches!(QrmiConfig::from_map(&e), Err(ConfigError::BadValue { .. })));
+        assert!(matches!(
+            QrmiConfig::from_map(&e),
+            Err(ConfigError::BadValue { .. })
+        ));
     }
 
     #[test]

@@ -198,7 +198,10 @@ impl FaultInjector {
         }
         if self.profile.mtbf_ops > 0.0
             && self.profile.burst_len > 0
-            && self.rng.lock().gen_bool((1.0 / self.profile.mtbf_ops).min(1.0))
+            && self
+                .rng
+                .lock()
+                .gen_bool((1.0 / self.profile.mtbf_ops).min(1.0))
         {
             w.burst_left = self.profile.burst_len;
             return true;
@@ -225,10 +228,14 @@ impl QuantumResource for FaultInjector {
 
     fn acquire(&self) -> Result<AcquisitionToken, QrmiError> {
         let in_burst = self.tick();
-        let p = self.profile.effective(self.profile.acquire_denial_rate, in_burst);
+        let p = self
+            .profile
+            .effective(self.profile.acquire_denial_rate, in_burst);
         if p > 0.0 && self.rng.lock().gen::<f64>() < p {
             self.record("acquire_denied");
-            return Err(QrmiError::AcquisitionDenied("injected fault: device busy".into()));
+            return Err(QrmiError::AcquisitionDenied(
+                "injected fault: device busy".into(),
+            ));
         }
         self.inner.acquire()
     }
@@ -243,12 +250,18 @@ impl QuantumResource for FaultInjector {
 
     fn task_start(&self, token: &AcquisitionToken, ir: &ProgramIr) -> Result<TaskId, QrmiError> {
         let in_burst = self.tick();
-        let p_fail = self.profile.effective(self.profile.task_failure_rate, in_burst);
-        let p_stuck = self.profile.effective(self.profile.stuck_task_rate, in_burst);
+        let p_fail = self
+            .profile
+            .effective(self.profile.task_failure_rate, in_burst);
+        let p_stuck = self
+            .profile
+            .effective(self.profile.stuck_task_rate, in_burst);
         let fate = {
             let draw = self.rng.lock().gen::<f64>();
             if draw < p_fail {
-                Some(InjectedFate::FailOnPoll("injected fault: task lost by backend".into()))
+                Some(InjectedFate::FailOnPoll(
+                    "injected fault: task lost by backend".into(),
+                ))
             } else if draw < p_fail + p_stuck {
                 Some(InjectedFate::StuckRunning)
             } else {
@@ -307,7 +320,9 @@ impl QuantumResource for FaultInjector {
             .effective(self.profile.result_fetch_failure_rate, in_burst);
         if p > 0.0 && self.rng.lock().gen::<f64>() < p {
             self.record("result_fetch");
-            return Err(QrmiError::Backend("injected fault: result fetch failed".into()));
+            return Err(QrmiError::Backend(
+                "injected fault: result fetch failed".into(),
+            ));
         }
         self.inner.task_result(task)
     }
@@ -356,7 +371,10 @@ mod tests {
 
     #[test]
     fn transient_task_failures_fail_then_succeed_on_retry() {
-        let profile = FaultProfile { task_failure_rate: 0.5, ..FaultProfile::none() };
+        let profile = FaultProfile {
+            task_failure_rate: 0.5,
+            ..FaultProfile::none()
+        };
         let r = wrapped(profile, 3);
         let tok = r.acquire().unwrap();
         let mut failed = 0;
@@ -376,23 +394,32 @@ mod tests {
                 other => panic!("unexpected status {other:?}"),
             }
         }
-        assert!(failed > 20 && completed > 20, "failed={failed} completed={completed}");
+        assert!(
+            failed > 20 && completed > 20,
+            "failed={failed} completed={completed}"
+        );
         assert_eq!(r.fault_counts()["task_failed"], failed);
     }
 
     #[test]
     fn stuck_tasks_report_running_forever_and_can_be_stopped() {
-        let profile = FaultProfile { stuck_task_rate: 1.0, ..FaultProfile::none() };
+        let profile = FaultProfile {
+            stuck_task_rate: 1.0,
+            ..FaultProfile::none()
+        };
         let r = wrapped(profile, 4);
         let tok = r.acquire().unwrap();
         let t = r.task_start(&tok, &ir(2)).unwrap();
         for _ in 0..50 {
             assert_eq!(r.task_status(&t).unwrap(), TaskStatus::Running);
         }
-        assert!(matches!(
-            run_to_completion(&r, &tok, &ir(2), 5),
-            Err(QrmiError::InvalidState(_))
-        ), "poll budget must expire on a stuck task");
+        assert!(
+            matches!(
+                run_to_completion(&r, &tok, &ir(2), 5),
+                Err(QrmiError::InvalidState(_))
+            ),
+            "poll budget must expire on a stuck task"
+        );
         r.task_stop(&t).unwrap();
         assert_eq!(r.task_status(&t).unwrap(), TaskStatus::Cancelled);
         assert_eq!(r.fault_counts()["task_stuck"], 2);
@@ -400,8 +427,10 @@ mod tests {
 
     #[test]
     fn result_fetch_errors_are_transient() {
-        let profile =
-            FaultProfile { result_fetch_failure_rate: 0.5, ..FaultProfile::none() };
+        let profile = FaultProfile {
+            result_fetch_failure_rate: 0.5,
+            ..FaultProfile::none()
+        };
         let r = wrapped(profile, 5);
         let tok = r.acquire().unwrap();
         let t = r.task_start(&tok, &ir(2)).unwrap();
@@ -424,7 +453,10 @@ mod tests {
 
     #[test]
     fn acquisition_denials_seeded_and_deterministic() {
-        let profile = FaultProfile { acquire_denial_rate: 0.4, ..FaultProfile::none() };
+        let profile = FaultProfile {
+            acquire_denial_rate: 0.4,
+            ..FaultProfile::none()
+        };
         let denials = |seed: u64| {
             let r = wrapped(profile, seed);
             (0..100).filter(|_| r.acquire().is_err()).count()
@@ -454,7 +486,10 @@ mod tests {
             })
             .collect();
         let failures = outcomes.iter().filter(|&&f| f).count();
-        assert!(failures > 10, "bursts should produce failures, got {failures}");
+        assert!(
+            failures > 10,
+            "bursts should produce failures, got {failures}"
+        );
         // correlation: a failure is far more likely right after a failure
         // than unconditionally (burst windows cluster them)
         let pairs = outcomes.windows(2).filter(|w| w[0]).count();
@@ -472,7 +507,10 @@ mod tests {
         let mut profiles = BTreeMap::new();
         profiles.insert(
             ResourceType::QpuCloud,
-            FaultProfile { acquire_denial_rate: 1.0, ..FaultProfile::none() },
+            FaultProfile {
+                acquire_denial_rate: 1.0,
+                ..FaultProfile::none()
+            },
         );
         // local emulator has no entry → no faults
         let inner = Arc::new(LocalEmulatorResource::new(
@@ -488,7 +526,10 @@ mod tests {
     #[test]
     fn metrics_reported_when_attached() {
         let metrics = FaultMetrics::default();
-        let profile = FaultProfile { acquire_denial_rate: 1.0, ..FaultProfile::none() };
+        let profile = FaultProfile {
+            acquire_denial_rate: 1.0,
+            ..FaultProfile::none()
+        };
         let inner = Arc::new(LocalEmulatorResource::new(
             "emu",
             Arc::new(SvBackend::default()),
@@ -496,16 +537,21 @@ mod tests {
         ));
         let r = FaultInjector::new(inner, profile, 1).with_metrics(metrics.clone());
         assert!(r.acquire().is_err());
-        assert!(metrics.registry().expose().contains(
-            "qrmi_faults_injected_total{kind=\"acquire_denied\",resource=\"emu\"} 1"
-        ));
+        assert!(metrics
+            .registry()
+            .expose()
+            .contains("qrmi_faults_injected_total{kind=\"acquire_denied\",resource=\"emu\"} 1"));
     }
 
     #[test]
     #[should_panic(expected = "invalid fault profile")]
     fn invalid_profile_rejected() {
         wrapped(
-            FaultProfile { task_failure_rate: 0.7, stuck_task_rate: 0.7, ..FaultProfile::none() },
+            FaultProfile {
+                task_failure_rate: 0.7,
+                stuck_task_rate: 0.7,
+                ..FaultProfile::none()
+            },
             1,
         );
     }

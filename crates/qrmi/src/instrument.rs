@@ -40,7 +40,10 @@ pub struct FaultConfig {
 impl FaultConfig {
     /// No injected faults.
     pub fn none() -> Self {
-        FaultConfig { task_failure_prob: 0.0, acquire_denial_prob: 0.0 }
+        FaultConfig {
+            task_failure_prob: 0.0,
+            acquire_denial_prob: 0.0,
+        }
     }
 
     pub fn is_valid(&self) -> bool {
@@ -61,12 +64,18 @@ pub struct TimingModel {
 impl TimingModel {
     /// Today's production profile: 1 Hz, 3 s overhead (§2.2.1).
     pub fn production_1hz() -> Self {
-        TimingModel { shot_rate_hz: 1.0, overhead_secs: 3.0 }
+        TimingModel {
+            shot_rate_hz: 1.0,
+            overhead_secs: 3.0,
+        }
     }
 
     /// Roadmap profile: 100 Hz.
     pub fn roadmap_100hz() -> Self {
-        TimingModel { shot_rate_hz: 100.0, overhead_secs: 3.0 }
+        TimingModel {
+            shot_rate_hz: 100.0,
+            overhead_secs: 3.0,
+        }
     }
 
     /// Simulated device seconds for a task.
@@ -208,7 +217,10 @@ impl QuantumResource for InstrumentedResource {
     fn metadata(&self) -> BTreeMap<String, String> {
         let mut m = self.inner.metadata();
         m.insert("instrumented".into(), "true".into());
-        m.insert("simulated_shot_rate_hz".into(), self.timing.shot_rate_hz.to_string());
+        m.insert(
+            "simulated_shot_rate_hz".into(),
+            self.timing.shot_rate_hz.to_string(),
+        );
         m
     }
 }
@@ -242,7 +254,10 @@ mod tests {
         let r = instrumented(FaultConfig::none(), TimingModel::production_1hz());
         let tok = r.acquire().unwrap();
         let res = run_to_completion(&r, &tok, &ir(120), 10).unwrap();
-        assert!((res.execution_secs - 123.0).abs() < 1e-9, "3s overhead + 120s shots");
+        assert!(
+            (res.execution_secs - 123.0).abs() < 1e-9,
+            "3s overhead + 120s shots"
+        );
         // the advertised spec carries the simulated rate
         assert_eq!(r.target().unwrap().shot_rate_hz, 1.0);
         // roadmap profile is 100x faster
@@ -272,7 +287,10 @@ mod tests {
     #[test]
     fn injected_task_failures_are_seeded_and_bounded() {
         let r = instrumented(
-            FaultConfig { task_failure_prob: 0.5, acquire_denial_prob: 0.0 },
+            FaultConfig {
+                task_failure_prob: 0.5,
+                acquire_denial_prob: 0.0,
+            },
             TimingModel::production_1hz(),
         );
         let tok = r.acquire().unwrap();
@@ -287,7 +305,10 @@ mod tests {
         assert!((rate - 0.5).abs() < 0.12, "failure rate {rate}");
         // deterministic: same seed, same sequence
         let r2 = instrumented(
-            FaultConfig { task_failure_prob: 0.5, acquire_denial_prob: 0.0 },
+            FaultConfig {
+                task_failure_prob: 0.5,
+                acquire_denial_prob: 0.0,
+            },
             TimingModel::production_1hz(),
         );
         let tok2 = r2.acquire().unwrap();
@@ -303,7 +324,10 @@ mod tests {
     #[test]
     fn injected_acquire_denials() {
         let r = instrumented(
-            FaultConfig { task_failure_prob: 0.0, acquire_denial_prob: 1.0 },
+            FaultConfig {
+                task_failure_prob: 0.0,
+                acquire_denial_prob: 1.0,
+            },
             TimingModel::production_1hz(),
         );
         assert!(matches!(r.acquire(), Err(QrmiError::AcquisitionDenied(_))));
@@ -321,7 +345,10 @@ mod tests {
     #[should_panic(expected = "fault probabilities")]
     fn invalid_fault_config_rejected() {
         instrumented(
-            FaultConfig { task_failure_prob: 1.5, acquire_denial_prob: 0.0 },
+            FaultConfig {
+                task_failure_prob: 1.5,
+                acquire_denial_prob: 0.0,
+            },
             TimingModel::production_1hz(),
         );
     }

@@ -76,7 +76,10 @@ impl AccountingSummary {
         let mut preemptions = 0;
         let mut makespan: f64 = 0.0;
         for j in jobs.clone() {
-            by_partition.entry(j.spec.partition.clone()).or_default().push(j);
+            by_partition
+                .entry(j.spec.partition.clone())
+                .or_default()
+                .push(j);
             match j.state {
                 JobState::Completed => completed += 1,
                 JobState::Timeout => timed_out += 1,
@@ -109,7 +112,11 @@ mod tests {
     use crate::job::JobSpec;
 
     fn job(id: u64, part: &str, submit: f64, start: f64, end: f64, state: JobState) -> Job {
-        let mut j = Job::new(id, JobSpec::classical("j", "u", part, 1, end - start), submit);
+        let mut j = Job::new(
+            id,
+            JobSpec::classical("j", "u", part, 1, end - start),
+            submit,
+        );
         j.start_time = Some(start);
         j.end_time = Some(end);
         j.state = state;
@@ -158,7 +165,10 @@ mod tests {
         assert_eq!(s.makespan_secs, 80.0);
         assert_eq!(s.by_partition["production"].count, 1);
         assert_eq!(s.by_partition["development"].count, 3);
-        assert!(s.by_partition["production"].mean_wait_secs < s.by_partition["development"].mean_wait_secs);
+        assert!(
+            s.by_partition["production"].mean_wait_secs
+                < s.by_partition["development"].mean_wait_secs
+        );
     }
 
     #[test]

@@ -33,10 +33,24 @@ pub struct Allocation {
 /// Why an allocation attempt failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AllocError {
-    NotEnoughNodes { requested: u32, free: u32 },
-    NotEnoughGres { name: String, requested: u32, free: u32 },
-    NotEnoughLicenses { name: String, requested: u32, free: u32 },
-    UnknownPool { kind: &'static str, name: String },
+    NotEnoughNodes {
+        requested: u32,
+        free: u32,
+    },
+    NotEnoughGres {
+        name: String,
+        requested: u32,
+        free: u32,
+    },
+    NotEnoughLicenses {
+        name: String,
+        requested: u32,
+        free: u32,
+    },
+    UnknownPool {
+        kind: &'static str,
+        name: String,
+    },
     AlreadyAllocated(JobId),
 }
 
@@ -46,10 +60,18 @@ impl std::fmt::Display for AllocError {
             AllocError::NotEnoughNodes { requested, free } => {
                 write!(f, "requested {requested} nodes, {free} free")
             }
-            AllocError::NotEnoughGres { name, requested, free } => {
+            AllocError::NotEnoughGres {
+                name,
+                requested,
+                free,
+            } => {
                 write!(f, "requested {requested} gres/{name}, {free} free")
             }
-            AllocError::NotEnoughLicenses { name, requested, free } => {
+            AllocError::NotEnoughLicenses {
+                name,
+                requested,
+                free,
+            } => {
                 write!(f, "requested {requested} licenses/{name}, {free} free")
             }
             AllocError::UnknownPool { kind, name } => write!(f, "no {kind} pool named {name:?}"),
@@ -113,13 +135,25 @@ impl Cluster {
     pub fn fits(&self, spec: &JobSpec) -> Result<(), AllocError> {
         let free = self.free_nodes();
         if spec.nodes > free {
-            return Err(AllocError::NotEnoughNodes { requested: spec.nodes, free });
+            return Err(AllocError::NotEnoughNodes {
+                requested: spec.nodes,
+                free,
+            });
         }
         for (name, &req) in &spec.gres {
             match self.free_gres(name) {
-                None => return Err(AllocError::UnknownPool { kind: "gres", name: name.clone() }),
+                None => {
+                    return Err(AllocError::UnknownPool {
+                        kind: "gres",
+                        name: name.clone(),
+                    })
+                }
                 Some(f) if req > f => {
-                    return Err(AllocError::NotEnoughGres { name: name.clone(), requested: req, free: f })
+                    return Err(AllocError::NotEnoughGres {
+                        name: name.clone(),
+                        requested: req,
+                        free: f,
+                    })
                 }
                 _ => {}
             }
@@ -127,7 +161,10 @@ impl Cluster {
         for (name, &req) in &spec.licenses {
             match self.free_licenses(name) {
                 None => {
-                    return Err(AllocError::UnknownPool { kind: "license", name: name.clone() })
+                    return Err(AllocError::UnknownPool {
+                        kind: "license",
+                        name: name.clone(),
+                    })
                 }
                 Some(f) if req > f => {
                     return Err(AllocError::NotEnoughLicenses {
@@ -150,7 +187,11 @@ impl Cluster {
         self.fits(spec)?;
         self.allocations.insert(
             job_id,
-            Allocation { nodes: spec.nodes, gres: spec.gres.clone(), licenses: spec.licenses.clone() },
+            Allocation {
+                nodes: spec.nodes,
+                gres: spec.gres.clone(),
+                licenses: spec.licenses.clone(),
+            },
         );
         Ok(())
     }
@@ -179,7 +220,9 @@ mod tests {
     use super::*;
 
     fn cluster() -> Cluster {
-        Cluster::new(8).with_gres("qpu", 10).with_licenses("qpu_share", 4)
+        Cluster::new(8)
+            .with_gres("qpu", 10)
+            .with_licenses("qpu_share", 4)
     }
 
     fn spec(nodes: u32) -> JobSpec {
@@ -201,7 +244,10 @@ mod tests {
         let mut c = cluster();
         c.allocate(1, &spec(6)).unwrap();
         match c.allocate(2, &spec(3)) {
-            Err(AllocError::NotEnoughNodes { requested: 3, free: 2 }) => {}
+            Err(AllocError::NotEnoughNodes {
+                requested: 3,
+                free: 2,
+            }) => {}
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -210,7 +256,10 @@ mod tests {
     fn double_allocation_rejected() {
         let mut c = cluster();
         c.allocate(1, &spec(1)).unwrap();
-        assert_eq!(c.allocate(1, &spec(1)), Err(AllocError::AlreadyAllocated(1)));
+        assert_eq!(
+            c.allocate(1, &spec(1)),
+            Err(AllocError::AlreadyAllocated(1))
+        );
     }
 
     #[test]
@@ -222,7 +271,11 @@ mod tests {
         let s2 = spec(1).with_gres("qpu", 5);
         assert!(matches!(
             c.allocate(2, &s2),
-            Err(AllocError::NotEnoughGres { requested: 5, free: 4, .. })
+            Err(AllocError::NotEnoughGres {
+                requested: 5,
+                free: 4,
+                ..
+            })
         ));
         c.release(1);
         assert_eq!(c.free_gres("qpu"), Some(10));
@@ -231,7 +284,8 @@ mod tests {
     #[test]
     fn license_pool_accounting() {
         let mut c = cluster();
-        c.allocate(1, &spec(1).with_license("qpu_share", 3)).unwrap();
+        c.allocate(1, &spec(1).with_license("qpu_share", 3))
+            .unwrap();
         assert_eq!(c.free_licenses("qpu_share"), Some(1));
         assert!(matches!(
             c.allocate(2, &spec(1).with_license("qpu_share", 2)),
@@ -248,7 +302,10 @@ mod tests {
         ));
         assert!(matches!(
             c.allocate(2, &spec(1).with_license("matlab", 1)),
-            Err(AllocError::UnknownPool { kind: "license", .. })
+            Err(AllocError::UnknownPool {
+                kind: "license",
+                ..
+            })
         ));
     }
 

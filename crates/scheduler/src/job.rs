@@ -22,14 +22,27 @@ pub enum PatternHint {
 }
 
 impl PatternHint {
-    /// Parse the `--hint=` string form.
+    /// Parse the `--hint=` string form. Tolerant of surrounding whitespace
+    /// and letter case — REST clients send `"QC-Heavy"`, `" qc-heavy\n"` and
+    /// friends, and silently dropping their hint to `None` mis-schedules the
+    /// job.
     pub fn parse(s: &str) -> Option<Self> {
-        match s {
+        match s.trim().to_ascii_lowercase().as_str() {
             "qc-heavy" => Some(PatternHint::QcHeavy),
             "cc-heavy" => Some(PatternHint::CcHeavy),
             "qc-balanced" => Some(PatternHint::QcBalanced),
             "none" => Some(PatternHint::None),
             _ => None,
+        }
+    }
+
+    /// The canonical `--hint=` string form (inverse of [`PatternHint::parse`]).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PatternHint::QcHeavy => "qc-heavy",
+            PatternHint::CcHeavy => "cc-heavy",
+            PatternHint::QcBalanced => "qc-balanced",
+            PatternHint::None => "none",
         }
     }
 }
@@ -135,7 +148,10 @@ pub enum JobState {
 impl JobState {
     /// Terminal states never transition again.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobState::Completed | JobState::Timeout | JobState::Cancelled)
+        matches!(
+            self,
+            JobState::Completed | JobState::Timeout | JobState::Cancelled
+        )
     }
 }
 
@@ -195,9 +211,43 @@ mod tests {
     fn hint_parse_roundtrip() {
         assert_eq!(PatternHint::parse("qc-heavy"), Some(PatternHint::QcHeavy));
         assert_eq!(PatternHint::parse("cc-heavy"), Some(PatternHint::CcHeavy));
-        assert_eq!(PatternHint::parse("qc-balanced"), Some(PatternHint::QcBalanced));
+        assert_eq!(
+            PatternHint::parse("qc-balanced"),
+            Some(PatternHint::QcBalanced)
+        );
         assert_eq!(PatternHint::parse("none"), Some(PatternHint::None));
         assert_eq!(PatternHint::parse("gpu-heavy"), None);
+    }
+
+    #[test]
+    fn hint_parse_is_case_and_whitespace_tolerant() {
+        assert_eq!(PatternHint::parse("QC-Heavy"), Some(PatternHint::QcHeavy));
+        assert_eq!(
+            PatternHint::parse("  cc-heavy\n"),
+            Some(PatternHint::CcHeavy)
+        );
+        assert_eq!(
+            PatternHint::parse("\tQC-BALANCED "),
+            Some(PatternHint::QcBalanced)
+        );
+        assert_eq!(PatternHint::parse("NONE"), Some(PatternHint::None));
+        assert_eq!(
+            PatternHint::parse("qc heavy"),
+            None,
+            "separator still matters"
+        );
+    }
+
+    #[test]
+    fn hint_as_str_roundtrips() {
+        for h in [
+            PatternHint::QcHeavy,
+            PatternHint::CcHeavy,
+            PatternHint::QcBalanced,
+            PatternHint::None,
+        ] {
+            assert_eq!(PatternHint::parse(h.as_str()), Some(h));
+        }
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl MalleableSpec {
     pub fn new(min_nodes: u32, max_nodes: u32, work_node_secs: f64) -> Self {
         assert!(min_nodes >= 1 && max_nodes >= min_nodes, "bad node range");
         assert!(work_node_secs > 0.0, "work must be positive");
-        MalleableSpec { min_nodes, max_nodes, work_node_secs }
+        MalleableSpec {
+            min_nodes,
+            max_nodes,
+            work_node_secs,
+        }
     }
 }
 
@@ -354,7 +358,11 @@ mod tests {
     use super::*;
 
     fn job(name: &str, min: u32, max: u32, work: f64, arrival: f64) -> MalleableJob {
-        MalleableJob { name: name.into(), spec: MalleableSpec::new(min, max, work), arrival }
+        MalleableJob {
+            name: name.into(),
+            spec: MalleableSpec::new(min, max, work),
+            arrival,
+        }
     }
 
     #[test]
@@ -387,7 +395,11 @@ mod tests {
         // both should run at width 4 and finish at t=100 together
         let _ = (a, b);
         let report = sim.run();
-        assert!((report.makespan_secs - 100.0).abs() < 1e-6, "{}", report.makespan_secs);
+        assert!(
+            (report.makespan_secs - 100.0).abs() < 1e-6,
+            "{}",
+            report.makespan_secs
+        );
         assert!((report.node_utilization - 1.0).abs() < 1e-9);
     }
 
@@ -402,7 +414,11 @@ mod tests {
         // the late job started at its arrival, not after `wide` finished
         // (which would be t=200 rigidly)
         let _ = late;
-        assert!(report.makespan_secs < 300.0, "makespan {}", report.makespan_secs);
+        assert!(
+            report.makespan_secs < 300.0,
+            "makespan {}",
+            report.makespan_secs
+        );
         assert!(report.total_resizes >= 2, "grow + shrink happened");
         assert!(report.node_utilization > 0.95);
     }
@@ -430,7 +446,15 @@ mod tests {
     fn work_is_conserved_under_resizes() {
         let mut sim = MalleableSim::new(4, true);
         let ids: Vec<_> = (0..5)
-            .map(|i| sim.submit(job(&format!("j{i}"), 1, 4, 100.0 + 50.0 * i as f64, 5.0 * i as f64)))
+            .map(|i| {
+                sim.submit(job(
+                    &format!("j{i}"),
+                    1,
+                    4,
+                    100.0 + 50.0 * i as f64,
+                    5.0 * i as f64,
+                ))
+            })
             .collect();
         let report = sim.run();
         assert_eq!(report.completed, ids.len());

@@ -50,7 +50,11 @@ pub struct EventQueue<E> {
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), now: 0.0, seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+        }
     }
 }
 
@@ -75,7 +79,11 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { time: t, seq, event });
+        self.heap.push(Scheduled {
+            time: t,
+            seq,
+            event,
+        });
     }
 
     /// Schedule `event` `dt` seconds from now.
@@ -103,7 +111,10 @@ impl<E> EventQueue<E> {
     pub fn advance_to(&mut self, t: f64) {
         assert!(t.is_finite() && t >= self.now, "cannot rewind clock to {t}");
         if let Some(next) = self.peek_time() {
-            assert!(next >= t, "event at {next} pending before advance target {t}");
+            assert!(
+                next >= t,
+                "event at {next} pending before advance target {t}"
+            );
         }
         self.now = t;
     }

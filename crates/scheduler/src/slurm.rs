@@ -28,9 +28,21 @@ pub struct Partition {
 /// preempting.
 pub fn standard_partitions() -> Vec<Partition> {
     vec![
-        Partition { name: "production".into(), priority: 300, preempts_lower: true },
-        Partition { name: "test".into(), priority: 200, preempts_lower: false },
-        Partition { name: "development".into(), priority: 100, preempts_lower: false },
+        Partition {
+            name: "production".into(),
+            priority: 300,
+            preempts_lower: true,
+        },
+        Partition {
+            name: "test".into(),
+            priority: 200,
+            preempts_lower: false,
+        },
+        Partition {
+            name: "development".into(),
+            priority: 100,
+            preempts_lower: false,
+        },
     ]
 }
 
@@ -79,7 +91,11 @@ pub struct SchedPolicy {
 
 impl Default for SchedPolicy {
     fn default() -> Self {
-        SchedPolicy { backfill: true, preemption: true, predictive_backfill: false }
+        SchedPolicy {
+            backfill: true,
+            preemption: true,
+            predictive_backfill: false,
+        }
     }
 }
 
@@ -108,7 +124,10 @@ impl SlurmSim {
     pub fn new(cluster: Cluster, partitions: Vec<Partition>, policy: SchedPolicy) -> Self {
         SlurmSim {
             cluster,
-            partitions: partitions.into_iter().map(|p| (p.name.clone(), p)).collect(),
+            partitions: partitions
+                .into_iter()
+                .map(|p| (p.name.clone(), p))
+                .collect(),
             jobs: BTreeMap::new(),
             run_gen: BTreeMap::new(),
             pending: Vec::new(),
@@ -236,14 +255,16 @@ impl SlurmSim {
                 }
             }
             SimEvent::End(id, gen) => {
-                if self.run_gen.get(&id) == Some(&gen)
-                    && self.jobs[&id].state == JobState::Running
+                if self.run_gen.get(&id) == Some(&gen) && self.jobs[&id].state == JobState::Running
                 {
                     let now = self.now();
                     let job = self.jobs.get_mut(&id).expect("job exists");
-                    let limit_hit =
-                        job.spec.actual_runtime_secs > job.spec.time_limit_secs + 1e-9;
-                    job.state = if limit_hit { JobState::Timeout } else { JobState::Completed };
+                    let limit_hit = job.spec.actual_runtime_secs > job.spec.time_limit_secs + 1e-9;
+                    job.state = if limit_hit {
+                        JobState::Timeout
+                    } else {
+                        JobState::Completed
+                    };
                     job.end_time = Some(now);
                     self.cluster.release(id);
                     self.schedule_pass();
@@ -271,7 +292,9 @@ impl SlurmSim {
     fn start_job(&mut self, id: JobId) {
         let now = self.now();
         let spec = self.jobs[&id].spec.clone();
-        self.cluster.allocate(id, &spec).expect("caller checked fit");
+        self.cluster
+            .allocate(id, &spec)
+            .expect("caller checked fit");
         let job = self.jobs.get_mut(&id).expect("job exists");
         job.state = JobState::Running;
         job.start_time = Some(now);
@@ -520,7 +543,10 @@ mod tests {
         s.run_to_completion();
         let prod_start = s.job(prod).unwrap().start_time.unwrap();
         let dev_start = s.job(dev).unwrap().start_time.unwrap();
-        assert!(prod_start < dev_start, "production starts before development");
+        assert!(
+            prod_start < dev_start,
+            "production starts before development"
+        );
     }
 
     #[test]
@@ -531,10 +557,21 @@ mod tests {
         s.run_to_completion();
         let dev_job = s.job(dev).unwrap();
         let prod_job = s.job(prod).unwrap();
-        assert_eq!(prod_job.start_time, Some(5.0), "production starts immediately");
+        assert_eq!(
+            prod_job.start_time,
+            Some(5.0),
+            "production starts immediately"
+        );
         assert_eq!(dev_job.preemptions, 1);
-        assert_eq!(dev_job.state, JobState::Completed, "dev requeued and finished");
-        assert!(dev_job.end_time.unwrap() > 1000.0, "dev restarted after preemption");
+        assert_eq!(
+            dev_job.state,
+            JobState::Completed,
+            "dev requeued and finished"
+        );
+        assert!(
+            dev_job.end_time.unwrap() > 1000.0,
+            "dev restarted after preemption"
+        );
     }
 
     #[test]
@@ -542,7 +579,11 @@ mod tests {
         let mut s = SlurmSim::new(
             Cluster::new(2),
             standard_partitions(),
-            SchedPolicy { backfill: true, preemption: false, ..SchedPolicy::default() },
+            SchedPolicy {
+                backfill: true,
+                preemption: false,
+                ..SchedPolicy::default()
+            },
         );
         let dev = s.submit_at(spec("development", 2, 1000.0), 0.0).unwrap();
         let prod = s.submit_at(spec("production", 2, 10.0), 5.0).unwrap();
@@ -565,7 +606,9 @@ mod tests {
     fn backfill_fills_hole_without_delaying_head() {
         let mut s = sim(4);
         // A: 3 nodes running until t=100 (limit 200)
-        let a = s.submit_at(spec("test", 3, 100.0).with_time_limit(100.0), 0.0).unwrap();
+        let a = s
+            .submit_at(spec("test", 3, 100.0).with_time_limit(100.0), 0.0)
+            .unwrap();
         // B: 4 nodes — blocked until A ends (shadow = 100)
         let b = s.submit_at(spec("test", 4, 50.0), 1.0).unwrap();
         // C: 1 node, 20 s limit — fits now and ends before the shadow time
@@ -581,12 +624,19 @@ mod tests {
     #[test]
     fn backfill_refuses_job_that_would_delay_head() {
         let mut s = sim(4);
-        s.submit_at(spec("test", 3, 100.0).with_time_limit(100.0), 0.0).unwrap();
+        s.submit_at(spec("test", 3, 100.0).with_time_limit(100.0), 0.0)
+            .unwrap();
         let b = s.submit_at(spec("test", 4, 50.0), 1.0).unwrap();
         // D fits now but its limit (500) crosses the shadow time (100)
-        let d = s.submit_at(spec("test", 1, 400.0).with_time_limit(500.0), 2.0).unwrap();
+        let d = s
+            .submit_at(spec("test", 1, 400.0).with_time_limit(500.0), 2.0)
+            .unwrap();
         s.run_to_completion();
-        assert_eq!(s.job(b).unwrap().start_time, Some(100.0), "head start preserved");
+        assert_eq!(
+            s.job(b).unwrap().start_time,
+            Some(100.0),
+            "head start preserved"
+        );
         assert!(
             s.job(d).unwrap().start_time.unwrap() >= 100.0,
             "D not backfilled across the reservation"
@@ -598,13 +648,23 @@ mod tests {
         let mut s = SlurmSim::new(
             Cluster::new(4),
             standard_partitions(),
-            SchedPolicy { backfill: false, preemption: true, ..SchedPolicy::default() },
+            SchedPolicy {
+                backfill: false,
+                preemption: true,
+                ..SchedPolicy::default()
+            },
         );
-        s.submit_at(spec("test", 3, 100.0).with_time_limit(100.0), 0.0).unwrap();
+        s.submit_at(spec("test", 3, 100.0).with_time_limit(100.0), 0.0)
+            .unwrap();
         s.submit_at(spec("test", 4, 50.0), 1.0).unwrap();
-        let c = s.submit_at(spec("test", 1, 20.0).with_time_limit(20.0), 2.0).unwrap();
+        let c = s
+            .submit_at(spec("test", 1, 20.0).with_time_limit(20.0), 2.0)
+            .unwrap();
         s.run_to_completion();
-        assert!(s.job(c).unwrap().start_time.unwrap() > 2.0, "no backfill without policy");
+        assert!(
+            s.job(c).unwrap().start_time.unwrap() > 2.0,
+            "no backfill without policy"
+        );
     }
 
     #[test]
@@ -630,7 +690,10 @@ mod tests {
         s.run_to_completion();
         assert_eq!(s.job(a).unwrap().state, JobState::Cancelled);
         assert_eq!(s.job(b).unwrap().state, JobState::Cancelled);
-        assert!(matches!(s.cancel(a), Err(SchedError::UnknownJob(_))), "double cancel");
+        assert!(
+            matches!(s.cancel(a), Err(SchedError::UnknownJob(_))),
+            "double cancel"
+        );
     }
 
     #[test]
@@ -649,8 +712,12 @@ mod tests {
     fn gres_pool_serializes_qpu_jobs() {
         let mut s = sim(8);
         // each wants 6 of 10 qpu units: can't overlap
-        let a = s.submit_at(spec("test", 1, 50.0).with_gres("qpu", 6), 0.0).unwrap();
-        let b = s.submit_at(spec("test", 1, 50.0).with_gres("qpu", 6), 0.0).unwrap();
+        let a = s
+            .submit_at(spec("test", 1, 50.0).with_gres("qpu", 6), 0.0)
+            .unwrap();
+        let b = s
+            .submit_at(spec("test", 1, 50.0).with_gres("qpu", 6), 0.0)
+            .unwrap();
         s.run_to_completion();
         let (sa, sb) = (
             s.job(a).unwrap().start_time.unwrap(),
@@ -663,8 +730,12 @@ mod tests {
     fn gres_shares_allow_concurrency_within_pool() {
         let mut s = sim(8);
         // 5 + 5 = 10 units: both run at once
-        let a = s.submit_at(spec("test", 1, 50.0).with_gres("qpu", 5), 0.0).unwrap();
-        let b = s.submit_at(spec("test", 1, 50.0).with_gres("qpu", 5), 0.0).unwrap();
+        let a = s
+            .submit_at(spec("test", 1, 50.0).with_gres("qpu", 5), 0.0)
+            .unwrap();
+        let b = s
+            .submit_at(spec("test", 1, 50.0).with_gres("qpu", 5), 0.0)
+            .unwrap();
         s.run_to_completion();
         assert_eq!(s.job(a).unwrap().start_time, Some(0.0));
         assert_eq!(s.job(b).unwrap().start_time, Some(0.0));
@@ -678,13 +749,18 @@ mod tests {
         s.submit_at(spec("test", 1, 0.0), 200.0).unwrap();
         s.run_to_completion();
         // node-seconds: 2*100 = 200 over 4 nodes * 200 s = 800 → 0.25
-        assert!((s.node_utilization() - 0.25).abs() < 1e-9, "got {}", s.node_utilization());
+        assert!(
+            (s.node_utilization() - 0.25).abs() < 1e-9,
+            "got {}",
+            s.node_utilization()
+        );
     }
 
     #[test]
     fn gres_utilization_accounting() {
         let mut s = sim(4);
-        s.submit_at(spec("test", 1, 100.0).with_gres("qpu", 5), 0.0).unwrap();
+        s.submit_at(spec("test", 1, 100.0).with_gres("qpu", 5), 0.0)
+            .unwrap();
         s.submit_at(spec("test", 1, 0.0), 200.0).unwrap();
         s.run_to_completion();
         // 5 units * 100 s / (10 units * 200 s) = 0.25

@@ -14,7 +14,11 @@ fn sim(predictive: bool) -> SlurmSim {
     SlurmSim::new(
         Cluster::new(4),
         standard_partitions(),
-        SchedPolicy { backfill: true, preemption: false, predictive_backfill: predictive },
+        SchedPolicy {
+            backfill: true,
+            preemption: false,
+            predictive_backfill: predictive,
+        },
     )
 }
 
@@ -55,7 +59,10 @@ fn limit_based_backfill_refuses_padded_candidate() {
     // C's padded limit (2 + 300) crosses the shadow (110): refused; it waits
     // for A's real end at t=100
     let c_start = s.job(c).unwrap().start_time.unwrap();
-    assert!(c_start >= 100.0, "C must not backfill on limits: started {c_start}");
+    assert!(
+        c_start >= 100.0,
+        "C must not backfill on limits: started {c_start}"
+    );
     let b_start = s.job(b).unwrap().start_time.unwrap();
     assert!(b_start >= 100.0);
 }
@@ -67,7 +74,10 @@ fn predictive_backfill_takes_the_hole() {
     // prediction-based: C (predicted 90) ends before the shadow (≈105) →
     // backfilled immediately
     let c_start = s.job(c).unwrap().start_time.unwrap();
-    assert!((c_start - 2.0).abs() < 1e-9, "C backfilled at submit, started {c_start}");
+    assert!(
+        (c_start - 2.0).abs() < 1e-9,
+        "C backfilled at submit, started {c_start}"
+    );
     // and the reservation holder B still starts when A really finishes
     let b_start = s.job(b).unwrap().start_time.unwrap();
     assert!((b_start - 100.0).abs() < 1e-9, "B start {b_start}");
@@ -139,7 +149,10 @@ fn misprediction_delays_but_never_breaks() {
         )
         .unwrap();
     let wide = s
-        .submit_at(JobSpec::classical("wide", "u", "test", 4, 30.0).with_prediction(35.0), 1.0)
+        .submit_at(
+            JobSpec::classical("wide", "u", "test", 4, 30.0).with_prediction(35.0),
+            1.0,
+        )
         .unwrap();
     let fill = s
         .submit_at(

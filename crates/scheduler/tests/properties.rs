@@ -25,14 +25,16 @@ fn arb_job() -> impl Strategy<Value = ArbJob> {
         0.5f64..3.0,
         0.0f64..2000.0,
     )
-        .prop_map(|(partition, nodes, gres, runtime, limit_factor, arrival)| ArbJob {
-            partition,
-            nodes,
-            gres,
-            runtime,
-            limit_factor,
-            arrival,
-        })
+        .prop_map(
+            |(partition, nodes, gres, runtime, limit_factor, arrival)| ArbJob {
+                partition,
+                nodes,
+                gres,
+                runtime,
+                limit_factor,
+                arrival,
+            },
+        )
 }
 
 fn spec_of(j: &ArbJob) -> JobSpec {

@@ -45,7 +45,10 @@ pub struct AnalogProgram {
 impl AnalogProgram {
     /// Start a program on `register`.
     pub fn on(register: Register) -> Self {
-        AnalogProgram { builder: SequenceBuilder::new(register), error: None }
+        AnalogProgram {
+            builder: SequenceBuilder::new(register),
+            error: None,
+        }
     }
 
     fn try_push(mut self, r: Result<Pulse, AnalogError>) -> Self {
@@ -145,7 +148,8 @@ impl AnalogProgram {
             if duration <= 0.0 {
                 return self.fail(format!("wait needs positive duration, got {duration}"));
             }
-            self.builder.add_delay(hpcqc_program::sequence::GLOBAL_CHANNEL, duration);
+            self.builder
+                .add_delay(hpcqc_program::sequence::GLOBAL_CHANNEL, duration);
         }
         self
     }
@@ -202,7 +206,10 @@ mod tests {
 
     #[test]
     fn blackman_pulse_area() {
-        let seq = AnalogProgram::on(reg()).blackman_pulse(1.0, 2.5).build().unwrap();
+        let seq = AnalogProgram::on(reg())
+            .blackman_pulse(1.0, 2.5)
+            .build()
+            .unwrap();
         assert!((seq.pulses[0].pulse.amplitude.integral() - 2.5).abs() < 1e-9);
     }
 
@@ -240,8 +247,14 @@ mod tests {
 
     #[test]
     fn sweep_argument_validation() {
-        assert!(AnalogProgram::on(reg()).adiabatic_sweep(-1.0, 6.0, -1.0, 1.0).build().is_err());
-        assert!(AnalogProgram::on(reg()).adiabatic_sweep(1.0, 6.0, 2.0, 1.0).build().is_err());
+        assert!(AnalogProgram::on(reg())
+            .adiabatic_sweep(-1.0, 6.0, -1.0, 1.0)
+            .build()
+            .is_err());
+        assert!(AnalogProgram::on(reg())
+            .adiabatic_sweep(1.0, 6.0, 2.0, 1.0)
+            .build()
+            .is_err());
     }
 
     #[test]

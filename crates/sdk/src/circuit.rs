@@ -57,13 +57,21 @@ pub enum CircuitError {
 impl std::fmt::Display for CircuitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CircuitError::BadQubit { qubit, n } => write!(f, "qubit {qubit} out of range for {n}-qubit circuit"),
+            CircuitError::BadQubit { qubit, n } => {
+                write!(f, "qubit {qubit} out of range for {n}-qubit circuit")
+            }
             CircuitError::RequiresLocalAddressing(g) => {
-                write!(f, "gate {g} needs local addressing; the analog target drives globally")
+                write!(
+                    f,
+                    "gate {g} needs local addressing; the analog target drives globally"
+                )
             }
             CircuitError::Lowering(m) => write!(f, "lowering failed: {m}"),
             CircuitError::TooLarge { qubits, limit } => {
-                write!(f, "{qubits} qubits exceeds the native simulator limit of {limit}")
+                write!(
+                    f,
+                    "{qubits} qubits exceeds the native simulator limit of {limit}"
+                )
             }
         }
     }
@@ -80,12 +88,18 @@ pub struct Circuit {
 
 impl Circuit {
     pub fn new(n_qubits: usize) -> Self {
-        Circuit { n_qubits, gates: Vec::new() }
+        Circuit {
+            n_qubits,
+            gates: Vec::new(),
+        }
     }
 
     fn check(&self, q: usize) -> Result<(), CircuitError> {
         if q >= self.n_qubits {
-            Err(CircuitError::BadQubit { qubit: q, n: self.n_qubits })
+            Err(CircuitError::BadQubit {
+                qubit: q,
+                n: self.n_qubits,
+            })
         } else {
             Ok(())
         }
@@ -99,7 +113,10 @@ impl Circuit {
                 self.check(a)?;
                 self.check(b)?;
                 if a == b {
-                    return Err(CircuitError::BadQubit { qubit: a, n: self.n_qubits });
+                    return Err(CircuitError::BadQubit {
+                        qubit: a,
+                        n: self.n_qubits,
+                    });
                 }
             }
             _ => {}
@@ -141,7 +158,11 @@ impl Circuit {
                         continue;
                     }
                     // area θ: phase π flip handles negative angles
-                    let (area, phase) = if theta >= 0.0 { (theta, 0.0) } else { (-theta, std::f64::consts::PI) };
+                    let (area, phase) = if theta >= 0.0 {
+                        (theta, 0.0)
+                    } else {
+                        (-theta, std::f64::consts::PI)
+                    };
                     let duration = area / DRIVE;
                     let p = Pulse::constant(duration, DRIVE, 0.0, phase)
                         .map_err(|e| CircuitError::Lowering(e.to_string()))?;
@@ -167,11 +188,15 @@ impl Circuit {
                     return Err(CircuitError::RequiresLocalAddressing(format!("H(q{q})")))
                 }
                 Gate::Cz(a, bq) => {
-                    return Err(CircuitError::RequiresLocalAddressing(format!("CZ(q{a},q{bq})")))
+                    return Err(CircuitError::RequiresLocalAddressing(format!(
+                        "CZ(q{a},q{bq})"
+                    )))
                 }
             }
         }
-        let seq = b.build().map_err(|e| CircuitError::Lowering(e.to_string()))?;
+        let seq = b
+            .build()
+            .map_err(|e| CircuitError::Lowering(e.to_string()))?;
         Ok(ProgramIr::new(seq, shots, SDK_NAME))
     }
 
@@ -179,7 +204,10 @@ impl Circuit {
     pub fn simulate(&self, shots: u32, seed: u64) -> Result<SampleResult, CircuitError> {
         const LIMIT: usize = 20;
         if self.n_qubits > LIMIT {
-            return Err(CircuitError::TooLarge { qubits: self.n_qubits, limit: LIMIT });
+            return Err(CircuitError::TooLarge {
+                qubits: self.n_qubits,
+                limit: LIMIT,
+            });
         }
         let dim = 1usize << self.n_qubits;
         let mut state = vec![Complex64::new(0.0, 0.0); dim];
@@ -207,7 +235,11 @@ impl Circuit {
             .map_err(|e| CircuitError::Lowering(format!("degenerate state: {e}")))?;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let outcomes: Vec<u64> = (0..shots).map(|_| dist.sample(&mut rng) as u64).collect();
-        Ok(SampleResult::from_shots(self.n_qubits, &outcomes, "circuit-sim"))
+        Ok(SampleResult::from_shots(
+            self.n_qubits,
+            &outcomes,
+            "circuit-sim",
+        ))
     }
 }
 
@@ -263,8 +295,14 @@ mod tests {
     #[test]
     fn bad_qubit_rejected() {
         let mut c = Circuit::new(2);
-        assert!(matches!(c.push(Gate::H(2)), Err(CircuitError::BadQubit { .. })));
-        assert!(matches!(c.push(Gate::Cz(0, 0)), Err(CircuitError::BadQubit { .. })));
+        assert!(matches!(
+            c.push(Gate::H(2)),
+            Err(CircuitError::BadQubit { .. })
+        ));
+        assert!(matches!(
+            c.push(Gate::Cz(0, 0)),
+            Err(CircuitError::BadQubit { .. })
+        ));
         assert!(c.push(Gate::Cz(0, 1)).is_ok());
     }
 

@@ -70,7 +70,10 @@ pub struct AlertManager {
 
 impl AlertManager {
     pub fn new(db: TimeSeriesDb) -> Self {
-        AlertManager { db, rules: Vec::new() }
+        AlertManager {
+            db,
+            rules: Vec::new(),
+        }
     }
 
     /// Register a rule. Panics on duplicate names.
@@ -80,12 +83,19 @@ impl AlertManager {
             "duplicate alert rule {:?}",
             rule.name
         );
-        self.rules.push(RuleState { rule, state: AlertState::Inactive, pending_since: None });
+        self.rules.push(RuleState {
+            rule,
+            state: AlertState::Inactive,
+            pending_since: None,
+        });
     }
 
     /// Current state of a rule by name.
     pub fn state(&self, name: &str) -> Option<AlertState> {
-        self.rules.iter().find(|r| r.rule.name == name).map(|r| r.state)
+        self.rules
+            .iter()
+            .find(|r| r.rule.name == name)
+            .map(|r| r.state)
     }
 
     /// Evaluate every rule at time `now`; returns the transitions that

@@ -43,7 +43,12 @@ impl ZScoreDetector {
     pub fn new(capacity: usize, threshold: f64) -> Self {
         assert!(capacity >= 2, "baseline needs at least 2 samples");
         assert!(threshold > 0.0);
-        ZScoreDetector { window: VecDeque::with_capacity(capacity), capacity, threshold, min_std: 1e-9 }
+        ZScoreDetector {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            threshold,
+            min_std: 1e-9,
+        }
     }
 
     /// Override the σ floor (useful when the metric's natural scale is tiny).
@@ -105,7 +110,15 @@ impl CusumDetector {
     pub fn new(warmup: usize, k: f64, h: f64) -> Self {
         assert!(warmup >= 1);
         assert!(k >= 0.0 && h > 0.0);
-        CusumDetector { mu0: None, warmup_buf: Vec::with_capacity(warmup), warmup, k, h, s_pos: 0.0, s_neg: 0.0 }
+        CusumDetector {
+            mu0: None,
+            warmup_buf: Vec::with_capacity(warmup),
+            warmup,
+            k,
+            h,
+            s_pos: 0.0,
+            s_neg: 0.0,
+        }
     }
 
     /// Feed one sample.
@@ -211,7 +224,11 @@ mod tests {
         let mut z_fired_at = None;
         for i in 0..400 {
             let noise = 0.002 * ((i * 31 % 7) as f64 - 3.0) / 3.0;
-            let v = if i < 100 { 1.0 + noise } else { 1.0 + noise + 0.0002 * (i - 100) as f64 };
+            let v = if i < 100 {
+                1.0 + noise
+            } else {
+                1.0 + noise + 0.0002 * (i - 100) as f64
+            };
             if cusum_fired_at.is_none() {
                 if let Detection::Drift { .. } = cusum.update(v) {
                     cusum_fired_at = Some(i);
@@ -226,7 +243,10 @@ mod tests {
         let c = cusum_fired_at.expect("CUSUM must catch the slow drift");
         assert!(c > 100, "fires only after the drift starts, fired at {c}");
         if let Some(zf) = z_fired_at {
-            assert!(c <= zf, "CUSUM ({c}) should beat z-score ({zf}) on slow drift");
+            assert!(
+                c <= zf,
+                "CUSUM ({c}) should beat z-score ({zf}) on slow drift"
+            );
         }
     }
 

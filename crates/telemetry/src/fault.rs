@@ -116,9 +116,9 @@ mod tests {
         m.poisoned("development");
         m.budget_exhausted("qpu-cloud");
         let text = m.registry().expose();
-        assert!(text.contains(
-            "qrmi_faults_injected_total{kind=\"acquire_denied\",resource=\"emu\"} 2"
-        ));
+        assert!(
+            text.contains("qrmi_faults_injected_total{kind=\"acquire_denied\",resource=\"emu\"} 2")
+        );
         assert!(text.contains("runtime_backoff_seconds_total{resource=\"emu\"} 2"));
         assert!(text.contains("runtime_fallbacks_total{from=\"qpu-cloud\",to=\"emu-local\"} 1"));
         assert!(text.contains("daemon_task_requeues_total{class=\"test\"} 1"));

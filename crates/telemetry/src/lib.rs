@@ -15,11 +15,13 @@
 pub mod alerts;
 pub mod drift;
 pub mod fault;
+pub mod lint;
 pub mod metrics;
 pub mod tsdb;
 
 pub use alerts::{AlertEvent, AlertManager, AlertRule, AlertState, Cmp};
 pub use drift::{CusumDetector, Detection, ZScoreDetector};
 pub use fault::FaultMetrics;
+pub use lint::LintMetrics;
 pub use metrics::{labels, Labels, Registry};
 pub use tsdb::{Agg, Point, TimeSeriesDb};

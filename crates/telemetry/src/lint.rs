@@ -1,0 +1,114 @@
+//! Typed metrics for the static-analysis (lint) path.
+//!
+//! The middleware daemon runs the `hpcqc-analysis` pipeline on every
+//! submission; this facade gives those events stable metric names in the
+//! shared [`Registry`]: per-lint-code diagnostic counters, Error-level
+//! rejections, stale-validation detections, and the user-hint vs.
+//! inferred-hint cross-check outcomes.
+
+use crate::metrics::{labels, Registry};
+
+/// Shared-handle facade over a [`Registry`] for analyzer counters.
+#[derive(Debug, Clone, Default)]
+pub struct LintMetrics {
+    registry: Registry,
+}
+
+impl LintMetrics {
+    /// Wrap an existing registry (shared by handle).
+    pub fn new(registry: Registry) -> Self {
+        LintMetrics { registry }
+    }
+
+    /// The underlying registry (for exposition or further instrumentation).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// One diagnostic of `code` at `severity` was emitted for a submission.
+    pub fn diagnostic(&self, code: &str, severity: &str) {
+        self.registry.counter_add(
+            "analysis_diagnostics_total",
+            "Diagnostics emitted by the static analyzer, by lint code",
+            labels(&[("code", code), ("severity", severity)]),
+            1.0,
+        );
+    }
+
+    /// A submission was rejected because the analyzer found Errors.
+    pub fn rejection(&self, class: &str) {
+        self.registry.counter_add(
+            "daemon_lint_rejections_total",
+            "Submissions rejected on Error-level diagnostics",
+            labels(&[("class", class)]),
+            1.0,
+        );
+    }
+
+    /// A submission arrived validated against a stale spec revision.
+    pub fn stale_validation(&self) {
+        self.registry.counter_add(
+            "daemon_stale_validation_total",
+            "Submissions whose client-side validation was stale",
+            labels(&[]),
+            1.0,
+        );
+    }
+
+    /// The user-declared hint disagreed with the inferred pattern.
+    pub fn hint_mismatch(&self, declared: &str, inferred: &str) {
+        self.registry.counter_add(
+            "daemon_hint_mismatch_total",
+            "User pattern hints contradicted by static inference",
+            labels(&[("declared", declared), ("inferred", inferred)]),
+            1.0,
+        );
+    }
+
+    /// No user hint was declared; the daemon adopted the inferred pattern.
+    pub fn hint_adopted(&self, inferred: &str) {
+        self.registry.counter_add(
+            "daemon_hint_adopted_total",
+            "Inferred pattern hints adopted for unhinted submissions",
+            labels(&[("hint", inferred)]),
+            1.0,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_one_registry() {
+        let m = LintMetrics::new(Registry::new());
+        m.diagnostic("HQ0106", "error");
+        m.diagnostic("HQ0106", "error");
+        m.diagnostic("HQ0501", "hint");
+        m.rejection("development");
+        m.stale_validation();
+        m.hint_mismatch("cc-heavy", "qc-heavy");
+        m.hint_adopted("qc-balanced");
+        let text = m.registry().expose();
+        assert!(text.contains("analysis_diagnostics_total{code=\"HQ0106\",severity=\"error\"} 2"));
+        assert!(text.contains("analysis_diagnostics_total{code=\"HQ0501\",severity=\"hint\"} 1"));
+        assert!(text.contains("daemon_lint_rejections_total{class=\"development\"} 1"));
+        assert!(text.contains("daemon_stale_validation_total 1"));
+        assert!(text
+            .contains("daemon_hint_mismatch_total{declared=\"cc-heavy\",inferred=\"qc-heavy\"} 1"));
+        assert!(text.contains("daemon_hint_adopted_total{hint=\"qc-balanced\"} 1"));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let m = LintMetrics::default();
+        let m2 = m.clone();
+        m.stale_validation();
+        m2.stale_validation();
+        assert!(m
+            .registry()
+            .expose()
+            .contains("daemon_stale_validation_total 2"));
+    }
+}

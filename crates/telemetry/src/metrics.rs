@@ -24,7 +24,11 @@ pub fn labels(pairs: &[(&str, &str)]) -> Labels {
 enum MetricValue {
     Counter(f64),
     Gauge(f64),
-    Histogram { buckets: Vec<(f64, u64)>, sum: f64, count: u64 },
+    Histogram {
+        buckets: Vec<(f64, u64)>,
+        sum: f64,
+        count: u64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -56,11 +60,13 @@ impl Registry {
         f: impl FnOnce(&mut MetricFamily) -> R,
     ) -> R {
         let mut fams = self.families.lock();
-        let fam = fams.entry(name.to_string()).or_insert_with(|| MetricFamily {
-            help: help.to_string(),
-            kind,
-            series: BTreeMap::new(),
-        });
+        let fam = fams
+            .entry(name.to_string())
+            .or_insert_with(|| MetricFamily {
+                help: help.to_string(),
+                kind,
+                series: BTreeMap::new(),
+            });
         assert_eq!(
             fam.kind, kind,
             "metric {name:?} registered as {} but used as {kind}",
@@ -100,15 +106,25 @@ impl Registry {
     /// Observe a value into a histogram with the given bucket upper bounds
     /// (+Inf is implicit). Bounds must be sorted ascending.
     pub fn histogram_observe(&self, name: &str, help: &str, lbls: Labels, bounds: &[f64], v: f64) {
-        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bucket bounds must ascend");
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must ascend"
+        );
         self.with_family(name, help, "histogram", |fam| {
-            let entry = fam.series.entry(lbls).or_insert_with(|| MetricValue::Histogram {
-                buckets: bounds.iter().map(|&b| (b, 0)).collect(),
-                sum: 0.0,
-                count: 0,
-            });
+            let entry = fam
+                .series
+                .entry(lbls)
+                .or_insert_with(|| MetricValue::Histogram {
+                    buckets: bounds.iter().map(|&b| (b, 0)).collect(),
+                    sum: 0.0,
+                    count: 0,
+                });
             match entry {
-                MetricValue::Histogram { buckets, sum, count } => {
+                MetricValue::Histogram {
+                    buckets,
+                    sum,
+                    count,
+                } => {
                     for (bound, c) in buckets.iter_mut() {
                         if v <= *bound {
                             *c += 1;
@@ -173,7 +189,11 @@ impl Registry {
                     MetricValue::Counter(v) | MetricValue::Gauge(v) => {
                         out.push_str(&format!("{name}{} {v}\n", render_labels(lbls)));
                     }
-                    MetricValue::Histogram { buckets, sum, count } => {
+                    MetricValue::Histogram {
+                        buckets,
+                        sum,
+                        count,
+                    } => {
                         for (bound, c) in buckets {
                             let mut le = lbls.clone();
                             le.insert("le".to_string(), fmt_float(*bound));
@@ -276,7 +296,12 @@ mod tests {
     #[test]
     fn exposition_format_counter_gauge() {
         let r = Registry::new();
-        r.counter_add("qpu_jobs_total", "Total jobs", labels(&[("device", "qpu0")]), 7.0);
+        r.counter_add(
+            "qpu_jobs_total",
+            "Total jobs",
+            labels(&[("device", "qpu0")]),
+            7.0,
+        );
         r.gauge_set("qpu_up", "Device availability", Labels::new(), 1.0);
         let text = r.expose();
         assert!(text.contains("# HELP qpu_jobs_total Total jobs"));

@@ -49,7 +49,10 @@ impl TimeSeriesDb {
 
     /// Database that keeps only the trailing `secs` of data per series.
     pub fn with_retention(secs: f64) -> Self {
-        TimeSeriesDb { inner: Arc::default(), retention_secs: Some(secs) }
+        TimeSeriesDb {
+            inner: Arc::default(),
+            retention_secs: Some(secs),
+        }
     }
 
     /// Append a point. Panics if `ts` is older than the series tail
@@ -94,7 +97,10 @@ impl TimeSeriesDb {
 
     /// The most recent point of a series.
     pub fn last(&self, series: &str) -> Option<Point> {
-        self.inner.lock().get(series).and_then(|s| s.points.last().copied())
+        self.inner
+            .lock()
+            .get(series)
+            .and_then(|s| s.points.last().copied())
     }
 
     /// Number of stored points in a series.
@@ -127,11 +133,17 @@ impl TimeSeriesDb {
                 let value = match agg {
                     Agg::Mean => window.iter().map(|p| p.value).sum::<f64>() / window.len() as f64,
                     Agg::Min => window.iter().map(|p| p.value).fold(f64::INFINITY, f64::min),
-                    Agg::Max => window.iter().map(|p| p.value).fold(f64::NEG_INFINITY, f64::max),
+                    Agg::Max => window
+                        .iter()
+                        .map(|p| p.value)
+                        .fold(f64::NEG_INFINITY, f64::max),
                     Agg::Last => window.last().expect("non-empty").value,
                     Agg::Count => window.len() as f64,
                 };
-                out.push(Point { ts: win_start, value });
+                out.push(Point {
+                    ts: win_start,
+                    value,
+                });
             }
             win_start = win_end;
         }
@@ -164,8 +176,20 @@ mod tests {
         }
         let r = db.range("omega", 2.0, 5.0);
         assert_eq!(r.len(), 4);
-        assert_eq!(r[0], Point { ts: 2.0, value: 4.0 });
-        assert_eq!(r[3], Point { ts: 5.0, value: 10.0 });
+        assert_eq!(
+            r[0],
+            Point {
+                ts: 2.0,
+                value: 4.0
+            }
+        );
+        assert_eq!(
+            r[3],
+            Point {
+                ts: 5.0,
+                value: 10.0
+            }
+        );
         assert!(db.range("missing", 0.0, 10.0).is_empty());
     }
 
@@ -184,7 +208,13 @@ mod tests {
         assert!(db.is_empty("s"));
         db.append("s", 1.0, 10.0);
         db.append("s", 2.0, 20.0);
-        assert_eq!(db.last("s"), Some(Point { ts: 2.0, value: 20.0 }));
+        assert_eq!(
+            db.last("s"),
+            Some(Point {
+                ts: 2.0,
+                value: 20.0
+            })
+        );
         assert_eq!(db.len("s"), 2);
     }
 
@@ -234,7 +264,16 @@ mod tests {
     #[test]
     fn stats_mean_std() {
         let db = TimeSeriesDb::new();
-        for (t, v) in [(0.0, 2.0), (1.0, 4.0), (2.0, 4.0), (3.0, 4.0), (4.0, 5.0), (5.0, 5.0), (6.0, 7.0), (7.0, 9.0)] {
+        for (t, v) in [
+            (0.0, 2.0),
+            (1.0, 4.0),
+            (2.0, 4.0),
+            (3.0, 4.0),
+            (4.0, 5.0),
+            (5.0, 5.0),
+            (6.0, 7.0),
+            (7.0, 9.0),
+        ] {
             db.append("s", t, v);
         }
         let (mean, std) = db.stats("s", 0.0, 10.0).unwrap();

@@ -1,6 +1,8 @@
 //! Property-based tests on the observability stack.
 
-use hpcqc_telemetry::{labels, Agg, CusumDetector, Detection, Registry, TimeSeriesDb, ZScoreDetector};
+use hpcqc_telemetry::{
+    labels, Agg, CusumDetector, Detection, Registry, TimeSeriesDb, ZScoreDetector,
+};
 use proptest::prelude::*;
 
 proptest! {

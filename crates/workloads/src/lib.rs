@@ -19,4 +19,6 @@ pub mod sqd;
 pub use mis::{cost as mis_cost, mis_program, score as mis_score, Graph, MisScore, MisSweep};
 pub use optimizers::{NelderMead, OptimResult, Spsa};
 pub use patterns::{generate_job, generate_population, to_batch_spec, Pattern, PatternGenConfig};
-pub use sqd::{recover_configurations, sqd_pipeline, subspace_diagonalize, IsingProblem, SqdResult};
+pub use sqd::{
+    recover_configurations, sqd_pipeline, subspace_diagonalize, IsingProblem, SqdResult,
+};

@@ -7,8 +7,8 @@
 //! prepares them, and a classical optimizer tunes the sweep parameters —
 //! the hybrid loop the paper's runtime exists to serve.
 
-use hpcqc_program::{ProgramIr, Pulse, Register, SequenceBuilder, Waveform};
 use hpcqc_emulator::SampleResult;
+use hpcqc_program::{ProgramIr, Pulse, Register, SequenceBuilder, Waveform};
 use serde::{Deserialize, Serialize};
 
 /// An undirected graph on register sites.
@@ -29,7 +29,10 @@ impl Graph {
             .filter(|&(_, _, d)| d < radius)
             .map(|(i, j, _)| (i, j))
             .collect();
-        Graph { n: register.len(), edges }
+        Graph {
+            n: register.len(),
+            edges,
+        }
     }
 
     /// Is `set` (bitmask) an independent set?
@@ -93,7 +96,12 @@ pub struct MisSweep {
 
 impl Default for MisSweep {
     fn default() -> Self {
-        MisSweep { duration: 4.0, omega_max: 6.0, delta_start: -12.0, delta_end: 12.0 }
+        MisSweep {
+            duration: 4.0,
+            omega_max: 6.0,
+            delta_start: -12.0,
+            delta_end: 12.0,
+        }
     }
 }
 
@@ -221,7 +229,10 @@ mod tests {
 
     #[test]
     fn independence_and_violations() {
-        let g = Graph { n: 3, edges: vec![(0, 1), (1, 2)] };
+        let g = Graph {
+            n: 3,
+            edges: vec![(0, 1), (1, 2)],
+        };
         assert!(g.is_independent(0b101));
         assert!(!g.is_independent(0b011));
         assert_eq!(g.violations(0b111), 2);
@@ -231,25 +242,43 @@ mod tests {
     #[test]
     fn exact_mis_on_known_graphs() {
         // path of 4: MIS = 2 (ends + one middle... actually {0,2} or {0,3} or {1,3}) = 2
-        let path4 = Graph { n: 4, edges: vec![(0, 1), (1, 2), (2, 3)] };
+        let path4 = Graph {
+            n: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3)],
+        };
         assert_eq!(path4.exact_mis_size(), 2);
         // 5-cycle: MIS = 2
-        let c5 = Graph { n: 5, edges: vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)] };
+        let c5 = Graph {
+            n: 5,
+            edges: vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
+        };
         assert_eq!(c5.exact_mis_size(), 2);
         // empty graph: all vertices
-        let empty = Graph { n: 6, edges: vec![] };
+        let empty = Graph {
+            n: 6,
+            edges: vec![],
+        };
         assert_eq!(empty.exact_mis_size(), 6);
         // triangle: 1
-        let tri = Graph { n: 3, edges: vec![(0, 1), (1, 2), (0, 2)] };
+        let tri = Graph {
+            n: 3,
+            edges: vec![(0, 1), (1, 2), (0, 2)],
+        };
         assert_eq!(tri.exact_mis_size(), 1);
     }
 
     #[test]
     fn repair_produces_independent_sets() {
-        let g = Graph { n: 4, edges: vec![(0, 1), (1, 2), (2, 3)] };
+        let g = Graph {
+            n: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3)],
+        };
         for set in 0..16u64 {
             let r = repair(&g, set);
-            assert!(g.is_independent(r), "repair({set:04b}) = {r:04b} not independent");
+            assert!(
+                g.is_independent(r),
+                "repair({set:04b}) = {r:04b} not independent"
+            );
             assert_eq!(r & !set, 0, "repair only removes vertices");
         }
     }
@@ -265,8 +294,16 @@ mod tests {
         let res = SvBackend::default().run(&ir, 5).unwrap();
         let sc = score(&g, &res);
         assert!(sc.best_set_size == 1, "best {}", sc.best_set_size);
-        assert!(sc.mean_set_size > 0.5, "sweep excites something: {}", sc.mean_set_size);
-        assert!(sc.valid_fraction > 0.5, "blockade keeps sets valid: {}", sc.valid_fraction);
+        assert!(
+            sc.mean_set_size > 0.5,
+            "sweep excites something: {}",
+            sc.mean_set_size
+        );
+        assert!(
+            sc.valid_fraction > 0.5,
+            "blockade keeps sets valid: {}",
+            sc.valid_fraction
+        );
     }
 
     #[test]
@@ -275,7 +312,10 @@ mod tests {
         let reg = Register::linear(5, 6.0).unwrap();
         let g = Graph::unit_disk(&reg, 8.7);
         assert_eq!(g.exact_mis_size(), 3);
-        let sweep = MisSweep { duration: 4.0, ..MisSweep::default() };
+        let sweep = MisSweep {
+            duration: 4.0,
+            ..MisSweep::default()
+        };
         let ir = mis_program(&reg, &sweep, 1000);
         let res = SvBackend::default().run(&ir, 5).unwrap();
         let sc = score(&g, &res);
@@ -286,7 +326,10 @@ mod tests {
 
     #[test]
     fn cost_is_negative_set_size() {
-        let g = Graph { n: 2, edges: vec![] };
+        let g = Graph {
+            n: 2,
+            edges: vec![],
+        };
         let res = SampleResult::from_shots(2, &[0b11, 0b11], "t");
         assert!((cost(&g, &res) + 2.0).abs() < 1e-12);
     }

@@ -163,7 +163,14 @@ pub struct Spsa {
 
 impl Default for Spsa {
     fn default() -> Self {
-        Spsa { a: 0.2, c: 0.1, alpha: 0.602, gamma: 0.101, big_a: 10.0, iterations: 100 }
+        Spsa {
+            a: 0.2,
+            c: 0.1,
+            alpha: 0.602,
+            gamma: 0.101,
+            big_a: 10.0,
+            iterations: 100,
+        }
     }
 }
 
@@ -184,8 +191,9 @@ impl Spsa {
         for k in 0..self.iterations {
             let ak = self.a / (k as f64 + 1.0 + self.big_a).powf(self.alpha);
             let ck = self.c / (k as f64 + 1.0).powf(self.gamma);
-            let delta: Vec<f64> =
-                (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let delta: Vec<f64> = (0..n)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
             let xp: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
             let xm: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
             let fp = f(&xp);
@@ -238,10 +246,21 @@ mod tests {
 
     #[test]
     fn nelder_mead_finds_shifted_minimum() {
-        let nm = NelderMead { max_iterations: 1000, ..NelderMead::default() };
+        let nm = NelderMead {
+            max_iterations: 1000,
+            ..NelderMead::default()
+        };
         let r = nm.minimize(shifted_quartic, &[0.0, 0.0], 0.5);
-        assert!((r.best_params[0] - 1.5).abs() < 0.05, "x0 = {}", r.best_params[0]);
-        assert!((r.best_params[1] + 0.5).abs() < 0.01, "x1 = {}", r.best_params[1]);
+        assert!(
+            (r.best_params[0] - 1.5).abs() < 0.05,
+            "x0 = {}",
+            r.best_params[0]
+        );
+        assert!(
+            (r.best_params[1] + 0.5).abs() < 0.01,
+            "x1 = {}",
+            r.best_params[1]
+        );
     }
 
     #[test]
@@ -256,7 +275,11 @@ mod tests {
     fn spsa_minimizes_sphere_under_noise() {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let mut noise_rng = ChaCha8Rng::seed_from_u64(7);
-        let spsa = Spsa { iterations: 300, a: 0.5, ..Spsa::default() };
+        let spsa = Spsa {
+            iterations: 300,
+            a: 0.5,
+            ..Spsa::default()
+        };
         let r = spsa.minimize(
             |x| sphere(x) + 0.01 * (noise_rng.gen::<f64>() - 0.5),
             &[1.5, -1.0],
@@ -268,7 +291,10 @@ mod tests {
     #[test]
     fn spsa_evaluation_budget_is_linear_in_iterations() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let spsa = Spsa { iterations: 50, ..Spsa::default() };
+        let spsa = Spsa {
+            iterations: 50,
+            ..Spsa::default()
+        };
         let r = spsa.minimize(sphere, &[1.0; 10], &mut rng);
         // 1 initial + 3 per iteration, independent of the 10 dimensions
         assert_eq!(r.evaluations, 1 + 3 * 50);

@@ -9,8 +9,8 @@
 use hpcqc_middleware::{HybridJob, Phase, PriorityClass};
 use hpcqc_scheduler::{JobSpec, PatternHint};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// The three taxonomy rows.
@@ -119,7 +119,14 @@ pub fn generate_job<R: Rng>(
             v
         }
     };
-    HybridJob { id, class, hint: pattern.hint(), nodes: cfg.nodes, phases, arrival }
+    HybridJob {
+        id,
+        class,
+        hint: pattern.hint(),
+        nodes: cfg.nodes,
+        phases,
+        arrival,
+    }
 }
 
 /// Generate a seeded population with the given pattern mix
@@ -212,7 +219,10 @@ mod tests {
 
     #[test]
     fn balanced_jobs_alternate_finely() {
-        let cfg = PatternGenConfig { balanced_rounds: 5, ..PatternGenConfig::default() };
+        let cfg = PatternGenConfig {
+            balanced_rounds: 5,
+            ..PatternGenConfig::default()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let j = generate_job(1, Pattern::C, PriorityClass::Test, 0.0, &cfg, &mut rng);
         assert_eq!(j.phases.len(), 10);
@@ -255,8 +265,22 @@ mod tests {
     fn batch_spec_scales_gres_with_duty() {
         let cfg = PatternGenConfig::default();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let a = generate_job(1, Pattern::A, PriorityClass::Production, 0.0, &cfg, &mut rng);
-        let b = generate_job(2, Pattern::B, PriorityClass::Development, 0.0, &cfg, &mut rng);
+        let a = generate_job(
+            1,
+            Pattern::A,
+            PriorityClass::Production,
+            0.0,
+            &cfg,
+            &mut rng,
+        );
+        let b = generate_job(
+            2,
+            Pattern::B,
+            PriorityClass::Development,
+            0.0,
+            &cfg,
+            &mut rng,
+        );
         let sa = to_batch_spec(&a, 10);
         let sb = to_batch_spec(&b, 10);
         assert!(sa.gres["qpu"] > sb.gres["qpu"]);

@@ -112,9 +112,7 @@ pub fn subspace_diagonalize(problem: &IsingProblem, configs: &[u64]) -> SqdResul
     // spectral shift: σ ≥ max diagonal so (σI − H) is positive and its top
     // eigenvector is H's ground state
     let emax = diag.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let bound = emax
-        + problem.omega * problem.n as f64
-        + 1.0;
+    let bound = emax + problem.omega * problem.n as f64 + 1.0;
     let matvec = |v: &[f64]| -> Vec<f64> {
         (0..dim)
             .into_par_iter()
@@ -151,15 +149,16 @@ pub fn subspace_diagonalize(problem: &IsingProblem, configs: &[u64]) -> SqdResul
         .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
         .map(|(k, _)| configs[k])
         .expect("non-empty");
-    SqdResult { energy, subspace_dim: dim, solver_iterations: iterations, dominant_config: dominant }
+    SqdResult {
+        energy,
+        subspace_dim: dim,
+        solver_iterations: iterations,
+        dominant_config: dominant,
+    }
 }
 
 /// The full SQD-style pipeline: recovery + subspace diagonalization.
-pub fn sqd_pipeline(
-    problem: &IsingProblem,
-    samples: &SampleResult,
-    keep_top: usize,
-) -> SqdResult {
+pub fn sqd_pipeline(problem: &IsingProblem, samples: &SampleResult, keep_top: usize) -> SqdResult {
     let configs = recover_configurations(samples, keep_top);
     subspace_diagonalize(problem, &configs)
 }
@@ -266,11 +265,7 @@ mod tests {
 
     #[test]
     fn pipeline_runs_from_samples() {
-        let samples = SampleResult::from_shots(
-            4,
-            &[0b0101, 0b0101, 0b1010, 0b0001, 0b0100],
-            "qpu",
-        );
+        let samples = SampleResult::from_shots(4, &[0b0101, 0b0101, 0b1010, 0b0001, 0b0100], "qpu");
         let p = chain_problem(4);
         let r = sqd_pipeline(&p, &samples, 2);
         assert!(r.subspace_dim >= 5, "recovery expanded the subspace");
@@ -288,7 +283,12 @@ mod tests {
     fn dominant_config_has_negative_energy_drive() {
         // with strong detuning and weak coupling, single-excitation states
         // dominate the ground state over the empty state
-        let p = IsingProblem { n: 2, pair_j: vec![(0, 1, 50.0)], delta: 5.0, omega: 0.5 };
+        let p = IsingProblem {
+            n: 2,
+            pair_j: vec![(0, 1, 50.0)],
+            delta: 5.0,
+            omega: 0.5,
+        };
         let configs: Vec<u64> = (0..4).collect();
         let r = subspace_diagonalize(&p, &configs);
         assert!(r.dominant_config == 0b01 || r.dominant_config == 0b10);

@@ -27,13 +27,21 @@ use std::sync::Arc;
 
 fn registry(profile: FaultProfile, metrics: &FaultMetrics) -> ResourceRegistry {
     let backend = Arc::new(SvBackend::default());
-    let cloud =
-        Arc::new(CloudResource::new("flaky-cloud", CloudEngine::Emulator(backend.clone()), 2, 7));
+    let cloud = Arc::new(CloudResource::new(
+        "flaky-cloud",
+        CloudEngine::Emulator(backend.clone()),
+        2,
+        7,
+    ));
     let mut reg = ResourceRegistry::new();
     reg.register(Arc::new(
         FaultInjector::new(cloud, profile, 1234).with_metrics(metrics.clone()),
     ));
-    reg.register(Arc::new(LocalEmulatorResource::new("emu-local", backend, 3)));
+    reg.register(Arc::new(LocalEmulatorResource::new(
+        "emu-local",
+        backend,
+        3,
+    )));
     reg.default_resource = Some("flaky-cloud".into());
     reg
 }
@@ -72,11 +80,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n10/10 runs completed: {attempts} attempts, {backoff:.2}s total backoff\n");
 
     // --- 2. a dead resource: budget exhausts, runtime degrades ----------
-    let dead = FaultProfile { acquire_denial_rate: 1.0, ..FaultProfile::none() };
+    let dead = FaultProfile {
+        acquire_denial_rate: 1.0,
+        ..FaultProfile::none()
+    };
     let rt = Runtime::new(registry(dead, &metrics))
         .with_retry_policy(RetryPolicy::default().with_budget(
             PriorityClass::Development,
-            AttemptBudget { max_attempts: 3, max_backoff_secs: 60.0 },
+            AttemptBudget {
+                max_attempts: 3,
+                max_backoff_secs: 60.0,
+            },
         ))
         .with_fallback(true)
         .with_fault_metrics(metrics.clone());
@@ -91,7 +105,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 3. the whole story, as Prometheus would scrape it ---------------
     println!("\n# telemetry");
     for line in metrics.registry().expose().lines() {
-        if ["fault", "retr", "backoff", "fallback"].iter().any(|k| line.contains(k)) {
+        if ["fault", "retr", "backoff", "fallback"]
+            .iter()
+            .any(|k| line.contains(k))
+        {
             println!("{line}");
         }
     }

@@ -1,0 +1,110 @@
+//! Static-analysis linting over analog programs.
+//!
+//! Two modes:
+//!
+//! * default — analyze a deliberately flawed sequence and print every
+//!   diagnostic, first human-readable, then as the JSON a CI tool or IDE
+//!   would consume;
+//! * `--corpus` — lint a corpus of clean SDK-built programs against the
+//!   production spec and exit non-zero if any Error-level diagnostic
+//!   appears (this is the CI gate).
+//!
+//! Run: `cargo run --example lint_programs`
+//!      `cargo run --example lint_programs -- --corpus`
+
+use hpcqc::analysis::{analyze, Severity};
+use hpcqc::program::{DeviceSpec, ProgramIr, Pulse, Register, SequenceBuilder};
+use hpcqc::sdk::AnalogProgram;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--corpus") {
+        lint_corpus()
+    } else {
+        demo_flawed_program()
+    }
+}
+
+/// Build a program that trips lints at every severity, then show the report.
+fn demo_flawed_program() -> Result<(), Box<dyn std::error::Error>> {
+    // 3 µm spacing violates the 5 µm minimum (HQ0102, Error);
+    let register = Register::linear(3, 3.0)?;
+    let mut b = SequenceBuilder::new(register);
+    // Ω = 99 rad/µs is far beyond the channel limit (HQ0106, Error) and the
+    // square turn-on/turn-off is a >2π discontinuity (HQ0202, Warning);
+    b.add_global_pulse(Pulse::constant(0.5, 99.0, 0.0, 0.0)?);
+    // zero amplitude with non-zero detuning drives nothing (HQ0203, Warning);
+    b.add_global_pulse(Pulse::constant(0.5, 0.0, 5.0, 0.0)?);
+    // a trailing delay only stretches the sequence (HQ0403, Hint);
+    b.add_delay("rydberg_global", 1.0);
+    // 5000 shots exceed the production range (HQ0108, Error); the program
+    // also never went through client-side validation (HQ0702, Hint).
+    let ir = ProgramIr::new(b.build()?, 5000, "lint-demo");
+
+    let spec = DeviceSpec::analog_production();
+    let report = analyze(&ir, Some(&spec));
+
+    println!(
+        "== human-readable ({} diagnostics) ==",
+        report.diagnostics.len()
+    );
+    println!("{}", report.render());
+    println!();
+    println!(
+        "facts: est. QPU drive {:.3} s, wall-clock {:.1} s",
+        report.facts.est_qpu_secs, report.facts.est_wallclock_secs
+    );
+    println!();
+    println!("== JSON (for CI / IDE tooling) ==");
+    println!("{}", report.to_json());
+    Ok(())
+}
+
+/// Lint every program in the corpus; any Error fails the process (CI gate).
+fn lint_corpus() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = DeviceSpec::analog_production();
+    let corpus: Vec<(&str, ProgramIr)> = vec![
+        (
+            "adiabatic-ring",
+            AnalogProgram::on(Register::ring(6, 6.0)?)
+                .adiabatic_sweep(3.0, 6.0, -10.0, 10.0)
+                .to_ir(500)?,
+        ),
+        (
+            "resonant-line",
+            AnalogProgram::on(Register::linear(4, 6.0)?)
+                .resonant_pulse(0.5, 4.0)
+                .to_ir(200)?,
+        ),
+        (
+            "blackman-pi",
+            AnalogProgram::on(Register::linear(2, 6.0)?)
+                .blackman_pulse(1.0, std::f64::consts::PI)
+                .to_ir(100)?,
+        ),
+    ];
+
+    let mut total_errors = 0usize;
+    for (name, ir) in corpus {
+        // the corpus is validated here, against this spec revision
+        let ir = ir.with_validation_revision(spec.revision);
+        let report = analyze(&ir, Some(&spec));
+        let errors = report.errors().len();
+        total_errors += errors;
+        println!(
+            "{name}: {} diagnostics, {} errors",
+            report.diagnostics.len(),
+            errors
+        );
+        for d in &report.diagnostics {
+            if d.severity != Severity::Hint {
+                println!("  {}", d.render());
+            }
+        }
+    }
+    if total_errors > 0 {
+        eprintln!("corpus lint FAILED: {total_errors} error(s)");
+        std::process::exit(1);
+    }
+    println!("corpus lint passed: no Error-level diagnostics");
+    Ok(())
+}

@@ -50,7 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     };
 
-    let spsa = Spsa { iterations: 15, a: 0.4, c: 0.15, ..Spsa::default() };
+    let spsa = Spsa {
+        iterations: 15,
+        a: 0.4,
+        c: 0.15,
+        ..Spsa::default()
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(2024);
     let start = [2.0, 4.0, 6.0];
     let result = spsa.minimize(objective, &start, &mut rng);
@@ -76,8 +81,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let score = mis_score(&graph, &final_run.result);
     println!("\nfinal run (2000 shots on {}):", final_run.resource_id);
     println!("  mean repaired set size : {:.3}", score.mean_set_size);
-    println!("  best set found         : {} (exact MIS {exact})", score.best_set_size);
-    println!("  already-valid shots    : {:.1}%", 100.0 * score.valid_fraction);
+    println!(
+        "  best set found         : {} (exact MIS {exact})",
+        score.best_set_size
+    );
+    println!(
+        "  already-valid shots    : {:.1}%",
+        100.0 * score.valid_fraction
+    );
     println!(
         "  best set bitmask       : {}",
         final_run.result.format_bitstring(score.best_set)

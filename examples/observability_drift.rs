@@ -9,9 +9,7 @@
 //! Run: `cargo run --example observability_drift`
 
 use hpcqc::qpu::{run_qa, VirtualQpu};
-use hpcqc::telemetry::{
-    Agg, AlertManager, AlertRule, AlertState, Cmp, CusumDetector, Detection,
-};
+use hpcqc::telemetry::{Agg, AlertManager, AlertRule, AlertState, Cmp, CusumDetector, Detection};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let qpu = VirtualQpu::new("fresnel-1", 2026);
@@ -77,14 +75,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- the historical record, downsampled like a dashboard panel -------
     println!("\nqpu_rabi_scale, 12h means (what the Grafana panel would plot):");
-    let series = qpu.tsdb().downsample("qpu_rabi_scale", 0.0, qpu.now(), 43_200.0, Agg::Mean);
+    let series = qpu
+        .tsdb()
+        .downsample("qpu_rabi_scale", 0.0, qpu.now(), 43_200.0, Agg::Mean);
     for p in series {
         let bar = "#".repeat(((p.value - 0.90).max(0.0) * 400.0) as usize);
         println!("  day {:>4.1}  {:.4}  {bar}", p.ts / 86_400.0, p.value);
     }
 
     assert!(detected_at.is_some(), "the drift must be detected");
-    assert!(recalibrations >= 1, "the alert must fire and trigger recalibration");
+    assert!(
+        recalibrations >= 1,
+        "the alert must fire and trigger recalibration"
+    );
     assert_eq!(alerts.state("rabi_scale_low"), Some(AlertState::Inactive));
     println!("\ndrift detected, alert fired, recalibration restored nominal — resolved.");
     Ok(())

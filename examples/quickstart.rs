@@ -29,8 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         env.entry(k.to_string()).or_insert_with(|| v.to_string());
     }
     let config = RuntimeConfig::from_map(&env)?;
-    let runtime: Runtime = config
-        .build_runtime(42, vec![("fresnel-1".into(), VirtualQpu::new("fresnel-1", 7))])?;
+    let runtime: Runtime = config.build_runtime(
+        42,
+        vec![("fresnel-1".into(), VirtualQpu::new("fresnel-1", 7))],
+    )?;
     println!("available resources: {:?}\n", runtime.available_resources());
 
     // --- 2. one program, written once with the analog SDK ---------------
@@ -40,7 +42,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .to_ir(500)?;
     println!("program fingerprint: {:#018x}", program.fingerprint());
 
-    // --- 3. run it everywhere; only --qpu changes ------------------------
+    // --- 3. pre-flight static analysis against the live target spec ------
+    let report = runtime.analyze(&program)?;
+    println!(
+        "pre-flight: {} diagnostics, errors: {}",
+        report.diagnostics.len(),
+        report.has_errors()
+    );
+    for d in &report.diagnostics {
+        println!("  {}", d.render());
+    }
+
+    // --- 4. run it everywhere; only --qpu changes ------------------------
     let runs = runtime.run_everywhere(&program, &["emu-local", "mock", "fresnel-1"]);
     let mut reference = None;
     for (resource, run) in &runs {
@@ -51,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     "\n--qpu={resource}  (spec rev {}, backend {})",
                     report.spec_revision, res.backend
                 );
-                println!("  mean Rydberg excitations/shot: {:.3}", res.mean_excitations());
+                println!(
+                    "  mean Rydberg excitations/shot: {:.3}",
+                    res.mean_excitations()
+                );
                 print!("  top outcomes:");
                 for (bits, count) in res.top_k(3) {
                     print!("  {}x{}", res.format_bitstring(bits), count);

@@ -23,7 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- quantum phase: sample low-energy configurations -----------------
     let register = Register::linear(10, 7.0)?;
-    let sweep = MisSweep { duration: 3.0, omega_max: 5.0, delta_start: -10.0, delta_end: 8.0 };
+    let sweep = MisSweep {
+        duration: 3.0,
+        omega_max: 5.0,
+        delta_start: -10.0,
+        delta_end: 8.0,
+    };
     let t0 = Instant::now();
     let report = runtime.run(&mis_program(&register, &sweep, 1500))?;
     let q_time = t0.elapsed();
@@ -35,7 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- classical phase: recovery + subspace diagonalization ------------
     // The problem Hamiltonian matches the final sweep drive values.
-    let problem = IsingProblem::from_register(&register, C6_COEFF, sweep.delta_end, sweep.omega_max);
+    let problem =
+        IsingProblem::from_register(&register, C6_COEFF, sweep.delta_end, sweep.omega_max);
     let t1 = Instant::now();
     let sqd = sqd_pipeline(&problem, &report.result, 20);
     let c_time = t1.elapsed();

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             3,
         )),
         TimingModel::production_1hz(),
-        FaultConfig { task_failure_prob: 0.3, acquire_denial_prob: 0.0 },
+        FaultConfig {
+            task_failure_prob: 0.3,
+            acquire_denial_prob: 0.0,
+        },
         2026,
     ));
     let profile_handle = Arc::clone(&flaky);
@@ -72,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("workflow trace (step, attempts, simulated device seconds):");
     let mut total_attempts = 0;
     for t in &trace {
-        println!("  {:<10} attempts={} device={:.0}s", t.step, t.attempts, t.device_secs);
+        println!(
+            "  {:<10} attempts={} device={:.0}s",
+            t.step, t.attempts, t.device_secs
+        );
         total_attempts += t.attempts;
     }
     if let Value::Text(report) = outputs.get("report") {

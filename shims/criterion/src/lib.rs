@@ -110,7 +110,10 @@ fn run_one(group: Option<&str>, id: &str, sample_size: usize, f: &mut dyn FnMut(
         Some(g) => format!("{g}/{id}"),
         None => id.to_string(),
     };
-    println!("bench {label:<50} {:>12.3} µs/iter ({iters} iters)", per_iter * 1e6);
+    println!(
+        "bench {label:<50} {:>12.3} µs/iter ({iters} iters)",
+        per_iter * 1e6
+    );
 }
 
 /// Top-level benchmark driver.
@@ -137,12 +140,7 @@ impl Criterion {
         self
     }
 
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -188,12 +186,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {

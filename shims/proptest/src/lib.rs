@@ -319,7 +319,10 @@ impl Arbitrary for f64 {
             0 => f64::NAN,
             1 => f64::INFINITY,
             2 => f64::NEG_INFINITY,
-            _ => f64::from_bits(rng.next_u64() % (0x7FF0u64 << 48)) * if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 },
+            _ => {
+                f64::from_bits(rng.next_u64() % (0x7FF0u64 << 48))
+                    * if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 }
+            }
         }
     }
 }
@@ -444,7 +447,9 @@ mod tests {
         for _ in 0..200 {
             let s = "[a-z0-9/]{1,30}".generate(&mut rng);
             assert!((1..=30).contains(&s.chars().count()), "{s:?}");
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '/'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '/'));
             let t = "[ -~]{0,100}".generate(&mut rng);
             assert!(t.chars().count() <= 100);
             assert!(t.chars().all(|c| (' '..='~').contains(&c)));

@@ -65,7 +65,8 @@ fn parse(pattern: &str) -> Vec<Piece> {
             let close = chars[i..]
                 .iter()
                 .position(|&c| c == '}')
-                .expect("unterminated repetition") + i;
+                .expect("unterminated repetition")
+                + i;
             let spec: String = chars[i + 1..close].iter().collect();
             i = close + 1;
             match spec.split_once(',') {

@@ -281,7 +281,9 @@ impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
 
 impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        let obj = v.as_object().ok_or_else(|| DeError("expected object".into()))?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError("expected object".into()))?;
         let mut out = BTreeMap::new();
         for (k, item) in obj.iter() {
             out.insert(K::from_key(k)?, V::from_value(item)?);
@@ -305,7 +307,9 @@ impl<K: MapKey, V: Serialize> Serialize for HashMap<K, V> {
 
 impl<K: MapKey, V: Deserialize> Deserialize for HashMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        let obj = v.as_object().ok_or_else(|| DeError("expected object".into()))?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError("expected object".into()))?;
         let mut out = HashMap::new();
         for (k, item) in obj.iter() {
             out.insert(K::from_key(k)?, V::from_value(item)?);

@@ -83,21 +83,16 @@ pub mod __private {
     /// Fetch and decode a named struct field, honoring the missing-field hook.
     pub fn field<T: Deserialize>(obj: &Map, name: &str) -> Result<T, DeError> {
         match obj.get(name) {
-            Some(v) => T::from_value(v)
-                .map_err(|e| DeError(format!("field `{name}`: {e}"))),
+            Some(v) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
             None => T::from_missing_field(name),
         }
     }
 
     /// Fetch and decode a field that falls back to `Default` when absent
     /// (`#[serde(default)]`).
-    pub fn field_or_default<T: Deserialize + Default>(
-        obj: &Map,
-        name: &str,
-    ) -> Result<T, DeError> {
+    pub fn field_or_default<T: Deserialize + Default>(obj: &Map, name: &str) -> Result<T, DeError> {
         match obj.get(name) {
-            Some(v) => T::from_value(v)
-                .map_err(|e| DeError(format!("field `{name}`: {e}"))),
+            Some(v) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
             None => Ok(T::default()),
         }
     }

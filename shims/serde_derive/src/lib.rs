@@ -321,7 +321,11 @@ fn gen_named_ctor(path: &str, fields: &[Field], obj: &str) -> String {
     let mut s = format!("{path} {{\n");
     for f in fields {
         let fname = &f.name;
-        let helper = if f.default { "field_or_default" } else { "field" };
+        let helper = if f.default {
+            "field_or_default"
+        } else {
+            "field"
+        };
         s.push_str(&format!("{fname}: {P}::{helper}({obj}, \"{fname}\")?,\n"));
     }
     s.push('}');
@@ -338,9 +342,9 @@ fn gen_deserialize(input: &Input) -> String {
                 gen_named_ctor(name, fields, "__obj")
             )
         }
-        Kind::TupleStruct(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
-        ),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
         Kind::TupleStruct(n) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("{P}::element(__arr, {i})?"))
@@ -387,8 +391,7 @@ fn gen_deserialize(input: &Input) -> String {
                         ));
                     }
                     VariantKind::Named(fields) => {
-                        let ctor =
-                            gen_named_ctor(&format!("{name}::{vname}"), fields, "__o");
+                        let ctor = gen_named_ctor(&format!("{name}::{vname}"), fields, "__o");
                         tag_arms.push_str(&format!(
                             "\"{vname}\" => {{\n\
                              let __o = {P}::expect_object(__inner, \"{name}::{vname}\")?;\n\

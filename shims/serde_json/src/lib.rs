@@ -102,7 +102,9 @@ mod tests {
 
     #[test]
     fn scalar_round_trips() {
-        for text in ["0", "42", "-7", "3.25", "1e3", "true", "false", "null", "\"hi\""] {
+        for text in [
+            "0", "42", "-7", "3.25", "1e3", "true", "false", "null", "\"hi\"",
+        ] {
             let v: Value = from_str(text).unwrap();
             let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
             assert_eq!(v, back, "{text}");
@@ -159,8 +161,18 @@ mod tests {
     #[test]
     fn parse_errors_are_errors_not_panics() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "tru", "\"unterminated", "01", "1.2.3", "{]", "nul",
-            "[1 2]", "{\"a\":1,}",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "\"unterminated",
+            "01",
+            "1.2.3",
+            "{]",
+            "nul",
+            "[1 2]",
+            "{\"a\":1,}",
         ] {
             assert!(from_str::<Value>(bad).is_err(), "{bad:?} should fail");
         }

@@ -177,9 +177,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(
-                                self.err(&format!("invalid escape `\\{}`", other as char))
-                            )
+                            return Err(self.err(&format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }

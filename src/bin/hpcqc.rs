@@ -43,7 +43,11 @@ fn parse_args() -> Args {
             positional.push(a);
         }
     }
-    Args { command, positional, options }
+    Args {
+        command,
+        positional,
+        options,
+    }
 }
 
 fn daemon_addr(args: &Args) -> String {

@@ -52,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut admin_qpu: Option<VirtualQpu> = None;
     for rc in &cfg.resources {
         if matches!(rc.rtype, ResourceType::QpuDirect | ResourceType::QpuCloud) {
-            let device = rc.params.get("device").cloned().unwrap_or_else(|| rc.id.clone());
+            let device = rc
+                .params
+                .get("device")
+                .cloned()
+                .unwrap_or_else(|| rc.id.clone());
             let qpu = VirtualQpu::new(&device, seed ^ 0x51);
             if admin_qpu.is_none() {
                 admin_qpu = Some(qpu.clone());
@@ -81,7 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(7777);
     let server = serve_on(Arc::clone(&service), port)?;
-    println!("hpcqcd: fronting {front:?}, REST on http://{}", server.addr());
+    println!(
+        "hpcqcd: fronting {front:?}, REST on http://{}",
+        server.addr()
+    );
     println!("hpcqcd: dispatcher running; Ctrl-C to stop");
     loop {
         std::thread::park();

@@ -3,6 +3,7 @@
 //! Meta-crate re-exporting the whole stack. See the individual crates:
 //!
 //! * [`program`] — analog neutral-atom program IR
+//! * [`analysis`] — static-analysis passes and lints over the IR
 //! * [`emulator`] — state-vector and MPS emulators
 //! * [`qpu`] — virtual QPU with calibration drift
 //! * [`qrmi`] — Quantum Resource Management Interface
@@ -13,6 +14,7 @@
 //! * [`core`] — the portable hybrid runtime environment
 //! * [`workloads`] — hybrid workload generators and algorithms
 
+pub use hpcqc_analysis as analysis;
 pub use hpcqc_core as core;
 pub use hpcqc_emulator as emulator;
 pub use hpcqc_middleware as middleware;

@@ -39,7 +39,11 @@ fn registry(profile: FaultProfile, metrics: &FaultMetrics) -> ResourceRegistry {
     reg.register(Arc::new(
         FaultInjector::new(cloud, profile, 41).with_metrics(metrics.clone()),
     ));
-    reg.register(Arc::new(LocalEmulatorResource::new("emu-local", backend, 3)));
+    reg.register(Arc::new(LocalEmulatorResource::new(
+        "emu-local",
+        backend,
+        3,
+    )));
     reg.default_resource = Some("flaky-cloud".into());
     reg
 }
@@ -69,7 +73,10 @@ fn workflow_completes_against_faulty_resource_with_retries() {
         total_attempts += run.attempts;
         total_backoff += run.backoff_secs;
     }
-    assert!(total_attempts > 20, "fault pressure must cost extra attempts");
+    assert!(
+        total_attempts > 20,
+        "fault pressure must cost extra attempts"
+    );
     assert!(total_backoff > 0.0, "retries must pay backoff");
 
     // telemetry saw the whole story: injected faults and the retries that
@@ -83,12 +90,18 @@ fn workflow_completes_against_faulty_resource_with_retries() {
 #[test]
 fn budget_exhaustion_degrades_to_local_emulator() {
     // a dead cloud resource: every acquisition denied
-    let profile = FaultProfile { acquire_denial_rate: 1.0, ..FaultProfile::none() };
+    let profile = FaultProfile {
+        acquire_denial_rate: 1.0,
+        ..FaultProfile::none()
+    };
     let metrics = FaultMetrics::default();
     let rt = Runtime::new(registry(profile, &metrics))
         .with_retry_policy(RetryPolicy::default().with_budget(
             PriorityClass::Development,
-            AttemptBudget { max_attempts: 4, max_backoff_secs: 120.0 },
+            AttemptBudget {
+                max_attempts: 4,
+                max_backoff_secs: 120.0,
+            },
         ))
         .with_fallback(true)
         .with_fault_metrics(metrics.clone());
@@ -102,24 +115,36 @@ fn budget_exhaustion_degrades_to_local_emulator() {
     assert!(text.contains("runtime_retry_budget_exhausted_total{resource=\"flaky-cloud\"} 1"));
     assert!(text.contains("runtime_fallbacks_total{from=\"flaky-cloud\",to=\"emu-local\"} 1"));
     // the denials themselves were recorded by the injector
-    assert!(text.contains("qrmi_faults_injected_total{kind=\"acquire_denied\",resource=\"flaky-cloud\"}"));
+    assert!(text
+        .contains("qrmi_faults_injected_total{kind=\"acquire_denied\",resource=\"flaky-cloud\"}"));
 }
 
 #[test]
 fn daemon_requeues_ride_through_task_failures() {
-    let inner = Arc::new(LocalEmulatorResource::new("emu", Arc::new(SvBackend::default()), 5));
+    let inner = Arc::new(LocalEmulatorResource::new(
+        "emu",
+        Arc::new(SvBackend::default()),
+        5,
+    ));
     let flaky = Arc::new(FaultInjector::new(
         inner,
-        FaultProfile { task_failure_rate: 0.3, ..FaultProfile::none() },
+        FaultProfile {
+            task_failure_rate: 0.3,
+            ..FaultProfile::none()
+        },
         29,
     ));
     let d = MiddlewareService::new(
         flaky.clone(),
-        DaemonConfig { max_task_retries: 25, ..DaemonConfig::default() },
+        DaemonConfig {
+            max_task_retries: 25,
+            ..DaemonConfig::default()
+        },
     );
     let tok = d.open_session("alice", PriorityClass::Production).unwrap();
-    let ids: Vec<u64> =
-        (0..12).map(|_| d.submit(&tok, program(20), PatternHint::None).unwrap()).collect();
+    let ids: Vec<u64> = (0..12)
+        .map(|_| d.submit(&tok, program(20), PatternHint::None).unwrap())
+        .collect();
     d.pump();
     for id in &ids {
         assert_eq!(d.task_status(*id).unwrap(), DaemonTaskStatus::Completed);
@@ -127,27 +152,41 @@ fn daemon_requeues_ride_through_task_failures() {
     }
     assert!(flaky.total_faults() > 0, "the injector actually fired");
     assert!(
-        d.metrics_text().contains("daemon_task_requeues_total{class=\"production\"}"),
+        d.metrics_text()
+            .contains("daemon_task_requeues_total{class=\"production\"}"),
         "requeues recorded in daemon telemetry"
     );
 }
 
 #[test]
 fn daemon_poisons_task_that_never_succeeds() {
-    let inner = Arc::new(LocalEmulatorResource::new("emu", Arc::new(SvBackend::default()), 5));
+    let inner = Arc::new(LocalEmulatorResource::new(
+        "emu",
+        Arc::new(SvBackend::default()),
+        5,
+    ));
     let dead = Arc::new(FaultInjector::new(
         inner,
-        FaultProfile { task_failure_rate: 1.0, ..FaultProfile::none() },
+        FaultProfile {
+            task_failure_rate: 1.0,
+            ..FaultProfile::none()
+        },
         31,
     ));
     let d = MiddlewareService::new(
         dead,
-        DaemonConfig { max_task_retries: 3, ..DaemonConfig::default() },
+        DaemonConfig {
+            max_task_retries: 3,
+            ..DaemonConfig::default()
+        },
     );
     let tok = d.open_session("bob", PriorityClass::Test).unwrap();
     let id = d.submit(&tok, program(10), PatternHint::None).unwrap();
     d.pump();
-    assert!(matches!(d.task_status(id).unwrap(), DaemonTaskStatus::Failed(_)));
+    assert!(matches!(
+        d.task_status(id).unwrap(),
+        DaemonTaskStatus::Failed(_)
+    ));
     let text = d.metrics_text();
     assert!(text.contains("daemon_task_requeues_total{class=\"test\"} 3"));
     assert!(text.contains("daemon_tasks_poisoned_total{class=\"test\"} 1"));
@@ -157,19 +196,31 @@ fn daemon_poisons_task_that_never_succeeds() {
 fn rest_workflow_completes_over_a_faulty_device() {
     // full Figure-2 stack: REST client → daemon → FaultInjector → emulator,
     // with enough requeue budget to ride out 25% task loss
-    let inner = Arc::new(LocalEmulatorResource::new("emu", Arc::new(SvBackend::default()), 9));
+    let inner = Arc::new(LocalEmulatorResource::new(
+        "emu",
+        Arc::new(SvBackend::default()),
+        9,
+    ));
     let flaky = Arc::new(FaultInjector::new(
         inner,
-        FaultProfile { task_failure_rate: 0.25, ..FaultProfile::none() },
+        FaultProfile {
+            task_failure_rate: 0.25,
+            ..FaultProfile::none()
+        },
         37,
     ));
     let svc = Arc::new(MiddlewareService::new(
         flaky,
-        DaemonConfig { max_task_retries: 30, ..DaemonConfig::default() },
+        DaemonConfig {
+            max_task_retries: 30,
+            ..DaemonConfig::default()
+        },
     ));
     let server = serve(svc).expect("daemon binds");
     let client = hpcqc::core::DaemonClient::new(server.addr());
-    let session = client.open_session("carol", PriorityClass::Production).unwrap();
+    let session = client
+        .open_session("carol", PriorityClass::Production)
+        .unwrap();
     for _ in 0..5 {
         let r = session.run(&program(15), PatternHint::None).unwrap();
         assert_eq!(r.shots, 15);

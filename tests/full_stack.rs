@@ -36,7 +36,9 @@ fn submit_run_fetch_through_every_layer() {
     assert_eq!(spec.name, "analog-fresnel");
     assert_eq!(spec.revision, 1);
 
-    let session = client.open_session("alice", PriorityClass::Production).unwrap();
+    let session = client
+        .open_session("alice", PriorityClass::Production)
+        .unwrap();
     let result = session.run(&program(25), PatternHint::QcHeavy).unwrap();
     assert_eq!(result.shots, 25);
     assert_eq!(result.backend, "fresnel-1");
@@ -81,7 +83,10 @@ fn concurrent_multiclass_load_with_preemption() {
         }
     }
     let (_, total_shots) = qpu.stats();
-    assert_eq!(total_shots, 90, "all shots accounted across slices and batches");
+    assert_eq!(
+        total_shots, 90,
+        "all shots accounted across slices and batches"
+    );
     // metrics reflect the activity
     let metrics = DaemonClient::new(server.addr()).metrics().unwrap();
     assert!(metrics.contains("daemon_tasks_completed_total{class=\"production\"} 1"));
@@ -126,7 +131,10 @@ fn drift_between_validation_and_execution_is_caught_server_side() {
     // …then the laser degrades 20%: ceiling falls to ~10.05 rad/µs
     qpu.inject_rabi_fault(0.2);
     match session.submit(&near_limit, PatternHint::None) {
-        Err(ClientError::Api { status: 422, message }) => {
+        Err(ClientError::Api {
+            status: 422,
+            message,
+        }) => {
             assert!(message.contains("validation"), "{message}");
         }
         other => panic!("expected 422 validation rejection, got {other:?}"),

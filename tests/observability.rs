@@ -27,8 +27,14 @@ fn injected_fade_is_detected_before_the_qa_probe_notices() {
         }
     }
     let t = detected.expect("fade detected");
-    assert!(t >= fault_start, "no false alarm before the fault (fired at {t})");
-    assert!(t < fault_start + 30, "caught during the fade, not after (fired at {t})");
+    assert!(
+        t >= fault_start,
+        "no false alarm before the fault (fired at {t})"
+    );
+    assert!(
+        t < fault_start + 30,
+        "caught during the fade, not after (fired at {t})"
+    );
     // QA health barely moves for a ~9% Rabi error (quadratic suppression)
     let report = run_qa(&qpu, 2000, 0.03, 5).unwrap();
     assert!(
@@ -55,7 +61,11 @@ fn step_fault_caught_by_zscore_immediately() {
             }
         }
     }
-    assert_eq!(fired_at, Some(60), "step caught on the very first faulty sample");
+    assert_eq!(
+        fired_at,
+        Some(60),
+        "step caught on the very first faulty sample"
+    );
 }
 
 #[test]
@@ -91,7 +101,10 @@ fn alert_drives_recalibration_and_resolves() {
     assert!(fired, "alert fired on the fault");
     assert!(resolved, "alert resolved after recalibration");
     let spec = qpu.current_spec();
-    assert_eq!(spec.revision, 2, "recalibration bumped the advertised revision");
+    assert_eq!(
+        spec.revision, 2,
+        "recalibration bumped the advertised revision"
+    );
 }
 
 #[test]

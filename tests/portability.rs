@@ -46,7 +46,10 @@ fn full_registry() -> Runtime {
             .into(),
         },
     ];
-    let cfg = QrmiConfig { resources, default_resource: Some("emu-sv".into()) };
+    let cfg = QrmiConfig {
+        resources,
+        default_resource: Some("emu-sv".into()),
+    };
     let registry = ResourceFactory::new(31)
         .with_qpu("fresnel-1", VirtualQpu::new("fresnel-1", 8))
         .build_registry(&cfg)
@@ -173,7 +176,11 @@ fn chi_convergence_toward_exact() {
     let chi = |c: usize| {
         use hpcqc::emulator::{MpsBackend, MpsConfig};
         MpsBackend {
-            config: MpsConfig { chi_max: c, max_dt: 2e-3, ..MpsConfig::default() },
+            config: MpsConfig {
+                chi_max: c,
+                max_dt: 2e-3,
+                ..MpsConfig::default()
+            },
             ..MpsBackend::default()
         }
         .run(&ir, 4)

@@ -12,11 +12,19 @@ fn run(mix: (f64, f64, f64), admission: AdmissionPolicy, qpu: QpuPolicy, seed: u
     let jobs = generate_population(
         60,
         mix,
-        &PatternGenConfig { mean_interarrival_secs: 30.0, ..PatternGenConfig::default() },
+        &PatternGenConfig {
+            mean_interarrival_secs: 30.0,
+            ..PatternGenConfig::default()
+        },
         seed,
     );
     Cosim::new(
-        CosimConfig { nodes: 32, admission, qpu_policy: qpu, chunk_secs: 10.0 },
+        CosimConfig {
+            nodes: 32,
+            admission,
+            qpu_policy: qpu,
+            chunk_secs: 10.0,
+        },
         jobs,
     )
     .run()
@@ -27,7 +35,12 @@ const SEEDS: [u64; 3] = [11, 22, 33];
 #[test]
 fn pattern_b_interleaving_rescues_qpu_utilization() {
     for seed in SEEDS {
-        let seq = run((0.0, 1.0, 0.0), AdmissionPolicy::Sequential, QpuPolicy::Fifo, seed);
+        let seq = run(
+            (0.0, 1.0, 0.0),
+            AdmissionPolicy::Sequential,
+            QpuPolicy::Fifo,
+            seed,
+        );
         let inter = run(
             (0.0, 1.0, 0.0),
             AdmissionPolicy::NodeLimited,
@@ -47,7 +60,12 @@ fn pattern_b_interleaving_rescues_qpu_utilization() {
 #[test]
 fn pattern_a_sequential_is_near_optimal_on_utilization() {
     for seed in SEEDS {
-        let seq = run((1.0, 0.0, 0.0), AdmissionPolicy::Sequential, QpuPolicy::Fifo, seed);
+        let seq = run(
+            (1.0, 0.0, 0.0),
+            AdmissionPolicy::Sequential,
+            QpuPolicy::Fifo,
+            seed,
+        );
         let inter = run(
             (1.0, 0.0, 0.0),
             AdmissionPolicy::NodeLimited,
@@ -85,7 +103,12 @@ fn pattern_aware_balances_utilization_and_waste_on_balanced_mix() {
             QpuPolicy::Priority { preemption: true },
             seed,
         );
-        let seq = run((0.0, 0.0, 1.0), AdmissionPolicy::Sequential, QpuPolicy::Fifo, seed);
+        let seq = run(
+            (0.0, 0.0, 1.0),
+            AdmissionPolicy::Sequential,
+            QpuPolicy::Fifo,
+            seed,
+        );
         // aware keeps most of the interleaving utilization gain…
         assert!(
             aware.qpu_utilization > seq.qpu_utilization + 0.2,
@@ -106,7 +129,12 @@ fn pattern_aware_balances_utilization_and_waste_on_balanced_mix() {
 #[test]
 fn priority_policy_protects_production_turnaround() {
     for seed in SEEDS {
-        let fifo = run((1.0, 1.0, 1.0), AdmissionPolicy::NodeLimited, QpuPolicy::Fifo, seed);
+        let fifo = run(
+            (1.0, 1.0, 1.0),
+            AdmissionPolicy::NodeLimited,
+            QpuPolicy::Fifo,
+            seed,
+        );
         let prio = run(
             (1.0, 1.0, 1.0),
             AdmissionPolicy::NodeLimited,
@@ -134,8 +162,16 @@ fn every_cosim_job_completes_no_starvation() {
             AdmissionPolicy::NodeLimited,
             AdmissionPolicy::PatternAware { target_duty: 1.2 },
         ] {
-            let r = run((1.0, 1.0, 1.0), admission, QpuPolicy::Priority { preemption: true }, seed);
-            assert_eq!(r.completed, 60, "seed {seed}, {admission:?}: all jobs finish");
+            let r = run(
+                (1.0, 1.0, 1.0),
+                admission,
+                QpuPolicy::Priority { preemption: true },
+                seed,
+            );
+            assert_eq!(
+                r.completed, 60,
+                "seed {seed}, {admission:?}: all jobs finish"
+            );
         }
     }
 }
