@@ -123,19 +123,49 @@ impl DaemonClient {
         let (st, body) = http_request(&self.addr, "GET", "/metrics", None)?;
         expect_2xx(st, body)
     }
+
+    /// Daemon readiness: `Ok("ok")` when serving; an [`ClientError::Api`]
+    /// with status 503 while the daemon drains or after it stopped.
+    pub fn healthz(&self) -> Result<String, ClientError> {
+        let (st, body) = http_request(&self.addr, "GET", "/v1/healthz", None)?;
+        let body = expect_2xx(st, body)?;
+        let v: serde_json::Value =
+            serde_json::from_str(&body).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        v["status"]
+            .as_str()
+            .map(String::from)
+            .ok_or_else(|| ClientError::Protocol("missing status".into()))
+    }
 }
 
 impl DaemonSession {
     /// Submit a program; returns the daemon task id.
     pub fn submit(&self, ir: &ProgramIr, hint: PatternHint) -> Result<u64, ClientError> {
+        self.submit_keyed(ir, hint, None)
+    }
+
+    /// [`Self::submit`] with an optional idempotency key. Submitting the
+    /// same key twice — even across a daemon restart — returns the task id
+    /// originally assigned, so retry loops never double-enqueue.
+    pub fn submit_keyed(
+        &self,
+        ir: &ProgramIr,
+        hint: PatternHint,
+        idempotency_key: Option<&str>,
+    ) -> Result<u64, ClientError> {
         let hint_str = match hint {
             PatternHint::QcHeavy => Some("qc-heavy"),
             PatternHint::CcHeavy => Some("cc-heavy"),
             PatternHint::QcBalanced => Some("qc-balanced"),
             PatternHint::None => None,
         };
-        let body =
-            serde_json::json!({ "token": self.token, "ir": ir, "hint": hint_str }).to_string();
+        let body = serde_json::json!({
+            "token": self.token,
+            "ir": ir,
+            "hint": hint_str,
+            "idempotency_key": idempotency_key,
+        })
+        .to_string();
         let (st, body) = http_request(&self.client.addr, "POST", "/v1/tasks", Some(&body))?;
         let body = expect_2xx(st, body)?;
         let v: serde_json::Value =
@@ -143,6 +173,28 @@ impl DaemonSession {
         v["task_id"]
             .as_u64()
             .ok_or_else(|| ClientError::Protocol("missing task_id".into()))
+    }
+
+    /// Submit with `key`, retrying transport failures up to `max_attempts`
+    /// times. Safe against the classic at-most-once/at-least-once dilemma:
+    /// the key makes every retry idempotent, so a submit whose response was
+    /// lost is deduplicated server-side instead of enqueued twice.
+    pub fn submit_reliable(
+        &self,
+        ir: &ProgramIr,
+        hint: PatternHint,
+        key: &str,
+        max_attempts: usize,
+    ) -> Result<u64, ClientError> {
+        let mut last = ClientError::Timeout;
+        for _ in 0..max_attempts.max(1) {
+            match self.submit_keyed(ir, hint, Some(key)) {
+                Ok(id) => return Ok(id),
+                Err(ClientError::Transport(m)) => last = ClientError::Transport(m),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
     }
 
     /// Current status of a task.
@@ -299,5 +351,35 @@ mod tests {
     fn transport_error_on_dead_daemon() {
         let client = DaemonClient::new("127.0.0.1:1"); // nothing listens here
         assert!(matches!(client.target(), Err(ClientError::Transport(_))));
+    }
+
+    #[test]
+    fn keyed_resubmit_returns_original_id() {
+        let server = daemon();
+        let client = DaemonClient::new(server.addr());
+        let session = client.open_session("ada", PriorityClass::Test).unwrap();
+        let first = session
+            .submit_keyed(&ir(7), PatternHint::None, Some("job-1"))
+            .unwrap();
+        let second = session
+            .submit_keyed(&ir(7), PatternHint::None, Some("job-1"))
+            .unwrap();
+        assert_eq!(first, second);
+        let reliable = session
+            .submit_reliable(&ir(7), PatternHint::None, "job-1", 3)
+            .unwrap();
+        assert_eq!(first, reliable);
+        // a fresh key gets a fresh task
+        let third = session
+            .submit_keyed(&ir(7), PatternHint::None, Some("job-2"))
+            .unwrap();
+        assert_ne!(first, third);
+    }
+
+    #[test]
+    fn healthz_reports_serving() {
+        let server = daemon();
+        let client = DaemonClient::new(server.addr());
+        assert_eq!(client.healthz().unwrap(), "ok");
     }
 }

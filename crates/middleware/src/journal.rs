@@ -1,0 +1,410 @@
+//! Durable daemon state: write-ahead journal + compacted snapshots.
+//!
+//! The daemon is the long-lived multi-user service on the quantum access
+//! node (paper §3.3–§3.5); if its state dies with the process, the
+//! second-level scheduler is the least reliable component in the stack.
+//! This module makes every state transition durable the way `slurmctld`
+//! does with its StateSaveLocation: an append-only write-ahead log of
+//! [`JournalRecord`]s plus periodic compacted [`DaemonSnapshot`]s.
+//!
+//! On-disk layout inside the journal directory:
+//!
+//! ```text
+//! wal.log        length-prefixed, checksummed JSON records (append-only)
+//! snapshot.json  last compacted full-state snapshot (atomic rename)
+//! ```
+//!
+//! Each WAL record is framed as
+//! `[len: u32 LE][fnv1a32(payload): u32 LE][payload: len JSON bytes]`, so a
+//! torn tail (the crash happened mid-`write`) is detected by a short read or
+//! a checksum mismatch and replay stops at the last intact record instead of
+//! refusing to start. Recovery = load `snapshot.json` (if any), then replay
+//! the WAL tail over it — see [`MiddlewareService::recover`].
+//!
+//! [`MiddlewareService::recover`]: crate::daemon::MiddlewareService::recover
+
+use crate::session::{PriorityClass, Session};
+use crate::taskqueue::QuantumTask;
+use hpcqc_emulator::SampleResult;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// One durable state transition. Appended *after* the in-memory transition
+/// succeeds; replay applies them in order over the latest snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// A session was opened (the full session, so replay can restore it).
+    SessionOpened { session: Session },
+    /// A session was closed by its owner.
+    SessionClosed { token: String },
+    /// Sessions were expired by the idle TTL.
+    SessionsExpired { tokens: Vec<String> },
+    /// A task was admitted (queued, or completed instantly from the dev
+    /// cache — in that case a `TaskCompleted` record follows immediately).
+    TaskSubmitted {
+        task: QuantumTask,
+        idempotency_key: Option<String>,
+        warnings: Vec<String>,
+    },
+    /// A task left the queue for the device. If no terminal/requeue record
+    /// follows, the daemon died mid-dispatch and recovery requeues it.
+    TaskDispatched { id: u64, resource: String, at: f64 },
+    /// A preempted/sliced task went back to the queue with work remaining.
+    TaskRequeued { id: u64 },
+    /// An execution attempt failed and the task was requeued; `resource`
+    /// joins the task's excluded set.
+    TaskAttemptFailed {
+        id: u64,
+        resource: String,
+        error: String,
+    },
+    /// Terminal: completed with a result. `at` carries the post-execution
+    /// daemon clock so recovery does not rewind time.
+    TaskCompleted {
+        id: u64,
+        result: SampleResult,
+        at: f64,
+    },
+    /// Terminal: failed permanently (validation can't fail here — rejected
+    /// tasks are never journaled — so this is the poison cap).
+    TaskFailed { id: u64, error: String },
+    /// Terminal: cancelled by the owner.
+    TaskCancelled { id: u64 },
+    /// Admin changed the device status (string form of `QpuStatus`).
+    QpuStatusChanged { status: String },
+    /// The daemon clock advanced (simulated idle time).
+    ClockAdvanced { to: f64 },
+}
+
+/// Full daemon state at a point in time; written by compaction, loaded as
+/// the replay base. Running tasks are normalized back to queued — a snapshot
+/// never claims work that has not finished.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DaemonSnapshot {
+    pub clock: f64,
+    /// Task-id high-water mark: the next id to assign.
+    pub next_task: u64,
+    /// Session-token counter high-water mark (token uniqueness across
+    /// restarts).
+    pub session_counter: u64,
+    pub sessions: Vec<Session>,
+    /// Queued (and formerly running) tasks, arrival order.
+    pub queued: Vec<QuantumTask>,
+    pub completed: Vec<(u64, SampleResult)>,
+    pub failed: Vec<(u64, String)>,
+    pub cancelled: Vec<u64>,
+    /// (task id, class, submitted_at) for every known task.
+    pub task_meta: Vec<(u64, PriorityClass, f64)>,
+    /// (task id, attempts, excluded resources) for tasks with failures.
+    pub failures: Vec<(u64, u32, Vec<String>)>,
+    /// Warning-level analyzer findings per task (job records).
+    pub warnings: Vec<(u64, Vec<String>)>,
+    /// Idempotency key → original task id.
+    pub idempotency: Vec<(String, u64)>,
+    /// Last admin-set device status, if any.
+    pub qpu_status: Option<String>,
+}
+
+/// Journal tuning knobs (part of `DaemonConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JournalConfig {
+    /// fsync the WAL every N appends (1 = every record, the default; 0
+    /// disables periodic fsync — data still reaches the OS on every append,
+    /// and drain/compaction always fsync).
+    pub fsync_every: usize,
+    /// Compact (snapshot + truncate the WAL) every N appended records
+    /// (0 = never compact automatically).
+    pub compact_every: usize,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            fsync_every: 1,
+            compact_every: 256,
+        }
+    }
+}
+
+/// What one append did (for metrics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppendOutcome {
+    /// Framed bytes written (header + payload).
+    pub bytes: usize,
+    /// Whether this append fsynced the WAL.
+    pub fsynced: bool,
+}
+
+/// Result of reading a journal directory back.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// The compaction base, when `snapshot.json` exists.
+    pub snapshot: Option<DaemonSnapshot>,
+    /// Intact WAL records after the snapshot, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Bytes of torn/corrupt tail discarded (0 on a clean shutdown).
+    pub truncated_bytes: usize,
+}
+
+const WAL_FILE: &str = "wal.log";
+const SNAPSHOT_FILE: &str = "snapshot.json";
+
+/// FNV-1a 32-bit over the record payload; cheap, dependency-free, and more
+/// than enough to reject a torn or bit-flipped record.
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Append-only writer over a journal directory.
+pub struct Journal {
+    dir: PathBuf,
+    wal: File,
+    cfg: JournalConfig,
+    appends_since_fsync: usize,
+    records_since_compact: usize,
+}
+
+impl Journal {
+    /// Open (creating if needed) the journal in `dir`. Appends go to the end
+    /// of any existing WAL — call [`Journal::load`] first when recovering.
+    pub fn open(dir: impl AsRef<Path>, cfg: JournalConfig) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(WAL_FILE))?;
+        Ok(Journal {
+            dir,
+            wal,
+            cfg,
+            appends_since_fsync: 0,
+            records_since_compact: 0,
+        })
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Append one record. The frame always reaches the OS before this
+    /// returns; it reaches the platter per the fsync policy.
+    pub fn append(&mut self, rec: &JournalRecord) -> std::io::Result<AppendOutcome> {
+        let payload = serde_json::to_string(rec)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
+            .into_bytes();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.wal.write_all(&frame)?;
+        self.appends_since_fsync += 1;
+        self.records_since_compact += 1;
+        let fsynced = self.cfg.fsync_every > 0 && self.appends_since_fsync >= self.cfg.fsync_every;
+        if fsynced {
+            self.sync()?;
+        }
+        Ok(AppendOutcome {
+            bytes: frame.len(),
+            fsynced,
+        })
+    }
+
+    /// Force the WAL to stable storage.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.wal.sync_data()?;
+        self.appends_since_fsync = 0;
+        Ok(())
+    }
+
+    /// Whether the compaction policy says it is time to snapshot.
+    pub fn wants_compaction(&self) -> bool {
+        self.cfg.compact_every > 0 && self.records_since_compact >= self.cfg.compact_every
+    }
+
+    /// Compact: atomically persist `snap` as the new replay base and
+    /// truncate the WAL. Crash-safe — the snapshot is written to a temp file,
+    /// fsynced, then renamed over the old one before the WAL is cut.
+    pub fn compact(&mut self, snap: &DaemonSnapshot) -> std::io::Result<()> {
+        let tmp = self.dir.join("snapshot.json.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            let body = serde_json::to_string(snap)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
+                .into_bytes();
+            f.write_all(&body)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        // the snapshot covers everything the WAL said: start a fresh log
+        self.wal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(self.dir.join(WAL_FILE))?;
+        self.wal.sync_data()?;
+        self.appends_since_fsync = 0;
+        self.records_since_compact = 0;
+        Ok(())
+    }
+
+    /// Read a journal directory back: snapshot (if any) plus every intact
+    /// WAL record. A torn or corrupt tail is measured and discarded, never
+    /// an error — crash recovery must always make it back up.
+    pub fn load(dir: impl AsRef<Path>) -> std::io::Result<Replay> {
+        let dir = dir.as_ref();
+        let mut replay = Replay::default();
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if snap_path.exists() {
+            let body = std::fs::read(&snap_path)?;
+            replay.snapshot = serde_json::from_slice(&body).ok();
+        }
+        let wal_path = dir.join(WAL_FILE);
+        if !wal_path.exists() {
+            return Ok(replay);
+        }
+        let mut buf = Vec::new();
+        File::open(&wal_path)?.read_to_end(&mut buf)?;
+        let mut pos = 0usize;
+        while pos + 8 <= buf.len() {
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+            let start = pos + 8;
+            let Some(end) = start.checked_add(len).filter(|&e| e <= buf.len()) else {
+                break; // torn tail: frame header promises more than exists
+            };
+            let payload = &buf[start..end];
+            if fnv1a32(payload) != crc {
+                break; // corrupt record: stop at the last intact prefix
+            }
+            match serde_json::from_slice::<JournalRecord>(payload) {
+                Ok(rec) => replay.records.push(rec),
+                Err(_) => break, // checksummed but unparseable: same policy
+            }
+            pos = end;
+        }
+        replay.truncated_bytes = buf.len() - pos;
+        Ok(replay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/journal-tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(id: u64) -> JournalRecord {
+        JournalRecord::TaskCancelled { id }
+    }
+
+    #[test]
+    fn append_and_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let mut j = Journal::open(&dir, JournalConfig::default()).unwrap();
+        for i in 0..5 {
+            let out = j.append(&rec(i)).unwrap();
+            assert!(out.bytes > 8);
+            assert!(out.fsynced, "fsync_every=1 syncs each append");
+        }
+        j.append(&JournalRecord::ClockAdvanced { to: 12.5 })
+            .unwrap();
+        let replay = Journal::load(&dir).unwrap();
+        assert!(replay.snapshot.is_none());
+        assert_eq!(replay.records.len(), 6);
+        assert_eq!(replay.records[2], rec(2));
+        assert_eq!(replay.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_not_fatal() {
+        let dir = tmpdir("torn");
+        let mut j = Journal::open(&dir, JournalConfig::default()).unwrap();
+        for i in 0..4 {
+            j.append(&rec(i)).unwrap();
+        }
+        // simulate a crash mid-write: chop bytes off the last frame
+        let wal = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+        let replay = Journal::load(&dir).unwrap();
+        assert_eq!(replay.records.len(), 3, "last record torn away");
+        assert!(replay.truncated_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay_at_last_intact_prefix() {
+        let dir = tmpdir("corrupt");
+        let mut j = Journal::open(&dir, JournalConfig::default()).unwrap();
+        for i in 0..3 {
+            j.append(&rec(i)).unwrap();
+        }
+        let wal = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        // flip a payload bit in the middle record
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&wal, &bytes).unwrap();
+        let replay = Journal::load(&dir).unwrap();
+        assert!(replay.records.len() < 3);
+        assert!(replay.truncated_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_truncates_wal_and_persists_snapshot() {
+        let dir = tmpdir("compact");
+        let mut j = Journal::open(
+            &dir,
+            JournalConfig {
+                fsync_every: 1,
+                compact_every: 3,
+            },
+        )
+        .unwrap();
+        assert!(!j.wants_compaction());
+        for i in 0..3 {
+            j.append(&rec(i)).unwrap();
+        }
+        assert!(j.wants_compaction());
+        let snap = DaemonSnapshot {
+            next_task: 42,
+            cancelled: vec![0, 1, 2],
+            ..DaemonSnapshot::default()
+        };
+        j.compact(&snap).unwrap();
+        assert!(!j.wants_compaction());
+        // appends after compaction land in the fresh WAL
+        j.append(&rec(99)).unwrap();
+        let replay = Journal::load(&dir).unwrap();
+        assert_eq!(replay.snapshot.as_ref().unwrap().next_task, 42);
+        assert_eq!(replay.records, vec![rec(99)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_directory_loads_empty() {
+        let dir = tmpdir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let replay = Journal::load(&dir).unwrap();
+        assert!(replay.snapshot.is_none());
+        assert!(replay.records.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

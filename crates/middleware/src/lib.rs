@@ -10,6 +10,8 @@
 //!   semantics,
 //! * [`MiddlewareService`] — the daemon core: validation against the live
 //!   device spec, chunked execution through QRMI, admin + telemetry surface,
+//! * [`journal`] — write-ahead journal + snapshots giving the daemon durable
+//!   state: crash recovery, idempotent submission, graceful drain,
 //! * [`http`] / [`rest`] — a real HTTP/1.1 REST API over `std::net`,
 //! * [`cosim`] — discrete-event co-simulation of the two-level architecture
 //!   powering the Table-1 / Figure-2 experiments.
@@ -18,6 +20,7 @@ pub mod cosim;
 pub mod daemon;
 pub mod fairshare;
 pub mod http;
+pub mod journal;
 pub mod rest;
 pub mod session;
 pub mod taskqueue;
@@ -26,9 +29,11 @@ pub use cosim::{
     hint_duty, AdmissionPolicy, Cosim, CosimConfig, CosimReport, HybridJob, Phase, QpuPolicy,
 };
 pub use daemon::{
-    DaemonConfig, DaemonError, DaemonTaskStatus, DispatcherHandle, MiddlewareService,
+    DaemonConfig, DaemonError, DaemonHealth, DaemonTaskStatus, DispatcherHandle, DrainReport,
+    MiddlewareService,
 };
 pub use fairshare::FairshareTracker;
 pub use http::{http_request, HttpServer, Request, Response};
+pub use journal::{DaemonSnapshot, Journal, JournalConfig, JournalRecord};
 pub use session::{PriorityClass, Session, SessionError, SessionManager};
 pub use taskqueue::{QuantumTask, QueueConfig, QueueError, TaskQueue};

@@ -8,12 +8,14 @@
 //! DELETE /v1/sessions/{token}                             → {}
 //! GET    /v1/sessions                                     → [Session]   (admin)
 //! GET    /v1/target                                       → DeviceSpec
-//! POST   /v1/tasks                   {token, ir, hint}    → {task_id}
+//! POST   /v1/tasks                   {token, ir, hint,
+//!                                     idempotency_key?}   → {task_id}
 //! GET    /v1/tasks/{id}                                   → DaemonTaskStatus
 //! GET    /v1/tasks/{id}/warnings                          → {warnings: [str]}
 //! GET    /v1/tasks/{id}/result                            → SampleResult
 //! DELETE /v1/tasks/{id}?token=T                           → {}
 //! POST   /v1/pump                    {}                   → {dispatched} (drives the queue)
+//! GET    /v1/healthz                                      → {status} (503 while draining)
 //! GET    /metrics                                         → Prometheus text
 //! GET    /v1/admin/qpu/status                             → {status}
 //! POST   /v1/admin/qpu/status        {status}             → {}
@@ -42,6 +44,10 @@ struct SubmitReq {
     ir: ProgramIr,
     #[serde(default)]
     hint: Option<String>,
+    /// Client-chosen dedup key: retrying a submit with the same key returns
+    /// the originally assigned task id (survives daemon restarts).
+    #[serde(default)]
+    idempotency_key: Option<String>,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -61,6 +67,7 @@ fn err_response(e: &DaemonError) -> Response {
         DaemonError::UnknownTask(_) => 404,
         DaemonError::Validation(_) => 422,
         DaemonError::Queue(_) => 409,
+        DaemonError::Unavailable(_) => 503,
         DaemonError::Internal(_) => 500,
     };
     Response::json(
@@ -122,7 +129,12 @@ pub fn route(svc: &MiddlewareService, req: &Request) -> Response {
                     None => return bad_request("hint must be qc-heavy|cc-heavy|qc-balanced|none"),
                 },
             };
-            match svc.submit(&submit.token, submit.ir, hint) {
+            match svc.submit_with_key(
+                &submit.token,
+                submit.ir,
+                hint,
+                submit.idempotency_key.as_deref(),
+            ) {
                 Ok(id) => Response::json(201, serde_json::json!({ "task_id": id }).to_string()),
                 Err(e) => err_response(&e),
             }
@@ -167,6 +179,14 @@ pub fn route(svc: &MiddlewareService, req: &Request) -> Response {
         ("POST", ["v1", "pump"]) => {
             let n = svc.pump();
             Response::json(200, serde_json::json!({ "dispatched": n }).to_string())
+        }
+        ("GET", ["v1", "healthz"]) => {
+            let health = svc.health();
+            let body = serde_json::json!({ "status": health.as_str() }).to_string();
+            match health {
+                crate::daemon::DaemonHealth::Ok => Response::json(200, body),
+                _ => Response::json(503, body),
+            }
         }
         ("GET", ["metrics"]) => Response::text(200, svc.metrics_text()),
         ("GET", ["v1", "admin", "qpu", "status"]) => match svc.qpu_status() {
@@ -463,5 +483,79 @@ mod tests {
         let server = serve(service()).unwrap();
         let (st, _) = http_request(server.addr(), "GET", "/v1/admin/qpu/status", None).unwrap();
         assert_eq!(st, 404);
+    }
+
+    #[test]
+    fn malformed_submit_json_is_400() {
+        let server = serve(service()).unwrap();
+        let (st, body) =
+            http_request(server.addr(), "POST", "/v1/tasks", Some("{not json")).unwrap();
+        assert_eq!(st, 400, "{body}");
+        // structurally valid JSON missing required fields is still a 400
+        let (st, _) = http_request(server.addr(), "POST", "/v1/tasks", Some("{}")).unwrap();
+        assert_eq!(st, 400);
+    }
+
+    #[test]
+    fn unknown_session_token_is_401() {
+        let server = serve(service()).unwrap();
+        let submit = format!(r#"{{"token":"sess-0-doesnotexist","ir":{}}}"#, ir_json(5));
+        let (st, body) = http_request(server.addr(), "POST", "/v1/tasks", Some(&submit)).unwrap();
+        assert_eq!(st, 401, "{body}");
+    }
+
+    #[test]
+    fn cancel_of_completed_task_is_409() {
+        let server = serve(service()).unwrap();
+        let addr = server.addr();
+        let (_, body) = http_request(
+            &addr,
+            "POST",
+            "/v1/sessions",
+            Some(r#"{"user":"x","class":"test"}"#),
+        )
+        .unwrap();
+        let token = serde_json::from_str::<serde_json::Value>(&body).unwrap()["token"]
+            .as_str()
+            .unwrap()
+            .to_string();
+        let submit = format!(r#"{{"token":"{token}","ir":{}}}"#, ir_json(5));
+        let (_, body) = http_request(&addr, "POST", "/v1/tasks", Some(&submit)).unwrap();
+        let id = serde_json::from_str::<serde_json::Value>(&body).unwrap()["task_id"]
+            .as_u64()
+            .unwrap();
+        let (st, _) = http_request(&addr, "POST", "/v1/pump", Some("{}")).unwrap();
+        assert_eq!(st, 200);
+        let (st, body) = http_request(
+            &addr,
+            "DELETE",
+            &format!("/v1/tasks/{id}?token={token}"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(st, 409, "{body}");
+    }
+
+    #[test]
+    fn healthz_is_200_serving_503_draining() {
+        let svc = service();
+        let server = serve(Arc::clone(&svc)).unwrap();
+        let addr = server.addr().to_string();
+        let (st, body) = http_request(&addr, "GET", "/v1/healthz", None).unwrap();
+        assert_eq!(st, 200);
+        assert!(body.contains("ok"), "{body}");
+        svc.shutdown(std::time::Duration::from_millis(50));
+        let (st, body) = http_request(&addr, "GET", "/v1/healthz", None).unwrap();
+        assert_eq!(st, 503, "{body}");
+        assert!(body.contains("stopped"), "{body}");
+        // a stopped daemon refuses new sessions with 503 too
+        let (st, _) = http_request(
+            &addr,
+            "POST",
+            "/v1/sessions",
+            Some(r#"{"user":"x","class":"test"}"#),
+        )
+        .unwrap();
+        assert_eq!(st, 503);
     }
 }

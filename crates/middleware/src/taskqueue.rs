@@ -205,6 +205,25 @@ impl TaskQueue {
         Some(self.tasks.remove(idx))
     }
 
+    /// Queued tasks in insertion order (not dispatch order) — used by
+    /// snapshot compaction, which persists the raw set and lets replay
+    /// recompute priorities.
+    pub fn iter(&self) -> impl Iterator<Item = &QuantumTask> {
+        self.tasks.iter()
+    }
+
+    /// Reinsert a task restored from the journal. The per-session quota is
+    /// *not* re-checked — the task was admitted before the restart and
+    /// dropping it now would violate durability — but timestamps are still
+    /// validated so a corrupt journal cannot poison the dispatch order.
+    pub fn restore(&mut self, task: QuantumTask) -> Result<(), QueueError> {
+        if !task.submitted_at.is_finite() {
+            return Err(QueueError::NonFiniteTimestamp { id: task.id });
+        }
+        self.tasks.push(task);
+        Ok(())
+    }
+
     /// Does the queue hold a production task that should preempt a running
     /// task of class `running`? True only when a production task is queued
     /// and the running class is lower (the paper's initial implementation:

@@ -14,6 +14,7 @@
 
 pub mod alerts;
 pub mod drift;
+pub mod durability;
 pub mod fault;
 pub mod lint;
 pub mod metrics;
@@ -21,6 +22,7 @@ pub mod tsdb;
 
 pub use alerts::{AlertEvent, AlertManager, AlertRule, AlertState, Cmp};
 pub use drift::{CusumDetector, Detection, ZScoreDetector};
+pub use durability::DurabilityMetrics;
 pub use fault::FaultMetrics;
 pub use lint::LintMetrics;
 pub use metrics::{labels, Labels, Registry};
