@@ -1,0 +1,237 @@
+//! Experiment EP — emulator kernel performance trajectory.
+//!
+//! Times `evolve + sample` across qubit counts for both emulator backends
+//! and writes the results to `BENCH_emulator.json`, the first entry of the
+//! repo's performance trajectory. The 16-qubit state-vector case is the
+//! headline number: the JSON records the measured time next to the pre-PR
+//! baseline (commit b1b38e8, same harness, same machine class) and the
+//! resulting speedup.
+//!
+//! Run: `cargo run --release -p hpcqc-bench --bin emulator_perf [--quick]
+//!       [--out PATH]`
+//!
+//! `--quick` shrinks sizes/reps for the CI smoke job; the harness exits
+//! non-zero if any timing comes back non-finite or non-positive, so a CI
+//! run doubles as a panic/NaN gate for the kernels.
+
+use hpcqc_bench::{render_table, HarnessArgs};
+use hpcqc_emulator::mps::evolve_sequence_mps;
+use hpcqc_emulator::statevector::evolve_sequence;
+use hpcqc_emulator::{Emulator, MpsBackend, MpsConfig, SvBackend, SvConfig};
+use hpcqc_program::{ProgramIr, Pulse, Register, Sequence, SequenceBuilder};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Pre-PR reference for the headline case, measured with this same harness
+/// at commit b1b38e8 (allocating serial kernels): 16 qubits, emu-sv,
+/// 0.2 µs constant pulse, 1000 shots. Milliseconds.
+const PRE_PR_SV16_EVOLVE_MS: f64 = 5731.86;
+const PRE_PR_SV16_TOTAL_MS: f64 = 5984.33;
+
+#[derive(Debug, Serialize)]
+struct CaseResult {
+    backend: String,
+    qubits: usize,
+    shots: u32,
+    reps: usize,
+    /// Best-of-reps wall-clock of the pure evolution, milliseconds.
+    evolve_ms: f64,
+    /// Best-of-reps wall-clock of the full `run` (evolve + sample), ms.
+    total_ms: f64,
+    /// `total_ms - evolve_ms`, clamped at 0 (sampling + counting).
+    sample_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    benchmark: String,
+    commit_note: String,
+    quick: bool,
+    unix_time_secs: u64,
+    cases: Vec<CaseResult>,
+    baseline_pre_pr: Baseline,
+    /// Measured speedup of the headline 16q sv case vs the pre-PR baseline
+    /// (`baseline total / measured total`); `null` in quick mode, where the
+    /// 16-qubit case is skipped.
+    speedup_sv16_vs_pre_pr: Option<f64>,
+}
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    commit: String,
+    sv16_evolve_ms: f64,
+    sv16_total_ms: f64,
+}
+
+fn bench_sequence(n: usize) -> Sequence {
+    let reg = Register::linear(n, 10.0).expect("valid linear register");
+    let mut b = SequenceBuilder::new(reg);
+    // Non-zero phase exercises the general (complex-coefficient) kernel.
+    b.add_global_pulse(Pulse::constant(0.2, 4.0, 1.0, 0.4).expect("valid pulse"));
+    b.build().expect("valid sequence")
+}
+
+fn time_best<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn run_sv_case(n: usize, shots: u32, reps: usize) -> CaseResult {
+    let backend = SvBackend::default();
+    let seq = bench_sequence(n);
+    let ir = ProgramIr::new(seq.clone(), shots, "bench");
+    let spec = backend.spec();
+    let evolve_ms = time_best(reps, || {
+        let t = Instant::now();
+        let s = evolve_sequence(&seq, spec.c6_coefficient, &SvConfig::default());
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(s.norm_sqr().is_finite());
+        ms
+    });
+    let total_ms = time_best(reps, || {
+        let t = Instant::now();
+        let r = backend.run(&ir, 7).expect("sv run succeeds");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(r.shots, shots);
+        ms
+    });
+    CaseResult {
+        backend: "emu-sv".into(),
+        qubits: n,
+        shots,
+        reps,
+        evolve_ms,
+        total_ms,
+        sample_ms: (total_ms - evolve_ms).max(0.0),
+    }
+}
+
+fn run_mps_case(n: usize, shots: u32, reps: usize) -> CaseResult {
+    let backend = MpsBackend {
+        config: MpsConfig {
+            chi_max: 8,
+            ..MpsConfig::default()
+        },
+        ..MpsBackend::default()
+    };
+    let seq = bench_sequence(n);
+    let ir = ProgramIr::new(seq.clone(), shots, "bench");
+    let spec = backend.spec();
+    let evolve_ms = time_best(reps, || {
+        let t = Instant::now();
+        let m = evolve_sequence_mps(&seq, spec.c6_coefficient, &backend.config);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(m.truncation_error.is_finite());
+        ms
+    });
+    let total_ms = time_best(reps, || {
+        let t = Instant::now();
+        let r = backend.run(&ir, 7).expect("mps run succeeds");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(r.shots, shots);
+        ms
+    });
+    CaseResult {
+        backend: "emu-mps".into(),
+        qubits: n,
+        shots,
+        reps,
+        evolve_ms,
+        total_ms,
+        sample_ms: (total_ms - evolve_ms).max(0.0),
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let out_path = args
+        .flags
+        .iter()
+        .position(|f| f == "--out")
+        .and_then(|i| args.flags.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_emulator.json".to_string());
+
+    let shots: u32 = if args.quick { 200 } else { 1000 };
+    let reps = args.scaled(3, 1);
+    let sv_sizes: &[usize] = if args.quick {
+        &[8, 12]
+    } else {
+        &[8, 12, 14, 16]
+    };
+    let mps_sizes: &[usize] = if args.quick { &[8] } else { &[8, 12, 16] };
+
+    let mut cases = Vec::new();
+    for &n in sv_sizes {
+        eprintln!("timing emu-sv n={n} ...");
+        cases.push(run_sv_case(n, shots, reps));
+    }
+    for &n in mps_sizes {
+        eprintln!("timing emu-mps n={n} ...");
+        cases.push(run_mps_case(n, shots, reps));
+    }
+
+    // Gate: every timing must be finite and positive (a panic would have
+    // aborted already; NaN/0 indicates a broken clock or kernel).
+    for c in &cases {
+        for (label, v) in [
+            ("evolve_ms", c.evolve_ms),
+            ("total_ms", c.total_ms),
+            ("sample_ms", c.sample_ms),
+        ] {
+            if !v.is_finite() || (label != "sample_ms" && v <= 0.0) {
+                eprintln!(
+                    "non-finite or non-positive timing: {} n={} {label}={v}",
+                    c.backend, c.qubits
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let speedup = cases
+        .iter()
+        .find(|c| c.backend == "emu-sv" && c.qubits == 16)
+        .map(|c| PRE_PR_SV16_TOTAL_MS / c.total_ms);
+
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.backend.clone(),
+                c.qubits.to_string(),
+                format!("{:.2}", c.evolve_ms),
+                format!("{:.2}", c.sample_ms),
+                format!("{:.2}", c.total_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["backend", "qubits", "evolve(ms)", "sample(ms)", "total(ms)"],
+            &rows
+        )
+    );
+    if let Some(s) = speedup {
+        println!("sv16 total vs pre-PR baseline {PRE_PR_SV16_TOTAL_MS:.2} ms: {s:.2}x");
+    }
+
+    let report = BenchReport {
+        benchmark: "emulator_perf".into(),
+        commit_note: "allocation-free parallel emulator kernels".into(),
+        quick: args.quick,
+        unix_time_secs: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        cases,
+        baseline_pre_pr: Baseline {
+            commit: "b1b38e8".into(),
+            sv16_evolve_ms: PRE_PR_SV16_EVOLVE_MS,
+            sv16_total_ms: PRE_PR_SV16_TOTAL_MS,
+        },
+        speedup_sv16_vs_pre_pr: speedup,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}

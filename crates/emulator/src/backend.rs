@@ -8,11 +8,12 @@
 use crate::mps::{evolve_sequence_mps, MpsConfig};
 use crate::noise::SpamNoise;
 use crate::result::SampleResult;
-use crate::statevector::{evolve_sequence, SvConfig};
+use crate::statevector::{evolve_sequence, SvConfig, SV_MAX_QUBITS};
 use hpcqc_program::{DeviceSpec, ProgramIr};
 use rand::distributions::{Distribution, WeightedIndex};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 /// Errors from emulator execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +22,10 @@ pub enum EmulatorError {
     Validation(Vec<hpcqc_program::Violation>),
     /// The register is too large for the backend's method.
     TooLarge { qubits: usize, limit: usize },
+    /// The integrated state produced a probability vector unusable for
+    /// sampling (non-finite, negative, or all-zero weights) — the signature
+    /// of a pathological integration rather than a user error.
+    DegenerateDistribution { detail: String },
 }
 
 impl std::fmt::Display for EmulatorError {
@@ -35,11 +40,83 @@ impl std::fmt::Display for EmulatorError {
                     "register of {qubits} qubits exceeds backend limit {limit}"
                 )
             }
+            EmulatorError::DegenerateDistribution { detail } => {
+                write!(f, "degenerate sampling distribution: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for EmulatorError {}
+
+/// SplitMix64 finalizer — decorrelates nearby integers into independent
+/// 64-bit seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Counter-derived RNG stream for one shot: mixing `(seed, shot)` gives
+/// every shot its own independent deterministic stream, so shots can be
+/// drawn in any order — or concurrently — with bit-identical results.
+fn shot_rng(seed: u64, shot: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(splitmix64(
+        seed.wrapping_add(shot.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    ))
+}
+
+/// Shots per work chunk for parallel sampling. Fixed so the partition (and
+/// thus the result) is machine-independent.
+const SHOT_CHUNK: usize = 64;
+
+/// Draw `shots` outcomes with per-shot counter-derived RNG streams,
+/// chunk-parallel over the output buffer. `draw` produces the raw
+/// bitstring; SPAM noise is applied from the same per-shot stream.
+fn sample_outcomes<F>(shots: u32, n: usize, seed: u64, noise: &SpamNoise, draw: F) -> Vec<u64>
+where
+    F: Fn(&mut ChaCha8Rng) -> u64 + Sync,
+{
+    let mut outcomes = vec![0u64; shots as usize];
+    outcomes
+        .par_chunks_mut(SHOT_CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let shot = (ci * SHOT_CHUNK + k) as u64;
+                let mut rng = shot_rng(seed, shot);
+                let raw = draw(&mut rng);
+                *slot = noise.apply(raw, n, &mut rng);
+            }
+        });
+    outcomes
+}
+
+/// Build the shot-sampling distribution from a probability vector,
+/// renormalizing integrator drift and rejecting pathological states
+/// instead of panicking.
+pub fn sampling_distribution(probs: &[f64]) -> Result<WeightedIndex, EmulatorError> {
+    let mut total = 0.0f64;
+    for &p in probs {
+        if !p.is_finite() || p < 0.0 {
+            return Err(EmulatorError::DegenerateDistribution {
+                detail: format!("invalid probability {p}"),
+            });
+        }
+        total += p;
+    }
+    if !total.is_finite() || total <= 0.0 {
+        return Err(EmulatorError::DegenerateDistribution {
+            detail: format!("total weight {total}"),
+        });
+    }
+    WeightedIndex::new(probs.iter().map(|p| p / total)).map_err(|e| {
+        EmulatorError::DegenerateDistribution {
+            detail: e.to_string(),
+        }
+    })
+}
 
 /// A classical backend that can execute analog programs.
 pub trait Emulator: Send + Sync {
@@ -80,16 +157,17 @@ impl Emulator for SvBackend {
     }
 
     fn spec(&self) -> DeviceSpec {
-        DeviceSpec::emulator("emu-sv", self.max_qubits)
+        // The advertised cap never exceeds what the dense method can hold:
+        // a misconfigured `max_qubits > 26` must surface as `TooLarge`, not
+        // as a panic in `StateVector::ground`.
+        DeviceSpec::emulator("emu-sv", self.max_qubits.min(SV_MAX_QUBITS))
     }
 
     fn run(&self, ir: &ProgramIr, seed: u64) -> Result<SampleResult, EmulatorError> {
         let n = ir.sequence.num_qubits();
-        if n > self.max_qubits {
-            return Err(EmulatorError::TooLarge {
-                qubits: n,
-                limit: self.max_qubits,
-            });
+        let limit = self.max_qubits.min(SV_MAX_QUBITS);
+        if n > limit {
+            return Err(EmulatorError::TooLarge { qubits: n, limit });
         }
         let spec = self.spec();
         let violations = hpcqc_program::validate(&ir.sequence, &spec);
@@ -98,14 +176,10 @@ impl Emulator for SvBackend {
         }
         let state = evolve_sequence(&ir.sequence, spec.c6_coefficient, &self.config);
         let probs = state.probabilities();
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let dist = WeightedIndex::new(&probs).expect("normalized state has valid weights");
-        let outcomes: Vec<u64> = (0..ir.shots)
-            .map(|_| {
-                let raw = dist.sample(&mut rng) as u64;
-                self.noise.apply(raw, n, &mut rng)
-            })
-            .collect();
+        let dist = sampling_distribution(&probs)?;
+        let outcomes = sample_outcomes(ir.shots, n, seed, &self.noise, |rng| {
+            dist.sample(rng) as u64
+        });
         Ok(SampleResult::from_shots(n, &outcomes, self.name()))
     }
 }
@@ -182,13 +256,13 @@ impl Emulator for MpsBackend {
         }
         let mut mps = evolve_sequence_mps(&ir.sequence, spec.c6_coefficient, &self.config);
         let trunc = mps.truncation_error;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let outcomes: Vec<u64> = (0..ir.shots)
-            .map(|_| {
-                let raw = mps.sample(&mut rng);
-                self.noise.apply(raw, n, &mut rng)
-            })
-            .collect();
+        // Canonicalize and normalize once; per-shot draws are then read-only
+        // and run concurrently on independent counter-derived streams.
+        mps.prepare_sampling();
+        let mps = &mps;
+        let outcomes = sample_outcomes(ir.shots, n, seed, &self.noise, |rng| {
+            mps.sample_prepared(rng)
+        });
         let mut res = SampleResult::from_shots(n, &outcomes, self.name());
         res.truncation_error = trunc;
         Ok(res)
@@ -293,6 +367,102 @@ mod tests {
             "got {}",
             res.occupation(0)
         );
+    }
+
+    #[test]
+    fn sv_cap_above_dense_limit_errors_instead_of_panicking() {
+        // Regression: a misconfigured cap above the dense method's 26-qubit
+        // ceiling used to reach `StateVector::ground` and panic; it must
+        // surface as `TooLarge` clamped to the real limit.
+        let b = SvBackend {
+            max_qubits: 32,
+            ..Default::default()
+        };
+        assert_eq!(b.spec().max_qubits, SV_MAX_QUBITS);
+        let ir = pi_pulse_ir(27, 6.0, 4);
+        match b.run(&ir, 1) {
+            Err(EmulatorError::TooLarge {
+                qubits: 27,
+                limit: 26,
+            }) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sampling_distribution_rejects_pathological_inputs() {
+        for probs in [
+            &[0.5, f64::NAN][..],
+            &[0.5, f64::INFINITY][..],
+            &[0.2, -0.1][..],
+            &[0.0, 0.0][..],
+        ] {
+            match sampling_distribution(probs) {
+                Err(EmulatorError::DegenerateDistribution { .. }) => {}
+                other => panic!("expected DegenerateDistribution for {probs:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_distribution_renormalizes_drifted_probs() {
+        // Integrator drift leaves the vector slightly sub-normalized; the
+        // distribution renormalizes instead of rejecting or skewing.
+        let dist = sampling_distribution(&[0.2, 0.1]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let hits = (0..3000).filter(|_| dist.sample(&mut rng) == 0).count();
+        let frac = hits as f64 / 3000.0;
+        assert!((frac - 2.0 / 3.0).abs() < 0.05, "got {frac}");
+    }
+
+    #[test]
+    fn sv_parallel_sampling_matches_serial_reference() {
+        // The chunk-parallel sampler must reproduce a plain serial loop over
+        // the same per-shot streams exactly, including the SPAM draws.
+        let ir = pi_pulse_ir(3, 9.0, 500);
+        let b = SvBackend {
+            noise: SpamNoise {
+                epsilon: 0.02,
+                epsilon_prime: 0.05,
+            },
+            ..Default::default()
+        };
+        let seed = 42;
+        let res = b.run(&ir, seed).unwrap();
+        let spec = b.spec();
+        let state = evolve_sequence(&ir.sequence, spec.c6_coefficient, &b.config);
+        let dist = sampling_distribution(&state.probabilities()).unwrap();
+        let n = ir.sequence.num_qubits();
+        let outcomes: Vec<u64> = (0..ir.shots as u64)
+            .map(|shot| {
+                let mut rng = shot_rng(seed, shot);
+                let raw = dist.sample(&mut rng) as u64;
+                b.noise.apply(raw, n, &mut rng)
+            })
+            .collect();
+        let reference = SampleResult::from_shots(n, &outcomes, b.name());
+        assert_eq!(res.counts, reference.counts);
+    }
+
+    #[test]
+    fn mps_parallel_sampling_matches_serial_reference() {
+        let ir = pi_pulse_ir(4, 6.0, 300);
+        let b = MpsBackend::default();
+        let seed = 7;
+        let res = b.run(&ir, seed).unwrap();
+        let spec = b.spec();
+        let mut mps = evolve_sequence_mps(&ir.sequence, spec.c6_coefficient, &b.config);
+        mps.prepare_sampling();
+        let n = ir.sequence.num_qubits();
+        let outcomes: Vec<u64> = (0..ir.shots as u64)
+            .map(|shot| {
+                let mut rng = shot_rng(seed, shot);
+                let raw = mps.sample_prepared(&mut rng);
+                b.noise.apply(raw, n, &mut rng)
+            })
+            .collect();
+        let reference = SampleResult::from_shots(n, &outcomes, b.name());
+        assert_eq!(res.counts, reference.counts);
     }
 
     #[test]

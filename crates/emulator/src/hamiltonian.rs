@@ -102,10 +102,15 @@ pub struct DiscretizedDrive {
 }
 
 impl DiscretizedDrive {
+    /// Number of steps a grid capped at `max_dt` needs for `total` µs.
+    fn steps_for(total: f64, max_dt: f64) -> usize {
+        (total / max_dt).ceil().max(1.0) as usize
+    }
+
     /// Discretize the global channel of `seq` into steps of at most `max_dt`.
     pub fn from_sequence(seq: &Sequence, max_dt: f64) -> Self {
         let total = seq.duration();
-        let nsteps = (total / max_dt).ceil().max(1.0) as usize;
+        let nsteps = Self::steps_for(total, max_dt);
         let dt = total / nsteps as f64;
         let steps = (0..nsteps)
             .map(|k| {
@@ -114,6 +119,18 @@ impl DiscretizedDrive {
             })
             .collect();
         DiscretizedDrive { dt, steps }
+    }
+
+    /// Reuse this discretization if a `max_dt` cap of `dt_bound` would
+    /// produce the same grid, otherwise re-discretize `seq` on the finer
+    /// grid. The grid is fully determined by the step count, so the reuse
+    /// case is exact — callers avoid sampling the whole schedule twice.
+    pub fn refined(self, seq: &Sequence, dt_bound: f64) -> Self {
+        if Self::steps_for(seq.duration(), dt_bound) == self.steps.len() {
+            self
+        } else {
+            Self::from_sequence(seq, dt_bound)
+        }
     }
 
     /// The largest |Ω| and |δ| over the schedule — used for step control.
@@ -197,6 +214,25 @@ mod tests {
         let second = dd.steps[3 * dd.steps.len() / 4];
         assert_eq!(second, (2.0, 1.0, 0.0));
         assert_eq!(dd.max_drive(), (4.0, 1.0));
+    }
+
+    #[test]
+    fn refined_reuses_or_rebuilds_grid() {
+        let reg = chain(2, 8.0);
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(1.0, 2.0, 0.0, 0.0).unwrap());
+        let seq = b.build().unwrap();
+        let coarse = DiscretizedDrive::from_sequence(&seq, 1e-2);
+        // Same cap → same step count → the grid is reused as-is.
+        let same = coarse.clone().refined(&seq, 1e-2);
+        assert_eq!(same.steps.len(), coarse.steps.len());
+        assert_eq!(same.dt, coarse.dt);
+        // Tighter cap → re-discretized, exactly matching a direct build.
+        let finer = coarse.refined(&seq, 1e-3);
+        let direct = DiscretizedDrive::from_sequence(&seq, 1e-3);
+        assert_eq!(finer.steps.len(), 1000);
+        assert_eq!(finer.dt, direct.dt);
+        assert_eq!(finer.steps, direct.steps);
     }
 
     #[test]

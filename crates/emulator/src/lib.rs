@@ -20,9 +20,9 @@ pub mod noise;
 pub mod result;
 pub mod statevector;
 
-pub use backend::{Emulator, EmulatorError, MpsBackend, SvBackend};
+pub use backend::{sampling_distribution, Emulator, EmulatorError, MpsBackend, SvBackend};
 pub use hamiltonian::{DiscretizedDrive, RydbergHamiltonian};
 pub use mps::{Mps, MpsConfig};
 pub use noise::SpamNoise;
 pub use result::{Counts, SampleResult};
-pub use statevector::{StateVector, SvConfig};
+pub use statevector::{StateVector, SvConfig, SvWorkspace, SV_MAX_QUBITS};

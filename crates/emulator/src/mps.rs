@@ -74,6 +74,16 @@ impl Default for MpsConfig {
     }
 }
 
+/// Reusable TEBD scratch: the two-site `theta` tensors and the SVD input
+/// matrix grow to the working size once and stay allocated across the whole
+/// sweep instead of being reallocated at every gate.
+#[derive(Debug, Clone, Default)]
+struct TebdScratch {
+    theta: Vec<Complex64>,
+    theta2: Vec<Complex64>,
+    mat: Vec<Complex64>,
+}
+
 /// A matrix product state over `n` qubits.
 #[derive(Debug, Clone)]
 pub struct Mps {
@@ -86,6 +96,7 @@ pub struct Mps {
     /// Accumulated discarded Schmidt weight over all truncations.
     pub truncation_error: f64,
     cfg: MpsConfig,
+    scratch: TebdScratch,
 }
 
 impl Mps {
@@ -106,6 +117,7 @@ impl Mps {
             center: 0,
             truncation_error: 0.0,
             cfg,
+            scratch: TebdScratch::default(),
         }
     }
 
@@ -238,22 +250,20 @@ impl Mps {
         }
     }
 
-    /// Apply a single-site unitary `u` (2×2) to site `i`.
+    /// Apply a single-site unitary `u` (2×2) to site `i`, in place — the
+    /// physical index is contracted pairwise, so no new tensor is needed.
     pub fn apply_one_site(&mut self, i: usize, u: &CMatrix) {
-        let t = &self.tensors[i];
-        let mut out = Tensor3::zeros(t.dl, t.dr);
+        let (u00, u01) = (u[(0, 0)], u[(0, 1)]);
+        let (u10, u11) = (u[(1, 0)], u[(1, 1)]);
+        let t = &mut self.tensors[i];
         for l in 0..t.dl {
             for r in 0..t.dr {
-                for q in 0..2 {
-                    let mut acc = Complex64::new(0.0, 0.0);
-                    for p in 0..2 {
-                        acc += u[(q, p)] * t.at(l, p, r);
-                    }
-                    *out.at_mut(l, q, r) = acc;
-                }
+                let p0 = t.at(l, 0, r);
+                let p1 = t.at(l, 1, r);
+                *t.at_mut(l, 0, r) = u00 * p0 + u01 * p1;
+                *t.at_mut(l, 1, r) = u10 * p0 + u11 * p1;
             }
         }
-        self.tensors[i] = out;
     }
 
     /// Apply a two-site gate (4×4, basis |p_i p_{i+1}⟩ with the left qubit
@@ -267,9 +277,11 @@ impl Mps {
         let (dl, dm, dr) = (a.dl, a.dr, b.dr);
         debug_assert_eq!(dm, b.dl);
 
-        // theta[l, p1, p2, r]
+        // theta[l, p1, p2, r] — scratch reused across the whole TEBD sweep
         let idx = |p1: usize, p2: usize| p1 * 2 + p2;
-        let mut theta = vec![Complex64::new(0.0, 0.0); dl * 4 * dr];
+        let mut theta = std::mem::take(&mut self.scratch.theta);
+        theta.clear();
+        theta.resize(dl * 4 * dr, Complex64::new(0.0, 0.0));
         let th = |l: usize, p1: usize, p2: usize, r: usize| (l * 4 + idx(p1, p2)) * dr + r;
         for l in 0..dl {
             for p1 in 0..2 {
@@ -286,8 +298,9 @@ impl Mps {
                 }
             }
         }
-        // gate application
-        let mut theta2 = vec![Complex64::new(0.0, 0.0); dl * 4 * dr];
+        // gate application (every element is assigned, so no zeroing needed)
+        let mut theta2 = std::mem::take(&mut self.scratch.theta2);
+        theta2.resize(dl * 4 * dr, Complex64::new(0.0, 0.0));
         for l in 0..dl {
             for r in 0..dr {
                 for q1 in 0..2 {
@@ -303,8 +316,15 @@ impl Mps {
                 }
             }
         }
-        // matricize to (l q1) x (q2 r) and SVD-truncate
-        let mut m = CMatrix::zeros(dl * 2, 2 * dr);
+        // matricize to (l q1) x (q2 r) and SVD-truncate; the matrix buffer
+        // is scratch too (every element is assigned below)
+        let mut mdata = std::mem::take(&mut self.scratch.mat);
+        mdata.resize(dl * 2 * 2 * dr, Complex64::new(0.0, 0.0));
+        let mut m = CMatrix {
+            rows: dl * 2,
+            cols: 2 * dr,
+            data: mdata,
+        };
         for l in 0..dl {
             for q1 in 0..2 {
                 for q2 in 0..2 {
@@ -315,6 +335,9 @@ impl Mps {
             }
         }
         let (u, s, vt) = svd(&m);
+        self.scratch.theta = theta;
+        self.scratch.theta2 = theta2;
+        self.scratch.mat = m.data;
         let total: f64 = s.iter().map(|x| x * x).sum();
         let smax = s.first().copied().unwrap_or(0.0);
         let mut keep = s
@@ -412,11 +435,10 @@ impl Mps {
         self.expectation_one_site(i, &n_op)
     }
 
-    /// Draw one bitstring sample (bit `i` = Rydberg state of atom `i`).
-    ///
-    /// Uses the exact sequential algorithm: with the center at site 0 the
-    /// remaining tensors are right-canonical, so conditionals are local.
-    pub fn sample<R: Rng>(&mut self, rng: &mut R) -> u64 {
+    /// Canonicalize for sampling: move the center to site 0 and normalize
+    /// it, so every subsequent [`Self::sample_prepared`] call is read-only
+    /// (and therefore safe to run concurrently with per-shot RNG streams).
+    pub fn prepare_sampling(&mut self) {
         self.move_center(0);
         // normalize the center so conditionals are true probabilities
         let nrm = self.norm_sqr().sqrt();
@@ -426,6 +448,20 @@ impl Mps {
                 *v *= inv;
             }
         }
+    }
+
+    /// Draw one bitstring sample (bit `i` = Rydberg state of atom `i`).
+    ///
+    /// Uses the exact sequential algorithm: with the center at site 0 the
+    /// remaining tensors are right-canonical, so conditionals are local.
+    pub fn sample<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        self.prepare_sampling();
+        self.sample_prepared(rng)
+    }
+
+    /// Read-only sampling draw; requires [`Self::prepare_sampling`] first.
+    pub fn sample_prepared<R: Rng>(&self, rng: &mut R) -> u64 {
+        assert_eq!(self.center, 0, "call prepare_sampling before sampling");
         let mut out: u64 = 0;
         // left boundary vector, dim = current dl (starts at 1)
         let mut lvec = vec![Complex64::new(1.0, 0.0)];
@@ -532,17 +568,33 @@ pub fn evolve_sequence_mps(seq: &Sequence, c6: f64, cfg: &MpsConfig) -> Mps {
 
     let drive = DiscretizedDrive::from_sequence(seq, cfg.max_dt);
     let dt = drive.dt;
+    // dt is fixed across the sweep, so each pair's diagonal gate is too:
+    // build them once instead of once per (step, pair).
+    let gates: Vec<(usize, usize, CMatrix)> = pairs
+        .iter()
+        .map(|&(i, j, u)| (i, j, interaction_gate(u, dt)))
+        .collect();
+    // Constant-drive plateaus repeat the same (Ω, δ, φ) for many steps:
+    // cache the last single-site half-step unitary.
+    let mut cached: Option<((f64, f64, f64), CMatrix)> = None;
     for &(omega, delta, phase) in &drive.steps {
-        let u_half = expm_2x2_hermitian(&drive_hamiltonian(omega, delta, phase), dt / 2.0);
+        let key = (omega, delta, phase);
+        let u_half = match &cached {
+            Some((k, u)) if *k == key => u.clone(),
+            _ => {
+                let u = expm_2x2_hermitian(&drive_hamiltonian(omega, delta, phase), dt / 2.0);
+                cached = Some((key, u.clone()));
+                u
+            }
+        };
         for i in 0..n {
             mps.apply_one_site(i, &u_half);
         }
-        for &(i, j, u) in &pairs {
-            let g = interaction_gate(u, dt);
-            if j == i + 1 {
-                mps.apply_two_site(i, &g, true);
+        for (i, j, g) in &gates {
+            if *j == *i + 1 {
+                mps.apply_two_site(*i, g, true);
             } else {
-                mps.apply_gate_ranged(i, j, &g);
+                mps.apply_gate_ranged(*i, *j, g);
             }
         }
         for i in 0..n {

@@ -1,19 +1,29 @@
 //! Exact state-vector emulation of analog programs (EMU-SV stand-in).
 //!
 //! Integrates the time-dependent Schrödinger equation `dψ/dt = −i H(t) ψ`
-//! with a classical RK4 integrator and a matrix-free `H·ψ` kernel. The
-//! diagonal (interaction + detuning) and the bit-flip drive are applied
-//! directly on the amplitudes; rayon parallelizes the kernel over basis
-//! states for larger registers.
+//! with a classical RK4 integrator and a matrix-free `H·ψ` kernel. The hot
+//! path is allocation-free: [`apply_h_into`] writes into a caller-provided
+//! buffer (rayon-split over disjoint mutable output chunks, so amplitudes
+//! are bit-identical for any worker count) and [`SvWorkspace`] keeps the
+//! RK4 scratch vectors alive across every step of a sequence.
 
 use crate::hamiltonian::{DiscretizedDrive, RydbergHamiltonian};
 use hpcqc_program::Sequence;
 use num_complex::Complex64;
 use rayon::prelude::*;
 
-/// Parallelization threshold: below this dimension the rayon overhead
+/// Hard cap of the dense method: `2^26` amplitudes ≈ 1 GiB of state.
+pub const SV_MAX_QUBITS: usize = 26;
+
+/// Parallelization threshold: below this dimension the fork overhead
 /// outweighs the work and the kernel runs sequentially.
 const PAR_DIM_THRESHOLD: usize = 1 << 12;
+
+/// Output-chunk length for the parallel kernel split. Fixed (rather than
+/// derived from the worker count) so the partition is machine-independent.
+const PAR_CHUNK_LEN: usize = 1 << 11;
+
+const ZERO: Complex64 = Complex64::new(0.0, 0.0);
 
 /// A normalized quantum state over `n` qubits.
 #[derive(Debug, Clone)]
@@ -27,7 +37,10 @@ pub struct StateVector {
 impl StateVector {
     /// The all-ground state `|00…0⟩`.
     pub fn ground(n: usize) -> Self {
-        assert!(n <= 26, "state-vector limited to 26 qubits, got {n}");
+        assert!(
+            n <= SV_MAX_QUBITS,
+            "state-vector limited to {SV_MAX_QUBITS} qubits, got {n}"
+        );
         let mut amps = vec![Complex64::new(0.0, 0.0); 1 << n];
         amps[0] = Complex64::new(1.0, 0.0);
         StateVector { n, amps }
@@ -97,11 +110,94 @@ impl StateVector {
     }
 }
 
-/// Matrix-free `H(ω,δ,φ)·ψ`.
+/// One contiguous slice of the `H·ψ` kernel: fills `out` with
+/// `(H ψ)[base..base + out.len()]`.
+///
+/// The off-diagonal sum is split by source-bit value so each basis state
+/// costs `n` complex additions plus two complex multiplies, instead of `n`
+/// complex multiplies.
+#[inline]
+fn apply_h_chunk(
+    h: &RydbergHamiltonian,
+    psi: &[Complex64],
+    omega: f64,
+    delta: f64,
+    phase: f64,
+    base: usize,
+    out: &mut [Complex64],
+) {
+    let half = omega / 2.0;
+    let up = Complex64::from_polar(half, -phase); // ⟨b|H|b with bit i cleared⟩
+    let down = Complex64::from_polar(half, phase);
+    let n = h.n;
+    for (k, slot) in out.iter_mut().enumerate() {
+        let b = base + k;
+        let diag = h.interaction_diag[b] - delta * h.occupation[b] as f64;
+        let p = psi[b];
+        let mut acc = Complex64::new(diag * p.re, diag * p.im);
+        if omega != 0.0 {
+            // s[1]: neighbours reached by clearing a set bit (creation side),
+            // s[0]: neighbours reached by setting a clear bit.
+            let mut s = [ZERO; 2];
+            for i in 0..n {
+                s[(b >> i) & 1] += psi[b ^ (1 << i)];
+            }
+            acc += up * s[1] + down * s[0];
+        }
+        *slot = acc;
+    }
+}
+
+/// Matrix-free `H(ω,δ,φ)·ψ` into a caller-provided buffer.
 ///
 /// Off-diagonal convention: the drive term is
 /// `Ω/2 Σ_i (e^{iφ}|g⟩⟨r|_i + e^{−iφ}|r⟩⟨g|_i)`, so the matrix element that
 /// *creates* an excitation on atom `i` (g→r, bit 0→1) carries `e^{−iφ}`.
+///
+/// Large dimensions are split over disjoint mutable output chunks; every
+/// output element is computed independently, so the result is bit-identical
+/// to [`apply_h_into_serial`] for any worker count.
+pub fn apply_h_into(
+    h: &RydbergHamiltonian,
+    psi: &[Complex64],
+    omega: f64,
+    delta: f64,
+    phase: f64,
+    out: &mut [Complex64],
+) {
+    let dim = psi.len();
+    debug_assert_eq!(dim, h.dim());
+    assert_eq!(
+        out.len(),
+        dim,
+        "output buffer must match the state dimension"
+    );
+    if dim >= PAR_DIM_THRESHOLD {
+        out.par_chunks_mut(PAR_CHUNK_LEN)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                apply_h_chunk(h, psi, omega, delta, phase, ci * PAR_CHUNK_LEN, chunk);
+            });
+    } else {
+        apply_h_chunk(h, psi, omega, delta, phase, 0, out);
+    }
+}
+
+/// Forced-sequential reference for [`apply_h_into`] — used by equivalence
+/// tests and available for debugging parallel-split regressions.
+pub fn apply_h_into_serial(
+    h: &RydbergHamiltonian,
+    psi: &[Complex64],
+    omega: f64,
+    delta: f64,
+    phase: f64,
+    out: &mut [Complex64],
+) {
+    assert_eq!(out.len(), psi.len());
+    apply_h_chunk(h, psi, omega, delta, phase, 0, out);
+}
+
+/// Allocating convenience wrapper around [`apply_h_into`].
 pub fn apply_h(
     h: &RydbergHamiltonian,
     psi: &[Complex64],
@@ -109,41 +205,123 @@ pub fn apply_h(
     delta: f64,
     phase: f64,
 ) -> Vec<Complex64> {
-    let dim = psi.len();
-    debug_assert_eq!(dim, h.dim());
-    let half = omega / 2.0;
-    let up = Complex64::from_polar(half, -phase); // ⟨b|H|b with bit i cleared⟩
-    let down = Complex64::from_polar(half, phase);
+    let mut out = vec![ZERO; psi.len()];
+    apply_h_into(h, psi, omega, delta, phase, &mut out);
+    out
+}
 
-    let kernel = |b: usize| {
-        let mut out =
-            psi[b] * Complex64::new(h.interaction_diag[b] - delta * h.occupation[b] as f64, 0.0);
-        if omega != 0.0 {
-            for i in 0..h.n {
-                let flipped = b ^ (1 << i);
-                // if bit i is set in b, the source state had it clear: creation
-                let coeff = if (b >> i) & 1 == 1 { up } else { down };
-                out += coeff * psi[flipped];
+/// Reusable scratch buffers for the RK4 integrator: the four stage
+/// derivatives plus the stage-input vector. Allocated once per state
+/// dimension and reused across every step of [`evolve_sequence_ws`].
+#[derive(Debug, Clone, Default)]
+pub struct SvWorkspace {
+    k1: Vec<Complex64>,
+    k2: Vec<Complex64>,
+    k3: Vec<Complex64>,
+    k4: Vec<Complex64>,
+    tmp: Vec<Complex64>,
+}
+
+impl SvWorkspace {
+    /// Empty workspace; buffers grow on first use and then persist.
+    pub fn new() -> Self {
+        SvWorkspace::default()
+    }
+
+    fn ensure(&mut self, dim: usize) {
+        for buf in [
+            &mut self.k1,
+            &mut self.k2,
+            &mut self.k3,
+            &mut self.k4,
+            &mut self.tmp,
+        ] {
+            if buf.len() != dim {
+                buf.clear();
+                buf.resize(dim, ZERO);
             }
         }
-        out
-    };
-
-    if dim >= PAR_DIM_THRESHOLD {
-        (0..dim).into_par_iter().map(kernel).collect()
-    } else {
-        (0..dim).map(kernel).collect()
     }
 }
 
-fn axpy(y: &mut [Complex64], a: Complex64, x: &[Complex64]) {
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += a * xi;
+/// `out = psi + c·k`, chunk-parallel for large dimensions (elementwise, so
+/// bit-identical for any worker count).
+fn stage_input_into(psi: &[Complex64], k: &[Complex64], c: Complex64, out: &mut [Complex64]) {
+    let fill = |base: usize, chunk: &mut [Complex64]| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            let b = base + j;
+            *slot = psi[b] + c * k[b];
+        }
+    };
+    if out.len() >= PAR_DIM_THRESHOLD {
+        out.par_chunks_mut(PAR_CHUNK_LEN)
+            .enumerate()
+            .for_each(|(ci, chunk)| fill(ci * PAR_CHUNK_LEN, chunk));
+    } else {
+        fill(0, out);
     }
 }
 
 /// Evolve `state` through one RK4 step of `dt` at fixed drive values
-/// (the drive is piecewise-constant over the step — midpoint sampled).
+/// (the drive is piecewise-constant over the step — midpoint sampled),
+/// reusing the workspace buffers.
+///
+/// The stage derivatives are stored as `K = H·ψ` (without the `−i` of the
+/// Schrödinger right-hand side); the `−i` is folded into the purely
+/// imaginary stage/update coefficients, which removes one full pass over
+/// the state per stage.
+pub fn rk4_step_ws(
+    h: &RydbergHamiltonian,
+    state: &mut StateVector,
+    omega: f64,
+    delta: f64,
+    phase: f64,
+    dt: f64,
+    ws: &mut SvWorkspace,
+) {
+    let dim = state.amps.len();
+    ws.ensure(dim);
+    apply_h_into(h, &state.amps, omega, delta, phase, &mut ws.k1);
+    stage_input_into(
+        &state.amps,
+        &ws.k1,
+        Complex64::new(0.0, -dt / 2.0),
+        &mut ws.tmp,
+    );
+    apply_h_into(h, &ws.tmp, omega, delta, phase, &mut ws.k2);
+    stage_input_into(
+        &state.amps,
+        &ws.k2,
+        Complex64::new(0.0, -dt / 2.0),
+        &mut ws.tmp,
+    );
+    apply_h_into(h, &ws.tmp, omega, delta, phase, &mut ws.k3);
+    stage_input_into(&state.amps, &ws.k3, Complex64::new(0.0, -dt), &mut ws.tmp);
+    apply_h_into(h, &ws.tmp, omega, delta, phase, &mut ws.k4);
+
+    // ψ += (−i dt/6) (K1 + 2 K2 + 2 K3 + K4)
+    let c = Complex64::new(0.0, -dt / 6.0);
+    let (k1, k2, k3, k4) = (&ws.k1, &ws.k2, &ws.k3, &ws.k4);
+    let combine = |base: usize, chunk: &mut [Complex64]| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            let b = base + j;
+            *slot += c * (k1[b] + 2.0 * (k2[b] + k3[b]) + k4[b]);
+        }
+    };
+    if dim >= PAR_DIM_THRESHOLD {
+        state
+            .amps
+            .par_chunks_mut(PAR_CHUNK_LEN)
+            .enumerate()
+            .for_each(|(ci, chunk)| combine(ci * PAR_CHUNK_LEN, chunk));
+    } else {
+        combine(0, &mut state.amps);
+    }
+}
+
+/// One RK4 step with a throwaway workspace — compatibility wrapper for
+/// callers stepping a handful of times; hot loops should hold an
+/// [`SvWorkspace`] and call [`rk4_step_ws`].
 pub fn rk4_step(
     h: &RydbergHamiltonian,
     state: &mut StateVector,
@@ -152,28 +330,8 @@ pub fn rk4_step(
     phase: f64,
     dt: f64,
 ) {
-    let mi = Complex64::new(0.0, -1.0);
-    let f = |psi: &[Complex64]| -> Vec<Complex64> {
-        let mut hp = apply_h(h, psi, omega, delta, phase);
-        for v in &mut hp {
-            *v *= mi;
-        }
-        hp
-    };
-    let k1 = f(&state.amps);
-    let mut tmp = state.amps.clone();
-    axpy(&mut tmp, Complex64::new(dt / 2.0, 0.0), &k1);
-    let k2 = f(&tmp);
-    tmp.copy_from_slice(&state.amps);
-    axpy(&mut tmp, Complex64::new(dt / 2.0, 0.0), &k2);
-    let k3 = f(&tmp);
-    tmp.copy_from_slice(&state.amps);
-    axpy(&mut tmp, Complex64::new(dt, 0.0), &k3);
-    let k4 = f(&tmp);
-    let c = dt / 6.0;
-    for i in 0..state.amps.len() {
-        state.amps[i] += Complex64::new(c, 0.0) * (k1[i] + 2.0 * (k2[i] + k3[i]) + k4[i]);
-    }
+    let mut ws = SvWorkspace::new();
+    rk4_step_ws(h, state, omega, delta, phase, dt, &mut ws);
 }
 
 /// Integrator configuration for the state-vector backend.
@@ -197,19 +355,33 @@ impl Default for SvConfig {
 
 /// Run the full program and return the final state.
 pub fn evolve_sequence(seq: &Sequence, c6: f64, cfg: &SvConfig) -> StateVector {
+    let mut ws = SvWorkspace::new();
+    evolve_sequence_ws(seq, c6, cfg, &mut ws)
+}
+
+/// Run the full program reusing the caller's workspace: the RK4 scratch
+/// buffers stay alive across all steps (and across calls, for hot loops
+/// that evolve many sequences of the same register size).
+pub fn evolve_sequence_ws(
+    seq: &Sequence,
+    c6: f64,
+    cfg: &SvConfig,
+    ws: &mut SvWorkspace,
+) -> StateVector {
     let h = RydbergHamiltonian::new(&seq.register, c6);
     let mut state = StateVector::ground(seq.register.len());
 
     // Choose a step honoring both the user cap and the energy scale of the
-    // strongest drive in the schedule.
+    // strongest drive in the schedule. The coarse probe is reused as the
+    // stepping grid whenever the stability bound does not force a finer one.
     let probe = DiscretizedDrive::from_sequence(seq, cfg.max_dt);
     let (omax, dmax) = probe.max_drive();
     let scale = h.energy_scale(omax, dmax).max(1e-9);
     let dt_bound = (cfg.stability_factor / scale).min(cfg.max_dt);
-    let drive = DiscretizedDrive::from_sequence(seq, dt_bound);
+    let drive = probe.refined(seq, dt_bound);
 
     for &(omega, delta, phase) in &drive.steps {
-        rk4_step(&h, &mut state, omega, delta, phase, drive.dt);
+        rk4_step_ws(&h, &mut state, omega, delta, phase, drive.dt, ws);
     }
     state.renormalize();
     state
@@ -377,5 +549,80 @@ mod tests {
         let a = evolve_sequence(&seq, C6_COEFF, &SvConfig::default());
         let b = evolve_sequence(&seq, C6_COEFF, &SvConfig::default());
         assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    /// Deterministic pseudo-random amplitudes (xorshift64) — keeps the
+    /// kernel-equivalence tests independent of the rand crate's API.
+    fn pseudo_random_amps(dim: usize, mut x: u64) -> Vec<Complex64> {
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..dim).map(|_| Complex64::new(step(), step())).collect()
+    }
+
+    #[test]
+    fn parallel_kernel_matches_serial_bit_for_bit() {
+        // dim 2^13 = 8192 ≥ PAR_DIM_THRESHOLD, so apply_h_into takes the
+        // chunk-split path; amplitudes must equal the forced-serial kernel
+        // exactly (not approximately).
+        let n = 13;
+        let reg = Register::linear(n, 7.0).unwrap();
+        let h = RydbergHamiltonian::new(&reg, C6_COEFF);
+        let psi = pseudo_random_amps(h.dim(), 0x5EED_CAFE);
+        let mut par = vec![ZERO; h.dim()];
+        let mut ser = vec![ZERO; h.dim()];
+        apply_h_into(&h, &psi, 3.2, -1.1, 0.7, &mut par);
+        apply_h_into_serial(&h, &psi, 3.2, -1.1, 0.7, &mut ser);
+        assert!(par.iter().any(|a| a.norm_sqr() > 0.0));
+        assert_eq!(par, ser);
+        // Ω = 0 takes the diagonal-only fast path — same contract.
+        apply_h_into(&h, &psi, 0.0, 2.5, 0.0, &mut par);
+        apply_h_into_serial(&h, &psi, 0.0, 2.5, 0.0, &mut ser);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let mk_seq = |n: usize| {
+            let reg = Register::linear(n, 8.0).unwrap();
+            let mut b = SequenceBuilder::new(reg);
+            b.add_global_pulse(Pulse::constant(0.2, 3.0, 0.5, 0.3).unwrap());
+            b.build().unwrap()
+        };
+        let seq = mk_seq(4);
+        let fresh = evolve_sequence(&seq, C6_COEFF, &SvConfig::default());
+        let mut ws = SvWorkspace::new();
+        let first = evolve_sequence_ws(&seq, C6_COEFF, &SvConfig::default(), &mut ws);
+        let second = evolve_sequence_ws(&seq, C6_COEFF, &SvConfig::default(), &mut ws);
+        assert_eq!(fresh.amps, first.amps, "workspace path diverges");
+        assert_eq!(first.amps, second.amps, "dirty workspace leaks state");
+        // Switching register size resizes the scratch without contamination.
+        let small = mk_seq(3);
+        let with_ws = evolve_sequence_ws(&small, C6_COEFF, &SvConfig::default(), &mut ws);
+        let without = evolve_sequence(&small, C6_COEFF, &SvConfig::default());
+        assert_eq!(with_ws.amps, without.amps);
+    }
+
+    #[test]
+    fn rk4_step_compat_wrapper_matches_workspace_step() {
+        let reg = Register::linear(3, 7.0).unwrap();
+        let h = RydbergHamiltonian::new(&reg, C6_COEFF);
+        let mut a = StateVector::ground(3);
+        let mut b = StateVector::ground(3);
+        let mut ws = SvWorkspace::new();
+        for _ in 0..5 {
+            rk4_step(&h, &mut a, 3.0, 1.0, 0.2, 1e-3);
+            rk4_step_ws(&h, &mut b, 3.0, 1.0, 0.2, 1e-3, &mut ws);
+        }
+        assert_eq!(a.amps, b.amps);
+    }
+
+    #[test]
+    #[should_panic(expected = "26 qubits")]
+    fn ground_rejects_oversized_register() {
+        StateVector::ground(SV_MAX_QUBITS + 1);
     }
 }

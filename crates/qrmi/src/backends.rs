@@ -9,6 +9,7 @@
 //!   queue: tasks stay `Queued` for a configurable number of polls before
 //!   running, modelling the loose-coupling latency of cloud access (§2.2.1).
 
+use crate::instrument::KernelProfile;
 use crate::resource::{
     AcquisitionToken, QrmiError, QuantumResource, ResourceType, TaskId, TaskStatus,
 };
@@ -52,6 +53,7 @@ pub struct LocalEmulatorResource {
     tokens: Mutex<HashSet<String>>,
     counter: AtomicU64,
     seed_counter: AtomicU64,
+    kernel: Mutex<KernelProfile>,
 }
 
 impl LocalEmulatorResource {
@@ -63,7 +65,13 @@ impl LocalEmulatorResource {
             tokens: Mutex::new(HashSet::new()),
             counter: AtomicU64::new(0),
             seed_counter: AtomicU64::new(seed),
+            kernel: Mutex::new(KernelProfile::default()),
         }
+    }
+
+    /// Wall-clock profile of the emulator runs this resource performed.
+    pub fn kernel_profile(&self) -> KernelProfile {
+        *self.kernel.lock()
     }
 }
 
@@ -100,10 +108,12 @@ impl QuantumResource for LocalEmulatorResource {
         }
         let seed = self.seed_counter.fetch_add(1, Ordering::Relaxed);
         let id = new_id("task", &self.counter);
+        let t = std::time::Instant::now();
         let state = match self.emulator.run(ir, seed) {
             Ok(res) => TaskState::Done(res),
             Err(e) => TaskState::Failed(e.to_string()),
         };
+        self.kernel.lock().record(t.elapsed().as_secs_f64());
         self.tasks.lock().tasks.insert(id.clone(), state);
         Ok(TaskId(id))
     }
@@ -146,6 +156,7 @@ impl QuantumResource for LocalEmulatorResource {
         m.insert("vendor".into(), "hpcqc".into());
         m.insert("backend".into(), self.emulator.name().to_string());
         m.insert("coupling".into(), "local".into());
+        self.kernel_profile().to_metadata(&mut m);
         m
     }
 }
@@ -284,6 +295,7 @@ pub struct CloudResource {
     tokens: Mutex<HashSet<String>>,
     counter: AtomicU64,
     seed_counter: AtomicU64,
+    kernel: Mutex<KernelProfile>,
 }
 
 impl CloudResource {
@@ -301,11 +313,18 @@ impl CloudResource {
             tokens: Mutex::new(HashSet::new()),
             counter: AtomicU64::new(0),
             seed_counter: AtomicU64::new(seed),
+            kernel: Mutex::new(KernelProfile::default()),
         }
     }
 
+    /// Wall-clock profile of the engine executions this resource performed.
+    pub fn kernel_profile(&self) -> KernelProfile {
+        *self.kernel.lock()
+    }
+
     fn execute(&self, ir: &ProgramIr, seed: u64) -> TaskState {
-        match &self.engine {
+        let t = std::time::Instant::now();
+        let state = match &self.engine {
             CloudEngine::Emulator(e) => match e.run(ir, seed) {
                 Ok(r) => TaskState::Done(r),
                 Err(e) => TaskState::Failed(e.to_string()),
@@ -314,7 +333,9 @@ impl CloudResource {
                 Ok(ex) => TaskState::Done(ex.result),
                 Err(e) => TaskState::Failed(e.to_string()),
             },
-        }
+        };
+        self.kernel.lock().record(t.elapsed().as_secs_f64());
+        state
     }
 }
 
@@ -425,6 +446,7 @@ impl QuantumResource for CloudResource {
                 CloudEngine::Qpu(q) => q.name().to_string(),
             },
         );
+        self.kernel_profile().to_metadata(&mut m);
         m
     }
 }
@@ -583,6 +605,41 @@ mod tests {
         );
         let tok2 = r2.acquire().unwrap();
         assert!(run_to_completion(&r2, &tok2, &task_ir, 3).is_err());
+    }
+
+    #[test]
+    fn local_emulator_profiles_kernel_wall_clock() {
+        let r = local();
+        let tok = r.acquire().unwrap();
+        assert_eq!(r.kernel_profile().runs, 0);
+        r.task_start(&tok, &ir(10)).unwrap();
+        r.task_start(&tok, &ir(10)).unwrap();
+        let prof = r.kernel_profile();
+        assert_eq!(prof.runs, 2);
+        assert!(prof.total_secs > 0.0 && prof.total_secs.is_finite());
+        assert!(prof.last_secs <= prof.total_secs);
+        assert!((prof.mean_secs() - prof.total_secs / 2.0).abs() < 1e-12);
+        let m = r.metadata();
+        assert_eq!(m["kernel_runs"], "2");
+        assert!(m["kernel_secs_total"].parse::<f64>().unwrap() > 0.0);
+        assert!(m["kernel_secs_mean"].parse::<f64>().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn cloud_emulator_profiles_kernel_wall_clock() {
+        let r = CloudResource::new(
+            "emu-cloud",
+            CloudEngine::Emulator(Arc::new(SvBackend::default())),
+            1,
+            1,
+        );
+        let tok = r.acquire().unwrap();
+        let res = run_to_completion(&r, &tok, &ir(10), 10).unwrap();
+        assert_eq!(res.shots, 10);
+        let prof = r.kernel_profile();
+        assert_eq!(prof.runs, 1, "queued polls must not count as kernel runs");
+        assert!(prof.total_secs > 0.0);
+        assert_eq!(r.metadata()["kernel_runs"], "1");
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! Minimal offline stand-in for the `rayon` crate.
 //!
-//! `par_iter`/`into_par_iter` degrade to ordinary sequential iterators. The
-//! emulator kernels that call them stay correct (and deterministic); they
-//! simply don't get data parallelism until the real crate is restored. The
-//! adapter traits mirror rayon's so call sites compile unchanged.
+//! The iterator adapters (`par_iter`/`into_par_iter`) degrade to ordinary
+//! sequential iterators: call sites compile unchanged and stay correct, they
+//! just don't fan out. The slice splitter [`slice::ParallelSliceMut`] is the
+//! exception — `par_chunks_mut` runs chunks on real scoped OS threads when
+//! the machine has more than one core (`RAYON_NUM_THREADS` overrides the
+//! count), because the emulator hot kernels are written against it. Chunk
+//! boundaries depend only on the requested chunk size and every chunk is
+//! computed independently, so results are bit-identical for any thread
+//! count, including the sequential fallback.
 
 pub mod prelude {
+    pub use crate::slice::ParallelSliceMut;
+
     /// `into_par_iter()` on any owned collection — sequential here.
     pub trait IntoParallelIterator: IntoIterator + Sized {
         fn into_par_iter(self) -> Self::IntoIter {
@@ -45,6 +52,103 @@ pub mod prelude {
     }
 }
 
+pub mod slice {
+    /// Worker count: `RAYON_NUM_THREADS` when set and positive, otherwise
+    /// the machine's available parallelism.
+    fn thread_count() -> usize {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    }
+
+    /// Run `f(chunk_index, chunk)` over `chunk_size`-sized chunks of
+    /// `slice`, on scoped threads when both the machine and the chunk count
+    /// allow it. The chunk partition (and therefore every floating-point
+    /// operation inside `f`) is independent of the worker count.
+    fn run_chunked<T, F>(slice: &mut [T], chunk_size: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_size > 0, "par_chunks_mut requires chunk_size > 0");
+        let nchunks = slice.len().div_ceil(chunk_size).max(1);
+        let workers = thread_count().min(nchunks);
+        if workers <= 1 {
+            for (i, chunk) in slice.chunks_mut(chunk_size).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        let mut chunks: Vec<(usize, &mut [T])> = slice.chunks_mut(chunk_size).enumerate().collect();
+        let per_worker = chunks.len().div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|s| {
+            for group in chunks.chunks_mut(per_worker) {
+                s.spawn(move || {
+                    for (i, chunk) in group.iter_mut() {
+                        f(*i, chunk);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Mutable chunked parallel iteration over slices — the subset of
+    /// rayon's `ParallelSliceMut` the emulator kernels use.
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut {
+                slice: self,
+                chunk_size,
+            }
+        }
+    }
+
+    /// Pending chunked traversal returned by `par_chunks_mut`.
+    pub struct ParChunksMut<'a, T: Send> {
+        slice: &'a mut [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Pair each chunk with its index, rayon-style.
+        pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+            ParChunksMutEnumerate(self)
+        }
+
+        /// Apply `f` to every chunk.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut [T]) + Sync,
+        {
+            run_chunked(self.slice, self.chunk_size, |_i, c| f(c));
+        }
+    }
+
+    /// Enumerated variant of [`ParChunksMut`].
+    pub struct ParChunksMutEnumerate<'a, T: Send>(ParChunksMut<'a, T>);
+
+    impl<T: Send> ParChunksMutEnumerate<'_, T> {
+        /// Apply `f((index, chunk))` to every chunk.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &mut [T])) + Sync,
+        {
+            run_chunked(self.0.slice, self.0.chunk_size, |i, c| f((i, c)));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -59,5 +163,46 @@ mod tests {
         let mut m = vec![1, 2];
         m.par_iter_mut().for_each(|x| *x += 1);
         assert_eq!(m, vec![2, 3]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_element_once() {
+        let mut v = vec![0u64; 1000];
+        v.par_chunks_mut(64).enumerate().for_each(|(ci, chunk)| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x += (ci * 64 + k) as u64 + 1;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 + 1, "element {i} written exactly once");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_without_enumerate() {
+        let mut v = vec![1i32; 257]; // non-divisible tail chunk
+        v.par_chunks_mut(32).for_each(|chunk| {
+            for x in chunk.iter_mut() {
+                *x *= 3;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 3));
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_serial_chunks_mut() {
+        let mut par = (0..10_000u64).collect::<Vec<_>>();
+        let mut ser = par.clone();
+        par.par_chunks_mut(100).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = x.wrapping_mul(ci as u64 + 7);
+            }
+        });
+        for (ci, chunk) in ser.chunks_mut(100).enumerate() {
+            for x in chunk.iter_mut() {
+                *x = x.wrapping_mul(ci as u64 + 7);
+            }
+        }
+        assert_eq!(par, ser);
     }
 }
