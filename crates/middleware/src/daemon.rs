@@ -55,6 +55,12 @@ pub struct DaemonConfig {
     /// Requeues allowed after an execution failure before a task is declared
     /// poisoned and failed permanently.
     pub max_task_retries: u32,
+    /// Tasks claimed from the queue per lock acquisition by [`pump`] and the
+    /// background dispatcher (≥ 1). Batched draining keeps submitters off
+    /// the queue lock while the dispatcher works through a burst.
+    ///
+    /// [`pump`]: MiddlewareService::pump
+    pub pump_batch: usize,
     /// Write-ahead journal tuning (only consulted when the daemon was opened
     /// with [`MiddlewareService::recover`]).
     pub journal: JournalConfig,
@@ -73,6 +79,7 @@ impl Default for DaemonConfig {
             cache_dev_results: true,
             session_ttl_secs: 0.0,
             max_task_retries: 2,
+            pump_batch: 16,
             journal: JournalConfig::default(),
         }
     }
@@ -355,6 +362,23 @@ impl MiddlewareService {
         }
     }
 
+    /// Flush and fsync any buffered group-commit batch. Called by the
+    /// background dispatcher when the queue runs dry, so a lull in traffic
+    /// never strands an unflushed batch; no-op when nothing is pending.
+    pub fn sync_journal(&self) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        let mut j = journal.lock();
+        if j.pending_records() == 0 && j.unsynced_appends() == 0 {
+            return;
+        }
+        match j.sync() {
+            Ok(()) => self.durability_metrics().fsync(),
+            Err(e) => self.journal_error("fsync", &e),
+        }
+    }
+
     /// A journal IO failure: counted, never fatal — the daemon keeps serving
     /// from memory (durability degrades, availability does not).
     fn journal_error(&self, op: &str, e: &std::io::Error) {
@@ -371,8 +395,17 @@ impl MiddlewareService {
     /// folded back into the queued set: a snapshot never claims work that
     /// has not produced a durable result.
     fn snapshot_state(&self) -> DaemonSnapshot {
-        let mut queued: Vec<QuantumTask> = self.queue.lock().iter().cloned().collect();
-        queued.extend(self.inflight.lock().values().cloned());
+        // queue and inflight are read under both locks (queue → inflight,
+        // the order every mover uses) so a task migrating between them is
+        // seen exactly once, never zero or twice
+        let mut queued: Vec<QuantumTask> = {
+            let q = self.queue.lock();
+            let inflight = self.inflight.lock();
+            q.iter()
+                .cloned()
+                .chain(inflight.values().cloned())
+                .collect()
+        };
         queued.sort_by(|a, b| {
             a.submitted_at
                 .total_cmp(&b.submitted_at)
@@ -803,7 +836,7 @@ impl MiddlewareService {
             session: token.to_string(),
             user: session.user.clone(),
             class: session.class,
-            ir,
+            ir: Arc::new(ir),
             hint,
             submitted_at: now,
         };
@@ -861,21 +894,19 @@ impl MiddlewareService {
 
     /// Task status.
     pub fn task_status(&self, id: u64) -> Result<DaemonTaskStatus, DaemonError> {
-        let records = self.records.lock();
-        match records.get(&id) {
+        // clone the record and release the records lock before touching the
+        // queue: status polls must never hold two daemon locks at once
+        let rec = self.records.lock().get(&id).cloned();
+        match rec {
             None => Err(DaemonError::UnknownTask(id)),
             Some(TaskRecord::Queued) => {
-                let q = self.queue.lock();
-                let pos = q
-                    .snapshot(self.now())
-                    .iter()
-                    .position(|t| t.id == id)
-                    .unwrap_or(0);
+                let now = self.now();
+                let pos = self.queue.lock().position(id, now).unwrap_or(0);
                 Ok(DaemonTaskStatus::Queued { position: pos })
             }
             Some(TaskRecord::Running) => Ok(DaemonTaskStatus::Running),
             Some(TaskRecord::Completed(_)) => Ok(DaemonTaskStatus::Completed),
-            Some(TaskRecord::Failed(m)) => Ok(DaemonTaskStatus::Failed(m.clone())),
+            Some(TaskRecord::Failed(m)) => Ok(DaemonTaskStatus::Failed(m)),
             Some(TaskRecord::Cancelled) => Ok(DaemonTaskStatus::Cancelled),
         }
     }
@@ -901,13 +932,12 @@ impl MiddlewareService {
     /// consume quota forever.
     pub fn cancel(&self, token: &str, id: u64) -> Result<(), DaemonError> {
         self.validate_session(token)?;
-        let removed = {
+        // queue decision first, then release the queue lock before touching
+        // records/sessions/journal: cancellation never holds two locks
+        {
             let mut q = self.queue.lock();
             match q.remove(id) {
-                Some(t) if t.session == token => {
-                    self.records.lock().insert(id, TaskRecord::Cancelled);
-                    true
-                }
+                Some(t) if t.session == token => {}
                 Some(t) => {
                     // not the owner: put it back untouched
                     q.push(t)
@@ -917,18 +947,18 @@ impl MiddlewareService {
                     ));
                 }
                 None => {
+                    drop(q);
                     return match self.records.lock().get(&id) {
                         None => Err(DaemonError::UnknownTask(id)),
                         Some(_) => Err(DaemonError::Queue("task is not queued".into())),
-                    }
+                    };
                 }
             }
-        };
-        if removed {
-            // refund the quota slot the task was holding
-            let _ = self.sessions.release_task(token);
-            self.journal_append(&JournalRecord::TaskCancelled { id });
         }
+        self.records.lock().insert(id, TaskRecord::Cancelled);
+        // refund the quota slot the task was holding
+        let _ = self.sessions.release_task(token);
+        self.journal_append(&JournalRecord::TaskCancelled { id });
         Ok(())
     }
 
@@ -947,11 +977,57 @@ impl MiddlewareService {
         }
         let _dispatch = self.dispatch_lock.lock();
         self.gc_sessions();
-        let now = self.now();
-        let task = self.queue.lock().pop(now)?;
+        let task = self.take_batch(1).pop()?;
         let id = task.id;
+        self.execute(task);
+        Some(id)
+    }
+
+    /// Claim up to `max` dispatchable tasks and run them back-to-back under
+    /// one `dispatch_lock` hold. The claim is a single queue+inflight lock
+    /// acquisition, so a burst of submitters is never serialized against a
+    /// per-task relock loop. Returns the number of tasks that made progress
+    /// (0 = queue empty or daemon stopped).
+    ///
+    /// Dispatch order is fixed at claim time: a task submitted while the
+    /// batch executes waits for the next batch, the same window a single
+    /// in-flight task already imposes. Preemption still works — sliced
+    /// tasks re-check [`TaskQueue::should_preempt`] after every chunk.
+    pub fn pump_batch(&self, max: usize) -> usize {
+        if self.health() == DaemonHealth::Stopped {
+            return 0;
+        }
+        let _dispatch = self.dispatch_lock.lock();
+        self.gc_sessions();
+        let batch = self.take_batch(max.max(1));
+        let n = batch.len();
+        for task in batch {
+            self.execute(task);
+        }
+        n
+    }
+
+    /// Pop up to `max` tasks in dispatch order, moving each into `inflight`
+    /// under one queue+inflight lock hold (queue → inflight, the global
+    /// order) so no snapshot can observe a task in neither or both places.
+    fn take_batch(&self, max: usize) -> Vec<QuantumTask> {
+        let now = self.now();
+        let mut q = self.queue.lock();
+        let mut inflight = self.inflight.lock();
+        let batch = q.pop_batch(now, max);
+        for t in &batch {
+            inflight.insert(t.id, t.clone());
+        }
+        batch
+    }
+
+    /// Run one claimed task (already moved to `inflight`) to the end of its
+    /// batch or slice and record the outcome. No queue/records lock is held
+    /// across the QPU execution itself.
+    fn execute(&self, task: QuantumTask) {
+        let id = task.id;
+        let now = self.now();
         self.records.lock().insert(id, TaskRecord::Running);
-        self.inflight.lock().insert(id, task.clone());
 
         // first time this task runs: record wait
         let first_run = self
@@ -1010,11 +1086,15 @@ impl MiddlewareService {
                     // and dispatch will avoid the resource that just failed
                     self.records.lock().insert(id, TaskRecord::Queued);
                     self.fault_metrics().requeue(task.class.as_str());
-                    self.queue
-                        .lock()
-                        .push(task)
-                        .expect("requeue of failed task");
-                    self.inflight.lock().remove(&id);
+                    {
+                        // queue + inflight together: the task must never be
+                        // visible in both (snapshot would duplicate it) or
+                        // neither (snapshot would lose it)
+                        let mut q = self.queue.lock();
+                        let mut inflight = self.inflight.lock();
+                        q.push(task).expect("requeue of failed task");
+                        inflight.remove(&id);
+                    }
                     self.journal_append(&JournalRecord::TaskAttemptFailed {
                         id,
                         resource: res.resource_id().to_string(),
@@ -1058,23 +1138,29 @@ impl MiddlewareService {
                     });
                 } else {
                     drop(progress);
-                    // preemption check: requeue the remainder
-                    let mut q = self.queue.lock();
-                    let preempted = q.should_preempt(task.class, self.now());
+                    let class = task.class;
+                    self.records.lock().insert(id, TaskRecord::Queued);
+                    // preemption check + requeue of the remainder, with
+                    // queue + inflight held together so the migrating task
+                    // is always visible exactly once
+                    let preempted = {
+                        let mut q = self.queue.lock();
+                        let mut inflight = self.inflight.lock();
+                        let preempted = q.should_preempt(class, self.now());
+                        // whether preempted or just sliced, the remainder
+                        // queues again; priority order decides who goes next.
+                        q.push(task).expect("requeue of running task");
+                        inflight.remove(&id);
+                        preempted
+                    };
                     if preempted {
                         self.registry.counter_add(
                             "daemon_preemptions_total",
                             "Shot-boundary preemptions",
-                            labels(&[("class", task.class.as_str())]),
+                            labels(&[("class", class.as_str())]),
                             1.0,
                         );
                     }
-                    // whether preempted or just sliced, the remainder queues
-                    // again; priority order decides who goes next.
-                    self.records.lock().insert(id, TaskRecord::Queued);
-                    q.push(task).expect("requeue of running task");
-                    drop(q);
-                    self.inflight.lock().remove(&id);
                     // shot-level progress is deliberately not journaled: a
                     // crash between slices replays the whole task
                     // (at-least-once per shot, exactly-once per task)
@@ -1082,7 +1168,6 @@ impl MiddlewareService {
                 }
             }
         }
-        Some(id)
     }
 
     /// The resource a dispatch of task `id` should use: the primary unless
@@ -1115,7 +1200,7 @@ impl MiddlewareService {
     ) -> Result<SampleResult, String> {
         let ir = ProgramIr {
             shots,
-            ..task.ir.clone()
+            ..(*task.ir).clone()
         };
         let lease = res.acquire().map_err(|e| e.to_string())?;
         let seed = self.seed.fetch_add(1, Ordering::Relaxed);
@@ -1138,11 +1223,16 @@ impl MiddlewareService {
         out
     }
 
-    /// Drain the queue completely. Returns the number of dispatches.
+    /// Drain the queue completely in batches of `pump_batch`. Returns the
+    /// number of dispatches.
     pub fn pump(&self) -> usize {
         let mut n = 0;
-        while self.pump_once().is_some() {
-            n += 1;
+        loop {
+            let k = self.pump_batch(self.cfg.pump_batch);
+            if k == 0 {
+                break;
+            }
+            n += k;
             assert!(n < 1_000_000, "runaway pump loop");
         }
         n
@@ -1157,7 +1247,10 @@ impl MiddlewareService {
         let stop2 = Arc::clone(&stop);
         let thread = std::thread::spawn(move || {
             while !stop2.load(std::sync::atomic::Ordering::SeqCst) {
-                if svc.pump_once().is_none() {
+                if svc.pump_batch(svc.cfg.pump_batch) == 0 {
+                    // quiescent: make any buffered group-commit batch
+                    // durable before going to sleep
+                    svc.sync_journal();
                     std::thread::sleep(idle_poll);
                 }
             }
@@ -2039,6 +2132,45 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_of_large_queue_shares_program_bodies() {
+        // snapshotting must clone task *handles*, never program bodies: the
+        // snapshot's `ir` and the queued task's `ir` are the same allocation
+        let d = emu_daemon(DaemonConfig {
+            validate_on_submit: false,
+            analyze_on_submit: false,
+            ..DaemonConfig::default()
+        });
+        let tok = d.open_session("bulk", PriorityClass::Production).unwrap();
+        for _ in 0..1000 {
+            d.submit(&tok, ir(10), PatternHint::None).unwrap();
+        }
+        let snap = d.snapshot_state();
+        assert_eq!(snap.queued.len(), 1000);
+        let q = d.queue.lock();
+        for t in &snap.queued {
+            let queued = q.get(t.id).expect("task still queued");
+            assert!(
+                Arc::ptr_eq(&queued.ir, &t.ir),
+                "snapshot deep-copied the program body of task {}",
+                t.id
+            );
+        }
+    }
+
+    #[test]
+    fn pump_batch_drains_in_dispatch_order() {
+        let d = emu_daemon(DaemonConfig::default());
+        let dev = d.open_session("dev", PriorityClass::Development).unwrap();
+        let prod = d.open_session("prod", PriorityClass::Production).unwrap();
+        let dev_id = d.submit(&dev, ir(5), PatternHint::None).unwrap();
+        let prod_id = d.submit(&prod, ir(5), PatternHint::None).unwrap();
+        assert_eq!(d.pump_batch(16), 2, "one batch claims both tasks");
+        assert_eq!(d.task_status(prod_id).unwrap(), DaemonTaskStatus::Completed);
+        assert_eq!(d.task_status(dev_id).unwrap(), DaemonTaskStatus::Completed);
+        assert_eq!(d.pump_batch(16), 0, "queue drained");
+    }
+
+    #[test]
     fn merge_results_accumulates_counts() {
         let a = SampleResult::from_shots(2, &[0b00, 0b01], "x");
         let b = SampleResult::from_shots(2, &[0b01, 0b11], "x");
@@ -2253,7 +2385,7 @@ mod tests {
             session: tok.clone(),
             user: "alice".into(),
             class: PriorityClass::Production,
-            ir: ir(10),
+            ir: Arc::new(ir(10)),
             hint: PatternHint::None,
             submitted_at: 1.0,
         };

@@ -108,15 +108,34 @@ pub struct DaemonSnapshot {
 }
 
 /// Journal tuning knobs (part of `DaemonConfig`).
+///
+/// Never persisted — lives only in `DaemonConfig` — so new knobs need no
+/// on-disk compatibility story.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct JournalConfig {
-    /// fsync the WAL every N appends (1 = every record, the default; 0
-    /// disables periodic fsync — data still reaches the OS on every append,
-    /// and drain/compaction always fsync).
+    /// fsync the WAL every N appended records (1 = every record, the
+    /// default; 0 disables periodic fsync — drain/compaction still fsync).
+    /// Also an **upper bound on the group-commit batch**: a batch never
+    /// buffers more records than `fsync_every`, so the durability window
+    /// promised by this knob is preserved under group commit.
     pub fsync_every: usize,
     /// Compact (snapshot + truncate the WAL) every N appended records
     /// (0 = never compact automatically).
     pub compact_every: usize,
+    /// Group commit: buffer appends and flush them as one `write` + one
+    /// `fsync` once this many records are batched. 1 (the default) is
+    /// write-through — every append hits the OS immediately, exactly the
+    /// pre-group-commit behavior. Capped by `fsync_every` when that is
+    /// non-zero.
+    pub group_max_records: usize,
+    /// Group commit: flush early once the batch holds this many framed
+    /// bytes (0 = no byte trigger).
+    pub group_max_bytes: usize,
+    /// Group commit: flush early once the oldest buffered record has waited
+    /// this long, checked on the next append (0 = no age trigger). The
+    /// dispatcher's idle path also flushes, so a quiescent daemon never
+    /// strands a batch.
+    pub group_max_age_secs: f64,
 }
 
 impl Default for JournalConfig {
@@ -124,6 +143,9 @@ impl Default for JournalConfig {
         JournalConfig {
             fsync_every: 1,
             compact_every: 256,
+            group_max_records: 1,
+            group_max_bytes: 0,
+            group_max_age_secs: 0.0,
         }
     }
 }
@@ -131,8 +153,10 @@ impl Default for JournalConfig {
 /// What one append did (for metrics).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppendOutcome {
-    /// Framed bytes written (header + payload).
+    /// Framed bytes appended (header + payload).
     pub bytes: usize,
+    /// Whether this append flushed the group-commit buffer to the OS.
+    pub flushed: bool,
     /// Whether this append fsynced the WAL.
     pub fsynced: bool,
 }
@@ -163,10 +187,22 @@ fn fnv1a32(bytes: &[u8]) -> u32 {
 }
 
 /// Append-only writer over a journal directory.
+///
+/// Appends go through a group-commit buffer: frames accumulate in memory
+/// and are flushed to the WAL as one `write` (and at most one `fsync`) per
+/// batch, per the [`JournalConfig`] policy. Dropping the journal does
+/// **not** flush — an unflushed batch dies with the process, exactly like a
+/// crash; callers that need durability call [`Journal::sync`] (drain and
+/// compaction do).
 pub struct Journal {
     dir: PathBuf,
     wal: File,
     cfg: JournalConfig,
+    /// Framed records awaiting the next batch flush.
+    buf: Vec<u8>,
+    buf_records: usize,
+    /// When the oldest buffered record was appended (age trigger).
+    buf_oldest: Option<std::time::Instant>,
     appends_since_fsync: usize,
     records_since_compact: usize,
 }
@@ -185,6 +221,9 @@ impl Journal {
             dir,
             wal,
             cfg,
+            buf: Vec::new(),
+            buf_records: 0,
+            buf_oldest: None,
             appends_since_fsync: 0,
             records_since_compact: 0,
         })
@@ -195,31 +234,81 @@ impl Journal {
         &self.dir
     }
 
-    /// Append one record. The frame always reaches the OS before this
-    /// returns; it reaches the platter per the fsync policy.
+    /// Records buffered but not yet flushed to the OS.
+    pub fn pending_records(&self) -> usize {
+        self.buf_records
+    }
+
+    /// Appends since the last fsync (buffered or flushed-but-unsynced).
+    pub fn unsynced_appends(&self) -> usize {
+        self.appends_since_fsync
+    }
+
+    /// Effective batch size: `group_max_records`, capped by `fsync_every`
+    /// (which bounds how many appends may be un-durable), never below 1.
+    fn batch_limit(&self) -> usize {
+        let g = self.cfg.group_max_records.max(1);
+        if self.cfg.fsync_every > 0 {
+            g.min(self.cfg.fsync_every)
+        } else {
+            g
+        }
+    }
+
+    /// Append one record into the group-commit buffer; flush (one `write`,
+    /// at most one `fsync`) when the batch policy says so.
     pub fn append(&mut self, rec: &JournalRecord) -> std::io::Result<AppendOutcome> {
         let payload = serde_json::to_string(rec)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
             .into_bytes();
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.wal.write_all(&frame)?;
+        let frame_len = payload.len() + 8;
+        self.buf.reserve(frame_len);
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
+        self.buf.extend_from_slice(&payload);
+        self.buf_records += 1;
+        self.buf_oldest.get_or_insert_with(std::time::Instant::now);
         self.appends_since_fsync += 1;
         self.records_since_compact += 1;
-        let fsynced = self.cfg.fsync_every > 0 && self.appends_since_fsync >= self.cfg.fsync_every;
-        if fsynced {
-            self.sync()?;
+
+        let age_tripped = self.cfg.group_max_age_secs > 0.0
+            && self
+                .buf_oldest
+                .is_some_and(|t| t.elapsed().as_secs_f64() >= self.cfg.group_max_age_secs);
+        let must_flush = self.buf_records >= self.batch_limit()
+            || (self.cfg.group_max_bytes > 0 && self.buf.len() >= self.cfg.group_max_bytes)
+            || age_tripped;
+        let mut fsynced = false;
+        if must_flush {
+            self.flush()?;
+            fsynced = self.cfg.fsync_every > 0 && self.appends_since_fsync >= self.cfg.fsync_every;
+            if fsynced {
+                self.wal.sync_data()?;
+                self.appends_since_fsync = 0;
+            }
         }
         Ok(AppendOutcome {
-            bytes: frame.len(),
+            bytes: frame_len,
+            flushed: must_flush,
             fsynced,
         })
     }
 
-    /// Force the WAL to stable storage.
+    /// Write the buffered batch to the WAL (no fsync).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if !self.buf.is_empty() {
+            self.wal.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        self.buf_records = 0;
+        self.buf_oldest = None;
+        Ok(())
+    }
+
+    /// Flush any buffered batch and force the WAL to stable storage.
     pub fn sync(&mut self) -> std::io::Result<()> {
+        self.flush()?;
         self.wal.sync_data()?;
         self.appends_since_fsync = 0;
         Ok(())
@@ -244,7 +333,11 @@ impl Journal {
             f.sync_data()?;
         }
         std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
-        // the snapshot covers everything the WAL said: start a fresh log
+        // the snapshot covers everything the WAL (and the unflushed batch)
+        // said: drop the buffer and start a fresh log
+        self.buf.clear();
+        self.buf_records = 0;
+        self.buf_oldest = None;
         self.wal = OpenOptions::new()
             .create(true)
             .write(true)
@@ -375,6 +468,7 @@ mod tests {
             JournalConfig {
                 fsync_every: 1,
                 compact_every: 3,
+                ..JournalConfig::default()
             },
         )
         .unwrap();
@@ -395,6 +489,142 @@ mod tests {
         let replay = Journal::load(&dir).unwrap();
         assert_eq!(replay.snapshot.as_ref().unwrap().next_task, 42);
         assert_eq!(replay.records, vec![rec(99)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_buffers_until_batch_full() {
+        let dir = tmpdir("group");
+        let cfg = JournalConfig {
+            fsync_every: 4,
+            compact_every: 0,
+            group_max_records: 4,
+            ..JournalConfig::default()
+        };
+        let mut j = Journal::open(&dir, cfg).unwrap();
+        for i in 0..3 {
+            let out = j.append(&rec(i)).unwrap();
+            assert!(!out.flushed, "batch not full yet");
+            assert!(!out.fsynced);
+        }
+        assert_eq!(j.pending_records(), 3);
+        // an unflushed batch is invisible to a reader (= lost on crash)
+        assert_eq!(Journal::load(&dir).unwrap().records.len(), 0);
+        let out = j.append(&rec(3)).unwrap();
+        assert!(out.flushed, "4th record fills the batch");
+        assert!(out.fsynced, "one fsync covers the whole batch");
+        assert_eq!(j.pending_records(), 0);
+        let replay = Journal::load(&dir).unwrap();
+        assert_eq!(replay.records.len(), 4);
+        assert_eq!(replay.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_every_caps_the_batch() {
+        let dir = tmpdir("group-cap");
+        let cfg = JournalConfig {
+            fsync_every: 2,
+            compact_every: 0,
+            group_max_records: 100,
+            ..JournalConfig::default()
+        };
+        let mut j = Journal::open(&dir, cfg).unwrap();
+        assert!(!j.append(&rec(0)).unwrap().flushed);
+        let out = j.append(&rec(1)).unwrap();
+        assert!(out.flushed, "fsync_every bounds the batch at 2");
+        assert!(out.fsynced);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_trigger_flushes_early() {
+        let dir = tmpdir("group-bytes");
+        let cfg = JournalConfig {
+            fsync_every: 0,
+            compact_every: 0,
+            group_max_records: 1000,
+            group_max_bytes: 1, // any record exceeds this
+            ..JournalConfig::default()
+        };
+        let mut j = Journal::open(&dir, cfg).unwrap();
+        let out = j.append(&rec(0)).unwrap();
+        assert!(out.flushed);
+        assert!(!out.fsynced, "fsync_every=0 never fsyncs on append");
+        assert_eq!(Journal::load(&dir).unwrap().records.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_flushes_pending_batch() {
+        let dir = tmpdir("group-sync");
+        let cfg = JournalConfig {
+            fsync_every: 0,
+            compact_every: 0,
+            group_max_records: 8,
+            ..JournalConfig::default()
+        };
+        let mut j = Journal::open(&dir, cfg).unwrap();
+        j.append(&rec(0)).unwrap();
+        j.append(&rec(1)).unwrap();
+        assert_eq!(j.pending_records(), 2);
+        j.sync().unwrap();
+        assert_eq!(j.pending_records(), 0);
+        assert_eq!(Journal::load(&dir).unwrap().records.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_without_flush_loses_only_the_batch() {
+        let dir = tmpdir("group-drop");
+        let cfg = JournalConfig {
+            fsync_every: 0,
+            compact_every: 0,
+            group_max_records: 3,
+            ..JournalConfig::default()
+        };
+        let mut j = Journal::open(&dir, cfg).unwrap();
+        for i in 0..3 {
+            j.append(&rec(i)).unwrap(); // full batch → flushed
+        }
+        j.append(&rec(3)).unwrap(); // buffered
+        j.append(&rec(4)).unwrap(); // buffered
+        drop(j); // simulated crash: Drop must NOT flush
+        let replay = Journal::load(&dir).unwrap();
+        assert_eq!(
+            replay.records.len(),
+            3,
+            "only the flushed prefix survives a crash"
+        );
+        assert_eq!(replay.truncated_bytes, 0, "no torn frame, a clean prefix");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_the_unflushed_batch() {
+        let dir = tmpdir("group-compact");
+        let cfg = JournalConfig {
+            fsync_every: 0,
+            compact_every: 0,
+            group_max_records: 10,
+            ..JournalConfig::default()
+        };
+        let mut j = Journal::open(&dir, cfg).unwrap();
+        j.append(&rec(0)).unwrap();
+        j.append(&rec(1)).unwrap();
+        let snap = DaemonSnapshot {
+            next_task: 7,
+            ..DaemonSnapshot::default()
+        };
+        j.compact(&snap).unwrap();
+        assert_eq!(j.pending_records(), 0);
+        let replay = Journal::load(&dir).unwrap();
+        assert_eq!(replay.snapshot.as_ref().unwrap().next_task, 7);
+        assert!(
+            replay.records.is_empty(),
+            "snapshot supersedes the buffered records; they must not \
+             resurface in the fresh WAL"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -8,14 +8,43 @@
 //! test/development tasks run shot-by-shot and can be preempted at any shot
 //! boundary ("non-production jobs configured with a low number of shots and
 //! without batched submission").
+//!
+//! # Data structure
+//!
+//! The queue is indexed for control-plane throughput: a `HashMap` of task
+//! bodies by id, per-`(class, user)` arrival buckets (`BTreeSet` ordered by
+//! `(submitted_at, id)`), and a per-session counter. This makes `push`,
+//! `remove`/cancel, and the session-quota check O(1)/O(log n), and
+//! `peek`/`pop` O(buckets · log n) instead of a full O(n) rank scan.
+//!
+//! The indexed structure is *bit-for-bit* equivalent to a linear scan with
+//! the effective-rank comparator (kept in [`reference`] as the oracle for
+//! the differential property test). The argument: within one
+//! `(class, user)` bucket, every task shares the same class rank and — at
+//! any fixed `now` — the same fair-share penalty, so the effective rank is
+//! monotone non-decreasing in `submitted_at` (aging subtracts
+//! `(now − submitted_at)/aging_secs`, and the `max(0.0)` floor preserves
+//! monotonicity; a NaN/±∞ `now` collapses every member of the bucket to the
+//! *same* rank, which is even easier). Ties in rank break by
+//! `(submitted_at, id)` — exactly the bucket's ordering key — so the bucket
+//! head dominates its whole bucket under the full dispatch comparator, and
+//! the global minimum is the best of the bucket heads. The comparator is a
+//! strict total order (ids are unique), so the answer is independent of
+//! scan order and identical to the reference implementation's `min_by`.
 
 use crate::fairshare::FairshareTracker;
 use crate::session::PriorityClass;
 use hpcqc_program::ProgramIr;
 use hpcqc_scheduler::PatternHint;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// A quantum task queued at the daemon.
+///
+/// The program body lives behind an [`Arc`]: queue snapshots, journal
+/// compaction, and dispatch clone task *handles*, never program bodies.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QuantumTask {
     /// Daemon-assigned id.
@@ -26,8 +55,8 @@ pub struct QuantumTask {
     pub user: String,
     /// Priority class inherited from the session.
     pub class: PriorityClass,
-    /// The program.
-    pub ir: ProgramIr,
+    /// The program (shared, immutable — clones are pointer copies).
+    pub ir: Arc<ProgramIr>,
     /// Table-1 pattern hint forwarded from the batch layer (§3.5).
     pub hint: PatternHint,
     /// Submission time on the daemon clock (s).
@@ -100,10 +129,58 @@ impl std::fmt::Display for QueueError {
 
 impl std::error::Error for QueueError {}
 
-/// Priority queue with aging and optional fair-share.
+/// Arrival order within one `(class, user)` bucket: `(submitted_at, id)`
+/// under `total_cmp` — the same tie-break the dispatch comparator uses.
+/// `Eq`/`Ord` are consistent by construction (`eq` delegates to `cmp`), and
+/// `submitted_at` is always finite here (push/restore validate it).
+#[derive(Debug, Clone, Copy)]
+struct ArrivalKey {
+    at: f64,
+    id: u64,
+}
+
+impl PartialEq for ArrivalKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for ArrivalKey {}
+impl PartialOrd for ArrivalKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ArrivalKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at.total_cmp(&other.at).then(self.id.cmp(&other.id))
+    }
+}
+
+/// Memoized dispatch order for [`TaskQueue::position`]: valid for one
+/// (mutation epoch, `now`) pair, so a burst of status polls between
+/// mutations costs one sort total instead of one sort each.
+#[derive(Debug, Default)]
+struct OrderCache {
+    epoch: u64,
+    now_bits: u64,
+    position: HashMap<u64, usize>,
+}
+
+/// Priority queue with aging and optional fair-share, indexed by task id,
+/// session, and `(class, user)` arrival bucket.
 #[derive(Default)]
 pub struct TaskQueue {
-    tasks: Vec<QuantumTask>,
+    /// Task bodies by id.
+    tasks: HashMap<u64, QuantumTask>,
+    /// Arrival-ordered ids per `(class, user)`.
+    buckets: HashMap<(PriorityClass, String), BTreeSet<ArrivalKey>>,
+    /// Queued-task count per session (quota checks are O(1)).
+    session_counts: HashMap<String, usize>,
+    /// Queued production tasks (preemption checks are O(1)).
+    production_count: usize,
+    /// Bumped on every mutation; invalidates `order_cache`.
+    epoch: u64,
+    order_cache: OrderCache,
     cfg: QueueConfig,
     fairshare: Option<FairshareTracker>,
 }
@@ -111,9 +188,8 @@ pub struct TaskQueue {
 impl TaskQueue {
     pub fn new(cfg: QueueConfig) -> Self {
         TaskQueue {
-            tasks: Vec::new(),
             cfg,
-            fairshare: None,
+            ..TaskQueue::default()
         }
     }
 
@@ -134,25 +210,57 @@ impl TaskQueue {
         self.tasks.is_empty()
     }
 
+    /// Queued tasks held by `session` (the quota counter).
+    pub fn session_depth(&self, session: &str) -> usize {
+        self.session_counts.get(session).copied().unwrap_or(0)
+    }
+
+    fn insert_indexed(&mut self, task: QuantumTask) {
+        self.epoch += 1;
+        let key = ArrivalKey {
+            at: task.submitted_at,
+            id: task.id,
+        };
+        self.buckets
+            .entry((task.class, task.user.clone()))
+            .or_default()
+            .insert(key);
+        *self.session_counts.entry(task.session.clone()).or_insert(0) += 1;
+        if task.class == PriorityClass::Production {
+            self.production_count += 1;
+        }
+        self.tasks.insert(task.id, task);
+    }
+
     /// Queue a task.
     pub fn push(&mut self, task: QuantumTask) -> Result<(), QueueError> {
         if !task.submitted_at.is_finite() {
             return Err(QueueError::NonFiniteTimestamp { id: task.id });
         }
-        if self.cfg.max_tasks_per_session > 0 {
-            let held = self
-                .tasks
-                .iter()
-                .filter(|t| t.session == task.session)
-                .count();
-            if held >= self.cfg.max_tasks_per_session {
-                return Err(QueueError::SessionQuotaExceeded {
-                    session: task.session.clone(),
-                    limit: self.cfg.max_tasks_per_session,
-                });
-            }
+        if self.cfg.max_tasks_per_session > 0
+            && self.session_depth(&task.session) >= self.cfg.max_tasks_per_session
+        {
+            return Err(QueueError::SessionQuotaExceeded {
+                session: task.session.clone(),
+                limit: self.cfg.max_tasks_per_session,
+            });
         }
-        self.tasks.push(task);
+        self.insert_indexed(task);
+        Ok(())
+    }
+
+    /// Reinsert a task restored from the journal. The per-session quota is
+    /// *not* re-checked — the task was admitted before the restart and
+    /// dropping it now would violate durability — but timestamps are still
+    /// validated so a corrupt journal cannot poison the dispatch order.
+    pub fn restore(&mut self, task: QuantumTask) -> Result<(), QueueError> {
+        if !task.submitted_at.is_finite() {
+            return Err(QueueError::NonFiniteTimestamp { id: task.id });
+        }
+        if self.tasks.contains_key(&task.id) {
+            return Ok(()); // duplicate snapshot/WAL entry: already queued
+        }
+        self.insert_indexed(task);
         Ok(())
     }
 
@@ -174,54 +282,116 @@ impl TaskQueue {
         rank
     }
 
+    /// The full dispatch comparator: effective rank, then submission time,
+    /// then id. A strict total order — ids are unique and `total_cmp` never
+    /// panics, so even a corrupted clock merely mis-orders, never crashes.
+    fn dispatch_cmp(&self, a: &QuantumTask, b: &QuantumTask, now: f64) -> Ordering {
+        self.effective_rank(a, now)
+            .total_cmp(&self.effective_rank(b, now))
+            .then(a.submitted_at.total_cmp(&b.submitted_at))
+            .then(a.id.cmp(&b.id))
+    }
+
+    /// Id of the task that would dispatch next at `now`: the best bucket
+    /// head (each head dominates its bucket — see the module docs).
+    fn best_id(&self, now: f64) -> Option<u64> {
+        let mut best: Option<&QuantumTask> = None;
+        for heads in self.buckets.values() {
+            let Some(head) = heads.first() else { continue };
+            let t = &self.tasks[&head.id];
+            best = match best {
+                None => Some(t),
+                Some(b) if self.dispatch_cmp(t, b, now) == Ordering::Less => Some(t),
+                keep => keep,
+            };
+        }
+        best.map(|t| t.id)
+    }
+
     /// Peek the task that would run next at time `now`.
-    ///
-    /// Ordering uses `total_cmp`: even if a non-finite rank slips through
-    /// (a corrupted clock, an overflowing fair-share penalty), ordering is
-    /// merely wrong for that task — it can never panic the daemon.
     pub fn peek(&self, now: f64) -> Option<&QuantumTask> {
-        self.tasks.iter().min_by(|a, b| {
-            self.effective_rank(a, now)
-                .total_cmp(&self.effective_rank(b, now))
-                .then(a.submitted_at.total_cmp(&b.submitted_at))
-                .then(a.id.cmp(&b.id))
-        })
+        self.best_id(now).map(|id| &self.tasks[&id])
+    }
+
+    /// Remove a task from every index and return its body.
+    fn take(&mut self, id: u64) -> Option<QuantumTask> {
+        let task = self.tasks.remove(&id)?;
+        self.epoch += 1;
+        let bucket_key = (task.class, task.user.clone());
+        if let Some(heads) = self.buckets.get_mut(&bucket_key) {
+            heads.remove(&ArrivalKey {
+                at: task.submitted_at,
+                id,
+            });
+            if heads.is_empty() {
+                self.buckets.remove(&bucket_key);
+            }
+        }
+        if let Some(n) = self.session_counts.get_mut(&task.session) {
+            *n -= 1;
+            if *n == 0 {
+                self.session_counts.remove(&task.session);
+            }
+        }
+        if task.class == PriorityClass::Production {
+            self.production_count -= 1;
+        }
+        Some(task)
     }
 
     /// Pop the next task at time `now`.
     pub fn pop(&mut self, now: f64) -> Option<QuantumTask> {
-        let id = self.peek(now)?.id;
-        let idx = self
-            .tasks
-            .iter()
-            .position(|t| t.id == id)
-            .expect("peeked task exists");
-        Some(self.tasks.remove(idx))
+        let id = self.best_id(now)?;
+        self.take(id)
     }
 
-    /// Remove a specific queued task (cancellation).
-    pub fn remove(&mut self, id: u64) -> Option<QuantumTask> {
-        let idx = self.tasks.iter().position(|t| t.id == id)?;
-        Some(self.tasks.remove(idx))
-    }
-
-    /// Queued tasks in insertion order (not dispatch order) — used by
-    /// snapshot compaction, which persists the raw set and lets replay
-    /// recompute priorities.
-    pub fn iter(&self) -> impl Iterator<Item = &QuantumTask> {
-        self.tasks.iter()
-    }
-
-    /// Reinsert a task restored from the journal. The per-session quota is
-    /// *not* re-checked — the task was admitted before the restart and
-    /// dropping it now would violate durability — but timestamps are still
-    /// validated so a corrupt journal cannot poison the dispatch order.
-    pub fn restore(&mut self, task: QuantumTask) -> Result<(), QueueError> {
-        if !task.submitted_at.is_finite() {
-            return Err(QueueError::NonFiniteTimestamp { id: task.id });
+    /// Pop up to `max` tasks in dispatch order at `now` — the batched drain
+    /// used by the dispatcher so one lock acquisition can claim a whole
+    /// batch instead of relocking per task.
+    pub fn pop_batch(&mut self, now: f64, max: usize) -> Vec<QuantumTask> {
+        let mut out = Vec::with_capacity(max.min(self.len()));
+        while out.len() < max {
+            match self.pop(now) {
+                Some(t) => out.push(t),
+                None => break,
+            }
         }
-        self.tasks.push(task);
-        Ok(())
+        out
+    }
+
+    /// Remove a specific queued task (cancellation). O(log n).
+    pub fn remove(&mut self, id: u64) -> Option<QuantumTask> {
+        self.take(id)
+    }
+
+    /// A queued task by id (O(1)).
+    pub fn get(&self, id: u64) -> Option<&QuantumTask> {
+        self.tasks.get(&id)
+    }
+
+    /// Dispatch-order position of task `id` at `now`, or `None` when it is
+    /// not queued. The order is memoized per (mutation, `now`) pair, so a
+    /// burst of status polls costs one O(n log n) sort, not one each.
+    pub fn position(&mut self, id: u64, now: f64) -> Option<usize> {
+        if !self.tasks.contains_key(&id) {
+            return None;
+        }
+        if self.order_cache.epoch != self.epoch || self.order_cache.now_bits != now.to_bits() {
+            let mut order: Vec<u64> = self.tasks.keys().copied().collect();
+            order.sort_by(|&a, &b| self.dispatch_cmp(&self.tasks[&a], &self.tasks[&b], now));
+            self.order_cache = OrderCache {
+                epoch: self.epoch,
+                now_bits: now.to_bits(),
+                position: order.into_iter().zip(0usize..).collect(),
+            };
+        }
+        self.order_cache.position.get(&id).copied()
+    }
+
+    /// Queued tasks in **arbitrary** order — used by snapshot compaction,
+    /// which persists the raw set and sorts by arrival itself.
+    pub fn iter(&self) -> impl Iterator<Item = &QuantumTask> {
+        self.tasks.values()
     }
 
     /// Does the queue hold a production task that should preempt a running
@@ -229,27 +399,137 @@ impl TaskQueue {
     /// and the running class is lower (the paper's initial implementation:
     /// only production preempts).
     ///
-    /// The whole queue is scanned, not just the dispatch head: aging can
-    /// float an old development task to the head while a production task
-    /// waits behind it, and that production task must still preempt.
+    /// The production count covers the whole queue, not just the dispatch
+    /// head: aging can float an old development task to the head while a
+    /// production task waits behind it, and that production task must still
+    /// preempt.
     pub fn should_preempt(&self, running: PriorityClass, _now: f64) -> bool {
-        running != PriorityClass::Production
-            && self
-                .tasks
-                .iter()
-                .any(|t| t.class == PriorityClass::Production)
+        running != PriorityClass::Production && self.production_count > 0
     }
 
     /// Snapshot of queued tasks in dispatch order at `now`.
     pub fn snapshot(&self, now: f64) -> Vec<&QuantumTask> {
-        let mut v: Vec<&QuantumTask> = self.tasks.iter().collect();
-        v.sort_by(|a, b| {
-            self.effective_rank(a, now)
-                .total_cmp(&self.effective_rank(b, now))
-                .then(a.submitted_at.total_cmp(&b.submitted_at))
-                .then(a.id.cmp(&b.id))
-        });
+        let mut v: Vec<&QuantumTask> = self.tasks.values().collect();
+        v.sort_by(|a, b| self.dispatch_cmp(a, b, now));
         v
+    }
+}
+
+/// The original linear-scan queue, kept verbatim as the semantic oracle for
+/// the differential property test (`tests/properties.rs`): the indexed
+/// [`TaskQueue`] must produce identical pop order, quota errors, and
+/// fair-share demotions over arbitrary interleavings and clocks.
+pub mod reference {
+    use super::{FairshareTracker, PriorityClass, QuantumTask, QueueConfig, QueueError};
+
+    /// Linear-scan priority queue with aging and optional fair-share.
+    #[derive(Default)]
+    pub struct ReferenceTaskQueue {
+        tasks: Vec<QuantumTask>,
+        cfg: QueueConfig,
+        fairshare: Option<FairshareTracker>,
+    }
+
+    impl ReferenceTaskQueue {
+        pub fn new(cfg: QueueConfig) -> Self {
+            ReferenceTaskQueue {
+                tasks: Vec::new(),
+                cfg,
+                fairshare: None,
+            }
+        }
+
+        pub fn with_fairshare(mut self, tracker: FairshareTracker) -> Self {
+            self.fairshare = Some(tracker);
+            self
+        }
+
+        pub fn len(&self) -> usize {
+            self.tasks.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.tasks.is_empty()
+        }
+
+        pub fn push(&mut self, task: QuantumTask) -> Result<(), QueueError> {
+            if !task.submitted_at.is_finite() {
+                return Err(QueueError::NonFiniteTimestamp { id: task.id });
+            }
+            if self.cfg.max_tasks_per_session > 0 {
+                let held = self
+                    .tasks
+                    .iter()
+                    .filter(|t| t.session == task.session)
+                    .count();
+                if held >= self.cfg.max_tasks_per_session {
+                    return Err(QueueError::SessionQuotaExceeded {
+                        session: task.session.clone(),
+                        limit: self.cfg.max_tasks_per_session,
+                    });
+                }
+            }
+            self.tasks.push(task);
+            Ok(())
+        }
+
+        fn effective_rank(&self, t: &QuantumTask, now: f64) -> f64 {
+            let mut rank = t.class.rank() as f64;
+            if self.cfg.aging_secs > 0.0 {
+                let aged = (now - t.submitted_at) / self.cfg.aging_secs;
+                rank = (rank - aged).max(0.0);
+            }
+            if let Some(f) = &self.fairshare {
+                if self.cfg.fairshare_weight > 0.0 {
+                    rank += self.cfg.fairshare_weight
+                        * f.normalized_usage(&t.user, self.cfg.fairshare_scale_secs, now);
+                }
+            }
+            rank
+        }
+
+        pub fn peek(&self, now: f64) -> Option<&QuantumTask> {
+            self.tasks.iter().min_by(|a, b| {
+                self.effective_rank(a, now)
+                    .total_cmp(&self.effective_rank(b, now))
+                    .then(a.submitted_at.total_cmp(&b.submitted_at))
+                    .then(a.id.cmp(&b.id))
+            })
+        }
+
+        pub fn pop(&mut self, now: f64) -> Option<QuantumTask> {
+            let id = self.peek(now)?.id;
+            let idx = self
+                .tasks
+                .iter()
+                .position(|t| t.id == id)
+                .expect("peeked task exists");
+            Some(self.tasks.remove(idx))
+        }
+
+        pub fn remove(&mut self, id: u64) -> Option<QuantumTask> {
+            let idx = self.tasks.iter().position(|t| t.id == id)?;
+            Some(self.tasks.remove(idx))
+        }
+
+        pub fn should_preempt(&self, running: PriorityClass, _now: f64) -> bool {
+            running != PriorityClass::Production
+                && self
+                    .tasks
+                    .iter()
+                    .any(|t| t.class == PriorityClass::Production)
+        }
+
+        pub fn snapshot(&self, now: f64) -> Vec<&QuantumTask> {
+            let mut v: Vec<&QuantumTask> = self.tasks.iter().collect();
+            v.sort_by(|a, b| {
+                self.effective_rank(a, now)
+                    .total_cmp(&self.effective_rank(b, now))
+                    .then(a.submitted_at.total_cmp(&b.submitted_at))
+                    .then(a.id.cmp(&b.id))
+            });
+            v
+        }
     }
 }
 
@@ -258,11 +538,11 @@ mod tests {
     use super::*;
     use hpcqc_program::{Pulse, Register, SequenceBuilder};
 
-    fn ir() -> ProgramIr {
+    fn ir() -> Arc<ProgramIr> {
         let reg = Register::linear(2, 6.0).unwrap();
         let mut b = SequenceBuilder::new(reg);
         b.add_global_pulse(Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
-        ProgramIr::new(b.build().unwrap(), 100, "test")
+        Arc::new(ProgramIr::new(b.build().unwrap(), 100, "test"))
     }
 
     fn task(id: u64, class: PriorityClass, at: f64) -> QuantumTask {
@@ -349,6 +629,27 @@ mod tests {
     }
 
     #[test]
+    fn quota_slot_freed_by_pop_and_remove() {
+        let cfg = QueueConfig {
+            max_tasks_per_session: 1,
+            ..QueueConfig::default()
+        };
+        let mut q = TaskQueue::new(cfg);
+        let mut a = task(1, PriorityClass::Test, 0.0);
+        let mut b = task(2, PriorityClass::Test, 1.0);
+        a.session = "s".into();
+        b.session = "s".into();
+        q.push(a.clone()).unwrap();
+        assert!(q.push(b.clone()).is_err());
+        assert_eq!(q.session_depth("s"), 1);
+        q.remove(1).unwrap();
+        assert_eq!(q.session_depth("s"), 0);
+        q.push(b).unwrap();
+        q.pop(2.0).unwrap();
+        q.push(a).unwrap();
+    }
+
+    #[test]
     fn remove_cancels_queued_task() {
         let mut q = TaskQueue::new(QueueConfig::default());
         q.push(task(1, PriorityClass::Test, 0.0)).unwrap();
@@ -420,6 +721,7 @@ mod tests {
         for now in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
             assert!(q.peek(now).is_some());
             assert_eq!(q.snapshot(now).len(), 2);
+            assert!(q.position(1, now).is_some());
         }
         assert!(q.pop(f64::NAN).is_some());
     }
@@ -439,5 +741,56 @@ mod tests {
         q.push(task(3, PriorityClass::Test, 0.0)).unwrap();
         let snap: Vec<u64> = q.snapshot(1.0).iter().map(|t| t.id).collect();
         assert_eq!(snap, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn position_tracks_dispatch_order_and_mutations() {
+        let mut q = TaskQueue::new(QueueConfig::default());
+        q.push(task(1, PriorityClass::Development, 0.0)).unwrap();
+        q.push(task(2, PriorityClass::Production, 0.0)).unwrap();
+        q.push(task(3, PriorityClass::Test, 0.0)).unwrap();
+        assert_eq!(q.position(2, 1.0), Some(0));
+        assert_eq!(q.position(3, 1.0), Some(1));
+        assert_eq!(q.position(1, 1.0), Some(2));
+        assert_eq!(q.position(99, 1.0), None);
+        // cached order is invalidated by a mutation
+        q.remove(2).unwrap();
+        assert_eq!(q.position(3, 1.0), Some(0));
+        assert_eq!(q.position(1, 1.0), Some(1));
+        assert_eq!(q.position(2, 1.0), None);
+    }
+
+    #[test]
+    fn pop_batch_matches_sequential_pops() {
+        let mut a = TaskQueue::new(QueueConfig::default());
+        let mut b = TaskQueue::new(QueueConfig::default());
+        for (i, class) in [
+            PriorityClass::Development,
+            PriorityClass::Production,
+            PriorityClass::Test,
+            PriorityClass::Production,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            a.push(task(i as u64, class, i as f64)).unwrap();
+            b.push(task(i as u64, class, i as f64)).unwrap();
+        }
+        let batch: Vec<u64> = a.pop_batch(10.0, 3).into_iter().map(|t| t.id).collect();
+        let seq: Vec<u64> = (0..3).map(|_| b.pop(10.0).unwrap().id).collect();
+        assert_eq!(batch, seq);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.pop_batch(10.0, 5).len(), 1, "drains the remainder");
+        assert!(a.pop_batch(10.0, 5).is_empty());
+    }
+
+    #[test]
+    fn restore_is_idempotent_per_id() {
+        let mut q = TaskQueue::new(QueueConfig::default());
+        let t = task(7, PriorityClass::Test, 1.0);
+        q.restore(t.clone()).unwrap();
+        q.restore(t).unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.session_depth("sess-7"), 1, "no double count");
     }
 }

@@ -2,20 +2,22 @@
 //! ordering invariants, and exact conservation laws in the co-simulation.
 
 use hpcqc_middleware::http::parse_request;
+use hpcqc_middleware::taskqueue::reference::ReferenceTaskQueue;
 use hpcqc_middleware::{
-    AdmissionPolicy, Cosim, CosimConfig, HybridJob, Phase, PriorityClass, QpuPolicy, QuantumTask,
-    QueueConfig, TaskQueue,
+    AdmissionPolicy, Cosim, CosimConfig, FairshareTracker, HybridJob, Phase, PriorityClass,
+    QpuPolicy, QuantumTask, QueueConfig, TaskQueue,
 };
 use hpcqc_program::{ProgramIr, Pulse, Register, SequenceBuilder};
 use hpcqc_scheduler::PatternHint;
 use proptest::prelude::*;
 use std::io::Cursor;
+use std::sync::Arc;
 
-fn dummy_ir() -> ProgramIr {
+fn dummy_ir() -> Arc<ProgramIr> {
     let reg = Register::linear(2, 6.0).unwrap();
     let mut b = SequenceBuilder::new(reg);
     b.add_global_pulse(Pulse::constant(0.1, 1.0, 0.0, 0.0).unwrap());
-    ProgramIr::new(b.build().unwrap(), 1, "prop")
+    Arc::new(ProgramIr::new(b.build().unwrap(), 1, "prop"))
 }
 
 fn arb_class() -> impl Strategy<Value = PriorityClass> {
@@ -23,6 +25,88 @@ fn arb_class() -> impl Strategy<Value = PriorityClass> {
         Just(PriorityClass::Production),
         Just(PriorityClass::Test),
         Just(PriorityClass::Development),
+    ]
+}
+
+/// One step of the differential queue test.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    Push {
+        class: PriorityClass,
+        session: u8,
+        user: u8,
+        at: f64,
+    },
+    Pop {
+        now: f64,
+    },
+    Cancel {
+        pick: u8,
+    },
+    Charge {
+        user: u8,
+        secs: f64,
+        now: f64,
+    },
+}
+
+/// Submission timestamps: mostly plausible, sometimes non-finite (which
+/// both queues must reject identically at push). The finite arm is repeated
+/// for weight — the shim's `prop_oneof!` is an unweighted union.
+fn arb_stamp() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        0.0f64..1e6,
+        0.0f64..1e6,
+        0.0f64..1e6,
+        0.0f64..1e6,
+        0.0f64..1e6,
+        0.0f64..1e6,
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ]
+}
+
+/// Clock values for ordering queries, including corrupted ones.
+fn arb_now() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e3f64..1e7,
+        -1e3f64..1e7,
+        -1e3f64..1e7,
+        -1e3f64..1e7,
+        -1e3f64..1e7,
+        -1e3f64..1e7,
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ]
+}
+
+fn arb_push_op() -> impl Strategy<Value = QueueOp> {
+    (arb_class(), 0u8..4, 0u8..3, arb_stamp()).prop_map(|(class, session, user, at)| {
+        QueueOp::Push {
+            class,
+            session,
+            user,
+            at,
+        }
+    })
+}
+
+fn arb_queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        arb_push_op(),
+        arb_push_op(),
+        arb_push_op(),
+        arb_push_op(),
+        arb_now().prop_map(|now| QueueOp::Pop { now }),
+        arb_now().prop_map(|now| QueueOp::Pop { now }),
+        any::<u8>().prop_map(|pick| QueueOp::Cancel { pick }),
+        (0u8..3, 0.1f64..100.0, 0.0f64..1e6).prop_map(|(user, secs, now)| QueueOp::Charge {
+            user,
+            secs,
+            now
+        }),
     ]
 }
 
@@ -153,6 +237,104 @@ proptest! {
             popped += 1;
         }
         prop_assert_eq!(popped, admitted, "every admitted task pops exactly once");
+    }
+
+    #[test]
+    fn indexed_queue_matches_reference_oracle(
+        ops in proptest::collection::vec(arb_queue_op(), 1..60),
+        quota in 0usize..4,
+        aging in prop_oneof![Just(0.0f64), Just(50.0), Just(3600.0)],
+        weight in prop_oneof![Just(0.0f64), Just(0.9)],
+        check_now in arb_now(),
+    ) {
+        // Differential test: the indexed queue must be *bit-for-bit*
+        // equivalent to the legacy linear-scan implementation — identical
+        // pop order, quota errors, fair-share demotions, and preemption
+        // answers over arbitrary interleavings and clocks (incl. NaN/±inf).
+        let cfg = QueueConfig {
+            aging_secs: aging,
+            max_tasks_per_session: quota,
+            fairshare_weight: weight,
+            fairshare_scale_secs: 10.0,
+        };
+        // one shared tracker: both queues see the exact same usage state
+        let tracker = FairshareTracker::new(100.0);
+        let mut indexed = TaskQueue::new(cfg).with_fairshare(tracker.clone());
+        let mut oracle = ReferenceTaskQueue::new(cfg).with_fairshare(tracker.clone());
+        let ir = dummy_ir();
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                QueueOp::Push { class, session, user, at } => {
+                    let t = QuantumTask {
+                        id: next_id,
+                        session: format!("s{session}"),
+                        user: format!("u{user}"),
+                        class,
+                        ir: ir.clone(),
+                        hint: PatternHint::None,
+                        submitted_at: at,
+                    };
+                    next_id += 1;
+                    let a = indexed.push(t.clone());
+                    let b = oracle.push(t);
+                    prop_assert_eq!(&a, &b, "push admission/error parity");
+                    if a.is_ok() {
+                        live.push(next_id - 1);
+                    }
+                }
+                QueueOp::Pop { now } => {
+                    let a = indexed.pop(now).map(|t| t.id);
+                    let b = oracle.pop(now).map(|t| t.id);
+                    prop_assert_eq!(a, b, "pop order parity");
+                    if let Some(id) = a {
+                        live.retain(|&x| x != id);
+                    }
+                }
+                QueueOp::Cancel { pick } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live[pick as usize % live.len()];
+                    let a = indexed.remove(id).map(|t| t.id);
+                    let b = oracle.remove(id).map(|t| t.id);
+                    prop_assert_eq!(a, b, "cancel parity");
+                    live.retain(|&x| x != id);
+                }
+                QueueOp::Charge { user, secs, now } => {
+                    tracker.charge(&format!("u{user}"), secs, now);
+                }
+            }
+            prop_assert_eq!(indexed.len(), oracle.len());
+            prop_assert_eq!(
+                indexed.peek(check_now).map(|t| t.id),
+                oracle.peek(check_now).map(|t| t.id),
+                "peek parity after each op"
+            );
+            for class in [
+                PriorityClass::Production,
+                PriorityClass::Test,
+                PriorityClass::Development,
+            ] {
+                prop_assert_eq!(
+                    indexed.should_preempt(class, check_now),
+                    oracle.should_preempt(class, check_now),
+                    "preemption parity"
+                );
+            }
+        }
+        let a: Vec<u64> = indexed.snapshot(check_now).iter().map(|t| t.id).collect();
+        let b: Vec<u64> = oracle.snapshot(check_now).iter().map(|t| t.id).collect();
+        prop_assert_eq!(a, b, "snapshot (dispatch-order) parity");
+        loop {
+            let x = indexed.pop(check_now).map(|t| t.id);
+            let y = oracle.pop(check_now).map(|t| t.id);
+            prop_assert_eq!(x, y, "full-drain parity");
+            if x.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -232,6 +232,176 @@ fn torn_wal_tail_is_discarded_not_fatal() {
     assert_eq!(d2.task_status(next).unwrap(), DaemonTaskStatus::Completed);
 }
 
+/// Journal tuning for the group-commit chaos tests: batches large enough
+/// that nothing reaches the disk until `sync_journal` (or a crash) decides.
+fn batched_cfg() -> DaemonConfig {
+    let mut cfg = DaemonConfig::default();
+    cfg.journal.fsync_every = 64;
+    cfg.journal.group_max_records = 64;
+    cfg.journal.compact_every = 0;
+    cfg
+}
+
+/// Kill the daemon with records still sitting in the group-commit buffer:
+/// everything acknowledged by `sync_journal` must survive bit-for-bit, the
+/// lost set must be exactly the unsynced suffix, and the recovered daemon
+/// must neither re-run durable work nor remember the lost idempotency keys.
+#[test]
+fn batched_wal_crash_loses_at_most_the_unsynced_suffix() {
+    let dir = chaos_dir("batched-suffix");
+    let d = MiddlewareService::recover(&dir, resource(), batched_cfg()).unwrap();
+    let tok = d.open_session("ada", PriorityClass::Production).unwrap();
+
+    let mut pre = Vec::new();
+    for i in 0..4 {
+        let id = d
+            .submit_with_key(
+                &tok,
+                program(10 + i as u32),
+                PatternHint::None,
+                key_for(i).as_deref(),
+            )
+            .unwrap();
+        pre.push((i, id));
+    }
+    d.pump_once();
+    d.pump_once();
+    let done_before: HashMap<u64, hpcqc::emulator::SampleResult> = pre
+        .iter()
+        .filter(|&&(_, id)| d.task_status(id).unwrap() == DaemonTaskStatus::Completed)
+        .map(|&(_, id)| (id, d.task_result(id).unwrap()))
+        .collect();
+    assert_eq!(done_before.len(), 2, "two pumps should finish two tasks");
+
+    // the acknowledgement point: everything above becomes durable here
+    d.sync_journal();
+
+    let mut post = Vec::new();
+    for i in 4..8 {
+        let id = d
+            .submit_with_key(
+                &tok,
+                program(10 + i as u32),
+                PatternHint::None,
+                key_for(i).as_deref(),
+            )
+            .unwrap();
+        post.push((i, id));
+    }
+    drop(d); // crash with the post-sync records still buffered
+
+    let d2 = MiddlewareService::recover(&dir, resource(), batched_cfg()).unwrap();
+
+    // every acknowledged submission is known, completed work kept its result
+    for &(i, id) in &pre {
+        let status = d2
+            .task_status(id)
+            .unwrap_or_else(|e| panic!("acknowledged task {i} (id {id}) lost: {e}"));
+        assert_ne!(status, DaemonTaskStatus::Running);
+    }
+    for (&id, before) in &done_before {
+        assert_eq!(d2.task_status(id).unwrap(), DaemonTaskStatus::Completed);
+        assert_eq!(
+            d2.task_result(id).unwrap().counts,
+            before.counts,
+            "synced result must survive the crash bit-for-bit"
+        );
+    }
+    // the unsynced batch never touched the disk, so the whole suffix is gone
+    for &(i, id) in &post {
+        assert!(
+            d2.task_status(id).is_err(),
+            "task {i} (id {id}) sat in the unflushed batch and must not survive"
+        );
+    }
+
+    // drain: only tasks without a durable result execute (no double run)
+    d2.pump();
+    let mut newly_run = 0;
+    for &(_, id) in &pre {
+        match d2.task_status(id).unwrap() {
+            DaemonTaskStatus::Completed => {
+                if !done_before.contains_key(&id) {
+                    newly_run += 1;
+                }
+            }
+            other => panic!("task {id} not terminal after recovery pump: {other:?}"),
+        }
+    }
+    let completed_after = counter_total(&d2.metrics_text(), "daemon_tasks_completed_total");
+    assert_eq!(
+        completed_after as usize, newly_run,
+        "recovered daemon must execute exactly the unsynced-but-known tasks"
+    );
+
+    // lost idempotency keys are really gone: resubmission enqueues fresh work
+    let lost_keyed: Vec<usize> = post
+        .iter()
+        .filter(|&&(i, _)| key_for(i).is_some())
+        .map(|&(i, _)| i)
+        .collect();
+    let depth = d2.queue_depth();
+    let mut fresh = Vec::new();
+    for &i in &lost_keyed {
+        fresh.push(
+            d2.submit_with_key(
+                &tok,
+                program(10 + i as u32),
+                PatternHint::None,
+                key_for(i).as_deref(),
+            )
+            .unwrap(),
+        );
+    }
+    assert_eq!(
+        d2.queue_depth(),
+        depth + lost_keyed.len(),
+        "keys lost with the batch must not dedup"
+    );
+    d2.pump();
+    for id in fresh {
+        assert_eq!(d2.task_status(id).unwrap(), DaemonTaskStatus::Completed);
+    }
+}
+
+/// Crash a submit burst that crosses the auto-flush threshold: the prefix the
+/// batch policy flushed survives, the buffered tail is lost, and the boundary
+/// is clean — no torn middle, no reordering.
+#[test]
+fn auto_flush_boundary_preserves_the_flushed_prefix() {
+    let dir = chaos_dir("batched-boundary");
+    let mut cfg = DaemonConfig::default();
+    cfg.journal.fsync_every = 4;
+    cfg.journal.group_max_records = 4;
+    cfg.journal.compact_every = 0;
+    let d = MiddlewareService::recover(&dir, resource(), cfg.clone()).unwrap();
+    let tok = d.open_session("ada", PriorityClass::Production).unwrap();
+    let ids: Vec<u64> = (0..6)
+        .map(|i| d.submit(&tok, program(10 + i), PatternHint::None).unwrap())
+        .collect();
+    drop(d); // crash mid-burst: some submits crossed the threshold, the tail did not
+
+    let d2 = MiddlewareService::recover(&dir, resource(), cfg).unwrap();
+    let survived: Vec<bool> = ids.iter().map(|&id| d2.task_status(id).is_ok()).collect();
+    let cut = survived.iter().position(|s| !s).unwrap_or(survived.len());
+    assert!(
+        survived[cut..].iter().all(|s| !s),
+        "recovery must lose a contiguous suffix only: {survived:?}"
+    );
+    assert!(
+        cut >= 1,
+        "the auto-flushed prefix must survive: {survived:?}"
+    );
+    assert!(
+        cut < ids.len(),
+        "the tail buffered past the last auto-flush must be lost: {survived:?}"
+    );
+    d2.pump();
+    for &id in &ids[..cut] {
+        assert_eq!(d2.task_status(id).unwrap(), DaemonTaskStatus::Completed);
+    }
+}
+
 #[test]
 fn drain_then_recover_hands_off_cleanly() {
     let dir = chaos_dir("drain-handoff");
