@@ -1,0 +1,174 @@
+//! Scratch profiler for the REST submit path (not part of the benchmark
+//! suite): times each layer of a POST /v1/tasks in isolation.
+
+use hpcqc_emulator::{Emulator, SampleResult};
+use hpcqc_middleware::http::parse_head_bytes;
+use hpcqc_middleware::rest::serve;
+use hpcqc_middleware::{DaemonConfig, MiddlewareService, PriorityClass};
+use hpcqc_program::{DeviceSpec, ProgramIr, Pulse, Register, SequenceBuilder};
+use hpcqc_qrmi::{AcquisitionToken, QrmiError, QuantumResource, ResourceType, TaskId};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct InstantResource {
+    spec: DeviceSpec,
+}
+
+impl QuantumResource for InstantResource {
+    fn resource_id(&self) -> &str {
+        "instant-qpu"
+    }
+    fn resource_type(&self) -> ResourceType {
+        ResourceType::QpuDirect
+    }
+    fn acquire(&self) -> Result<AcquisitionToken, QrmiError> {
+        Ok(AcquisitionToken("p".into()))
+    }
+    fn release(&self, _t: &AcquisitionToken) -> Result<(), QrmiError> {
+        Ok(())
+    }
+    fn target(&self) -> Result<DeviceSpec, QrmiError> {
+        Ok(self.spec.clone())
+    }
+    fn task_start(&self, _t: &AcquisitionToken, ir: &ProgramIr) -> Result<TaskId, QrmiError> {
+        Ok(TaskId(format!("instant:{}", ir.shots)))
+    }
+    fn task_status(&self, _t: &TaskId) -> Result<hpcqc_qrmi::TaskStatus, QrmiError> {
+        Ok(hpcqc_qrmi::TaskStatus::Completed)
+    }
+    fn task_stop(&self, _t: &TaskId) -> Result<(), QrmiError> {
+        Ok(())
+    }
+    fn task_result(&self, task: &TaskId) -> Result<SampleResult, QrmiError> {
+        let shots: usize = task
+            .0
+            .strip_prefix("instant:")
+            .and_then(|s| s.parse().ok())
+            .ok_or(QrmiError::UnknownTask)?;
+        Ok(SampleResult::from_shots(2, &vec![0u64; shots], "instant"))
+    }
+    fn metadata(&self) -> BTreeMap<String, String> {
+        BTreeMap::from([("vendor".into(), "bench".into())])
+    }
+}
+
+fn bench_program(shots: u32) -> ProgramIr {
+    let reg = Register::linear(2, 6.0).expect("valid register");
+    let mut b = SequenceBuilder::new(reg);
+    b.add_global_pulse(Pulse::constant(0.5, 4.0, 0.0, 0.0).expect("valid pulse"));
+    ProgramIr::new(b.build().expect("valid sequence"), shots, "rest-bench")
+}
+
+fn time(label: &str, iters: u32, mut f: impl FnMut()) {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    eprintln!("{label:<44} {us:>10.2} us/iter");
+}
+
+fn main() {
+    let spec = hpcqc_emulator::SvBackend::default().spec();
+    let cfg = DaemonConfig {
+        validate_on_submit: false,
+        analyze_on_submit: false,
+        ..DaemonConfig::default()
+    };
+    let svc = Arc::new(MiddlewareService::new(
+        Arc::new(InstantResource { spec }),
+        cfg,
+    ));
+    let token = svc
+        .open_session("bench", PriorityClass::Production)
+        .unwrap();
+    let ir_json = serde_json::to_string(&bench_program(1)).unwrap();
+    let body = format!(r#"{{"token":"{token}","ir":{ir_json}}}"#);
+    let raw = format!(
+        "POST /v1/tasks HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    eprintln!("body bytes: {}", body.len());
+    let head_end = raw.find("\r\n\r\n").unwrap() + 4;
+
+    const N: u32 = 20_000;
+
+    time("parse_head_bytes", N, || {
+        let _ = parse_head_bytes(&raw.as_bytes()[..head_end]).unwrap();
+    });
+    time("serde_json::from_str::<Value>(body)", N, || {
+        let _: serde_json::Value = serde_json::from_str(&body).unwrap();
+    });
+    time("Value -> ProgramIr deserialize", N, || {
+        let v: serde_json::Value = serde_json::from_str(&ir_json).unwrap();
+        let _: ProgramIr = serde_json::from_value(v).unwrap();
+    });
+    time("svc.submit (in-process)", N, || {
+        let ir = bench_program(1);
+        let _ = svc
+            .submit(&token, ir, hpcqc_scheduler::PatternHint::None)
+            .unwrap();
+    });
+
+    // Full handler through the router, no sockets.
+    let parsed = parse_head_bytes(&raw.as_bytes()[..head_end]).unwrap();
+    let mut req = parsed.request;
+    req.body = body.clone().into_bytes();
+    time("route() (parse body + submit + 201)", N, || {
+        let resp = hpcqc_middleware::rest::route(&svc, &req);
+        assert_eq!(resp.status, 201);
+    });
+
+    let metrics = hpcqc_telemetry::TransportMetrics::new(svc.registry().clone());
+    time("TransportMetrics.request(201)", N, || {
+        metrics.request(201);
+    });
+
+    // Dispatcher drain cost per task: submit a block, then pump it dry.
+    for _ in 0..N {
+        let _ = svc
+            .submit(&token, bench_program(1), hpcqc_scheduler::PatternHint::None)
+            .unwrap();
+    }
+    let t0 = Instant::now();
+    let mut drained = 0usize;
+    while drained < N as usize {
+        let got = svc.pump_batch(64);
+        if got == 0 {
+            break;
+        }
+        drained += got;
+    }
+    let us = t0.elapsed().as_secs_f64() * 1e6 / drained.max(1) as f64;
+    eprintln!(
+        "{:<44} {us:>10.2} us/task ({drained} drained)",
+        "pump_batch dispatch+complete"
+    );
+
+    // Serial closed-loop over a real socket: server+client on this core.
+    let server = serve(Arc::clone(&svc)).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut buf = [0u8; 4096];
+    let t0 = Instant::now();
+    let m: u32 = 20_000;
+    for _ in 0..m {
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut got = 0usize;
+        loop {
+            let n = stream.read(&mut buf[got..]).unwrap();
+            got += n;
+            if buf[..got].windows(4).any(|w| w == b"\r\n\r\n") {
+                break;
+            }
+        }
+    }
+    let us = t0.elapsed().as_secs_f64() * 1e6 / m as f64;
+    eprintln!(
+        "{:<44} {us:>10.2} us/iter ({:.0}/s serial)",
+        "socket round trip (closed loop, 1 conn)",
+        1e6 / us
+    );
+}

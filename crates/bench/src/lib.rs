@@ -20,6 +20,15 @@ pub fn mean_sd(xs: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
+/// Nearest-rank percentile: `p` in [0, 1] over an ascending-sorted slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
 /// `mean±sd` with fixed precision.
 pub fn fmt_pm(xs: &[f64], precision: usize) -> String {
     let (m, s) = mean_sd(xs);

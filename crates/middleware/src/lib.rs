@@ -12,7 +12,9 @@
 //!   device spec, chunked execution through QRMI, admin + telemetry surface,
 //! * [`journal`] — write-ahead journal + snapshots giving the daemon durable
 //!   state: crash recovery, idempotent submission, graceful drain,
-//! * [`http`] / [`rest`] — a real HTTP/1.1 REST API over `std::net`,
+//! * [`http`] / [`server`] / [`rest`] — a real HTTP/1.1 REST API served by
+//!   a readiness-driven (epoll) event loop with keep-alive, pipelining and
+//!   connection backpressure,
 //! * [`cosim`] — discrete-event co-simulation of the two-level architecture
 //!   powering the Table-1 / Figure-2 experiments.
 
@@ -22,6 +24,7 @@ pub mod fairshare;
 pub mod http;
 pub mod journal;
 pub mod rest;
+pub mod server;
 pub mod session;
 pub mod taskqueue;
 
@@ -33,7 +36,8 @@ pub use daemon::{
     MiddlewareService,
 };
 pub use fairshare::FairshareTracker;
-pub use http::{http_request, HttpServer, Request, Response};
+pub use http::{http_request, HttpClient, Request, Response};
 pub use journal::{DaemonSnapshot, Journal, JournalConfig, JournalRecord};
+pub use server::{HttpServer, ServerConfig};
 pub use session::{PriorityClass, Session, SessionError, SessionManager};
 pub use taskqueue::{QuantumTask, QueueConfig, QueueError, TaskQueue};

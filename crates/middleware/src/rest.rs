@@ -24,11 +24,13 @@
 //! ```
 
 use crate::daemon::{DaemonError, MiddlewareService};
-use crate::http::{Handler, HttpServer, Request, Response};
+use crate::http::{Handler, Request, Response};
+use crate::server::{HttpServer, ServerConfig};
 use crate::session::PriorityClass;
 use hpcqc_program::ProgramIr;
 use hpcqc_qpu::QpuStatus;
 use hpcqc_scheduler::PatternHint;
+use hpcqc_telemetry::TransportMetrics;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -251,9 +253,31 @@ pub fn serve(svc: Arc<MiddlewareService>) -> std::io::Result<HttpServer> {
 }
 
 /// Serve the daemon over HTTP on a specific localhost port (0 = ephemeral).
+///
+/// Transport telemetry (connection lifecycle, keep-alive reuse,
+/// backpressure, deadline closes) lands in the daemon's own registry, so it
+/// shows up on `GET /metrics` next to the scheduler counters.
 pub fn serve_on(svc: Arc<MiddlewareService>, port: u16) -> std::io::Result<HttpServer> {
+    let cfg = ServerConfig {
+        metrics: Some(TransportMetrics::new(svc.registry().clone())),
+        ..ServerConfig::default()
+    };
+    serve_with(svc, port, cfg)
+}
+
+/// [`serve_on`] with explicit transport tuning (connection cap, deadlines,
+/// worker count). When `cfg.metrics` is `None` the daemon registry is wired
+/// in, matching [`serve_on`].
+pub fn serve_with(
+    svc: Arc<MiddlewareService>,
+    port: u16,
+    mut cfg: ServerConfig,
+) -> std::io::Result<HttpServer> {
+    if cfg.metrics.is_none() {
+        cfg.metrics = Some(TransportMetrics::new(svc.registry().clone()));
+    }
     let handler: Handler = Arc::new(move |req: Request| route(&svc, &req));
-    HttpServer::spawn_on(port, handler)
+    HttpServer::spawn_with(port, handler, cfg)
 }
 
 #[cfg(test)]
@@ -557,5 +581,47 @@ mod tests {
         )
         .unwrap();
         assert_eq!(st, 503);
+    }
+
+    /// Regression: `status_text` used to miss 503/429, so backpressure
+    /// responses went out as `HTTP/1.1 503 Unknown`. Assert the raw status
+    /// line on the wire.
+    #[test]
+    fn status_lines_carry_reason_phrases() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+        let svc = service();
+        let server = serve(Arc::clone(&svc)).unwrap();
+        svc.shutdown(std::time::Duration::from_millis(10));
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"GET /v1/healthz HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "HTTP/1.1 503 Service Unavailable");
+        let wire = String::from_utf8(Response::json(429, "{}").encode(false)).unwrap();
+        assert!(
+            wire.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "got: {wire}"
+        );
+    }
+
+    /// The REST transport reports its connection counters into the daemon
+    /// registry: they are visible on `GET /metrics` like every other
+    /// subsystem.
+    #[test]
+    fn transport_counters_show_up_on_metrics_route() {
+        let server = serve(service()).unwrap();
+        let addr = server.addr();
+        let (st, _) = http_request(&addr, "GET", "/v1/healthz", None).unwrap();
+        assert_eq!(st, 200);
+        let (st, body) = http_request(&addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(st, 200);
+        assert!(
+            body.contains("http_connections_accepted_total"),
+            "transport counters missing from /metrics"
+        );
+        assert!(body.contains("http_requests_total"));
     }
 }

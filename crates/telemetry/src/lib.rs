@@ -18,6 +18,7 @@ pub mod durability;
 pub mod fault;
 pub mod lint;
 pub mod metrics;
+pub mod transport;
 pub mod tsdb;
 
 pub use alerts::{AlertEvent, AlertManager, AlertRule, AlertState, Cmp};
@@ -26,4 +27,5 @@ pub use durability::DurabilityMetrics;
 pub use fault::FaultMetrics;
 pub use lint::LintMetrics;
 pub use metrics::{labels, Labels, Registry};
+pub use transport::TransportMetrics;
 pub use tsdb::{Agg, Point, TimeSeriesDb};

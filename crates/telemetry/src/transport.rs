@@ -1,0 +1,177 @@
+//! Typed metrics for the REST transport (the event-loop HTTP server).
+//!
+//! The readiness-driven front end reports connection lifecycle, keep-alive
+//! reuse, backpressure (accept pauses, load-shed rejections) and deadline
+//! enforcement through this facade, following the same one-registry pattern
+//! as [`DurabilityMetrics`](crate::DurabilityMetrics): the whole transport
+//! story is visible from `/metrics` next to the scheduler and durability
+//! counters (§3.6).
+
+use crate::metrics::{labels, Labels, Registry};
+
+/// Shared-handle facade over a [`Registry`] for HTTP transport counters.
+#[derive(Debug, Clone, Default)]
+pub struct TransportMetrics {
+    registry: Registry,
+}
+
+impl TransportMetrics {
+    /// Wrap an existing registry (shared by handle).
+    pub fn new(registry: Registry) -> Self {
+        TransportMetrics { registry }
+    }
+
+    /// The underlying registry (for exposition or further instrumentation).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A connection was accepted into the connection table.
+    pub fn accepted(&self) {
+        self.registry.counter_add(
+            "http_connections_accepted_total",
+            "TCP connections accepted by the REST front end",
+            Labels::new(),
+            1.0,
+        );
+        self.registry.gauge_add(
+            "http_connections_active",
+            "Currently open REST connections",
+            Labels::new(),
+            1.0,
+        );
+    }
+
+    /// A connection left the table (any reason).
+    pub fn closed(&self) {
+        self.registry.counter_add(
+            "http_connections_closed_total",
+            "REST connections closed",
+            Labels::new(),
+            1.0,
+        );
+        self.registry.gauge_add(
+            "http_connections_active",
+            "Currently open REST connections",
+            Labels::new(),
+            -1.0,
+        );
+    }
+
+    /// A connection was rejected at the accept gate (table full): the
+    /// load-shed 503 path.
+    pub fn rejected(&self) {
+        self.registry.counter_add(
+            "http_connections_rejected_total",
+            "Connections rejected with 503 at the accept gate",
+            Labels::new(),
+            1.0,
+        );
+    }
+
+    /// The listener was taken out of the poll set (connection table full).
+    pub fn accept_paused(&self) {
+        self.registry.counter_add(
+            "http_accept_pauses_total",
+            "Times the listener was paused under connection backpressure",
+            Labels::new(),
+            1.0,
+        );
+    }
+
+    /// The listener was re-armed after the table drained.
+    pub fn accept_resumed(&self) {
+        self.registry.counter_add(
+            "http_accept_resumes_total",
+            "Times the listener resumed after backpressure released",
+            Labels::new(),
+            1.0,
+        );
+    }
+
+    /// A request was served on an already-used connection (keep-alive hit).
+    pub fn keepalive_reuse(&self) {
+        self.registry.counter_add(
+            "http_keepalive_reuse_total",
+            "Requests served over a reused keep-alive connection",
+            Labels::new(),
+            1.0,
+        );
+    }
+
+    /// A connection was closed by the deadline sweeper (`kind` is
+    /// `"read"` for slow/partial requests — the slowloris defense — or
+    /// `"idle"` for keep-alive connections idle past the window).
+    pub fn deadline_close(&self, kind: &str) {
+        self.registry.counter_add(
+            "http_deadline_closes_total",
+            "Connections closed by the read/idle deadline sweeper",
+            labels(&[("kind", kind)]),
+            1.0,
+        );
+    }
+
+    /// A response left the server; `status` is bucketed by class.
+    pub fn request(&self, status: u16) {
+        let class = match status {
+            100..=199 => "1xx",
+            200..=299 => "2xx",
+            300..=399 => "3xx",
+            400..=499 => "4xx",
+            _ => "5xx",
+        };
+        self.registry.counter_add(
+            "http_requests_total",
+            "HTTP responses sent, by status class",
+            labels(&[("code", class)]),
+            1.0,
+        );
+    }
+
+    /// Convenience for tests and the admin surface: read one counter back.
+    pub fn value(&self, name: &str) -> f64 {
+        self.registry.get_value(name, &Labels::new()).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_counters_share_one_registry() {
+        let m = TransportMetrics::new(Registry::new());
+        m.accepted();
+        m.accepted();
+        m.closed();
+        m.rejected();
+        m.accept_paused();
+        m.accept_resumed();
+        m.keepalive_reuse();
+        m.deadline_close("read");
+        m.deadline_close("idle");
+        m.request(201);
+        m.request(503);
+        let text = m.registry().expose();
+        assert!(text.contains("http_connections_accepted_total 2"));
+        assert!(text.contains("http_connections_closed_total 1"));
+        assert!(text.contains("http_connections_active 1"));
+        assert!(text.contains("http_connections_rejected_total 1"));
+        assert!(text.contains("http_accept_pauses_total 1"));
+        assert!(text.contains("http_accept_resumes_total 1"));
+        assert!(text.contains("http_keepalive_reuse_total 1"));
+        assert!(text.contains("http_deadline_closes_total{kind=\"read\"} 1"));
+        assert!(text.contains("http_deadline_closes_total{kind=\"idle\"} 1"));
+        assert!(text.contains("http_requests_total{code=\"2xx\"} 1"));
+        assert!(text.contains("http_requests_total{code=\"5xx\"} 1"));
+    }
+
+    #[test]
+    fn value_reads_unlabelled_counters() {
+        let m = TransportMetrics::default();
+        assert_eq!(m.value("http_connections_accepted_total"), 0.0);
+        m.accepted();
+        assert_eq!(m.value("http_connections_accepted_total"), 1.0);
+        assert_eq!(m.value("http_connections_active"), 1.0);
+    }
+}

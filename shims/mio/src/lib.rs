@@ -1,0 +1,740 @@
+//! Minimal offline stand-in for the `mio` crate.
+//!
+//! A readiness-driven poller with the narrow API surface the middleware's
+//! event-loop HTTP server uses: [`Poll`] / [`Registry`] for interest
+//! registration, [`Events`] iteration, and a cross-thread [`Waker`]. On
+//! Linux (x86_64 / aarch64) this is genuine **epoll**, reached through raw
+//! syscalls — the offline workspace has no `libc` crate, so the four
+//! syscalls involved (`epoll_create1`, `epoll_ctl`, `epoll_wait`/`_pwait`,
+//! `eventfd2`) are issued with stable inline assembly. Everything is
+//! level-triggered except the waker's eventfd (edge-triggered, like real
+//! mio, so it never needs draining).
+//!
+//! On other platforms a correctness-preserving fallback reports every
+//! registered descriptor as ready after a short bounded wait: callers'
+//! non-blocking reads/writes then simply return `WouldBlock`. Spurious
+//! readiness is explicitly allowed by the mio contract, so event-loop code
+//! stays correct, just less efficient — the deployment target (a quantum
+//! access node) is Linux.
+//!
+//! Divergences from upstream mio, documented per shims/README.md: sources
+//! are any `&impl AsRawFd` (no `event::Source` trait, `&` not `&mut`), and
+//! `Interest` is a plain bitset with `READABLE`/`WRITABLE`.
+
+use std::io;
+use std::os::fd::AsRawFd;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies a registered event source in [`Events`] delivered by [`Poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    pub const READABLE: Interest = Interest(0b01);
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combine two interests (mio's `Interest::add`).
+    #[must_use]
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    pub const fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    pub const fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+pub mod event {
+    //! Readiness events delivered by [`Poll::poll`](crate::Poll::poll).
+
+    use crate::Token;
+
+    /// One readiness notification.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Event {
+        pub(crate) token: usize,
+        pub(crate) readable: bool,
+        pub(crate) writable: bool,
+        pub(crate) error: bool,
+        pub(crate) read_closed: bool,
+    }
+
+    impl Event {
+        pub fn token(&self) -> Token {
+            Token(self.token)
+        }
+
+        /// Readable — includes error/hangup conditions so a non-blocking
+        /// read observes the close, matching how mio callers use it.
+        pub fn is_readable(&self) -> bool {
+            self.readable || self.error || self.read_closed
+        }
+
+        pub fn is_writable(&self) -> bool {
+            self.writable || self.error
+        }
+
+        pub fn is_error(&self) -> bool {
+            self.error
+        }
+
+        /// The peer closed its write half (or the connection is gone).
+        pub fn is_read_closed(&self) -> bool {
+            self.read_closed
+        }
+    }
+}
+
+/// A buffer of readiness events, filled by [`Poll::poll`].
+#[derive(Debug)]
+pub struct Events {
+    inner: Vec<event::Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// Holds at most `capacity` events per poll call.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, event::Event> {
+        self.inner.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a event::Event;
+    type IntoIter = std::slice::Iter<'a, event::Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// The poller: owns the OS selector; [`Registry`] handles registration.
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                selector: Arc::new(sys::Selector::new()?),
+            },
+        })
+    }
+
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Block until at least one event is ready, `timeout` elapses
+    /// (`None` = forever), or a [`Waker`] fires.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.inner.clear();
+        let cap = events.capacity;
+        self.registry
+            .selector
+            .select(&mut events.inner, cap, timeout)
+    }
+}
+
+/// Registration handle, cloneable across threads (shares the selector).
+#[derive(Debug, Clone)]
+pub struct Registry {
+    selector: Arc<sys::Selector>,
+}
+
+impl Registry {
+    /// Start polling `source` for `interests` under `token`.
+    /// Level-triggered; the source should already be non-blocking.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.selector.register(source.as_raw_fd(), token, interests)
+    }
+
+    /// Replace the interest set for an already-registered `source`.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.selector
+            .reregister(source.as_raw_fd(), token, interests)
+    }
+
+    /// Stop polling `source`.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.selector.deregister(source.as_raw_fd())
+    }
+}
+
+/// Cross-thread wakeup: `wake()` makes the owning [`Poll`] return with an
+/// event carrying the waker's token, even if no I/O is ready.
+#[derive(Debug)]
+pub struct Waker {
+    inner: sys::WakerImpl,
+}
+
+impl Waker {
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        Ok(Waker {
+            inner: sys::WakerImpl::new(&registry.selector, token)?,
+        })
+    }
+
+    pub fn wake(&self) -> io::Result<()> {
+        self.inner.wake()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linux: real epoll via raw syscalls (no libc in the offline workspace).
+// ---------------------------------------------------------------------------
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use super::{event::Event, Interest, Token};
+    use std::fs::File;
+    use std::io::{self, Read, Write};
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLPRI: u32 = 0x002;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLET: u32 = 1 << 31;
+
+    const EPOLL_CTL_ADD: usize = 1;
+    const EPOLL_CTL_DEL: usize = 2;
+    const EPOLL_CTL_MOD: usize = 3;
+
+    const EPOLL_CLOEXEC: usize = 0o2000000;
+    const EFD_CLOEXEC: usize = 0o2000000;
+    const EFD_NONBLOCK: usize = 0o4000;
+
+    const EINTR: isize = -4;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const EPOLL_CREATE1: usize = 291;
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_WAIT: usize = 232;
+        pub const EVENTFD2: usize = 290;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+        pub const EVENTFD2: usize = 19;
+    }
+
+    /// Raw syscall, returning the kernel's `-errno` convention unchanged.
+    ///
+    /// # Safety
+    /// Arguments must be valid for the requested syscall.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall(n: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// # Safety
+    /// Arguments must be valid for the requested syscall.
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall(n: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") 0_usize,
+            in("x5") 0_usize,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    /// Kernel `struct epoll_event`: packed on x86_64, naturally aligned on
+    /// aarch64 — matching the ABI exactly is what makes the raw syscalls
+    /// sound.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[derive(Debug)]
+    pub(crate) struct Selector {
+        epfd: OwnedFd,
+    }
+
+    impl Selector {
+        pub(crate) fn new() -> io::Result<Selector> {
+            let fd = check(unsafe { syscall(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0) })?;
+            Ok(Selector {
+                epfd: unsafe { OwnedFd::from_raw_fd(fd as RawFd) },
+            })
+        }
+
+        fn ctl(&self, op: usize, fd: RawFd, events: u32, token: usize) -> io::Result<()> {
+            let ev = EpollEvent {
+                events,
+                data: token as u64,
+            };
+            let ptr = if op == EPOLL_CTL_DEL {
+                0
+            } else {
+                &ev as *const EpollEvent as usize
+            };
+            check(unsafe {
+                syscall(
+                    nr::EPOLL_CTL,
+                    self.epfd.as_raw_fd() as usize,
+                    op,
+                    fd as usize,
+                    ptr,
+                )
+            })
+            .map(|_| ())
+        }
+
+        fn interest_bits(interests: Interest) -> u32 {
+            let mut bits = EPOLLRDHUP;
+            if interests.is_readable() {
+                bits |= EPOLLIN | EPOLLPRI;
+            }
+            if interests.is_writable() {
+                bits |= EPOLLOUT;
+            }
+            bits
+        }
+
+        pub(crate) fn register(&self, fd: RawFd, token: Token, i: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Self::interest_bits(i), token.0)
+        }
+
+        pub(crate) fn reregister(&self, fd: RawFd, token: Token, i: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Self::interest_bits(i), token.0)
+        }
+
+        pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Register an edge-triggered readable source (the waker eventfd).
+        fn register_et(&self, fd: RawFd, token: Token) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, EPOLLIN | EPOLLET, token.0)
+        }
+
+        pub(crate) fn select(
+            &self,
+            out: &mut Vec<Event>,
+            cap: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let timeout_ms: isize = match timeout {
+                None => -1,
+                // round sub-millisecond timeouts up so short deadlines
+                // don't degenerate into a zero-timeout busy loop
+                Some(d) => (d.as_millis() as isize)
+                    .max(if d.is_zero() { 0 } else { 1 })
+                    .min(i32::MAX as isize),
+            };
+            let mut buf = vec![EpollEvent { events: 0, data: 0 }; cap];
+            let n = loop {
+                #[cfg(target_arch = "x86_64")]
+                let ret = unsafe {
+                    syscall(
+                        nr::EPOLL_WAIT,
+                        self.epfd.as_raw_fd() as usize,
+                        buf.as_mut_ptr() as usize,
+                        cap,
+                        timeout_ms as usize,
+                    )
+                };
+                #[cfg(target_arch = "aarch64")]
+                let ret = unsafe {
+                    // epoll_pwait with a null sigmask == epoll_wait
+                    syscall(
+                        nr::EPOLL_PWAIT,
+                        self.epfd.as_raw_fd() as usize,
+                        buf.as_mut_ptr() as usize,
+                        cap,
+                        timeout_ms as usize,
+                    )
+                };
+                if ret == EINTR {
+                    continue;
+                }
+                break check(ret)?;
+            };
+            for ev in buf.iter().take(n) {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data as usize,
+                    readable: bits & (EPOLLIN | EPOLLPRI) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & EPOLLERR != 0,
+                    read_closed: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    #[derive(Debug)]
+    pub(crate) struct WakerImpl {
+        eventfd: File,
+    }
+
+    impl WakerImpl {
+        pub(crate) fn new(selector: &Arc<Selector>, token: Token) -> io::Result<WakerImpl> {
+            let fd = check(unsafe { syscall(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0) })?;
+            let eventfd = unsafe { File::from_raw_fd(fd as RawFd) };
+            selector.register_et(eventfd.as_raw_fd(), token)?;
+            Ok(WakerImpl { eventfd })
+        }
+
+        pub(crate) fn wake(&self) -> io::Result<()> {
+            match (&self.eventfd).write_all(&1u64.to_ne_bytes()) {
+                Ok(()) => Ok(()),
+                // counter saturated: drain and re-signal
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    let mut buf = [0u8; 8];
+                    let _ = (&self.eventfd).read(&mut buf);
+                    (&self.eventfd).write_all(&1u64.to_ne_bytes())
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable fallback: bounded wait, then report every registered fd ready.
+// ---------------------------------------------------------------------------
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    use super::{event::Event, Interest, Token};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    #[derive(Debug, Default)]
+    struct State {
+        table: HashMap<RawFd, (usize, Interest)>,
+        pending_wakes: Vec<usize>,
+    }
+
+    #[derive(Debug)]
+    pub(crate) struct Selector {
+        state: Mutex<State>,
+        cv: Condvar,
+    }
+
+    impl Selector {
+        pub(crate) fn new() -> io::Result<Selector> {
+            Ok(Selector {
+                state: Mutex::new(State::default()),
+                cv: Condvar::new(),
+            })
+        }
+
+        pub(crate) fn register(&self, fd: RawFd, token: Token, i: Interest) -> io::Result<()> {
+            self.state.lock().unwrap().table.insert(fd, (token.0, i));
+            Ok(())
+        }
+
+        pub(crate) fn reregister(&self, fd: RawFd, token: Token, i: Interest) -> io::Result<()> {
+            self.register(fd, token, i)
+        }
+
+        pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.state.lock().unwrap().table.remove(&fd);
+            Ok(())
+        }
+
+        pub(crate) fn select(
+            &self,
+            out: &mut Vec<Event>,
+            cap: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            // Bounded nap so the spurious-readiness sweep cannot spin hot;
+            // a waker cuts the nap short through the condvar.
+            let nap = timeout
+                .unwrap_or(Duration::from_millis(2))
+                .min(Duration::from_millis(2));
+            let mut st = self.state.lock().unwrap();
+            if st.pending_wakes.is_empty() && !nap.is_zero() {
+                let (guard, _) = self.cv.wait_timeout(st, nap).unwrap();
+                st = guard;
+            }
+            for token in st.pending_wakes.drain(..) {
+                if out.len() >= cap {
+                    break;
+                }
+                out.push(Event {
+                    token,
+                    readable: true,
+                    writable: false,
+                    error: false,
+                    read_closed: false,
+                });
+            }
+            for (_, &(token, interest)) in st.table.iter() {
+                if out.len() >= cap {
+                    break;
+                }
+                out.push(Event {
+                    token,
+                    readable: interest.is_readable(),
+                    writable: interest.is_writable(),
+                    error: false,
+                    read_closed: false,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    #[derive(Debug)]
+    pub(crate) struct WakerImpl {
+        selector: Arc<Selector>,
+        token: usize,
+    }
+
+    impl WakerImpl {
+        pub(crate) fn new(selector: &Arc<Selector>, token: Token) -> io::Result<WakerImpl> {
+            Ok(WakerImpl {
+                selector: Arc::clone(selector),
+                token: token.0,
+            })
+        }
+
+        pub(crate) fn wake(&self) -> io::Result<()> {
+            self.selector
+                .state
+                .lock()
+                .unwrap()
+                .pending_wakes
+                .push(self.token);
+            self.selector.cv.notify_all();
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&listener, Token(7), Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // nothing pending: a short poll returns without events
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(
+            events
+                .iter()
+                .all(|e| e.token() != Token(7) || !e.is_readable())
+                || events.is_empty()
+        );
+
+        let _client = TcpStream::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut saw = false;
+        while Instant::now() < deadline && !saw {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            saw = events
+                .iter()
+                .any(|e| e.token() == Token(7) && e.is_readable());
+        }
+        assert!(saw, "listener never signalled readable");
+        let (stream, _) = listener.accept().unwrap();
+        drop(stream);
+    }
+
+    #[test]
+    fn stream_readable_when_data_arrives_and_writable_when_registered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(
+                &server_side,
+                Token(1),
+                Interest::READABLE | Interest::WRITABLE,
+            )
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // a fresh connected socket is writable
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut writable = false;
+        while Instant::now() < deadline && !writable {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            writable = events
+                .iter()
+                .any(|e| e.token() == Token(1) && e.is_writable());
+        }
+        assert!(writable);
+
+        client.write_all(b"ping").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut readable = false;
+        while Instant::now() < deadline && !readable {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            readable = events
+                .iter()
+                .any(|e| e.token() == Token(1) && e.is_readable());
+        }
+        assert!(readable);
+        let mut s = server_side;
+        let mut buf = [0u8; 16];
+        let n = s.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll() {
+        let mut poll = Poll::new().unwrap();
+        let waker = Arc::new(Waker::new(poll.registry(), Token(99)).unwrap());
+        let w = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(4);
+        let t0 = Instant::now();
+        // would block for 10 s without the waker
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "poll did not wake early"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn deregistered_source_stops_reporting() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poll = Poll::new().unwrap();
+        poll.registry()
+            .register(&listener, Token(3), Interest::READABLE)
+            .unwrap();
+        poll.registry().deregister(&listener).unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        assert!(
+            !events.iter().any(|e| e.token() == Token(3)),
+            "deregistered fd still reported"
+        );
+    }
+
+    #[test]
+    fn interest_combinators() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+        assert_eq!(both, Interest::READABLE.add(Interest::WRITABLE));
+    }
+}

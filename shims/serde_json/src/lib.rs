@@ -183,4 +183,51 @@ mod tests {
         let v = json!({ "a": 1 });
         assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
     }
+
+    /// The short-decimal fast path in the parser must be bit-identical to
+    /// std's strtod on every shape it accepts, and the strict path must
+    /// still handle everything it rejects (exponents, long mantissas).
+    #[test]
+    fn number_fast_path_matches_strtod() {
+        for text in [
+            "0.5",
+            "-0.5",
+            "4.0",
+            "6.0",
+            "0.25",
+            "-0.125",
+            "3.15",
+            "123.456",
+            "0.1",
+            "0.2",
+            "0.30000000000001",
+            "999999999999999.0",
+            "1.5e3",
+            "-2.5E-4",
+            "1e0",
+            "12345678901234567",
+            "1.7976931348623157e308",
+            "0.000001",
+            "42",
+            "-42",
+            "0",
+        ] {
+            let v: Value = from_str(text).unwrap();
+            let got = match v {
+                Value::Number(n) => n.as_f64(),
+                other => panic!("expected number for {text:?}, got {other:?}"),
+            };
+            let want: f64 = text.parse().unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "mismatch parsing {text:?}");
+        }
+        // integer typing is preserved on the fast path
+        assert_eq!(
+            from_str::<Value>("7").unwrap(),
+            Value::Number(Number::U64(7))
+        );
+        assert_eq!(
+            from_str::<Value>("-7").unwrap(),
+            Value::Number(Number::I64(-7))
+        );
+    }
 }

@@ -130,7 +130,25 @@ impl<'a> Parser<'a> {
 
     fn string(&mut self) -> Result<String, Error> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        // Fast path: bulk-scan the unescaped span (the overwhelmingly common
+        // case — object keys and plain strings) and copy it in one shot.
+        let start = self.pos;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c == b'"' || c == b'\\' || c < 0x20 {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'"') {
+            // input is a &str and we only stopped at ASCII delimiters, so the
+            // span lies on UTF-8 boundaries
+            let s = unsafe { std::str::from_utf8_unchecked(&self.bytes[start..self.pos]) };
+            let out = s.to_string();
+            self.pos += 1;
+            return Ok(out);
+        }
+        let mut out =
+            unsafe { std::str::from_utf8_unchecked(&self.bytes[start..self.pos]).to_string() };
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
@@ -183,16 +201,83 @@ impl<'a> Parser<'a> {
                 }
                 Some(c) if c < 0x20 => return Err(self.err("control character in string")),
                 Some(_) => {
-                    // copy one UTF-8 scalar (input is a &str, so boundaries
-                    // are valid)
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // bulk-copy the run up to the next delimiter (input is a
+                    // &str, so the span lies on UTF-8 boundaries)
+                    let run = self.pos;
+                    while let Some(&c) = self.bytes.get(self.pos) {
+                        if c == b'"' || c == b'\\' || c < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(unsafe {
+                        std::str::from_utf8_unchecked(&self.bytes[run..self.pos])
+                    });
                 }
             }
         }
+    }
+
+    /// Attempt the short-decimal fast path. `self.pos` is just past the
+    /// optional minus sign. Returns `None` (with `pos` to be reset by the
+    /// caller) when the literal needs the strict slow path.
+    fn number_fast(&mut self, negative: bool) -> Option<Value> {
+        const POW10: [f64; 23] = [
+            1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15,
+            1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+        ];
+        let bytes = self.bytes;
+        let mut i = self.pos;
+        let int_start = i;
+        let mut mantissa: u64 = 0;
+        while let Some(&c) = bytes.get(i) {
+            let d = c.wrapping_sub(b'0');
+            if d > 9 {
+                break;
+            }
+            mantissa = mantissa.wrapping_mul(10).wrapping_add(d as u64);
+            i += 1;
+        }
+        let int_digits = i - int_start;
+        if int_digits == 0 || (int_digits > 1 && bytes[int_start] == b'0') {
+            return None; // empty or leading zero: let the strict path reject
+        }
+        let mut frac_digits = 0usize;
+        if bytes.get(i) == Some(&b'.') {
+            i += 1;
+            let frac_start = i;
+            while let Some(&c) = bytes.get(i) {
+                let d = c.wrapping_sub(b'0');
+                if d > 9 {
+                    break;
+                }
+                mantissa = mantissa.wrapping_mul(10).wrapping_add(d as u64);
+                i += 1;
+            }
+            frac_digits = i - frac_start;
+            if frac_digits == 0 {
+                return None;
+            }
+        }
+        // exponents, >15 total digits (u64 accumulation may have wrapped or
+        // exceeded 2^53), or a trailing 'e' go to the strict path
+        if matches!(bytes.get(i), Some(b'e' | b'E')) || int_digits + frac_digits > 15 {
+            return None;
+        }
+        self.pos = i;
+        if frac_digits == 0 {
+            // integer: same typing rules as the strict path
+            return Some(Value::Number(if negative {
+                Number::I64(-(mantissa as i64))
+            } else {
+                Number::U64(mantissa)
+            }));
+        }
+        let mut x = mantissa as f64 / POW10[frac_digits];
+        if negative {
+            x = -x;
+        }
+        Some(Value::Number(Number::F64(x)))
     }
 
     fn hex4(&mut self) -> Result<u16, Error> {
@@ -213,6 +298,15 @@ impl<'a> Parser<'a> {
         if negative {
             self.pos += 1;
         }
+        // Fast path (Clinger): mantissa accumulated in u64 stays ≤ 2^53 and
+        // the decimal exponent is within the exactly-representable powers of
+        // ten, so one multiply/divide is correctly rounded — bit-identical
+        // to a full strtod. Covers the short decimals that dominate real
+        // payloads; anything longer falls through to the strict path below.
+        if let Some(v) = self.number_fast(negative) {
+            return Ok(v);
+        }
+        self.pos = start + usize::from(negative);
         // integer part: 0 | [1-9][0-9]*
         match self.peek() {
             Some(b'0') => {
