@@ -326,7 +326,9 @@ fn main() {
 
     let report = BenchReport {
         benchmark: "daemon_perf".into(),
-        commit_note: "indexed task queue + group-commit journaling + batched dispatch".into(),
+        commit_note: "lock audit fixes: deferred submit-path group commits, memoized fair-share \
+                      penalties, compaction policy piggybacked on the append outcome"
+            .into(),
         quick: args.quick,
         unix_time_secs: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)

@@ -624,4 +624,34 @@ mod tests {
         );
         assert!(body.contains("http_requests_total"));
     }
+
+    /// Per-lock contention/hold-time gauges from `hpcqc_sync` reach the real
+    /// `GET /metrics` route: the queue lock (acquired on every submit/pump)
+    /// must show up with acquisition counts and hold-time quantiles.
+    #[test]
+    fn lock_contention_metrics_show_up_on_metrics_route() {
+        let svc = service();
+        let tok = svc
+            .open_session("lisa", crate::session::PriorityClass::Production)
+            .unwrap();
+        let ir: ProgramIr = serde_json::from_str(&ir_json(5)).unwrap();
+        svc.submit(&tok, ir, hpcqc_scheduler::PatternHint::None)
+            .unwrap();
+        svc.pump();
+        let server = serve(svc).unwrap();
+        let (st, body) = http_request(server.addr(), "GET", "/metrics", None).unwrap();
+        assert_eq!(st, 200);
+        assert!(
+            body.contains("lock_acquisitions{lock=\"middleware.daemon.queue\"}"),
+            "queue lock stats missing from /metrics:\n{body}"
+        );
+        assert!(
+            body.contains("lock_hold_seconds{lock=\"middleware.daemon.queue\",quantile=\"0.99\"}"),
+            "hold-time quantiles missing from /metrics"
+        );
+        assert!(
+            body.contains("lock_contended_acquisitions{lock=\"middleware.daemon.dispatch\"}"),
+            "contention gauge missing from /metrics"
+        );
+    }
 }

@@ -32,6 +32,7 @@ use crate::http::{
     error_response, parse_head_bytes, Handler, HttpError, ParsedHead, Request, Response,
     MAX_BODY_BYTES, MAX_HEAD_BYTES,
 };
+use hpcqc_sync::{rank, TrackedMutex};
 use hpcqc_telemetry::TransportMetrics;
 use mio::{Events, Interest, Poll, Token, Waker};
 use std::io::{ErrorKind, Read, Write};
@@ -144,7 +145,11 @@ impl HttpServer {
             .register(&listener, LISTENER, Interest::READABLE)?;
         let waker = Arc::new(Waker::new(poll.registry(), WAKER)?);
         let stop = Arc::new(AtomicBool::new(false));
-        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+        let completions: Arc<TrackedMutex<Vec<Completion>>> = Arc::new(TrackedMutex::new(
+            "middleware.server.completions",
+            rank::SERVER_COMPLETIONS,
+            Vec::new(),
+        ));
 
         let worker_count = cfg.worker_count();
         let (jobs_tx, worker_threads) = if worker_count == 0 {
@@ -235,7 +240,7 @@ impl Drop for HttpServer {
 fn worker_loop(
     rx: &Mutex<Receiver<Job>>,
     handler: &Handler,
-    completions: &Mutex<Vec<Completion>>,
+    completions: &TrackedMutex<Vec<Completion>>,
     waker: &Waker,
 ) {
     loop {
@@ -245,10 +250,7 @@ fn worker_loop(
         };
         let Ok((idx, gen, req)) = job else { break };
         let resp = run_handler(handler, req);
-        completions
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .push((idx, gen, resp));
+        completions.lock().push((idx, gen, resp));
         let _ = waker.wake();
     }
 }
@@ -319,7 +321,7 @@ struct EventLoop {
     next_gen: u64,
     /// `None` ⇒ handlers run inline on the event thread.
     jobs_tx: Option<Sender<Job>>,
-    completions: Arc<Mutex<Vec<Completion>>>,
+    completions: Arc<TrackedMutex<Vec<Completion>>>,
     stop: Arc<AtomicBool>,
     scratch: Vec<u8>,
 }
@@ -769,7 +771,7 @@ impl EventLoop {
 
     fn drain_completions(&mut self) {
         let done = {
-            let mut guard = self.completions.lock().unwrap_or_else(|p| p.into_inner());
+            let mut guard = self.completions.lock();
             std::mem::take(&mut *guard)
         };
         for (idx, gen, resp) in done {

@@ -7,7 +7,7 @@
 //! priorities — mirroring how the classes map to Slurm partitions one level
 //! below.
 
-use parking_lot::Mutex;
+use hpcqc_sync::{rank, TrackedMutex as Mutex};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -112,7 +112,11 @@ pub struct SessionManager {
 impl SessionManager {
     pub fn new(max_sessions: usize) -> Self {
         SessionManager {
-            inner: Arc::new(Mutex::new(HashMap::new())),
+            inner: Arc::new(Mutex::new(
+                "middleware.sessions",
+                rank::SESSIONS,
+                HashMap::new(),
+            )),
             counter: Arc::new(AtomicU64::new(1)),
             max_sessions,
         }

@@ -12,8 +12,8 @@
 use crate::calibration::Calibration;
 use hpcqc_emulator::{Emulator, MpsBackend, MpsConfig, SampleResult, SpamNoise, SvBackend};
 use hpcqc_program::{DeviceSpec, ProgramIr, Sequence, Violation};
+use hpcqc_sync::{rank, TrackedMutex as Mutex};
 use hpcqc_telemetry::{labels, Registry, TimeSeriesDb};
-use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -99,15 +99,19 @@ impl VirtualQpu {
     /// A production-profile QPU with seeded drift.
     pub fn new(name: impl Into<String>, seed: u64) -> Self {
         VirtualQpu {
-            inner: Arc::new(Mutex::new(Inner {
-                calibration: Calibration::nominal(),
-                status: QpuStatus::Operational,
-                rng: ChaCha8Rng::seed_from_u64(seed),
-                now: 0.0,
-                jobs_completed: 0,
-                shots_taken: 0,
-                busy_secs: 0.0,
-            })),
+            inner: Arc::new(Mutex::new(
+                "qpu.device",
+                rank::QPU_DEVICE,
+                Inner {
+                    calibration: Calibration::nominal(),
+                    status: QpuStatus::Operational,
+                    rng: ChaCha8Rng::seed_from_u64(seed),
+                    now: 0.0,
+                    jobs_completed: 0,
+                    shots_taken: 0,
+                    busy_secs: 0.0,
+                },
+            )),
             base_spec: DeviceSpec::analog_production(),
             registry: Registry::new(),
             tsdb: TimeSeriesDb::new(),

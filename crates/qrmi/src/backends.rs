@@ -16,7 +16,7 @@ use crate::resource::{
 use hpcqc_emulator::{Emulator, SampleResult};
 use hpcqc_program::{DeviceSpec, ProgramIr};
 use hpcqc_qpu::VirtualQpu;
-use parking_lot::Mutex;
+use hpcqc_sync::{rank, TrackedMutex as Mutex};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -61,11 +61,15 @@ impl LocalEmulatorResource {
         LocalEmulatorResource {
             id: id.into(),
             emulator,
-            tasks: Mutex::new(TaskTable::new()),
-            tokens: Mutex::new(HashSet::new()),
+            tasks: Mutex::new("qrmi.emulator.tasks", rank::QRMI_TASKS, TaskTable::new()),
+            tokens: Mutex::new("qrmi.emulator.tokens", rank::QRMI_TOKENS, HashSet::new()),
             counter: AtomicU64::new(0),
             seed_counter: AtomicU64::new(seed),
-            kernel: Mutex::new(KernelProfile::default()),
+            kernel: Mutex::new(
+                "qrmi.emulator.kernel",
+                rank::QRMI_KERNEL,
+                KernelProfile::default(),
+            ),
         }
     }
 
@@ -176,8 +180,8 @@ impl QpuDirectResource {
         QpuDirectResource {
             id: id.into(),
             qpu,
-            tasks: Mutex::new(TaskTable::new()),
-            lease: Mutex::new(None),
+            tasks: Mutex::new("qrmi.qpu_direct.tasks", rank::QRMI_TASKS, TaskTable::new()),
+            lease: Mutex::new("qrmi.qpu_direct.lease", rank::QRMI_LEASE, None),
             counter: AtomicU64::new(0),
             seed_counter: AtomicU64::new(seed),
         }
@@ -309,11 +313,15 @@ impl CloudResource {
             engine,
             rtype,
             queue_polls,
-            tasks: Mutex::new(TaskTable::new()),
-            tokens: Mutex::new(HashSet::new()),
+            tasks: Mutex::new("qrmi.cloud.tasks", rank::QRMI_TASKS, TaskTable::new()),
+            tokens: Mutex::new("qrmi.cloud.tokens", rank::QRMI_TOKENS, HashSet::new()),
             counter: AtomicU64::new(0),
             seed_counter: AtomicU64::new(seed),
-            kernel: Mutex::new(KernelProfile::default()),
+            kernel: Mutex::new(
+                "qrmi.cloud.kernel",
+                rank::QRMI_KERNEL,
+                KernelProfile::default(),
+            ),
         }
     }
 

@@ -27,8 +27,8 @@ use crate::resource::{
 };
 use hpcqc_emulator::SampleResult;
 use hpcqc_program::{DeviceSpec, ProgramIr};
+use hpcqc_sync::{rank, TrackedMutex as Mutex};
 use hpcqc_telemetry::FaultMetrics;
-use parking_lot::Mutex;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -144,11 +144,15 @@ impl FaultInjector {
         FaultInjector {
             inner,
             profile,
-            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
-            weather: Mutex::new(Weather::default()),
-            injected: Mutex::new(HashMap::new()),
+            rng: Mutex::new(
+                "qrmi.fault.rng",
+                rank::QRMI_RNG,
+                ChaCha8Rng::seed_from_u64(seed),
+            ),
+            weather: Mutex::new("qrmi.fault.weather", rank::QRMI_WEATHER, Weather::default()),
+            injected: Mutex::new("qrmi.fault.injected", rank::QRMI_INJECTED, HashMap::new()),
             injected_counter: AtomicU64::new(0),
-            counts: Mutex::new(BTreeMap::new()),
+            counts: Mutex::new("qrmi.fault.counts", rank::QRMI_COUNTS, BTreeMap::new()),
             metrics: None,
         }
     }

@@ -21,7 +21,7 @@ use crate::resource::{
 };
 use hpcqc_emulator::SampleResult;
 use hpcqc_program::{DeviceSpec, ProgramIr};
-use parking_lot::Mutex;
+use hpcqc_sync::{rank, TrackedMutex as Mutex};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -163,9 +163,21 @@ impl InstrumentedResource {
             inner,
             timing,
             faults,
-            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
-            profile: Mutex::new(BTreeMap::new()),
-            task_shots: Mutex::new(BTreeMap::new()),
+            rng: Mutex::new(
+                "qrmi.instrument.rng",
+                rank::QRMI_RNG,
+                ChaCha8Rng::seed_from_u64(seed),
+            ),
+            profile: Mutex::new(
+                "qrmi.instrument.profile",
+                rank::QRMI_PROFILE,
+                BTreeMap::new(),
+            ),
+            task_shots: Mutex::new(
+                "qrmi.instrument.task_shots",
+                rank::QRMI_SHOTS,
+                BTreeMap::new(),
+            ),
         }
     }
 

@@ -1,0 +1,111 @@
+//! # hpcqc-sync — tracked locks for the control plane
+//!
+//! Every long-lived lock in the daemon, server, journal, telemetry and QRMI
+//! layers is wrapped in a [`TrackedMutex`] / [`TrackedRwLock`]. The wrappers
+//! add two things to a plain `parking_lot` lock:
+//!
+//! * **Always-on, cheap observability** — per-lock acquisition/contention
+//!   counters plus log₂-bucketed wait-time and hold-time histograms
+//!   ([`LockStats`]), exported through `telemetry` onto `GET /metrics`.
+//!   The uncontended fast path is one `try_lock` and two `Instant::now`
+//!   calls; histograms are plain relaxed atomic increments.
+//! * **Lock-order checking (debug/test builds)** — each lock declares a
+//!   static [`rank`](TrackedMutex::new) in the repo-wide hierarchy (see
+//!   [`rank`] and DESIGN.md §14). Acquiring a lock whose rank is not strictly
+//!   greater than every lock already held by the thread records a
+//!   [`Violation`] with both acquisition sites. Independently, a global
+//!   acquired-before graph ([`OrderTracker`]) detects cross-thread cycles
+//!   that rank declarations alone would miss.
+//!
+//! Violations are recorded, queryable via [`violations`], and panic when
+//! `HPCQC_LOCK_ORDER_PANIC=1` (the CI concurrency job sets it); recording
+//! instead of panicking by default keeps the release binary unchanged and
+//! the full test suite assertable ("clean run ⇒ zero violations").
+
+mod order;
+mod stats;
+mod tracked;
+
+pub use order::{CycleReport, OrderTracker, Violation, ViolationKind};
+pub use stats::{all_lock_stats, histogram_quantile_ns, LockStats, BUCKETS};
+pub use tracked::{
+    clear_violations, held_locks, violations, TrackedMutex, TrackedMutexGuard, TrackedRwLock,
+    TrackedRwLockReadGuard, TrackedRwLockWriteGuard,
+};
+
+/// The repo-wide lock hierarchy. A thread may only acquire locks in strictly
+/// increasing rank order; the table lives here so every crate declares ranks
+/// from one place (DESIGN.md §14 documents the reasoning per edge).
+pub mod rank {
+    /// Dispatcher pump serialization — outermost: held across a whole pump.
+    pub const DISPATCH: u32 = 100;
+    /// Journal compaction gate (appends hold it shared; compaction holds it
+    /// exclusive across snapshot + compact). Sits above DISPATCH because the
+    /// dispatcher journals mid-pump, and below every state lock the snapshot
+    /// reads.
+    pub const COMPACT_GATE: u32 = 150;
+    /// Session table (validated before queue admission).
+    pub const SESSIONS: u32 = 200;
+    /// The indexed task queue.
+    pub const QUEUE: u32 = 300;
+    /// In-flight (claimed) task set — always nested inside QUEUE or alone.
+    pub const INFLIGHT: u32 = 400;
+    /// Fairshare usage tracker (read under the queue lock for ranking).
+    pub const FAIRSHARE: u32 = 480;
+    /// Terminal task records.
+    pub const RECORDS: u32 = 500;
+    /// Per-task progress events.
+    pub const PROGRESS: u32 = 550;
+    /// Per-task failure diagnostics.
+    pub const FAILURES: u32 = 600;
+    /// Submit-time task metadata.
+    pub const TASK_META: u32 = 650;
+    /// Static-analysis warnings per task.
+    pub const WARNINGS: u32 = 700;
+    /// Device calibration cache.
+    pub const DEV_CACHE: u32 = 750;
+    /// Idempotency-key table.
+    pub const IDEMPOTENCY: u32 = 800;
+    /// Simulated clock (innermost of the daemon state locks).
+    pub const CLOCK: u32 = 850;
+    /// Daemon lifecycle flags.
+    pub const LIFECYCLE: u32 = 870;
+    /// Admin-set device status strings (recovered / last-seen).
+    pub const QPU_STATUS: u32 = 880;
+    /// Journal group-commit buffer.
+    pub const JOURNAL_BUF: u32 = 900;
+    /// Journal deferred-batch queue (pushed under the buffer lock, drained
+    /// before the WAL file is touched).
+    pub const JOURNAL_PENDING: u32 = 910;
+    /// Journal WAL file + fsync state (acquired after draining the buffer).
+    pub const JOURNAL_FILE: u32 = 920;
+    /// Server completion queue (event-loop handoff).
+    pub const SERVER_COMPLETIONS: u32 = 940;
+    /// QRMI fault-injection burst state (locks its RNG while held).
+    pub const QRMI_WEATHER: u32 = 950;
+    /// QRMI deterministic RNGs (fault + latency draws).
+    pub const QRMI_RNG: u32 = 952;
+    /// QRMI injected-fate table (tasks doomed to fail/stick).
+    pub const QRMI_INJECTED: u32 = 954;
+    /// QRMI fault counters.
+    pub const QRMI_COUNTS: u32 = 956;
+    /// QRMI instrumentation profile (op → count/seconds).
+    pub const QRMI_PROFILE: u32 = 958;
+    /// QRMI per-task shot table (instrumented timing).
+    pub const QRMI_SHOTS: u32 = 959;
+    /// QRMI backend task tables.
+    pub const QRMI_TASKS: u32 = 960;
+    /// QRMI emulator lease-token set.
+    pub const QRMI_TOKENS: u32 = 962;
+    /// QRMI direct-QPU exclusive lease.
+    pub const QRMI_LEASE: u32 = 963;
+    /// QRMI emulator kernel wall-clock profile.
+    pub const QRMI_KERNEL: u32 = 964;
+    /// QPU device state.
+    pub const QPU_DEVICE: u32 = 970;
+    /// Telemetry time-series store.
+    pub const TSDB: u32 = 980;
+    /// Telemetry metrics registry — innermost: metrics are recorded while
+    /// holding almost anything else.
+    pub const REGISTRY: u32 = 1000;
+}

@@ -1,0 +1,141 @@
+//! Always-on per-lock statistics: acquisition/contention counters and
+//! log₂-bucketed wait/hold-time histograms, cheap enough for release builds
+//! (relaxed atomic increments; the uncontended acquire path records a single
+//! zero-wait sample).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Histogram bucket count. Bucket `i` counts samples in `[2^i, 2^{i+1})` ns
+/// (bucket 0 also takes 0 ns), so 40 buckets span ~18 minutes.
+pub const BUCKETS: usize = 40;
+
+fn bucket_of(ns: u64) -> usize {
+    ((64 - ns.leading_zeros()) as usize)
+        .saturating_sub(1)
+        .min(BUCKETS - 1)
+}
+
+/// Shared statistics for one tracked lock. Handed out as `Arc`s; the global
+/// registry keeps `Weak`s so dropped locks (per-test daemons) age out.
+pub struct LockStats {
+    pub name: &'static str,
+    pub rank: u32,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    wait_hist: [AtomicU64; BUCKETS],
+    hold_hist: [AtomicU64; BUCKETS],
+}
+
+fn registry() -> &'static Mutex<Vec<Weak<LockStats>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Weak<LockStats>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+impl LockStats {
+    /// Create stats for a lock and register them globally.
+    pub(crate) fn register(name: &'static str, rank: u32) -> Arc<LockStats> {
+        let stats = Arc::new(LockStats {
+            name,
+            rank,
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            wait_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            hold_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        });
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.retain(|w| w.strong_count() > 0);
+        reg.push(Arc::downgrade(&stats));
+        stats
+    }
+
+    pub(crate) fn record_acquire(&self, wait_ns: u64, contended: bool) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+        }
+        self.wait_hist[bucket_of(wait_ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_hold(&self, hold_ns: u64) {
+        self.hold_hist[bucket_of(hold_ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions.load(Ordering::Relaxed)
+    }
+
+    pub fn contended(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    pub fn wait_histogram(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.wait_hist[i].load(Ordering::Relaxed))
+    }
+
+    pub fn hold_histogram(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.hold_hist[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Snapshot every live tracked lock's stats (prunes dead registrations).
+pub fn all_lock_stats() -> Vec<Arc<LockStats>> {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.retain(|w| w.strong_count() > 0);
+    reg.iter().filter_map(Weak::upgrade).collect()
+}
+
+/// Approximate quantile from a log₂ histogram: the upper bound of the bucket
+/// containing the q-th sample (an upper estimate, good to 2×).
+pub fn histogram_quantile_ns(hist: &[u64; BUCKETS], q: f64) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= target {
+            return (1u64 << (i + 1).min(63)) as f64;
+        }
+    }
+    (1u64 << BUCKETS.min(63)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_histogram() {
+        let mut hist = [0u64; BUCKETS];
+        hist[0] = 90; // ≤2 ns
+        hist[10] = 10; // ~1-2 µs
+        assert_eq!(histogram_quantile_ns(&hist, 0.5), 2.0);
+        assert_eq!(histogram_quantile_ns(&hist, 0.99), 2048.0);
+        assert_eq!(histogram_quantile_ns(&[0; BUCKETS], 0.5), 0.0);
+    }
+
+    #[test]
+    fn registry_prunes_dropped_locks() {
+        let a = LockStats::register("stats.test.a", 1);
+        a.record_acquire(100, true);
+        a.record_hold(1_000);
+        let live = all_lock_stats();
+        assert!(live.iter().any(|s| s.name == "stats.test.a"));
+        drop(live);
+        drop(a);
+        assert!(!all_lock_stats().iter().any(|s| s.name == "stats.test.a"));
+    }
+}

@@ -1,0 +1,447 @@
+//! Tracked lock wrappers: `parking_lot` locks plus stats and (in debug/test
+//! builds) lock-order checking against the declared rank hierarchy.
+
+use crate::order::{OrderTracker, Site, Violation};
+use crate::stats::LockStats;
+use std::cell::RefCell;
+use std::panic::Location;
+use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Global order-checking state (debug builds). The std mutex guarding the
+// tracker is internal bookkeeping, deliberately outside the tracked world.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct HeldEntry {
+    name: &'static str,
+    rank: u32,
+    site: Site,
+    token: u64,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<HeldEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+fn global_tracker() -> &'static StdMutex<OrderTracker> {
+    static TRACKER: OnceLock<StdMutex<OrderTracker>> = OnceLock::new();
+    TRACKER.get_or_init(|| StdMutex::new(OrderTracker::new()))
+}
+
+fn global_violations() -> &'static StdMutex<Vec<Violation>> {
+    static VIOLATIONS: OnceLock<StdMutex<Vec<Violation>>> = OnceLock::new();
+    VIOLATIONS.get_or_init(|| StdMutex::new(Vec::new()))
+}
+
+fn panic_on_violation() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| {
+        std::env::var("HPCQC_LOCK_ORDER_PANIC")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
+
+/// Every ordering violation recorded so far in this process.
+pub fn violations() -> Vec<Violation> {
+    global_violations()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+/// Drop recorded violations (test isolation).
+pub fn clear_violations() {
+    global_violations()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+/// The locks the calling thread currently holds, outermost first.
+pub fn held_locks() -> Vec<(&'static str, u32)> {
+    HELD.with(|h| h.borrow().iter().map(|e| (e.name, e.rank)).collect())
+}
+
+fn next_token() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Debug-build acquire hook: rank + cycle check, then push onto the held
+/// stack. Returns the token used to unwind the stack on release.
+fn order_enter(name: &'static str, rank: u32, site: Site) -> u64 {
+    let token = next_token();
+    if cfg!(debug_assertions) {
+        let held = HELD.with(|h| h.borrow().clone());
+        let held_view: Vec<(&'static str, u32, Site)> =
+            held.iter().map(|e| (e.name, e.rank, e.site)).collect();
+        let found = global_tracker()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .on_acquire(&held_view, (name, rank, site));
+        if !found.is_empty() {
+            let mut log = global_violations()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            for v in &found {
+                log.push(v.clone());
+            }
+            drop(log);
+            if panic_on_violation() && !std::thread::panicking() {
+                panic!("lock-order violation: {}", found[0]);
+            }
+        }
+        HELD.with(|h| {
+            h.borrow_mut().push(HeldEntry {
+                name,
+                rank,
+                site,
+                token,
+            })
+        });
+    }
+    token
+}
+
+fn order_exit(token: u64) {
+    if cfg!(debug_assertions) {
+        HELD.with(|h| h.borrow_mut().retain(|e| e.token != token));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TrackedMutex
+// ---------------------------------------------------------------------------
+
+/// A `parking_lot::Mutex` with a name, a rank in the repo-wide hierarchy
+/// (see [`crate::rank`]), always-on stats and debug-build order checking.
+pub struct TrackedMutex<T: ?Sized> {
+    name: &'static str,
+    rank: u32,
+    stats: Arc<LockStats>,
+    inner: parking_lot::Mutex<T>,
+}
+
+pub struct TrackedMutexGuard<'a, T: ?Sized> {
+    // Hold time is recorded in Drop::drop, which runs before the field drop
+    // that actually unlocks — the sample never includes post-unlock work.
+    inner: parking_lot::MutexGuard<'a, T>,
+    stats: &'a LockStats,
+    acquired: Instant,
+    token: u64,
+}
+
+impl<T> TrackedMutex<T> {
+    pub fn new(name: &'static str, rank: u32, value: T) -> Self {
+        TrackedMutex {
+            name,
+            rank,
+            stats: LockStats::register(name, rank),
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> TrackedMutex<T> {
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// This lock's live stats handle (shared with the global registry).
+    pub fn stats(&self) -> &Arc<LockStats> {
+        &self.stats
+    }
+
+    #[track_caller]
+    pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
+        let site = Location::caller();
+        let (inner, wait_ns, contended) = match self.inner.try_lock() {
+            Some(g) => (g, 0, false),
+            None => {
+                let t0 = Instant::now();
+                let g = self.inner.lock();
+                (g, t0.elapsed().as_nanos() as u64, true)
+            }
+        };
+        self.stats.record_acquire(wait_ns, contended);
+        let token = order_enter(self.name, self.rank, site);
+        TrackedMutexGuard {
+            inner,
+            stats: &self.stats,
+            acquired: Instant::now(),
+            token,
+        }
+    }
+
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<TrackedMutexGuard<'_, T>> {
+        let site = Location::caller();
+        let inner = self.inner.try_lock()?;
+        self.stats.record_acquire(0, false);
+        let token = order_enter(self.name, self.rank, site);
+        Some(TrackedMutexGuard {
+            inner,
+            stats: &self.stats,
+            acquired: Instant::now(),
+            token,
+        })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for TrackedMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackedMutex")
+            .field("name", &self.name)
+            .field("data", &&self.inner)
+            .finish()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for TrackedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.stats
+            .record_hold(self.acquired.elapsed().as_nanos() as u64);
+        order_exit(self.token);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TrackedRwLock
+// ---------------------------------------------------------------------------
+
+/// A `parking_lot::RwLock` with the same tracking as [`TrackedMutex`].
+/// Read and write acquisitions share one rank and one stats stream.
+pub struct TrackedRwLock<T: ?Sized> {
+    name: &'static str,
+    rank: u32,
+    stats: Arc<LockStats>,
+    inner: parking_lot::RwLock<T>,
+}
+
+pub struct TrackedRwLockReadGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockReadGuard<'a, T>,
+    stats: &'a LockStats,
+    acquired: Instant,
+    token: u64,
+}
+
+pub struct TrackedRwLockWriteGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockWriteGuard<'a, T>,
+    stats: &'a LockStats,
+    acquired: Instant,
+    token: u64,
+}
+
+impl<T> TrackedRwLock<T> {
+    pub fn new(name: &'static str, rank: u32, value: T) -> Self {
+        TrackedRwLock {
+            name,
+            rank,
+            stats: LockStats::register(name, rank),
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> TrackedRwLock<T> {
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn stats(&self) -> &Arc<LockStats> {
+        &self.stats
+    }
+
+    #[track_caller]
+    pub fn read(&self) -> TrackedRwLockReadGuard<'_, T> {
+        let site = Location::caller();
+        // Fast path mirrors TrackedMutex::lock: an immediate grant is wait 0
+        // and NOT contended — timing the blocking call unconditionally would
+        // report every acquisition as contended (sub-µs clock reads are
+        // never exactly zero).
+        let (inner, wait) = match self.inner.try_read() {
+            Some(g) => (g, 0),
+            None => {
+                let t0 = Instant::now();
+                let g = self.inner.read();
+                (g, t0.elapsed().as_nanos() as u64)
+            }
+        };
+        self.stats.record_acquire(wait, wait > 0);
+        let token = order_enter(self.name, self.rank, site);
+        TrackedRwLockReadGuard {
+            inner,
+            stats: &self.stats,
+            acquired: Instant::now(),
+            token,
+        }
+    }
+
+    #[track_caller]
+    pub fn write(&self) -> TrackedRwLockWriteGuard<'_, T> {
+        let site = Location::caller();
+        let (inner, wait) = match self.inner.try_write() {
+            Some(g) => (g, 0),
+            None => {
+                let t0 = Instant::now();
+                let g = self.inner.write();
+                (g, t0.elapsed().as_nanos() as u64)
+            }
+        };
+        self.stats.record_acquire(wait, wait > 0);
+        let token = order_enter(self.name, self.rank, site);
+        TrackedRwLockWriteGuard {
+            inner,
+            stats: &self.stats,
+            acquired: Instant::now(),
+            token,
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for TrackedRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for TrackedRwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.stats
+            .record_hold(self.acquired.elapsed().as_nanos() as u64);
+        order_exit(self.token);
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for TrackedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for TrackedRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for TrackedRwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.stats
+            .record_hold(self.acquired.elapsed().as_nanos() as u64);
+        order_exit(self.token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::ViolationKind;
+
+    #[test]
+    fn tracked_mutex_round_trip_records_stats() {
+        let m = TrackedMutex::new("tracked.test.roundtrip", 1, 0u32);
+        {
+            let mut g = m.lock();
+            *g += 41;
+        }
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert!(m.stats().acquisitions() >= 3);
+        assert_eq!(m.stats().contended(), 0);
+        let held: u64 = m.stats().hold_histogram().iter().sum();
+        assert!(held >= 3);
+    }
+
+    #[test]
+    fn contention_is_counted() {
+        let m = std::sync::Arc::new(TrackedMutex::new("tracked.test.contention", 1, ()));
+        let m2 = std::sync::Arc::clone(&m);
+        let g = m.lock();
+        let h = std::thread::spawn(move || {
+            let _g = m2.lock(); // must wait for the main thread to release
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(g);
+        h.join().unwrap();
+        assert_eq!(m.stats().contended(), 1);
+        let wait = m.stats().wait_histogram();
+        // ~20 ms wait lands well above the 2^20 ns (≈1 ms) bucket.
+        assert!(
+            wait[20..].iter().sum::<u64>() >= 1,
+            "wait histogram: {wait:?}"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn seeded_rank_inversion_is_reported_with_sites() {
+        let hi = TrackedMutex::new("tracked.test.inv.hi", 200, ());
+        let lo = TrackedMutex::new("tracked.test.inv.lo", 100, ());
+        let _g_hi = hi.lock();
+        let _g_lo = lo.lock(); // inversion: rank 100 under rank 200
+        drop((_g_lo, _g_hi));
+        let v: Vec<_> = violations()
+            .into_iter()
+            .filter(|v| v.lock == "tracked.test.inv.lo" && v.held_lock == "tracked.test.inv.hi")
+            .collect();
+        assert!(!v.is_empty(), "inversion not recorded");
+        assert_eq!(v[0].kind, ViolationKind::RankInversion);
+        assert!(v[0].site.file().ends_with("tracked.rs"));
+        assert!(v[0].held_site.file().ends_with("tracked.rs"));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn rank_respecting_nesting_is_clean() {
+        let a = TrackedMutex::new("tracked.test.clean.a", 10, ());
+        let b = TrackedRwLock::new("tracked.test.clean.b", 20, ());
+        {
+            let _ga = a.lock();
+            let _gb = b.write();
+            assert_eq!(held_locks().len(), 2);
+        }
+        assert!(held_locks().is_empty());
+        assert!(
+            !violations()
+                .iter()
+                .any(|v| v.lock.starts_with("tracked.test.clean")),
+            "clean nesting flagged"
+        );
+    }
+}

@@ -5,7 +5,7 @@
 //! exposition format so the QPU plugs into a hosting site's existing
 //! observability stack unchanged (paper §3.6).
 
-use parking_lot::Mutex;
+use hpcqc_sync::{rank, TrackedMutex as Mutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -42,9 +42,21 @@ struct MetricFamily {
 /// Thread-safe metrics registry.
 ///
 /// Cloning shares the underlying storage, so components hold cheap handles.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Registry {
     families: Arc<Mutex<BTreeMap<String, MetricFamily>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            families: Arc::new(Mutex::new(
+                "telemetry.registry",
+                rank::REGISTRY,
+                BTreeMap::new(),
+            )),
+        }
+    }
 }
 
 impl Registry {

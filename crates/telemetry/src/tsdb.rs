@@ -5,7 +5,7 @@
 //! it to record QPU calibration telemetry and feed the drift detectors; the
 //! middleware daemon exposes range queries through its admin API.
 
-use parking_lot::Mutex;
+use hpcqc_sync::{rank, TrackedMutex as Mutex};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -35,11 +35,20 @@ struct Series {
 }
 
 /// Thread-safe, clonable handle to the database.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TimeSeriesDb {
     inner: Arc<Mutex<BTreeMap<String, Series>>>,
     /// Points older than `now − retention` are trimmed on insert when set.
     retention_secs: Option<f64>,
+}
+
+impl Default for TimeSeriesDb {
+    fn default() -> Self {
+        TimeSeriesDb {
+            inner: Arc::new(Mutex::new("telemetry.tsdb", rank::TSDB, BTreeMap::new())),
+            retention_secs: None,
+        }
+    }
 }
 
 impl TimeSeriesDb {
@@ -50,8 +59,8 @@ impl TimeSeriesDb {
     /// Database that keeps only the trailing `secs` of data per series.
     pub fn with_retention(secs: f64) -> Self {
         TimeSeriesDb {
-            inner: Arc::default(),
             retention_secs: Some(secs),
+            ..TimeSeriesDb::default()
         }
     }
 

@@ -1,0 +1,33 @@
+//! Minimal `loom::cell` mirror.
+//!
+//! Real loom instruments `UnsafeCell` accesses to detect data races; this
+//! shim only inserts schedule points around accesses — exclusion must come
+//! from the model's own locks/atomics (as it does in the protocols modeled
+//! in this repo, which keep shared data behind `loom::sync` primitives).
+
+/// An `UnsafeCell` whose accesses are schedule points.
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    pub fn new(value: T) -> Self {
+        UnsafeCell(std::cell::UnsafeCell::new(value))
+    }
+
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        crate::thread::yield_now();
+        f(self.0.get())
+    }
+
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        crate::thread::yield_now();
+        f(self.0.get())
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}

@@ -1,0 +1,627 @@
+//! The deterministic scheduler behind `loom::model`.
+//!
+//! One OS thread exists per model thread, but exactly one is ever runnable:
+//! every synchronization operation calls back into [`Execution::switch`],
+//! which picks the next thread to run at a *decision point* and parks the
+//! caller until it is chosen again. The sequence of decisions forms a path in
+//! a tree; [`crate::model::Builder::check`] re-executes the closure once per
+//! path, depth-first, until every schedule (under the preemption bound) has
+//! been explored.
+//!
+//! Because only one model thread runs at a time, the object table needs no
+//! synchronization beyond the scheduler's own mutex — model `Mutex`es are a
+//! `locked` bit, not a real lock.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Panic payload used to unwind parked threads when an iteration is torn
+/// down early (failure or deadlock). Caught and swallowed at thread top.
+pub(crate) struct AbortToken;
+
+/// Why a model thread cannot currently run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Wait {
+    /// Waiting for a model mutex to unlock.
+    Mutex(usize),
+    /// Waiting for an rwlock to admit a reader.
+    RwRead(usize),
+    /// Waiting for an rwlock to admit a writer.
+    RwWrite(usize),
+    /// Parked on a condvar (not yet notified).
+    Condvar(usize),
+    /// Waiting for another model thread to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    Blocked(Wait),
+    Finished,
+}
+
+/// Shared state of one model object. Mutual exclusion is enforced by the
+/// scheduler, so these are plain flags.
+pub(crate) enum Object {
+    Mutex { locked: bool },
+    RwLock { readers: usize, writer: bool },
+    Condvar { waiters: Vec<usize> },
+}
+
+/// One branch point in the schedule tree: which runnable thread ran, out of
+/// which options. `options` is recomputed on replay and must match — the
+/// model closure is required to be deterministic apart from scheduling.
+#[derive(Clone, Debug)]
+pub(crate) struct Decision {
+    pub(crate) chosen: usize,
+    pub(crate) options: Vec<usize>,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadState>,
+    current: usize,
+    /// DFS path: prefix (< `seeded`) is replayed, the rest is extended greedily.
+    pub(crate) path: Vec<Decision>,
+    seeded: usize,
+    depth: usize,
+    preemptions: usize,
+    bound: Option<usize>,
+    pub(crate) abort: bool,
+    pub(crate) done: bool,
+    pub(crate) failure: Option<String>,
+    objects: Vec<Object>,
+    steps: usize,
+    max_steps: usize,
+    /// Thread id chosen at each step — printed with failures.
+    trace: Vec<usize>,
+}
+
+pub(crate) struct Execution {
+    pub(crate) state: Mutex<ExecState>,
+    cv: Condvar,
+    pub(crate) handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static TLS: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling OS thread's execution context, if it is a model thread.
+pub(crate) fn ctx() -> Option<(Arc<Execution>, usize)> {
+    TLS.with(|t| t.borrow().clone())
+}
+
+pub(crate) fn require_ctx(what: &str) -> (Arc<Execution>, usize) {
+    ctx().unwrap_or_else(|| {
+        panic!("loom: {what} may only be used inside loom::model / Builder::check")
+    })
+}
+
+pub(crate) fn set_ctx(exec: Arc<Execution>, id: usize) {
+    TLS.with(|t| *t.borrow_mut() = Some((exec, id)));
+}
+
+fn clear_ctx() {
+    TLS.with(|t| *t.borrow_mut() = None);
+}
+
+fn panic_abort() -> ! {
+    std::panic::panic_any(AbortToken)
+}
+
+impl Execution {
+    pub(crate) fn new(seed: Vec<Decision>, bound: Option<usize>, max_steps: usize) -> Self {
+        let seeded = seed.len();
+        Execution {
+            state: Mutex::new(ExecState {
+                threads: vec![ThreadState::Runnable],
+                current: 0,
+                path: seed,
+                seeded,
+                depth: 0,
+                preemptions: 0,
+                bound,
+                abort: false,
+                done: false,
+                failure: None,
+                objects: Vec::new(),
+                steps: 0,
+                max_steps,
+                trace: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn new_object(&self, obj: Object) -> usize {
+        let mut g = self.lock();
+        g.objects.push(obj);
+        g.objects.len() - 1
+    }
+
+    fn fail(g: &mut ExecState, msg: String) {
+        if g.failure.is_none() {
+            g.failure = Some(msg);
+        }
+        g.abort = true;
+        g.done = true;
+    }
+
+    /// Pick the next thread to run. Called with `me` still marked as the
+    /// current thread (possibly just blocked or finished). Returns the chosen
+    /// thread, or None when the iteration is over (all finished / deadlock).
+    fn pick_next(g: &mut ExecState, me: usize) -> Option<usize> {
+        let enabled: Vec<usize> = (0..g.threads.len())
+            .filter(|&t| g.threads[t] == ThreadState::Runnable)
+            .collect();
+        if enabled.is_empty() {
+            let blocked: Vec<(usize, Wait)> = g
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(t, st)| match st {
+                    ThreadState::Blocked(w) => Some((t, *w)),
+                    _ => None,
+                })
+                .collect();
+            if !blocked.is_empty() {
+                Self::fail(
+                    g,
+                    format!(
+                        "deadlock: no runnable threads; blocked: {blocked:?}; \
+                         schedule so far: {:?}",
+                        g.trace
+                    ),
+                );
+            } else {
+                g.done = true;
+            }
+            return None;
+        }
+
+        let me_enabled = enabled.contains(&me);
+        // Option ordering: the current thread first (running on is never a
+        // preemption), then the rest by id. Deterministic across replays.
+        let options: Vec<usize> = if me_enabled {
+            if g.bound.is_some_and(|b| g.preemptions >= b) {
+                vec![me]
+            } else {
+                std::iter::once(me)
+                    .chain(enabled.iter().copied().filter(|&t| t != me))
+                    .collect()
+            }
+        } else {
+            enabled
+        };
+
+        let chosen_thread = if g.depth < g.seeded {
+            let d = &mut g.path[g.depth];
+            if d.options.is_empty() {
+                // Replaying from an encoded seed: options were not recorded.
+                d.options = options.clone();
+            } else if d.options != options {
+                let msg = format!(
+                    "nondeterministic model: at step {} the replayed schedule \
+                     offered {:?} but this run offers {options:?}",
+                    g.depth, d.options
+                );
+                Self::fail(g, msg);
+                return None;
+            }
+            if d.chosen >= options.len() {
+                let chosen = d.chosen;
+                Self::fail(
+                    g,
+                    format!(
+                        "invalid replay seed: step {} chose branch {chosen} of {}",
+                        g.depth,
+                        options.len()
+                    ),
+                );
+                return None;
+            }
+            options[d.chosen]
+        } else {
+            g.path.push(Decision {
+                chosen: 0,
+                options: options.clone(),
+            });
+            options[0]
+        };
+        g.depth += 1;
+        if me_enabled && chosen_thread != me {
+            g.preemptions += 1;
+        }
+        g.trace.push(chosen_thread);
+        g.current = chosen_thread;
+        Some(chosen_thread)
+    }
+
+    /// A schedule point: optionally block the caller, pick the next thread
+    /// and park until the caller is chosen again.
+    pub(crate) fn switch(&self, me: usize, block: Option<Wait>) {
+        let mut g = self.lock();
+        if g.abort {
+            drop(g);
+            panic_abort();
+        }
+        g.steps += 1;
+        if g.steps > g.max_steps {
+            let max = g.max_steps;
+            Self::fail(
+                &mut g,
+                format!("model exceeded {max} schedule steps in one iteration (livelock?)"),
+            );
+            self.cv.notify_all();
+            drop(g);
+            panic_abort();
+        }
+        if let Some(w) = block {
+            g.threads[me] = ThreadState::Blocked(w);
+        }
+        let next = Self::pick_next(&mut g, me);
+        self.cv.notify_all();
+        if next == Some(me) {
+            return;
+        }
+        if next.is_none() {
+            // Iteration over (deadlock failure counts me as blocked).
+            drop(g);
+            panic_abort();
+        }
+        while !g.abort && g.current != me {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.abort {
+            drop(g);
+            panic_abort();
+        }
+        debug_assert_eq!(g.threads[me], ThreadState::Runnable);
+    }
+
+    /// First park of a freshly spawned model thread: wait to be scheduled.
+    pub(crate) fn wait_first(&self, me: usize) {
+        let mut g = self.lock();
+        while !g.abort && g.current != me {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.abort {
+            drop(g);
+            panic_abort();
+        }
+    }
+
+    /// Register a new runnable model thread; returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut g = self.lock();
+        g.threads.push(ThreadState::Runnable);
+        g.threads.len() - 1
+    }
+
+    /// Mark `me` finished, wake joiners, schedule whoever is next.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut g = self.lock();
+        if g.abort {
+            return;
+        }
+        g.threads[me] = ThreadState::Finished;
+        for t in 0..g.threads.len() {
+            if g.threads[t] == ThreadState::Blocked(Wait::Join(me)) {
+                g.threads[t] = ThreadState::Runnable;
+            }
+        }
+        let _ = Self::pick_next(&mut g, me);
+        self.cv.notify_all();
+    }
+
+    /// Record a genuine panic from a model thread as a model failure.
+    pub(crate) fn thread_panicked(&self, me: usize, payload: Box<dyn std::any::Any + Send>) {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        let mut g = self.lock();
+        g.threads[me] = ThreadState::Finished;
+        let trace = std::mem::take(&mut g.trace);
+        Self::fail(
+            &mut g,
+            format!("thread {me} panicked: {msg}; schedule: {trace:?}"),
+        );
+        self.cv.notify_all();
+    }
+
+    /// Block the driver until the iteration completes or aborts.
+    pub(crate) fn wait_done(&self) {
+        let mut g = self.lock();
+        while !g.done {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    // ---- object operations (each acquire-like op is a schedule point) ----
+
+    pub(crate) fn mutex_lock(&self, obj: usize, me: usize) {
+        self.switch(me, None);
+        loop {
+            {
+                let mut g = self.lock();
+                if let Object::Mutex { locked } = &mut g.objects[obj] {
+                    if !*locked {
+                        *locked = true;
+                        return;
+                    }
+                } else {
+                    unreachable!("object {obj} is not a mutex");
+                }
+            }
+            self.switch(me, Some(Wait::Mutex(obj)));
+        }
+    }
+
+    pub(crate) fn mutex_try_lock(&self, obj: usize, me: usize) -> bool {
+        self.switch(me, None);
+        let mut g = self.lock();
+        match &mut g.objects[obj] {
+            Object::Mutex { locked } if !*locked => {
+                *locked = true;
+                true
+            }
+            Object::Mutex { .. } => false,
+            _ => unreachable!("object {obj} is not a mutex"),
+        }
+    }
+
+    /// Unlock without a schedule point (used by condvar wait and teardown).
+    fn mutex_unlock_inner(g: &mut ExecState, obj: usize) {
+        if let Object::Mutex { locked } = &mut g.objects[obj] {
+            debug_assert!(*locked);
+            *locked = false;
+        }
+        for t in 0..g.threads.len() {
+            if g.threads[t] == ThreadState::Blocked(Wait::Mutex(obj)) {
+                g.threads[t] = ThreadState::Runnable;
+            }
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, obj: usize, me: usize) {
+        {
+            let mut g = self.lock();
+            if g.abort {
+                return;
+            }
+            Self::mutex_unlock_inner(&mut g, obj);
+        }
+        // Releasing during a panic unwind must not reschedule: the panic is
+        // either the teardown token or about to be recorded as the failure.
+        if !std::thread::panicking() {
+            self.switch(me, None);
+        }
+    }
+
+    pub(crate) fn rw_read(&self, obj: usize, me: usize) {
+        self.switch(me, None);
+        loop {
+            {
+                let mut g = self.lock();
+                if let Object::RwLock { readers, writer } = &mut g.objects[obj] {
+                    if !*writer {
+                        *readers += 1;
+                        return;
+                    }
+                } else {
+                    unreachable!("object {obj} is not an rwlock");
+                }
+            }
+            self.switch(me, Some(Wait::RwRead(obj)));
+        }
+    }
+
+    pub(crate) fn rw_write(&self, obj: usize, me: usize) {
+        self.switch(me, None);
+        loop {
+            {
+                let mut g = self.lock();
+                if let Object::RwLock { readers, writer } = &mut g.objects[obj] {
+                    if !*writer && *readers == 0 {
+                        *writer = true;
+                        return;
+                    }
+                } else {
+                    unreachable!("object {obj} is not an rwlock");
+                }
+            }
+            self.switch(me, Some(Wait::RwWrite(obj)));
+        }
+    }
+
+    pub(crate) fn rw_release(&self, obj: usize, me: usize, write: bool) {
+        {
+            let mut g = self.lock();
+            if g.abort {
+                return;
+            }
+            if let Object::RwLock { readers, writer } = &mut g.objects[obj] {
+                if write {
+                    debug_assert!(*writer);
+                    *writer = false;
+                } else {
+                    debug_assert!(*readers > 0);
+                    *readers -= 1;
+                }
+            }
+            for t in 0..g.threads.len() {
+                match g.threads[t] {
+                    ThreadState::Blocked(Wait::RwRead(o)) if o == obj => {
+                        g.threads[t] = ThreadState::Runnable;
+                    }
+                    ThreadState::Blocked(Wait::RwWrite(o)) if o == obj => {
+                        g.threads[t] = ThreadState::Runnable;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !std::thread::panicking() {
+            self.switch(me, None);
+        }
+    }
+
+    /// Atomically release the mutex and park on the condvar, then re-acquire
+    /// once notified. FIFO wakeup order (a documented simplification: real
+    /// loom also explores spurious wakeups).
+    pub(crate) fn condvar_wait(&self, cv: usize, mutex: usize, me: usize) {
+        self.switch(me, None);
+        {
+            let mut g = self.lock();
+            if let Object::Condvar { waiters } = &mut g.objects[cv] {
+                waiters.push(me);
+            } else {
+                unreachable!("object {cv} is not a condvar");
+            }
+            Self::mutex_unlock_inner(&mut g, mutex);
+        }
+        self.switch(me, Some(Wait::Condvar(cv)));
+        // Only a notify makes a condvar waiter runnable again.
+        debug_assert!({
+            let g = self.lock();
+            match &g.objects[cv] {
+                Object::Condvar { waiters } => !waiters.contains(&me),
+                _ => false,
+            }
+        });
+        loop {
+            {
+                let mut g = self.lock();
+                if let Object::Mutex { locked } = &mut g.objects[mutex] {
+                    if !*locked {
+                        *locked = true;
+                        return;
+                    }
+                }
+            }
+            self.switch(me, Some(Wait::Mutex(mutex)));
+        }
+    }
+
+    pub(crate) fn condvar_notify(&self, cv: usize, me: usize, all: bool) {
+        self.switch(me, None);
+        let mut g = self.lock();
+        let woken: Vec<usize> = if let Object::Condvar { waiters } = &mut g.objects[cv] {
+            let n = if all {
+                waiters.len()
+            } else {
+                1.min(waiters.len())
+            };
+            waiters.drain(..n).collect()
+        } else {
+            Vec::new()
+        };
+        for t in woken {
+            g.threads[t] = ThreadState::Runnable;
+        }
+    }
+
+    pub(crate) fn join_thread(&self, target: usize, me: usize) {
+        self.switch(me, None);
+        loop {
+            {
+                let g = self.lock();
+                if g.threads[target] == ThreadState::Finished {
+                    return;
+                }
+            }
+            self.switch(me, Some(Wait::Join(target)));
+        }
+    }
+}
+
+/// Spawn the root model thread (id 0) for one iteration.
+pub(crate) fn spawn_root<F>(exec: &Arc<Execution>, f: Arc<F>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let e = Arc::clone(exec);
+    let h = std::thread::Builder::new()
+        .name("loom-0".into())
+        .spawn(move || {
+            set_ctx(Arc::clone(&e), 0);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f()));
+            match r {
+                Ok(()) => e.finish(0),
+                Err(p) if p.is::<AbortToken>() => {}
+                Err(p) => e.thread_panicked(0, p),
+            }
+            clear_ctx();
+        })
+        .expect("spawn loom root thread");
+    exec.handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(h);
+}
+
+/// Spawn a child model thread; used by `loom::thread::spawn`.
+pub(crate) fn spawn_child<F, T>(
+    exec: &Arc<Execution>,
+    me: usize,
+    f: F,
+) -> (usize, Arc<Mutex<Option<std::thread::Result<T>>>>)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let id = exec.register_thread();
+    let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let e = Arc::clone(exec);
+    let h = std::thread::Builder::new()
+        .name(format!("loom-{id}"))
+        .spawn(move || {
+            set_ctx(Arc::clone(&e), id);
+            e.wait_first(id);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            match r {
+                Ok(v) => {
+                    *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                    e.finish(id);
+                }
+                Err(p) if p.is::<AbortToken>() => {}
+                Err(p) => e.thread_panicked(id, p),
+            }
+            clear_ctx();
+        })
+        .expect("spawn loom child thread");
+    exec.handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(h);
+    // The spawn itself is a visible event: give the scheduler the chance to
+    // run the child immediately (one of the interleavings).
+    exec.switch(me, None);
+    (id, slot)
+}
+
+/// Install (once) a panic hook that silences the teardown token but chains
+/// every other panic to the previously installed hook.
+pub(crate) fn install_quiet_abort_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortToken>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}

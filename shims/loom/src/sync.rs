@@ -1,0 +1,334 @@
+//! Model-aware `std::sync` mirror: `Mutex`, `RwLock`, `Condvar`, atomics.
+//!
+//! Every acquire, release, wait, notify and atomic access is a schedule
+//! point: the checker may switch threads there, and the DFS driver explores
+//! every such choice (under the preemption bound). Data lives in
+//! `UnsafeCell`s — the scheduler runs exactly one model thread at a time and
+//! the lock flags enforce exclusion, so no real locking is needed (a real
+//! blocking lock would deadlock the cooperative scheduler).
+
+use crate::rt::{self, Object};
+use std::cell::UnsafeCell;
+use std::sync::Arc as StdArc;
+
+/// Re-export: plain `Arc` is safe under the model (refcounts are atomic and
+/// the shim explores sequentially-consistent interleavings only).
+pub use std::sync::Arc;
+
+/// Mirrors `std::sync::LockResult`; the shim never poisons, so lock results
+/// are always `Ok` and `.unwrap()` in model code is exact std usage.
+pub type LockResult<G> = Result<G, std::sync::PoisonError<G>>;
+pub type TryLockResult<G> = Result<G, std::sync::TryLockError<G>>;
+
+/// A model mutex. Usable only inside `loom::model`.
+pub struct Mutex<T: ?Sized> {
+    exec: StdArc<rt::Execution>,
+    obj: usize,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        let (exec, _) = rt::require_ctx("loom::sync::Mutex");
+        let obj = exec.new_object(Object::Mutex { locked: false });
+        Mutex {
+            exec,
+            obj,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (_, me) = rt::require_ctx("Mutex::lock");
+        self.exec.mutex_lock(self.obj, me);
+        Ok(MutexGuard { lock: self })
+    }
+
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        let (_, me) = rt::require_ctx("Mutex::try_lock");
+        if self.exec.mutex_try_lock(self.obj, me) {
+            Ok(MutexGuard { lock: self })
+        } else {
+            Err(std::sync::TryLockError::WouldBlock)
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((_, me)) = rt::ctx() {
+            self.lock.exec.mutex_unlock(self.lock.obj, me);
+        }
+    }
+}
+
+/// A model reader-writer lock.
+pub struct RwLock<T: ?Sized> {
+    exec: StdArc<rt::Execution>,
+    obj: usize,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        let (exec, _) = rt::require_ctx("loom::sync::RwLock");
+        let obj = exec.new_object(Object::RwLock {
+            readers: 0,
+            writer: false,
+        });
+        RwLock {
+            exec,
+            obj,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let (_, me) = rt::require_ctx("RwLock::read");
+        self.exec.rw_read(self.obj, me);
+        Ok(RwLockReadGuard { lock: self })
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let (_, me) = rt::require_ctx("RwLock::write");
+        self.exec.rw_write(self.obj, me);
+        Ok(RwLockWriteGuard { lock: self })
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((_, me)) = rt::ctx() {
+            self.lock.exec.rw_release(self.lock.obj, me, false);
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((_, me)) = rt::ctx() {
+            self.lock.exec.rw_release(self.lock.obj, me, true);
+        }
+    }
+}
+
+/// A model condition variable with deterministic FIFO wakeups.
+pub struct Condvar {
+    exec: StdArc<rt::Execution>,
+    obj: usize,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let (exec, _) = rt::require_ctx("loom::sync::Condvar");
+        let obj = exec.new_object(Object::Condvar {
+            waiters: Vec::new(),
+        });
+        Condvar { exec, obj }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (_, me) = rt::require_ctx("Condvar::wait");
+        let lock = guard.lock;
+        std::mem::forget(guard); // the runtime releases the mutex itself
+        self.exec.condvar_wait(self.obj, lock.obj, me);
+        Ok(MutexGuard { lock })
+    }
+
+    pub fn notify_one(&self) {
+        let (_, me) = rt::require_ctx("Condvar::notify_one");
+        self.exec.condvar_notify(self.obj, me, false);
+    }
+
+    pub fn notify_all(&self) {
+        let (_, me) = rt::require_ctx("Condvar::notify_all");
+        self.exec.condvar_notify(self.obj, me, true);
+    }
+}
+
+pub mod atomic {
+    //! Sequentially-consistent model atomics: every access is a schedule
+    //! point; the `Ordering` argument is accepted but all operations execute
+    //! as SeqCst (the shim does not explore weak-memory reorderings — see
+    //! shims/README).
+
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+
+    fn schedule_point() {
+        if let Some((exec, me)) = rt::ctx() {
+            exec.switch(me, None);
+        }
+    }
+
+    /// A fence is a pure schedule point under the SC-only model.
+    pub fn fence(_order: Ordering) {
+        schedule_point();
+    }
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ty, $prim:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                pub fn new(v: $prim) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                pub fn load(&self, _o: Ordering) -> $prim {
+                    schedule_point();
+                    self.0.load(Ordering::SeqCst)
+                }
+
+                pub fn store(&self, v: $prim, _o: Ordering) {
+                    schedule_point();
+                    self.0.store(v, Ordering::SeqCst)
+                }
+
+                pub fn swap(&self, v: $prim, _o: Ordering) -> $prim {
+                    schedule_point();
+                    self.0.swap(v, Ordering::SeqCst)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    cur: $prim,
+                    new: $prim,
+                    _s: Ordering,
+                    _f: Ordering,
+                ) -> Result<$prim, $prim> {
+                    schedule_point();
+                    self.0
+                        .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    cur: $prim,
+                    new: $prim,
+                    s: Ordering,
+                    f: Ordering,
+                ) -> Result<$prim, $prim> {
+                    // Never fails spuriously in the model.
+                    self.compare_exchange(cur, new, s, f)
+                }
+
+                pub fn into_inner(self) -> $prim {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_arith {
+        ($name:ident, $prim:ty) => {
+            impl $name {
+                pub fn fetch_add(&self, v: $prim, _o: Ordering) -> $prim {
+                    schedule_point();
+                    self.0.fetch_add(v, Ordering::SeqCst)
+                }
+
+                pub fn fetch_sub(&self, v: $prim, _o: Ordering) -> $prim {
+                    schedule_point();
+                    self.0.fetch_sub(v, Ordering::SeqCst)
+                }
+
+                pub fn fetch_or(&self, v: $prim, _o: Ordering) -> $prim {
+                    schedule_point();
+                    self.0.fetch_or(v, Ordering::SeqCst)
+                }
+
+                pub fn fetch_and(&self, v: $prim, _o: Ordering) -> $prim {
+                    schedule_point();
+                    self.0.fetch_and(v, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    model_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    model_atomic!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+    model_atomic_arith!(AtomicUsize, usize);
+    model_atomic_arith!(AtomicU32, u32);
+    model_atomic_arith!(AtomicU64, u64);
+    model_atomic_arith!(AtomicI64, i64);
+
+    impl AtomicBool {
+        pub fn fetch_or(&self, v: bool, _o: Ordering) -> bool {
+            schedule_point();
+            self.0.fetch_or(v, Ordering::SeqCst)
+        }
+
+        pub fn fetch_and(&self, v: bool, _o: Ordering) -> bool {
+            schedule_point();
+            self.0.fetch_and(v, Ordering::SeqCst)
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Model-aware `std::thread` mirror: `spawn`, `JoinHandle`, `yield_now`.
+
+use crate::rt;
+use std::sync::{Arc, Mutex};
+
+/// Handle to a model thread, joinable like `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    exec: Arc<rt::Execution>,
+    id: usize,
+    slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Block (in model time) until the thread finishes and take its result.
+    ///
+    /// A child that panicked aborts the whole model run with a failure, so in
+    /// practice this only ever returns `Ok` — the `Result` mirrors std's API.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (_, me) = rt::require_ctx("JoinHandle::join");
+        self.exec.join_thread(self.id, me);
+        self.slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("loom: joined thread left no result")
+    }
+}
+
+/// Spawn a model thread. Must be called inside `loom::model`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, me) = rt::require_ctx("thread::spawn");
+    let (id, slot) = rt::spawn_child(&exec, me, f);
+    JoinHandle { exec, id, slot }
+}
+
+/// A pure schedule point: lets the checker preempt here.
+pub fn yield_now() {
+    if let Some((exec, me)) = rt::ctx() {
+        exec.switch(me, None);
+    }
+}

@@ -5,6 +5,20 @@
 //! and exposes the `parking_lot` calling convention: `lock()` returns the
 //! guard directly (no poisoning in the API — a poisoned std mutex is
 //! recovered transparently, matching parking_lot's poison-free semantics).
+//!
+//! ## Poison semantics
+//!
+//! A thread panicking while holding a guard poisons the underlying std lock,
+//! but every accessor here recovers the guard with `into_inner`, so **later
+//! lockers never panic and never block forever** — a panicking request
+//! handler cannot wedge the daemon (its dispatcher additionally wraps pumps
+//! in `catch_unwind`). The trade-off is that the protected value is whatever
+//! the panicking critical section left behind; that is safe in this codebase
+//! because critical sections keep single-field invariants (multi-structure
+//! moves hold all the involved locks together, and durable state is
+//! journaled and replayable). [`Mutex::is_poisoned`] keeps the event
+//! observable for tests and debugging without reintroducing poison
+//! propagation.
 
 use std::fmt;
 
@@ -40,6 +54,19 @@ impl<T: ?Sized> Mutex<T> {
 
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether a holder has panicked with this lock held. Purely
+    /// observational: `lock`/`try_lock` recover poisoned guards and never
+    /// fail. (Real parking_lot has no poisoning at all; this reports the
+    /// wrapped std lock's flag so panic-while-locked paths stay testable.)
+    pub fn is_poisoned(&self) -> bool {
+        self.0.is_poisoned()
+    }
+
+    /// Reset the poison flag after a recovered panic.
+    pub fn clear_poison(&self) {
+        self.0.clear_poison()
     }
 }
 
@@ -85,6 +112,32 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Whether a writer panicked with this lock held (see [`Mutex::is_poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.0.is_poisoned()
+    }
+
+    /// Reset the poison flag after a recovered panic.
+    pub fn clear_poison(&self) {
+        self.0.clear_poison()
+    }
 }
 
 impl<T: Default> Default for RwLock<T> {
@@ -120,5 +173,60 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    /// The satellite hazard: a handler panicking with the lock held must not
+    /// wedge later lockers — `lock()` recovers the guard, the poison flag
+    /// stays observable, and the value reflects the completed writes.
+    #[test]
+    fn panicking_holder_does_not_wedge_later_lockers() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = std::sync::Arc::clone(&m);
+        let t = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            *g = 7;
+            panic!("handler blew up with the lock held");
+        });
+        assert!(t.join().is_err());
+        assert!(m.is_poisoned(), "panic with guard held must be observable");
+        assert_eq!(*m.lock(), 7, "recovered guard sees the completed write");
+        *m.lock() += 1; // and the lock keeps working
+        assert_eq!(*m.lock(), 8);
+        m.clear_poison();
+        assert!(!m.is_poisoned());
+    }
+
+    #[test]
+    fn panicking_writer_does_not_wedge_rwlock() {
+        let l = std::sync::Arc::new(RwLock::new(1));
+        let l2 = std::sync::Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            let mut g = l2.write();
+            *g = 2;
+            panic!("writer blew up");
+        });
+        assert!(t.join().is_err());
+        assert!(l.is_poisoned());
+        assert_eq!(*l.read(), 2);
+        *l.write() = 3;
+        assert_eq!(*l.read(), 3);
+        l.clear_poison();
+        assert!(!l.is_poisoned());
+    }
+
+    #[test]
+    fn try_lock_recovers_poisoned_guard() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = std::sync::Arc::clone(&m);
+        std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join()
+        .unwrap_err();
+        assert!(
+            m.try_lock().is_some(),
+            "poison must not look like contention"
+        );
     }
 }

@@ -364,9 +364,45 @@ fn batched_wal_crash_loses_at_most_the_unsynced_suffix() {
     }
 }
 
-/// Crash a submit burst that crosses the auto-flush threshold: the prefix the
-/// batch policy flushed survives, the buffered tail is lost, and the boundary
-/// is clean — no torn middle, no reordering.
+/// Crash a submit burst that crosses the auto-flush threshold. Submit-path
+/// batches are deferred (the group commit is paid off the submitter thread),
+/// so a crash before the dispatcher's idle flush may lose the whole burst —
+/// but the loss is still a contiguous suffix with a clean boundary: no torn
+/// middle, no reordering.
+#[test]
+fn crash_before_idle_flush_loses_a_contiguous_suffix_only() {
+    let dir = chaos_dir("batched-boundary-crash");
+    let mut cfg = DaemonConfig::default();
+    cfg.journal.fsync_every = 4;
+    cfg.journal.group_max_records = 4;
+    cfg.journal.compact_every = 0;
+    let d = MiddlewareService::recover(&dir, resource(), cfg.clone()).unwrap();
+    let tok = d.open_session("ada", PriorityClass::Production).unwrap();
+    let ids: Vec<u64> = (0..6)
+        .map(|i| d.submit(&tok, program(10 + i), PatternHint::None).unwrap())
+        .collect();
+    drop(d); // crash mid-burst: the tripped batch was deferred, the tail buffered
+
+    let d2 = MiddlewareService::recover(&dir, resource(), cfg).unwrap();
+    let survived: Vec<bool> = ids.iter().map(|&id| d2.task_status(id).is_ok()).collect();
+    let cut = survived.iter().position(|s| !s).unwrap_or(survived.len());
+    assert!(
+        survived[cut..].iter().all(|s| !s),
+        "recovery must lose a contiguous suffix only: {survived:?}"
+    );
+    assert!(
+        cut < ids.len(),
+        "the deferred batch and buffered tail must be lost on crash: {survived:?}"
+    );
+    d2.pump();
+    for &id in &ids[..cut] {
+        assert_eq!(d2.task_status(id).unwrap(), DaemonTaskStatus::Completed);
+    }
+}
+
+/// The dispatcher's idle flush (`sync_journal`) is the durability boundary
+/// for deferred submit batches: everything submitted before it survives a
+/// crash, everything buffered after it is lost — cleanly, at the boundary.
 #[test]
 fn auto_flush_boundary_preserves_the_flushed_prefix() {
     let dir = chaos_dir("batched-boundary");
@@ -379,25 +415,28 @@ fn auto_flush_boundary_preserves_the_flushed_prefix() {
     let ids: Vec<u64> = (0..6)
         .map(|i| d.submit(&tok, program(10 + i), PatternHint::None).unwrap())
         .collect();
-    drop(d); // crash mid-burst: some submits crossed the threshold, the tail did not
+    // the dispatcher's lull flush: drains the deferred batch and the buffer
+    d.sync_journal();
+    let tail: Vec<u64> = (0..2)
+        .map(|i| d.submit(&tok, program(20 + i), PatternHint::None).unwrap())
+        .collect();
+    drop(d); // crash: the synced prefix is durable, the post-sync burst is not
 
     let d2 = MiddlewareService::recover(&dir, resource(), cfg).unwrap();
-    let survived: Vec<bool> = ids.iter().map(|&id| d2.task_status(id).is_ok()).collect();
-    let cut = survived.iter().position(|s| !s).unwrap_or(survived.len());
-    assert!(
-        survived[cut..].iter().all(|s| !s),
-        "recovery must lose a contiguous suffix only: {survived:?}"
-    );
-    assert!(
-        cut >= 1,
-        "the auto-flushed prefix must survive: {survived:?}"
-    );
-    assert!(
-        cut < ids.len(),
-        "the tail buffered past the last auto-flush must be lost: {survived:?}"
-    );
+    for &id in &ids {
+        assert!(
+            d2.task_status(id).is_ok(),
+            "everything acked before the idle flush must survive: {id}"
+        );
+    }
+    for &id in &tail {
+        assert!(
+            d2.task_status(id).is_err(),
+            "the burst after the last flush must be lost, not torn: {id}"
+        );
+    }
     d2.pump();
-    for &id in &ids[..cut] {
+    for &id in &ids {
         assert_eq!(d2.task_status(id).unwrap(), DaemonTaskStatus::Completed);
     }
 }
