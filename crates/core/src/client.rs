@@ -6,11 +6,13 @@
 //! instead of holding the QPU resource directly — the daemon owns
 //! prioritization and preemption.
 
+use crate::retry::{AttemptBudget, RetryPolicy};
 use hpcqc_emulator::SampleResult;
 use hpcqc_middleware::http::{HttpClient, HttpError};
 use hpcqc_middleware::{DaemonTaskStatus, PriorityClass};
 use hpcqc_program::{DeviceSpec, ProgramIr};
 use hpcqc_scheduler::PatternHint;
+use std::time::Duration;
 
 /// Client-side errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -192,10 +194,18 @@ impl DaemonSession {
             .ok_or_else(|| ClientError::Protocol("missing task_id".into()))
     }
 
-    /// Submit with `key`, retrying transport failures up to `max_attempts`
-    /// times. Safe against the classic at-most-once/at-least-once dilemma:
-    /// the key makes every retry idempotent, so a submit whose response was
-    /// lost is deduplicated server-side instead of enqueued twice.
+    /// Submit with `key`, retrying transient failures up to `max_attempts`
+    /// times with decorrelated-jitter backoff. Safe against the classic
+    /// at-most-once/at-least-once dilemma: the key makes every retry
+    /// idempotent, so a submit whose response was lost is deduplicated
+    /// server-side instead of enqueued twice.
+    ///
+    /// Transient means retryable-by-contract: transport failures (connection
+    /// refused/reset — e.g. a leader dying mid-request) and HTTP 503 (a
+    /// draining leader, an unpromoted follower, or a gateway shard between
+    /// failovers). Anything else — 4xx validation, quota, auth — fails
+    /// immediately. This is exactly the window a shard failover opens: the
+    /// client rides through drain → promote → reroute without help.
     pub fn submit_reliable(
         &self,
         ir: &ProgramIr,
@@ -203,31 +213,73 @@ impl DaemonSession {
         key: &str,
         max_attempts: usize,
     ) -> Result<u64, ClientError> {
-        let mut last = ClientError::Timeout;
-        for _ in 0..max_attempts.max(1) {
-            match self.submit_keyed(ir, hint, Some(key)) {
-                Ok(id) => return Ok(id),
-                Err(ClientError::Transport(m)) => last = ClientError::Transport(m),
-                Err(e) => return Err(e),
-            }
+        // Client-side pauses, not queue-side: short base, tight cap, and a
+        // five-second wall-clock budget so callers are never parked behind
+        // a shard that is not coming back.
+        let policy = RetryPolicy {
+            base_delay_secs: 0.01,
+            max_delay_secs: 0.25,
+            ..RetryPolicy::default()
         }
-        Err(last)
+        .with_budget(
+            PriorityClass::Test,
+            AttemptBudget {
+                max_attempts: max_attempts.max(1) as u32,
+                max_backoff_secs: 5.0,
+            },
+        );
+        self.submit_with_policy(ir, hint, key, &policy, PriorityClass::Test)
     }
 
-    /// Current status of a task.
+    /// [`Self::submit_reliable`] with an explicit [`RetryPolicy`]: attempts
+    /// and cumulative sleep are bounded by the policy's budget for `class`
+    /// (the wall-clock ceiling is `max_backoff_secs` plus the requests
+    /// themselves). The first non-transient error aborts the loop; when the
+    /// budget runs out, the last transient error is returned.
+    pub fn submit_with_policy(
+        &self,
+        ir: &ProgramIr,
+        hint: PatternHint,
+        key: &str,
+        policy: &RetryPolicy,
+        class: PriorityClass,
+    ) -> Result<u64, ClientError> {
+        let mut backoff = policy.backoff(class);
+        loop {
+            let last = match self.submit_keyed(ir, hint, Some(key)) {
+                Ok(id) => return Ok(id),
+                Err(e @ ClientError::Transport(_)) => e,
+                Err(e @ ClientError::Api { status: 503, .. }) => e,
+                Err(e) => return Err(e),
+            };
+            match backoff.next_delay() {
+                Some(delay) => std::thread::sleep(Duration::from_secs_f64(delay)),
+                None => return Err(last),
+            }
+        }
+    }
+
+    /// Current status of a task. The token query parameter is ignored by a
+    /// daemon reached directly; through a gateway it is the placement key
+    /// that routes the poll to the session's shard.
     pub fn status(&self, task: u64) -> Result<DaemonTaskStatus, ClientError> {
-        let (st, body) = self
-            .client
-            .request("GET", &format!("/v1/tasks/{task}"), None)?;
+        let (st, body) = self.client.request(
+            "GET",
+            &format!("/v1/tasks/{task}?token={}", self.token),
+            None,
+        )?;
         let body = expect_2xx(st, body)?;
         serde_json::from_str(&body).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
-    /// Fetch the result of a completed task.
+    /// Fetch the result of a completed task (token routes as in
+    /// [`Self::status`]).
     pub fn result(&self, task: u64) -> Result<SampleResult, ClientError> {
-        let (st, body) = self
-            .client
-            .request("GET", &format!("/v1/tasks/{task}/result"), None)?;
+        let (st, body) = self.client.request(
+            "GET",
+            &format!("/v1/tasks/{task}/result?token={}", self.token),
+            None,
+        )?;
         let body = expect_2xx(st, body)?;
         serde_json::from_str(&body).map_err(|e| ClientError::Protocol(e.to_string()))
     }
@@ -247,7 +299,10 @@ impl DaemonSession {
     pub fn wait(&self, task: u64, max_polls: usize) -> Result<SampleResult, ClientError> {
         for _ in 0..max_polls {
             if self.client.pump_on_poll {
-                let (st, body) = self.client.request("POST", "/v1/pump", Some("{}"))?;
+                // the token body field is routing metadata for gateways;
+                // the daemon's pump handler does not read it
+                let body = format!(r#"{{"token":"{}"}}"#, self.token);
+                let (st, body) = self.client.request("POST", "/v1/pump", Some(&body))?;
                 expect_2xx(st, body)?;
             } else {
                 std::thread::sleep(self.client.poll_interval);
@@ -385,6 +440,108 @@ mod tests {
             .submit_keyed(&ir(7), PatternHint::None, Some("job-2"))
             .unwrap();
         assert_ne!(first, third);
+    }
+
+    /// The satellite regression for the replicated control plane: a keyed
+    /// submit issued while its shard drains, dies, and fails over to a
+    /// promoted follower must come back `Ok` — and must not enqueue twice.
+    /// The old `submit_reliable` failed this two ways: it hot-looped without
+    /// sleeping (burning its attempts before promotion finished) and it
+    /// treated the drain's 503 as fatal.
+    #[test]
+    fn submit_reliable_rides_through_drain_and_promotion() {
+        use hpcqc_middleware::journal::FollowerReplica;
+        use hpcqc_middleware::rest::{serve, serve_on};
+        use hpcqc_middleware::{Gateway, GatewayConfig, ShardConfig};
+        use std::time::Duration;
+
+        fn repl_dir(name: &str) -> std::path::PathBuf {
+            let dir = std::env::temp_dir().join(format!(
+                "hpcqc-client-failover-{name}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        }
+        let res = Arc::new(LocalEmulatorResource::new(
+            "emu",
+            Arc::new(SvBackend::default()),
+            1,
+        ));
+        let (dir_a, dir_b) = (repl_dir("a"), repl_dir("b"));
+        let svc_a = Arc::new(
+            MiddlewareService::recover(&dir_a, res.clone() as _, DaemonConfig::default()).unwrap(),
+        );
+        svc_a.enable_shipping().unwrap();
+        let replica = FollowerReplica::open(&dir_b).unwrap();
+        let shipper = svc_a.spawn_shipper(replica, "b", Duration::from_millis(2));
+        let server_a = serve(Arc::clone(&svc_a)).unwrap();
+
+        // Reserve the follower's port up front so the gateway can be
+        // configured before the follower exists.
+        let reserved = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let follower_addr = reserved.local_addr().unwrap().to_string();
+        let follower_port = reserved.local_addr().unwrap().port();
+        let gw = Arc::new(Gateway::new(GatewayConfig {
+            shards: vec![ShardConfig {
+                name: "s0".into(),
+                primary: server_a.addr().to_string(),
+                follower: Some(follower_addr),
+            }],
+            ..GatewayConfig::default()
+        }));
+        let gw_server = gw.serve(0).unwrap();
+
+        let client = DaemonClient::new(gw_server.addr());
+        let session = client.open_session("ada", PriorityClass::Test).unwrap();
+        let id1 = session
+            .submit_reliable(&ir(5), PatternHint::None, "job-1", 3)
+            .unwrap();
+        session.wait(id1, 100).unwrap();
+
+        // Kill the leader: drain (503s), final ship, then the socket dies.
+        svc_a.shutdown(Duration::from_millis(100));
+        shipper.stop();
+        let last_acked = svc_a.last_acked();
+        drop(server_a);
+
+        // A second submit starts while the shard has no serving replica; it
+        // must retry-with-backoff through the whole failover window.
+        let retry_session = DaemonSession {
+            client: client.clone(),
+            token: session.token.clone(),
+        };
+        let submitter = std::thread::spawn(move || {
+            retry_session.submit_reliable(&ir(9), PatternHint::None, "job-2", 40)
+        });
+        std::thread::sleep(Duration::from_millis(30)); // let it fail a few times
+
+        // Promote the follower onto the reserved port and repoint traffic.
+        drop(reserved);
+        let svc_b = Arc::new(
+            MiddlewareService::promote(&dir_b, res as _, DaemonConfig::default(), last_acked)
+                .unwrap(),
+        );
+        let _server_b = serve_on(Arc::clone(&svc_b), follower_port).unwrap();
+        gw.probe_once();
+
+        let id2 = submitter
+            .join()
+            .unwrap()
+            .expect("submit must survive failover");
+        session.wait(id2, 200).unwrap();
+        // No duplicate enqueue: both keys dedup to their original ids on the
+        // promoted follower, across the failover.
+        let again1 = session
+            .submit_reliable(&ir(5), PatternHint::None, "job-1", 3)
+            .unwrap();
+        let again2 = session
+            .submit_reliable(&ir(9), PatternHint::None, "job-2", 3)
+            .unwrap();
+        assert_eq!(again1, id1, "idempotency map survives promotion");
+        assert_eq!(again2, id2, "retried submit did not double-enqueue");
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
     }
 
     #[test]

@@ -458,12 +458,19 @@ pub struct SharedJournal {
     /// hierarchy — waiters hold no tracked lock while blocked on it).
     seq: std::sync::Mutex<u64>,
     seq_cv: std::sync::Condvar,
+    /// Leader→follower shipping stream. `None` until
+    /// [`enable_shipping`](Self::enable_shipping); appended right after a
+    /// WAL write (still holding that write's ticket) so the stream order
+    /// always equals the WAL byte order.
+    shipping: hpcqc_sync::TrackedMutex<Option<ShippingLog>>,
 }
 
 /// One batch handed from the buffer to the WAL writer.
 struct Batch {
     ticket: u64,
     bytes: Vec<u8>,
+    /// Records framed into `bytes` (shipped to followers for lag metrics).
+    records: usize,
     fsync: bool,
 }
 
@@ -503,6 +510,11 @@ impl SharedJournal {
             ),
             seq: std::sync::Mutex::new(0),
             seq_cv: std::sync::Condvar::new(),
+            shipping: hpcqc_sync::TrackedMutex::new(
+                "middleware.journal.shiplog",
+                hpcqc_sync::rank::SHIP_LOG,
+                None,
+            ),
         })
     }
 
@@ -548,6 +560,7 @@ impl SharedJournal {
     /// policy bit), leaving the buffer empty. Under the buffer lock.
     fn take_batch(b: &mut BufState, fsync: bool) -> Batch {
         let bytes = std::mem::take(&mut b.buf);
+        let records = b.buf_records;
         b.buf_records = 0;
         b.buf_oldest = None;
         if fsync {
@@ -556,6 +569,7 @@ impl SharedJournal {
         Batch {
             ticket: Self::issue_ticket(b),
             bytes,
+            records,
             fsync,
         }
     }
@@ -609,6 +623,15 @@ impl SharedJournal {
             }
             Ok(())
         })();
+        // Ship the batch while we still own the ticket: no later ticket can
+        // append to the shipping log before us, so stream order equals WAL
+        // byte order. Failed or empty (ticket-retiring) writes ship nothing.
+        if res.is_ok() && !batch.bytes.is_empty() {
+            let mut s = self.shipping.lock();
+            if let Some(log) = s.as_mut() {
+                log.push_batch(batch.records as u64, &batch.bytes);
+            }
+        }
         let mut seq = self.seq.lock().unwrap_or_else(|e| e.into_inner());
         *seq += 1;
         self.seq_cv.notify_all();
@@ -806,6 +829,7 @@ impl SharedJournal {
             let _ = self.write_batch_ordered(Batch {
                 ticket: d.ticket,
                 bytes: Vec::new(),
+                records: 0,
                 fsync: false,
             });
         }
@@ -818,11 +842,11 @@ impl SharedJournal {
         drop(seq);
 
         let tmp = self.dir.join("snapshot.json.tmp");
+        let body = serde_json::to_string(snap)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
+            .into_bytes();
         {
             let mut f = File::create(&tmp)?;
-            let body = serde_json::to_string(snap)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
-                .into_bytes();
             f.write_all(&body)?;
             f.sync_data()?;
         }
@@ -835,7 +859,500 @@ impl SharedJournal {
             .open(self.dir.join(WAL_FILE))?;
         f.wal.sync_data()?;
         drop(f);
+        // Ship the compaction as a snapshot event. Still holding the buffer
+        // lock: no ticket can be issued, so no batch event can interleave
+        // between the WAL cut and this event. Earlier events are superseded
+        // (the snapshot carries the full state), so the log is trimmed to it
+        // and a follower behind the trim point resyncs from the snapshot.
+        {
+            let mut s = self.shipping.lock();
+            if let Some(log) = s.as_mut() {
+                log.push_snapshot(&body);
+            }
+        }
         drop(b);
+        Ok(())
+    }
+
+    /// Turn on leader→follower shipping, emitting the journal's *current*
+    /// durable state (snapshot + WAL bytes) as the stream's bootstrap events
+    /// so a follower starting at sequence 0 reconstructs it exactly.
+    ///
+    /// Call right after [`open`](Self::open) / recovery, before concurrent
+    /// appends begin — the bootstrap reads the files under the file lock but
+    /// does not drain buffered or deferred batches.
+    pub fn enable_shipping(&self) -> std::io::Result<()> {
+        let f = self.file.lock();
+        let snap = match std::fs::read(self.dir.join(SNAPSHOT_FILE)) {
+            Ok(bytes) => Some(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        let wal = std::fs::read(self.dir.join(WAL_FILE))?;
+        drop(f);
+        let mut s = self.shipping.lock();
+        if s.is_some() {
+            return Ok(());
+        }
+        let mut log = ShippingLog::new();
+        if let Some(snap) = snap {
+            log.push_snapshot(&snap);
+        }
+        if !wal.is_empty() {
+            let records = count_frames(&wal);
+            log.push_batch(records, &wal);
+        }
+        *s = Some(log);
+        Ok(())
+    }
+
+    /// Whether shipping is enabled.
+    pub fn shipping_enabled(&self) -> bool {
+        self.shipping.lock().is_some()
+    }
+
+    /// Events with sequence ≥ `from_seq`, for (re)transmission to a
+    /// follower. If `from_seq` predates the retained window (trimmed at the
+    /// last snapshot event), the full retained tail is returned — it begins
+    /// with a snapshot event, which followers accept as a forward resync.
+    /// Empty when shipping is disabled or the follower is caught up.
+    pub fn ship_fetch(&self, from_seq: u64) -> Vec<ShipEvent> {
+        let s = self.shipping.lock();
+        let Some(log) = s.as_ref() else {
+            return Vec::new();
+        };
+        log.events
+            .iter()
+            .filter(|ev| ev.seq() >= from_seq)
+            .cloned()
+            .collect()
+    }
+
+    /// Record a follower's durable-apply acknowledgement. Events every
+    /// follower has acked are dropped from the retained window — they can
+    /// never be refetched (acks only move forward), and trimming keeps the
+    /// fetch/lag scans O(pending) instead of O(history). A follower joining
+    /// later than the trim waits for the next compaction's snapshot event,
+    /// which resets the stream wholesale.
+    pub fn ship_ack(&self, follower: &str, ack: ReplicaAck) {
+        let mut s = self.shipping.lock();
+        if let Some(log) = s.as_mut() {
+            log.followers.insert(follower.to_string(), ack);
+            if let Some(floor) = log.followers.values().map(|a| a.applied_seq).min() {
+                while log.events.front().is_some_and(|ev| ev.seq() < floor) {
+                    log.events.pop_front();
+                }
+            }
+        }
+    }
+
+    /// The most advanced follower acknowledgement seen so far — the bar a
+    /// promotion candidate must meet (`None`: no follower ever acked).
+    pub fn ship_last_acked(&self) -> Option<ReplicaAck> {
+        let s = self.shipping.lock();
+        s.as_ref().and_then(|log| {
+            log.followers
+                .values()
+                .max_by_key(|a| a.applied_seq)
+                .copied()
+        })
+    }
+
+    /// Sequence the next shipped event will carry.
+    pub fn ship_next_seq(&self) -> u64 {
+        self.shipping.lock().as_ref().map_or(0, |log| log.next_seq)
+    }
+
+    /// Shipped-but-unacked gap `(records, bytes)` relative to the most
+    /// *behind* follower (every event counts while no follower has acked).
+    pub fn ship_lag(&self) -> (u64, u64) {
+        let s = self.shipping.lock();
+        let Some(log) = s.as_ref() else {
+            return (0, 0);
+        };
+        let floor = log
+            .followers
+            .values()
+            .map(|a| a.applied_seq)
+            .min()
+            .unwrap_or(0);
+        log.events
+            .iter()
+            .filter(|ev| ev.seq() >= floor)
+            .fold((0, 0), |(r, b), ev| {
+                (r + ev.records(), b + ev.payload_len() as u64)
+            })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leader→follower journal shipping.
+//
+// The leader's group-commit batches double as the replication unit: every
+// batch that lands on the leader's WAL is also appended — checksummed and
+// sequence-numbered — to an in-memory shipping log, and compactions ship the
+// snapshot itself. A follower applies events onto its own journal directory
+// (bytes verbatim, so the follower's files are bit-identical to the state
+// the leader persisted) and acknowledges how far it is durably applied.
+// Promotion replays that directory through the ordinary recovery path.
+// ---------------------------------------------------------------------------
+
+/// Count framed records in WAL `bytes` (frames are `[len][crc][payload]`).
+fn count_frames(bytes: &[u8]) -> u64 {
+    let mut n = 0;
+    let mut at = 0usize;
+    while at + 8 <= bytes.len() {
+        let len =
+            u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]) as usize;
+        if at + 8 + len > bytes.len() {
+            break;
+        }
+        at += 8 + len;
+        n += 1;
+    }
+    n
+}
+
+/// One group-commit batch on the shipping stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShippedBatch {
+    /// Position in the shipping stream (contiguous, per leader).
+    pub seq: u64,
+    /// Byte offset in the follower's WAL where `bytes` must land — the
+    /// offset-based resume/validation cursor.
+    pub offset: u64,
+    /// Records framed into `bytes`.
+    pub records: u64,
+    /// FNV-1a over `bytes`; a torn or bit-flipped transfer fails this before
+    /// anything touches the follower's journal.
+    pub checksum: u32,
+    /// The WAL bytes exactly as the leader wrote them (framing included).
+    pub bytes: Vec<u8>,
+}
+
+/// A compaction snapshot on the shipping stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShippedSnapshot {
+    /// Position in the shipping stream.
+    pub seq: u64,
+    /// FNV-1a over `bytes`.
+    pub checksum: u32,
+    /// The snapshot JSON exactly as the leader persisted it.
+    pub bytes: Vec<u8>,
+}
+
+/// One event on the leader→follower shipping stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ShipEvent {
+    /// Append these WAL bytes at the stated offset.
+    Batch(ShippedBatch),
+    /// Replace the snapshot and truncate the WAL (full-state resync point).
+    Snapshot(ShippedSnapshot),
+}
+
+impl ShipEvent {
+    /// Stream sequence of this event.
+    pub fn seq(&self) -> u64 {
+        match self {
+            ShipEvent::Batch(b) => b.seq,
+            ShipEvent::Snapshot(s) => s.seq,
+        }
+    }
+
+    /// Payload bytes carried.
+    pub fn payload_len(&self) -> usize {
+        match self {
+            ShipEvent::Batch(b) => b.bytes.len(),
+            ShipEvent::Snapshot(s) => s.bytes.len(),
+        }
+    }
+
+    /// Journal records carried (snapshots count 0 — they *replace* state).
+    pub fn records(&self) -> u64 {
+        match self {
+            ShipEvent::Batch(b) => b.records,
+            ShipEvent::Snapshot(_) => 0,
+        }
+    }
+}
+
+/// A follower's durable-apply cursor: how many stream events it has applied
+/// and how long its WAL is. Acks carry this; promotion is refused below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReplicaAck {
+    /// Events applied (also the next sequence the follower expects).
+    pub applied_seq: u64,
+    /// Bytes durably in the follower's WAL.
+    pub wal_len: u64,
+}
+
+impl ReplicaAck {
+    /// Whether a replica at `self` may be promoted when the cluster has
+    /// acknowledged up to `bar` (snapshots reset `wal_len`, so the sequence
+    /// dominates and the offset breaks ties).
+    pub fn at_least(&self, bar: &ReplicaAck) -> bool {
+        (self.applied_seq, self.wal_len) >= (bar.applied_seq, bar.wal_len)
+    }
+}
+
+/// Leader-side shipping state: the retained event window plus follower acks.
+struct ShippingLog {
+    events: std::collections::VecDeque<ShipEvent>,
+    next_seq: u64,
+    /// Leader WAL length as of the last shipped event (assigns offsets).
+    wal_offset: u64,
+    followers: std::collections::BTreeMap<String, ReplicaAck>,
+}
+
+impl ShippingLog {
+    fn new() -> Self {
+        ShippingLog {
+            events: std::collections::VecDeque::new(),
+            next_seq: 0,
+            wal_offset: 0,
+            followers: std::collections::BTreeMap::new(),
+        }
+    }
+
+    fn push_batch(&mut self, records: u64, bytes: &[u8]) {
+        let ev = ShippedBatch {
+            seq: self.next_seq,
+            offset: self.wal_offset,
+            records,
+            checksum: fnv1a32(bytes),
+            bytes: bytes.to_vec(),
+        };
+        self.next_seq += 1;
+        self.wal_offset += bytes.len() as u64;
+        self.events.push_back(ShipEvent::Batch(ev));
+    }
+
+    fn push_snapshot(&mut self, bytes: &[u8]) {
+        let ev = ShippedSnapshot {
+            seq: self.next_seq,
+            checksum: fnv1a32(bytes),
+            bytes: bytes.to_vec(),
+        };
+        self.next_seq += 1;
+        self.wal_offset = 0;
+        // The snapshot supersedes everything before it: trim the window.
+        self.events.clear();
+        self.events.push_back(ShipEvent::Snapshot(ev));
+    }
+}
+
+/// Why a follower refused a shipped event.
+#[derive(Debug)]
+pub enum ShipError {
+    /// Payload failed its FNV check — torn or corrupted in transfer.
+    Checksum { seq: u64 },
+    /// Not the next expected sequence (reordered, replayed, or gapped).
+    Sequence { expected: u64, got: u64 },
+    /// Batch offset does not match the follower's WAL length.
+    Offset { expected: u64, got: u64 },
+    /// Local I/O failure while applying.
+    Io(std::io::Error),
+}
+
+impl ShipError {
+    /// Stable label for metrics (`replication_rejected_events_total`).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ShipError::Checksum { .. } => "checksum",
+            ShipError::Sequence { .. } => "sequence",
+            ShipError::Offset { .. } => "offset",
+            ShipError::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for ShipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShipError::Checksum { seq } => write!(f, "checksum mismatch at seq {seq}"),
+            ShipError::Sequence { expected, got } => {
+                write!(f, "sequence gap: expected {expected}, got {got}")
+            }
+            ShipError::Offset { expected, got } => {
+                write!(f, "offset mismatch: wal at {expected}, batch at {got}")
+            }
+            ShipError::Io(e) => write!(f, "apply failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShipError {}
+
+impl From<std::io::Error> for ShipError {
+    fn from(e: std::io::Error) -> Self {
+        ShipError::Io(e)
+    }
+}
+
+/// Follower-side cursor metadata persisted next to the replicated journal.
+const REPLICA_META_FILE: &str = "replica.json";
+
+/// A warm-standby journal directory fed by a leader's shipping stream.
+///
+/// Applies [`ShipEvent`]s verbatim onto its own `wal.log` / `snapshot.json`
+/// after validating checksum, sequence contiguity and WAL offset, then
+/// fsyncs — an ack from a follower means the bytes are on *its* stable
+/// storage. The directory is a valid [`Journal`] at every point, so
+/// promotion is exactly `MiddlewareService::recover` over it.
+pub struct FollowerReplica {
+    dir: PathBuf,
+    wal: File,
+    next_seq: u64,
+    wal_len: u64,
+}
+
+impl FollowerReplica {
+    /// Open (creating if needed) a replica in `dir`, resuming its cursor
+    /// from the persisted metadata when present.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(WAL_FILE))?;
+        let wal_len = wal.metadata()?.len();
+        let next_seq = match std::fs::read_to_string(dir.join(REPLICA_META_FILE)) {
+            Ok(text) => serde_json::from_str::<ReplicaAck>(&text)
+                .map(|a| a.applied_seq)
+                .unwrap_or(0),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e),
+        };
+        Ok(FollowerReplica {
+            dir,
+            wal,
+            next_seq,
+            wal_len,
+        })
+    }
+
+    /// The replica's journal directory (a promotion candidate's `recover`
+    /// path).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current durable cursor — what this follower would ack.
+    pub fn ack(&self) -> ReplicaAck {
+        ReplicaAck {
+            applied_seq: self.next_seq,
+            wal_len: self.wal_len,
+        }
+    }
+
+    /// Read a replica directory's persisted cursor without opening it (the
+    /// promotion-refusal check reads this).
+    pub fn peek_ack(dir: impl AsRef<Path>) -> std::io::Result<ReplicaAck> {
+        let text = std::fs::read_to_string(dir.as_ref().join(REPLICA_META_FILE))?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Validate and durably apply one shipped event; returns the new cursor
+    /// (the ack to send). Rejected events leave the replica untouched, so a
+    /// retransmission of the valid event still applies cleanly.
+    pub fn apply(&mut self, ev: &ShipEvent) -> Result<ReplicaAck, ShipError> {
+        self.apply_unsynced(ev)?;
+        self.finish_round()?;
+        Ok(self.ack())
+    }
+
+    /// Apply a run of events with one durability point: every batch is
+    /// written in order, the WAL is fsynced once at the end of the run, and
+    /// the cursor is persisted once — the follower-side mirror of the
+    /// leader's group commit, and the reason acks are emitted per *round*,
+    /// not per event. A validation failure stops the run; the already-
+    /// written prefix is made durable and counted. Returns `(applied,
+    /// rejection)`.
+    pub fn apply_all(&mut self, events: &[ShipEvent]) -> (usize, Option<ShipError>) {
+        let mut applied = 0;
+        let mut err = None;
+        for ev in events {
+            match self.apply_unsynced(ev) {
+                Ok(()) => applied += 1,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Err(e) = self.finish_round() {
+            err.get_or_insert(e);
+        }
+        (applied, err)
+    }
+
+    /// Make the round's writes durable and persist the cursor.
+    fn finish_round(&mut self) -> Result<(), ShipError> {
+        self.wal.sync_data()?;
+        let ack = self.ack();
+        std::fs::write(
+            self.dir.join(REPLICA_META_FILE),
+            serde_json::to_string(&ack)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?,
+        )?;
+        Ok(())
+    }
+
+    /// Validate and write one event without the round-closing fsync.
+    fn apply_unsynced(&mut self, ev: &ShipEvent) -> Result<(), ShipError> {
+        match ev {
+            ShipEvent::Batch(b) => {
+                if fnv1a32(&b.bytes) != b.checksum {
+                    return Err(ShipError::Checksum { seq: b.seq });
+                }
+                if b.seq != self.next_seq {
+                    return Err(ShipError::Sequence {
+                        expected: self.next_seq,
+                        got: b.seq,
+                    });
+                }
+                if b.offset != self.wal_len {
+                    return Err(ShipError::Offset {
+                        expected: self.wal_len,
+                        got: b.offset,
+                    });
+                }
+                self.wal.write_all(&b.bytes)?;
+                self.wal_len += b.bytes.len() as u64;
+                self.next_seq = b.seq + 1;
+            }
+            ShipEvent::Snapshot(s) => {
+                if fnv1a32(&s.bytes) != s.checksum {
+                    return Err(ShipError::Checksum { seq: s.seq });
+                }
+                // Forward jumps are allowed: a snapshot is a full-state
+                // resync, so a follower behind the leader's retained window
+                // re-bases on it. Replayed/reordered snapshots are not.
+                if s.seq < self.next_seq {
+                    return Err(ShipError::Sequence {
+                        expected: self.next_seq,
+                        got: s.seq,
+                    });
+                }
+                let tmp = self.dir.join("snapshot.json.tmp");
+                {
+                    let mut f = File::create(&tmp)?;
+                    f.write_all(&s.bytes)?;
+                    f.sync_data()?;
+                }
+                std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+                self.wal = OpenOptions::new()
+                    .create(true)
+                    .write(true)
+                    .truncate(true)
+                    .open(self.dir.join(WAL_FILE))?;
+                self.wal.sync_data()?;
+                self.wal_len = 0;
+                self.next_seq = s.seq + 1;
+            }
+        }
         Ok(())
     }
 }
@@ -1330,5 +1847,193 @@ mod tests {
             "outcome carries the policy bit so callers skip a second buffer lock"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -- shipping ----------------------------------------------------------
+
+    /// Ship every pending event from `j` into `f`, acking as `name`.
+    fn pump(j: &SharedJournal, f: &mut FollowerReplica, name: &str) -> usize {
+        let mut n = 0;
+        for ev in j.ship_fetch(f.ack().applied_seq) {
+            let ack = f.apply(&ev).unwrap();
+            j.ship_ack(name, ack);
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn shipped_batches_replicate_the_wal_byte_for_byte() {
+        let dir = tmpdir("ship-batches");
+        let fdir = tmpdir("ship-batches-follower");
+        let j = SharedJournal::open(&dir, JournalConfig::default()).unwrap();
+        j.enable_shipping().unwrap();
+        let mut f = FollowerReplica::open(&fdir).unwrap();
+        for i in 0..5 {
+            j.append(&rec(i)).unwrap();
+        }
+        assert!(pump(&j, &mut f, "f0") >= 1);
+        assert_eq!(
+            std::fs::read(dir.join(WAL_FILE)).unwrap(),
+            std::fs::read(fdir.join(WAL_FILE)).unwrap(),
+            "follower WAL must be bit-identical to the leader's"
+        );
+        let replay = Journal::load(&fdir).unwrap();
+        assert_eq!(replay.records.len(), 5);
+        assert_eq!(replay.records[3], rec(3));
+        assert_eq!(j.ship_last_acked().unwrap(), f.ack());
+        assert_eq!(j.ship_lag(), (0, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn compaction_ships_the_snapshot_and_follower_resyncs() {
+        let dir = tmpdir("ship-snap");
+        let fdir = tmpdir("ship-snap-follower");
+        let j = SharedJournal::open(&dir, JournalConfig::default()).unwrap();
+        j.enable_shipping().unwrap();
+        let mut f = FollowerReplica::open(&fdir).unwrap();
+        j.append(&rec(1)).unwrap();
+        let snap = DaemonSnapshot {
+            next_task: 42,
+            ..DaemonSnapshot::default()
+        };
+        j.compact(&snap).unwrap();
+        j.append(&rec(2)).unwrap();
+        // The follower never saw the pre-compaction batch: the retained
+        // window starts at the snapshot, and it re-bases on it.
+        pump(&j, &mut f, "f0");
+        let replay = Journal::load(&fdir).unwrap();
+        assert_eq!(replay.snapshot.unwrap().next_task, 42);
+        assert_eq!(replay.records, vec![rec(2)]);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn follower_rejects_torn_reordered_and_misplaced_batches() {
+        let dir = tmpdir("ship-reject");
+        let fdir = tmpdir("ship-reject-follower");
+        let j = SharedJournal::open(&dir, JournalConfig::default()).unwrap();
+        j.enable_shipping().unwrap();
+        let mut f = FollowerReplica::open(&fdir).unwrap();
+        j.append(&rec(1)).unwrap();
+        j.append(&rec(2)).unwrap();
+        let events = j.ship_fetch(0);
+        assert_eq!(events.len(), 2);
+
+        // bit-flip: checksum rejects before anything is applied
+        let ShipEvent::Batch(good) = events[0].clone() else {
+            panic!("expected batch")
+        };
+        let mut torn = good.clone();
+        torn.bytes[10] ^= 0x40;
+        let err = f.apply(&ShipEvent::Batch(torn)).unwrap_err();
+        assert_eq!(err.reason(), "checksum");
+
+        // out of order: the second batch before the first is a sequence gap
+        let err = f.apply(&events[1]).unwrap_err();
+        assert_eq!(err.reason(), "sequence");
+
+        // the valid event still applies after the rejections
+        let ack = f.apply(&events[0]).unwrap();
+        assert_eq!(ack.applied_seq, 1);
+
+        // a replay of an already-applied batch is rejected too
+        let err = f.apply(&events[0]).unwrap_err();
+        assert_eq!(err.reason(), "sequence");
+
+        // and a batch whose offset skips bytes is caught even if the
+        // sequence looks right
+        let ShipEvent::Batch(second) = events[1].clone() else {
+            panic!("expected batch")
+        };
+        let mut skewed = second.clone();
+        skewed.offset += 8;
+        skewed.checksum = fnv1a32(&skewed.bytes);
+        let err = f.apply(&ShipEvent::Batch(skewed)).unwrap_err();
+        assert_eq!(err.reason(), "offset");
+
+        let ack = f.apply(&events[1]).unwrap();
+        assert_eq!(ack.applied_seq, 2, "clean retransmissions catch back up");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn follower_resumes_from_its_ack_after_disconnect() {
+        let dir = tmpdir("ship-resume");
+        let fdir = tmpdir("ship-resume-follower");
+        let j = SharedJournal::open(&dir, JournalConfig::default()).unwrap();
+        j.enable_shipping().unwrap();
+        {
+            let mut f = FollowerReplica::open(&fdir).unwrap();
+            j.append(&rec(1)).unwrap();
+            pump(&j, &mut f, "f0");
+        }
+        // follower "disconnects"; the leader keeps appending
+        j.append(&rec(2)).unwrap();
+        j.append(&rec(3)).unwrap();
+        // reconnect: the persisted cursor resumes exactly where it left off
+        let mut f = FollowerReplica::open(&fdir).unwrap();
+        assert_eq!(f.ack().applied_seq, 1);
+        pump(&j, &mut f, "f0");
+        let replay = Journal::load(&fdir).unwrap();
+        assert_eq!(replay.records, vec![rec(1), rec(2), rec(3)]);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn enable_shipping_bootstraps_existing_state() {
+        let dir = tmpdir("ship-bootstrap");
+        let fdir = tmpdir("ship-bootstrap-follower");
+        {
+            let mut j = Journal::open(&dir, JournalConfig::default()).unwrap();
+            let snap = DaemonSnapshot {
+                next_task: 7,
+                ..DaemonSnapshot::default()
+            };
+            j.compact(&snap).unwrap();
+            j.append(&rec(9)).unwrap();
+        }
+        let j = SharedJournal::open(&dir, JournalConfig::default()).unwrap();
+        j.enable_shipping().unwrap();
+        let mut f = FollowerReplica::open(&fdir).unwrap();
+        pump(&j, &mut f, "f0");
+        let replay = Journal::load(&fdir).unwrap();
+        assert_eq!(replay.snapshot.unwrap().next_task, 7);
+        assert_eq!(replay.records, vec![rec(9)]);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&fdir);
+    }
+
+    #[test]
+    fn ship_lag_tracks_the_most_behind_follower() {
+        let dir = tmpdir("ship-lag");
+        let fa = tmpdir("ship-lag-a");
+        let fb = tmpdir("ship-lag-b");
+        let j = SharedJournal::open(&dir, JournalConfig::default()).unwrap();
+        j.enable_shipping().unwrap();
+        let mut a = FollowerReplica::open(&fa).unwrap();
+        let mut b = FollowerReplica::open(&fb).unwrap();
+        // register both retention slots up front: a's acks must not trim
+        // events b still needs
+        j.ship_ack("a", a.ack());
+        j.ship_ack("b", b.ack());
+        j.append(&rec(1)).unwrap();
+        j.append(&rec(2)).unwrap();
+        pump(&j, &mut a, "a");
+        // b applies only the first event
+        let events = j.ship_fetch(0);
+        j.ship_ack("b", b.apply(&events[0]).unwrap());
+        let (records, bytes) = j.ship_lag();
+        assert_eq!(records, 1, "one batch not yet applied by the slowest");
+        assert!(bytes > 0);
+        assert_eq!(j.ship_last_acked().unwrap(), a.ack(), "bar is the best ack");
+        for d in [&dir, &fa, &fb] {
+            let _ = std::fs::remove_dir_all(d);
+        }
     }
 }

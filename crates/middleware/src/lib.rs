@@ -16,11 +16,14 @@
 //!   a readiness-driven (epoll) event loop with keep-alive, pipelining and
 //!   connection backpressure,
 //! * [`cosim`] — discrete-event co-simulation of the two-level architecture
-//!   powering the Table-1 / Figure-2 experiments.
+//!   powering the Table-1 / Figure-2 experiments,
+//! * [`gateway`] — consistent-hash front door over N replicated shards:
+//!   readiness-probed routing, follower failover, aggregated views.
 
 pub mod cosim;
 pub mod daemon;
 pub mod fairshare;
+pub mod gateway;
 pub mod http;
 pub mod journal;
 pub mod rest;
@@ -33,11 +36,15 @@ pub use cosim::{
 };
 pub use daemon::{
     DaemonConfig, DaemonError, DaemonHealth, DaemonTaskStatus, DispatcherHandle, DrainReport,
-    MiddlewareService,
+    MiddlewareService, ReadinessReport, ReplicaRole, ShipperHandle,
 };
 pub use fairshare::FairshareTracker;
+pub use gateway::{Gateway, GatewayConfig, ShardConfig};
 pub use http::{http_request, HttpClient, Request, Response};
-pub use journal::{DaemonSnapshot, Journal, JournalConfig, JournalRecord};
+pub use journal::{
+    DaemonSnapshot, FollowerReplica, Journal, JournalConfig, JournalRecord, ReplicaAck, ShipError,
+    ShipEvent, ShippedBatch, ShippedSnapshot,
+};
 pub use server::{HttpServer, ServerConfig};
 pub use session::{PriorityClass, Session, SessionError, SessionManager};
 pub use taskqueue::{QuantumTask, QueueConfig, QueueError, TaskQueue};

@@ -16,6 +16,7 @@
 //! DELETE /v1/tasks/{id}?token=T                           → {}
 //! POST   /v1/pump                    {}                   → {dispatched} (drives the queue)
 //! GET    /v1/healthz                                      → {status} (503 while draining)
+//! GET    /v1/readyz                                       → ReadinessReport (503 unless a serving leader)
 //! GET    /metrics                                         → Prometheus text
 //! GET    /v1/admin/qpu/status                             → {status}
 //! POST   /v1/admin/qpu/status        {status}             → {}
@@ -188,6 +189,18 @@ pub fn route(svc: &MiddlewareService, req: &Request) -> Response {
             match health {
                 crate::daemon::DaemonHealth::Ok => Response::json(200, body),
                 _ => Response::json(503, body),
+            }
+        }
+        // Liveness vs readiness: healthz answers "is the process up", readyz
+        // answers "should traffic come here" — a healthy follower is 200 on
+        // the former and 503 on the latter. The gateway routes on this one.
+        ("GET", ["v1", "readyz"]) => {
+            let report = svc.readiness();
+            let body = serde_json::to_string(&report).unwrap_or_else(|_| "{}".into());
+            if report.ready {
+                Response::json(200, body)
+            } else {
+                Response::json(503, body)
             }
         }
         ("GET", ["metrics"]) => Response::text(200, svc.metrics_text()),
@@ -568,10 +581,17 @@ mod tests {
         let (st, body) = http_request(&addr, "GET", "/v1/healthz", None).unwrap();
         assert_eq!(st, 200);
         assert!(body.contains("ok"), "{body}");
+        // readiness agrees while serving as leader
+        let (st, body) = http_request(&addr, "GET", "/v1/readyz", None).unwrap();
+        assert_eq!(st, 200, "{body}");
+        assert!(body.contains(r#""role":"leader""#), "{body}");
         svc.shutdown(std::time::Duration::from_millis(50));
         let (st, body) = http_request(&addr, "GET", "/v1/healthz", None).unwrap();
         assert_eq!(st, 503, "{body}");
         assert!(body.contains("stopped"), "{body}");
+        let (st, body) = http_request(&addr, "GET", "/v1/readyz", None).unwrap();
+        assert_eq!(st, 503, "{body}");
+        assert!(body.contains(r#""role":"stopped""#), "{body}");
         // a stopped daemon refuses new sessions with 503 too
         let (st, _) = http_request(
             &addr,
@@ -581,6 +601,34 @@ mod tests {
         )
         .unwrap();
         assert_eq!(st, 503);
+    }
+
+    /// Liveness and readiness split: a healthy *follower* is alive (healthz
+    /// 200) but must not take traffic (readyz 503) — and it refuses client
+    /// work with 503 until promoted.
+    #[test]
+    fn follower_is_live_but_not_ready() {
+        let svc = service();
+        svc.set_role(crate::daemon::ReplicaRole::Follower);
+        let server = serve(Arc::clone(&svc)).unwrap();
+        let addr = server.addr().to_string();
+        let (st, body) = http_request(&addr, "GET", "/v1/healthz", None).unwrap();
+        assert_eq!(st, 200, "{body}");
+        let (st, body) = http_request(&addr, "GET", "/v1/readyz", None).unwrap();
+        assert_eq!(st, 503, "{body}");
+        assert!(body.contains(r#""role":"follower""#), "{body}");
+        let (st, _) = http_request(
+            &addr,
+            "POST",
+            "/v1/sessions",
+            Some(r#"{"user":"x","class":"test"}"#),
+        )
+        .unwrap();
+        assert_eq!(st, 503, "followers admit no client work");
+        svc.set_role(crate::daemon::ReplicaRole::Leader);
+        let (st, body) = http_request(&addr, "GET", "/v1/readyz", None).unwrap();
+        assert_eq!(st, 200, "{body}");
+        assert!(body.contains(r#""ready":true"#), "{body}");
     }
 
     /// Regression: `status_text` used to miss 503/429, so backpressure

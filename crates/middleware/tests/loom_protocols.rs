@@ -301,3 +301,72 @@ fn missing_generation_check_is_caught() {
     );
     assert!(msg.contains("LOOM_REPLAY"), "missing replay seed: {msg}");
 }
+
+// ---------------------------------------------------------------------------
+// Protocol 4: ship → ack → promote (journal.rs `FollowerReplica` + daemon.rs
+// `promote`).
+//
+// The follower applies a shipped event to durable storage *before* the ack
+// is published: an acknowledgement is a durability promise, and promotion
+// trusts it — `promote` reads the last-acked bar and refuses any replica
+// whose applied cursor is behind it. If acks could be published before the
+// apply landed, a leader crash in that window would lose an event every
+// survivor believes is safe.
+// ---------------------------------------------------------------------------
+
+struct ShipState {
+    /// The follower's durable WAL cursor (`FollowerReplica::apply` has
+    /// written and fsynced up to here).
+    applied: Mutex<u64>,
+    /// The acknowledgement bar visible to the coordinator
+    /// (`SharedJournal::ship_ack` → `MiddlewareService::last_acked`).
+    acked: Mutex<u64>,
+}
+
+fn ship_ack_model(apply_before_ack: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let s = Arc::new(ShipState {
+            applied: Mutex::new(0),
+            acked: Mutex::new(0),
+        });
+        let shipper = Arc::clone(&s);
+        let h = thread::spawn(move || {
+            for seq in 1..=2u64 {
+                if apply_before_ack {
+                    *shipper.applied.lock().unwrap() = seq;
+                    *shipper.acked.lock().unwrap() = seq;
+                } else {
+                    // Injected bug: the ack races ahead of the durable
+                    // apply — the coordinator can now believe in an event
+                    // no replica holds.
+                    *shipper.acked.lock().unwrap() = seq;
+                    *shipper.applied.lock().unwrap() = seq;
+                }
+            }
+        });
+        // The promoter races the shipping pump: capture the bar, then read
+        // the candidate's cursor — exactly `promote`'s refusal check.
+        let bar = *s.acked.lock().unwrap();
+        let cursor = *s.applied.lock().unwrap();
+        assert!(
+            cursor >= bar,
+            "acked event must already be durable on the follower"
+        );
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn ack_implies_durable_apply_under_promotion_race() {
+    loom::model(ship_ack_model(true));
+}
+
+#[test]
+fn ack_racing_ahead_of_apply_is_caught() {
+    let msg = failure_message(ship_ack_model(false));
+    assert!(
+        msg.contains("durable on the follower"),
+        "unexpected failure: {msg}"
+    );
+    assert!(msg.contains("LOOM_REPLAY"), "missing replay seed: {msg}");
+}

@@ -37,6 +37,10 @@ pub use tracked::{
 /// increasing rank order; the table lives here so every crate declares ranks
 /// from one place (DESIGN.md §14 documents the reasoning per edge).
 pub mod rank {
+    /// Gateway routing table — outermost of all: the gateway picks a shard,
+    /// drops the guard, and only then proxies into a daemon (which takes
+    /// DISPATCH and everything below it on its own thread).
+    pub const GATEWAY_ROUTES: u32 = 60;
     /// Dispatcher pump serialization — outermost: held across a whole pump.
     pub const DISPATCH: u32 = 100;
     /// Journal compaction gate (appends hold it shared; compaction holds it
@@ -68,6 +72,8 @@ pub mod rank {
     pub const IDEMPOTENCY: u32 = 800;
     /// Simulated clock (innermost of the daemon state locks).
     pub const CLOCK: u32 = 850;
+    /// Replication role + lag (leader/follower flag, shipped-vs-acked gap).
+    pub const REPLICATION: u32 = 860;
     /// Daemon lifecycle flags.
     pub const LIFECYCLE: u32 = 870;
     /// Admin-set device status strings (recovered / last-seen).
@@ -79,6 +85,10 @@ pub mod rank {
     pub const JOURNAL_PENDING: u32 = 910;
     /// Journal WAL file + fsync state (acquired after draining the buffer).
     pub const JOURNAL_FILE: u32 = 920;
+    /// Journal shipping log (leader→follower stream buffer). Events are
+    /// appended right after a WAL write or snapshot, so it nests inside
+    /// JOURNAL_BUF/JOURNAL_FILE.
+    pub const SHIP_LOG: u32 = 930;
     /// Server completion queue (event-loop handoff).
     pub const SERVER_COMPLETIONS: u32 = 940;
     /// QRMI fault-injection burst state (locks its RNG while held).

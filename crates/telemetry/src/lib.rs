@@ -18,6 +18,7 @@ pub mod durability;
 pub mod fault;
 pub mod lint;
 pub mod metrics;
+pub mod replication;
 pub mod sync;
 pub mod transport;
 pub mod tsdb;
@@ -28,6 +29,7 @@ pub use durability::DurabilityMetrics;
 pub use fault::FaultMetrics;
 pub use lint::LintMetrics;
 pub use metrics::{labels, Labels, Registry};
+pub use replication::ReplicationMetrics;
 pub use sync::export_lock_metrics;
 pub use transport::TransportMetrics;
 pub use tsdb::{Agg, Point, TimeSeriesDb};

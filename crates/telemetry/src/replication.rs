@@ -1,0 +1,190 @@
+//! Typed metrics for control-plane replication and failover.
+//!
+//! The leader→follower journal shipping stream, follower promotion and the
+//! gateway's shard failover all report through this facade, mirroring how
+//! [`DurabilityMetrics`](crate::DurabilityMetrics) unifies the single-node
+//! durability story: one registry handle, consistent metric names, and the
+//! whole replication picture visible from `/metrics`.
+
+use crate::metrics::{labels, Labels, Registry};
+
+/// Histogram bounds for failover duration (seconds). Failover is promote +
+/// first successful serve; the quick-profile target is < 0.5 s.
+const FAILOVER_BOUNDS: &[f64] = &[0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0];
+
+/// Shared-handle facade over a [`Registry`] for replication counters.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationMetrics {
+    registry: Registry,
+}
+
+impl ReplicationMetrics {
+    /// Wrap an existing registry (shared by handle).
+    pub fn new(registry: Registry) -> Self {
+        ReplicationMetrics { registry }
+    }
+
+    /// The underlying registry (for exposition or further instrumentation).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A batch (or snapshot) of `records` records / `bytes` bytes was shipped
+    /// to a follower.
+    pub fn shipped(&self, records: usize, bytes: usize) {
+        self.registry.counter_add(
+            "replication_shipped_records_total",
+            "Journal records shipped to followers",
+            Labels::new(),
+            records as f64,
+        );
+        self.registry.counter_add(
+            "replication_shipped_bytes_total",
+            "Journal bytes shipped to followers",
+            Labels::new(),
+            bytes as f64,
+        );
+    }
+
+    /// A follower acknowledged `records` records / `bytes` bytes as durably
+    /// applied.
+    pub fn acked(&self, records: usize, bytes: usize) {
+        self.registry.counter_add(
+            "replication_acked_records_total",
+            "Journal records acked by followers",
+            Labels::new(),
+            records as f64,
+        );
+        self.registry.counter_add(
+            "replication_acked_bytes_total",
+            "Journal bytes acked by followers",
+            Labels::new(),
+            bytes as f64,
+        );
+    }
+
+    /// Current shipped-but-unacked gap.
+    pub fn lag(&self, records: u64, bytes: u64) {
+        self.registry.gauge_set(
+            "replication_lag_records",
+            "Journal records shipped but not yet acked",
+            Labels::new(),
+            records as f64,
+        );
+        self.registry.gauge_set(
+            "replication_lag_bytes",
+            "Journal bytes shipped but not yet acked",
+            Labels::new(),
+            bytes as f64,
+        );
+    }
+
+    /// A shipped event was rejected by a follower (`reason`: `checksum`,
+    /// `sequence`, `offset`).
+    pub fn rejected(&self, reason: &str) {
+        self.registry.counter_add(
+            "replication_rejected_events_total",
+            "Shipped events rejected by follower validation",
+            labels(&[("reason", reason)]),
+            1.0,
+        );
+    }
+
+    /// A follower was promoted to leader.
+    pub fn promotion(&self) {
+        self.registry.counter_add(
+            "replication_promotions_total",
+            "Followers promoted to leader",
+            Labels::new(),
+            1.0,
+        );
+    }
+
+    /// A promotion was refused (follower behind the last-acked offset).
+    pub fn promotion_refused(&self) {
+        self.registry.counter_add(
+            "replication_promotions_refused_total",
+            "Promotions refused because the follower was behind the last ack",
+            Labels::new(),
+            1.0,
+        );
+    }
+
+    /// Failover completed end to end (promote through first serve).
+    pub fn failover_duration(&self, secs: f64) {
+        self.registry.histogram_observe(
+            "replication_failover_seconds",
+            "Failover duration: promotion through first successful serve",
+            Labels::new(),
+            FAILOVER_BOUNDS,
+            secs,
+        );
+    }
+
+    /// The gateway failed a shard's traffic over to its follower.
+    pub fn shard_failover(&self, shard: &str) {
+        self.registry.counter_add(
+            "gateway_shard_failovers_total",
+            "Shard traffic failovers performed by the gateway",
+            labels(&[("shard", shard)]),
+            1.0,
+        );
+    }
+
+    /// One gateway readiness probe finished (`ready` per the shard's reply).
+    pub fn probe(&self, shard: &str, ready: bool) {
+        self.registry.counter_add(
+            "gateway_probes_total",
+            "Gateway readiness probes, by shard and outcome",
+            labels(&[
+                ("shard", shard),
+                ("ready", if ready { "yes" } else { "no" }),
+            ]),
+            1.0,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_one_registry() {
+        let m = ReplicationMetrics::new(Registry::new());
+        m.shipped(8, 512);
+        m.shipped(2, 128);
+        m.acked(8, 512);
+        m.lag(2, 128);
+        m.rejected("checksum");
+        m.promotion();
+        m.promotion_refused();
+        m.failover_duration(0.12);
+        m.shard_failover("s0");
+        m.probe("s0", true);
+        m.probe("s0", false);
+        let text = m.registry().expose();
+        assert!(text.contains("replication_shipped_records_total 10"));
+        assert!(text.contains("replication_shipped_bytes_total 640"));
+        assert!(text.contains("replication_acked_records_total 8"));
+        assert!(text.contains("replication_acked_bytes_total 512"));
+        assert!(text.contains("replication_lag_records 2"));
+        assert!(text.contains("replication_lag_bytes 128"));
+        assert!(text.contains("replication_rejected_events_total{reason=\"checksum\"} 1"));
+        assert!(text.contains("replication_promotions_total 1"));
+        assert!(text.contains("replication_promotions_refused_total 1"));
+        assert!(text.contains("replication_failover_seconds_count"));
+        assert!(text.contains("gateway_shard_failovers_total{shard=\"s0\"} 1"));
+        assert!(text.contains("gateway_probes_total{ready=\"yes\",shard=\"s0\"} 1"));
+    }
+
+    #[test]
+    fn lag_gauge_overwrites() {
+        let m = ReplicationMetrics::default();
+        m.lag(10, 1000);
+        m.lag(0, 0);
+        let text = m.registry().expose();
+        assert!(text.contains("replication_lag_records 0"));
+        assert!(text.contains("replication_lag_bytes 0"));
+    }
+}

@@ -461,3 +461,212 @@ fn drain_then_recover_hands_off_cleanly() {
         assert_eq!(d2.task_status(id).unwrap(), DaemonTaskStatus::Completed);
     }
 }
+
+// ---- replication chaos: kill the leader, promote the follower -------------
+
+use hpcqc::middleware::{FollowerReplica, ReplicaAck, ShipEvent};
+
+/// Where in the shipping protocol the leader "takes the kill -9".
+#[derive(Debug, Clone, Copy)]
+enum KillMode {
+    /// Mid-batch: half the pending stream lands on the follower, the next
+    /// event arrives torn (bit-flipped in flight) and must be rejected.
+    MidBatch,
+    /// Post-write, pre-ack: the follower applied everything, but its
+    /// acknowledgements died on the wire with the leader.
+    PreAck,
+    /// Post-ack: the full stream is applied and acknowledged.
+    PostAck,
+}
+
+fn tear(ev: &ShipEvent) -> ShipEvent {
+    let mut torn = ev.clone();
+    if let ShipEvent::Batch(b) = &mut torn {
+        if let Some(byte) = b.bytes.last_mut() {
+            *byte ^= 0x40;
+        }
+    }
+    torn
+}
+
+/// One leader-kill scenario: run the scripted workload to `kill_after`,
+/// ship per `mode`, kill the leader with no drain, then promote the
+/// follower and hold it to the exactly-once contract:
+///
+/// * promotion of a replica behind the last-acked offset is refused,
+/// * no acked task is lost (every task the follower applied is known,
+///   completed work keeps its result bit-for-bit),
+/// * nothing runs twice (the promoted daemon's completion counter covers
+///   exactly the tasks that had no durable result),
+/// * idempotency keys dedup across the failover.
+fn replication_scenario(kill_after: usize, mode: KillMode) {
+    let tag = format!("repl-{kill_after}-{mode:?}").to_lowercase();
+    let dir_l = chaos_dir(&format!("{tag}-leader"));
+    let dir_f = chaos_dir(&format!("{tag}-follower"));
+    let d = MiddlewareService::recover(&dir_l, resource(), DaemonConfig::default()).unwrap();
+    d.enable_shipping().unwrap();
+    let mut follower = FollowerReplica::open(&dir_f).unwrap();
+
+    let prod = d.open_session("prod", PriorityClass::Production).unwrap();
+    let test = d.open_session("test", PriorityClass::Test).unwrap();
+    let mut submitted: HashMap<usize, u64> = HashMap::new();
+    for (step, op) in script().into_iter().enumerate() {
+        if step == kill_after {
+            break;
+        }
+        match op {
+            Op::Submit(i) => {
+                let tok = if i.is_multiple_of(2) { &prod } else { &test };
+                let id = d
+                    .submit_with_key(
+                        tok,
+                        program(10 + i as u32),
+                        PatternHint::None,
+                        key_for(i).as_deref(),
+                    )
+                    .unwrap();
+                submitted.insert(i, id);
+            }
+            Op::Pump => {
+                d.pump_once();
+            }
+        }
+    }
+    let mut done_before: HashMap<u64, hpcqc::emulator::SampleResult> = HashMap::new();
+    for &id in submitted.values() {
+        if d.task_status(id).unwrap() == DaemonTaskStatus::Completed {
+            done_before.insert(id, d.task_result(id).unwrap());
+        }
+    }
+
+    match mode {
+        KillMode::PostAck => {
+            d.ship_pending(&mut follower, "f").unwrap();
+        }
+        KillMode::PreAck => {
+            for ev in d.ship_events(follower.ack().applied_seq) {
+                follower.apply(&ev).unwrap();
+            }
+        }
+        KillMode::MidBatch => {
+            let pending = d.ship_events(follower.ack().applied_seq);
+            let deliver = pending.len() / 2;
+            for ev in &pending[..deliver] {
+                let ack = follower.apply(ev).unwrap();
+                d.record_ack("f", ack);
+            }
+            if let Some(next) = pending.get(deliver) {
+                let cursor = follower.ack();
+                assert!(
+                    follower.apply(&tear(next)).is_err(),
+                    "a torn in-flight event must be rejected"
+                );
+                assert_eq!(follower.ack(), cursor, "rejection must not move the cursor");
+            }
+        }
+    }
+    let last_acked = d.last_acked();
+    drop(d); // kill -9: no drain, no final ship, no goodbye
+
+    // A replica behind the last-acked offset must be refused promotion
+    // (an empty stand-in replica plays the laggard).
+    if last_acked != ReplicaAck::default() {
+        let empty = chaos_dir(&format!("{tag}-laggard"));
+        match MiddlewareService::promote(&empty, resource(), DaemonConfig::default(), last_acked) {
+            Err(e) => assert!(
+                e.to_string().contains("refusing promotion"),
+                "unexpected refusal shape: {e}"
+            ),
+            Ok(_) => panic!("a replica behind the acked offset must not be promoted"),
+        }
+    }
+
+    let d2 = MiddlewareService::promote(&dir_f, resource(), DaemonConfig::default(), last_acked)
+        .unwrap();
+
+    // the follower's applied prefix: which submitted tasks it knows
+    let known: HashMap<usize, u64> = submitted
+        .iter()
+        .filter(|(_, &id)| d2.task_status(id).is_ok())
+        .map(|(&i, &id)| (i, id))
+        .collect();
+    match mode {
+        // everything shipped ⇒ nothing may be missing
+        KillMode::PostAck | KillMode::PreAck => assert_eq!(
+            known.len(),
+            submitted.len(),
+            "{tag}: fully shipped prefix lost tasks"
+        ),
+        // half shipped ⇒ whatever applied is there; nothing acked is lost
+        // because acks only exist for applied events by construction
+        KillMode::MidBatch => {}
+    }
+    // completions whose records reached the follower are durable there: the
+    // promoted daemon must keep their exact results and never re-run them.
+    // A completion that died on the wire re-executes — that is the
+    // at-least-once window the idempotency key exists for.
+    let mut done_on_follower: Vec<u64> = Vec::new();
+    for (&i, &id) in &known {
+        let status = d2.task_status(id).unwrap();
+        assert_ne!(
+            status,
+            DaemonTaskStatus::Running,
+            "task {i} mid-air after promotion"
+        );
+        if status == DaemonTaskStatus::Completed {
+            done_on_follower.push(id);
+            let before = &done_before[&id];
+            assert_eq!(
+                d2.task_result(id).unwrap().counts,
+                before.counts,
+                "{tag}: applied completion must survive failover bit-for-bit"
+            );
+        }
+    }
+
+    // idempotency dedup across the failover: every key the follower knows
+    // returns its original id without growing the queue
+    let depth = d2.queue_depth();
+    for (&i, &id) in &known {
+        if let Some(key) = key_for(i) {
+            let tok = if i.is_multiple_of(2) { &prod } else { &test };
+            if let Ok(again) =
+                d2.submit_with_key(tok, program(10 + i as u32), PatternHint::None, Some(&key))
+            {
+                assert_eq!(again, id, "{tag}: key {key} must dedup across failover");
+            }
+        }
+    }
+    assert_eq!(d2.queue_depth(), depth, "{tag}: dedup grew the queue");
+
+    // drain the promoted daemon: everything terminal, and the completion
+    // counter covers exactly the tasks without an applied completion — an
+    // applied (shipped) completion is never executed a second time
+    d2.pump();
+    let mut newly_run = 0;
+    for &id in known.values() {
+        match d2.task_status(id).unwrap() {
+            DaemonTaskStatus::Completed => {
+                if !done_on_follower.contains(&id) {
+                    newly_run += 1;
+                }
+            }
+            other => panic!("{tag}: task {id} not terminal after promotion: {other:?}"),
+        }
+    }
+    let completed_after = counter_total(&d2.metrics_text(), "daemon_tasks_completed_total");
+    assert_eq!(
+        completed_after as usize, newly_run,
+        "{tag}: promoted follower must execute exactly the tasks without an \
+         applied completion (no double execution of shipped results)"
+    );
+}
+
+#[test]
+fn leader_kill_and_promote_matrix() {
+    for kill_after in (0..=CRASH_POINTS).step_by(4) {
+        replication_scenario(kill_after, KillMode::MidBatch);
+        replication_scenario(kill_after, KillMode::PreAck);
+        replication_scenario(kill_after, KillMode::PostAck);
+    }
+}
