@@ -1,30 +1,46 @@
 //! Experiment EP — emulator kernel performance trajectory.
 //!
-//! Times `evolve + sample` across qubit counts for both emulator backends
-//! and writes the results to `BENCH_emulator.json`, the first entry of the
-//! repo's performance trajectory. The 16-qubit state-vector case is the
-//! headline number: the JSON records the measured time next to the pre-PR
-//! baseline (commit b1b38e8, same harness, same machine class) and the
-//! resulting speedup.
+//! Times `evolve + sample` across qubit counts for both emulator backends,
+//! plus batched parameter-sweep execution, and writes the results to
+//! `BENCH_emulator.json`. The 16-qubit state-vector case is the headline
+//! single-program number: the JSON records the measured time next to the
+//! pre-PR baseline (commit b1b38e8, same harness, same machine class) and
+//! the resulting speedup. The batch case times one `run_sweep` over a
+//! QAOA-style point grid against the same points run as independent
+//! sequential `run` calls — once with the current kernel and once with the
+//! pre-SIMD scalar kernel, the honest "before this PR" comparator.
+//!
+//! Phase attribution comes from [`SvBackend::run_timed`]: both phases are
+//! measured inside one instrumented run, so `total_ms = evolve_ms +
+//! sample_ms` holds exactly. (An earlier revision min-timed a bare evolve
+//! and a full run *independently* and subtracted; machine noise could land
+//! the "total" below the "evolve", clamping the sample phase to 0.)
 //!
 //! Run: `cargo run --release -p hpcqc-bench --bin emulator_perf [--quick]
 //!       [--out PATH]`
 //!
 //! `--quick` shrinks sizes/reps for the CI smoke job; the harness exits
 //! non-zero if any timing comes back non-finite or non-positive, so a CI
-//! run doubles as a panic/NaN gate for the kernels.
+//! run doubles as a panic/NaN gate for the kernels. The quick set still
+//! includes the 20-qubit state-vector case (single rep) and a small batch
+//! case, so CI exercises the largest dense register and the batched path.
 
 use hpcqc_bench::{render_table, HarnessArgs};
 use hpcqc_emulator::mps::evolve_sequence_mps;
-use hpcqc_emulator::statevector::evolve_sequence;
-use hpcqc_emulator::{Emulator, MpsBackend, MpsConfig, SvBackend, SvConfig};
+use hpcqc_emulator::{
+    Emulator, MpsBackend, MpsConfig, SvBackend, SvConfig, SvKernel, SvPhaseTimings, SweepPoint,
+};
 use hpcqc_program::{ProgramIr, Pulse, Register, Sequence, SequenceBuilder};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::time::Instant;
 
 /// Pre-PR reference for the headline case, measured with this same harness
 /// at commit b1b38e8 (allocating serial kernels): 16 qubits, emu-sv,
-/// 0.2 µs constant pulse, 1000 shots. Milliseconds.
+/// 0.2 µs constant pulse, 1000 shots. Milliseconds. Note the baseline's
+/// phase split was produced by the old subtract-two-runs method; only its
+/// `total_ms` is load-bearing for the speedup.
 const PRE_PR_SV16_EVOLVE_MS: f64 = 5731.86;
 const PRE_PR_SV16_TOTAL_MS: f64 = 5984.33;
 
@@ -34,12 +50,33 @@ struct CaseResult {
     qubits: usize,
     shots: u32,
     reps: usize,
-    /// Best-of-reps wall-clock of the pure evolution, milliseconds.
+    /// Evolution wall-clock of the best rep (by total), milliseconds.
     evolve_ms: f64,
-    /// Best-of-reps wall-clock of the full `run` (evolve + sample), ms.
+    /// Full run of the same rep: `evolve_ms + sample_ms` exactly, ms.
     total_ms: f64,
-    /// `total_ms - evolve_ms`, clamped at 0 (sampling + counting).
+    /// Sampling + counting wall-clock of the same rep, ms.
     sample_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BatchCaseResult {
+    backend: String,
+    qubits: usize,
+    points: usize,
+    shots: u32,
+    reps: usize,
+    /// One batched `run_sweep` over all points, ms (best of reps).
+    batch_ms: f64,
+    /// The same points as independent `run` calls with the pre-SIMD scalar
+    /// kernel — the "before this PR" sequential comparator, ms.
+    sequential_scalar_ms: f64,
+    /// The same points as independent `run` calls with the current (SIMD)
+    /// kernel — isolates the batching amortization alone, ms.
+    sequential_auto_ms: f64,
+    /// `sequential_scalar_ms / batch_ms`: batched + SIMD vs pre-PR serial.
+    speedup_vs_sequential_scalar: f64,
+    /// `sequential_auto_ms / batch_ms`: batching amortization alone.
+    speedup_vs_sequential_auto: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -49,6 +86,7 @@ struct BenchReport {
     quick: bool,
     unix_time_secs: u64,
     cases: Vec<CaseResult>,
+    batch_cases: Vec<BatchCaseResult>,
     baseline_pre_pr: Baseline,
     /// Measured speedup of the headline 16q sv case vs the pre-PR baseline
     /// (`baseline total / measured total`); `null` in quick mode, where the
@@ -71,37 +109,60 @@ fn bench_sequence(n: usize) -> Sequence {
     b.build().expect("valid sequence")
 }
 
+/// A p=2 QAOA-style alternation of driver (Ω on) and cost (δ on) layers —
+/// all-constant waveforms, so the batch runner's shared-discretization fast
+/// path applies, exactly as a parameter-sweep workload would hit it.
+fn qaoa_template(n: usize, shots: u32) -> ProgramIr {
+    let reg = Register::linear(n, 10.0).expect("valid linear register");
+    let mut b = SequenceBuilder::new(reg);
+    for &(omega, delta, phase) in &[
+        (4.0, 0.0, 0.0),
+        (0.0, 3.0, 0.0),
+        (4.0, 0.0, 0.8),
+        (0.0, 3.0, 0.0),
+    ] {
+        b.add_global_pulse(Pulse::constant(0.1, omega, delta, phase).expect("valid pulse"));
+    }
+    ProgramIr::new(b.build().expect("valid sequence"), shots, "bench-batch")
+}
+
+fn sweep_grid(count: usize) -> Vec<SweepPoint> {
+    (0..count)
+        .map(|k| {
+            let f = k as f64 / count.max(2) as f64;
+            SweepPoint {
+                omega_scale: 0.75 + 0.5 * f,
+                delta_scale: 0.8 + 0.4 * f,
+                phase_offset: 0.05 * k as f64,
+            }
+        })
+        .collect()
+}
+
 fn time_best<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
     (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
 }
 
 fn run_sv_case(n: usize, shots: u32, reps: usize) -> CaseResult {
     let backend = SvBackend::default();
-    let seq = bench_sequence(n);
-    let ir = ProgramIr::new(seq.clone(), shots, "bench");
-    let spec = backend.spec();
-    let evolve_ms = time_best(reps, || {
-        let t = Instant::now();
-        let s = evolve_sequence(&seq, spec.c6_coefficient, &SvConfig::default());
-        let ms = t.elapsed().as_secs_f64() * 1e3;
-        assert!(s.norm_sqr().is_finite());
-        ms
-    });
-    let total_ms = time_best(reps, || {
-        let t = Instant::now();
-        let r = backend.run(&ir, 7).expect("sv run succeeds");
-        let ms = t.elapsed().as_secs_f64() * 1e3;
+    let ir = ProgramIr::new(bench_sequence(n), shots, "bench");
+    let mut best: Option<SvPhaseTimings> = None;
+    for _ in 0..reps {
+        let (r, t) = backend.run_timed(&ir, 7).expect("sv run succeeds");
         assert_eq!(r.shots, shots);
-        ms
-    });
+        if best.is_none_or(|b| t.total_ms < b.total_ms) {
+            best = Some(t);
+        }
+    }
+    let t = best.expect("at least one rep");
     CaseResult {
         backend: "emu-sv".into(),
         qubits: n,
         shots,
         reps,
-        evolve_ms,
-        total_ms,
-        sample_ms: (total_ms - evolve_ms).max(0.0),
+        evolve_ms: t.evolve_ms,
+        total_ms: t.total_ms,
+        sample_ms: t.sample_ms,
     }
 }
 
@@ -114,30 +175,102 @@ fn run_mps_case(n: usize, shots: u32, reps: usize) -> CaseResult {
         ..MpsBackend::default()
     };
     let seq = bench_sequence(n);
-    let ir = ProgramIr::new(seq.clone(), shots, "bench");
     let spec = backend.spec();
-    let evolve_ms = time_best(reps, || {
-        let t = Instant::now();
-        let m = evolve_sequence_mps(&seq, spec.c6_coefficient, &backend.config);
-        let ms = t.elapsed().as_secs_f64() * 1e3;
-        assert!(m.truncation_error.is_finite());
-        ms
-    });
-    let total_ms = time_best(reps, || {
-        let t = Instant::now();
-        let r = backend.run(&ir, 7).expect("mps run succeeds");
-        let ms = t.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(r.shots, shots);
-        ms
-    });
+    // Same single-rep phase split as the sv path: evolve and sample timed
+    // back to back on the same evolved state, so the split is monotone.
+    let mut best: Option<(f64, f64)> = None;
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        let mut mps = evolve_sequence_mps(&seq, spec.c6_coefficient, &backend.config);
+        let evolve_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(mps.truncation_error.is_finite());
+        let t1 = Instant::now();
+        mps.prepare_sampling();
+        let mut rng = ChaCha8Rng::seed_from_u64(7 + rep as u64);
+        let mut acc = 0u64;
+        for _ in 0..shots {
+            acc ^= mps.sample_prepared(&mut rng);
+        }
+        std::hint::black_box(acc);
+        let sample_ms = t1.elapsed().as_secs_f64() * 1e3;
+        if best.is_none_or(|(e, s)| evolve_ms + sample_ms < e + s) {
+            best = Some((evolve_ms, sample_ms));
+        }
+    }
+    let (evolve_ms, sample_ms) = best.expect("at least one rep");
     CaseResult {
         backend: "emu-mps".into(),
         qubits: n,
         shots,
         reps,
         evolve_ms,
-        total_ms,
-        sample_ms: (total_ms - evolve_ms).max(0.0),
+        total_ms: evolve_ms + sample_ms,
+        sample_ms,
+    }
+}
+
+fn run_batch_case(n: usize, point_count: usize, shots: u32, reps: usize) -> BatchCaseResult {
+    let auto = SvBackend::default();
+    let scalar = SvBackend {
+        config: SvConfig {
+            kernel: SvKernel::Scalar,
+            ..SvConfig::default()
+        },
+        ..SvBackend::default()
+    };
+    let template = qaoa_template(n, shots);
+    let points = sweep_grid(point_count);
+
+    // Correctness gate before any timing: the batched sweep must be
+    // bit-identical to independent sequential runs of each point.
+    let batched = auto
+        .run_sweep(&template, &points, 7)
+        .expect("batched sweep succeeds");
+    for (k, p) in points.iter().enumerate() {
+        let mut ir = template.clone();
+        ir.sequence = p.materialize(&template.sequence);
+        let solo = auto
+            .run(&ir, 7 + k as u64)
+            .expect("sequential run succeeds");
+        assert_eq!(batched[k], solo, "batch/sequential divergence at point {k}");
+    }
+
+    let batch_ms = time_best(reps, || {
+        let t = Instant::now();
+        let rs = auto
+            .run_sweep(&template, &points, 7)
+            .expect("batched sweep succeeds");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(rs.len(), points.len());
+        ms
+    });
+    let sequential = |backend: &SvBackend| {
+        time_best(reps, || {
+            let t = Instant::now();
+            for (k, p) in points.iter().enumerate() {
+                let mut ir = template.clone();
+                ir.sequence = p.materialize(&template.sequence);
+                let r = backend
+                    .run(&ir, 7 + k as u64)
+                    .expect("sequential run succeeds");
+                assert_eq!(r.shots, shots);
+            }
+            t.elapsed().as_secs_f64() * 1e3
+        })
+    };
+    let sequential_auto_ms = sequential(&auto);
+    let sequential_scalar_ms = sequential(&scalar);
+    BatchCaseResult {
+        backend: "emu-sv".into(),
+        qubits: n,
+        points: point_count,
+        shots,
+        reps,
+        batch_ms,
+        sequential_scalar_ms,
+        sequential_auto_ms,
+        speedup_vs_sequential_scalar: sequential_scalar_ms / batch_ms,
+        speedup_vs_sequential_auto: sequential_auto_ms / batch_ms,
     }
 }
 
@@ -152,12 +285,15 @@ fn main() {
 
     let shots: u32 = if args.quick { 200 } else { 1000 };
     let reps = args.scaled(3, 1);
+    // The 20-qubit case stays in the quick set (one rep): CI must prove the
+    // largest dense register completes, not just the small ones.
     let sv_sizes: &[usize] = if args.quick {
-        &[8, 12]
+        &[8, 12, 20]
     } else {
-        &[8, 12, 14, 16]
+        &[8, 12, 14, 16, 20]
     };
     let mps_sizes: &[usize] = if args.quick { &[8] } else { &[8, 12, 16] };
+    let (batch_qubits, batch_points) = if args.quick { (8, 8) } else { (12, 32) };
 
     let mut cases = Vec::new();
     for &n in sv_sizes {
@@ -168,23 +304,47 @@ fn main() {
         eprintln!("timing emu-mps n={n} ...");
         cases.push(run_mps_case(n, shots, reps));
     }
+    eprintln!("timing emu-sv batched sweep n={batch_qubits} points={batch_points} ...");
+    let batch_cases = vec![run_batch_case(batch_qubits, batch_points, shots, reps)];
 
     // Gate: every timing must be finite and positive (a panic would have
-    // aborted already; NaN/0 indicates a broken clock or kernel).
+    // aborted already; NaN/0 indicates a broken clock or kernel). The
+    // sample phase is directly measured now, so it gets the same `> 0`
+    // check as the others — no exemption.
+    let mut gate_failures = 0usize;
     for c in &cases {
         for (label, v) in [
             ("evolve_ms", c.evolve_ms),
             ("total_ms", c.total_ms),
             ("sample_ms", c.sample_ms),
         ] {
-            if !v.is_finite() || (label != "sample_ms" && v <= 0.0) {
+            if !v.is_finite() || v <= 0.0 {
                 eprintln!(
                     "non-finite or non-positive timing: {} n={} {label}={v}",
                     c.backend, c.qubits
                 );
-                std::process::exit(1);
+                gate_failures += 1;
             }
         }
+    }
+    for c in &batch_cases {
+        for (label, v) in [
+            ("batch_ms", c.batch_ms),
+            ("sequential_scalar_ms", c.sequential_scalar_ms),
+            ("sequential_auto_ms", c.sequential_auto_ms),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                eprintln!(
+                    "non-finite or non-positive timing: batch n={} {label}={v}",
+                    c.qubits
+                );
+                gate_failures += 1;
+            }
+        }
+    }
+    if gate_failures > 0 {
+        eprintln!("{gate_failures} timing gate failure(s)");
+        std::process::exit(1);
     }
 
     let speedup = cases
@@ -211,19 +371,47 @@ fn main() {
             &rows
         )
     );
+    let batch_rows: Vec<Vec<String>> = batch_cases
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{}x{}q", c.points, c.qubits),
+                format!("{:.2}", c.batch_ms),
+                format!("{:.2}", c.sequential_auto_ms),
+                format!("{:.2}", c.sequential_scalar_ms),
+                format!("{:.2}x", c.speedup_vs_sequential_scalar),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "sweep",
+                "batch(ms)",
+                "seq-simd(ms)",
+                "seq-scalar(ms)",
+                "vs scalar"
+            ],
+            &batch_rows
+        )
+    );
     if let Some(s) = speedup {
         println!("sv16 total vs pre-PR baseline {PRE_PR_SV16_TOTAL_MS:.2} ms: {s:.2}x");
     }
 
     let report = BenchReport {
         benchmark: "emulator_perf".into(),
-        commit_note: "allocation-free parallel emulator kernels".into(),
+        commit_note: "SIMD lane kernels + batched sweep execution; phase timings now from one \
+                      instrumented run (total = evolve + sample exactly)"
+            .into(),
         quick: args.quick,
         unix_time_secs: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
         cases,
+        batch_cases,
         baseline_pre_pr: Baseline {
             commit: "b1b38e8".into(),
             sv16_evolve_ms: PRE_PR_SV16_EVOLVE_MS,

@@ -26,6 +26,7 @@ pub mod workflow;
 
 pub use client::{ClientError, DaemonClient, DaemonSession};
 pub use config::RuntimeConfig;
+pub use hpcqc_emulator::SweepPoint;
 pub use hybrid::{iterate, sweep, IterationRecord, LoopResult};
 pub use retry::{AttemptBudget, Backoff, RetryPolicy};
 pub use runtime::{RecoveredRun, RunReport, Runtime, RuntimeError};

@@ -9,10 +9,12 @@
 
 use crate::retry::RetryPolicy;
 use hpcqc_analysis::{AnalysisReport, Analyzer, Diagnostic};
-use hpcqc_emulator::SampleResult;
+use hpcqc_emulator::{SampleResult, SweepPoint};
 use hpcqc_middleware::PriorityClass;
 use hpcqc_program::{DeviceSpec, ProgramIr, Violation};
-use hpcqc_qrmi::{ConfigError, QrmiError, QuantumResource, ResourceRegistry, ResourceType};
+use hpcqc_qrmi::{
+    ConfigError, QrmiError, QuantumResource, ResourceRegistry, ResourceType, TaskStatus,
+};
 use hpcqc_telemetry::FaultMetrics;
 use std::sync::Arc;
 
@@ -334,6 +336,76 @@ impl Runtime {
         })
     }
 
+    /// Run a parameter sweep — `points.len()` variations of one program
+    /// template — on the current backend in a single acquisition.
+    ///
+    /// Every point is validated against the live spec before anything runs
+    /// (a scaled point can violate limits the template satisfies), then the
+    /// whole sweep is submitted through
+    /// [`hpcqc_qrmi::QuantumResource::task_start_sweep`]. Resources wrapping
+    /// a batched engine (the local emulator) execute the sweep in one batch —
+    /// amortizing Hamiltonian construction, drive discretization, and buffer
+    /// allocation — while guaranteeing results bit-identical to
+    /// `points.len()` independent [`Runtime::run`] calls.
+    ///
+    /// The sweep is atomic: one invalid point (or one failed task) fails the
+    /// whole call, matching the batched engine's fail-fast contract.
+    pub fn run_sweep(
+        &self,
+        template: &ProgramIr,
+        points: &[SweepPoint],
+    ) -> Result<Vec<RunReport>, RuntimeError> {
+        let res = self.resource()?;
+        let spec = res.target()?;
+        let mut fingerprints = Vec::with_capacity(points.len());
+        for p in points {
+            let seq = p.materialize(&template.sequence);
+            let violations = hpcqc_program::validate(&seq, &spec);
+            if !violations.is_empty() {
+                return Err(RuntimeError::Validation(violations));
+            }
+            let mut ir = template.clone();
+            ir.sequence = seq;
+            fingerprints.push(ir.fingerprint());
+        }
+        let stamped = template.clone().with_validation_revision(spec.revision);
+        let lease = res.acquire()?;
+        let out = (|| -> Result<Vec<SampleResult>, QrmiError> {
+            let tasks = res.task_start_sweep(&lease, &stamped, points)?;
+            tasks
+                .iter()
+                .map(|t| {
+                    for _ in 0..self.max_polls {
+                        match res.task_status(t)? {
+                            TaskStatus::Completed => return res.task_result(t),
+                            TaskStatus::Failed(m) => return Err(QrmiError::Backend(m)),
+                            TaskStatus::Cancelled => {
+                                return Err(QrmiError::InvalidState("task was cancelled".into()))
+                            }
+                            TaskStatus::Queued | TaskStatus::Running => {}
+                        }
+                    }
+                    Err(QrmiError::InvalidState(format!(
+                        "task did not complete within {} polls",
+                        self.max_polls
+                    )))
+                })
+                .collect()
+        })();
+        res.release(&lease)?;
+        let results = out?;
+        Ok(results
+            .into_iter()
+            .zip(fingerprints)
+            .map(|(result, program_fingerprint)| RunReport {
+                result,
+                resource_id: res.resource_id().to_string(),
+                spec_revision: spec.revision,
+                program_fingerprint,
+            })
+            .collect())
+    }
+
     /// Run the same program on several resources (the Figure-1 portability
     /// sweep). Returns `(resource_id, report-or-error)` per target.
     pub fn run_everywhere(
@@ -472,6 +544,58 @@ mod tests {
         // unknown resource reports an error, not a panic
         let res = rt.run_everywhere(&program, &["nope"]);
         assert!(matches!(res[0].1, Err(RuntimeError::Config(_))));
+    }
+
+    #[test]
+    fn run_sweep_matches_sequential_runs() {
+        let points: Vec<SweepPoint> = (0..4)
+            .map(|k| SweepPoint {
+                omega_scale: 0.6 + 0.1 * k as f64,
+                delta_scale: 1.0,
+                phase_offset: 0.15 * k as f64,
+            })
+            .collect();
+        let template = ir(40);
+        let swept = Runtime::new(registry_with_qpu())
+            .run_sweep(&template, &points)
+            .unwrap();
+        // A fresh twin registry starts from the same seed, so per-point
+        // sequential runs are the bit-exact reference for the batch.
+        let rt = Runtime::new(registry_with_qpu());
+        assert_eq!(swept.len(), points.len());
+        for (k, p) in points.iter().enumerate() {
+            let mut ir_k = template.clone();
+            ir_k.sequence = p.materialize(&template.sequence);
+            let solo = rt.run(&ir_k).unwrap();
+            assert_eq!(swept[k].result, solo.result, "point {k}");
+            assert_eq!(swept[k].program_fingerprint, ir_k.fingerprint());
+            assert_eq!(swept[k].resource_id, "emu-local");
+            assert_eq!(swept[k].spec_revision, solo.spec_revision);
+        }
+    }
+
+    #[test]
+    fn run_sweep_validates_each_materialized_point() {
+        // The template is fine; scaling Ω by 100 pushes one point past even
+        // the permissive local-emulator amplitude cap. Nothing may run.
+        let rt = Runtime::new(registry_with_qpu());
+        let points = [
+            SweepPoint::identity(),
+            SweepPoint {
+                omega_scale: 100.0,
+                ..SweepPoint::identity()
+            },
+        ];
+        assert!(matches!(
+            rt.run_sweep(&ir(10), &points),
+            Err(RuntimeError::Validation(_))
+        ));
+    }
+
+    #[test]
+    fn run_sweep_with_no_points_is_empty() {
+        let rt = Runtime::new(registry_with_qpu());
+        assert!(rt.run_sweep(&ir(10), &[]).unwrap().is_empty());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! layer wraps these as resources; the runtime environment picks one at
 //! configuration time — never in source code.
 
+use crate::batch::SweepPoint;
 use crate::mps::{evolve_sequence_mps, MpsConfig};
 use crate::noise::SpamNoise;
 use crate::result::SampleResult;
@@ -61,7 +62,7 @@ fn splitmix64(mut x: u64) -> u64 {
 /// Counter-derived RNG stream for one shot: mixing `(seed, shot)` gives
 /// every shot its own independent deterministic stream, so shots can be
 /// drawn in any order — or concurrently — with bit-identical results.
-fn shot_rng(seed: u64, shot: u64) -> ChaCha8Rng {
+pub(crate) fn shot_rng(seed: u64, shot: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(splitmix64(
         seed.wrapping_add(shot.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
     ))
@@ -74,7 +75,14 @@ const SHOT_CHUNK: usize = 64;
 /// Draw `shots` outcomes with per-shot counter-derived RNG streams,
 /// chunk-parallel over the output buffer. `draw` produces the raw
 /// bitstring; SPAM noise is applied from the same per-shot stream.
-fn sample_outcomes<F>(shots: u32, n: usize, seed: u64, noise: &SpamNoise, draw: F) -> Vec<u64>
+/// Crate-visible so the batch runner samples through the exact same path.
+pub(crate) fn sample_outcomes<F>(
+    shots: u32,
+    n: usize,
+    seed: u64,
+    noise: &SpamNoise,
+    draw: F,
+) -> Vec<u64>
 where
     F: Fn(&mut ChaCha8Rng) -> u64 + Sync,
 {
@@ -128,6 +136,44 @@ pub trait Emulator: Send + Sync {
 
     /// Execute the program for `ir.shots` shots with a deterministic seed.
     fn run(&self, ir: &ProgramIr, seed: u64) -> Result<SampleResult, EmulatorError>;
+
+    /// Execute `template` at every [`SweepPoint`], seeding point `k` with
+    /// `seed_base + k`. The default materializes and runs each point
+    /// independently; backends with a batched engine (the state-vector
+    /// backend's [`crate::BatchRunner`]) override this with an
+    /// implementation that returns bit-identical results faster.
+    fn run_sweep(
+        &self,
+        template: &ProgramIr,
+        points: &[SweepPoint],
+        seed_base: u64,
+    ) -> Result<Vec<SampleResult>, EmulatorError> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(k, p)| {
+                let mut ir = template.clone();
+                ir.sequence = p.materialize(&template.sequence);
+                self.run(&ir, seed_base.wrapping_add(k as u64))
+            })
+            .collect()
+    }
+}
+
+/// Where one [`SvBackend::run_timed`] call spent its wall-clock,
+/// milliseconds. Both phases are measured inside the *same* run, so
+/// `total_ms = evolve_ms + sample_ms` holds exactly and the decomposition
+/// is monotone by construction — unlike subtracting two independently
+/// min-timed runs, where machine noise can make the "total" land below the
+/// "evolve" and the difference clamp to zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvPhaseTimings {
+    /// Hamiltonian build + RK4 integration of the full schedule.
+    pub evolve_ms: f64,
+    /// Distribution build + shot sampling + SPAM + counting.
+    pub sample_ms: f64,
+    /// The whole run (`evolve_ms + sample_ms`).
+    pub total_ms: f64,
 }
 
 /// Exact state-vector backend (EMU-SV stand-in). Limit ~20 qubits.
@@ -151,6 +197,47 @@ impl Default for SvBackend {
     }
 }
 
+impl SvBackend {
+    /// [`Emulator::run`] with per-phase wall-clock attribution. One run,
+    /// instrumented at the evolve/sample boundary — see [`SvPhaseTimings`]
+    /// for why the phases must come from a single run.
+    pub fn run_timed(
+        &self,
+        ir: &ProgramIr,
+        seed: u64,
+    ) -> Result<(SampleResult, SvPhaseTimings), EmulatorError> {
+        let n = ir.sequence.num_qubits();
+        let limit = self.max_qubits.min(SV_MAX_QUBITS);
+        if n > limit {
+            return Err(EmulatorError::TooLarge { qubits: n, limit });
+        }
+        let spec = self.spec();
+        let violations = hpcqc_program::validate(&ir.sequence, &spec);
+        if !violations.is_empty() {
+            return Err(EmulatorError::Validation(violations));
+        }
+        let t0 = std::time::Instant::now();
+        let state = evolve_sequence(&ir.sequence, spec.c6_coefficient, &self.config);
+        let evolve_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = std::time::Instant::now();
+        let probs = state.probabilities();
+        let dist = sampling_distribution(&probs)?;
+        let outcomes = sample_outcomes(ir.shots, n, seed, &self.noise, |rng| {
+            dist.sample(rng) as u64
+        });
+        let result = SampleResult::from_shots(n, &outcomes, self.name());
+        let sample_ms = t1.elapsed().as_secs_f64() * 1e3;
+        Ok((
+            result,
+            SvPhaseTimings {
+                evolve_ms,
+                sample_ms,
+                total_ms: evolve_ms + sample_ms,
+            },
+        ))
+    }
+}
+
 impl Emulator for SvBackend {
     fn name(&self) -> &str {
         "emu-sv"
@@ -164,23 +251,16 @@ impl Emulator for SvBackend {
     }
 
     fn run(&self, ir: &ProgramIr, seed: u64) -> Result<SampleResult, EmulatorError> {
-        let n = ir.sequence.num_qubits();
-        let limit = self.max_qubits.min(SV_MAX_QUBITS);
-        if n > limit {
-            return Err(EmulatorError::TooLarge { qubits: n, limit });
-        }
-        let spec = self.spec();
-        let violations = hpcqc_program::validate(&ir.sequence, &spec);
-        if !violations.is_empty() {
-            return Err(EmulatorError::Validation(violations));
-        }
-        let state = evolve_sequence(&ir.sequence, spec.c6_coefficient, &self.config);
-        let probs = state.probabilities();
-        let dist = sampling_distribution(&probs)?;
-        let outcomes = sample_outcomes(ir.shots, n, seed, &self.noise, |rng| {
-            dist.sample(rng) as u64
-        });
-        Ok(SampleResult::from_shots(n, &outcomes, self.name()))
+        self.run_timed(ir, seed).map(|(res, _)| res)
+    }
+
+    fn run_sweep(
+        &self,
+        template: &ProgramIr,
+        points: &[SweepPoint],
+        seed_base: u64,
+    ) -> Result<Vec<SampleResult>, EmulatorError> {
+        crate::batch::BatchRunner::new(self).run_sweep(template, points, seed_base)
     }
 }
 
@@ -463,6 +543,42 @@ mod tests {
             .collect();
         let reference = SampleResult::from_shots(n, &outcomes, b.name());
         assert_eq!(res.counts, reference.counts);
+    }
+
+    #[test]
+    fn run_timed_phases_sum_to_total_and_match_run() {
+        let ir = pi_pulse_ir(4, 6.0, 300);
+        let b = SvBackend::default();
+        let (timed_res, t) = b.run_timed(&ir, 42).unwrap();
+        assert_eq!(timed_res, b.run(&ir, 42).unwrap());
+        assert!(t.evolve_ms > 0.0 && t.evolve_ms.is_finite());
+        assert!(t.sample_ms >= 0.0 && t.sample_ms.is_finite());
+        assert_eq!(t.total_ms, t.evolve_ms + t.sample_ms);
+        assert!(
+            t.total_ms >= t.evolve_ms,
+            "single-run phase decomposition is monotone by construction"
+        );
+    }
+
+    #[test]
+    fn mps_default_sweep_runs_each_point() {
+        // MpsBackend has no batched engine: the trait default materializes
+        // and runs sequentially — still seeded per point.
+        let b = MpsBackend::default();
+        let tpl = pi_pulse_ir(3, 9.0, 50);
+        let points = [
+            SweepPoint::identity(),
+            SweepPoint {
+                omega_scale: 0.5,
+                ..SweepPoint::identity()
+            },
+        ];
+        let swept = b.run_sweep(&tpl, &points, 30).unwrap();
+        assert_eq!(swept.len(), 2);
+        let mut half = tpl.clone();
+        half.sequence = points[1].materialize(&tpl.sequence);
+        assert_eq!(swept[0], b.run(&tpl, 30).unwrap());
+        assert_eq!(swept[1], b.run(&half, 31).unwrap());
     }
 
     #[test]

@@ -1,0 +1,472 @@
+//! Batched parameter-sweep execution over one program template.
+//!
+//! Hybrid workloads (variational loops, phase-diagram scans, QAOA-style
+//! parameter searches) run the *same* program shape many times with
+//! different drive parameters. Submitting each point as an independent run
+//! repeats work that depends only on the template: building the
+//! [`RydbergHamiltonian`] (fixed by the register), allocating RK4
+//! workspaces, and discretizing the schedule. [`BatchRunner`] executes a
+//! whole sweep with those shared, and — for all-constant templates — builds
+//! every point's stepping grid by transforming the template's grid instead
+//! of re-sampling waveforms.
+//!
+//! The defining contract, asserted bit-for-bit by the tests: a sweep over
+//! `N` points with base seed `s` returns exactly what `N` independent
+//! [`Emulator::run`] calls on the materialized programs with seeds
+//! `s, s+1, …, s+N−1` would return. Batching is an execution strategy, not
+//! a semantic: per-point validation, integration grids, and the
+//! counter-derived per-shot RNG streams are all identical to the
+//! sequential path.
+
+use crate::backend::{sample_outcomes, sampling_distribution, Emulator, EmulatorError, SvBackend};
+use crate::hamiltonian::{DiscretizedDrive, RydbergHamiltonian};
+use crate::result::SampleResult;
+use crate::statevector::{evolve_drive_ws, evolve_sequence_ws_h, SvWorkspace, SV_MAX_QUBITS};
+use hpcqc_program::sequence::GLOBAL_CHANNEL;
+use hpcqc_program::{ProgramIr, Pulse, Sequence, TimedPulse, Waveform};
+use rand::distributions::Distribution;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One parameter assignment of a sweep: a pointwise transform applied to a
+/// template [`Sequence`]. Durations and geometry are never changed, so every
+/// materialized program shares the template's register, schedule timing, and
+/// Hamiltonian structure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Multiplier on the Rabi amplitude waveform Ω(t).
+    pub omega_scale: f64,
+    /// Multiplier on the detuning waveform δ(t).
+    pub delta_scale: f64,
+    /// Additive offset on every pulse's carrier phase (rad).
+    pub phase_offset: f64,
+}
+
+impl SweepPoint {
+    /// The point that materializes the template unchanged.
+    pub fn identity() -> Self {
+        SweepPoint {
+            omega_scale: 1.0,
+            delta_scale: 1.0,
+            phase_offset: 0.0,
+        }
+    }
+
+    /// Apply this point to a template: scale amplitude and detuning
+    /// waveforms pointwise, offset each pulse's phase. Channels, start
+    /// times, durations, register, and measurement basis are untouched.
+    pub fn materialize(&self, template: &Sequence) -> Sequence {
+        Sequence {
+            register: template.register.clone(),
+            measurement_basis: template.measurement_basis.clone(),
+            pulses: template
+                .pulses
+                .iter()
+                .map(|tp| TimedPulse {
+                    channel: tp.channel.clone(),
+                    start: tp.start,
+                    pulse: Pulse {
+                        amplitude: tp.pulse.amplitude.scaled(self.omega_scale),
+                        detuning: tp.pulse.detuning.scaled(self.delta_scale),
+                        phase: tp.pulse.phase + self.phase_offset,
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Is every global-channel pulse of the template constant in both amplitude
+/// and detuning? Only then does `sample(t) · factor` equal
+/// `scaled(factor).sample(t)` bit-for-bit (a constant's sample *is* its
+/// stored value), which is what licenses the grid-transform fast path.
+fn is_constant_template(seq: &Sequence) -> bool {
+    seq.pulses
+        .iter()
+        .filter(|tp| tp.channel == GLOBAL_CHANNEL)
+        .all(|tp| {
+            matches!(tp.pulse.amplitude, Waveform::Constant { .. })
+                && matches!(tp.pulse.detuning, Waveform::Constant { .. })
+        })
+}
+
+/// A template's drive sources on a midpoint grid: `Some((Ω, δ, φ))` inside
+/// a global pulse, `None` in an idle gap.
+type TemplateGrid = Vec<Option<(f64, f64, f64)>>;
+
+/// The template's drive sources on an `nsteps` midpoint grid:
+/// `Some((Ω, δ, φ))` holds the stored constants of the global pulse
+/// covering the step midpoint (the same pulse `drive_at` would select);
+/// `None` marks an idle gap, where the drive is exactly `(0, 0, 0)`.
+fn constant_grid(seq: &Sequence, nsteps: usize) -> TemplateGrid {
+    let total = seq.duration();
+    let dt = total / nsteps as f64;
+    (0..nsteps)
+        .map(|k| {
+            let t = (k as f64 + 0.5) * dt;
+            for tp in &seq.pulses {
+                if tp.channel != GLOBAL_CHANNEL {
+                    continue;
+                }
+                let end = tp.start + tp.pulse.duration();
+                if t >= tp.start && t <= end {
+                    let (o, d) = match (&tp.pulse.amplitude, &tp.pulse.detuning) {
+                        (
+                            Waveform::Constant { value: o, .. },
+                            Waveform::Constant { value: d, .. },
+                        ) => (*o, *d),
+                        _ => unreachable!("constant_grid requires a constant template"),
+                    };
+                    return Some((o, d, tp.pulse.phase));
+                }
+            }
+            None
+        })
+        .collect()
+}
+
+/// Transform a template grid into the drive steps of one sweep point. The
+/// arithmetic mirrors [`SweepPoint::materialize`] + constant-waveform
+/// sampling operation-for-operation, so the result is bit-identical to
+/// discretizing the materialized sequence.
+fn transform_grid(grid: &[Option<(f64, f64, f64)>], point: &SweepPoint) -> Vec<(f64, f64, f64)> {
+    grid.iter()
+        .map(|src| match src {
+            Some((o, d, p)) => (
+                o * point.omega_scale,
+                d * point.delta_scale,
+                p + point.phase_offset,
+            ),
+            None => (0.0, 0.0, 0.0),
+        })
+        .collect()
+}
+
+/// Executes sweeps on a state-vector backend with template-level work
+/// shared across points: one Hamiltonian build, one workspace allocation,
+/// and (for constant templates) one schedule discretization per distinct
+/// step count instead of one per point.
+pub struct BatchRunner<'a> {
+    backend: &'a SvBackend,
+}
+
+impl<'a> BatchRunner<'a> {
+    /// A runner borrowing the backend's configuration, noise, and limits.
+    pub fn new(backend: &'a SvBackend) -> Self {
+        BatchRunner { backend }
+    }
+
+    /// Run `template` at every sweep point, seeds `seed_base + k`.
+    ///
+    /// Fails fast with the first point's error (the same error `N`
+    /// sequential runs would hit first): every point is validated against
+    /// the device spec individually, because a scaled drive can violate
+    /// limits the template satisfies.
+    pub fn run_sweep(
+        &self,
+        template: &ProgramIr,
+        points: &[SweepPoint],
+        seed_base: u64,
+    ) -> Result<Vec<SampleResult>, EmulatorError> {
+        let seq = &template.sequence;
+        let n = seq.num_qubits();
+        let limit = self.backend.max_qubits.min(SV_MAX_QUBITS);
+        if n > limit {
+            return Err(EmulatorError::TooLarge { qubits: n, limit });
+        }
+        let spec = self.backend.spec();
+        let cfg = &self.backend.config;
+        let h = RydbergHamiltonian::new(&seq.register, spec.c6_coefficient);
+        let mut ws = SvWorkspace::new();
+
+        let fast = is_constant_template(seq);
+        let total = seq.duration();
+        let probe_steps = DiscretizedDrive::steps_for(total, cfg.max_dt);
+        // Template grids by step count; the probe grid is shared by every
+        // point, finer grids appear only when a point's stronger drive
+        // tightens the stability bound.
+        let mut grids: HashMap<usize, TemplateGrid> = HashMap::new();
+
+        let mut results = Vec::with_capacity(points.len());
+        for (k, point) in points.iter().enumerate() {
+            let seed = seed_base.wrapping_add(k as u64);
+            let seq_k = point.materialize(seq);
+            let violations = hpcqc_program::validate(&seq_k, &spec);
+            if !violations.is_empty() {
+                return Err(EmulatorError::Validation(violations));
+            }
+            let state = if fast {
+                let probe_grid = grids
+                    .entry(probe_steps)
+                    .or_insert_with(|| constant_grid(seq, probe_steps));
+                let probe = DiscretizedDrive {
+                    dt: total / probe_steps as f64,
+                    steps: transform_grid(probe_grid, point),
+                };
+                // Step control exactly as `evolve_sequence_ws_h`: bound from
+                // this point's own drive extrema, reuse the probe grid when
+                // the bound doesn't force a finer one.
+                let (omax, dmax) = probe.max_drive();
+                let scale = h.energy_scale(omax, dmax).max(1e-9);
+                let dt_bound = (cfg.stability_factor / scale).min(cfg.max_dt);
+                let nsteps = DiscretizedDrive::steps_for(total, dt_bound);
+                let drive = if nsteps == probe_steps {
+                    probe
+                } else {
+                    let grid = grids
+                        .entry(nsteps)
+                        .or_insert_with(|| constant_grid(seq, nsteps));
+                    DiscretizedDrive {
+                        dt: total / nsteps as f64,
+                        steps: transform_grid(grid, point),
+                    }
+                };
+                evolve_drive_ws(&h, &drive, cfg, &mut ws)
+            } else {
+                // General templates (ramps, Blackman, …): scaling does not
+                // commute with sampling at the bit level, so discretize the
+                // materialized sequence — the Hamiltonian and workspace are
+                // still shared.
+                evolve_sequence_ws_h(&h, &seq_k, cfg, &mut ws)
+            };
+            let probs = state.probabilities();
+            let dist = sampling_distribution(&probs)?;
+            let outcomes = sample_outcomes(template.shots, n, seed, &self.backend.noise, |rng| {
+                dist.sample(rng) as u64
+            });
+            results.push(SampleResult::from_shots(n, &outcomes, self.backend.name()));
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::SpamNoise;
+    use hpcqc_program::{Register, SequenceBuilder};
+
+    /// QAOA-style all-constant template: alternating drive layers with
+    /// distinct phases on a blockaded chain.
+    fn constant_template(n: usize, shots: u32) -> ProgramIr {
+        let reg = Register::linear(n, 10.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.1, 4.0, 1.0, 0.0).unwrap());
+        b.add_global_pulse(Pulse::constant(0.1, 3.0, -2.0, 0.7).unwrap());
+        b.add_global_pulse(Pulse::constant(0.1, 4.0, 1.5, 1.9).unwrap());
+        ProgramIr::new(b.build().unwrap(), shots, "batch-test")
+    }
+
+    /// Template with ramps: exercises the general (re-discretizing) path.
+    fn ramp_template(n: usize, shots: u32) -> ProgramIr {
+        let reg = Register::linear(n, 10.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(
+            Pulse::new(
+                Waveform::ramp(0.2, 0.0, 4.0).unwrap(),
+                Waveform::ramp(0.2, -2.0, 2.0).unwrap(),
+                0.3,
+            )
+            .unwrap(),
+        );
+        ProgramIr::new(b.build().unwrap(), shots, "batch-test")
+    }
+
+    fn grid_points(n: usize) -> Vec<SweepPoint> {
+        (0..n)
+            .map(|k| SweepPoint {
+                omega_scale: 0.5 + 0.05 * k as f64,
+                delta_scale: -1.5 + 0.1 * k as f64,
+                phase_offset: 0.2 * k as f64,
+            })
+            .collect()
+    }
+
+    fn sequential_reference(
+        backend: &SvBackend,
+        template: &ProgramIr,
+        points: &[SweepPoint],
+        seed_base: u64,
+    ) -> Vec<SampleResult> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(k, p)| {
+                let mut ir = template.clone();
+                ir.sequence = p.materialize(&template.sequence);
+                backend
+                    .run(&ir, seed_base.wrapping_add(k as u64))
+                    .expect("sequential run succeeds")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_point_materializes_template_unchanged() {
+        let tpl = constant_template(3, 10).sequence;
+        assert_eq!(SweepPoint::identity().materialize(&tpl), tpl);
+        let tpl = ramp_template(3, 10).sequence;
+        assert_eq!(SweepPoint::identity().materialize(&tpl), tpl);
+    }
+
+    #[test]
+    fn materialize_scales_values_not_timing() {
+        let tpl = constant_template(2, 10).sequence;
+        let p = SweepPoint {
+            omega_scale: 0.5,
+            delta_scale: -2.0,
+            phase_offset: 1.0,
+        };
+        let m = p.materialize(&tpl);
+        assert_eq!(m.duration(), tpl.duration());
+        assert_eq!(m.pulses.len(), tpl.pulses.len());
+        for (a, b) in m.pulses.iter().zip(&tpl.pulses) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.pulse.duration(), b.pulse.duration());
+            assert_eq!(a.pulse.phase, b.pulse.phase + 1.0);
+        }
+        let (o, d, _) = m.drive_at(GLOBAL_CHANNEL, 0.05);
+        assert_eq!(o, 4.0 * 0.5);
+        assert_eq!(d, 1.0 * -2.0);
+    }
+
+    #[test]
+    fn batched_constant_sweep_matches_sequential_runs_bit_for_bit() {
+        // The tentpole contract: a 32-point sweep through the BatchRunner
+        // equals 32 independent backend runs exactly — same counts, same
+        // per-shot streams, fast path and all.
+        let backend = SvBackend::default();
+        let tpl = constant_template(6, 64);
+        let points = grid_points(32);
+        let seed_base = 1234;
+        let batched = BatchRunner::new(&backend)
+            .run_sweep(&tpl, &points, seed_base)
+            .unwrap();
+        let sequential = sequential_reference(&backend, &tpl, &points, seed_base);
+        assert_eq!(batched.len(), 32);
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn batched_ramp_sweep_matches_sequential_runs_bit_for_bit() {
+        // General path (per-point discretization): same contract.
+        let backend = SvBackend::default();
+        let tpl = ramp_template(4, 50);
+        let points = grid_points(6);
+        let batched = BatchRunner::new(&backend)
+            .run_sweep(&tpl, &points, 9)
+            .unwrap();
+        let sequential = sequential_reference(&backend, &tpl, &points, 9);
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn batched_sweep_with_noise_matches_sequential() {
+        // SPAM draws come from the same per-shot streams as the outcome
+        // draw; the batch path must reproduce them too.
+        let backend = SvBackend {
+            noise: SpamNoise {
+                epsilon: 0.03,
+                epsilon_prime: 0.07,
+            },
+            ..SvBackend::default()
+        };
+        let tpl = constant_template(4, 100);
+        let points = grid_points(5);
+        let batched = BatchRunner::new(&backend)
+            .run_sweep(&tpl, &points, 77)
+            .unwrap();
+        let sequential = sequential_reference(&backend, &tpl, &points, 77);
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn emulator_trait_sweep_agrees_with_batch_runner() {
+        // `SvBackend::run_sweep` routes through the BatchRunner; the trait's
+        // default (sequential) implementation must agree with it.
+        let backend = SvBackend::default();
+        let tpl = constant_template(5, 40);
+        let points = grid_points(8);
+        let via_trait = backend.run_sweep(&tpl, &points, 5).unwrap();
+        let sequential = sequential_reference(&backend, &tpl, &points, 5);
+        assert_eq!(via_trait, sequential);
+    }
+
+    #[test]
+    fn scaled_point_can_violate_spec_template_satisfies() {
+        // Ω scaled past the emulator channel limit: the *point* must be
+        // validated, not just the template.
+        let backend = SvBackend::default();
+        let tpl = constant_template(3, 10);
+        assert!(hpcqc_program::validate(&tpl.sequence, &backend.spec()).is_empty());
+        let bad = [SweepPoint {
+            omega_scale: 100.0, // 4.0 → 400 rad/µs, limit is 125.7
+            ..SweepPoint::identity()
+        }];
+        match BatchRunner::new(&backend).run_sweep(&tpl, &bad, 1) {
+            Err(EmulatorError::Validation(v)) => assert!(!v.is_empty()),
+            other => panic!("expected Validation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_register_rejected_before_any_work() {
+        let backend = SvBackend::default();
+        let tpl = constant_template(21, 10);
+        match BatchRunner::new(&backend).run_sweep(&tpl, &[SweepPoint::identity()], 1) {
+            Err(EmulatorError::TooLarge {
+                qubits: 21,
+                limit: 20,
+            }) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_sweep_returns_no_results() {
+        let backend = SvBackend::default();
+        let tpl = constant_template(3, 10);
+        let res = BatchRunner::new(&backend).run_sweep(&tpl, &[], 1).unwrap();
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn gap_steps_transform_to_zero_drive() {
+        // A template whose global channel ends before another channel does
+        // has trailing gap steps; they must stay exactly (0, 0, 0) under any
+        // point (notably: no phase offset leaks into idle time).
+        let reg = Register::linear(2, 10.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.1, 4.0, 1.0, 0.2).unwrap());
+        b.add_pulse("aux", Pulse::constant(0.3, 0.0, 0.0, 0.0).unwrap());
+        let seq = b.build().unwrap();
+        assert!(is_constant_template(&seq));
+        let p = SweepPoint {
+            omega_scale: 2.0,
+            delta_scale: 3.0,
+            phase_offset: 0.9,
+        };
+        let direct = DiscretizedDrive::from_sequence(&p.materialize(&seq), 0.011);
+        let nsteps = direct.steps.len();
+        let grid = constant_grid(&seq, nsteps);
+        let gap_from = nsteps.div_ceil(3); // global pulse covers the first third
+        assert!(
+            grid[..gap_from - 1].iter().all(|s| s.is_some()),
+            "pulse region"
+        );
+        assert!(grid[gap_from..].iter().all(|s| s.is_none()), "gap region");
+        let steps = transform_grid(&grid, &p);
+        for &(o, d, ph) in &steps[gap_from..] {
+            assert_eq!((o, d, ph), (0.0, 0.0, 0.0));
+        }
+        // and the transformed steps match the materialized sequence's own
+        // discretization exactly
+        assert_eq!(direct.steps, steps);
+    }
+
+    #[test]
+    fn ramp_template_is_not_constant() {
+        assert!(!is_constant_template(&ramp_template(2, 1).sequence));
+        assert!(is_constant_template(&constant_template(2, 1).sequence));
+    }
+}

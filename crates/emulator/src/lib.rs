@@ -13,6 +13,7 @@
 //! like hardware.
 
 pub mod backend;
+pub mod batch;
 pub mod hamiltonian;
 pub mod linalg;
 pub mod mps;
@@ -20,9 +21,15 @@ pub mod noise;
 pub mod result;
 pub mod statevector;
 
-pub use backend::{sampling_distribution, Emulator, EmulatorError, MpsBackend, SvBackend};
+pub use backend::{
+    sampling_distribution, Emulator, EmulatorError, MpsBackend, SvBackend, SvPhaseTimings,
+};
+pub use batch::{BatchRunner, SweepPoint};
 pub use hamiltonian::{DiscretizedDrive, RydbergHamiltonian};
 pub use mps::{Mps, MpsConfig};
 pub use noise::SpamNoise;
 pub use result::{Counts, SampleResult};
-pub use statevector::{StateVector, SvConfig, SvWorkspace, SV_MAX_QUBITS};
+pub use statevector::{
+    evolve_sequence, evolve_sequence_ws, StateVector, SvConfig, SvKernel, SvWorkspace,
+    SV_MAX_QUBITS,
+};

@@ -6,11 +6,20 @@
 //! buffer (rayon-split over disjoint mutable output chunks, so amplitudes
 //! are bit-identical for any worker count) and [`SvWorkspace`] keeps the
 //! RK4 scratch vectors alive across every step of a sequence.
+//!
+//! The hot passes run on SIMD lanes ([`simd::f64x4`]) by default: four
+//! consecutive basis states per iteration (one *bit-pair block* — bits 0
+//! and 1 resolved by in-register shuffles, higher bits by contiguous block
+//! loads), with an AVX2 instantiation selected at runtime on x86-64. Every
+//! lane operation is the exact IEEE-754 scalar operation in the same order,
+//! so SIMD results are bit-identical to the scalar reference kernels
+//! ([`SvKernel::Scalar`]) — asserted by the parity tests below.
 
 use crate::hamiltonian::{DiscretizedDrive, RydbergHamiltonian};
 use hpcqc_program::Sequence;
 use num_complex::Complex64;
 use rayon::prelude::*;
+use simd::f64x4;
 
 /// Hard cap of the dense method: `2^26` amplitudes ≈ 1 GiB of state.
 pub const SV_MAX_QUBITS: usize = 26;
@@ -148,6 +157,414 @@ fn apply_h_chunk(
     }
 }
 
+/// Kernel selection for the state-vector hot passes.
+///
+/// Both variants produce bit-identical amplitudes: the SIMD lane kernels
+/// perform exactly the scalar IEEE-754 operations in the same order, only
+/// packed four `f64` lanes at a time (see the parity tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SvKernel {
+    /// SIMD lane kernels, with AVX-512/AVX2 instantiations picked at
+    /// runtime on x86-64 and a portable scalar-per-lane fallback elsewhere.
+    #[default]
+    Auto,
+    /// The scalar reference loops (pre-SIMD behavior) — the parity baseline
+    /// and the honest "sequential execution" comparator in benchmarks.
+    Scalar,
+}
+
+/// Reinterpret interleaved complex amplitudes as raw `f64` lanes
+/// (`[re0, im0, re1, im1, …]`).
+#[inline(always)]
+fn complex_as_f64(psi: &[Complex64]) -> &[f64] {
+    // SAFETY: the shimmed `Complex<f64>` is `#[repr(C)] { re, im }`, so a
+    // slice of `len` complex numbers is layout-identical to `2·len` f64s.
+    unsafe { std::slice::from_raw_parts(psi.as_ptr() as *const f64, psi.len() * 2) }
+}
+
+/// Mutable counterpart of [`complex_as_f64`].
+#[inline(always)]
+fn complex_as_f64_mut(out: &mut [Complex64]) -> &mut [f64] {
+    // SAFETY: as in `complex_as_f64`; the borrow is exclusive.
+    unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut f64, out.len() * 2) }
+}
+
+/// Multiplication by a complex constant on interleaved `[re, im, re, im]`
+/// lanes: `v·re_v + swap_within_pairs(v)·im_v` with the imaginary part
+/// sign-folded per lane. Each lane result is the exact scalar complex
+/// product (IEEE multiplication commutes bitwise and `a + (−b) ≡ a − b`).
+#[derive(Clone, Copy)]
+struct CMul {
+    re: f64x4,
+    im: f64x4,
+}
+
+impl CMul {
+    #[inline(always)]
+    fn new(c: Complex64) -> Self {
+        CMul {
+            re: f64x4::splat(c.re),
+            im: f64x4::from_array([-c.im, c.im, -c.im, c.im]),
+        }
+    }
+
+    #[inline(always)]
+    fn apply(self, v: f64x4) -> f64x4 {
+        v * self.re + v.swap_within_pairs() * self.im
+    }
+}
+
+/// SIMD instantiation of [`apply_h_chunk`]: identical arithmetic on blocks
+/// of four consecutive basis states (one *bit-pair block*). Bits 0 and 1 of
+/// the basis index are resolved by in-register shuffles; every higher bit
+/// addresses a contiguous neighbour block, so the gather of the scalar loop
+/// becomes two aligned vector loads per bit. The per-lane accumulation
+/// order is the scalar loop's order (ascending bit index), so the output
+/// is bit-identical. Loads and stores are unchecked — bounds checks in the
+/// neighbour loop would otherwise outnumber the arithmetic.
+///
+/// # Safety
+/// Requires `psi.len() == h.dim() == 2^h.n` with `h.n ≥ 2`, `base % 4 == 0`,
+/// `out.len() % 4 == 0`, and `base + out.len() ≤ psi.len()` (then every
+/// neighbour index `b ^ (1 << i)`, `i < h.n`, stays in bounds).
+#[inline(always)]
+unsafe fn apply_h_chunk_lanes(
+    h: &RydbergHamiltonian,
+    psi: &[Complex64],
+    omega: f64,
+    delta: f64,
+    phase: f64,
+    base: usize,
+    out: &mut [Complex64],
+) {
+    debug_assert!(h.n >= 2);
+    debug_assert_eq!(psi.len(), h.dim());
+    debug_assert_eq!(base % 4, 0);
+    debug_assert_eq!(out.len() % 4, 0);
+    debug_assert!(base + out.len() <= psi.len());
+    let half = omega / 2.0;
+    let up = CMul::new(Complex64::from_polar(half, -phase));
+    let down = CMul::new(Complex64::from_polar(half, phase));
+    let n = h.n;
+    let drive = omega != 0.0;
+    let psip = complex_as_f64(psi).as_ptr();
+    let outp = complex_as_f64_mut(out).as_mut_ptr();
+    let diagp = h.interaction_diag.as_ptr();
+    let occp = h.occupation.as_ptr();
+    let nblocks = out.len() / 4;
+    for blk in 0..nblocks {
+        let b0 = base + 4 * blk;
+        let p_lo = f64x4::from_ptr(psip.add(2 * b0));
+        let p_hi = f64x4::from_ptr(psip.add(2 * b0 + 4));
+        let diag = |k: usize| diagp.add(b0 + k).read() - delta * occp.add(b0 + k).read() as f64;
+        let (d0, d1, d2, d3) = (diag(0), diag(1), diag(2), diag(3));
+        let mut acc_lo = f64x4::from_array([d0, d0, d1, d1]) * p_lo;
+        let mut acc_hi = f64x4::from_array([d2, d2, d3, d3]) * p_hi;
+        if drive {
+            let mut s0_lo = f64x4::splat(0.0);
+            let mut s1_lo = f64x4::splat(0.0);
+            let mut s0_hi = f64x4::splat(0.0);
+            let mut s1_hi = f64x4::splat(0.0);
+            // Bit 0: the neighbour of each state is its partner complex in
+            // the same vector. Even states (low lanes) accumulate it into
+            // s0, odd states (high lanes) into s1; the blend-after-add via
+            // merge_halves keeps the untouched lanes' exact bit patterns.
+            let sw_lo = p_lo.rotate_pairs();
+            let sw_hi = p_hi.rotate_pairs();
+            s0_lo = f64x4::merge_halves(s0_lo + sw_lo, s0_lo);
+            s1_lo = f64x4::merge_halves(s1_lo, s1_lo + sw_lo);
+            s0_hi = f64x4::merge_halves(s0_hi + sw_hi, s0_hi);
+            s1_hi = f64x4::merge_halves(s1_hi, s1_hi + sw_hi);
+            // Bit 1: the lo pair's neighbours are the hi pair and vice
+            // versa — full-width adds, classes are uniform per vector.
+            s0_lo = s0_lo + p_hi;
+            s1_hi = s1_hi + p_lo;
+            // Bits ≥ 2: the XOR-neighbour of an aligned 4-block is the
+            // contiguous 4-block at `b0 ^ (1 << i)`, with one source-bit
+            // class for the whole block.
+            for i in 2..n {
+                let nb = psip.add(2 * (b0 ^ (1 << i)));
+                let n_lo = f64x4::from_ptr(nb);
+                let n_hi = f64x4::from_ptr(nb.add(4));
+                if (b0 >> i) & 1 == 0 {
+                    s0_lo = s0_lo + n_lo;
+                    s0_hi = s0_hi + n_hi;
+                } else {
+                    s1_lo = s1_lo + n_lo;
+                    s1_hi = s1_hi + n_hi;
+                }
+            }
+            acc_lo = acc_lo + (up.apply(s1_lo) + down.apply(s0_lo));
+            acc_hi = acc_hi + (up.apply(s1_hi) + down.apply(s0_hi));
+        }
+        acc_lo.write_ptr(outp.add(8 * blk));
+        acc_hi.write_ptr(outp.add(8 * blk + 4));
+    }
+}
+
+/// Hand-written AVX2 instantiation of [`apply_h_chunk_lanes`].
+///
+/// The portable lane kernel leaves LLVM free to re-pack the `[f64; 4]`
+/// semantics, which in practice shreds the neighbour loop into half-width
+/// shuffles; the intrinsics pin the codegen to full-width `vaddpd`/
+/// `vmulpd`. Every intrinsic is the exact IEEE-754 lane operation of the
+/// scalar reference in the same order — `vblendvpd` keeps the untouched
+/// accumulator's bit pattern (branch-free class select), and no FMA is
+/// emitted — so the output stays bit-identical.
+///
+/// # Safety
+/// Same contract as [`apply_h_chunk_lanes`], plus AVX2 must be available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments, clippy::missing_transmute_annotations)]
+unsafe fn apply_h_chunk_avx2(
+    h: &RydbergHamiltonian,
+    psi: &[Complex64],
+    omega: f64,
+    delta: f64,
+    phase: f64,
+    base: usize,
+    out: &mut [Complex64],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(h.n >= 2);
+    debug_assert_eq!(psi.len(), h.dim());
+    debug_assert!(
+        base.is_multiple_of(4) && out.len().is_multiple_of(4) && base + out.len() <= psi.len()
+    );
+    let half = omega / 2.0;
+    let up = Complex64::from_polar(half, -phase);
+    let down = Complex64::from_polar(half, phase);
+    let n = h.n;
+    let drive = omega != 0.0;
+    let psip = complex_as_f64(psi).as_ptr();
+    let outp = complex_as_f64_mut(out).as_mut_ptr();
+    let diagp = h.interaction_diag.as_ptr();
+    let occp = h.occupation.as_ptr();
+    let delta_v = _mm256_set1_pd(delta);
+    let up_re = _mm256_set1_pd(up.re);
+    let up_im = _mm256_setr_pd(-up.im, up.im, -up.im, up.im);
+    let down_re = _mm256_set1_pd(down.re);
+    let down_im = _mm256_setr_pd(-down.im, down.im, -down.im, down.im);
+    let nblocks = out.len() / 4;
+    for blk in 0..nblocks {
+        let b0 = base + 4 * blk;
+        let p_lo = _mm256_loadu_pd(psip.add(2 * b0));
+        let p_hi = _mm256_loadu_pd(psip.add(2 * b0 + 4));
+        // d[k] = interaction_diag[b0+k] − δ·(occupation[b0+k] as f64);
+        // the i32→f64 convert is exact (occupation ≤ n ≤ 26).
+        let occ4 = _mm256_cvtepi32_pd(_mm_loadu_si128(occp.add(b0) as *const __m128i));
+        let dvec = _mm256_sub_pd(_mm256_loadu_pd(diagp.add(b0)), _mm256_mul_pd(delta_v, occ4));
+        let d_lo = _mm256_permute4x64_pd(dvec, 0x50); // [d0,d0,d1,d1]
+        let d_hi = _mm256_permute4x64_pd(dvec, 0xFA); // [d2,d2,d3,d3]
+        let mut acc_lo = _mm256_mul_pd(d_lo, p_lo);
+        let mut acc_hi = _mm256_mul_pd(d_hi, p_hi);
+        if drive {
+            let zero = _mm256_setzero_pd();
+            let mut s0_lo = zero;
+            let mut s1_lo = zero;
+            let mut s0_hi = zero;
+            let mut s1_hi = zero;
+            // Bit 0: partner complex within each vector; constant blends
+            // route even states to s0 and odd states to s1.
+            let sw_lo = _mm256_permute2f128_pd(p_lo, p_lo, 0x01);
+            let sw_hi = _mm256_permute2f128_pd(p_hi, p_hi, 0x01);
+            s0_lo = _mm256_blend_pd(_mm256_add_pd(s0_lo, sw_lo), s0_lo, 0b1100);
+            s1_lo = _mm256_blend_pd(s1_lo, _mm256_add_pd(s1_lo, sw_lo), 0b1100);
+            s0_hi = _mm256_blend_pd(_mm256_add_pd(s0_hi, sw_hi), s0_hi, 0b1100);
+            s1_hi = _mm256_blend_pd(s1_hi, _mm256_add_pd(s1_hi, sw_hi), 0b1100);
+            // Bit 1: cross lo/hi adds, uniform class per vector.
+            s0_lo = _mm256_add_pd(s0_lo, p_hi);
+            s1_hi = _mm256_add_pd(s1_hi, p_lo);
+            // Bits ≥ 2: contiguous neighbour blocks; the class select is a
+            // branch-free accumulator blend (the class bit pattern defeats
+            // the branch predictor), keeping the idle accumulator's exact
+            // bits.
+            for i in 2..n {
+                let nbp = psip.add(2 * (b0 ^ (1 << i)));
+                let n_lo = _mm256_loadu_pd(nbp);
+                let n_hi = _mm256_loadu_pd(nbp.add(4));
+                let bit = ((b0 >> i) & 1) as i64;
+                let m = _mm256_castsi256_pd(_mm256_set1_epi64x(bit.wrapping_neg()));
+                s0_lo = _mm256_blendv_pd(_mm256_add_pd(s0_lo, n_lo), s0_lo, m);
+                s1_lo = _mm256_blendv_pd(s1_lo, _mm256_add_pd(s1_lo, n_lo), m);
+                s0_hi = _mm256_blendv_pd(_mm256_add_pd(s0_hi, n_hi), s0_hi, m);
+                s1_hi = _mm256_blendv_pd(s1_hi, _mm256_add_pd(s1_hi, n_hi), m);
+            }
+            // acc += up·s1 + down·s0, complex multiply on interleaved lanes
+            // (v·re + swap_within_pairs(v)·±im), exactly as CMul::apply.
+            let t_lo = _mm256_add_pd(
+                _mm256_add_pd(
+                    _mm256_mul_pd(s1_lo, up_re),
+                    _mm256_mul_pd(_mm256_permute_pd(s1_lo, 0x5), up_im),
+                ),
+                _mm256_add_pd(
+                    _mm256_mul_pd(s0_lo, down_re),
+                    _mm256_mul_pd(_mm256_permute_pd(s0_lo, 0x5), down_im),
+                ),
+            );
+            let t_hi = _mm256_add_pd(
+                _mm256_add_pd(
+                    _mm256_mul_pd(s1_hi, up_re),
+                    _mm256_mul_pd(_mm256_permute_pd(s1_hi, 0x5), up_im),
+                ),
+                _mm256_add_pd(
+                    _mm256_mul_pd(s0_hi, down_re),
+                    _mm256_mul_pd(_mm256_permute_pd(s0_hi, 0x5), down_im),
+                ),
+            );
+            acc_lo = _mm256_add_pd(acc_lo, t_lo);
+            acc_hi = _mm256_add_pd(acc_hi, t_hi);
+        }
+        _mm256_storeu_pd(outp.add(8 * blk), acc_lo);
+        _mm256_storeu_pd(outp.add(8 * blk + 4), acc_hi);
+    }
+}
+
+/// Hand-written AVX-512F instantiation of [`apply_h_chunk_lanes`].
+///
+/// One 512-bit register holds a whole bit-pair block (four interleaved
+/// complex amplitudes), halving the register count of the AVX2 kernel, and
+/// the per-class accumulation uses native masked adds
+/// (`_mm512_mask_add_pd`): lanes outside the mask pass the accumulator's
+/// exact bit pattern through, which is precisely the blend-after-add the
+/// bit-identity argument needs — in a single instruction. No FMA is
+/// emitted, every lane op is the scalar IEEE-754 op in the scalar order.
+///
+/// # Safety
+/// Same contract as [`apply_h_chunk_lanes`], plus AVX-512F availability.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn apply_h_chunk_avx512(
+    h: &RydbergHamiltonian,
+    psi: &[Complex64],
+    omega: f64,
+    delta: f64,
+    phase: f64,
+    base: usize,
+    out: &mut [Complex64],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(h.n >= 2);
+    debug_assert_eq!(psi.len(), h.dim());
+    debug_assert!(
+        base.is_multiple_of(4) && out.len().is_multiple_of(4) && base + out.len() <= psi.len()
+    );
+    let half = omega / 2.0;
+    let up = Complex64::from_polar(half, -phase);
+    let down = Complex64::from_polar(half, phase);
+    let n = h.n;
+    let drive = omega != 0.0;
+    let psip = complex_as_f64(psi).as_ptr();
+    let outp = complex_as_f64_mut(out).as_mut_ptr();
+    let diagp = h.interaction_diag.as_ptr();
+    let occp = h.occupation.as_ptr();
+    let delta_v = _mm256_set1_pd(delta);
+    // Duplicates [d0,d1,d2,d3,·,·,·,·] into [d0,d0,d1,d1,d2,d2,d3,d3].
+    let dup_idx = _mm512_setr_epi64(0, 0, 1, 1, 2, 2, 3, 3);
+    let up_re = _mm512_set1_pd(up.re);
+    #[rustfmt::skip]
+    let up_im = _mm512_setr_pd(-up.im, up.im, -up.im, up.im, -up.im, up.im, -up.im, up.im);
+    let down_re = _mm512_set1_pd(down.re);
+    #[rustfmt::skip]
+    let down_im = _mm512_setr_pd(
+        -down.im, down.im, -down.im, down.im, -down.im, down.im, -down.im, down.im,
+    );
+    let nblocks = out.len() / 4;
+    for blk in 0..nblocks {
+        let b0 = base + 4 * blk;
+        // 128-bit lane k of `p` = complex amplitude of state b0+k.
+        let p = _mm512_loadu_pd(psip.add(2 * b0));
+        let occ4 = _mm256_cvtepi32_pd(_mm_loadu_si128(occp.add(b0) as *const __m128i));
+        let dvec = _mm256_sub_pd(_mm256_loadu_pd(diagp.add(b0)), _mm256_mul_pd(delta_v, occ4));
+        let d = _mm512_permutexvar_pd(dup_idx, _mm512_castpd256_pd512(dvec));
+        let mut acc = _mm512_mul_pd(d, p);
+        if drive {
+            let zero = _mm512_setzero_pd();
+            let mut s0 = zero;
+            let mut s1 = zero;
+            // Bit 0: partner complex is the adjacent 128-bit lane within
+            // each 256-bit half; even states (lanes 0,1,4,5) class to s0,
+            // odd states (lanes 2,3,6,7) to s1.
+            let sw = _mm512_shuffle_f64x2(p, p, 0xB1); // lanes [1,0,3,2]
+            s0 = _mm512_mask_add_pd(s0, 0x33, s0, sw);
+            s1 = _mm512_mask_add_pd(s1, 0xCC, s1, sw);
+            // Bit 1: partner is the other 256-bit half; states b0,b0+1
+            // (low half) class to s0, states b0+2,b0+3 to s1.
+            let sw2 = _mm512_shuffle_f64x2(p, p, 0x4E); // lanes [2,3,0,1]
+            s0 = _mm512_mask_add_pd(s0, 0x0F, s0, sw2);
+            s1 = _mm512_mask_add_pd(s1, 0xF0, s1, sw2);
+            // Bits ≥ 2: contiguous neighbour blocks, one class per block;
+            // the all-or-nothing mask keeps the idle accumulator untouched
+            // (bit-exact) with no blend instruction at all.
+            for i in 2..n {
+                let nb = _mm512_loadu_pd(psip.add(2 * (b0 ^ (1 << i))));
+                let m1: __mmask8 = 0u8.wrapping_sub(((b0 >> i) & 1) as u8);
+                s0 = _mm512_mask_add_pd(s0, !m1, s0, nb);
+                s1 = _mm512_mask_add_pd(s1, m1, s1, nb);
+            }
+            // acc += up·s1 + down·s0 on interleaved lanes, as CMul::apply.
+            let t = _mm512_add_pd(
+                _mm512_add_pd(
+                    _mm512_mul_pd(s1, up_re),
+                    _mm512_mul_pd(_mm512_permute_pd(s1, 0x55), up_im),
+                ),
+                _mm512_add_pd(
+                    _mm512_mul_pd(s0, down_re),
+                    _mm512_mul_pd(_mm512_permute_pd(s0, 0x55), down_im),
+                ),
+            );
+            acc = _mm512_add_pd(acc, t);
+        }
+        _mm512_storeu_pd(outp.add(8 * blk), acc);
+    }
+}
+
+/// Per-chunk kernel selection: scalar reference, or the SIMD lane kernel
+/// (AVX-512F- or AVX2-compiled when the CPU supports it). Registers of
+/// fewer than two atoms fall back to the scalar loop (no bit-pair block
+/// exists).
+#[allow(clippy::too_many_arguments)]
+fn apply_h_chunk_dispatch(
+    h: &RydbergHamiltonian,
+    psi: &[Complex64],
+    omega: f64,
+    delta: f64,
+    phase: f64,
+    base: usize,
+    out: &mut [Complex64],
+    kernel: SvKernel,
+) {
+    if kernel == SvKernel::Scalar || h.n < 2 {
+        apply_h_chunk(h, psi, omega, delta, phase, base, out);
+        return;
+    }
+    debug_assert_eq!(psi.len(), h.dim());
+    debug_assert!(
+        base.is_multiple_of(4) && out.len().is_multiple_of(4) && base + out.len() <= psi.len()
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd::avx512_available() {
+            // SAFETY: AVX-512F support was just verified at runtime; the
+            // lane-kernel contract holds — callers pass 4-aligned chunks of
+            // a `2^n ≥ 4` dimensional state whose length
+            // `apply_h_into_with` asserted.
+            unsafe { apply_h_chunk_avx512(h, psi, omega, delta, phase, base, out) };
+            return;
+        }
+        if simd::avx2_available() {
+            // SAFETY: AVX2 support was just verified at runtime; lane-kernel
+            // contract as above.
+            unsafe { apply_h_chunk_avx2(h, psi, omega, delta, phase, base, out) };
+            return;
+        }
+    }
+    // SAFETY: lane-kernel contract as above.
+    unsafe { apply_h_chunk_lanes(h, psi, omega, delta, phase, base, out) };
+}
+
 /// Matrix-free `H(ω,δ,φ)·ψ` into a caller-provided buffer.
 ///
 /// Off-diagonal convention: the drive term is
@@ -156,7 +573,8 @@ fn apply_h_chunk(
 ///
 /// Large dimensions are split over disjoint mutable output chunks; every
 /// output element is computed independently, so the result is bit-identical
-/// to [`apply_h_into_serial`] for any worker count.
+/// to [`apply_h_into_serial`] for any worker count. Runs the default
+/// ([`SvKernel::Auto`]) kernel; see [`apply_h_into_with`] to pick one.
 pub fn apply_h_into(
     h: &RydbergHamiltonian,
     psi: &[Complex64],
@@ -165,8 +583,25 @@ pub fn apply_h_into(
     phase: f64,
     out: &mut [Complex64],
 ) {
+    apply_h_into_with(h, psi, omega, delta, phase, out, SvKernel::default());
+}
+
+/// [`apply_h_into`] with an explicit kernel selection.
+pub fn apply_h_into_with(
+    h: &RydbergHamiltonian,
+    psi: &[Complex64],
+    omega: f64,
+    delta: f64,
+    phase: f64,
+    out: &mut [Complex64],
+    kernel: SvKernel,
+) {
     let dim = psi.len();
-    debug_assert_eq!(dim, h.dim());
+    assert_eq!(
+        dim,
+        h.dim(),
+        "state dimension must match the Hamiltonian dimension"
+    );
     assert_eq!(
         out.len(),
         dim,
@@ -176,15 +611,25 @@ pub fn apply_h_into(
         out.par_chunks_mut(PAR_CHUNK_LEN)
             .enumerate()
             .for_each(|(ci, chunk)| {
-                apply_h_chunk(h, psi, omega, delta, phase, ci * PAR_CHUNK_LEN, chunk);
+                apply_h_chunk_dispatch(
+                    h,
+                    psi,
+                    omega,
+                    delta,
+                    phase,
+                    ci * PAR_CHUNK_LEN,
+                    chunk,
+                    kernel,
+                );
             });
     } else {
-        apply_h_chunk(h, psi, omega, delta, phase, 0, out);
+        apply_h_chunk_dispatch(h, psi, omega, delta, phase, 0, out, kernel);
     }
 }
 
-/// Forced-sequential reference for [`apply_h_into`] — used by equivalence
-/// tests and available for debugging parallel-split regressions.
+/// Forced-sequential, forced-scalar reference for [`apply_h_into`] — used
+/// by equivalence tests and available for debugging parallel-split or SIMD
+/// regressions.
 pub fn apply_h_into_serial(
     h: &RydbergHamiltonian,
     psi: &[Complex64],
@@ -193,6 +638,11 @@ pub fn apply_h_into_serial(
     phase: f64,
     out: &mut [Complex64],
 ) {
+    assert_eq!(
+        psi.len(),
+        h.dim(),
+        "state dimension must match the Hamiltonian dimension"
+    );
     assert_eq!(out.len(), psi.len());
     apply_h_chunk(h, psi, omega, delta, phase, 0, out);
 }
@@ -220,6 +670,10 @@ pub struct SvWorkspace {
     k3: Vec<Complex64>,
     k4: Vec<Complex64>,
     tmp: Vec<Complex64>,
+    /// Second stage-input buffer: the fused RK4 passes alternate their
+    /// stage output between `tmp` and `tmp2` so no pass writes the buffer
+    /// its own `H·ψ` gather is still reading.
+    tmp2: Vec<Complex64>,
 }
 
 impl SvWorkspace {
@@ -235,6 +689,7 @@ impl SvWorkspace {
             &mut self.k3,
             &mut self.k4,
             &mut self.tmp,
+            &mut self.tmp2,
         ] {
             if buf.len() != dim {
                 buf.clear();
@@ -244,13 +699,161 @@ impl SvWorkspace {
     }
 }
 
+/// SIMD instantiation of the `out = ψ + c·k` stage pass — two complex
+/// elements per lane vector, same per-element expression as the scalar
+/// loop.
+///
+/// # Safety
+/// Requires `chunk.len() % 2 == 0`, `k_chunk.len() == chunk.len()`, and
+/// `base + chunk.len() ≤ psi.len()` (`k_chunk` is the K-slice for the same
+/// index range, passed chunk-local so the fused passes can hand over the
+/// cache-hot block they just wrote).
+#[inline(always)]
+unsafe fn stage_input_chunk_lanes(
+    psi: &[Complex64],
+    k_chunk: &[Complex64],
+    c: Complex64,
+    base: usize,
+    chunk: &mut [Complex64],
+) {
+    debug_assert_eq!(chunk.len() % 2, 0);
+    debug_assert_eq!(chunk.len(), k_chunk.len());
+    debug_assert!(base + chunk.len() <= psi.len());
+    let cm = CMul::new(c);
+    let psip = complex_as_f64(psi).as_ptr();
+    let kp = complex_as_f64(k_chunk).as_ptr();
+    let outp = complex_as_f64_mut(chunk).as_mut_ptr();
+    for j in 0..chunk.len() / 2 {
+        let p = f64x4::from_ptr(psip.add(2 * base + 4 * j));
+        let kv = f64x4::from_ptr(kp.add(4 * j));
+        (p + cm.apply(kv)).write_ptr(outp.add(4 * j));
+    }
+}
+
+/// Hand-written AVX2 instantiation of [`stage_input_chunk_lanes`] — exact
+/// IEEE lane ops, no FMA, bit-identical to the scalar loop.
+///
+/// # Safety
+/// Same contract as [`stage_input_chunk_lanes`], plus AVX2 availability.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn stage_input_chunk_avx2(
+    psi: &[Complex64],
+    k_chunk: &[Complex64],
+    c: Complex64,
+    base: usize,
+    chunk: &mut [Complex64],
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(chunk.len() % 2, 0);
+    debug_assert_eq!(chunk.len(), k_chunk.len());
+    debug_assert!(base + chunk.len() <= psi.len());
+    let c_re = _mm256_set1_pd(c.re);
+    let c_im = _mm256_setr_pd(-c.im, c.im, -c.im, c.im);
+    let psip = complex_as_f64(psi).as_ptr();
+    let kp = complex_as_f64(k_chunk).as_ptr();
+    let outp = complex_as_f64_mut(chunk).as_mut_ptr();
+    for j in 0..chunk.len() / 2 {
+        let p = _mm256_loadu_pd(psip.add(2 * base + 4 * j));
+        let kv = _mm256_loadu_pd(kp.add(4 * j));
+        let ck = _mm256_add_pd(
+            _mm256_mul_pd(kv, c_re),
+            _mm256_mul_pd(_mm256_permute_pd(kv, 0x5), c_im),
+        );
+        _mm256_storeu_pd(outp.add(4 * j), _mm256_add_pd(p, ck));
+    }
+}
+
+/// Hand-written AVX-512F instantiation of [`stage_input_chunk_lanes`] —
+/// four complex elements per iteration, same IEEE ops in the same order.
+///
+/// # Safety
+/// Same contract as [`stage_input_chunk_lanes`], plus `chunk.len() % 4 == 0`
+/// and AVX-512F availability.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn stage_input_chunk_avx512(
+    psi: &[Complex64],
+    k_chunk: &[Complex64],
+    c: Complex64,
+    base: usize,
+    chunk: &mut [Complex64],
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(chunk.len() % 4, 0);
+    debug_assert_eq!(chunk.len(), k_chunk.len());
+    debug_assert!(base + chunk.len() <= psi.len());
+    let c_re = _mm512_set1_pd(c.re);
+    #[rustfmt::skip]
+    let c_im = _mm512_setr_pd(-c.im, c.im, -c.im, c.im, -c.im, c.im, -c.im, c.im);
+    let psip = complex_as_f64(psi).as_ptr();
+    let kp = complex_as_f64(k_chunk).as_ptr();
+    let outp = complex_as_f64_mut(chunk).as_mut_ptr();
+    for j in 0..chunk.len() / 4 {
+        let p = _mm512_loadu_pd(psip.add(2 * base + 8 * j));
+        let kv = _mm512_loadu_pd(kp.add(8 * j));
+        let ck = _mm512_add_pd(
+            _mm512_mul_pd(kv, c_re),
+            _mm512_mul_pd(_mm512_permute_pd(kv, 0x55), c_im),
+        );
+        _mm512_storeu_pd(outp.add(8 * j), _mm512_add_pd(p, ck));
+    }
+}
+
+/// # Safety
+/// Same contract as [`stage_input_chunk_lanes`].
+#[inline]
+unsafe fn stage_input_chunk_dispatch(
+    psi: &[Complex64],
+    k_chunk: &[Complex64],
+    c: Complex64,
+    base: usize,
+    chunk: &mut [Complex64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if chunk.len().is_multiple_of(4) && simd::avx512_available() {
+            // SAFETY: AVX-512F verified at runtime, length divisibility just
+            // checked; contract forwarded from the caller.
+            unsafe { stage_input_chunk_avx512(psi, k_chunk, c, base, chunk) };
+            return;
+        }
+        if simd::avx2_available() {
+            // SAFETY: AVX2 support was just verified at runtime; contract
+            // forwarded from the caller.
+            unsafe { stage_input_chunk_avx2(psi, k_chunk, c, base, chunk) };
+            return;
+        }
+    }
+    // SAFETY: contract forwarded from the caller.
+    unsafe { stage_input_chunk_lanes(psi, k_chunk, c, base, chunk) }
+}
+
 /// `out = psi + c·k`, chunk-parallel for large dimensions (elementwise, so
-/// bit-identical for any worker count).
-fn stage_input_into(psi: &[Complex64], k: &[Complex64], c: Complex64, out: &mut [Complex64]) {
+/// bit-identical for any worker count and for either kernel).
+fn stage_input_into(
+    psi: &[Complex64],
+    k: &[Complex64],
+    c: Complex64,
+    out: &mut [Complex64],
+    kernel: SvKernel,
+) {
+    // The lane pass handles two complex elements per vector, so it needs an
+    // even length; odd dimensions (only dim = 1 here) go scalar.
+    debug_assert!(psi.len() >= out.len() && k.len() >= out.len());
+    let use_lanes = kernel != SvKernel::Scalar && out.len() >= 2 && out.len().is_multiple_of(2);
     let fill = |base: usize, chunk: &mut [Complex64]| {
-        for (j, slot) in chunk.iter_mut().enumerate() {
-            let b = base + j;
-            *slot = psi[b] + c * k[b];
+        if use_lanes {
+            // SAFETY: chunks come from an even-length `out` split at an even
+            // chunk size, and `psi`/`k` are at least as long as `out`.
+            unsafe {
+                stage_input_chunk_dispatch(psi, &k[base..base + chunk.len()], c, base, chunk)
+            };
+        } else {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                let b = base + j;
+                *slot = psi[b] + c * k[b];
+            }
         }
     };
     if out.len() >= PAR_DIM_THRESHOLD {
@@ -259,6 +862,294 @@ fn stage_input_into(psi: &[Complex64], k: &[Complex64], c: Complex64, out: &mut 
             .for_each(|(ci, chunk)| fill(ci * PAR_CHUNK_LEN, chunk));
     } else {
         fill(0, out);
+    }
+}
+
+/// SIMD instantiation of the RK4 combine pass:
+/// `ψ += c·(K1 + 2(K2 + K3) + K4)`, two complex elements per vector with
+/// the scalar expression's association order.
+///
+/// # Safety
+/// Requires `chunk.len() % 2 == 0`, `k4_chunk.len() == chunk.len()`, and
+/// `base + chunk.len()` within the length of each of `k1`–`k3` (`k4_chunk`
+/// is the K4-slice for the same index range, chunk-local so the fused
+/// final pass can hand over the cache-hot block it just wrote).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn combine_chunk_lanes(
+    k1: &[Complex64],
+    k2: &[Complex64],
+    k3: &[Complex64],
+    k4_chunk: &[Complex64],
+    c: Complex64,
+    base: usize,
+    chunk: &mut [Complex64],
+) {
+    debug_assert_eq!(chunk.len() % 2, 0);
+    debug_assert_eq!(chunk.len(), k4_chunk.len());
+    debug_assert!(base + chunk.len() <= k1.len().min(k2.len()).min(k3.len()));
+    let cm = CMul::new(c);
+    let two = f64x4::splat(2.0);
+    let k1p = complex_as_f64(k1).as_ptr();
+    let k2p = complex_as_f64(k2).as_ptr();
+    let k3p = complex_as_f64(k3).as_ptr();
+    let k4p = complex_as_f64(k4_chunk).as_ptr();
+    let outp = complex_as_f64_mut(chunk).as_mut_ptr();
+    for j in 0..chunk.len() / 2 {
+        let off = 2 * base + 4 * j;
+        let v1 = f64x4::from_ptr(k1p.add(off));
+        let v2 = f64x4::from_ptr(k2p.add(off));
+        let v3 = f64x4::from_ptr(k3p.add(off));
+        let v4 = f64x4::from_ptr(k4p.add(4 * j));
+        let o = outp.add(4 * j);
+        let cur = f64x4::from_ptr(o);
+        let sum = v1 + (v2 + v3) * two + v4;
+        (cur + cm.apply(sum)).write_ptr(o);
+    }
+}
+
+/// Hand-written AVX2 instantiation of [`combine_chunk_lanes`] — exact IEEE
+/// lane ops in the scalar expression's association order, no FMA.
+///
+/// # Safety
+/// Same contract as [`combine_chunk_lanes`], plus AVX2 availability.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn combine_chunk_avx2(
+    k1: &[Complex64],
+    k2: &[Complex64],
+    k3: &[Complex64],
+    k4_chunk: &[Complex64],
+    c: Complex64,
+    base: usize,
+    chunk: &mut [Complex64],
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(chunk.len() % 2, 0);
+    debug_assert_eq!(chunk.len(), k4_chunk.len());
+    debug_assert!(base + chunk.len() <= k1.len().min(k2.len()).min(k3.len()));
+    let c_re = _mm256_set1_pd(c.re);
+    let c_im = _mm256_setr_pd(-c.im, c.im, -c.im, c.im);
+    let two = _mm256_set1_pd(2.0);
+    let k1p = complex_as_f64(k1).as_ptr();
+    let k2p = complex_as_f64(k2).as_ptr();
+    let k3p = complex_as_f64(k3).as_ptr();
+    let k4p = complex_as_f64(k4_chunk).as_ptr();
+    let outp = complex_as_f64_mut(chunk).as_mut_ptr();
+    for j in 0..chunk.len() / 2 {
+        let off = 2 * base + 4 * j;
+        let v1 = _mm256_loadu_pd(k1p.add(off));
+        let v2 = _mm256_loadu_pd(k2p.add(off));
+        let v3 = _mm256_loadu_pd(k3p.add(off));
+        let v4 = _mm256_loadu_pd(k4p.add(4 * j));
+        let o = outp.add(4 * j);
+        let cur = _mm256_loadu_pd(o);
+        // K1 + 2(K2 + K3) + K4, association order of the scalar loop
+        let sum = _mm256_add_pd(
+            _mm256_add_pd(v1, _mm256_mul_pd(_mm256_add_pd(v2, v3), two)),
+            v4,
+        );
+        let csum = _mm256_add_pd(
+            _mm256_mul_pd(sum, c_re),
+            _mm256_mul_pd(_mm256_permute_pd(sum, 0x5), c_im),
+        );
+        _mm256_storeu_pd(o, _mm256_add_pd(cur, csum));
+    }
+}
+
+/// Hand-written AVX-512F instantiation of [`combine_chunk_lanes`] — four
+/// complex elements per iteration, scalar association order, no FMA.
+///
+/// # Safety
+/// Same contract as [`combine_chunk_lanes`], plus `chunk.len() % 4 == 0`
+/// and AVX-512F availability.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn combine_chunk_avx512(
+    k1: &[Complex64],
+    k2: &[Complex64],
+    k3: &[Complex64],
+    k4_chunk: &[Complex64],
+    c: Complex64,
+    base: usize,
+    chunk: &mut [Complex64],
+) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(chunk.len() % 4, 0);
+    debug_assert_eq!(chunk.len(), k4_chunk.len());
+    debug_assert!(base + chunk.len() <= k1.len().min(k2.len()).min(k3.len()));
+    let c_re = _mm512_set1_pd(c.re);
+    #[rustfmt::skip]
+    let c_im = _mm512_setr_pd(-c.im, c.im, -c.im, c.im, -c.im, c.im, -c.im, c.im);
+    let two = _mm512_set1_pd(2.0);
+    let k1p = complex_as_f64(k1).as_ptr();
+    let k2p = complex_as_f64(k2).as_ptr();
+    let k3p = complex_as_f64(k3).as_ptr();
+    let k4p = complex_as_f64(k4_chunk).as_ptr();
+    let outp = complex_as_f64_mut(chunk).as_mut_ptr();
+    for j in 0..chunk.len() / 4 {
+        let off = 2 * base + 8 * j;
+        let v1 = _mm512_loadu_pd(k1p.add(off));
+        let v2 = _mm512_loadu_pd(k2p.add(off));
+        let v3 = _mm512_loadu_pd(k3p.add(off));
+        let v4 = _mm512_loadu_pd(k4p.add(8 * j));
+        let o = outp.add(8 * j);
+        let cur = _mm512_loadu_pd(o);
+        // K1 + 2(K2 + K3) + K4, association order of the scalar loop
+        let sum = _mm512_add_pd(
+            _mm512_add_pd(v1, _mm512_mul_pd(_mm512_add_pd(v2, v3), two)),
+            v4,
+        );
+        let csum = _mm512_add_pd(
+            _mm512_mul_pd(sum, c_re),
+            _mm512_mul_pd(_mm512_permute_pd(sum, 0x55), c_im),
+        );
+        _mm512_storeu_pd(o, _mm512_add_pd(cur, csum));
+    }
+}
+
+/// # Safety
+/// Same contract as [`combine_chunk_lanes`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+unsafe fn combine_chunk_dispatch(
+    k1: &[Complex64],
+    k2: &[Complex64],
+    k3: &[Complex64],
+    k4_chunk: &[Complex64],
+    c: Complex64,
+    base: usize,
+    chunk: &mut [Complex64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if chunk.len().is_multiple_of(4) && simd::avx512_available() {
+            // SAFETY: AVX-512F verified at runtime, length divisibility just
+            // checked; contract forwarded from the caller.
+            unsafe { combine_chunk_avx512(k1, k2, k3, k4_chunk, c, base, chunk) };
+            return;
+        }
+        if simd::avx2_available() {
+            // SAFETY: AVX2 support was just verified at runtime; contract
+            // forwarded from the caller.
+            unsafe { combine_chunk_avx2(k1, k2, k3, k4_chunk, c, base, chunk) };
+            return;
+        }
+    }
+    // SAFETY: contract forwarded from the caller.
+    unsafe { combine_chunk_lanes(k1, k2, k3, k4_chunk, c, base, chunk) }
+}
+
+/// Shared pointer to a second output buffer of a fused pass. Each worker
+/// writes only its own chunk's index range, so ranges never overlap.
+struct SendPtr(*mut Complex64);
+// SAFETY: the pointer is only dereferenced inside `from_raw_parts_mut`
+// windows that are disjoint per chunk (the same partition as the
+// `par_chunks_mut` driving the pass).
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Fused RK4 pass: `k_out = H·input`, and per chunk — while the freshly
+/// written K-block is cache-hot — the next stage input
+/// `stage_out = ψ + c·k_out`.
+///
+/// `stage_out` must be a buffer distinct from `input` (the `H·ψ` gather of
+/// other chunks still reads all of `input`); the caller alternates two
+/// stage buffers to guarantee this. Every element of `stage_out` is
+/// computed from fully written inputs, so fusion changes neither values
+/// nor bits relative to running the two passes back-to-back.
+#[allow(clippy::too_many_arguments)]
+fn apply_h_stage_pass(
+    h: &RydbergHamiltonian,
+    input: &[Complex64],
+    omega: f64,
+    delta: f64,
+    phase: f64,
+    k_out: &mut [Complex64],
+    psi: &[Complex64],
+    c: Complex64,
+    stage_out: &mut [Complex64],
+    kernel: SvKernel,
+) {
+    let dim = input.len();
+    debug_assert!(k_out.len() == dim && stage_out.len() == dim && psi.len() == dim);
+    let sp = SendPtr(stage_out.as_mut_ptr());
+    let sp = &sp; // capture the Sync wrapper, not the raw pointer field
+    let pass = |base: usize, kchunk: &mut [Complex64]| {
+        apply_h_chunk_dispatch(h, input, omega, delta, phase, base, kchunk, kernel);
+        // SAFETY: disjoint per-chunk window of `stage_out` (same partition
+        // as the pass itself).
+        let schunk = unsafe { std::slice::from_raw_parts_mut(sp.0.add(base), kchunk.len()) };
+        if kernel != SvKernel::Scalar && kchunk.len() >= 2 && kchunk.len().is_multiple_of(2) {
+            // SAFETY: even chunk of an even-length buffer; `psi` spans the
+            // full dimension and `kchunk` is the matching K-slice.
+            unsafe { stage_input_chunk_dispatch(psi, kchunk, c, base, schunk) };
+        } else {
+            for (j, slot) in schunk.iter_mut().enumerate() {
+                *slot = psi[base + j] + c * kchunk[j];
+            }
+        }
+    };
+    if dim >= PAR_DIM_THRESHOLD {
+        k_out
+            .par_chunks_mut(PAR_CHUNK_LEN)
+            .enumerate()
+            .for_each(|(ci, chunk)| pass(ci * PAR_CHUNK_LEN, chunk));
+    } else {
+        pass(0, k_out);
+    }
+}
+
+/// Fused final RK4 pass: `k_out = H·input`, and per chunk — K4 still
+/// cache-hot — the combine update `ψ += c·(K1 + 2(K2+K3) + K4)`.
+///
+/// `psi` is not an input of this pass's `H·ψ` gather (`input` is the last
+/// stage vector), so updating it per chunk is safe; K1–K3 are only read.
+#[allow(clippy::too_many_arguments)]
+fn apply_h_combine_pass(
+    h: &RydbergHamiltonian,
+    input: &[Complex64],
+    omega: f64,
+    delta: f64,
+    phase: f64,
+    k_out: &mut [Complex64],
+    k1: &[Complex64],
+    k2: &[Complex64],
+    k3: &[Complex64],
+    c: Complex64,
+    psi: &mut [Complex64],
+    kernel: SvKernel,
+) {
+    let dim = input.len();
+    debug_assert!(k_out.len() == dim && psi.len() == dim);
+    debug_assert!(k1.len() == dim && k2.len() == dim && k3.len() == dim);
+    let pp = SendPtr(psi.as_mut_ptr());
+    let pp = &pp; // capture the Sync wrapper, not the raw pointer field
+    let pass = |base: usize, kchunk: &mut [Complex64]| {
+        apply_h_chunk_dispatch(h, input, omega, delta, phase, base, kchunk, kernel);
+        // SAFETY: disjoint per-chunk window of `psi` (same partition as the
+        // pass itself).
+        let pchunk = unsafe { std::slice::from_raw_parts_mut(pp.0.add(base), kchunk.len()) };
+        if kernel != SvKernel::Scalar && kchunk.len() >= 2 && kchunk.len().is_multiple_of(2) {
+            // SAFETY: even chunk of an even-length buffer; K1–K3 span the
+            // full dimension and `kchunk` is the matching K4-slice.
+            unsafe { combine_chunk_dispatch(k1, k2, k3, kchunk, c, base, pchunk) };
+        } else {
+            for (j, slot) in pchunk.iter_mut().enumerate() {
+                let b = base + j;
+                *slot += c * (k1[b] + 2.0 * (k2[b] + k3[b]) + kchunk[j]);
+            }
+        }
+    };
+    if dim >= PAR_DIM_THRESHOLD {
+        k_out
+            .par_chunks_mut(PAR_CHUNK_LEN)
+            .enumerate()
+            .for_each(|(ci, chunk)| pass(ci * PAR_CHUNK_LEN, chunk));
+    } else {
+        pass(0, k_out);
     }
 }
 
@@ -279,44 +1170,74 @@ pub fn rk4_step_ws(
     dt: f64,
     ws: &mut SvWorkspace,
 ) {
+    rk4_step_ws_with(h, state, omega, delta, phase, dt, ws, SvKernel::default());
+}
+
+/// [`rk4_step_ws`] with an explicit kernel selection — the batch runner and
+/// benchmark comparators thread [`SvKernel::Scalar`] through here.
+#[allow(clippy::too_many_arguments)]
+pub fn rk4_step_ws_with(
+    h: &RydbergHamiltonian,
+    state: &mut StateVector,
+    omega: f64,
+    delta: f64,
+    phase: f64,
+    dt: f64,
+    ws: &mut SvWorkspace,
+    kernel: SvKernel,
+) {
     let dim = state.amps.len();
     ws.ensure(dim);
-    apply_h_into(h, &state.amps, omega, delta, phase, &mut ws.k1);
-    stage_input_into(
-        &state.amps,
-        &ws.k1,
-        Complex64::new(0.0, -dt / 2.0),
-        &mut ws.tmp,
-    );
-    apply_h_into(h, &ws.tmp, omega, delta, phase, &mut ws.k2);
-    stage_input_into(
-        &state.amps,
-        &ws.k2,
-        Complex64::new(0.0, -dt / 2.0),
-        &mut ws.tmp,
-    );
-    apply_h_into(h, &ws.tmp, omega, delta, phase, &mut ws.k3);
-    stage_input_into(&state.amps, &ws.k3, Complex64::new(0.0, -dt), &mut ws.tmp);
-    apply_h_into(h, &ws.tmp, omega, delta, phase, &mut ws.k4);
+    let c_half = Complex64::new(0.0, -dt / 2.0);
+    let c_full = Complex64::new(0.0, -dt);
+    let c_comb = Complex64::new(0.0, -dt / 6.0);
 
-    // ψ += (−i dt/6) (K1 + 2 K2 + 2 K3 + K4)
-    let c = Complex64::new(0.0, -dt / 6.0);
-    let (k1, k2, k3, k4) = (&ws.k1, &ws.k2, &ws.k3, &ws.k4);
-    let combine = |base: usize, chunk: &mut [Complex64]| {
-        for (j, slot) in chunk.iter_mut().enumerate() {
-            let b = base + j;
-            *slot += c * (k1[b] + 2.0 * (k2[b] + k3[b]) + k4[b]);
+    if kernel == SvKernel::Scalar {
+        // Unfused reference sequence (the pre-SIMD pass structure, kept as
+        // the honest sequential comparator). Identical bits to the fused
+        // path below — every element is computed from fully written inputs
+        // with the same per-element expressions either way.
+        apply_h_into_with(h, &state.amps, omega, delta, phase, &mut ws.k1, kernel);
+        stage_input_into(&state.amps, &ws.k1, c_half, &mut ws.tmp, kernel);
+        apply_h_into_with(h, &ws.tmp, omega, delta, phase, &mut ws.k2, kernel);
+        stage_input_into(&state.amps, &ws.k2, c_half, &mut ws.tmp, kernel);
+        apply_h_into_with(h, &ws.tmp, omega, delta, phase, &mut ws.k3, kernel);
+        stage_input_into(&state.amps, &ws.k3, c_full, &mut ws.tmp, kernel);
+        apply_h_into_with(h, &ws.tmp, omega, delta, phase, &mut ws.k4, kernel);
+        // ψ += (−i dt/6) (K1 + 2 K2 + 2 K3 + K4)
+        let (k1, k2, k3, k4) = (&ws.k1, &ws.k2, &ws.k3, &ws.k4);
+        let combine = |base: usize, chunk: &mut [Complex64]| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                let b = base + j;
+                *slot += c_comb * (k1[b] + 2.0 * (k2[b] + k3[b]) + k4[b]);
+            }
+        };
+        if dim >= PAR_DIM_THRESHOLD {
+            state
+                .amps
+                .par_chunks_mut(PAR_CHUNK_LEN)
+                .enumerate()
+                .for_each(|(ci, chunk)| combine(ci * PAR_CHUNK_LEN, chunk));
+        } else {
+            combine(0, &mut state.amps);
         }
-    };
-    if dim >= PAR_DIM_THRESHOLD {
-        state
-            .amps
-            .par_chunks_mut(PAR_CHUNK_LEN)
-            .enumerate()
-            .for_each(|(ci, chunk)| combine(ci * PAR_CHUNK_LEN, chunk));
-    } else {
-        combine(0, &mut state.amps);
+        return;
     }
+
+    // Fused passes: each stage input (and the final combine) is formed per
+    // chunk right after the chunk's K-block is written, while it is still
+    // cache-hot — one pass over memory per stage instead of two. Stage
+    // outputs alternate between `tmp` and `tmp2` because the H·ψ gather of
+    // a pass reads its entire input buffer across chunk boundaries.
+    let psi = &mut state.amps;
+    let (k1, k2, k3, k4) = (&mut ws.k1, &mut ws.k2, &mut ws.k3, &mut ws.k4);
+    let (tmp, tmp2) = (&mut ws.tmp, &mut ws.tmp2);
+    apply_h_stage_pass(h, psi, omega, delta, phase, k1, psi, c_half, tmp, kernel);
+    apply_h_stage_pass(h, tmp, omega, delta, phase, k2, psi, c_half, tmp2, kernel);
+    apply_h_stage_pass(h, tmp2, omega, delta, phase, k3, psi, c_full, tmp, kernel);
+    apply_h_combine_pass(
+        h, tmp, omega, delta, phase, k4, k1, k2, k3, c_comb, psi, kernel,
+    );
 }
 
 /// One RK4 step with a throwaway workspace — compatibility wrapper for
@@ -342,6 +1263,8 @@ pub struct SvConfig {
     pub max_dt: f64,
     /// Safety factor in the adaptive step bound (dimensionless).
     pub stability_factor: f64,
+    /// Which hot-pass kernel to run; amplitudes are identical either way.
+    pub kernel: SvKernel,
 }
 
 impl Default for SvConfig {
@@ -349,6 +1272,7 @@ impl Default for SvConfig {
         SvConfig {
             max_dt: 1e-3,
             stability_factor: 0.1,
+            kernel: SvKernel::Auto,
         }
     }
 }
@@ -369,8 +1293,18 @@ pub fn evolve_sequence_ws(
     ws: &mut SvWorkspace,
 ) -> StateVector {
     let h = RydbergHamiltonian::new(&seq.register, c6);
-    let mut state = StateVector::ground(seq.register.len());
+    evolve_sequence_ws_h(&h, seq, cfg, ws)
+}
 
+/// [`evolve_sequence_ws`] with a pre-built Hamiltonian: sweep runners share
+/// one `h` across many sequences on the *same register* (building it is
+/// `O(2^n · pairs)` — pure waste to repeat when only the drive changes).
+pub(crate) fn evolve_sequence_ws_h(
+    h: &RydbergHamiltonian,
+    seq: &Sequence,
+    cfg: &SvConfig,
+    ws: &mut SvWorkspace,
+) -> StateVector {
     // Choose a step honoring both the user cap and the energy scale of the
     // strongest drive in the schedule. The coarse probe is reused as the
     // stepping grid whenever the stability bound does not force a finer one.
@@ -379,9 +1313,21 @@ pub fn evolve_sequence_ws(
     let scale = h.energy_scale(omax, dmax).max(1e-9);
     let dt_bound = (cfg.stability_factor / scale).min(cfg.max_dt);
     let drive = probe.refined(seq, dt_bound);
+    evolve_drive_ws(h, &drive, cfg, ws)
+}
 
+/// Step the ground state through an already-discretized drive. The final
+/// leg shared by the sequence path and the batch fast path (which builds
+/// the grid by transforming a template instead of re-sampling waveforms).
+pub(crate) fn evolve_drive_ws(
+    h: &RydbergHamiltonian,
+    drive: &DiscretizedDrive,
+    cfg: &SvConfig,
+    ws: &mut SvWorkspace,
+) -> StateVector {
+    let mut state = StateVector::ground(h.n);
     for &(omega, delta, phase) in &drive.steps {
-        rk4_step_ws(&h, &mut state, omega, delta, phase, drive.dt, ws);
+        rk4_step_ws_with(h, &mut state, omega, delta, phase, drive.dt, ws, cfg.kernel);
     }
     state.renormalize();
     state
@@ -582,6 +1528,54 @@ mod tests {
         apply_h_into(&h, &psi, 0.0, 2.5, 0.0, &mut par);
         apply_h_into_serial(&h, &psi, 0.0, 2.5, 0.0, &mut ser);
         assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn simd_kernel_matches_scalar_bit_for_bit() {
+        // Small odd/even register sizes exercise the serial SIMD path
+        // (below PAR_DIM_THRESHOLD) against the scalar reference, including
+        // the Ω = 0 diagonal fast path and a negative phase.
+        for n in [2usize, 3, 5, 8] {
+            let reg = Register::linear(n, 6.5).unwrap();
+            let h = RydbergHamiltonian::new(&reg, C6_COEFF);
+            let psi = pseudo_random_amps(h.dim(), 0xABCD_0001 + n as u64);
+            let mut auto_out = vec![ZERO; h.dim()];
+            let mut scalar_out = vec![ZERO; h.dim()];
+            for &(o, d, p) in &[(3.2, -1.1, 0.7), (0.0, 2.5, 0.0), (1.0, 0.0, -2.2)] {
+                apply_h_into_with(&h, &psi, o, d, p, &mut auto_out, SvKernel::Auto);
+                apply_h_into_with(&h, &psi, o, d, p, &mut scalar_out, SvKernel::Scalar);
+                assert_eq!(auto_out, scalar_out, "n={n} drive=({o},{d},{p})");
+            }
+        }
+    }
+
+    #[test]
+    fn evolve_auto_and_scalar_kernels_bit_identical() {
+        // Full-integrator parity: the SIMD hot passes must reproduce the
+        // scalar evolution exactly, not approximately.
+        let reg = Register::linear(5, 7.0).unwrap();
+        let mut b = SequenceBuilder::new(reg);
+        b.add_global_pulse(Pulse::constant(0.3, 3.0, -1.5, 0.4).unwrap());
+        let seq = b.build().unwrap();
+        let scalar_cfg = SvConfig {
+            kernel: SvKernel::Scalar,
+            ..SvConfig::default()
+        };
+        let a = evolve_sequence(&seq, C6_COEFF, &SvConfig::default());
+        let s = evolve_sequence(&seq, C6_COEFF, &scalar_cfg);
+        assert_eq!(a.amps, s.amps);
+    }
+
+    #[test]
+    #[should_panic(expected = "state dimension must match the Hamiltonian")]
+    fn apply_h_into_rejects_mismatched_dimension() {
+        // Regression: this used to be a debug_assert, so release builds
+        // would read garbage diagonals instead of panicking.
+        let reg = Register::linear(3, 7.0).unwrap();
+        let h = RydbergHamiltonian::new(&reg, C6_COEFF);
+        let psi = vec![ZERO; 16]; // 4-qubit state against a 3-qubit H
+        let mut out = vec![ZERO; 16];
+        apply_h_into(&h, &psi, 1.0, 0.0, 0.0, &mut out);
     }
 
     #[test]

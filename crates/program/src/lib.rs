@@ -38,6 +38,6 @@ pub use device::{ChannelSpec, DeviceSpec};
 pub use error::ProgramError;
 pub use ir::{ProgramIr, IR_VERSION};
 pub use register::{Register, SiteId};
-pub use sequence::{Pulse, Sequence, SequenceBuilder};
+pub use sequence::{Pulse, Sequence, SequenceBuilder, TimedPulse};
 pub use validate::{validate, Violation, ViolationKind};
 pub use waveform::Waveform;

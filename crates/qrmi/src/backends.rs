@@ -13,7 +13,7 @@ use crate::instrument::KernelProfile;
 use crate::resource::{
     AcquisitionToken, QrmiError, QuantumResource, ResourceType, TaskId, TaskStatus,
 };
-use hpcqc_emulator::{Emulator, SampleResult};
+use hpcqc_emulator::{Emulator, SampleResult, SweepPoint};
 use hpcqc_program::{DeviceSpec, ProgramIr};
 use hpcqc_qpu::VirtualQpu;
 use hpcqc_sync::{rank, TrackedMutex as Mutex};
@@ -120,6 +120,50 @@ impl QuantumResource for LocalEmulatorResource {
         self.kernel.lock().record(t.elapsed().as_secs_f64());
         self.tasks.lock().tasks.insert(id.clone(), state);
         Ok(TaskId(id))
+    }
+
+    fn task_start_sweep(
+        &self,
+        token: &AcquisitionToken,
+        template: &ProgramIr,
+        points: &[SweepPoint],
+    ) -> Result<Vec<TaskId>, QrmiError> {
+        if !self.tokens.lock().contains(&token.0) {
+            return Err(QrmiError::InvalidToken);
+        }
+        // One contiguous seed block, so the sweep draws exactly the seeds
+        // that `points.len()` sequential `task_start` calls would have.
+        let seed_base = self
+            .seed_counter
+            .fetch_add(points.len() as u64, Ordering::Relaxed);
+        let t = std::time::Instant::now();
+        let out = self.emulator.run_sweep(template, points, seed_base);
+        self.kernel.lock().record(t.elapsed().as_secs_f64());
+        let mut ids = Vec::with_capacity(points.len());
+        let mut table = self.tasks.lock();
+        match out {
+            Ok(results) => {
+                for res in results {
+                    let id = new_id("task", &self.counter);
+                    table.tasks.insert(id.clone(), TaskState::Done(res));
+                    ids.push(TaskId(id));
+                }
+            }
+            Err(e) => {
+                // The sweep is atomic at this layer: one invalid point
+                // fails the whole batch (fail-fast), and every task
+                // records the same error.
+                let msg = e.to_string();
+                for _ in points {
+                    let id = new_id("task", &self.counter);
+                    table
+                        .tasks
+                        .insert(id.clone(), TaskState::Failed(msg.clone()));
+                    ids.push(TaskId(id));
+                }
+            }
+        }
+        Ok(ids)
     }
 
     fn task_status(&self, task: &TaskId) -> Result<TaskStatus, QrmiError> {
@@ -613,6 +657,98 @@ mod tests {
         );
         let tok2 = r2.acquire().unwrap();
         assert!(run_to_completion(&r2, &tok2, &task_ir, 3).is_err());
+    }
+
+    #[test]
+    fn local_sweep_matches_sequential_task_starts() {
+        // The sweep override must consume one contiguous seed block so its
+        // results are exactly what sequential submissions of the
+        // materialized points would have produced on a fresh resource.
+        let points: Vec<SweepPoint> = (0..5)
+            .map(|k| SweepPoint {
+                omega_scale: 0.6 + 0.1 * k as f64,
+                delta_scale: 1.0,
+                phase_offset: 0.3 * k as f64,
+            })
+            .collect();
+        let template = ir(80);
+
+        let swept = local();
+        let tok = swept.acquire().unwrap();
+        let tasks = swept.task_start_sweep(&tok, &template, &points).unwrap();
+        assert_eq!(tasks.len(), points.len());
+        let batch_results: Vec<SampleResult> = tasks
+            .iter()
+            .map(|t| swept.task_result(t).unwrap())
+            .collect();
+
+        let seq_res = local(); // fresh resource, same initial seed
+        let tok2 = seq_res.acquire().unwrap();
+        for (k, p) in points.iter().enumerate() {
+            let mut pir = template.clone();
+            pir.sequence = p.materialize(&template.sequence);
+            let t = seq_res.task_start(&tok2, &pir).unwrap();
+            assert_eq!(
+                seq_res.task_result(&t).unwrap(),
+                batch_results[k],
+                "point {k} differs from its sequential twin"
+            );
+        }
+        // and the next plain submission on the swept resource continues the
+        // seed counter past the block
+        let t = swept.task_start(&tok, &template).unwrap();
+        assert!(swept.task_result(&t).is_ok());
+        assert_eq!(swept.kernel_profile().runs, 2, "sweep counts as one run");
+    }
+
+    #[test]
+    fn local_sweep_invalid_point_fails_all_tasks() {
+        let r = local();
+        let tok = r.acquire().unwrap();
+        let bad = [
+            SweepPoint::identity(),
+            SweepPoint {
+                omega_scale: 1000.0, // blows past the emulator amplitude cap
+                delta_scale: 1.0,
+                phase_offset: 0.0,
+            },
+        ];
+        let tasks = r.task_start_sweep(&tok, &ir(10), &bad).unwrap();
+        assert_eq!(tasks.len(), 2);
+        for t in &tasks {
+            assert!(matches!(r.task_status(t).unwrap(), TaskStatus::Failed(_)));
+        }
+    }
+
+    #[test]
+    fn sweep_without_lease_rejected() {
+        let r = local();
+        let fake = AcquisitionToken("nope".into());
+        assert_eq!(
+            r.task_start_sweep(&fake, &ir(5), &[SweepPoint::identity()]),
+            Err(QrmiError::InvalidToken)
+        );
+    }
+
+    #[test]
+    fn default_sweep_on_cloud_resource_submits_per_point_tasks() {
+        // CloudResource keeps the trait default: every point becomes an
+        // independently queued task.
+        let r = CloudResource::new(
+            "emu-cloud",
+            CloudEngine::Emulator(Arc::new(SvBackend::default())),
+            1,
+            1,
+        );
+        let tok = r.acquire().unwrap();
+        let points = [SweepPoint::identity(), SweepPoint::identity()];
+        let tasks = r.task_start_sweep(&tok, &ir(10), &points).unwrap();
+        assert_eq!(tasks.len(), 2);
+        for t in &tasks {
+            assert_eq!(r.task_status(t).unwrap(), TaskStatus::Queued);
+            assert_eq!(r.task_status(t).unwrap(), TaskStatus::Completed);
+            assert_eq!(r.task_result(t).unwrap().shots, 10);
+        }
     }
 
     #[test]

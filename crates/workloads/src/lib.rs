@@ -16,7 +16,10 @@ pub mod optimizers;
 pub mod patterns;
 pub mod sqd;
 
-pub use mis::{cost as mis_cost, mis_program, score as mis_score, Graph, MisScore, MisSweep};
+pub use mis::{
+    cost as mis_cost, mis_program, score as mis_score, sweep_search as mis_sweep_search, Graph,
+    MisScore, MisSweep, MisSweepSearch, MisSweepTrial,
+};
 pub use optimizers::{NelderMead, OptimResult, Spsa};
 pub use patterns::{generate_job, generate_population, to_batch_spec, Pattern, PatternGenConfig};
 pub use sqd::{

@@ -8,7 +8,13 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number `re + i·im`.
+///
+/// `repr(C)` matches the real crate: a `[Complex<T>]` slice is layout-
+/// compatible with `[T]` of twice the length (`re` at offset 0, `im` next),
+/// which the emulator's SIMD kernels rely on to reinterpret amplitude
+/// buffers as flat `f64` lanes.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex<T> {
     pub re: T,
     pub im: T,

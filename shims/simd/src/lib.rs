@@ -1,0 +1,286 @@
+//! Minimal offline stand-in for portable SIMD (`std::simd` / `wide` style).
+//!
+//! Provides one vector type, [`f64x4`]: four `f64` lanes with element-wise
+//! arithmetic and the handful of lane shuffles the emulator kernels need.
+//! The representation is a plain `[f64; 4]` and every operation is
+//! `#[inline(always)]` scalar-per-lane code, so:
+//!
+//! * on any target it compiles and produces exactly the IEEE-754 result of
+//!   the equivalent scalar code (the scalar fallback is the definition);
+//! * inlined into a caller compiled with wider vector features (e.g. an
+//!   `#[target_feature(enable = "avx2")]` function selected at runtime via
+//!   [`avx2_available`]), LLVM lowers the lane ops to real vector
+//!   instructions.
+//!
+//! No operation here reassociates or contracts (no FMA), so lane code is
+//! bit-identical to its scalar reference — the property the emulator's
+//! parity tests assert.
+
+#![allow(non_camel_case_types)]
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Four `f64` lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(transparent)]
+pub struct f64x4([f64; 4]);
+
+impl f64x4 {
+    /// All four lanes set to `v`.
+    #[inline(always)]
+    pub const fn splat(v: f64) -> Self {
+        f64x4([v, v, v, v])
+    }
+
+    /// Lanes from an array, in order.
+    #[inline(always)]
+    pub const fn from_array(a: [f64; 4]) -> Self {
+        f64x4(a)
+    }
+
+    /// The lanes as an array.
+    #[inline(always)]
+    pub const fn to_array(self) -> [f64; 4] {
+        self.0
+    }
+
+    /// Load the first four elements of `s` (panics if `s.len() < 4`).
+    #[inline(always)]
+    pub fn from_slice(s: &[f64]) -> Self {
+        f64x4([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Store the lanes into the first four elements of `out`.
+    #[inline(always)]
+    pub fn write_to_slice(self, out: &mut [f64]) {
+        out[0] = self.0[0];
+        out[1] = self.0[1];
+        out[2] = self.0[2];
+        out[3] = self.0[3];
+    }
+
+    /// Load four lanes from `ptr` without bounds checks.
+    ///
+    /// # Safety
+    /// `ptr` must be valid for reads of four `f64`s. (Unaligned is fine —
+    /// the load is element-wise.)
+    #[inline(always)]
+    pub unsafe fn from_ptr(ptr: *const f64) -> Self {
+        f64x4([
+            ptr.read(),
+            ptr.add(1).read(),
+            ptr.add(2).read(),
+            ptr.add(3).read(),
+        ])
+    }
+
+    /// Store four lanes to `ptr` without bounds checks.
+    ///
+    /// # Safety
+    /// `ptr` must be valid for writes of four `f64`s.
+    #[inline(always)]
+    pub unsafe fn write_ptr(self, ptr: *mut f64) {
+        ptr.write(self.0[0]);
+        ptr.add(1).write(self.0[1]);
+        ptr.add(2).write(self.0[2]);
+        ptr.add(3).write(self.0[3]);
+    }
+
+    /// Swap the two 128-bit halves: `[a, b, c, d] → [c, d, a, b]`.
+    ///
+    /// Viewing the vector as two interleaved complex numbers `(a+ib, c+id)`,
+    /// this swaps the pair.
+    #[inline(always)]
+    pub fn rotate_pairs(self) -> Self {
+        let [a, b, c, d] = self.0;
+        f64x4([c, d, a, b])
+    }
+
+    /// Swap lanes within each 128-bit half: `[a, b, c, d] → [b, a, d, c]`.
+    ///
+    /// On interleaved complex data this exchanges `re ↔ im` of each number —
+    /// the shuffle at the heart of the complex multiply.
+    #[inline(always)]
+    pub fn swap_within_pairs(self) -> Self {
+        let [a, b, c, d] = self.0;
+        f64x4([b, a, d, c])
+    }
+
+    /// Lane-select blend: low half from `lo`, high half from `hi`
+    /// (`[lo0, lo1, hi2, hi3]`).
+    ///
+    /// This is a true lane *select* — untouched lanes keep their exact bit
+    /// pattern (including `-0.0`), unlike a multiply-by-0/1 mask.
+    #[inline(always)]
+    pub fn merge_halves(lo: Self, hi: Self) -> Self {
+        f64x4([lo.0[0], lo.0[1], hi.0[2], hi.0[3]])
+    }
+}
+
+impl Add for f64x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        f64x4([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+        ])
+    }
+}
+
+impl Sub for f64x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        f64x4([
+            self.0[0] - rhs.0[0],
+            self.0[1] - rhs.0[1],
+            self.0[2] - rhs.0[2],
+            self.0[3] - rhs.0[3],
+        ])
+    }
+}
+
+impl Mul for f64x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        f64x4([
+            self.0[0] * rhs.0[0],
+            self.0[1] * rhs.0[1],
+            self.0[2] * rhs.0[2],
+            self.0[3] * rhs.0[3],
+        ])
+    }
+}
+
+impl Neg for f64x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        f64x4([-self.0[0], -self.0[1], -self.0[2], -self.0[3]])
+    }
+}
+
+/// Runtime check for AVX2, cached after the first call. Always `false` off
+/// x86-64. Callers use this to pick an `#[target_feature(enable = "avx2")]`
+/// instantiation of their lane kernel; the kernel body is identical either
+/// way, so the choice affects speed only, never results.
+#[inline]
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        // 0 = unknown, 1 = no, 2 = yes
+        static AVX2: AtomicU8 = AtomicU8::new(0);
+        match AVX2.load(Ordering::Relaxed) {
+            2 => true,
+            1 => false,
+            _ => {
+                let yes = std::arch::is_x86_feature_detected!("avx2");
+                AVX2.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+                yes
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Runtime check for AVX-512F, cached after the first call. Always `false`
+/// off x86-64. Like [`avx2_available`], callers use this to select a wider
+/// instantiation of an identical-result kernel — the choice affects speed
+/// only, never results.
+#[inline]
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        // 0 = unknown, 1 = no, 2 = yes
+        static AVX512: AtomicU8 = AtomicU8::new(0);
+        match AVX512.load(Ordering::Relaxed) {
+            2 => true,
+            1 => false,
+            _ => {
+                let yes = std::arch::is_x86_feature_detected!("avx512f");
+                AVX512.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+                yes
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_lanewise() {
+        let a = f64x4::from_array([1.0, 2.0, 3.0, 4.0]);
+        let b = f64x4::from_array([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!((a + b).to_array(), [11.0, 22.0, 33.0, 44.0]);
+        assert_eq!((b - a).to_array(), [9.0, 18.0, 27.0, 36.0]);
+        assert_eq!((a * b).to_array(), [10.0, 40.0, 90.0, 160.0]);
+        assert_eq!((-a).to_array(), [-1.0, -2.0, -3.0, -4.0]);
+        assert_eq!(f64x4::splat(7.5).to_array(), [7.5; 4]);
+    }
+
+    #[test]
+    fn shuffles() {
+        let v = f64x4::from_array([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.rotate_pairs().to_array(), [3.0, 4.0, 1.0, 2.0]);
+        assert_eq!(v.swap_within_pairs().to_array(), [2.0, 1.0, 4.0, 3.0]);
+        let w = f64x4::from_array([9.0, 8.0, 7.0, 6.0]);
+        assert_eq!(f64x4::merge_halves(v, w).to_array(), [1.0, 2.0, 7.0, 6.0]);
+    }
+
+    #[test]
+    fn merge_preserves_negative_zero_bits() {
+        let nz = f64x4::splat(-0.0);
+        let pz = f64x4::splat(0.0);
+        let m = f64x4::merge_halves(nz, pz).to_array();
+        assert!(m[0].is_sign_negative() && m[1].is_sign_negative());
+        assert!(m[2].is_sign_positive() && m[3].is_sign_positive());
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let data = [0.5, -1.5, 2.5, -3.5, 99.0];
+        let v = f64x4::from_slice(&data);
+        let mut out = [0.0; 4];
+        v.write_to_slice(&mut out);
+        assert_eq!(out, [0.5, -1.5, 2.5, -3.5]);
+    }
+
+    #[test]
+    fn detection_is_stable() {
+        let a = avx2_available();
+        let b = avx2_available();
+        assert_eq!(a, b);
+        let c = avx512_available();
+        let d = avx512_available();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn lane_ops_match_scalar_bit_for_bit() {
+        // The defining property: every lane op is exactly the scalar op.
+        let xs = [1.0e-300, -3.25, 0.1, f64::MAX / 2.0];
+        let ys = [7.0e299, 0.3, -0.7, 1.0 / 3.0];
+        let vx = f64x4::from_array(xs);
+        let vy = f64x4::from_array(ys);
+        for k in 0..4 {
+            assert_eq!((vx + vy).to_array()[k].to_bits(), (xs[k] + ys[k]).to_bits());
+            assert_eq!((vx * vy).to_array()[k].to_bits(), (xs[k] * ys[k]).to_bits());
+            assert_eq!((vx - vy).to_array()[k].to_bits(), (xs[k] - ys[k]).to_bits());
+        }
+    }
+}
