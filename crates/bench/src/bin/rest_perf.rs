@@ -19,8 +19,24 @@
 //! same harness measured the pre-PR thread-per-connection server — those
 //! numbers are kept below as the baseline.
 //!
+//! # Codec and batch axes
+//!
+//! `--codec json|binary` selects the submit encoding (JSON bodies against
+//! `POST /v1/tasks`, or `application/x-hpcqc-bin` wire frames), `--batch N`
+//! packs N submits into one `POST /v1/tasks:batch` request. Rates are always
+//! **submits**/s, so a batch case at the same rate issues 1/N as many HTTP
+//! requests; latency percentiles are per *request* (i.e. per batch), still
+//! measured from the scheduled arrival (coordinated-omission-corrected).
+//! The default full ladder runs a matched JSON-vs-binary, single-vs-batch
+//! matrix and reports the headline ingest comparison.
+//!
+//! `--shards K` serves the daemon on K SO_REUSEPORT event loops. On the
+//! 1-core CI runner this is expected to measure ~1× (no spare cores to run
+//! the extra loops); the flag exists so multi-core machines can reproduce
+//! the scaling claim honestly.
+//!
 //! Run: `cargo run --release -p hpcqc-bench --bin rest_perf [--quick]
-//!       [--out PATH]`
+//!       [--codec json|binary] [--batch N] [--shards K] [--out PATH]`
 
 use hpcqc_bench::{percentile, render_table, HarnessArgs};
 use hpcqc_emulator::{Emulator, SampleResult, SvBackend};
@@ -101,12 +117,53 @@ impl QuantumResource for InstantResource {
     }
 }
 
+/// Submit encoding for one case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Codec {
+    Json,
+    Binary,
+}
+
+impl Codec {
+    fn as_str(self) -> &'static str {
+        match self {
+            Codec::Json => "json",
+            Codec::Binary => "binary",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Codec> {
+        match s {
+            "json" => Some(Codec::Json),
+            "binary" | "bin" => Some(Codec::Binary),
+            _ => None,
+        }
+    }
+}
+
+/// One load case: `rate` is in **submits**/s; with `batch > 1` the request
+/// arrival rate is `rate / batch`.
+#[derive(Debug, Clone, Copy)]
+struct CaseSpec {
+    connections: usize,
+    rate: f64,
+    secs: f64,
+    codec: Codec,
+    batch: usize,
+}
+
 #[derive(Debug, Serialize)]
 struct CaseResult {
     connections: usize,
+    codec: &'static str,
+    /// Submits per HTTP request (1 = single `POST /v1/tasks`).
+    batch: usize,
+    /// Target rate in submits/s.
     target_rps: f64,
     duration_secs: f64,
+    /// Completed HTTP requests (each carrying `batch` submits).
     samples: usize,
+    /// Achieved submits/s (`samples * batch / wall`).
     achieved_rps: f64,
     latency_p50_ms: f64,
     latency_p90_ms: f64,
@@ -129,16 +186,36 @@ struct Baseline {
     latency_p99_ms_at_best: f64,
 }
 
+/// The headline ingest comparison: matched JSON single-submit vs binary
+/// batched cases from the same run (same harness, same CO correction).
+#[derive(Debug, Serialize)]
+struct IngestComparison {
+    json_single_best_rps: f64,
+    binary_single_best_rps: f64,
+    json_batched_best_rps: f64,
+    binary_batched_best_rps: f64,
+    /// `binary_batched_best_rps / json_single_best_rps`.
+    binary_batched_vs_json_single: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     benchmark: String,
     commit_note: String,
     quick: bool,
     unix_time_secs: u64,
+    /// SO_REUSEPORT event-loop shards the server ran with. Results in this
+    /// file were measured with shards=1 on a 1-core runner; the sharded
+    /// path is exercised (and its wiring benched) but cannot show scaling
+    /// without spare cores.
+    shards: usize,
     cases: Vec<CaseResult>,
-    /// Highest probed rate at 1k connections with achieved ≥ 97% of target
-    /// and p99 < 10 ms; `null` in quick mode.
+    /// Highest probed rate at 1k connections (JSON, single-submit — the
+    /// historical axis) with achieved ≥ 97% of target and p99 < 10 ms;
+    /// `null` in quick mode.
     sustained_rps_1k_conns: Option<f64>,
+    /// `null` when the run had no matched comparison cases (quick mode).
+    ingest_comparison: Option<IngestComparison>,
     baseline_pre_pr: Baseline,
 }
 
@@ -209,8 +286,69 @@ struct CaseStats {
     reconnects: usize,
 }
 
-/// Drive `conns` connections at aggregate `rate` submits/s for `secs`.
-fn run_case(addr: &str, connections: usize, rate: f64, secs: f64) -> CaseResult {
+/// Serialize one prebuilt submit request for `token` (the per-connection
+/// request buffer the load generator replays).
+fn build_request(codec: Codec, batch: usize, token: &str, ir: &ProgramIr) -> Vec<u8> {
+    let (path, content_type, body): (&str, &str, Vec<u8>) = match (codec, batch) {
+        (Codec::Json, 1) => {
+            let ir_json = serde_json::to_string(ir).expect("ir serializes");
+            (
+                "/v1/tasks",
+                "application/json",
+                format!(r#"{{"token":"{token}","ir":{ir_json}}}"#).into_bytes(),
+            )
+        }
+        (Codec::Json, n) => {
+            let ir_json = serde_json::to_string(ir).expect("ir serializes");
+            let one = format!(r#"{{"token":"{token}","ir":{ir_json}}}"#);
+            (
+                "/v1/tasks:batch",
+                "application/json",
+                format!("[{}]", vec![one; n].join(",")).into_bytes(),
+            )
+        }
+        (Codec::Binary, n) => {
+            let frame = hpcqc_wire::SubmitFrame {
+                token: token.to_string(),
+                hint: None,
+                idempotency_key: None,
+                ir: ir.clone(),
+            };
+            if n == 1 {
+                (
+                    "/v1/tasks",
+                    hpcqc_wire::CONTENT_TYPE_BIN,
+                    hpcqc_wire::encode_submit(&frame),
+                )
+            } else {
+                (
+                    "/v1/tasks:batch",
+                    hpcqc_wire::CONTENT_TYPE_BIN,
+                    hpcqc_wire::encode_submit_batch(&vec![frame; n]),
+                )
+            }
+        }
+    };
+    let mut req = format!(
+        "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-type: {content_type}\r\n\
+         content-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(&body);
+    req
+}
+
+/// Drive `spec.connections` connections at aggregate `spec.rate` submits/s
+/// for `spec.secs` (request arrivals fire at `rate / batch`).
+fn run_case(addr: &str, spec: CaseSpec) -> CaseResult {
+    let CaseSpec {
+        connections,
+        rate,
+        secs,
+        codec,
+        batch,
+    } = spec;
     // one session per 16 connections, capped — token reuse is realistic
     // (users hold sessions open) and keeps setup fast
     let n_sessions = (connections / 16).clamp(1, 256);
@@ -225,39 +363,30 @@ fn run_case(addr: &str, connections: usize, rate: f64, secs: f64) -> CaseResult 
         })
         .collect();
 
-    let ir_json = serde_json::to_string(&bench_program(1)).expect("ir serializes");
+    let ir = bench_program(1);
+    let ok_status = if batch > 1 { 200 } else { 201 };
     let requests: Vec<Arc<Vec<u8>>> = (0..connections)
-        .map(|i| {
-            let body = format!(
-                r#"{{"token":"{}","ir":{ir_json}}}"#,
-                tokens[i % tokens.len()]
-            );
-            Arc::new(
-                format!(
-                    "POST /v1/tasks HTTP/1.1\r\nhost: bench\r\ncontent-type: application/json\r\n\
-                     content-length: {}\r\n\r\n{body}",
-                    body.len()
-                )
-                .into_bytes(),
-            )
-        })
+        .map(|i| Arc::new(build_request(codec, batch, &tokens[i % tokens.len()], &ir)))
         .collect();
 
     let mut poll = Poll::new().expect("poller");
     let mut events = Events::with_capacity(1024);
     let mut conns: Vec<Conn> = requests.into_iter().map(Conn::new).collect();
 
+    // Arrivals are *requests*: a batch case at the same submit rate fires
+    // 1/batch as many of them.
+    let req_rate = rate / batch as f64;
     let mut stats = CaseStats {
-        latencies_ms: Vec::with_capacity((rate * secs) as usize + 16),
+        latencies_ms: Vec::with_capacity((req_rate * secs) as usize + 16),
         errors: 0,
         reconnects: 0,
     };
     let mut debt_total: usize = 0;
     let mut unsustainable = false;
-    let debt_cap = ((rate * 2.0) as usize).max(1000);
+    let debt_cap = ((req_rate * 2.0) as usize).max(1000);
 
     let t0 = Instant::now();
-    let interval = 1.0 / rate;
+    let interval = 1.0 / req_rate;
     let mut next_k: u64 = 0; // arrival k fires at k * interval, on conn k % C
 
     macro_rules! teardown {
@@ -424,7 +553,7 @@ fn run_case(addr: &str, connections: usize, rate: f64, secs: f64) -> CaseResult 
             if let Some((status, total, close)) = try_parse_response(&conn.rbuf) {
                 let now = t0.elapsed().as_secs_f64();
                 if let Some(sched) = conn.outstanding.take() {
-                    if status == 201 {
+                    if status == ok_status {
                         stats.latencies_ms.push((now - sched) * 1e3);
                     } else {
                         stats.errors += 1;
@@ -457,10 +586,12 @@ fn run_case(addr: &str, connections: usize, rate: f64, secs: f64) -> CaseResult 
     stats.latencies_ms.sort_by(f64::total_cmp);
     CaseResult {
         connections,
+        codec: codec.as_str(),
+        batch,
         target_rps: rate,
         duration_secs: secs,
         samples: stats.latencies_ms.len(),
-        achieved_rps: stats.latencies_ms.len() as f64 / wall,
+        achieved_rps: stats.latencies_ms.len() as f64 * batch as f64 / wall,
         latency_p50_ms: percentile(&stats.latencies_ms, 0.50),
         latency_p90_ms: percentile(&stats.latencies_ms, 0.90),
         latency_p99_ms: percentile(&stats.latencies_ms, 0.99),
@@ -494,12 +625,33 @@ fn fd_clamped(conns: usize) -> usize {
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let out_path = args
-        .flags
-        .iter()
-        .position(|f| f == "--out")
-        .and_then(|i| args.flags.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_rest.json".to_string());
+    let flag_val = |name: &str| {
+        args.flags
+            .iter()
+            .position(|f| f == name)
+            .and_then(|i| args.flags.get(i + 1).cloned())
+    };
+    let out_path = flag_val("--out").unwrap_or_else(|| "BENCH_rest.json".to_string());
+    let codec_override = flag_val("--codec").map(|v| {
+        Codec::parse(&v).unwrap_or_else(|| {
+            eprintln!("--codec must be json|binary, got {v:?}");
+            std::process::exit(2);
+        })
+    });
+    let batch_override: Option<usize> = flag_val("--batch").map(|v| {
+        v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+            eprintln!("--batch must be a positive integer, got {v:?}");
+            std::process::exit(2);
+        })
+    });
+    let shards: usize = flag_val("--shards")
+        .map(|v| {
+            v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                eprintln!("--shards must be a positive integer, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1);
 
     // The wire is the subject: control-plane extras off, journal off.
     let cfg = DaemonConfig {
@@ -519,11 +671,18 @@ fn main() {
         0,
         ServerConfig {
             max_connections: 16_384,
+            shards,
             ..Default::default()
         },
     )
     .expect("REST server binds");
     let addr = server.addr();
+    if shards > 1 {
+        eprintln!(
+            "serving on {} SO_REUSEPORT shard(s) (requested {shards})",
+            server.shards()
+        );
+    }
 
     // dispatcher draining the queue, as deployed
     let stop = Arc::new(AtomicBool::new(false));
@@ -539,41 +698,107 @@ fn main() {
         })
     };
 
-    // (connections, target rps, seconds); REST_PERF_CASES="conns:rps:secs,..."
-    // overrides the ladder for exploratory runs.
-    let cases_spec: Vec<(usize, f64, f64)> = if let Ok(spec) = std::env::var("REST_PERF_CASES") {
+    // REST_PERF_CASES="conns:rps:secs[:codec[:batch]],..." overrides the
+    // ladder for exploratory runs; --codec/--batch override those axes on
+    // whatever ladder is selected.
+    let case = |connections: usize, rate: f64, codec: Codec, batch: usize| CaseSpec {
+        connections,
+        rate,
+        secs: 4.0,
+        codec,
+        batch,
+    };
+    let mut cases_spec: Vec<CaseSpec> = if let Ok(spec) = std::env::var("REST_PERF_CASES") {
         spec.split(',')
             .filter_map(|c| {
                 let mut it = c.split(':');
-                Some((
-                    it.next()?.parse().ok()?,
-                    it.next()?.parse().ok()?,
-                    it.next()?.parse().ok()?,
-                ))
+                Some(CaseSpec {
+                    connections: it.next()?.parse().ok()?,
+                    rate: it.next()?.parse().ok()?,
+                    secs: it.next()?.parse().ok()?,
+                    codec: it.next().map_or(Some(Codec::Json), Codec::parse)?,
+                    batch: it.next().map_or(Some(1), |b| b.parse().ok())?,
+                })
             })
             .collect()
     } else if args.quick {
-        vec![(64, 1000.0, 2.0)]
+        vec![CaseSpec {
+            connections: 64,
+            rate: 1000.0,
+            secs: 2.0,
+            codec: Codec::Json,
+            batch: 1,
+        }]
     } else {
         vec![
-            (1000, 10_000.0, 4.0),
-            (1000, 15_000.0, 4.0),
-            (1000, 20_000.0, 4.0),
-            (1000, 25_000.0, 4.0),
-            (1000, 30_000.0, 4.0),
-            (1000, 40_000.0, 4.0),
-            (1000, 50_000.0, 4.0),
-            (10_000, 10_000.0, 4.0),
+            // JSON single-submit ladder (historical axis; feeds `sustained`)
+            case(1000, 10_000.0, Codec::Json, 1),
+            case(1000, 15_000.0, Codec::Json, 1),
+            case(1000, 20_000.0, Codec::Json, 1),
+            case(1000, 25_000.0, Codec::Json, 1),
+            case(1000, 30_000.0, Codec::Json, 1),
+            case(1000, 40_000.0, Codec::Json, 1),
+            case(1000, 50_000.0, Codec::Json, 1),
+            // binary single-submit: same arrival pattern, cheaper parse
+            case(1000, 20_000.0, Codec::Binary, 1),
+            case(1000, 30_000.0, Codec::Binary, 1),
+            case(1000, 40_000.0, Codec::Binary, 1),
+            case(1000, 50_000.0, Codec::Binary, 1),
+            // batched ingest: 16 submits per request, both codecs
+            case(1000, 40_000.0, Codec::Json, 16),
+            case(1000, 80_000.0, Codec::Json, 16),
+            case(1000, 40_000.0, Codec::Binary, 16),
+            case(1000, 80_000.0, Codec::Binary, 16),
+            case(1000, 120_000.0, Codec::Binary, 16),
+            case(1000, 160_000.0, Codec::Binary, 16),
+            // high-connection case (historical)
+            CaseSpec {
+                connections: 10_000,
+                rate: 10_000.0,
+                secs: 4.0,
+                codec: Codec::Json,
+                batch: 1,
+            },
         ]
     };
+    if let Some(codec) = codec_override {
+        for c in &mut cases_spec {
+            c.codec = codec;
+        }
+    }
+    if let Some(batch) = batch_override {
+        for c in &mut cases_spec {
+            c.batch = batch;
+        }
+    }
 
     // Discarded warmup: pre-faults lazy allocations (connection slab, page
     // cache, per-thread state) and absorbs the first connect storm so the
     // first measured case doesn't start with a cold-start debt spiral.
     {
-        let conns = fd_clamped(cases_spec.first().map_or(64, |c| c.0));
-        eprintln!("warmup: {conns} connections at 2000 req/s for 2s (discarded) ...");
-        let _ = run_case(&addr, conns, 2_000.0, 2.0);
+        let first = cases_spec.first().copied().unwrap_or(CaseSpec {
+            connections: 64,
+            rate: 2_000.0,
+            secs: 2.0,
+            codec: Codec::Json,
+            batch: 1,
+        });
+        let conns = fd_clamped(first.connections);
+        eprintln!(
+            "warmup: {conns} connections at 2000 submits/s ({}, batch {}) for 2s (discarded) ...",
+            first.codec.as_str(),
+            first.batch
+        );
+        let _ = run_case(
+            &addr,
+            CaseSpec {
+                connections: conns,
+                rate: 2_000.0,
+                secs: 2.0,
+                codec: first.codec,
+                batch: first.batch,
+            },
+        );
     }
 
     // Inter-case barrier: an aborted case can leave seconds of queued
@@ -587,11 +812,21 @@ fn main() {
     };
 
     let mut cases = Vec::new();
-    for (conns, rate, secs) in cases_spec {
-        let conns = fd_clamped(conns);
+    for spec in cases_spec {
+        let spec = CaseSpec {
+            connections: fd_clamped(spec.connections),
+            ..spec
+        };
         drain(&svc);
-        eprintln!("driving {conns} connections at {rate:.0} req/s for {secs:.0}s ...");
-        cases.push(run_case(&addr, conns, rate, secs));
+        eprintln!(
+            "driving {} connections at {:.0} submits/s ({}, batch {}) for {:.0}s ...",
+            spec.connections,
+            spec.rate,
+            spec.codec.as_str(),
+            spec.batch,
+            spec.secs
+        );
+        cases.push(run_case(&addr, spec));
     }
 
     // Gate: finite, positive measurements on every completed case.
@@ -614,22 +849,44 @@ fn main() {
         }
     }
 
+    // A case "qualifies" when it kept up with its target at sane tails —
+    // the same bar the historical sustained figure uses.
+    let qualifies = |c: &CaseResult| {
+        !c.unsustainable && c.achieved_rps >= 0.97 * c.target_rps && c.latency_p99_ms < 10.0
+    };
     let sustained = cases
         .iter()
-        .filter(|c| {
-            c.connections == 1000
-                && !c.unsustainable
-                && c.achieved_rps >= 0.97 * c.target_rps
-                && c.latency_p99_ms < 10.0
-        })
+        .filter(|c| c.connections == 1000 && c.codec == "json" && c.batch == 1 && qualifies(c))
         .map(|c| c.target_rps)
         .fold(None::<f64>, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))));
+
+    // Headline comparison: best qualifying submits/s per (codec, batched)
+    // axis, from this same run.
+    let best = |codec: &str, batched: bool| {
+        cases
+            .iter()
+            .filter(|c| c.codec == codec && (c.batch > 1) == batched && qualifies(c))
+            .map(|c| c.achieved_rps)
+            .fold(None::<f64>, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+    };
+    let ingest_comparison = match (best("json", false), best("binary", true)) {
+        (Some(json_single), Some(binary_batched)) => Some(IngestComparison {
+            json_single_best_rps: json_single,
+            binary_single_best_rps: best("binary", false).unwrap_or(0.0),
+            json_batched_best_rps: best("json", true).unwrap_or(0.0),
+            binary_batched_best_rps: binary_batched,
+            binary_batched_vs_json_single: binary_batched / json_single,
+        }),
+        _ => None,
+    };
 
     let rows: Vec<Vec<String>> = cases
         .iter()
         .map(|c| {
             vec![
                 format!("{}", c.connections),
+                c.codec.to_string(),
+                format!("{}", c.batch),
                 format!("{:.0}", c.target_rps),
                 if c.unsustainable {
                     "UNSUSTAINABLE".into()
@@ -648,6 +905,8 @@ fn main() {
         render_table(
             &[
                 "conns",
+                "codec",
+                "batch",
                 "target/s",
                 "achieved/s",
                 "p50(ms)",
@@ -660,21 +919,32 @@ fn main() {
     );
     if let Some(s) = sustained {
         println!(
-            "sustained at 1k conns: {s:.0} submits/s (p99 < 10 ms); pre-PR best {:.0}/s (sustained)",
+            "sustained at 1k conns (json, single): {s:.0} submits/s (p99 < 10 ms); pre-PR best {:.0}/s (sustained)",
             PRE_PR_BEST_RPS_1K
+        );
+    }
+    if let Some(cmp) = &ingest_comparison {
+        println!(
+            "ingest: binary batched {:.0}/s vs json single {:.0}/s = {:.2}x",
+            cmp.binary_batched_best_rps,
+            cmp.json_single_best_rps,
+            cmp.binary_batched_vs_json_single
         );
     }
 
     let report = BenchReport {
         benchmark: "rest_perf".into(),
-        commit_note: "epoll event loop + keep-alive/pipelined HTTP front end".into(),
+        commit_note: "binary wire codec + batched ingest over the epoll keep-alive front end"
+            .into(),
         quick: args.quick,
         unix_time_secs: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
+        shards: server.shards(),
         cases,
         sustained_rps_1k_conns: sustained,
+        ingest_comparison,
         baseline_pre_pr: Baseline {
             commit: "29bbd49".into(),
             sustained_rps_1k_conns: PRE_PR_SUSTAINED_RPS_1K,

@@ -5,13 +5,25 @@
 //! deployments application code talks to the daemon through this client
 //! instead of holding the QPU resource directly — the daemon owns
 //! prioritization and preemption.
+//!
+//! # Wire codec
+//!
+//! The client speaks JSON by default. [`DaemonClient::prefer_binary`] opts
+//! into the compact binary wire codec (`application/x-hpcqc-bin`) on the
+//! submit, status and result paths; the first HTTP 415 from a daemon that
+//! does not speak it downgrades the client (and every clone sharing its
+//! connection) back to JSON permanently, so mixed fleets need no
+//! configuration. [`DaemonSession::submit_batch`] sends N programs in one
+//! request/one daemon lock acquisition, with per-program outcomes.
 
 use crate::retry::{AttemptBudget, RetryPolicy};
 use hpcqc_emulator::SampleResult;
-use hpcqc_middleware::http::{HttpClient, HttpError};
+use hpcqc_middleware::http::{HttpClient, HttpError, RawResponse};
 use hpcqc_middleware::{DaemonTaskStatus, PriorityClass};
 use hpcqc_program::{DeviceSpec, ProgramIr};
 use hpcqc_scheduler::PatternHint;
+use hpcqc_wire as wire;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 /// Client-side errors.
@@ -62,6 +74,62 @@ fn expect_2xx(status: u16, body: String) -> Result<String, ClientError> {
     }
 }
 
+/// The `PatternHint` wire spelling shared by the JSON and binary paths.
+fn hint_str(hint: PatternHint) -> Option<&'static str> {
+    match hint {
+        PatternHint::QcHeavy => Some("qc-heavy"),
+        PatternHint::CcHeavy => Some("cc-heavy"),
+        PatternHint::QcBalanced => Some("qc-balanced"),
+        PatternHint::None => None,
+    }
+}
+
+/// Map a non-2xx raw response to [`ClientError::Api`], decoding the error
+/// body whichever codec it arrived in.
+fn api_error(raw: &RawResponse) -> ClientError {
+    let message = if raw.content_type.starts_with(wire::CONTENT_TYPE_BIN) {
+        wire::decode_error(&raw.body)
+            .map(|e| e.message)
+            .unwrap_or_else(|_| "undecodable binary error frame".into())
+    } else {
+        std::str::from_utf8(&raw.body)
+            .ok()
+            .and_then(|b| serde_json::from_str::<serde_json::Value>(b).ok())
+            .and_then(|v| v["error"].as_str().map(String::from))
+            .unwrap_or_else(|| String::from_utf8_lossy(&raw.body).into_owned())
+    };
+    ClientError::Api {
+        status: raw.status,
+        message,
+    }
+}
+
+/// One program in a [`DaemonSession::submit_batch`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchItem<'a> {
+    pub ir: &'a ProgramIr,
+    pub hint: PatternHint,
+    /// Per-frame dedup key (same semantics as [`DaemonSession::submit_keyed`]).
+    pub idempotency_key: Option<&'a str>,
+}
+
+fn slot_to_outcome(slot: wire::BatchSlot) -> Result<u64, ClientError> {
+    match slot {
+        wire::BatchSlot::Ok { task_id } => Ok(task_id),
+        wire::BatchSlot::Err { status, message } => Err(ClientError::Api { status, message }),
+    }
+}
+
+fn wire_status_to_daemon(s: wire::WireStatus) -> DaemonTaskStatus {
+    match s {
+        wire::WireStatus::Queued { position } => DaemonTaskStatus::Queued { position },
+        wire::WireStatus::Running => DaemonTaskStatus::Running,
+        wire::WireStatus::Completed => DaemonTaskStatus::Completed,
+        wire::WireStatus::Failed(m) => DaemonTaskStatus::Failed(m),
+        wire::WireStatus::Cancelled => DaemonTaskStatus::Cancelled,
+    }
+}
+
 /// A connection to one middleware daemon.
 ///
 /// Holds a keep-alive [`HttpClient`]: every call reuses one persistent
@@ -79,6 +147,10 @@ pub struct DaemonClient {
     /// (`pump_on_poll = false`); ignored otherwise.
     pub poll_interval: std::time::Duration,
     http: std::sync::Arc<HttpClient>,
+    /// Binary-codec preference, shared by clones (including every session
+    /// opened from this client): `true` while the daemon is believed to
+    /// speak `application/x-hpcqc-bin`; the first 415 clears it for all.
+    binary: std::sync::Arc<AtomicBool>,
 }
 
 /// An open session.
@@ -97,7 +169,27 @@ impl DaemonClient {
             addr,
             pump_on_poll: true,
             poll_interval: std::time::Duration::from_millis(20),
+            binary: std::sync::Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Opt into the binary wire codec for submits, batch submits, status
+    /// and result reads. Falls back to JSON automatically (and permanently,
+    /// for this client and its clones) if the daemon answers HTTP 415.
+    pub fn prefer_binary(self) -> Self {
+        self.binary.store(true, Ordering::Relaxed);
+        self
+    }
+
+    /// Whether the binary codec is currently in use (false after a 415
+    /// downgrade or when never opted in).
+    pub fn binary_active(&self) -> bool {
+        self.binary.load(Ordering::Relaxed)
+    }
+
+    /// Record a 415: the daemon does not speak the binary codec.
+    fn downgrade_to_json(&self) {
+        self.binary.store(false, Ordering::Relaxed);
     }
 
     fn request(
@@ -172,16 +264,16 @@ impl DaemonSession {
         hint: PatternHint,
         idempotency_key: Option<&str>,
     ) -> Result<u64, ClientError> {
-        let hint_str = match hint {
-            PatternHint::QcHeavy => Some("qc-heavy"),
-            PatternHint::CcHeavy => Some("cc-heavy"),
-            PatternHint::QcBalanced => Some("qc-balanced"),
-            PatternHint::None => None,
-        };
+        if self.client.binary_active() {
+            match self.submit_keyed_binary(ir, hint, idempotency_key) {
+                Err(ClientError::Api { status: 415, .. }) => self.client.downgrade_to_json(),
+                other => return other,
+            }
+        }
         let body = serde_json::json!({
             "token": self.token,
             "ir": ir,
-            "hint": hint_str,
+            "hint": hint_str(hint),
             "idempotency_key": idempotency_key,
         })
         .to_string();
@@ -192,6 +284,121 @@ impl DaemonSession {
         v["task_id"]
             .as_u64()
             .ok_or_else(|| ClientError::Protocol("missing task_id".into()))
+    }
+
+    /// One submit as a binary wire frame. The `?token=` query parameter is
+    /// routing metadata for gateways (placement without parsing the body);
+    /// a daemon reached directly ignores it.
+    fn submit_keyed_binary(
+        &self,
+        ir: &ProgramIr,
+        hint: PatternHint,
+        idempotency_key: Option<&str>,
+    ) -> Result<u64, ClientError> {
+        let frame = wire::SubmitFrame {
+            token: self.token.clone(),
+            hint: hint_str(hint).map(String::from),
+            idempotency_key: idempotency_key.map(String::from),
+            ir: ir.clone(),
+        };
+        let raw = self.client.http.request_bytes(
+            "POST",
+            &format!("/v1/tasks?token={}", self.token),
+            wire::CONTENT_TYPE_BIN,
+            Some(&wire::encode_submit(&frame)),
+        )?;
+        if !(200..300).contains(&raw.status) {
+            return Err(api_error(&raw));
+        }
+        wire::decode_task_id(&raw.body).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Submit `items` as one `POST /v1/tasks:batch` request: one HTTP round
+    /// trip, one daemon lock acquisition and one journal group-commit for
+    /// the whole batch. Returns one outcome per item, in submission order —
+    /// a refused frame (validation, quota) fails its own slot without
+    /// affecting the rest. Uses the binary codec when the client opted in
+    /// ([`DaemonClient::prefer_binary`]), JSON otherwise, with the same
+    /// automatic 415 fallback as single submits.
+    pub fn submit_batch(
+        &self,
+        items: &[BatchItem<'_>],
+    ) -> Result<Vec<Result<u64, ClientError>>, ClientError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.client.binary_active() {
+            match self.submit_batch_binary(items) {
+                Err(ClientError::Api { status: 415, .. }) => self.client.downgrade_to_json(),
+                other => return other,
+            }
+        }
+        self.submit_batch_json(items)
+    }
+
+    fn submit_batch_binary(
+        &self,
+        items: &[BatchItem<'_>],
+    ) -> Result<Vec<Result<u64, ClientError>>, ClientError> {
+        let frames: Vec<wire::SubmitFrame> = items
+            .iter()
+            .map(|it| wire::SubmitFrame {
+                token: self.token.clone(),
+                hint: hint_str(it.hint).map(String::from),
+                idempotency_key: it.idempotency_key.map(String::from),
+                ir: it.ir.clone(),
+            })
+            .collect();
+        let raw = self.client.http.request_bytes(
+            "POST",
+            &format!("/v1/tasks:batch?token={}", self.token),
+            wire::CONTENT_TYPE_BIN,
+            Some(&wire::encode_submit_batch(&frames)),
+        )?;
+        if !(200..300).contains(&raw.status) {
+            return Err(api_error(&raw));
+        }
+        let slots = wire::decode_batch_reply(&raw.body)
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        Ok(slots.into_iter().map(slot_to_outcome).collect())
+    }
+
+    fn submit_batch_json(
+        &self,
+        items: &[BatchItem<'_>],
+    ) -> Result<Vec<Result<u64, ClientError>>, ClientError> {
+        let body: Vec<serde_json::Value> = items
+            .iter()
+            .map(|it| {
+                serde_json::json!({
+                    "token": self.token,
+                    "ir": it.ir,
+                    "hint": hint_str(it.hint),
+                    "idempotency_key": it.idempotency_key,
+                })
+            })
+            .collect();
+        let (st, body) = self.client.request(
+            "POST",
+            "/v1/tasks:batch",
+            Some(&serde_json::Value::Array(body).to_string()),
+        )?;
+        let body = expect_2xx(st, body)?;
+        let v: serde_json::Value =
+            serde_json::from_str(&body).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let slots = v
+            .as_array()
+            .ok_or_else(|| ClientError::Protocol("batch reply is not an array".into()))?;
+        Ok(slots
+            .iter()
+            .map(|s| match s["task_id"].as_u64() {
+                Some(id) => Ok(id),
+                None => Err(ClientError::Api {
+                    status: s["status"].as_u64().unwrap_or(500) as u16,
+                    message: s["error"].as_str().unwrap_or("unknown error").to_string(),
+                }),
+            })
+            .collect())
     }
 
     /// Submit with `key`, retrying transient failures up to `max_attempts`
@@ -263,11 +470,22 @@ impl DaemonSession {
     /// daemon reached directly; through a gateway it is the placement key
     /// that routes the poll to the session's shard.
     pub fn status(&self, task: u64) -> Result<DaemonTaskStatus, ClientError> {
-        let (st, body) = self.client.request(
-            "GET",
-            &format!("/v1/tasks/{task}?token={}", self.token),
-            None,
-        )?;
+        let path = format!("/v1/tasks/{task}?token={}", self.token);
+        if self.client.binary_active() {
+            // GETs negotiate via Accept: a daemon that does not speak the
+            // codec ignores the header and answers JSON, so we dispatch on
+            // the response's content-type instead of expecting an error.
+            let raw = self.get_accept_binary(&path)?;
+            if raw.content_type.starts_with(wire::CONTENT_TYPE_BIN) {
+                return wire::decode_status(&raw.body)
+                    .map(wire_status_to_daemon)
+                    .map_err(|e| ClientError::Protocol(e.to_string()));
+            }
+            let body = String::from_utf8_lossy(&raw.body).into_owned();
+            return serde_json::from_str(&expect_2xx(raw.status, body)?)
+                .map_err(|e| ClientError::Protocol(e.to_string()));
+        }
+        let (st, body) = self.client.request("GET", &path, None)?;
         let body = expect_2xx(st, body)?;
         serde_json::from_str(&body).map_err(|e| ClientError::Protocol(e.to_string()))
     }
@@ -275,13 +493,36 @@ impl DaemonSession {
     /// Fetch the result of a completed task (token routes as in
     /// [`Self::status`]).
     pub fn result(&self, task: u64) -> Result<SampleResult, ClientError> {
-        let (st, body) = self.client.request(
-            "GET",
-            &format!("/v1/tasks/{task}/result?token={}", self.token),
-            None,
-        )?;
+        let path = format!("/v1/tasks/{task}/result?token={}", self.token);
+        if self.client.binary_active() {
+            let raw = self.get_accept_binary(&path)?;
+            if raw.content_type.starts_with(wire::CONTENT_TYPE_BIN) {
+                return wire::decode_result(&raw.body)
+                    .map_err(|e| ClientError::Protocol(e.to_string()));
+            }
+            let body = String::from_utf8_lossy(&raw.body).into_owned();
+            return serde_json::from_str(&expect_2xx(raw.status, body)?)
+                .map_err(|e| ClientError::Protocol(e.to_string()));
+        }
+        let (st, body) = self.client.request("GET", &path, None)?;
         let body = expect_2xx(st, body)?;
         serde_json::from_str(&body).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// One GET asking for a binary reply; non-2xx is mapped to
+    /// [`ClientError::Api`] whichever codec the error body arrived in.
+    fn get_accept_binary(&self, path: &str) -> Result<RawResponse, ClientError> {
+        let raw = self.client.http.request_bytes_accept(
+            "GET",
+            path,
+            "application/json",
+            Some(wire::CONTENT_TYPE_BIN),
+            None,
+        )?;
+        if !(200..300).contains(&raw.status) {
+            return Err(api_error(&raw));
+        }
+        Ok(raw)
     }
 
     /// Cancel a queued task.
@@ -542,6 +783,115 @@ mod tests {
         assert_eq!(again2, id2, "retried submit did not double-enqueue");
         let _ = std::fs::remove_dir_all(&dir_a);
         let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    /// The binary wire codec end to end through the SDK: submit, batch
+    /// submit, status and result all ride `application/x-hpcqc-bin`; slot
+    /// errors stay per-frame; idempotency keys dedup across batches.
+    #[test]
+    fn binary_codec_submits_batches_and_reads_results() {
+        let server = daemon();
+        let client = DaemonClient::new(server.addr()).prefer_binary();
+        let session = client.open_session("ada", PriorityClass::Test).unwrap();
+
+        // single submit + wait: binary Submit/TaskId/Status/Result frames
+        let result = session.run(&ir(42), PatternHint::QcBalanced).unwrap();
+        assert_eq!(result.shots, 42);
+        assert!(client.binary_active(), "no 415 — still binary");
+
+        // batch: a bad frame fails its own slot, the rest land
+        let bad_ir = {
+            let reg = Register::linear(2, 6.0).unwrap();
+            let mut b = SequenceBuilder::new(reg);
+            b.add_global_pulse(Pulse::constant(0.5, 1e6, 0.0, 0.0).unwrap());
+            ProgramIr::new(b.build().unwrap(), 10, "bad")
+        };
+        let (good_a, good_b) = (ir(7), ir(9));
+        let items = [
+            BatchItem {
+                ir: &good_a,
+                hint: PatternHint::None,
+                idempotency_key: Some("batch-a"),
+            },
+            BatchItem {
+                ir: &bad_ir,
+                hint: PatternHint::None,
+                idempotency_key: None,
+            },
+            BatchItem {
+                ir: &good_b,
+                hint: PatternHint::QcHeavy,
+                idempotency_key: Some("batch-b"),
+            },
+        ];
+        let outcomes = session.submit_batch(&items).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        let id_a = *outcomes[0].as_ref().unwrap();
+        let id_b = *outcomes[2].as_ref().unwrap();
+        match &outcomes[1] {
+            Err(ClientError::Api { status: 422, .. }) => {}
+            other => panic!("bad frame must fail validation in its slot: {other:?}"),
+        }
+        // keys dedup across batches (and against single submits)
+        let replay = session.submit_batch(&items).unwrap();
+        assert_eq!(*replay[0].as_ref().unwrap(), id_a);
+        assert_eq!(*replay[2].as_ref().unwrap(), id_b);
+        assert_eq!(
+            session
+                .submit_keyed(&good_a, PatternHint::None, Some("batch-a"))
+                .unwrap(),
+            id_a
+        );
+        session.wait(id_a, 200).unwrap();
+        session.wait(id_b, 200).unwrap();
+    }
+
+    /// A daemon that does not speak the binary codec answers 415; the
+    /// client falls back to JSON on the same call and stays there.
+    #[test]
+    fn binary_client_downgrades_to_json_on_415() {
+        use hpcqc_middleware::http::{Request, Response};
+        use hpcqc_middleware::rest::route;
+
+        let res = Arc::new(LocalEmulatorResource::new(
+            "emu",
+            Arc::new(SvBackend::default()),
+            1,
+        ));
+        let svc = Arc::new(MiddlewareService::new(res, DaemonConfig::default()));
+        // An "old" daemon: refuses the binary content type outright, serves
+        // the JSON API otherwise.
+        let server = hpcqc_middleware::HttpServer::spawn(Arc::new(move |req: Request| {
+            let binary = req
+                .headers
+                .get("content-type")
+                .is_some_and(|ct| ct.contains("x-hpcqc-bin"));
+            if binary {
+                Response::json(415, r#"{"error":"unsupported media type"}"#)
+            } else {
+                route(&svc, &req)
+            }
+        }))
+        .unwrap();
+
+        let client = DaemonClient::new(server.addr()).prefer_binary();
+        let session = client.open_session("ada", PriorityClass::Test).unwrap();
+        // The submit that hits the 415 retries as JSON within the same call.
+        let id = session
+            .submit_keyed(&ir(5), PatternHint::None, Some("fallback-1"))
+            .unwrap();
+        assert!(!client.binary_active(), "415 must downgrade the client");
+        // Later calls (including batches) go straight to JSON and work.
+        let good = ir(5);
+        let outcomes = session
+            .submit_batch(&[BatchItem {
+                ir: &good,
+                hint: PatternHint::None,
+                idempotency_key: Some("fallback-1"),
+            }])
+            .unwrap();
+        assert_eq!(*outcomes[0].as_ref().unwrap(), id, "JSON batch dedups");
+        session.wait(id, 200).unwrap();
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod retry;
 pub mod runtime;
 pub mod workflow;
 
-pub use client::{ClientError, DaemonClient, DaemonSession};
+pub use client::{BatchItem, ClientError, DaemonClient, DaemonSession};
 pub use config::RuntimeConfig;
 pub use hpcqc_emulator::SweepPoint;
 pub use hybrid::{iterate, sweep, IterationRecord, LoopResult};

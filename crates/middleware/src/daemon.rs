@@ -247,6 +247,27 @@ enum TaskRecord {
     Cancelled,
 }
 
+/// One frame of a [`MiddlewareService::submit_batch`] call.
+#[derive(Debug, Clone)]
+pub struct SubmitItem {
+    pub token: String,
+    pub ir: ProgramIr,
+    pub hint: PatternHint,
+    pub idempotency_key: Option<String>,
+}
+
+/// What [`MiddlewareService::prepare_submit`] decided about one frame:
+/// already satisfied (idempotent replay, dev-cache hit) or ready for the
+/// queue.
+enum Prepared {
+    Done(u64),
+    Enqueue {
+        task: QuantumTask,
+        warnings: Vec<String>,
+        idempotency_key: Option<String>,
+    },
+}
+
 /// Partial progress of a preempted task: completed chunk results are kept
 /// and merged with the remainder when it resumes.
 #[derive(Debug, Clone, Default)]
@@ -1090,16 +1111,146 @@ impl MiddlewareService {
     pub fn submit_with_key(
         &self,
         token: &str,
-        mut ir: ProgramIr,
-        mut hint: PatternHint,
+        ir: ProgramIr,
+        hint: PatternHint,
         idempotency_key: Option<&str>,
     ) -> Result<u64, DaemonError> {
         self.check_admitting()?;
+        match self.prepare_submit(token, ir, hint, idempotency_key)? {
+            Prepared::Done(id) => Ok(id),
+            Prepared::Enqueue {
+                task,
+                warnings,
+                idempotency_key,
+            } => {
+                let id = task.id;
+                self.queue.lock().push(task.clone())?;
+                self.sessions.record_task(token)?;
+                self.records.lock().insert(id, TaskRecord::Queued);
+                self.task_meta
+                    .lock()
+                    .insert(id, (task.class, task.submitted_at));
+                if let Some(key) = &idempotency_key {
+                    self.idempotency.lock().insert(key.clone(), id);
+                }
+                self.registry.counter_add(
+                    "daemon_tasks_submitted_total",
+                    "Tasks accepted into the queue",
+                    labels(&[("class", task.class.as_str())]),
+                    1.0,
+                );
+                self.journal_append_deferred(&JournalRecord::TaskSubmitted {
+                    task,
+                    idempotency_key,
+                    warnings,
+                });
+                Ok(id)
+            }
+        }
+    }
+
+    /// Submit N programs as one unit: per-frame validation runs outside any
+    /// shared lock, then every accepted task enters the queue under a
+    /// *single* queue-lock hold, bookkeeping maps are each touched once,
+    /// and the journal records go out as deferred appends that the
+    /// group-commit machinery flushes with one fsync for the whole batch.
+    /// Outcomes are per-frame and order-preserving: one frame failing
+    /// validation (or hitting a session quota) does not poison its
+    /// neighbours. Idempotency keys keep their per-frame semantics.
+    pub fn submit_batch(&self, items: Vec<SubmitItem>) -> Vec<Result<u64, DaemonError>> {
+        if let Err(e) = self.check_admitting() {
+            return items.iter().map(|_| Err(e.clone())).collect();
+        }
+        // Phase 1: validation/analysis per frame — CPU work, no queue lock.
+        let prepared: Vec<Result<Prepared, DaemonError>> = items
+            .into_iter()
+            .map(|it| self.prepare_submit(&it.token, it.ir, it.hint, it.idempotency_key.as_deref()))
+            .collect();
+        // Phase 2: one queue-lock hold admits every surviving frame.
+        let mut outcomes: Vec<Result<u64, DaemonError>> = Vec::with_capacity(prepared.len());
+        let mut accepted: Vec<(QuantumTask, Vec<String>, Option<String>)> = Vec::new();
+        {
+            let mut queue = self.queue.lock();
+            for p in prepared {
+                match p {
+                    Err(e) => outcomes.push(Err(e)),
+                    Ok(Prepared::Done(id)) => outcomes.push(Ok(id)),
+                    Ok(Prepared::Enqueue {
+                        task,
+                        warnings,
+                        idempotency_key,
+                    }) => match queue.push(task.clone()) {
+                        Ok(()) => {
+                            outcomes.push(Ok(task.id));
+                            accepted.push((task, warnings, idempotency_key));
+                        }
+                        Err(e) => outcomes.push(Err(e.into())),
+                    },
+                }
+            }
+        }
+        // Phase 3: bookkeeping — one hold per map, never nested.
+        {
+            let mut records = self.records.lock();
+            for (task, _, _) in &accepted {
+                records.insert(task.id, TaskRecord::Queued);
+            }
+        }
+        {
+            let mut meta = self.task_meta.lock();
+            for (task, _, _) in &accepted {
+                meta.insert(task.id, (task.class, task.submitted_at));
+            }
+        }
+        {
+            let mut idem = self.idempotency.lock();
+            for (task, _, key) in &accepted {
+                if let Some(k) = key {
+                    idem.insert(k.clone(), task.id);
+                }
+            }
+        }
+        for (task, _, _) in &accepted {
+            // Session accounting failure after queue admission is not
+            // actionable per-frame; the task is already accepted.
+            let _ = self.sessions.record_task(&task.session);
+        }
+        for (task, _, _) in &accepted {
+            self.registry.counter_add(
+                "daemon_tasks_submitted_total",
+                "Tasks accepted into the queue",
+                labels(&[("class", task.class.as_str())]),
+                1.0,
+            );
+        }
+        // Phase 4: deferred journal appends; the dispatcher flushes the
+        // parked batch with a single write + fsync (group commit).
+        for (task, warnings, idempotency_key) in accepted {
+            self.journal_append_deferred(&JournalRecord::TaskSubmitted {
+                task,
+                idempotency_key,
+                warnings,
+            });
+        }
+        outcomes
+    }
+
+    /// Everything submit does *before* the queue: session + idempotency
+    /// checks, dev shot capping, validation/analysis, task construction,
+    /// and the dev result cache. Shared verbatim by the single-submit and
+    /// batch paths so they cannot drift.
+    fn prepare_submit(
+        &self,
+        token: &str,
+        mut ir: ProgramIr,
+        mut hint: PatternHint,
+        idempotency_key: Option<&str>,
+    ) -> Result<Prepared, DaemonError> {
         let session = self.validate_session(token)?;
         if let Some(key) = idempotency_key {
             if let Some(&original) = self.idempotency.lock().get(key) {
                 self.durability_metrics().deduped(session.class.as_str());
-                return Ok(original);
+                return Ok(Prepared::Done(original));
             }
         }
         if session.class == PriorityClass::Development && ir.shots > self.cfg.dev_shot_cap {
@@ -1224,28 +1375,14 @@ impl MiddlewareService {
                     result: cached,
                     at: now,
                 });
-                return Ok(id);
+                return Ok(Prepared::Done(id));
             }
         }
-        self.queue.lock().push(task.clone())?;
-        self.sessions.record_task(token)?;
-        self.records.lock().insert(id, TaskRecord::Queued);
-        self.task_meta.lock().insert(id, (session.class, now));
-        if let Some(key) = idempotency_key {
-            self.idempotency.lock().insert(key.to_string(), id);
-        }
-        self.registry.counter_add(
-            "daemon_tasks_submitted_total",
-            "Tasks accepted into the queue",
-            labels(&[("class", session.class.as_str())]),
-            1.0,
-        );
-        self.journal_append_deferred(&JournalRecord::TaskSubmitted {
+        Ok(Prepared::Enqueue {
             task,
-            idempotency_key: idempotency_key.map(str::to_string),
             warnings: pending_warnings,
-        });
-        Ok(id)
+            idempotency_key: idempotency_key.map(str::to_string),
+        })
     }
 
     /// Task status.
@@ -2805,6 +2942,70 @@ mod tests {
         assert!(d2
             .metrics_text()
             .contains("daemon_idempotent_hits_total{class=\"test\"} 1"));
+    }
+
+    /// Batch submit: per-frame outcomes in order, bad frames isolated, the
+    /// group-committed journal records replaying identically after a crash.
+    #[test]
+    fn submit_batch_isolates_frames_and_survives_restart() {
+        let dir = journal_dir("batch-submit");
+        let d = MiddlewareService::recover(&dir, emu_resource(), DaemonConfig::default()).unwrap();
+        let tok = d.open_session("alice", PriorityClass::Production).unwrap();
+        let bad_ir = {
+            let reg = Register::linear(2, 6.0).unwrap();
+            let mut b = SequenceBuilder::new(reg);
+            b.add_global_pulse(Pulse::constant(0.5, 1e6, 0.0, 0.0).unwrap());
+            ProgramIr::new(b.build().unwrap(), 10, "t")
+        };
+        let item = |key: Option<&str>| SubmitItem {
+            token: tok.clone(),
+            ir: ir(10),
+            hint: PatternHint::None,
+            idempotency_key: key.map(str::to_string),
+        };
+        let out = d.submit_batch(vec![
+            item(Some("batch-key-1")),
+            SubmitItem {
+                token: "bogus".into(),
+                ..item(None)
+            },
+            SubmitItem {
+                ir: bad_ir,
+                ..item(None)
+            },
+            item(Some("batch-key-2")),
+        ]);
+        assert_eq!(out.len(), 4);
+        let a = *out[0].as_ref().unwrap();
+        assert!(matches!(out[1], Err(DaemonError::Session(_))), "{out:?}");
+        assert!(matches!(out[2], Err(DaemonError::Validation(_))), "{out:?}");
+        let b = *out[3].as_ref().unwrap();
+        assert!(b > a, "ids follow submission order");
+        assert_eq!(d.queue_depth(), 2, "only the two good frames queued");
+        // a later batch replaying a key dedups per-frame, same as singles
+        let replay = d.submit_batch(vec![item(Some("batch-key-1"))]);
+        assert_eq!(*replay[0].as_ref().unwrap(), a);
+        assert_eq!(d.queue_depth(), 2);
+        drop(d); // crash: no drain
+
+        let d2 = MiddlewareService::recover(&dir, emu_resource(), DaemonConfig::default()).unwrap();
+        assert!(matches!(
+            d2.task_status(a).unwrap(),
+            DaemonTaskStatus::Queued { .. }
+        ));
+        assert!(matches!(
+            d2.task_status(b).unwrap(),
+            DaemonTaskStatus::Queued { .. }
+        ));
+        let replay = d2.submit_batch(vec![item(Some("batch-key-2"))]);
+        assert_eq!(
+            *replay[0].as_ref().unwrap(),
+            b,
+            "batch idempotency keys survive restart"
+        );
+        d2.pump();
+        assert_eq!(d2.task_status(a).unwrap(), DaemonTaskStatus::Completed);
+        assert_eq!(d2.task_status(b).unwrap(), DaemonTaskStatus::Completed);
     }
 
     #[test]

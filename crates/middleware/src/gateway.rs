@@ -6,9 +6,11 @@
 //! follower — and:
 //!
 //! * **routes** REST traffic by session placement: the session token (path,
-//!   query, or request body) or the submitting user hashes onto the ring, so
-//!   a session's whole lifetime lands on one shard and virtual nodes keep
-//!   the load spread even,
+//!   query, or JSON request body) or the submitting user hashes onto the
+//!   ring, so a session's whole lifetime lands on one shard and virtual
+//!   nodes keep the load spread even. Bodies proxy as opaque bytes — binary
+//!   wire frames and batch payloads are never parsed here; their placement
+//!   key is the `?token=` query parameter,
 //! * **health-checks** shards via their `GET /v1/readyz` probes — readiness,
 //!   not liveness: a draining leader or an unpromoted follower answers 503
 //!   there while `healthz` stays green,
@@ -27,6 +29,7 @@ use crate::http::{http_request, Handler, HttpClient, Request, Response};
 use crate::server::{HttpServer, ServerConfig};
 use hpcqc_sync::{rank, TrackedMutex};
 use hpcqc_telemetry::{labels, Registry, ReplicationMetrics};
+use hpcqc_wire as wire;
 use std::sync::Arc;
 
 /// One shard: a leader daemon and (optionally) its warm-standby follower.
@@ -169,9 +172,13 @@ impl Gateway {
     }
 
     /// The session-placement key for `req`: the session token from the path
-    /// (`/v1/sessions/{token}`), the `token` query parameter, or the request
-    /// body (`token`, else `user` for session creation — so all of a user's
-    /// sessions land on one shard and its quota view stays local).
+    /// (`/v1/sessions/{token}`), the `token` query parameter, or — for JSON
+    /// bodies only — the request body (`token`, else `user` for session
+    /// creation, else the first element's `token` for batch arrays — so all
+    /// of a user's sessions land on one shard and its quota view stays
+    /// local). Binary wire bodies are never sniffed: a binary submit that
+    /// must hit its session's shard carries `?token=` instead (the SDK adds
+    /// it), so routing stays body-opaque.
     fn placement_key(req: &Request) -> RouteKey {
         let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         if let ["v1", "sessions", token] = segs.as_slice() {
@@ -180,9 +187,16 @@ impl Gateway {
         if let Some(token) = req.query.get("token") {
             return RouteKey::Token(token.clone());
         }
+        let binary = req
+            .headers
+            .get("content-type")
+            .is_some_and(|ct| ct.split(';').next().unwrap_or("").trim() == wire::CONTENT_TYPE_BIN);
+        if binary {
+            return RouteKey::Keyless;
+        }
         if let Ok(body) = req.body_str() {
             if let Ok(v) = serde_json::from_str::<serde_json::Value>(body) {
-                if let Some(token) = v["token"].as_str() {
+                if let Some(token) = v["token"].as_str().or_else(|| v[0]["token"].as_str()) {
                     return RouteKey::Token(token.to_string());
                 }
                 if let Some(user) = v["user"].as_str() {
@@ -428,14 +442,20 @@ impl Gateway {
             let qs: Vec<String> = req.query.iter().map(|(k, v)| format!("{k}={v}")).collect();
             path = format!("{path}?{}", qs.join("&"));
         }
-        let body = match req.body_str() {
-            Ok(b) if !b.is_empty() => Some(b.to_string()),
-            _ => None,
-        };
-        match client.request(&req.method, &path, body.as_deref()) {
-            Ok((status, body)) => {
-                self.note_session_change(req, &key, idx, status, &body);
-                Response::json(status, body)
+        // Bodies forward as raw bytes with the client's own content-type and
+        // accept headers: binary wire frames and JSON alike pass through
+        // without a parse (or a UTF-8 gate) at the gateway.
+        let content_type = req
+            .headers
+            .get("content-type")
+            .map(String::as_str)
+            .unwrap_or("application/json");
+        let accept = req.headers.get("accept").map(String::as_str);
+        let body = (!req.body.is_empty()).then_some(req.body.as_slice());
+        match client.request_bytes_accept(&req.method, &path, content_type, accept, body) {
+            Ok(raw) => {
+                self.note_session_change(req, &key, idx, raw.status, &raw.body);
+                Response::bytes(raw.status, static_content_type(&raw.content_type), raw.body)
             }
             Err(e) => {
                 // Transport failure: quarantine the shard until the next
@@ -453,20 +473,23 @@ impl Gateway {
 
     /// Keep the sticky table in step with session lifecycle: a 2xx session
     /// creation pins the minted token to the shard that answered; a 2xx
-    /// close (or an expired/unknown token's 401) unpins it.
+    /// close (or an expired/unknown token's 401) unpins it. Only session
+    /// *creation responses* (always JSON) are parsed — sticky learning never
+    /// needs to look inside a submit body, so binary and batch traffic stays
+    /// opaque end to end.
     fn note_session_change(
         &self,
         req: &Request,
         key: &RouteKey,
         idx: usize,
         status: u16,
-        body: &str,
+        body: &[u8],
     ) {
         let creating = req.method == "POST"
             && req.path.trim_end_matches('/') == "/v1/sessions"
             && (200..300).contains(&status);
         if creating {
-            if let Ok(v) = serde_json::from_str::<serde_json::Value>(body) {
+            if let Ok(v) = serde_json::from_slice::<serde_json::Value>(body) {
                 if let Some(token) = v["token"].as_str() {
                     self.routes.lock().sessions.insert(token.to_string(), idx);
                 }
@@ -506,6 +529,18 @@ impl Gateway {
             }
         });
         ProberHandle { stop, thread }
+    }
+}
+
+/// Map a proxied response's `content-type` onto the static strings
+/// [`Response`] carries. The REST API only ever answers with these three
+/// families; unknown or absent types default to JSON (the API's own
+/// default).
+fn static_content_type(ct: &str) -> &'static str {
+    match ct.split(';').next().unwrap_or("").trim() {
+        t if t == wire::CONTENT_TYPE_BIN => wire::CONTENT_TYPE_BIN,
+        "text/plain" => "text/plain; version=0.0.4",
+        _ => "application/json",
     }
 }
 
@@ -710,6 +745,169 @@ mod tests {
         assert_eq!(st, 201, "traffic flows to the promoted follower");
         let text = gw.registry().expose();
         assert!(text.contains(r#"gateway_shard_failovers_total{shard="s0"} 1"#));
+    }
+
+    /// One request with arbitrary headers and a raw byte body (query split
+    /// off the path like the real parser does).
+    fn raw_req(method: &str, path: &str, headers: &[(&str, &str)], body: Vec<u8>) -> Request {
+        let (p, q) = path.split_once('?').unwrap_or((path, ""));
+        Request {
+            method: method.into(),
+            path: p.to_string(),
+            query: q
+                .split('&')
+                .filter(|s| !s.is_empty())
+                .filter_map(|kv| kv.split_once('='))
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: headers
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body,
+        }
+    }
+
+    /// Binary submits, batch submits (binary and JSON), and binary status
+    /// reads flow through the gateway across a two-shard ring. Placement
+    /// comes from `?token=` (requests) and the sticky table (learned from
+    /// session-creation *responses*) — never from parsing the proxied body:
+    /// a misrouted frame would surface as the foreign shard's 401.
+    #[test]
+    fn binary_and_batch_bodies_proxy_opaquely_across_two_shards() {
+        use hpcqc_program::{ProgramIr, Pulse, Register, SequenceBuilder};
+        use hpcqc_wire as wire;
+
+        fn ir(shots: u32) -> ProgramIr {
+            let reg = Register::linear(2, 6.0).unwrap();
+            let mut b = SequenceBuilder::new(reg);
+            b.add_global_pulse(Pulse::constant(0.5, 4.0, 0.0, 0.0).unwrap());
+            ProgramIr::new(b.build().unwrap(), shots, "gw-bin-test")
+        }
+
+        let (_svc_a, server_a) = shard_daemon();
+        let (_svc_b, server_b) = shard_daemon();
+        let gw = Arc::new(Gateway::new(GatewayConfig {
+            shards: vec![
+                ShardConfig {
+                    name: "a".into(),
+                    primary: server_a.addr().to_string(),
+                    follower: None,
+                },
+                ShardConfig {
+                    name: "b".into(),
+                    primary: server_b.addr().to_string(),
+                    follower: None,
+                },
+            ],
+            ..GatewayConfig::default()
+        }));
+
+        // Sessions opened through the gateway spread over both shards (the
+        // split is deterministic: fixed user names, fixed hash).
+        let mut tokens = Vec::new();
+        for i in 0..16 {
+            let (st, body) = post(
+                &gw,
+                "/v1/sessions",
+                &format!(r#"{{"user":"w{i}","class":"production"}}"#),
+            );
+            assert_eq!(st, 201, "{body}");
+            let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+            tokens.push(v["token"].as_str().unwrap().to_string());
+        }
+        for addr in [server_a.addr(), server_b.addr()] {
+            let (st, body) = http_request(&addr, "GET", "/v1/sessions", None).unwrap();
+            assert_eq!(st, 200);
+            let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+            assert!(
+                !v.as_array().unwrap().is_empty(),
+                "both shards must hold sessions for an end-to-end ring test"
+            );
+        }
+
+        // Every token's binary submit reaches its own shard with the body
+        // untouched (sticky placement via ?token=, not body parsing).
+        let mut task_ids = Vec::new();
+        for token in &tokens {
+            let frame = wire::SubmitFrame {
+                token: token.clone(),
+                hint: None,
+                idempotency_key: None,
+                ir: ir(5),
+            };
+            let resp = gw.route(&raw_req(
+                "POST",
+                &format!("/v1/tasks?token={token}"),
+                &[("content-type", wire::CONTENT_TYPE_BIN)],
+                wire::encode_submit(&frame),
+            ));
+            assert_eq!(
+                resp.status,
+                201,
+                "binary submit via gateway: {}",
+                String::from_utf8_lossy(&resp.body)
+            );
+            assert_eq!(resp.content_type, wire::CONTENT_TYPE_BIN);
+            task_ids.push((
+                token.clone(),
+                wire::decode_task_id(&resp.body).expect("TaskId frame"),
+            ));
+        }
+
+        // A binary batch proxies as one opaque body; every slot lands.
+        let token = &tokens[0];
+        let frames: Vec<wire::SubmitFrame> = (0..3)
+            .map(|i| wire::SubmitFrame {
+                token: token.clone(),
+                hint: None,
+                idempotency_key: Some(format!("gw-batch-{i}")),
+                ir: ir(5),
+            })
+            .collect();
+        let resp = gw.route(&raw_req(
+            "POST",
+            &format!("/v1/tasks:batch?token={token}"),
+            &[("content-type", wire::CONTENT_TYPE_BIN)],
+            wire::encode_submit_batch(&frames),
+        ));
+        assert_eq!(
+            resp.status,
+            200,
+            "batch via gateway: {}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        assert_eq!(resp.content_type, wire::CONTENT_TYPE_BIN);
+        let slots = wire::decode_batch_reply(&resp.body).expect("BatchReply frame");
+        assert_eq!(slots.len(), 3);
+        for slot in &slots {
+            assert!(matches!(slot, wire::BatchSlot::Ok { .. }), "{slot:?}");
+        }
+
+        // A JSON batch routes by its first frame's token (body sniff still
+        // works for JSON), no ?token= needed.
+        let ir_json = serde_json::to_string(&ir(5)).unwrap();
+        let json_batch = format!(
+            r#"[{{"token":"{token}","ir":{ir_json},"idempotency_key":"gw-json-b0"}},{{"token":"{token}","ir":{ir_json},"idempotency_key":"gw-json-b1"}}]"#
+        );
+        let (st, body) = post(&gw, "/v1/tasks:batch", &json_batch);
+        assert_eq!(st, 200, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 2, "{body}");
+
+        // Binary status reads follow the same placement and come back as
+        // opaque Status frames (Accept pass-through).
+        for (token, id) in &task_ids {
+            let resp = gw.route(&raw_req(
+                "GET",
+                &format!("/v1/tasks/{id}?token={token}"),
+                &[("accept", wire::CONTENT_TYPE_BIN)],
+                Vec::new(),
+            ));
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.content_type, wire::CONTENT_TYPE_BIN);
+            wire::decode_status(&resp.body).expect("Status frame");
+        }
     }
 
     #[test]

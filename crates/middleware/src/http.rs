@@ -78,6 +78,16 @@ impl Response {
         }
     }
 
+    /// A response with an explicit content type and raw byte body — the
+    /// binary wire codec and the gateway's opaque forwarding use this.
+    pub fn bytes(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            content_type,
+            body,
+        }
+    }
+
     pub fn not_found() -> Self {
         Response::json(404, r#"{"error":"not found"}"#)
     }
@@ -94,11 +104,73 @@ impl Response {
             408 => "Request Timeout",
             409 => "Conflict",
             413 => "Payload Too Large",
+            415 => "Unsupported Media Type",
             422 => "Unprocessable Entity",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
+        }
+    }
+
+    /// Preformatted status line for the codes the API actually emits. The
+    /// submit hot path encodes one response per request; `format!` with five
+    /// interpolations was measurable there, a static-slice copy is not.
+    fn status_line(&self) -> Option<&'static str> {
+        Some(match self.status {
+            200 => "HTTP/1.1 200 OK\r\n",
+            201 => "HTTP/1.1 201 Created\r\n",
+            204 => "HTTP/1.1 204 No Content\r\n",
+            400 => "HTTP/1.1 400 Bad Request\r\n",
+            401 => "HTTP/1.1 401 Unauthorized\r\n",
+            403 => "HTTP/1.1 403 Forbidden\r\n",
+            404 => "HTTP/1.1 404 Not Found\r\n",
+            408 => "HTTP/1.1 408 Request Timeout\r\n",
+            409 => "HTTP/1.1 409 Conflict\r\n",
+            413 => "HTTP/1.1 413 Payload Too Large\r\n",
+            415 => "HTTP/1.1 415 Unsupported Media Type\r\n",
+            422 => "HTTP/1.1 422 Unprocessable Entity\r\n",
+            429 => "HTTP/1.1 429 Too Many Requests\r\n",
+            500 => "HTTP/1.1 500 Internal Server Error\r\n",
+            503 => "HTTP/1.1 503 Service Unavailable\r\n",
+            _ => return None,
+        })
+    }
+
+    /// Append the serialized head + body to `out` without intermediate
+    /// allocations: preformatted status lines, static header fragments, and
+    /// an integer fast path for `content-length` (no `format!` anywhere on
+    /// the common codes). The event-loop server appends straight into the
+    /// per-connection write buffer, so back-to-back pipelined responses
+    /// coalesce into one buffer — and one `writev` syscall.
+    pub fn encode_into(&self, keep_alive: bool, out: &mut Vec<u8>) {
+        self.encode_head_into(keep_alive, out);
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Serialize only the head (status line + headers + blank line). The
+    /// event-loop server queues the head and the body as separate `writev`
+    /// segments, so the body `Vec` is *moved* onto the wire without a copy.
+    pub fn encode_head_into(&self, keep_alive: bool, out: &mut Vec<u8>) {
+        out.reserve(128 + self.content_type.len());
+        match self.status_line() {
+            Some(line) => out.extend_from_slice(line.as_bytes()),
+            None => {
+                out.extend_from_slice(b"HTTP/1.1 ");
+                write_uint(out, self.status as u64);
+                out.push(b' ');
+                out.extend_from_slice(self.status_text().as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+        }
+        out.extend_from_slice(b"content-type: ");
+        out.extend_from_slice(self.content_type.as_bytes());
+        out.extend_from_slice(b"\r\ncontent-length: ");
+        write_uint(out, self.body.len() as u64);
+        if keep_alive {
+            out.extend_from_slice(b"\r\nconnection: keep-alive\r\n\r\n");
+        } else {
+            out.extend_from_slice(b"\r\nconnection: close\r\n\r\n");
         }
     }
 
@@ -108,19 +180,26 @@ impl Response {
     /// per-request (client's `connection: close`, server backpressure,
     /// shutdown drain).
     pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
-            self.status,
-            self.status_text(),
-            self.content_type,
-            self.body.len(),
-            if keep_alive { "keep-alive" } else { "close" },
-        );
-        let mut out = Vec::with_capacity(head.len() + self.body.len());
-        out.extend_from_slice(head.as_bytes());
-        out.extend_from_slice(&self.body);
+        let mut out = Vec::new();
+        self.encode_into(keep_alive, &mut out);
         out
     }
+}
+
+/// Append the decimal digits of `n` (itoa fast path: one stack buffer, no
+/// `format!` machinery).
+fn write_uint(out: &mut Vec<u8>, mut n: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&buf[i..]);
 }
 
 /// Parser/transport errors.
@@ -329,12 +408,22 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
 /// The request handler type.
 pub type Handler = std::sync::Arc<dyn Fn(Request) -> Response + Send + Sync>;
 
-/// Read one response from a buffered reader.
-///
-/// Returns `(status, body, close)` where `close` reports whether the server
-/// announced `connection: close`. Shared by [`http_request`] and
-/// [`HttpClient`].
-fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String, bool), HttpError> {
+/// One response as read off the wire, body untouched. `close` reports
+/// whether the server announced `connection: close`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawResponse {
+    pub status: u16,
+    /// The server's `content-type` header (empty when absent). Carried so
+    /// the gateway can forward proxied bodies — JSON or binary — opaquely.
+    pub content_type: String,
+    pub body: Vec<u8>,
+    pub close: bool,
+}
+
+/// Read one response from a buffered reader. Shared by [`http_request`] and
+/// [`HttpClient`]. The body stays raw bytes: binary frames must not go
+/// through a UTF-8 gate.
+fn read_response_raw<R: BufRead>(reader: &mut R) -> Result<RawResponse, HttpError> {
     let mut status_line = String::new();
     let n = read_line_bounded(reader, &mut status_line, MAX_HEAD_BYTES)?;
     if n == 0 {
@@ -346,6 +435,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String, bool), Http
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
     let mut content_length = 0usize;
+    let mut content_type = String::new();
     let mut close = false;
     let mut line = String::new();
     let mut head_budget = MAX_HEAD_BYTES;
@@ -361,6 +451,8 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String, bool), Http
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+            } else if k.trim().eq_ignore_ascii_case("content-type") {
+                content_type = v.trim().to_string();
             } else if k.trim().eq_ignore_ascii_case("connection")
                 && v.trim().eq_ignore_ascii_case("close")
             {
@@ -370,15 +462,36 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String, bool), Http
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(io_err)?;
-    String::from_utf8(body)
-        .map(|b| (status, b, close))
+    Ok(RawResponse {
+        status,
+        content_type,
+        body,
+        close,
+    })
+}
+
+/// String-body convenience over [`read_response_raw`] for the JSON paths.
+fn read_response<R: BufRead>(reader: &mut R) -> Result<(u16, String, bool), HttpError> {
+    let raw = read_response_raw(reader)?;
+    String::from_utf8(raw.body)
+        .map(|b| (raw.status, b, raw.close))
         .map_err(|_| HttpError::Malformed("response body not UTF-8".into()))
 }
 
-fn serialize_request(method: &str, path: &str, body: &str, keep_alive: bool) -> String {
+fn serialize_request_head(
+    method: &str,
+    path: &str,
+    content_type: &str,
+    accept: Option<&str>,
+    body_len: usize,
+    keep_alive: bool,
+) -> String {
+    let accept = match accept {
+        Some(a) => format!("accept: {a}\r\n"),
+        None => String::new(),
+    };
     format!(
-        "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{body}",
-        body.len(),
+        "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-type: {content_type}\r\n{accept}content-length: {body_len}\r\nconnection: {}\r\n\r\n",
         if keep_alive { "keep-alive" } else { "close" },
     )
 }
@@ -396,8 +509,10 @@ pub fn http_request(
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .map_err(io_err)?;
-    let req = serialize_request(method, path, body.unwrap_or(""), false);
-    stream.write_all(req.as_bytes()).map_err(io_err)?;
+    let body = body.unwrap_or("");
+    let head = serialize_request_head(method, path, "application/json", None, body.len(), false);
+    stream.write_all(head.as_bytes()).map_err(io_err)?;
+    stream.write_all(body.as_bytes()).map_err(io_err)?;
     let mut reader = BufReader::new(stream);
     let (status, body, _close) = read_response(&mut reader)?;
     Ok((status, body))
@@ -438,14 +553,44 @@ impl HttpClient {
         &self.addr
     }
 
-    /// Issue one request, reusing the pooled connection when possible.
+    /// Issue one JSON request, reusing the pooled connection when possible.
     pub fn request(
         &self,
         method: &str,
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, String), HttpError> {
+        let raw = self.request_bytes(method, path, "application/json", body.map(str::as_bytes))?;
+        String::from_utf8(raw.body)
+            .map(|b| (raw.status, b))
+            .map_err(|_| HttpError::Malformed("response body not UTF-8".into()))
+    }
+
+    /// Issue one request with an explicit content type and a raw byte body;
+    /// the response body comes back untouched. The binary submit path and
+    /// the gateway's opaque forwarding are built on this.
+    pub fn request_bytes(
+        &self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: Option<&[u8]>,
+    ) -> Result<RawResponse, HttpError> {
+        self.request_bytes_accept(method, path, content_type, None, body)
+    }
+
+    /// [`request_bytes`](Self::request_bytes) with an explicit `Accept`
+    /// header — how the SDK asks for binary Status/Result frames on GETs.
+    pub fn request_bytes_accept(
+        &self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        accept: Option<&str>,
+        body: Option<&[u8]>,
+    ) -> Result<RawResponse, HttpError> {
         let mut guard = self.stream.lock().unwrap_or_else(|p| p.into_inner());
+        let body = body.unwrap_or(b"");
         for attempt in 0..2 {
             let reused = guard.is_some();
             if guard.is_none() {
@@ -457,18 +602,22 @@ impl HttpClient {
                 *guard = Some(BufReader::new(stream));
             }
             let reader = guard.as_mut().expect("connection just ensured");
-            let req = serialize_request(method, path, body.unwrap_or(""), true);
+            // head and body go out as one buffer: one write syscall/request
+            let mut req =
+                serialize_request_head(method, path, content_type, accept, body.len(), true)
+                    .into_bytes();
+            req.extend_from_slice(body);
             let result = reader
                 .get_mut()
-                .write_all(req.as_bytes())
+                .write_all(&req)
                 .map_err(io_err)
-                .and_then(|()| read_response(reader));
+                .and_then(|()| read_response_raw(reader));
             match result {
-                Ok((status, body, close)) => {
-                    if close {
+                Ok(raw) => {
+                    if raw.close {
                         *guard = None;
                     }
-                    return Ok((status, body));
+                    return Ok(raw);
                 }
                 Err(e) => {
                     // A stale pooled connection fails on first use; retry

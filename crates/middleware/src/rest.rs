@@ -10,6 +10,7 @@
 //! GET    /v1/target                                       → DeviceSpec
 //! POST   /v1/tasks                   {token, ir, hint,
 //!                                     idempotency_key?}   → {task_id}
+//! POST   /v1/tasks:batch             [SubmitReq, ...]     → [slot, ...]
 //! GET    /v1/tasks/{id}                                   → DaemonTaskStatus
 //! GET    /v1/tasks/{id}/warnings                          → {warnings: [str]}
 //! GET    /v1/tasks/{id}/result                            → SampleResult
@@ -23,8 +24,20 @@
 //! POST   /v1/admin/qpu/recalibrate   {duration_secs}      → {}
 //! GET    /v1/telemetry/{series}?from=&to=                 → [Point]
 //! ```
+//!
+//! **Content negotiation.** The submit-path routes (`POST /v1/tasks`,
+//! `POST /v1/tasks:batch`) also speak the length-prefixed binary codec
+//! from `hpcqc-wire`: a request with `Content-Type:
+//! application/x-hpcqc-bin` carries a Submit/SubmitBatch frame and is
+//! answered with a TaskId/BatchReply (or Error) frame in the same
+//! encoding. `GET /v1/tasks/{id}` and `GET /v1/tasks/{id}/result` answer
+//! binary Status/Result frames when the client sends `Accept:
+//! application/x-hpcqc-bin`. JSON remains the default everywhere; an
+//! unrecognized `Content-Type` on a submit route is refused with `415`
+//! so older clients (and clients probing a JSON-only deployment) can fall
+//! back deterministically.
 
-use crate::daemon::{DaemonError, MiddlewareService};
+use crate::daemon::{DaemonError, DaemonTaskStatus, MiddlewareService, SubmitItem};
 use crate::http::{Handler, Request, Response};
 use crate::server::{HttpServer, ServerConfig};
 use crate::session::PriorityClass;
@@ -32,6 +45,7 @@ use hpcqc_program::ProgramIr;
 use hpcqc_qpu::QpuStatus;
 use hpcqc_scheduler::PatternHint;
 use hpcqc_telemetry::TransportMetrics;
+use hpcqc_wire as wire;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -63,8 +77,8 @@ struct RecalibrateReq {
     duration_secs: f64,
 }
 
-fn err_response(e: &DaemonError) -> Response {
-    let status = match e {
+fn daemon_status(e: &DaemonError) -> u16 {
+    match e {
         DaemonError::Session(_) => 401,
         DaemonError::Forbidden(_) => 403,
         DaemonError::UnknownTask(_) => 404,
@@ -72,15 +86,129 @@ fn err_response(e: &DaemonError) -> Response {
         DaemonError::Queue(_) => 409,
         DaemonError::Unavailable(_) => 503,
         DaemonError::Internal(_) => 500,
-    };
+    }
+}
+
+fn err_response(e: &DaemonError) -> Response {
     Response::json(
-        status,
+        daemon_status(e),
         serde_json::json!({ "error": e.to_string() }).to_string(),
     )
 }
 
 fn bad_request(msg: &str) -> Response {
     Response::json(400, serde_json::json!({ "error": msg }).to_string())
+}
+
+/// The request body's media type, parameters (`; charset=...`) stripped.
+/// Absent means JSON — that's what every pre-binary client sends.
+fn content_type(req: &Request) -> &str {
+    req.headers
+        .get("content-type")
+        .map(|v| v.split(';').next().unwrap_or("").trim())
+        .unwrap_or("")
+}
+
+/// Whether the client asked for a binary reply (`Accept:
+/// application/x-hpcqc-bin`) on a GET route.
+fn wants_binary_reply(req: &Request) -> bool {
+    req.headers.get("accept").is_some_and(|v| {
+        v.split(',')
+            .any(|p| p.split(';').next().unwrap_or("").trim() == wire::CONTENT_TYPE_BIN)
+    })
+}
+
+/// An error in the binary framing the client negotiated: HTTP status for
+/// routers/metrics, an Error frame in the body for the SDK.
+fn bin_error(status: u16, msg: &str) -> Response {
+    Response::bytes(
+        status,
+        wire::CONTENT_TYPE_BIN,
+        wire::encode_error(status, msg),
+    )
+}
+
+fn parse_hint(h: Option<&str>) -> Option<PatternHint> {
+    match h {
+        None => Some(PatternHint::None),
+        Some(h) => PatternHint::parse(h),
+    }
+}
+
+const HINT_ERR: &str = "hint must be qc-heavy|cc-heavy|qc-balanced|none";
+
+fn to_wire_status(s: &DaemonTaskStatus) -> wire::WireStatus {
+    match s {
+        DaemonTaskStatus::Queued { position } => wire::WireStatus::Queued {
+            position: *position,
+        },
+        DaemonTaskStatus::Running => wire::WireStatus::Running,
+        DaemonTaskStatus::Completed => wire::WireStatus::Completed,
+        DaemonTaskStatus::Failed(m) => wire::WireStatus::Failed(m.clone()),
+        DaemonTaskStatus::Cancelled => wire::WireStatus::Cancelled,
+    }
+}
+
+/// One slot of a JSON batch-submit reply (the JSON mirror of the binary
+/// BatchReply frame): `{"task_id": n}` or `{"status": s, "error": msg}`.
+fn slot_json(s: &wire::BatchSlot) -> serde_json::Value {
+    match s {
+        wire::BatchSlot::Ok { task_id } => serde_json::json!({ "task_id": task_id }),
+        wire::BatchSlot::Err { status, message } => {
+            serde_json::json!({ "status": status, "error": message })
+        }
+    }
+}
+
+fn outcome_slots(outcomes: Vec<Result<u64, DaemonError>>) -> Vec<wire::BatchSlot> {
+    outcomes
+        .into_iter()
+        .map(|o| match o {
+            Ok(id) => wire::BatchSlot::Ok { task_id: id },
+            Err(e) => wire::BatchSlot::Err {
+                status: daemon_status(&e),
+                message: e.to_string(),
+            },
+        })
+        .collect()
+}
+
+/// Run a batch of submit frames through [`MiddlewareService::submit_batch`],
+/// producing one order-preserving slot per frame. Frames with an
+/// unparseable hint get their error slot here and never reach the daemon.
+fn submit_frames(svc: &MiddlewareService, frames: Vec<wire::SubmitFrame>) -> Vec<wire::BatchSlot> {
+    let mut slots: Vec<Option<wire::BatchSlot>> = (0..frames.len()).map(|_| None).collect();
+    let mut items = Vec::with_capacity(frames.len());
+    let mut item_slot = Vec::with_capacity(frames.len());
+    for (i, f) in frames.into_iter().enumerate() {
+        match parse_hint(f.hint.as_deref()) {
+            Some(hint) => {
+                items.push(SubmitItem {
+                    token: f.token,
+                    ir: f.ir,
+                    hint,
+                    idempotency_key: f.idempotency_key,
+                });
+                item_slot.push(i);
+            }
+            None => {
+                slots[i] = Some(wire::BatchSlot::Err {
+                    status: 400,
+                    message: HINT_ERR.into(),
+                });
+            }
+        }
+    }
+    for (j, slot) in outcome_slots(svc.submit_batch(items))
+        .into_iter()
+        .enumerate()
+    {
+        slots[item_slot[j]] = Some(slot);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every frame got a slot"))
+        .collect()
 }
 
 /// Route one request against the service.
@@ -117,37 +245,111 @@ pub fn route(svc: &MiddlewareService, req: &Request) -> Response {
             Ok(spec) => Response::json(200, serde_json::to_string(&spec).expect("spec serializes")),
             Err(e) => err_response(&e),
         },
-        ("POST", ["v1", "tasks"]) => {
-            let Ok(body) = req.body_str() else {
-                return bad_request("body not UTF-8");
-            };
-            let submit: SubmitReq = match serde_json::from_str(body) {
-                Ok(s) => s,
-                Err(e) => return bad_request(&format!("bad submit body: {e}")),
-            };
-            let hint = match submit.hint.as_deref() {
-                None => PatternHint::None,
-                Some(h) => match PatternHint::parse(h) {
-                    Some(h) => h,
-                    None => return bad_request("hint must be qc-heavy|cc-heavy|qc-balanced|none"),
-                },
-            };
-            match svc.submit_with_key(
-                &submit.token,
-                submit.ir,
-                hint,
-                submit.idempotency_key.as_deref(),
-            ) {
-                Ok(id) => Response::json(201, serde_json::json!({ "task_id": id }).to_string()),
-                Err(e) => err_response(&e),
+        ("POST", ["v1", "tasks"]) => match content_type(req) {
+            wire::CONTENT_TYPE_BIN => match wire::decode_submit(&req.body) {
+                Err(e) => bin_error(400, &format!("bad submit frame: {e}")),
+                Ok(frame) => {
+                    let Some(hint) = parse_hint(frame.hint.as_deref()) else {
+                        return bin_error(400, HINT_ERR);
+                    };
+                    match svc.submit_with_key(
+                        &frame.token,
+                        frame.ir,
+                        hint,
+                        frame.idempotency_key.as_deref(),
+                    ) {
+                        Ok(id) => {
+                            Response::bytes(201, wire::CONTENT_TYPE_BIN, wire::encode_task_id(id))
+                        }
+                        Err(e) => bin_error(daemon_status(&e), &e.to_string()),
+                    }
+                }
+            },
+            "" | "application/json" => {
+                let Ok(body) = req.body_str() else {
+                    return bad_request("body not UTF-8");
+                };
+                let submit: SubmitReq = match serde_json::from_str(body) {
+                    Ok(s) => s,
+                    Err(e) => return bad_request(&format!("bad submit body: {e}")),
+                };
+                let Some(hint) = parse_hint(submit.hint.as_deref()) else {
+                    return bad_request(HINT_ERR);
+                };
+                match svc.submit_with_key(
+                    &submit.token,
+                    submit.ir,
+                    hint,
+                    submit.idempotency_key.as_deref(),
+                ) {
+                    Ok(id) => Response::json(201, serde_json::json!({ "task_id": id }).to_string()),
+                    Err(e) => err_response(&e),
+                }
             }
-        }
+            other => Response::json(
+                415,
+                serde_json::json!({ "error": format!("unsupported content type {other:?}") })
+                    .to_string(),
+            ),
+        },
+        ("POST", ["v1", "tasks:batch"]) => match content_type(req) {
+            wire::CONTENT_TYPE_BIN => match wire::decode_submit_batch(&req.body) {
+                Err(e) => bin_error(400, &format!("bad batch frame: {e}")),
+                Ok(frames) => {
+                    let slots = submit_frames(svc, frames);
+                    Response::bytes(
+                        200,
+                        wire::CONTENT_TYPE_BIN,
+                        wire::encode_batch_reply(&slots),
+                    )
+                }
+            },
+            "" | "application/json" => {
+                let Ok(body) = req.body_str() else {
+                    return bad_request("body not UTF-8");
+                };
+                let reqs: Vec<SubmitReq> = match serde_json::from_str(body) {
+                    Ok(r) => r,
+                    Err(e) => return bad_request(&format!("bad batch body: {e}")),
+                };
+                if reqs.len() > wire::MAX_BATCH_FRAMES {
+                    return bad_request(&format!(
+                        "batch of {} exceeds the {}-frame cap",
+                        reqs.len(),
+                        wire::MAX_BATCH_FRAMES
+                    ));
+                }
+                let frames = reqs
+                    .into_iter()
+                    .map(|r| wire::SubmitFrame {
+                        token: r.token,
+                        hint: r.hint,
+                        idempotency_key: r.idempotency_key,
+                        ir: r.ir,
+                    })
+                    .collect();
+                let slots: Vec<serde_json::Value> =
+                    submit_frames(svc, frames).iter().map(slot_json).collect();
+                Response::json(200, serde_json::Value::Array(slots).to_string())
+            }
+            other => Response::json(
+                415,
+                serde_json::json!({ "error": format!("unsupported content type {other:?}") })
+                    .to_string(),
+            ),
+        },
         ("GET", ["v1", "tasks", id]) => {
             let Ok(id) = id.parse::<u64>() else {
                 return bad_request("task id must be a number");
             };
             match svc.task_status(id) {
+                Ok(s) if wants_binary_reply(req) => Response::bytes(
+                    200,
+                    wire::CONTENT_TYPE_BIN,
+                    wire::encode_status(&to_wire_status(&s)),
+                ),
                 Ok(s) => Response::json(200, serde_json::to_string(&s).expect("status serializes")),
+                Err(e) if wants_binary_reply(req) => bin_error(daemon_status(&e), &e.to_string()),
                 Err(e) => err_response(&e),
             }
         }
@@ -163,7 +365,11 @@ pub fn route(svc: &MiddlewareService, req: &Request) -> Response {
                 return bad_request("task id must be a number");
             };
             match svc.task_result(id) {
+                Ok(r) if wants_binary_reply(req) => {
+                    Response::bytes(200, wire::CONTENT_TYPE_BIN, wire::encode_result(&r))
+                }
                 Ok(r) => Response::json(200, serde_json::to_string(&r).expect("result serializes")),
+                Err(e) if wants_binary_reply(req) => bin_error(daemon_status(&e), &e.to_string()),
                 Err(e) => err_response(&e),
             }
         }
@@ -427,6 +633,206 @@ mod tests {
         .unwrap();
         assert_eq!(st, 200);
         assert_eq!(body, r#"{"warnings":[]}"#);
+    }
+
+    fn ir(shots: u32) -> ProgramIr {
+        serde_json::from_str(&ir_json(shots)).unwrap()
+    }
+
+    fn open_token(addr: &str) -> String {
+        let (st, body) = http_request(
+            addr,
+            "POST",
+            "/v1/sessions",
+            Some(r#"{"user":"bin","class":"production"}"#),
+        )
+        .unwrap();
+        assert_eq!(st, 201, "{body}");
+        serde_json::from_str::<serde_json::Value>(&body).unwrap()["token"]
+            .as_str()
+            .unwrap()
+            .to_string()
+    }
+
+    /// The full binary round trip over a real socket: Submit frame in,
+    /// TaskId frame out, Status and Result frames via `Accept`.
+    #[test]
+    fn binary_submit_status_result_round_trip() {
+        let server = serve(service()).unwrap();
+        let addr = server.addr();
+        let token = open_token(&addr);
+        let client = crate::http::HttpClient::new(addr.clone());
+
+        let frame = wire::SubmitFrame {
+            token: token.clone(),
+            hint: Some("qc-heavy".into()),
+            idempotency_key: Some("bin-key-1".into()),
+            ir: ir(25),
+        };
+        let raw = client
+            .request_bytes(
+                "POST",
+                "/v1/tasks",
+                wire::CONTENT_TYPE_BIN,
+                Some(&wire::encode_submit(&frame)),
+            )
+            .unwrap();
+        assert_eq!(raw.status, 201, "{:?}", raw);
+        assert_eq!(raw.content_type, wire::CONTENT_TYPE_BIN);
+        let id = wire::decode_task_id(&raw.body).unwrap();
+
+        // same idempotency key replays to the same id
+        let raw = client
+            .request_bytes(
+                "POST",
+                "/v1/tasks",
+                wire::CONTENT_TYPE_BIN,
+                Some(&wire::encode_submit(&frame)),
+            )
+            .unwrap();
+        assert_eq!(wire::decode_task_id(&raw.body).unwrap(), id);
+
+        // binary status frame via Accept
+        let raw = client
+            .request_bytes_accept(
+                "GET",
+                &format!("/v1/tasks/{id}"),
+                "application/json",
+                Some(wire::CONTENT_TYPE_BIN),
+                None,
+            )
+            .unwrap();
+        assert_eq!(raw.status, 200);
+        assert!(matches!(
+            wire::decode_status(&raw.body).unwrap(),
+            wire::WireStatus::Queued { .. }
+        ));
+
+        let (st, _) = http_request(&addr, "POST", "/v1/pump", Some("{}")).unwrap();
+        assert_eq!(st, 200);
+
+        let raw = client
+            .request_bytes_accept(
+                "GET",
+                &format!("/v1/tasks/{id}/result"),
+                "application/json",
+                Some(wire::CONTENT_TYPE_BIN),
+                None,
+            )
+            .unwrap();
+        assert_eq!(raw.status, 200);
+        let result = wire::decode_result(&raw.body).unwrap();
+        assert_eq!(result.shots, 25);
+
+        // binary errors carry an Error frame, not JSON
+        let raw = client
+            .request_bytes_accept(
+                "GET",
+                "/v1/tasks/999999",
+                "application/json",
+                Some(wire::CONTENT_TYPE_BIN),
+                None,
+            )
+            .unwrap();
+        assert_eq!(raw.status, 404);
+        let e = wire::decode_error(&raw.body).unwrap();
+        assert_eq!(e.status, 404);
+    }
+
+    /// Batch submit in both codecs: per-frame slots, order preserved, one
+    /// bad frame does not poison its neighbours.
+    #[test]
+    fn batch_submit_binary_and_json() {
+        let server = serve(service()).unwrap();
+        let addr = server.addr();
+        let token = open_token(&addr);
+        let client = crate::http::HttpClient::new(addr.clone());
+
+        let good = |key: &str| wire::SubmitFrame {
+            token: token.clone(),
+            hint: None,
+            idempotency_key: Some(key.into()),
+            ir: ir(10),
+        };
+        let frames = vec![
+            good("batch-a"),
+            wire::SubmitFrame {
+                token: "sess-0-bogus".into(),
+                hint: None,
+                idempotency_key: None,
+                ir: ir(10),
+            },
+            good("batch-b"),
+        ];
+        let raw = client
+            .request_bytes(
+                "POST",
+                "/v1/tasks:batch",
+                wire::CONTENT_TYPE_BIN,
+                Some(&wire::encode_submit_batch(&frames)),
+            )
+            .unwrap();
+        assert_eq!(raw.status, 200, "{:?}", raw);
+        let slots = wire::decode_batch_reply(&raw.body).unwrap();
+        assert_eq!(slots.len(), 3);
+        let wire::BatchSlot::Ok { task_id: id_a } = slots[0] else {
+            panic!("slot 0 should be Ok: {:?}", slots[0]);
+        };
+        assert!(
+            matches!(&slots[1], wire::BatchSlot::Err { status: 401, .. }),
+            "bogus token must fail alone: {:?}",
+            slots[1]
+        );
+        let wire::BatchSlot::Ok { task_id: id_b } = slots[2] else {
+            panic!("slot 2 should be Ok: {:?}", slots[2]);
+        };
+        assert!(id_b > id_a, "submission order preserved");
+
+        // JSON flavor of the same route
+        let body = format!(
+            r#"[{{"token":"{token}","ir":{}}},{{"token":"nope","ir":{}}}]"#,
+            ir_json(5),
+            ir_json(5)
+        );
+        let (st, body) = http_request(&addr, "POST", "/v1/tasks:batch", Some(&body)).unwrap();
+        assert_eq!(st, 200, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert!(arr[0]["task_id"].as_u64().is_some(), "{body}");
+        assert_eq!(arr[1]["status"].as_u64(), Some(401), "{body}");
+
+        // idempotency keys replay per-frame across batches
+        let raw = client
+            .request_bytes(
+                "POST",
+                "/v1/tasks:batch",
+                wire::CONTENT_TYPE_BIN,
+                Some(&wire::encode_submit_batch(&[good("batch-a")])),
+            )
+            .unwrap();
+        let slots = wire::decode_batch_reply(&raw.body).unwrap();
+        assert_eq!(slots[0], wire::BatchSlot::Ok { task_id: id_a });
+    }
+
+    /// An unrecognized submit content type is refused with 415 — the
+    /// signal the SDK keys its JSON fallback on.
+    #[test]
+    fn unknown_submit_content_type_is_415() {
+        let server = serve(service()).unwrap();
+        let client = crate::http::HttpClient::new(server.addr());
+        for path in ["/v1/tasks", "/v1/tasks:batch"] {
+            let raw = client
+                .request_bytes("POST", path, "application/x-msgpack", Some(b"\x00\x01"))
+                .unwrap();
+            assert_eq!(raw.status, 415, "{path}");
+        }
+        // a truncated binary frame is a 400 (bad frame), not a hang or 500
+        let raw = client
+            .request_bytes("POST", "/v1/tasks", wire::CONTENT_TYPE_BIN, Some(b"HQ\x01"))
+            .unwrap();
+        assert_eq!(raw.status, 400);
+        assert!(wire::decode_error(&raw.body).is_ok());
     }
 
     #[test]

@@ -26,7 +26,18 @@
 //!   [`mio::Waker`]. With `workers = 0` (the default on a single-core
 //!   node) handlers run inline on the event thread;
 //! * **wakeup shutdown** — `Drop` stops the loop through the waker, not
-//!   the old connect-to-self trick that raced the accept loop.
+//!   the old connect-to-self trick that raced the accept loop;
+//! * **segmented `writev` output** — each connection queues response
+//!   segments (head, then the body `Vec` moved without a copy) and flushes
+//!   them with one vectored write, so a keep-alive burst of pipelined
+//!   responses costs one syscall, not one per response;
+//! * **`SO_REUSEPORT` shards** — with [`ServerConfig::shards`] > 1 the
+//!   server binds N listeners to the same port and runs N independent
+//!   event loops; the kernel hash-balances connections across them, so
+//!   there is no shared accept queue, connection table, or poller between
+//!   shards. On a single core this is ~1× (documented honestly in
+//!   BENCH_rest.json); it exists so multi-core access nodes scale the
+//!   ingest path without a dispatcher thread.
 
 use crate::http::{
     error_response, parse_head_bytes, Handler, HttpError, ParsedHead, Request, Response,
@@ -35,7 +46,8 @@ use crate::http::{
 use hpcqc_sync::{rank, TrackedMutex};
 use hpcqc_telemetry::TransportMetrics;
 use mio::{Events, Interest, Poll, Token, Waker};
-use std::io::{ErrorKind, Read, Write};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -65,11 +77,15 @@ pub struct ServerConfig {
     /// within this window or be closed (slowloris defense).
     /// Zero = default (10 s).
     pub request_deadline: Duration,
-    /// Handler threads. `None` = spare cores (cores − 1, capped at 4);
-    /// `Some(0)` = run handlers inline on the event thread.
+    /// Handler threads *per shard*. `None` = spare cores (cores − 1,
+    /// capped at 4); `Some(0)` = run handlers inline on the event thread.
     pub workers: Option<usize>,
+    /// `SO_REUSEPORT` event-loop shards sharing the port. 0 or 1 = one
+    /// event loop (the classic layout). Values > 1 require kernel
+    /// `SO_REUSEPORT` (Linux); elsewhere the server degrades to 1 shard.
+    pub shards: usize,
     /// Transport telemetry sink (connection lifecycle, backpressure,
-    /// deadline closes).
+    /// deadline closes). Shards share the sink; counters aggregate.
     pub metrics: Option<TransportMetrics>,
 }
 
@@ -107,6 +123,14 @@ impl ServerConfig {
                 .min(4)
         })
     }
+
+    fn shard_count(&self) -> usize {
+        match self.shards {
+            0 | 1 => 1,
+            n if mio::net::reuseport_supported() => n.min(64),
+            _ => 1, // no SO_REUSEPORT on this platform: single accept queue
+        }
+    }
 }
 
 /// A request handed to the worker pool: connection slot, generation (stale
@@ -114,12 +138,13 @@ impl ServerConfig {
 type Job = (usize, u64, Request);
 type Completion = (usize, u64, Response);
 
-/// A running HTTP server bound to 127.0.0.1.
+/// A running HTTP server bound to 127.0.0.1 — one event loop per shard.
 pub struct HttpServer {
     port: u16,
+    shards: usize,
     stop: Arc<AtomicBool>,
-    waker: Arc<Waker>,
-    event_thread: Option<std::thread::JoinHandle<()>>,
+    wakers: Vec<Arc<Waker>>,
+    event_threads: Vec<std::thread::JoinHandle<()>>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -137,73 +162,103 @@ impl HttpServer {
 
     /// [`spawn_on`](Self::spawn_on) with explicit tuning.
     pub fn spawn_with(port: u16, handler: Handler, cfg: ServerConfig) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(("127.0.0.1", port))?;
-        listener.set_nonblocking(true)?;
-        let port = listener.local_addr()?.port();
-        let poll = Poll::new()?;
-        poll.registry()
-            .register(&listener, LISTENER, Interest::READABLE)?;
-        let waker = Arc::new(Waker::new(poll.registry(), WAKER)?);
-        let stop = Arc::new(AtomicBool::new(false));
-        let completions: Arc<TrackedMutex<Vec<Completion>>> = Arc::new(TrackedMutex::new(
-            "middleware.server.completions",
-            rank::SERVER_COMPLETIONS,
-            Vec::new(),
-        ));
-
-        let worker_count = cfg.worker_count();
-        let (jobs_tx, worker_threads) = if worker_count == 0 {
-            (None, Vec::new())
+        let shard_count = cfg.shard_count();
+        // First listener resolves the port (0 = ephemeral); the rest bind
+        // the resolved port with SO_REUSEPORT so the kernel splits the
+        // accept load across shards.
+        let first = if shard_count == 1 {
+            TcpListener::bind(("127.0.0.1", port))?
         } else {
-            let (tx, rx) = std::sync::mpsc::channel::<Job>();
-            let rx = Arc::new(Mutex::new(rx));
-            let workers = (0..worker_count)
-                .map(|i| {
+            mio::net::bind_reuseport(port)?
+        };
+        let port = first.local_addr()?.port();
+        let mut listeners = vec![first];
+        for _ in 1..shard_count {
+            listeners.push(mio::net::bind_reuseport(port)?);
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut wakers = Vec::with_capacity(shard_count);
+        let mut event_threads = Vec::with_capacity(shard_count);
+        let mut worker_threads = Vec::new();
+        let worker_count = cfg.worker_count();
+
+        for (shard, listener) in listeners.into_iter().enumerate() {
+            listener.set_nonblocking(true)?;
+            let poll = Poll::new()?;
+            poll.registry()
+                .register(&listener, LISTENER, Interest::READABLE)?;
+            let waker = Arc::new(Waker::new(poll.registry(), WAKER)?);
+            wakers.push(waker.clone());
+            let completions: Arc<TrackedMutex<Vec<Completion>>> = Arc::new(TrackedMutex::new(
+                "middleware.server.completions",
+                rank::SERVER_COMPLETIONS,
+                Vec::new(),
+            ));
+
+            let handler = handler.clone();
+            let jobs_tx = if worker_count == 0 {
+                None
+            } else {
+                let (tx, rx) = std::sync::mpsc::channel::<Job>();
+                let rx = Arc::new(Mutex::new(rx));
+                for i in 0..worker_count {
                     let rx = rx.clone();
                     let handler = handler.clone();
                     let completions = completions.clone();
                     let waker = waker.clone();
-                    std::thread::Builder::new()
-                        .name(format!("http-worker-{i}"))
-                        .spawn(move || worker_loop(&rx, &handler, &completions, &waker))
-                        .expect("spawn http worker")
-                })
-                .collect();
-            (Some(tx), workers)
-        };
-
-        let stop2 = stop.clone();
-        let event_thread = std::thread::Builder::new()
-            .name("http-event-loop".into())
-            .spawn(move || {
-                EventLoop {
-                    poll,
-                    listener,
-                    handler,
-                    max_connections: cfg.max_connections(),
-                    idle_timeout: cfg.idle_timeout(),
-                    request_deadline: cfg.request_deadline(),
-                    metrics: cfg.metrics,
-                    conns: Vec::new(),
-                    free: Vec::new(),
-                    free_pending: Vec::new(),
-                    active: 0,
-                    accept_paused: false,
-                    next_gen: 0,
-                    jobs_tx,
-                    completions,
-                    stop: stop2,
-                    scratch: vec![0u8; 16 << 10],
+                    worker_threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("http-worker-{shard}-{i}"))
+                            .spawn(move || worker_loop(&rx, &handler, &completions, &waker))
+                            .expect("spawn http worker"),
+                    );
                 }
-                .run();
-            })
-            .expect("spawn http event loop");
+                Some(tx)
+            };
+
+            let stop2 = stop.clone();
+            let metrics = cfg.metrics.clone();
+            let (max_connections, idle_timeout, request_deadline) = (
+                cfg.max_connections(),
+                cfg.idle_timeout(),
+                cfg.request_deadline(),
+            );
+            event_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("http-event-loop-{shard}"))
+                    .spawn(move || {
+                        EventLoop {
+                            poll,
+                            listener,
+                            handler,
+                            max_connections,
+                            idle_timeout,
+                            request_deadline,
+                            metrics,
+                            conns: Vec::new(),
+                            free: Vec::new(),
+                            free_pending: Vec::new(),
+                            active: 0,
+                            accept_paused: false,
+                            next_gen: 0,
+                            jobs_tx,
+                            completions,
+                            stop: stop2,
+                            scratch: vec![0u8; 16 << 10],
+                        }
+                        .run();
+                    })
+                    .expect("spawn http event loop"),
+            );
+        }
 
         Ok(HttpServer {
             port,
+            shards: shard_count,
             stop,
-            waker,
-            event_thread: Some(event_thread),
+            wakers,
+            event_threads,
             worker_threads,
         })
     }
@@ -211,6 +266,12 @@ impl HttpServer {
     /// The bound port.
     pub fn port(&self) -> u16 {
         self.port
+    }
+
+    /// How many event-loop shards are actually running (the configured
+    /// count, clamped by platform support).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Base URL, e.g. `127.0.0.1:45123`.
@@ -222,14 +283,16 @@ impl HttpServer {
 impl Drop for HttpServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the poller through the waker's eventfd — unlike the old
-        // connect-to-self trick this cannot race the accept loop or hang
-        // when the table is full and accepting is paused.
-        let _ = self.waker.wake();
-        if let Some(t) = self.event_thread.take() {
+        // Wake every shard's poller through its waker eventfd — unlike the
+        // old connect-to-self trick this cannot race the accept loop or
+        // hang when a table is full and accepting is paused.
+        for w in &self.wakers {
+            let _ = w.wake();
+        }
+        for t in self.event_threads.drain(..) {
             let _ = t.join();
         }
-        // The event loop dropped the job sender on exit; workers finish
+        // Each event loop dropped its job sender on exit; workers finish
         // their in-flight handler and see the closed channel.
         for t in self.worker_threads.drain(..) {
             let _ = t.join();
@@ -268,9 +331,13 @@ struct Conn {
     gen: u64,
     /// Accumulated unparsed input.
     rbuf: Vec<u8>,
-    /// Pending output and how much of it has been written.
-    wbuf: Vec<u8>,
+    /// Pending output as a queue of segments flushed with `writev`: a
+    /// response contributes its head and — without copying — its body
+    /// `Vec`; pipelined responses stack further segments. `wpos` offsets
+    /// into the front segment, `wlen` caches total unwritten bytes.
+    wq: VecDeque<Vec<u8>>,
     wpos: usize,
+    wlen: usize,
     /// Parsed head of the request currently being assembled (body pending).
     head: Option<ParsedHead>,
     /// A request from this connection is with a handler.
@@ -292,6 +359,24 @@ struct Conn {
 
 const REG_READ: u8 = 0b01;
 const REG_WRITE: u8 = 0b10;
+/// Segments gathered into one `writev` call (IOV_MAX is far higher, but a
+/// keep-alive burst rarely stacks more than a few responses).
+const MAX_IOVECS: usize = 64;
+
+impl Conn {
+    /// Queue a response for the wire: the head as one segment and the body
+    /// `Vec` *moved* as a second — the flush gathers both (plus any
+    /// pipelined successors) into a single `writev`.
+    fn enqueue_response(&mut self, resp: Response, keep_alive: bool) {
+        let mut head = Vec::new();
+        resp.encode_head_into(keep_alive, &mut head);
+        self.wlen += head.len() + resp.body.len();
+        self.wq.push_back(head);
+        if !resp.body.is_empty() {
+            self.wq.push_back(resp.body);
+        }
+    }
+}
 
 enum Extract {
     /// Nothing further to do (need more bytes, or a request is in flight).
@@ -413,8 +498,9 @@ impl EventLoop {
             stream,
             gen: self.next_gen,
             rbuf: Vec::new(),
-            wbuf: Vec::new(),
+            wq: VecDeque::new(),
             wpos: 0,
+            wlen: 0,
             head: None,
             busy: false,
             req_keep_alive: true,
@@ -560,7 +646,7 @@ impl EventLoop {
         let Some(conn) = self.conns[idx].as_mut() else {
             return Extract::Closed;
         };
-        if conn.busy || !conn.wbuf.is_empty() {
+        if conn.busy || conn.wlen > 0 {
             return Extract::Pending;
         }
         // ---- head ----
@@ -633,8 +719,7 @@ impl EventLoop {
         conn.reads_done = true;
         conn.close_after_write = true;
         conn.request_started = None;
-        conn.wbuf = resp.encode(false);
-        conn.wpos = 0;
+        conn.enqueue_response(resp, false);
         if self.flush_write(idx) {
             self.update_interest(idx);
         }
@@ -660,8 +745,7 @@ impl EventLoop {
             served = conn.served;
             let close = conn.close_after_write || !conn.req_keep_alive || stopping;
             conn.close_after_write = close;
-            conn.wbuf = resp.encode(!close);
-            conn.wpos = 0;
+            conn.enqueue_response(resp, !close);
             conn.last_activity = Instant::now();
         }
         if let Some(m) = self.metrics() {
@@ -673,7 +757,7 @@ impl EventLoop {
         self.flush_write(idx)
             && self.conns[idx]
                 .as_ref()
-                .is_some_and(|c| c.wbuf.is_empty() && !c.close_after_write)
+                .is_some_and(|c| c.wlen == 0 && !c.close_after_write)
     }
 
     /// Write as much pending output as the socket takes. Returns false when
@@ -689,18 +773,40 @@ impl EventLoop {
                 return false;
             };
             loop {
-                if conn.wpos >= conn.wbuf.len() {
-                    conn.wbuf.clear();
+                if conn.wlen == 0 {
+                    conn.wq.clear();
                     conn.wpos = 0;
                     break Outcome::Drained {
                         close_after: conn.close_after_write,
                     };
                 }
-                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                // Gather the segment queue (front offset by wpos) into one
+                // vectored write: head + body + pipelined successors go out
+                // in a single syscall without ever being memcpy'd together.
+                let mut iov = [IoSlice::new(&[]); MAX_IOVECS];
+                let mut n_iov = 0;
+                for (i, seg) in conn.wq.iter().enumerate().take(MAX_IOVECS) {
+                    iov[n_iov] = IoSlice::new(if i == 0 { &seg[conn.wpos..] } else { seg });
+                    n_iov += 1;
+                }
+                match conn.stream.write_vectored(&iov[..n_iov]) {
                     Ok(0) => break Outcome::Broken,
-                    Ok(n) => {
-                        conn.wpos += n;
+                    Ok(mut n) => {
+                        conn.wlen -= n;
                         conn.last_activity = Instant::now();
+                        // Consume written bytes across whole segments.
+                        while n > 0 {
+                            let front_left =
+                                conn.wq.front().expect("bytes imply a segment").len() - conn.wpos;
+                            if n >= front_left {
+                                n -= front_left;
+                                conn.wq.pop_front();
+                                conn.wpos = 0;
+                            } else {
+                                conn.wpos += n;
+                                n = 0;
+                            }
+                        }
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break Outcome::Blocked,
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -726,7 +832,7 @@ impl EventLoop {
             return;
         };
         let want_read = !conn.reads_done && (!conn.busy || conn.rbuf.len() < PIPELINE_BUF_CAP);
-        let want_write = conn.wpos < conn.wbuf.len();
+        let want_write = conn.wlen > 0;
         let desired = (want_read as u8 * REG_READ) | (want_write as u8 * REG_WRITE);
         if desired == conn.registered {
             return;
@@ -922,6 +1028,84 @@ mod tests {
         assert!(metrics.value("http_connections_rejected_total") >= 1.0);
         assert!(metrics.value("http_accept_pauses_total") >= 1.0);
         assert!(metrics.value("http_accept_resumes_total") >= 1.0);
+    }
+
+    #[test]
+    fn sharded_server_round_trip() {
+        let server = HttpServer::spawn_with(
+            0,
+            ok_handler(),
+            ServerConfig {
+                shards: 2,
+                workers: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        if mio::net::reuseport_supported() {
+            assert_eq!(server.shards(), 2);
+        } else {
+            assert_eq!(server.shards(), 1, "no SO_REUSEPORT: degrade to one shard");
+        }
+        // Many short-lived connections: the kernel spreads them across the
+        // shard listeners; every one must be answered regardless of shard.
+        for i in 0..32 {
+            let (status, body) =
+                http_request(server.addr(), "GET", &format!("/shard-{i}"), None).unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains(&format!("/shard-{i}")));
+        }
+        // Keep-alive clients work against a sharded listener too.
+        let client = crate::http::HttpClient::new(server.addr());
+        for _ in 0..8 {
+            assert_eq!(client.request("GET", "/ka", None).unwrap().0, 200);
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_coalesce_responses() {
+        // Two pipelined requests arrive in one segment; both answers must
+        // come back, in order, over the shared writev-backed queue.
+        let server = HttpServer::spawn_with(
+            0,
+            ok_handler(),
+            ServerConfig {
+                workers: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(
+                b"GET /first HTTP/1.1\r\nhost: x\r\n\r\nGET /second HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n",
+            )
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut all = Vec::new();
+        reader.read_to_end(&mut all).unwrap();
+        let text = String::from_utf8_lossy(&all);
+        let first = text.find("/first").expect("first response present");
+        let second = text.find("/second").expect("second response present");
+        assert!(first < second, "responses out of order: {text}");
+        assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn large_body_flushes_across_partial_writes() {
+        // A body far larger than the socket buffer forces the Blocked path
+        // and multi-round writev flushes; the client must still receive
+        // every byte intact.
+        let payload = "x".repeat(768 << 10);
+        let expected = payload.clone();
+        let server = HttpServer::spawn(Arc::new(move |_req: Request| {
+            Response::json(200, payload.clone())
+        }))
+        .unwrap();
+        let (status, body) = http_request(server.addr(), "GET", "/big", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.len(), expected.len());
+        assert_eq!(body, expected);
     }
 
     #[test]

@@ -44,12 +44,25 @@ fn connect(server: &HttpServer) -> TcpStream {
 }
 
 /// Read exactly one HTTP response off the stream; returns
-/// `(status, headers, body)`.
+/// `(status, headers, body)` and asserts nothing followed it. Tests that
+/// expect a pipelined successor use [`read_one_of_many`] instead: TCP is
+/// free to deliver both responses in one segment (the server's vectored
+/// flush even makes that the common case), so bytes past the first
+/// response are carry-over there, not garbage.
 fn read_one_response(stream: &mut TcpStream) -> (u16, String, String) {
-    let mut buf = Vec::new();
+    let mut carry = Vec::new();
+    let resp = read_one_of_many(stream, &mut carry);
+    assert!(carry.is_empty(), "unexpected trailing bytes: {carry:?}");
+    resp
+}
+
+/// Read one HTTP response, leaving any bytes of a pipelined successor that
+/// arrived in the same segment in `carry` for the next call.
+fn read_one_of_many(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, String, String) {
+    let buf = carry;
     let mut chunk = [0u8; 4096];
     loop {
-        if let Some(head_end) = find(&buf, b"\r\n\r\n") {
+        if let Some(head_end) = find(buf, b"\r\n\r\n") {
             let head = String::from_utf8(buf[..head_end].to_vec()).unwrap();
             let content_length: usize = head
                 .lines()
@@ -70,7 +83,6 @@ fn read_one_response(stream: &mut TcpStream) -> (u16, String, String) {
             let body =
                 String::from_utf8(buf[body_start..body_start + content_length].to_vec()).unwrap();
             buf.drain(..body_start + content_length);
-            assert!(buf.is_empty(), "unexpected trailing bytes: {buf:?}");
             return (status, head, body);
         }
         let n = stream.read(&mut chunk).unwrap();
@@ -126,8 +138,10 @@ fn pipelined_requests_in_one_segment_answer_in_order() {
     stream
         .write_all(b"GET /first HTTP/1.1\r\nhost: x\r\n\r\nGET /second HTTP/1.1\r\nhost: x\r\n\r\n")
         .unwrap();
-    let (st1, _, body1) = read_one_response(&mut stream);
-    let (st2, _, body2) = read_one_response(&mut stream);
+    let mut carry = Vec::new();
+    let (st1, _, body1) = read_one_of_many(&mut stream, &mut carry);
+    let (st2, _, body2) = read_one_of_many(&mut stream, &mut carry);
+    assert!(carry.is_empty(), "unexpected trailing bytes: {carry:?}");
     assert_eq!((st1, st2), (200, 200));
     assert!(
         body1.contains("/first"),
@@ -151,15 +165,17 @@ fn pipelined_request_split_across_segments() {
     stream
         .write_all(b"67890GET /tail HTTP/1.1\r\nhost: x\r\n\r\n")
         .unwrap();
-    let (st1, _, body1) = read_one_response(&mut stream);
+    let mut carry = Vec::new();
+    let (st1, _, body1) = read_one_of_many(&mut stream, &mut carry);
     assert_eq!(st1, 200);
     assert!(
         body1.contains("/split") && body1.contains("\"body_len\":10"),
         "{body1}"
     );
-    let (st2, _, body2) = read_one_response(&mut stream);
+    let (st2, _, body2) = read_one_of_many(&mut stream, &mut carry);
     assert_eq!(st2, 200);
     assert!(body2.contains("/tail"), "{body2}");
+    assert!(carry.is_empty(), "unexpected trailing bytes: {carry:?}");
 }
 
 #[test]

@@ -1,0 +1,207 @@
+//! Golden-frames wire-compat gate.
+//!
+//! `golden_frames.bin` holds one frame of every kind, encoded by the codec
+//! at the wire-format freeze (version 1) and committed. CI decodes the
+//! fixture and re-encodes it: any codec change that silently breaks
+//! compatibility with already-shipped bytes fails here — the fixture is the
+//! contract, not the code.
+//!
+//! To regenerate after an *intentional* format bump (which must also bump
+//! `WIRE_VERSION` and DESIGN.md §17):
+//! `cargo test -p hpcqc-wire --test golden -- --ignored regen_golden_frames`
+
+use hpcqc_emulator::SampleResult;
+use hpcqc_program::register::Site;
+use hpcqc_program::{ProgramIr, Pulse, Register, Sequence, TimedPulse, Waveform};
+use hpcqc_wire::*;
+use std::collections::BTreeMap;
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_frames.bin")
+}
+
+/// The canonical payloads frozen into the fixture. Every field is pinned
+/// explicitly (no `CARGO_PKG_VERSION` etc.) so the fixture never drifts
+/// with the build.
+fn golden_ir() -> ProgramIr {
+    let register = Register::new(vec![
+        Site {
+            label: "q0".into(),
+            x: 0.0,
+            y: 0.0,
+        },
+        Site {
+            label: "q1".into(),
+            x: 6.0,
+            y: 0.0,
+        },
+        Site {
+            label: "q2".into(),
+            x: 3.0,
+            y: -0.0,
+        }, // negative zero survives
+    ])
+    .unwrap();
+    let sequence = Sequence {
+        register,
+        pulses: vec![
+            TimedPulse {
+                channel: "rydberg_global".into(),
+                start: 0.0,
+                pulse: Pulse {
+                    amplitude: Waveform::Constant {
+                        duration: 1.0,
+                        value: 5.0,
+                    },
+                    detuning: Waveform::Ramp {
+                        duration: 1.0,
+                        start: -2.5,
+                        stop: 2.5,
+                    },
+                    phase: 0.25,
+                },
+            },
+            TimedPulse {
+                channel: "rydberg_global".into(),
+                start: 1.0,
+                pulse: Pulse {
+                    amplitude: Waveform::Composite {
+                        parts: vec![
+                            Waveform::Blackman {
+                                duration: 0.25,
+                                area: std::f64::consts::FRAC_PI_2,
+                            },
+                            Waveform::Interpolated {
+                                duration: 0.25,
+                                values: vec![0.0, 4.0, 0.0],
+                            },
+                        ],
+                    },
+                    detuning: Waveform::Constant {
+                        duration: 0.5,
+                        value: 0.0,
+                    },
+                    phase: 0.0,
+                },
+            },
+        ],
+        measurement_basis: "ground-rydberg".into(),
+    };
+    ProgramIr {
+        version: 1,
+        sequence,
+        shots: 500,
+        sdk: "golden-sdk".into(),
+        sdk_version: "1.2.3".into(),
+        validated_against_revision: Some(7),
+        classical_secs_estimate: Some(12.5),
+    }
+}
+
+fn golden_frames() -> Vec<Vec<u8>> {
+    let ir = golden_ir();
+    let submit = SubmitFrame {
+        token: "sess-golden".into(),
+        hint: Some("iterative".into()),
+        idempotency_key: Some("idem-golden-1".into()),
+        ir: ir.clone(),
+    };
+    let batch = vec![
+        submit.clone(),
+        SubmitFrame {
+            token: "sess-golden".into(),
+            hint: None,
+            idempotency_key: None,
+            ir: ir.clone(),
+        },
+    ];
+    let result = SampleResult {
+        n_qubits: 3,
+        shots: 500,
+        counts: BTreeMap::from([(0, 200), (5, 250), (7, 50)]),
+        backend: "statevector".into(),
+        truncation_error: 0.0,
+        execution_secs: 0.125,
+    };
+    vec![
+        encode_program_ir(&ir),
+        encode_submit(&submit),
+        encode_submit_batch(&batch),
+        encode_task_id(42),
+        encode_batch_reply(&[
+            BatchSlot::Ok { task_id: 42 },
+            BatchSlot::Err {
+                status: 422,
+                message: "validation failed".into(),
+            },
+        ]),
+        encode_status(&WireStatus::Queued { position: 3 }),
+        encode_result(&result),
+        encode_error(503, "daemon draining"),
+    ]
+}
+
+/// Split a concatenation of frames using only the header length fields.
+fn split_frames(mut buf: &[u8]) -> Vec<&[u8]> {
+    let mut out = Vec::new();
+    while !buf.is_empty() {
+        assert!(buf.len() >= HEADER_LEN, "fixture ends mid-header");
+        let len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+        let total = HEADER_LEN + len + TRAILER_LEN;
+        out.push(&buf[..total]);
+        buf = &buf[total..];
+    }
+    out
+}
+
+#[test]
+fn golden_frames_decode_and_reencode_byte_identically() {
+    let bytes =
+        std::fs::read(fixture_path()).expect("golden_frames.bin is committed next to this test");
+    let frames = split_frames(&bytes);
+    let expected = golden_frames();
+    assert_eq!(
+        frames.len(),
+        expected.len(),
+        "fixture frame count changed — wire break?"
+    );
+    for (i, (frame, exp)) in frames.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            frame,
+            &exp.as_slice(),
+            "frame {i}: current encoder no longer reproduces the frozen bytes"
+        );
+    }
+    // decode side: the frozen bytes must decode to the pinned values
+    assert_eq!(decode_program_ir(frames[0]).unwrap(), golden_ir());
+    let submit = decode_submit(frames[1]).unwrap();
+    assert_eq!(submit.token, "sess-golden");
+    assert_eq!(submit.idempotency_key.as_deref(), Some("idem-golden-1"));
+    assert_eq!(submit.ir, golden_ir());
+    assert_eq!(decode_submit_batch(frames[2]).unwrap().len(), 2);
+    assert_eq!(decode_task_id(frames[3]).unwrap(), 42);
+    let slots = decode_batch_reply(frames[4]).unwrap();
+    assert_eq!(slots[0], BatchSlot::Ok { task_id: 42 });
+    assert!(matches!(&slots[1], BatchSlot::Err { status: 422, .. }));
+    assert_eq!(
+        decode_status(frames[5]).unwrap(),
+        WireStatus::Queued { position: 3 }
+    );
+    assert_eq!(decode_result(frames[6]).unwrap().counts.len(), 3);
+    let e = decode_error(frames[7]).unwrap();
+    assert_eq!((e.status, e.message.as_str()), (503, "daemon draining"));
+    // the -0.0 site coordinate survived the frozen bytes bit-exactly
+    let back = decode_program_ir(frames[0]).unwrap();
+    assert_eq!(
+        back.sequence.register.sites()[2].y.to_bits(),
+        (-0.0f64).to_bits()
+    );
+}
+
+#[test]
+#[ignore = "regenerates the fixture; run only on an intentional wire-format bump"]
+fn regen_golden_frames() {
+    let bytes: Vec<u8> = golden_frames().concat();
+    std::fs::write(fixture_path(), &bytes).unwrap();
+    eprintln!("wrote {} bytes to {:?}", bytes.len(), fixture_path());
+}

@@ -1,0 +1,246 @@
+//! Property suite for the binary wire codec (ISSUE 10 acceptance gate):
+//! bit-identical `ProgramIr` round-trips (checked against the JSON path),
+//! and typed — never panicking — rejection of malformed, truncated, and
+//! corrupted frames.
+
+use hpcqc_program::{ProgramIr, Pulse, Register, SequenceBuilder, Waveform};
+use hpcqc_wire::{
+    decode_program_ir, decode_submit, decode_submit_batch, encode_program_ir, encode_submit,
+    encode_submit_batch, open_frame, SubmitFrame,
+};
+use proptest::prelude::*;
+
+fn arb_leaf_waveform() -> impl Strategy<Value = Waveform> {
+    let duration = 0.01f64..5.0;
+    let value = -40.0f64..40.0;
+    prop_oneof![
+        (duration.clone(), value.clone()).prop_map(|(d, v)| Waveform::constant(d, v).unwrap()),
+        (duration.clone(), value.clone(), value.clone())
+            .prop_map(|(d, a, b)| Waveform::ramp(d, a, b).unwrap()),
+        (duration.clone(), -20.0f64..20.0).prop_map(|(d, a)| Waveform::blackman(d, a).unwrap()),
+        (duration, proptest::collection::vec(value, 2..8))
+            .prop_map(|(d, vs)| Waveform::interpolated(d, vs).unwrap()),
+    ]
+}
+
+fn arb_waveform() -> impl Strategy<Value = Waveform> {
+    // one nesting level of Composite exercises the recursive codec paths
+    prop_oneof![
+        arb_leaf_waveform(),
+        proptest::collection::vec(arb_leaf_waveform(), 1..4)
+            .prop_map(|parts| Waveform::composite(parts).unwrap()),
+    ]
+}
+
+fn arb_ir() -> impl Strategy<Value = ProgramIr> {
+    (
+        1usize..6,
+        1.0f64..20.0,
+        proptest::collection::vec((arb_waveform(), -3.0f64..3.0), 1..5),
+        1u32..2000,
+        0u8..3,
+        proptest::collection::vec(0.0f64..100.0, 0..2),
+    )
+        .prop_map(|(n, spacing, pulses, shots, rev_tag, classical)| {
+            let reg = Register::linear(n, spacing).unwrap();
+            let mut b = SequenceBuilder::new(reg);
+            for (w, phase) in pulses {
+                let d = w.duration();
+                let det = Waveform::constant(d, 0.5).unwrap();
+                b.add_global_pulse(Pulse::new(w, det, phase).unwrap());
+            }
+            let mut ir = ProgramIr::new(b.build().unwrap(), shots, "prop-sdk");
+            if rev_tag == 1 {
+                ir = ir.with_validation_revision(7);
+            }
+            if let Some(secs) = classical.first() {
+                ir = ir.with_classical_estimate(*secs);
+            }
+            ir
+        })
+}
+
+/// Structural equality with every f64 compared by raw bits — stricter than
+/// `PartialEq` (distinguishes -0.0 from 0.0, equates NaN with itself).
+fn bits_eq_wave(a: &Waveform, b: &Waveform) -> bool {
+    match (a, b) {
+        (
+            Waveform::Constant {
+                duration: d1,
+                value: v1,
+            },
+            Waveform::Constant {
+                duration: d2,
+                value: v2,
+            },
+        ) => d1.to_bits() == d2.to_bits() && v1.to_bits() == v2.to_bits(),
+        (
+            Waveform::Ramp {
+                duration: d1,
+                start: s1,
+                stop: e1,
+            },
+            Waveform::Ramp {
+                duration: d2,
+                start: s2,
+                stop: e2,
+            },
+        ) => {
+            d1.to_bits() == d2.to_bits()
+                && s1.to_bits() == s2.to_bits()
+                && e1.to_bits() == e2.to_bits()
+        }
+        (
+            Waveform::Blackman {
+                duration: d1,
+                area: a1,
+            },
+            Waveform::Blackman {
+                duration: d2,
+                area: a2,
+            },
+        ) => d1.to_bits() == d2.to_bits() && a1.to_bits() == a2.to_bits(),
+        (
+            Waveform::Interpolated {
+                duration: d1,
+                values: v1,
+            },
+            Waveform::Interpolated {
+                duration: d2,
+                values: v2,
+            },
+        ) => {
+            d1.to_bits() == d2.to_bits()
+                && v1.len() == v2.len()
+                && v1.iter().zip(v2).all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        (Waveform::Composite { parts: p1 }, Waveform::Composite { parts: p2 }) => {
+            p1.len() == p2.len() && p1.iter().zip(p2).all(|(x, y)| bits_eq_wave(x, y))
+        }
+        _ => false,
+    }
+}
+
+fn bits_eq_ir(a: &ProgramIr, b: &ProgramIr) -> bool {
+    a.version == b.version
+        && a.shots == b.shots
+        && a.sdk == b.sdk
+        && a.sdk_version == b.sdk_version
+        && a.validated_against_revision == b.validated_against_revision
+        && a.classical_secs_estimate.map(f64::to_bits)
+            == b.classical_secs_estimate.map(f64::to_bits)
+        && a.sequence.measurement_basis == b.sequence.measurement_basis
+        && a.sequence.register.sites().len() == b.sequence.register.sites().len()
+        && a.sequence
+            .register
+            .sites()
+            .iter()
+            .zip(b.sequence.register.sites())
+            .all(|(s, t)| {
+                s.label == t.label
+                    && s.x.to_bits() == t.x.to_bits()
+                    && s.y.to_bits() == t.y.to_bits()
+            })
+        && a.sequence.pulses.len() == b.sequence.pulses.len()
+        && a.sequence
+            .pulses
+            .iter()
+            .zip(&b.sequence.pulses)
+            .all(|(p, q)| {
+                p.channel == q.channel
+                    && p.start.to_bits() == q.start.to_bits()
+                    && p.pulse.phase.to_bits() == q.pulse.phase.to_bits()
+                    && bits_eq_wave(&p.pulse.amplitude, &q.pulse.amplitude)
+                    && bits_eq_wave(&p.pulse.detuning, &q.pulse.detuning)
+            })
+}
+
+/// SplitMix64 — deterministic corruption source independent of proptest's
+/// internals.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn binary_roundtrip_is_bit_identical(ir in arb_ir()) {
+        let bytes = encode_program_ir(&ir);
+        let back = decode_program_ir(&bytes).unwrap();
+        prop_assert!(bits_eq_ir(&ir, &back), "binary round-trip changed bits");
+        // canonical encoder: re-encoding the decode is byte-identical
+        prop_assert_eq!(bytes, encode_program_ir(&back));
+    }
+
+    #[test]
+    fn binary_and_json_paths_agree(ir in arb_ir()) {
+        let via_bin = decode_program_ir(&encode_program_ir(&ir)).unwrap();
+        let via_json = ProgramIr::from_json(&ir.to_json().unwrap()).unwrap();
+        // the JSON path promises value equality (PartialEq), the binary path
+        // additionally promises bit identity — so binary ⊇ JSON fidelity
+        prop_assert_eq!(&via_json, &ir);
+        prop_assert!(bits_eq_ir(&via_bin, &ir));
+        prop_assert_eq!(via_bin.fingerprint(), ir.fingerprint());
+    }
+
+    #[test]
+    fn submit_and_batch_roundtrip(ir in arb_ir(), n in 1usize..6) {
+        let frames: Vec<SubmitFrame> = (0..n).map(|i| SubmitFrame {
+            token: format!("sess-{i}"),
+            hint: (i % 2 == 0).then(|| "iterative".to_string()),
+            idempotency_key: (i % 3 == 0).then(|| format!("idem-{i}")),
+            ir: ir.clone(),
+        }).collect();
+        let one = encode_submit(&frames[0]);
+        prop_assert_eq!(&decode_submit(&one).unwrap(), &frames[0]);
+        let batch = encode_submit_batch(&frames);
+        prop_assert_eq!(decode_submit_batch(&batch).unwrap(), frames);
+    }
+
+    #[test]
+    fn truncation_never_panics(ir in arb_ir(), frac in 0.0f64..1.0) {
+        let bytes = encode_program_ir(&ir);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        // typed error out, no panic — cut strictly inside the frame
+        if cut < bytes.len() {
+            prop_assert!(decode_program_ir(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn corruption_never_panics_and_is_never_silently_accepted(ir in arb_ir(), seed in 0u64..u64::MAX) {
+        let bytes = encode_program_ir(&ir);
+        let mut s = seed;
+        let mut corrupted = bytes.clone();
+        let idx = (splitmix(&mut s) as usize) % corrupted.len();
+        let bit = (splitmix(&mut s) % 8) as u8;
+        corrupted[idx] ^= 1 << bit;
+        // payload flips are caught by the checksum, header flips by the
+        // structural checks; a flip may never yield a *different* IR
+        if let Ok(back) = decode_program_ir(&corrupted) {
+            prop_assert!(bits_eq_ir(&ir, &back));
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(seed in 0u64..u64::MAX, len in 0usize..512) {
+        let mut s = seed;
+        let soup: Vec<u8> = (0..len).map(|_| splitmix(&mut s) as u8).collect();
+        let _ = open_frame(&soup);
+        let _ = decode_program_ir(&soup);
+        let _ = decode_submit(&soup);
+        let _ = decode_submit_batch(&soup);
+        // and byte soups wearing a valid header over a garbage payload
+        let mut framed = Vec::with_capacity(soup.len() + 12);
+        framed.extend_from_slice(b"HQ\x01\x02");
+        framed.extend_from_slice(&(soup.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&soup);
+        framed.extend_from_slice(&hpcqc_wire::checksum(&soup).to_le_bytes());
+        let _ = decode_submit(&framed);
+    }
+}

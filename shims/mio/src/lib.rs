@@ -219,6 +219,182 @@ impl Waker {
 }
 
 // ---------------------------------------------------------------------------
+// SO_REUSEPORT listener sockets (sharded accept).
+// ---------------------------------------------------------------------------
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub mod net {
+    //! `SO_REUSEPORT` TCP listeners for sharded event loops.
+    //!
+    //! With `SO_REUSEPORT`, N sockets bind the *same* address and the
+    //! kernel hash-balances incoming connections across them — the standard
+    //! way to run one accept queue per event-loop thread with zero
+    //! cross-thread handoff. `std::net::TcpListener` cannot set socket
+    //! options before `bind`, and the offline workspace has no `libc`/
+    //! `socket2`, so the five syscalls involved are issued raw (same
+    //! technique as the epoll selector above).
+
+    use std::io;
+    use std::net::TcpListener;
+    use std::os::fd::{FromRawFd, RawFd};
+
+    const AF_INET: usize = 2;
+    const SOCK_STREAM: usize = 1;
+    const SOCK_CLOEXEC: usize = 0o2000000;
+    const SOL_SOCKET: usize = 1;
+    const SO_REUSEADDR: usize = 2;
+    const SO_REUSEPORT: usize = 15;
+    const BACKLOG: usize = 1024;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const SOCKET: usize = 41;
+        pub const BIND: usize = 49;
+        pub const LISTEN: usize = 50;
+        pub const SETSOCKOPT: usize = 54;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const SOCKET: usize = 198;
+        pub const BIND: usize = 200;
+        pub const LISTEN: usize = 201;
+        pub const SETSOCKOPT: usize = 208;
+    }
+
+    /// Raw syscall (5 args — `setsockopt` needs all five), kernel `-errno`
+    /// convention unchanged.
+    ///
+    /// # Safety
+    /// Arguments must be valid for the requested syscall.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall5(n: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// # Safety
+    /// Arguments must be valid for the requested syscall.
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall5(n: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") 0_usize,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    /// Kernel `struct sockaddr_in`: family (host order), port and address
+    /// (network order), 8 bytes of zero padding.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    impl SockaddrIn {
+        fn loopback(port: u16) -> SockaddrIn {
+            SockaddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: port.to_be(),
+                sin_addr: u32::from_be_bytes([127, 0, 0, 1]).to_be(),
+                sin_zero: [0; 8],
+            }
+        }
+    }
+
+    /// Whether `SO_REUSEPORT` sharding is available on this target.
+    pub fn reuseport_supported() -> bool {
+        true
+    }
+
+    /// Bind a `SO_REUSEPORT` TCP listener on `127.0.0.1:port` (0 = pick an
+    /// ephemeral port; read the result back with `local_addr()`). Multiple
+    /// listeners bound this way to the same port each get their own kernel
+    /// accept queue, hash-balanced across them.
+    pub fn bind_reuseport(port: u16) -> io::Result<TcpListener> {
+        let fd =
+            check(unsafe { syscall5(nr::SOCKET, AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0, 0, 0) })?
+                as RawFd;
+        // from_raw_fd immediately so an error below closes the socket
+        let listener = unsafe { TcpListener::from_raw_fd(fd) };
+        let one: u32 = 1;
+        let optval = &one as *const u32 as usize;
+        for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+            check(unsafe { syscall5(nr::SETSOCKOPT, fd as usize, SOL_SOCKET, opt, optval, 4) })?;
+        }
+        let addr = SockaddrIn::loopback(port);
+        check(unsafe {
+            syscall5(
+                nr::BIND,
+                fd as usize,
+                &addr as *const SockaddrIn as usize,
+                core::mem::size_of::<SockaddrIn>(),
+                0,
+                0,
+            )
+        })?;
+        check(unsafe { syscall5(nr::LISTEN, fd as usize, BACKLOG, 0, 0, 0) })?;
+        Ok(listener)
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub mod net {
+    //! Portable fallback: no `SO_REUSEPORT` — only one listener can hold a
+    //! port, so servers degrade to a single accept shard.
+
+    use std::io;
+    use std::net::TcpListener;
+
+    pub fn reuseport_supported() -> bool {
+        false
+    }
+
+    /// Plain bind; callers must not ask for a second listener on the same
+    /// port (the OS will refuse).
+    pub fn bind_reuseport(port: u16) -> io::Result<TcpListener> {
+        TcpListener::bind(("127.0.0.1", port))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Linux: real epoll via raw syscalls (no libc in the offline workspace).
 // ---------------------------------------------------------------------------
 #[cfg(all(
